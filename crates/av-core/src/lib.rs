@@ -1,0 +1,59 @@
+//! Shared foundation types for the Zhuyi (DAC 2022) reproduction.
+//!
+//! This crate provides the vocabulary every other crate in the workspace
+//! speaks:
+//!
+//! - [`units`] — strongly-typed physical quantities ([`units::Meters`],
+//!   [`units::Seconds`], [`units::Fpr`], ...),
+//! - [`geometry`] — planar vectors and oriented-rectangle collision tests,
+//! - [`path`] — arc-length-parameterized road centerlines and Frenet
+//!   coordinates (needed for the paper's curved-road scenario),
+//! - [`state`] — ego/actor kinematic state and the closed-form
+//!   constant-acceleration integrator the whole system relies on,
+//! - [`trajectory`] — time-stamped future trajectories with probabilities
+//!   (the set `T` of paper Eq. 4).
+//!
+//! # Example
+//!
+//! ```
+//! use av_core::prelude::*;
+//!
+//! // An ego doing 70 mph on a straight 3-lane road.
+//! let road = Path::straight(Vec2::ZERO, Radians(0.0), Meters(1000.0));
+//! let ego = VehicleState::new(
+//!     road.frenet_to_world(FrenetPose::new(Meters(50.0), Meters(0.0))),
+//!     Radians(0.0),
+//!     Mph(70.0).into(),
+//!     MetersPerSecondSquared(0.0),
+//! );
+//! assert!(ego.speed.value() > 31.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod geometry;
+pub mod scene;
+pub mod path;
+pub mod state;
+pub mod trajectory;
+pub mod units;
+
+/// Convenient glob import of the most common types.
+///
+/// ```
+/// use av_core::prelude::*;
+/// let _ = Meters(1.0) + Meters(2.0);
+/// ```
+pub mod prelude {
+    pub use crate::geometry::{OrientedRect, Vec2};
+    pub use crate::path::{FrenetPose, Path, PathPose};
+    pub use crate::scene::Scene;
+    pub use crate::state::{
+        distance_speed_after, ActorId, ActorKind, Agent, Dimensions, VehicleState,
+    };
+    pub use crate::trajectory::{Trajectory, TrajectoryPoint};
+    pub use crate::units::{
+        Fpr, Meters, MetersPerSecond, MetersPerSecondSquared, Mph, Radians, Seconds,
+    };
+}

@@ -1,0 +1,396 @@
+//! Arc-length-parameterized paths and Frenet (road) coordinates.
+//!
+//! The *Challenging cut-in on a curved road* scenario (paper Fig. 5) needs a
+//! road frame in which "longitudinal" follows the lane: a [`Path`] is a
+//! polyline centerline; [`FrenetPose`] is the (arc length `s`, signed lateral
+//! offset `d`) coordinate pair relative to it. Lateral offset is positive to
+//! the left of the direction of travel.
+
+use crate::geometry::Vec2;
+use crate::units::{Meters, Radians};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error constructing a [`Path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// A path needs at least two distinct points.
+    TooFewPoints,
+    /// Two consecutive points coincide, so the tangent is undefined there.
+    DegenerateSegment {
+        /// Index of the first point of the zero-length segment.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::TooFewPoints => write!(f, "path needs at least two points"),
+            PathError::DegenerateSegment { index } => {
+                write!(f, "zero-length path segment at point {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// A position expressed in a path's Frenet frame.
+///
+/// `s` is the arc length along the path; `d` the signed lateral offset
+/// (positive left).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrenetPose {
+    /// Arc length along the path from its start.
+    pub s: Meters,
+    /// Signed lateral offset; positive to the left of travel.
+    pub d: Meters,
+}
+
+impl FrenetPose {
+    /// Creates a Frenet pose.
+    #[inline]
+    pub const fn new(s: Meters, d: Meters) -> Self {
+        Self { s, d }
+    }
+}
+
+/// A pose on a path: world position plus tangent heading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathPose {
+    /// World-frame position.
+    pub position: Vec2,
+    /// Tangent direction of the path at this point.
+    pub heading: Radians,
+}
+
+/// An arc-length-parameterized polyline used as a road centerline or a lane
+/// centerline.
+///
+/// Queries beyond either end extrapolate along the end tangents, so
+/// simulations that overrun the sampled geometry degrade gracefully instead
+/// of panicking.
+///
+/// ```
+/// use av_core::geometry::Vec2;
+/// use av_core::path::Path;
+/// use av_core::units::{Meters, Radians};
+///
+/// # fn main() -> Result<(), av_core::path::PathError> {
+/// let road = Path::straight(Vec2::ZERO, Radians(0.0), Meters(500.0));
+/// let f = road.project(Vec2::new(120.0, 1.85));
+/// assert!((f.s.value() - 120.0).abs() < 1e-9);
+/// assert!((f.d.value() - 1.85).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    points: Vec<Vec2>,
+    /// Cumulative arc length at each point; `cum_s[0] == 0`.
+    cum_s: Vec<f64>,
+}
+
+impl Path {
+    /// Builds a path from a polyline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::TooFewPoints`] for fewer than two points and
+    /// [`PathError::DegenerateSegment`] if consecutive points coincide.
+    pub fn from_points(points: Vec<Vec2>) -> Result<Self, PathError> {
+        if points.len() < 2 {
+            return Err(PathError::TooFewPoints);
+        }
+        let mut cum_s = Vec::with_capacity(points.len());
+        cum_s.push(0.0);
+        for i in 1..points.len() {
+            let seg = (points[i] - points[i - 1]).norm();
+            if seg < 1e-9 {
+                return Err(PathError::DegenerateSegment { index: i - 1 });
+            }
+            cum_s.push(cum_s[i - 1] + seg);
+        }
+        Ok(Self { points, cum_s })
+    }
+
+    /// A straight path starting at `origin` along `heading`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is not strictly positive and finite.
+    pub fn straight(origin: Vec2, heading: Radians, length: Meters) -> Self {
+        assert!(
+            length.value() > 0.0 && length.is_finite(),
+            "straight path length must be positive and finite, got {length}"
+        );
+        let end = origin + Vec2::from_heading(heading) * length.value();
+        Self::from_points(vec![origin, end]).expect("two distinct points")
+    }
+
+    /// A circular arc starting at `origin` with initial tangent `heading`.
+    ///
+    /// `radius` is signed: positive curves left, negative curves right.
+    /// The arc is sampled every `step` meters of arc length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is zero/non-finite, or `arc_length`/`step` are not
+    /// strictly positive and finite.
+    pub fn arc(
+        origin: Vec2,
+        heading: Radians,
+        radius: Meters,
+        arc_length: Meters,
+        step: Meters,
+    ) -> Self {
+        assert!(
+            radius.value() != 0.0 && radius.is_finite(),
+            "arc radius must be nonzero and finite, got {radius}"
+        );
+        assert!(
+            arc_length.value() > 0.0 && arc_length.is_finite(),
+            "arc length must be positive and finite, got {arc_length}"
+        );
+        assert!(
+            step.value() > 0.0 && step.is_finite(),
+            "arc sampling step must be positive and finite, got {step}"
+        );
+        let r = radius.value();
+        // Center is perpendicular-left of the tangent for r > 0.
+        let center = origin + Vec2::from_heading(heading).perp() * r;
+        let start_angle = (origin - center).heading();
+        let n = (arc_length.value() / step.value()).ceil().max(1.0) as usize;
+        let mut points = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            let s = arc_length.value() * (i as f64) / (n as f64);
+            let dtheta = s / r; // signed; negative r sweeps clockwise
+            let angle = Radians(start_angle.value() + dtheta);
+            points.push(center + Vec2::from_heading(angle) * r.abs());
+        }
+        Self::from_points(points).expect("arc samples are distinct")
+    }
+
+    /// Total arc length of the path.
+    #[inline]
+    pub fn length(&self) -> Meters {
+        Meters(*self.cum_s.last().expect("paths have at least two points"))
+    }
+
+    /// The polyline vertices.
+    #[inline]
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+
+    /// World pose at arc length `s`, extrapolating along the end tangents
+    /// outside `[0, length]`.
+    pub fn pose_at(&self, s: Meters) -> PathPose {
+        let s = s.value();
+        let n = self.points.len();
+        if s <= 0.0 {
+            let dir = self.points[1] - self.points[0];
+            let heading = dir.heading();
+            let unit = dir / dir.norm();
+            return PathPose {
+                position: self.points[0] + unit * s,
+                heading,
+            };
+        }
+        if s >= *self.cum_s.last().expect("nonempty") {
+            let dir = self.points[n - 1] - self.points[n - 2];
+            let heading = dir.heading();
+            let unit = dir / dir.norm();
+            let overshoot = s - self.cum_s[n - 1];
+            return PathPose {
+                position: self.points[n - 1] + unit * overshoot,
+                heading,
+            };
+        }
+        // Binary search for the containing segment.
+        let i = match self
+            .cum_s
+            .binary_search_by(|probe| probe.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i.min(n - 2),
+            Err(i) => i - 1,
+        };
+        let seg = self.points[i + 1] - self.points[i];
+        let seg_len = self.cum_s[i + 1] - self.cum_s[i];
+        let t = (s - self.cum_s[i]) / seg_len;
+        PathPose {
+            position: self.points[i].lerp(self.points[i + 1], t),
+            heading: seg.heading(),
+        }
+    }
+
+    /// Projects a world point onto the path, returning its Frenet pose.
+    ///
+    /// Points beyond the ends project onto the extrapolated end tangents
+    /// (yielding `s < 0` or `s > length`).
+    pub fn project(&self, point: Vec2) -> FrenetPose {
+        let mut best_d2 = f64::INFINITY;
+        let mut best = FrenetPose::default();
+        for i in 0..self.points.len() - 1 {
+            let a = self.points[i];
+            let b = self.points[i + 1];
+            let ab = b - a;
+            let seg_len = self.cum_s[i + 1] - self.cum_s[i];
+            let mut t = (point - a).dot(ab) / ab.norm_sq();
+            // Allow extrapolation only on the terminal segments.
+            let lo = if i == 0 { f64::NEG_INFINITY } else { 0.0 };
+            let hi = if i == self.points.len() - 2 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            t = t.clamp(lo, hi);
+            let proj = a + ab * t;
+            let offset = point - proj;
+            let d2 = offset.norm_sq();
+            if d2 < best_d2 {
+                best_d2 = d2;
+                let s = self.cum_s[i] + t * seg_len;
+                // Sign: positive left of travel direction.
+                let sign = if ab.cross(offset) >= 0.0 { 1.0 } else { -1.0 };
+                best = FrenetPose::new(Meters(s), Meters(sign * d2.sqrt()));
+            }
+        }
+        best
+    }
+
+    /// Converts a Frenet pose back into a world point.
+    pub fn frenet_to_world(&self, pose: FrenetPose) -> Vec2 {
+        let base = self.pose_at(pose.s);
+        let left = Vec2::from_heading(base.heading).perp();
+        base.position + left * pose.d.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn straight_path_round_trip() {
+        let p = Path::straight(Vec2::ZERO, Radians(0.0), Meters(100.0));
+        assert_eq!(p.length(), Meters(100.0));
+        let f = FrenetPose::new(Meters(40.0), Meters(-2.0));
+        let w = p.frenet_to_world(f);
+        assert!((w.x - 40.0).abs() < 1e-9 && (w.y + 2.0).abs() < 1e-9);
+        let back = p.project(w);
+        assert!((back.s.value() - 40.0).abs() < 1e-9);
+        assert!((back.d.value() + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotated_straight_path_projects_correctly() {
+        let p = Path::straight(Vec2::new(5.0, 5.0), Radians(FRAC_PI_2), Meters(50.0));
+        // 10m along +Y from origin, 1m to the left (-X side).
+        let f = p.project(Vec2::new(4.0, 15.0));
+        assert!((f.s.value() - 10.0).abs() < 1e-9);
+        assert!((f.d.value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolates_beyond_both_ends() {
+        let p = Path::straight(Vec2::ZERO, Radians(0.0), Meters(10.0));
+        let before = p.project(Vec2::new(-5.0, 1.0));
+        assert!((before.s.value() + 5.0).abs() < 1e-9);
+        assert!((before.d.value() - 1.0).abs() < 1e-9);
+        let after = p.pose_at(Meters(15.0));
+        assert!((after.position.x - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn left_arc_curves_left() {
+        // Quarter circle, radius 100, starting along +X: ends near (100, 100).
+        let p = Path::arc(
+            Vec2::ZERO,
+            Radians(0.0),
+            Meters(100.0),
+            Meters(100.0 * FRAC_PI_2),
+            Meters(1.0),
+        );
+        let end = p.pose_at(p.length()).position;
+        assert!((end.x - 100.0).abs() < 0.1, "end.x = {}", end.x);
+        assert!((end.y - 100.0).abs() < 0.1, "end.y = {}", end.y);
+        let end_heading = p.pose_at(p.length() - Meters(0.5)).heading;
+        assert!((end_heading.value() - FRAC_PI_2).abs() < 0.05);
+    }
+
+    #[test]
+    fn right_arc_curves_right() {
+        let p = Path::arc(
+            Vec2::ZERO,
+            Radians(0.0),
+            Meters(-100.0),
+            Meters(100.0 * FRAC_PI_2),
+            Meters(1.0),
+        );
+        let end = p.pose_at(p.length()).position;
+        assert!((end.x - 100.0).abs() < 0.1);
+        assert!((end.y + 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn arc_frenet_round_trip() {
+        let p = Path::arc(
+            Vec2::ZERO,
+            Radians(0.3),
+            Meters(200.0),
+            Meters(150.0),
+            Meters(0.5),
+        );
+        for &(s, d) in &[(10.0, 0.0), (75.0, 3.7), (140.0, -3.7)] {
+            let w = p.frenet_to_world(FrenetPose::new(Meters(s), Meters(d)));
+            let f = p.project(w);
+            assert!((f.s.value() - s).abs() < 0.05, "s: {} vs {s}", f.s);
+            assert!((f.d.value() - d).abs() < 0.05, "d: {} vs {d}", f.d);
+        }
+    }
+
+    #[test]
+    fn arc_length_is_accurate() {
+        let p = Path::arc(
+            Vec2::ZERO,
+            Radians(0.0),
+            Meters(100.0),
+            Meters(100.0 * PI),
+            Meters(0.5),
+        );
+        // Polyline slightly under-measures the true arc; within 0.1%.
+        let err = (p.length().value() - 100.0 * PI).abs() / (100.0 * PI);
+        assert!(err < 1e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(
+            Path::from_points(vec![Vec2::ZERO]),
+            Err(PathError::TooFewPoints)
+        );
+        assert_eq!(
+            Path::from_points(vec![Vec2::ZERO, Vec2::ZERO, Vec2::new(1.0, 0.0)]),
+            Err(PathError::DegenerateSegment { index: 0 })
+        );
+        let msg = PathError::DegenerateSegment { index: 3 }.to_string();
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn projection_picks_nearest_segment() {
+        // An L-shaped path; a point near the corner must pick the closer leg.
+        let p = Path::from_points(vec![
+            Vec2::ZERO,
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 10.0),
+        ])
+        .expect("valid polyline");
+        let f = p.project(Vec2::new(9.0, 5.0));
+        assert!((f.s.value() - 15.0).abs() < 1e-9);
+        assert!((f.d.value() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! World snapshots: the ego and all actors at one instant.
+//!
+//! A recorded scenario trace is a time-ordered sequence of [`Scene`]s; the
+//! Zhuyi pipeline walks that sequence, and the online system builds the same
+//! snapshot from the perceived world model.
+
+use crate::state::{ActorId, Agent};
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// The ego and every actor at one instant of scenario time.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_core::scene::Scene;
+///
+/// let ego = Agent::new(ActorId::EGO, ActorKind::Vehicle, Dimensions::CAR,
+///                      VehicleState::at_rest(Vec2::ZERO, Radians(0.0)));
+/// let scene = Scene::new(Seconds(0.0), ego, vec![]);
+/// assert!(scene.actor(ActorId(1)).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    /// Scenario time of this snapshot.
+    pub time: Seconds,
+    /// The ego vehicle.
+    pub ego: Agent,
+    /// All surrounding actors (excluding the ego).
+    pub actors: Vec<Agent>,
+}
+
+impl Scene {
+    /// Creates a snapshot.
+    pub fn new(time: Seconds, ego: Agent, actors: Vec<Agent>) -> Self {
+        Self { time, ego, actors }
+    }
+
+    /// Looks up an actor by id.
+    pub fn actor(&self, id: ActorId) -> Option<&Agent> {
+        self.actors.iter().find(|a| a.id == id)
+    }
+
+    /// Iterates over the ego followed by every actor.
+    pub fn agents(&self) -> impl Iterator<Item = &Agent> {
+        std::iter::once(&self.ego).chain(self.actors.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Vec2;
+    use crate::state::{ActorKind, Dimensions, VehicleState};
+    use crate::units::Radians;
+
+    fn agent(id: u32, x: f64) -> Agent {
+        Agent::new(
+            ActorId(id),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(x, 0.0), Radians(0.0)),
+        )
+    }
+
+    #[test]
+    fn actor_lookup() {
+        let scene = Scene::new(Seconds(1.0), agent(0, 0.0), vec![agent(1, 10.0), agent(2, 20.0)]);
+        assert_eq!(scene.actor(ActorId(2)).map(|a| a.state.position.x), Some(20.0));
+        assert!(scene.actor(ActorId(9)).is_none());
+    }
+
+    #[test]
+    fn agents_iterates_ego_first() {
+        let scene = Scene::new(Seconds(0.0), agent(0, 0.0), vec![agent(1, 10.0)]);
+        let ids: Vec<_> = scene.agents().map(|a| a.id).collect();
+        assert_eq!(ids, vec![ActorId::EGO, ActorId(1)]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Kinematic state of the ego and surrounding actors.
+//!
+//! The paper calls the AV the *ego* and dynamic objects *actors* (§1,
+//! footnote 1). Both are described by the same planar kinematic state:
+//! position, heading, longitudinal speed and longitudinal acceleration.
+
+use crate::geometry::{OrientedRect, Vec2};
+use crate::units::{Meters, MetersPerSecond, MetersPerSecondSquared, Radians, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an actor within a scenario.
+///
+/// The ego always has a dedicated id ([`ActorId::EGO`]); scripted actors are
+/// numbered from 1.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// The ego vehicle's reserved id.
+    pub const EGO: ActorId = ActorId(0);
+
+    /// `true` for the ego's id.
+    #[inline]
+    pub fn is_ego(self) -> bool {
+        self == Self::EGO
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ego() {
+            write!(f, "ego")
+        } else {
+            write!(f, "actor#{}", self.0)
+        }
+    }
+}
+
+/// What kind of object an actor is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActorKind {
+    /// A moving (or movable) vehicle.
+    Vehicle,
+    /// A static obstacle, e.g. the stopped object revealed in the Cut-out
+    /// scenario.
+    StaticObstacle,
+}
+
+impl fmt::Display for ActorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActorKind::Vehicle => write!(f, "vehicle"),
+            ActorKind::StaticObstacle => write!(f, "static obstacle"),
+        }
+    }
+}
+
+/// Physical footprint of a vehicle or obstacle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Dimensions {
+    /// Bumper-to-bumper length.
+    pub length: Meters,
+    /// Side-to-side width.
+    pub width: Meters,
+}
+
+impl Dimensions {
+    /// Typical passenger-car footprint (4.5 m x 1.8 m).
+    pub const CAR: Dimensions = Dimensions {
+        length: Meters(4.5),
+        width: Meters(1.8),
+    };
+
+    /// A compact static obstacle (2.0 m x 1.8 m), like the object revealed
+    /// in the Cut-out scenario.
+    pub const OBSTACLE: Dimensions = Dimensions {
+        length: Meters(2.0),
+        width: Meters(1.8),
+    };
+
+    /// Creates a footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is negative or non-finite.
+    pub fn new(length: Meters, width: Meters) -> Self {
+        assert!(
+            length.value() >= 0.0 && length.is_finite(),
+            "length must be finite and non-negative, got {length}"
+        );
+        assert!(
+            width.value() >= 0.0 && width.is_finite(),
+            "width must be finite and non-negative, got {width}"
+        );
+        Self { length, width }
+    }
+}
+
+impl Default for Dimensions {
+    fn default() -> Self {
+        Self::CAR
+    }
+}
+
+/// Planar kinematic state: pose plus longitudinal speed and acceleration.
+///
+/// ```
+/// use av_core::prelude::*;
+///
+/// let state = VehicleState::new(
+///     Vec2::new(0.0, 0.0),
+///     Radians(0.0),
+///     MetersPerSecond(20.0),
+///     MetersPerSecondSquared(0.0),
+/// );
+/// let later = state.predict_constant_accel(Seconds(2.0));
+/// assert!((later.position.x - 40.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// World-frame position of the vehicle center.
+    pub position: Vec2,
+    /// Direction of travel.
+    pub heading: Radians,
+    /// Longitudinal speed along `heading`; never negative in this model
+    /// (vehicles do not reverse in the studied scenarios).
+    pub speed: MetersPerSecond,
+    /// Longitudinal acceleration along `heading`; negative decelerates.
+    pub accel: MetersPerSecondSquared,
+}
+
+impl VehicleState {
+    /// Creates a state.
+    #[inline]
+    pub const fn new(
+        position: Vec2,
+        heading: Radians,
+        speed: MetersPerSecond,
+        accel: MetersPerSecondSquared,
+    ) -> Self {
+        Self {
+            position,
+            heading,
+            speed,
+            accel,
+        }
+    }
+
+    /// A stationary state at `position` facing `heading`.
+    #[inline]
+    pub fn at_rest(position: Vec2, heading: Radians) -> Self {
+        Self::new(
+            position,
+            heading,
+            MetersPerSecond::ZERO,
+            MetersPerSecondSquared::ZERO,
+        )
+    }
+
+    /// The velocity vector (speed along heading).
+    #[inline]
+    pub fn velocity(&self) -> Vec2 {
+        Vec2::from_heading(self.heading) * self.speed.value()
+    }
+
+    /// Forward-integrates the state for `dt` under constant acceleration
+    /// along the current heading, clamping speed at zero (no reversing).
+    ///
+    /// This is the paper's assumption for the ego during the reaction time
+    /// t_r: "we assume the ego's acceleration is unchanged" (§2.1).
+    pub fn predict_constant_accel(&self, dt: Seconds) -> Self {
+        let (d, v) = distance_speed_after(self.speed, self.accel, dt);
+        Self {
+            position: self.position + Vec2::from_heading(self.heading) * d.value(),
+            heading: self.heading,
+            speed: v,
+            accel: self.accel,
+        }
+    }
+
+    /// The oriented footprint rectangle of a vehicle with `dims` in this
+    /// state.
+    #[inline]
+    pub fn footprint(&self, dims: Dimensions) -> OrientedRect {
+        OrientedRect::new(self.position, self.heading, dims.length, dims.width)
+    }
+}
+
+/// Distance traveled and final speed after accelerating at `a` for `dt`,
+/// clamping speed at zero (a braking vehicle stays stopped; it does not
+/// reverse).
+///
+/// This closed form is the kinematic core shared by the Zhuyi estimator
+/// (d_e1, d_e2 in §2.1) and the simulator's vehicle integrator.
+///
+/// ```
+/// use av_core::state::distance_speed_after;
+/// use av_core::units::{MetersPerSecond, MetersPerSecondSquared, Seconds};
+///
+/// // 10 m/s braking at -5 m/s^2 stops after 2 s, having covered 10 m.
+/// let (d, v) = distance_speed_after(
+///     MetersPerSecond(10.0),
+///     MetersPerSecondSquared(-5.0),
+///     Seconds(3.0),
+/// );
+/// assert!((d.value() - 10.0).abs() < 1e-9);
+/// assert_eq!(v, MetersPerSecond(0.0));
+/// ```
+pub fn distance_speed_after(
+    v0: MetersPerSecond,
+    a: MetersPerSecondSquared,
+    dt: Seconds,
+) -> (Meters, MetersPerSecond) {
+    debug_assert!(dt.value() >= 0.0, "negative prediction horizon {dt}");
+    let v0f = v0.value().max(0.0);
+    let af = a.value();
+    let t = dt.value();
+    if af < 0.0 {
+        let t_stop = v0f / (-af);
+        if t <= t_stop {
+            (
+                Meters(v0f * t + 0.5 * af * t * t),
+                // max(0.0) also normalizes the -0.0 that floating-point
+                // cancellation produces exactly at the stopping time.
+                MetersPerSecond((v0f + af * t).max(0.0)),
+            )
+        } else {
+            // Stops and stays stopped.
+            (Meters(v0f * t_stop / 2.0), MetersPerSecond::ZERO)
+        }
+    } else {
+        (
+            Meters(v0f * t + 0.5 * af * t * t),
+            MetersPerSecond(v0f + af * t),
+        )
+    }
+}
+
+/// A labeled actor: identity, kind, footprint and kinematic state.
+///
+/// This is the unit the simulator traces and the Zhuyi model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Agent {
+    /// Stable identity within the scenario.
+    pub id: ActorId,
+    /// Vehicle or static obstacle.
+    pub kind: ActorKind,
+    /// Physical footprint.
+    pub dims: Dimensions,
+    /// Current kinematic state.
+    pub state: VehicleState,
+}
+
+impl Agent {
+    /// Creates an agent.
+    pub fn new(id: ActorId, kind: ActorKind, dims: Dimensions, state: VehicleState) -> Self {
+        Self {
+            id,
+            kind,
+            dims,
+            state,
+        }
+    }
+
+    /// The agent's current footprint rectangle.
+    #[inline]
+    pub fn footprint(&self) -> OrientedRect {
+        self.state.footprint(self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ego_id_is_reserved() {
+        assert!(ActorId::EGO.is_ego());
+        assert!(!ActorId(3).is_ego());
+        assert_eq!(ActorId::EGO.to_string(), "ego");
+        assert_eq!(ActorId(2).to_string(), "actor#2");
+    }
+
+    #[test]
+    fn constant_accel_prediction_cruise() {
+        let s = VehicleState::new(
+            Vec2::ZERO,
+            Radians(0.0),
+            MetersPerSecond(20.0),
+            MetersPerSecondSquared::ZERO,
+        );
+        let p = s.predict_constant_accel(Seconds(2.5));
+        assert!((p.position.x - 50.0).abs() < 1e-9);
+        assert_eq!(p.speed, MetersPerSecond(20.0));
+    }
+
+    #[test]
+    fn constant_accel_prediction_braking_clamps_at_zero() {
+        let s = VehicleState::new(
+            Vec2::ZERO,
+            Radians(0.0),
+            MetersPerSecond(10.0),
+            MetersPerSecondSquared(-5.0),
+        );
+        // Stops after 2 s (10 m); must not reverse afterwards.
+        let p = s.predict_constant_accel(Seconds(10.0));
+        assert!((p.position.x - 10.0).abs() < 1e-9);
+        assert_eq!(p.speed, MetersPerSecond::ZERO);
+    }
+
+    #[test]
+    fn accelerating_prediction() {
+        let (d, v) = distance_speed_after(
+            MetersPerSecond(10.0),
+            MetersPerSecondSquared(2.0),
+            Seconds(3.0),
+        );
+        assert!((d.value() - 39.0).abs() < 1e-9);
+        assert!((v.value() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heading_rotates_displacement() {
+        let s = VehicleState::new(
+            Vec2::ZERO,
+            Radians(std::f64::consts::FRAC_PI_2),
+            MetersPerSecond(10.0),
+            MetersPerSecondSquared::ZERO,
+        );
+        let p = s.predict_constant_accel(Seconds(1.0));
+        assert!(p.position.x.abs() < 1e-9);
+        assert!((p.position.y - 10.0).abs() < 1e-9);
+        assert!((s.velocity().y - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_tracks_pose() {
+        let agent = Agent::new(
+            ActorId(1),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(10.0, 3.7), Radians(0.0)),
+        );
+        let fp = agent.footprint();
+        assert!(fp.contains(Vec2::new(11.5, 3.7)));
+        assert!(!fp.contains(Vec2::new(13.0, 3.7)));
+    }
+
+    #[test]
+    fn zero_speed_negative_accel_stays_put() {
+        let (d, v) = distance_speed_after(
+            MetersPerSecond::ZERO,
+            MetersPerSecondSquared(-4.9),
+            Seconds(5.0),
+        );
+        assert_eq!(d, Meters::ZERO);
+        assert_eq!(v, MetersPerSecond::ZERO);
+    }
+}

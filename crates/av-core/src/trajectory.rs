@@ -1,0 +1,276 @@
+//! Time-stamped future trajectories of actors.
+//!
+//! Eq. 4 of the paper aggregates tolerable latencies over a set `T` of
+//! predicted trajectories per actor, each with an associated probability.
+//! Pre-deployment, `T` is a single ground-truth future taken from the
+//! scenario trace (§3.1); post-deployment it comes from a predictor.
+
+use crate::geometry::Vec2;
+use crate::units::{MetersPerSecond, MetersPerSecondSquared, Radians, Seconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One sample of an actor's (predicted or recorded) future motion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Time of this sample, relative to the same clock as the query (the
+    /// scenario clock for traces, "now" for predictions).
+    pub time: Seconds,
+    /// World-frame position.
+    pub position: Vec2,
+    /// Direction of travel.
+    pub heading: Radians,
+    /// Longitudinal speed.
+    pub speed: MetersPerSecond,
+    /// Longitudinal acceleration.
+    pub accel: MetersPerSecondSquared,
+}
+
+/// Error constructing a [`Trajectory`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajectoryError {
+    /// A trajectory needs at least one point.
+    Empty,
+    /// Sample times must be strictly increasing.
+    NonMonotonicTime {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// Probability must lie in `[0, 1]`.
+    InvalidProbability {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::Empty => write!(f, "trajectory has no points"),
+            TrajectoryError::NonMonotonicTime { index } => {
+                write!(f, "trajectory time not strictly increasing at sample {index}")
+            }
+            TrajectoryError::InvalidProbability { value } => {
+                write!(f, "trajectory probability {value} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+/// A predicted (or recorded) future trajectory with an associated
+/// probability.
+///
+/// Sample times are strictly increasing. Queries between samples linearly
+/// interpolate; queries past the last sample extrapolate at constant
+/// velocity, and queries before the first sample clamp to it.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_core::trajectory::{Trajectory, TrajectoryPoint};
+///
+/// # fn main() -> Result<(), av_core::trajectory::TrajectoryError> {
+/// let points = (0..=50)
+///     .map(|i| {
+///         let t = i as f64 * 0.1;
+///         TrajectoryPoint {
+///             time: Seconds(t),
+///             position: Vec2::new(15.0 * t, 0.0),
+///             heading: Radians(0.0),
+///             speed: MetersPerSecond(15.0),
+///             accel: MetersPerSecondSquared(0.0),
+///         }
+///     })
+///     .collect();
+/// let traj = Trajectory::new(points, 1.0)?;
+/// let s = traj.sample(Seconds(2.05));
+/// assert!((s.position.x - 30.75).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TrajectoryPoint>,
+    probability: f64,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from time-ordered samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `points` is empty, times are not strictly
+    /// increasing, or `probability` is outside `[0, 1]`.
+    pub fn new(points: Vec<TrajectoryPoint>, probability: f64) -> Result<Self, TrajectoryError> {
+        if points.is_empty() {
+            return Err(TrajectoryError::Empty);
+        }
+        if !(0.0..=1.0).contains(&probability) || !probability.is_finite() {
+            return Err(TrajectoryError::InvalidProbability { value: probability });
+        }
+        for i in 1..points.len() {
+            if points[i].time.value() <= points[i - 1].time.value() {
+                return Err(TrajectoryError::NonMonotonicTime { index: i });
+            }
+        }
+        Ok(Self {
+            points,
+            probability,
+        })
+    }
+
+    /// The probability mass assigned to this future.
+    #[inline]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// The underlying samples.
+    #[inline]
+    pub fn points(&self) -> &[TrajectoryPoint] {
+        &self.points
+    }
+
+    /// Time of the first sample.
+    #[inline]
+    pub fn start_time(&self) -> Seconds {
+        self.points[0].time
+    }
+
+    /// Time of the last sample.
+    #[inline]
+    pub fn end_time(&self) -> Seconds {
+        self.points[self.points.len() - 1].time
+    }
+
+    /// Interpolated state at `time`.
+    ///
+    /// Before the first sample the first sample is returned; past the last
+    /// sample the state is extrapolated at the final constant velocity.
+    pub fn sample(&self, time: Seconds) -> TrajectoryPoint {
+        let pts = &self.points;
+        let t = time.value();
+        if t <= pts[0].time.value() {
+            return pts[0];
+        }
+        let last = pts[pts.len() - 1];
+        if t >= last.time.value() {
+            let dt = t - last.time.value();
+            let dir = Vec2::from_heading(last.heading);
+            return TrajectoryPoint {
+                time,
+                position: last.position + dir * (last.speed.value() * dt),
+                ..last
+            };
+        }
+        let i = match pts.binary_search_by(|p| {
+            p.time
+                .value()
+                .partial_cmp(&t)
+                .expect("finite trajectory times")
+        }) {
+            Ok(i) => return pts[i],
+            Err(i) => i - 1,
+        };
+        let (a, b) = (pts[i], pts[i + 1]);
+        let span = b.time.value() - a.time.value();
+        let u = (t - a.time.value()) / span;
+        TrajectoryPoint {
+            time,
+            position: a.position.lerp(b.position, u),
+            heading: Radians(
+                a.heading.value() + (b.heading - a.heading).normalized().value() * u,
+            )
+            .normalized(),
+            speed: a.speed + (b.speed - a.speed) * u,
+            accel: a.accel + (b.accel - a.accel) * u,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(v: f64, n: usize, dt: f64) -> Trajectory {
+        let points = (0..n)
+            .map(|i| {
+                let t = i as f64 * dt;
+                TrajectoryPoint {
+                    time: Seconds(t),
+                    position: Vec2::new(v * t, 0.0),
+                    heading: Radians(0.0),
+                    speed: MetersPerSecond(v),
+                    accel: MetersPerSecondSquared::ZERO,
+                }
+            })
+            .collect();
+        Trajectory::new(points, 1.0).expect("valid trajectory")
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(Trajectory::new(vec![], 1.0), Err(TrajectoryError::Empty));
+        let p = TrajectoryPoint {
+            time: Seconds(0.0),
+            position: Vec2::ZERO,
+            heading: Radians(0.0),
+            speed: MetersPerSecond::ZERO,
+            accel: MetersPerSecondSquared::ZERO,
+        };
+        assert_eq!(
+            Trajectory::new(vec![p, p], 1.0),
+            Err(TrajectoryError::NonMonotonicTime { index: 1 })
+        );
+        assert_eq!(
+            Trajectory::new(vec![p], 1.5),
+            Err(TrajectoryError::InvalidProbability { value: 1.5 })
+        );
+        assert!(
+            Trajectory::new(vec![p], f64::NAN)
+                .expect_err("NaN probability must be rejected")
+                .to_string()
+                .contains("probability")
+        );
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let traj = line(10.0, 11, 0.1);
+        let s = traj.sample(Seconds(0.55));
+        assert!((s.position.x - 5.5).abs() < 1e-9);
+        assert_eq!(s.speed, MetersPerSecond(10.0));
+    }
+
+    #[test]
+    fn sample_at_exact_knot() {
+        let traj = line(10.0, 11, 0.1);
+        let s = traj.sample(Seconds(0.5));
+        assert!((s.position.x - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_clamps_before_start() {
+        let traj = line(10.0, 11, 0.1);
+        let s = traj.sample(Seconds(-1.0));
+        assert_eq!(s.position, Vec2::ZERO);
+    }
+
+    #[test]
+    fn sample_extrapolates_constant_velocity() {
+        let traj = line(10.0, 11, 0.1); // ends at t=1.0, x=10
+        let s = traj.sample(Seconds(2.0));
+        assert!((s.position.x - 20.0).abs() < 1e-9);
+        assert_eq!(s.speed, MetersPerSecond(10.0));
+    }
+
+    #[test]
+    fn times_exposed() {
+        let traj = line(5.0, 21, 0.05);
+        assert_eq!(traj.start_time(), Seconds(0.0));
+        assert!((traj.end_time().value() - 1.0).abs() < 1e-9);
+        assert_eq!(traj.points().len(), 21);
+        assert_eq!(traj.probability(), 1.0);
+    }
+}

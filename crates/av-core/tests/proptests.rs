@@ -1,0 +1,208 @@
+//! Property-based tests of the foundation types: units arithmetic,
+//! geometry, Frenet paths, trajectories and the kinematic integrator.
+
+use av_core::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- units ----------------
+
+    #[test]
+    fn mph_mps_round_trip(v in -200.0..200.0f64) {
+        let back = Mph::from(MetersPerSecond::from(Mph(v))).value();
+        prop_assert!((back - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fpr_latency_are_inverse(f in 0.1..1000.0f64) {
+        let latency = Fpr(f).latency();
+        let back = Fpr::from_latency(latency);
+        prop_assert!((back.value() - f).abs() / f < 1e-12);
+    }
+
+    #[test]
+    fn angle_normalization_is_idempotent_and_bounded(a in -50.0..50.0f64) {
+        let n = Radians(a).normalized();
+        prop_assert!(n.value() > -std::f64::consts::PI - 1e-12);
+        prop_assert!(n.value() <= std::f64::consts::PI + 1e-12);
+        let twice = n.normalized();
+        prop_assert!((twice.value() - n.value()).abs() < 1e-12);
+        // Same direction: sin/cos must match the original angle.
+        prop_assert!((n.sin() - a.sin()).abs() < 1e-9);
+        prop_assert!((n.cos() - a.cos()).abs() < 1e-9);
+    }
+
+    // ---------------- geometry ----------------
+
+    #[test]
+    fn rotation_preserves_norm(x in -100.0..100.0f64, y in -100.0..100.0f64, a in -7.0..7.0f64) {
+        let v = Vec2::new(x, y);
+        let r = v.rotated(Radians(a));
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_intersection_is_symmetric(
+        cx in -20.0..20.0f64, cy in -20.0..20.0f64,
+        h1 in -3.2..3.2f64, h2 in -3.2..3.2f64,
+    ) {
+        let a = OrientedRect::new(Vec2::ZERO, Radians(h1), Meters(4.5), Meters(1.8));
+        let b = OrientedRect::new(Vec2::new(cx, cy), Radians(h2), Meters(4.5), Meters(1.8));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn rect_contains_its_center_and_corners(
+        cx in -20.0..20.0f64, cy in -20.0..20.0f64, h in -3.2..3.2f64,
+    ) {
+        let r = OrientedRect::new(Vec2::new(cx, cy), Radians(h), Meters(4.5), Meters(1.8));
+        prop_assert!(r.contains(r.center()));
+        for corner in r.corners() {
+            // Corners are boundary points; nudge inward.
+            let inward = corner.lerp(r.center(), 1e-6);
+            prop_assert!(r.contains(inward));
+        }
+    }
+
+    #[test]
+    fn far_apart_rects_never_intersect(
+        d in 10.0..1000.0f64, angle in -3.2..3.2f64, h in -3.2..3.2f64,
+    ) {
+        // Centers separated by more than the diagonal sum cannot overlap.
+        let offset = Vec2::from_heading(Radians(angle)) * d;
+        let a = OrientedRect::new(Vec2::ZERO, Radians(h), Meters(4.5), Meters(1.8));
+        let b = OrientedRect::new(offset, Radians(-h), Meters(4.5), Meters(1.8));
+        if d > 4.85 {
+            // 4.85 = diagonal of a 4.5 x 1.8 rectangle.
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn segment_hit_implies_nearby(
+        sx in -50.0..50.0f64, sy in -50.0..50.0f64,
+        ex in -50.0..50.0f64, ey in -50.0..50.0f64,
+    ) {
+        let r = OrientedRect::new(Vec2::new(0.0, 0.0), Radians(0.4), Meters(4.5), Meters(1.8));
+        let a = Vec2::new(sx, sy);
+        let b = Vec2::new(ex, ey);
+        if r.intersects_segment(a, b) {
+            // Some point of the segment is within the rect's circumradius.
+            let mut close = false;
+            for i in 0..=100 {
+                let p = a.lerp(b, i as f64 / 100.0);
+                if p.norm() <= 2.5 {
+                    close = true;
+                    break;
+                }
+            }
+            prop_assert!(close, "segment claimed to hit but never近 the rect");
+        }
+    }
+
+    // ---------------- paths ----------------
+
+    #[test]
+    fn straight_path_frenet_round_trip(
+        s in 0.0..500.0f64, d in -10.0..10.0f64, heading in -3.0..3.0f64,
+    ) {
+        let path = Path::straight(Vec2::new(3.0, -7.0), Radians(heading), Meters(500.0));
+        let world = path.frenet_to_world(FrenetPose::new(Meters(s), Meters(d)));
+        let back = path.project(world);
+        prop_assert!((back.s.value() - s).abs() < 1e-6);
+        prop_assert!((back.d.value() - d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn arc_path_frenet_round_trip(
+        s in 5.0..295.0f64, d in -7.4..7.4f64, radius in 150.0..800.0f64,
+    ) {
+        let path = Path::arc(Vec2::ZERO, Radians(0.0), Meters(radius), Meters(300.0), Meters(1.0));
+        let world = path.frenet_to_world(FrenetPose::new(Meters(s), Meters(d)));
+        let back = path.project(world);
+        prop_assert!((back.s.value() - s).abs() < 0.05, "s {} vs {}", back.s, s);
+        prop_assert!((back.d.value() - d).abs() < 0.02, "d {} vs {}", back.d, d);
+    }
+
+    #[test]
+    fn path_pose_heading_is_tangent(s in 0.0..290.0f64, radius in 100.0..500.0f64) {
+        let path = Path::arc(Vec2::ZERO, Radians(0.0), Meters(radius), Meters(300.0), Meters(0.5));
+        let pose = path.pose_at(Meters(s));
+        let ahead = path.pose_at(Meters(s + 0.5));
+        let chord = (ahead.position - pose.position).heading();
+        let diff = (chord - pose.heading).normalized().value().abs();
+        prop_assert!(diff < 0.02, "heading off tangent by {diff}");
+    }
+
+    // ---------------- kinematics ----------------
+
+    #[test]
+    fn integrator_never_reverses(
+        v0 in 0.0..50.0f64, a in -10.0..5.0f64, t in 0.0..30.0f64,
+    ) {
+        let (d, v) = distance_speed_after(
+            MetersPerSecond(v0),
+            MetersPerSecondSquared(a),
+            Seconds(t),
+        );
+        prop_assert!(d.value() >= -1e-12);
+        prop_assert!(v.value() >= 0.0);
+    }
+
+    #[test]
+    fn integrator_distance_is_monotone_in_time(
+        v0 in 0.0..50.0f64, a in -10.0..5.0f64, t in 0.0..20.0f64, dt in 0.0..5.0f64,
+    ) {
+        let (d1, _) = distance_speed_after(MetersPerSecond(v0), MetersPerSecondSquared(a), Seconds(t));
+        let (d2, _) = distance_speed_after(MetersPerSecond(v0), MetersPerSecondSquared(a), Seconds(t + dt));
+        prop_assert!(d2.value() + 1e-9 >= d1.value());
+    }
+
+    #[test]
+    fn integrator_matches_two_phase_composition(
+        v0 in 0.0..50.0f64, a in -8.0..4.0f64, t1 in 0.0..10.0f64, t2 in 0.0..10.0f64,
+    ) {
+        // Integrating t1+t2 at once equals integrating t1 then t2 — but
+        // only while the vehicle has not stopped (after a stop the
+        // acceleration no longer applies in the composed variant).
+        let (d_whole, v_whole) =
+            distance_speed_after(MetersPerSecond(v0), MetersPerSecondSquared(a), Seconds(t1 + t2));
+        let (d1, v_mid) =
+            distance_speed_after(MetersPerSecond(v0), MetersPerSecondSquared(a), Seconds(t1));
+        if v_mid.value() > 0.0 {
+            let (d2, v2) =
+                distance_speed_after(v_mid, MetersPerSecondSquared(a), Seconds(t2));
+            prop_assert!((d_whole.value() - (d1 + d2).value()).abs() < 1e-6);
+            prop_assert!((v_whole.value() - v2.value()).abs() < 1e-9);
+        }
+    }
+
+    // ---------------- trajectories ----------------
+
+    #[test]
+    fn trajectory_sampling_stays_within_hull(
+        v in 0.0..40.0f64, n in 2..50usize, query in 0.0..10.0f64,
+    ) {
+        use av_core::trajectory::{Trajectory, TrajectoryPoint};
+        let points: Vec<TrajectoryPoint> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.2;
+                TrajectoryPoint {
+                    time: Seconds(t),
+                    position: Vec2::new(v * t, 0.0),
+                    heading: Radians(0.0),
+                    speed: MetersPerSecond(v),
+                    accel: MetersPerSecondSquared::ZERO,
+                }
+            })
+            .collect();
+        let end = points.last().expect("nonempty").time;
+        let traj = Trajectory::new(points, 1.0).expect("valid");
+        let s = traj.sample(Seconds(query));
+        // Constant-velocity input: the sample must lie exactly on the line
+        // (interpolation inside, extrapolation outside).
+        let expected = v * query.clamp(0.0, f64::INFINITY).min(end.value())
+            + v * (query - end.value()).max(0.0);
+        prop_assert!((s.position.x - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,240 @@
+//! Camera geometry: mount direction, field of view, range, and visibility.
+//!
+//! The paper's AV carries five cameras: two front (60° and 120° FOV), two
+//! side, and one rear (§4.1); the evaluation analyzes the 120° front camera
+//! and the two side cameras. An actor is in a camera's FOV when its bearing
+//! relative to the camera's mount direction lies within half the FOV and it
+//! is within sensing range.
+
+use av_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five camera positions of the paper's vehicle (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CameraKind {
+    /// Forward-facing, 60° FOV (long range).
+    FrontNarrow,
+    /// Forward-facing, 120° FOV — the front camera analyzed in the paper.
+    FrontWide,
+    /// Left-facing side camera.
+    Left,
+    /// Right-facing side camera.
+    Right,
+    /// Rear-facing camera.
+    Rear,
+}
+
+impl CameraKind {
+    /// All five kinds in rig order.
+    pub const ALL: [CameraKind; 5] = [
+        CameraKind::FrontNarrow,
+        CameraKind::FrontWide,
+        CameraKind::Left,
+        CameraKind::Right,
+        CameraKind::Rear,
+    ];
+}
+
+impl fmt::Display for CameraKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CameraKind::FrontNarrow => "front-60",
+            CameraKind::FrontWide => "front-120",
+            CameraKind::Left => "left",
+            CameraKind::Right => "right",
+            CameraKind::Rear => "rear",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A single camera: mount direction (relative to the ego's heading), full
+/// field-of-view angle, and sensing range.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_perception::camera::{Camera, CameraKind};
+///
+/// let front = Camera::new(CameraKind::FrontWide, Radians(0.0),
+///                         Radians::from_degrees(120.0), Meters(150.0));
+/// let ego = VehicleState::at_rest(Vec2::ZERO, Radians(0.0));
+/// assert!(front.sees(&ego, Vec2::new(50.0, 5.0)));
+/// assert!(!front.sees(&ego, Vec2::new(-50.0, 0.0))); // behind
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    kind: CameraKind,
+    mount: Radians,
+    fov: Radians,
+    range: Meters,
+}
+
+impl Camera {
+    /// Creates a camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fov` is not in `(0, 2π]` or `range` is not positive and
+    /// finite.
+    pub fn new(kind: CameraKind, mount: Radians, fov: Radians, range: Meters) -> Self {
+        assert!(
+            fov.value() > 0.0 && fov.value() <= std::f64::consts::TAU,
+            "camera FOV must be in (0, 2pi], got {fov}"
+        );
+        assert!(
+            range.value() > 0.0 && range.is_finite(),
+            "camera range must be positive and finite, got {range}"
+        );
+        Self {
+            kind,
+            mount,
+            fov,
+            range,
+        }
+    }
+
+    /// Which of the five positions this camera occupies.
+    #[inline]
+    pub fn kind(&self) -> CameraKind {
+        self.kind
+    }
+
+    /// Mount direction relative to the ego's heading.
+    #[inline]
+    pub fn mount(&self) -> Radians {
+        self.mount
+    }
+
+    /// Full field-of-view angle.
+    #[inline]
+    pub fn fov(&self) -> Radians {
+        self.fov
+    }
+
+    /// Sensing range.
+    #[inline]
+    pub fn range(&self) -> Meters {
+        self.range
+    }
+
+    /// `true` when `target` (a world-frame point) is inside this camera's
+    /// field of view given the ego's pose.
+    pub fn sees(&self, ego: &VehicleState, target: Vec2) -> bool {
+        let rel = target - ego.position;
+        let dist = rel.norm();
+        if dist > self.range.value() {
+            return false;
+        }
+        if dist < 1e-9 {
+            return true;
+        }
+        let bearing = (rel.heading() - ego.heading - self.mount).normalized();
+        bearing.value().abs() <= self.fov.value() / 2.0 + 1e-12
+    }
+
+    /// `true` when any reference point of `agent` (center or footprint
+    /// corners) is visible, which approximates seeing any part of the body.
+    pub fn sees_agent(&self, ego: &VehicleState, agent: &Agent) -> bool {
+        if self.sees(ego, agent.state.position) {
+            return true;
+        }
+        agent
+            .footprint()
+            .corners()
+            .into_iter()
+            .any(|c| self.sees(ego, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn ego_at_origin() -> VehicleState {
+        VehicleState::at_rest(Vec2::ZERO, Radians(0.0))
+    }
+
+    fn front120() -> Camera {
+        Camera::new(
+            CameraKind::FrontWide,
+            Radians(0.0),
+            Radians::from_degrees(120.0),
+            Meters(150.0),
+        )
+    }
+
+    #[test]
+    fn fov_boundary_inclusive() {
+        let cam = front120();
+        let ego = ego_at_origin();
+        // Exactly 60 degrees off-axis: on the FOV edge.
+        let target = Vec2::from_heading(Radians::from_degrees(60.0)) * 50.0;
+        assert!(cam.sees(&ego, target));
+        let outside = Vec2::from_heading(Radians::from_degrees(61.0)) * 50.0;
+        assert!(!cam.sees(&ego, outside));
+    }
+
+    #[test]
+    fn range_limits_visibility() {
+        let cam = front120();
+        let ego = ego_at_origin();
+        assert!(cam.sees(&ego, Vec2::new(149.0, 0.0)));
+        assert!(!cam.sees(&ego, Vec2::new(151.0, 0.0)));
+    }
+
+    #[test]
+    fn mount_rotates_with_ego_heading() {
+        let left = Camera::new(
+            CameraKind::Left,
+            Radians(FRAC_PI_2),
+            Radians::from_degrees(120.0),
+            Meters(80.0),
+        );
+        // Ego heading +Y; left camera then faces -X.
+        let ego = VehicleState::at_rest(Vec2::ZERO, Radians(FRAC_PI_2));
+        assert!(left.sees(&ego, Vec2::new(-20.0, 0.0)));
+        assert!(!left.sees(&ego, Vec2::new(20.0, 0.0)));
+    }
+
+    #[test]
+    fn sees_agent_catches_partial_overlap() {
+        let cam = Camera::new(
+            CameraKind::FrontWide,
+            Radians(0.0),
+            Radians::from_degrees(120.0),
+            Meters(30.0),
+        );
+        let ego = ego_at_origin();
+        // Center slightly out of range but the near bumper is inside.
+        let agent = Agent::new(
+            ActorId(1),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(31.0, 0.0), Radians(0.0)),
+        );
+        assert!(!cam.sees(&ego, agent.state.position));
+        assert!(cam.sees_agent(&ego, &agent));
+    }
+
+    #[test]
+    fn coincident_point_is_seen() {
+        let cam = front120();
+        let ego = ego_at_origin();
+        assert!(cam.sees(&ego, Vec2::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "FOV")]
+    fn zero_fov_rejected() {
+        let _ = Camera::new(CameraKind::Rear, Radians(0.0), Radians(0.0), Meters(10.0));
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(CameraKind::FrontWide.to_string(), "front-120");
+        assert_eq!(CameraKind::Left.to_string(), "left");
+        assert_eq!(CameraKind::ALL.len(), 5);
+    }
+}

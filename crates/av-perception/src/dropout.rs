@@ -1,0 +1,130 @@
+//! Frame-loss injection.
+//!
+//! Real perception pipelines lose frames: transient compute overload,
+//! transfer faults, scheduler preemption. The paper's motivation — "the
+//! dynamic FPR adjustment is especially critical when the hardware system
+//! is constrained due to operating conditions or increased delays for
+//! some tasks" (§1) — is exactly a frame-loss story. This module injects
+//! deterministic loss patterns so experiments can measure how much margin
+//! a rate setting has, and tests can verify the Zhuyi safety check reacts.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic frame-loss pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DropPolicy {
+    /// No loss.
+    #[default]
+    None,
+    /// Every `n`-th frame is lost (n = 2 halves the effective rate).
+    EveryNth(u32),
+    /// Out of every `period` frames, the first `length` are lost — a
+    /// periodic burst (e.g. a recurring compute stall).
+    Burst {
+        /// Cycle length in frames.
+        period: u32,
+        /// Lost frames at the start of each cycle.
+        length: u32,
+    },
+}
+
+impl DropPolicy {
+    /// The long-run fraction of frames that survive this policy.
+    pub fn survival_rate(self) -> f64 {
+        match self {
+            DropPolicy::None => 1.0,
+            DropPolicy::EveryNth(n) if n > 0 => 1.0 - 1.0 / n as f64,
+            DropPolicy::EveryNth(_) => 1.0,
+            DropPolicy::Burst { period, length } if period > 0 => {
+                1.0 - (length.min(period) as f64 / period as f64)
+            }
+            DropPolicy::Burst { .. } => 1.0,
+        }
+    }
+}
+
+/// Stateful applicator of a [`DropPolicy`] for one camera.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FrameDropper {
+    policy: DropPolicy,
+    counter: u64,
+}
+
+impl FrameDropper {
+    /// Creates a dropper.
+    pub fn new(policy: DropPolicy) -> Self {
+        Self { policy, counter: 0 }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> DropPolicy {
+        self.policy
+    }
+
+    /// Advances one frame; returns `true` when the frame survives.
+    pub fn survives(&mut self) -> bool {
+        let i = self.counter;
+        self.counter += 1;
+        match self.policy {
+            DropPolicy::None => true,
+            DropPolicy::EveryNth(n) if n > 0 => !(i + 1).is_multiple_of(u64::from(n)),
+            DropPolicy::EveryNth(_) => true,
+            DropPolicy::Burst { period, length } if period > 0 => {
+                (i % u64::from(period)) >= u64::from(length.min(period))
+            }
+            DropPolicy::Burst { .. } => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn survivors(policy: DropPolicy, n: usize) -> Vec<bool> {
+        let mut d = FrameDropper::new(policy);
+        (0..n).map(|_| d.survives()).collect()
+    }
+
+    #[test]
+    fn none_passes_everything() {
+        assert!(survivors(DropPolicy::None, 10).iter().all(|&s| s));
+        assert_eq!(DropPolicy::None.survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn every_nth_drops_one_in_n() {
+        let s = survivors(DropPolicy::EveryNth(3), 9);
+        assert_eq!(s, vec![true, true, false, true, true, false, true, true, false]);
+        assert!((DropPolicy::EveryNth(3).survival_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // n = 2 halves the rate.
+        let s2 = survivors(DropPolicy::EveryNth(2), 4);
+        assert_eq!(s2, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn burst_drops_prefix_of_each_cycle() {
+        let s = survivors(DropPolicy::Burst { period: 5, length: 2 }, 10);
+        assert_eq!(
+            s,
+            vec![false, false, true, true, true, false, false, true, true, true]
+        );
+        assert!((DropPolicy::Burst { period: 5, length: 2 }.survival_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_policies_pass() {
+        assert!(survivors(DropPolicy::EveryNth(0), 5).iter().all(|&s| s));
+        assert!(survivors(DropPolicy::Burst { period: 0, length: 3 }, 5)
+            .iter()
+            .all(|&s| s));
+        assert_eq!(DropPolicy::EveryNth(0).survival_rate(), 1.0);
+    }
+
+    #[test]
+    fn full_burst_drops_everything() {
+        let policy = DropPolicy::Burst { period: 4, length: 4 };
+        assert!(survivors(policy, 8).iter().all(|&s| !s));
+        assert_eq!(policy.survival_rate(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Perception pipeline model for the Zhuyi (DAC 2022) reproduction.
+//!
+//! This crate is the workspace's substitute for the paper's DNN perception
+//! stack. It models exactly the properties the paper's experiments exercise:
+//!
+//! - a **camera rig** ([`rig::CameraRig`]) with per-camera field of view and
+//!   range (§4.1's five-camera vehicle),
+//! - **frame sampling** at a configurable per-camera FPR
+//!   ([`sampler::FrameSampler`]) — the experiments' independent variable,
+//! - **K-frame confirmation** and **stale tracks**
+//!   ([`world_model::WorldModel`]) — the mechanism behind the paper's
+//!   reaction-time term t_r = l + α with α = K·(l − l₀),
+//! - the fused [`system::PerceptionSystem`] that the simulator's ego policy
+//!   consumes.
+//!
+//! Object classification accuracy, occlusion and sensor noise are out of
+//! scope, as they are in the paper's model (listed there as future work).
+//!
+//! # Example
+//!
+//! ```
+//! use av_core::prelude::*;
+//! use av_core::scene::Scene;
+//! use av_perception::prelude::*;
+//!
+//! # fn main() -> Result<(), av_perception::system::PerceptionError> {
+//! let mut perception = PerceptionSystem::new(
+//!     CameraRig::drive_av(),
+//!     RatePlan::Uniform(Fpr(30.0)),
+//!     TrackerConfig::default(),
+//! )?;
+//! let ego = Agent::new(ActorId::EGO, ActorKind::Vehicle, Dimensions::CAR,
+//!                      VehicleState::at_rest(Vec2::ZERO, Radians(0.0)));
+//! let actor = Agent::new(ActorId(1), ActorKind::Vehicle, Dimensions::CAR,
+//!                        VehicleState::at_rest(Vec2::new(40.0, 0.0), Radians(0.0)));
+//! for i in 0..30 {
+//!     let t = Seconds(i as f64 * 0.01);
+//!     perception.tick(&Scene::new(t, ego, vec![actor]));
+//! }
+//! assert_eq!(perception.world().confirmed_agents(Seconds(0.3)).len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod camera;
+pub mod dropout;
+pub mod occlusion;
+pub mod rig;
+pub mod sampler;
+pub mod system;
+pub mod world_model;
+
+/// Glob import of the crate's main types.
+pub mod prelude {
+    pub use crate::camera::{Camera, CameraKind};
+    pub use crate::dropout::{DropPolicy, FrameDropper};
+    pub use crate::rig::{CameraId, CameraRig};
+    pub use crate::sampler::FrameSampler;
+    pub use crate::system::{PerceptionError, PerceptionSystem, RatePlan, TickReport};
+    pub use crate::world_model::{Track, TrackerConfig, WorldModel};
+}

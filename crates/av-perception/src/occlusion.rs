@@ -1,0 +1,104 @@
+//! Line-of-sight occlusion between actors.
+//!
+//! A camera cannot see an actor hidden behind another vehicle. This is the
+//! mechanism that makes the paper's Cut-out scenarios dangerous: the static
+//! obstacle only becomes visible once the lead actor leaves the ego's lane.
+//! (Note: the *Zhuyi model* itself does not reason about occlusion — the
+//! paper lists that as future work — but the perception substrate must
+//! model it for scenario realism.)
+
+use av_core::prelude::*;
+
+/// `true` when the line of sight from `viewpoint` to `target`'s center is
+/// blocked by any of `others` (the target itself and the ego are skipped by
+/// id).
+///
+/// The test is deliberately simple — center-to-center ray against slightly
+/// shrunken footprints — erring toward visibility: partial occlusion does
+/// not hide an actor, mirroring a perception stack that detects partially
+/// visible vehicles.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_perception::occlusion::occluded;
+///
+/// let viewpoint = Vec2::ZERO;
+/// let hidden = Agent::new(ActorId(2), ActorKind::StaticObstacle, Dimensions::OBSTACLE,
+///                         VehicleState::at_rest(Vec2::new(60.0, 0.0), Radians(0.0)));
+/// let blocker = Agent::new(ActorId(1), ActorKind::Vehicle, Dimensions::CAR,
+///                          VehicleState::at_rest(Vec2::new(30.0, 0.0), Radians(0.0)));
+/// assert!(occluded(viewpoint, &hidden, &[blocker]));
+/// ```
+pub fn occluded(viewpoint: Vec2, target: &Agent, others: &[Agent]) -> bool {
+    let end = target.state.position;
+    others.iter().any(|other| {
+        other.id != target.id
+            && !other.id.is_ego()
+            && shrunken_footprint(other).intersects_segment(viewpoint, end)
+    })
+}
+
+/// The blocker footprint, shrunk 20% so grazing sight lines count as
+/// visible.
+fn shrunken_footprint(agent: &Agent) -> OrientedRect {
+    OrientedRect::new(
+        agent.state.position,
+        agent.state.heading,
+        agent.dims.length * 0.8,
+        agent.dims.width * 0.8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent(id: u32, x: f64, y: f64) -> Agent {
+        Agent::new(
+            ActorId(id),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(x, y), Radians(0.0)),
+        )
+    }
+
+    #[test]
+    fn blocker_directly_in_line_occludes() {
+        let target = agent(2, 60.0, 0.0);
+        let blocker = agent(1, 30.0, 0.0);
+        assert!(occluded(Vec2::ZERO, &target, &[blocker, target]));
+    }
+
+    #[test]
+    fn offset_blocker_does_not_occlude() {
+        let target = agent(2, 60.0, 0.0);
+        let blocker = agent(1, 30.0, 3.7); // adjacent lane
+        assert!(!occluded(Vec2::ZERO, &target, &[blocker, target]));
+    }
+
+    #[test]
+    fn target_never_occludes_itself() {
+        let target = agent(2, 60.0, 0.0);
+        assert!(!occluded(Vec2::ZERO, &target, &[target]));
+    }
+
+    #[test]
+    fn reveal_when_blocker_moves_aside() {
+        let target = agent(2, 60.0, 0.0);
+        // Cut-out in progress: the lead is halfway into the next lane; its
+        // shrunken footprint spans y in [-0.72, 0.72] around y=1.9 ->
+        // [1.18, 2.62], clearing the y=0 sight line.
+        let blocker = agent(1, 30.0, 1.9);
+        assert!(!occluded(Vec2::ZERO, &target, &[blocker]));
+        // Only slightly shifted: still blocking.
+        let blocker_close = agent(1, 30.0, 0.5);
+        assert!(occluded(Vec2::ZERO, &target, &[blocker_close]));
+    }
+
+    #[test]
+    fn behind_viewpoint_blocker_is_irrelevant() {
+        let target = agent(2, 60.0, 0.0);
+        let behind = agent(1, -20.0, 0.0);
+        assert!(!occluded(Vec2::ZERO, &target, &[behind]));
+    }
+}

@@ -1,0 +1,290 @@
+//! The multi-camera rig mounted on the ego.
+
+use crate::camera::{Camera, CameraKind};
+use av_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{FRAC_PI_2, PI};
+
+/// Index of a camera within a [`CameraRig`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct CameraId(pub usize);
+
+impl std::fmt::Display for CameraId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cam{}", self.0)
+    }
+}
+
+/// The set of cameras mounted on the ego vehicle.
+///
+/// ```
+/// use av_perception::rig::CameraRig;
+/// use av_perception::camera::CameraKind;
+///
+/// let rig = CameraRig::drive_av();
+/// assert_eq!(rig.len(), 5);
+/// assert!(rig.find(CameraKind::FrontWide).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraRig {
+    cameras: Vec<Camera>,
+}
+
+impl CameraRig {
+    /// Builds a rig from an explicit camera list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cameras` is empty.
+    pub fn new(cameras: Vec<Camera>) -> Self {
+        assert!(!cameras.is_empty(), "a camera rig needs at least one camera");
+        Self { cameras }
+    }
+
+    /// The paper's five-camera configuration (§4.1): front 60°, front 120°,
+    /// left, right, and rear.
+    pub fn drive_av() -> Self {
+        Self::new(vec![
+            Camera::new(
+                CameraKind::FrontNarrow,
+                Radians(0.0),
+                Radians::from_degrees(60.0),
+                Meters(250.0),
+            ),
+            Camera::new(
+                CameraKind::FrontWide,
+                Radians(0.0),
+                Radians::from_degrees(120.0),
+                Meters(150.0),
+            ),
+            Camera::new(
+                CameraKind::Left,
+                Radians(FRAC_PI_2),
+                Radians::from_degrees(120.0),
+                Meters(80.0),
+            ),
+            Camera::new(
+                CameraKind::Right,
+                Radians(-FRAC_PI_2),
+                Radians::from_degrees(120.0),
+                Meters(80.0),
+            ),
+            Camera::new(
+                CameraKind::Rear,
+                Radians(PI),
+                Radians::from_degrees(120.0),
+                Meters(100.0),
+            ),
+        ])
+    }
+
+    /// A Hyperion-8-class 12-camera rig (the paper's §1 motivation speaks
+    /// of "about a dozen high-resolution cameras"): the five-camera core
+    /// plus near-field fisheyes on all four sides, two rear-quarter
+    /// cameras and a long-range narrow front.
+    ///
+    /// Kinds repeat (e.g. several [`CameraKind::Left`]-mounted units);
+    /// use indices ([`CameraId`]) to address specific cameras on this rig.
+    pub fn hyperion_12() -> Self {
+        let mut cameras = Self::drive_av().cameras.clone();
+        let fisheye = Radians::from_degrees(190.0);
+        cameras.extend([
+            // Near-field fisheyes (parking / close-cut-in coverage).
+            Camera::new(CameraKind::FrontWide, Radians(0.0), fisheye, Meters(25.0)),
+            Camera::new(CameraKind::Left, Radians(FRAC_PI_2), fisheye, Meters(25.0)),
+            Camera::new(CameraKind::Right, Radians(-FRAC_PI_2), fisheye, Meters(25.0)),
+            Camera::new(CameraKind::Rear, Radians(PI), fisheye, Meters(25.0)),
+            // Rear-quarter cameras (overtaking traffic).
+            Camera::new(
+                CameraKind::Left,
+                Radians(3.0 * FRAC_PI_2 / 2.0),
+                Radians::from_degrees(100.0),
+                Meters(100.0),
+            ),
+            Camera::new(
+                CameraKind::Right,
+                Radians(-3.0 * FRAC_PI_2 / 2.0),
+                Radians::from_degrees(100.0),
+                Meters(100.0),
+            ),
+            // Long-range narrow front (highway).
+            Camera::new(
+                CameraKind::FrontNarrow,
+                Radians(0.0),
+                Radians::from_degrees(30.0),
+                Meters(400.0),
+            ),
+        ]);
+        Self::new(cameras)
+    }
+
+    /// The three cameras the paper's Table 1 aggregates (front-120, left,
+    /// right), in that order.
+    pub fn table1_cameras(&self) -> Vec<CameraId> {
+        [CameraKind::FrontWide, CameraKind::Left, CameraKind::Right]
+            .into_iter()
+            .filter_map(|k| self.find(k))
+            .collect()
+    }
+
+    /// Number of cameras in the rig.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// `false`: rigs are never empty (enforced at construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cameras.is_empty()
+    }
+
+    /// The cameras in rig order.
+    #[inline]
+    pub fn cameras(&self) -> &[Camera] {
+        &self.cameras
+    }
+
+    /// The camera with index `id`, or `None` if out of range.
+    #[inline]
+    pub fn camera(&self, id: CameraId) -> Option<&Camera> {
+        self.cameras.get(id.0)
+    }
+
+    /// Finds the first camera of a given kind.
+    pub fn find(&self, kind: CameraKind) -> Option<CameraId> {
+        self.cameras
+            .iter()
+            .position(|c| c.kind() == kind)
+            .map(CameraId)
+    }
+
+    /// Iterates `(id, camera)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CameraId, &Camera)> {
+        self.cameras
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CameraId(i), c))
+    }
+
+    /// For each camera, the ids of `actors` it currently sees given the
+    /// ego's pose. The outer vector is indexed by [`CameraId`].
+    pub fn visible_actors(&self, ego: &VehicleState, actors: &[Agent]) -> Vec<Vec<ActorId>> {
+        self.cameras
+            .iter()
+            .map(|cam| {
+                actors
+                    .iter()
+                    .filter(|a| cam.sees_agent(ego, a))
+                    .map(|a| a.id)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Ids of actors visible to *any* camera.
+    pub fn any_visible(&self, ego: &VehicleState, actors: &[Agent]) -> Vec<ActorId> {
+        let mut seen: Vec<ActorId> = actors
+            .iter()
+            .filter(|a| self.cameras.iter().any(|c| c.sees_agent(ego, a)))
+            .map(|a| a.id)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    }
+}
+
+impl Default for CameraRig {
+    /// The paper's five-camera rig.
+    fn default() -> Self {
+        Self::drive_av()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent(id: u32, x: f64, y: f64) -> Agent {
+        Agent::new(
+            ActorId(id),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(x, y), Radians(0.0)),
+        )
+    }
+
+    #[test]
+    fn five_camera_preset() {
+        let rig = CameraRig::drive_av();
+        assert_eq!(rig.len(), 5);
+        assert!(!rig.is_empty());
+        for kind in CameraKind::ALL {
+            assert!(rig.find(kind).is_some(), "missing {kind}");
+        }
+        assert_eq!(rig.table1_cameras().len(), 3);
+    }
+
+    #[test]
+    fn front_actor_seen_by_front_cameras_only() {
+        let rig = CameraRig::drive_av();
+        let ego = VehicleState::at_rest(Vec2::ZERO, Radians(0.0));
+        let actors = [agent(1, 60.0, 0.0)];
+        let vis = rig.visible_actors(&ego, &actors);
+        let front_narrow = rig.find(CameraKind::FrontNarrow).expect("present");
+        let front_wide = rig.find(CameraKind::FrontWide).expect("present");
+        let rear = rig.find(CameraKind::Rear).expect("present");
+        assert!(vis[front_narrow.0].contains(&ActorId(1)));
+        assert!(vis[front_wide.0].contains(&ActorId(1)));
+        assert!(vis[rear.0].is_empty());
+    }
+
+    #[test]
+    fn side_actor_seen_by_side_camera() {
+        let rig = CameraRig::drive_av();
+        let ego = VehicleState::at_rest(Vec2::ZERO, Radians(0.0));
+        // Directly to the left, slightly ahead.
+        let actors = [agent(1, 2.0, 15.0)];
+        let vis = rig.visible_actors(&ego, &actors);
+        let left = rig.find(CameraKind::Left).expect("present");
+        let right = rig.find(CameraKind::Right).expect("present");
+        assert!(vis[left.0].contains(&ActorId(1)));
+        assert!(vis[right.0].is_empty());
+    }
+
+    #[test]
+    fn any_visible_dedups_across_cameras() {
+        let rig = CameraRig::drive_av();
+        let ego = VehicleState::at_rest(Vec2::ZERO, Radians(0.0));
+        // Front-left: seen by front-wide and left cameras.
+        let actors = [agent(1, 20.0, 15.0), agent(2, -500.0, 0.0)];
+        let seen = rig.any_visible(&ego, &actors);
+        assert_eq!(seen, vec![ActorId(1)]);
+    }
+
+    #[test]
+    fn hyperion_rig_has_twelve_cameras() {
+        let rig = CameraRig::hyperion_12();
+        assert_eq!(rig.len(), 12);
+        // Full angular coverage: any bearing within 20 m is seen by some
+        // camera.
+        let ego = VehicleState::at_rest(Vec2::ZERO, Radians(0.0));
+        for i in 0..36 {
+            let angle = Radians(i as f64 * std::f64::consts::TAU / 36.0);
+            let target = Vec2::from_heading(angle) * 20.0;
+            assert!(
+                rig.cameras().iter().any(|c| c.sees(&ego, target)),
+                "blind spot at {angle}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rig_rejected() {
+        let _ = CameraRig::new(vec![]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Frame sampling: which simulation ticks process a camera frame.
+//!
+//! A camera configured at `F` frames per second processes one frame every
+//! `1/F` seconds of scenario time. The sampler is the mechanism by which the
+//! experiments throttle perception: at 2 FPR the world model refreshes every
+//! 500 ms, which is what makes low rates unsafe.
+
+use av_core::units::{Fpr, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic periodic frame sampler for one camera.
+///
+/// ```
+/// use av_core::units::{Fpr, Seconds};
+/// use av_perception::sampler::FrameSampler;
+///
+/// let mut s = FrameSampler::new(Fpr(10.0));
+/// assert!(s.on_tick(Seconds(0.0)));   // first frame fires immediately
+/// assert!(!s.on_tick(Seconds(0.05))); // mid-period
+/// assert!(s.on_tick(Seconds(0.1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameSampler {
+    rate: Fpr,
+    next_due: Seconds,
+    frames_processed: u64,
+}
+
+impl FrameSampler {
+    /// Creates a sampler at `rate`; the first frame fires at the first tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(rate: Fpr) -> Self {
+        assert!(
+            rate.value() > 0.0 && rate.is_finite(),
+            "frame rate must be positive and finite, got {rate}"
+        );
+        Self {
+            rate,
+            next_due: Seconds(f64::NEG_INFINITY),
+            frames_processed: 0,
+        }
+    }
+
+    /// The configured rate.
+    #[inline]
+    pub fn rate(&self) -> Fpr {
+        self.rate
+    }
+
+    /// Per-frame period, `1/rate`.
+    #[inline]
+    pub fn period(&self) -> Seconds {
+        self.rate.latency()
+    }
+
+    /// Changes the sampling rate, taking effect from the next frame.
+    ///
+    /// Lowering the rate never retroactively delays an already-due frame:
+    /// if a frame was due it stays due.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn set_rate(&mut self, rate: Fpr) {
+        assert!(
+            rate.value() > 0.0 && rate.is_finite(),
+            "frame rate must be positive and finite, got {rate}"
+        );
+        self.rate = rate;
+    }
+
+    /// Advances the sampler to `now`; returns `true` when a frame is
+    /// processed at this tick.
+    ///
+    /// Time must be non-decreasing across calls; calling with an earlier
+    /// time than a previous tick simply processes no frame.
+    pub fn on_tick(&mut self, now: Seconds) -> bool {
+        if now.value() + 1e-12 >= self.next_due.value() {
+            // Drift-free schedule: advance from the previous due time so a
+            // coarse tick grid does not quantize the period upward. If the
+            // sampler has fallen more than one period behind (sparse ticks),
+            // re-anchor at `now` instead of bursting to catch up.
+            let from_due = self.next_due.value() + self.period().value();
+            let from_now = now.value() + self.period().value();
+            self.next_due = Seconds(if from_due > now.value() + 1e-12 {
+                from_due
+            } else {
+                from_now
+            });
+            self.frames_processed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total frames processed so far.
+    #[inline]
+    pub fn frames_processed(&self) -> u64 {
+        self.frames_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ticks at `dt` for `total` seconds and counts processed frames.
+    fn count_frames(rate: f64, dt: f64, total: f64) -> u64 {
+        let mut s = FrameSampler::new(Fpr(rate));
+        let steps = (total / dt).round() as usize;
+        for i in 0..steps {
+            s.on_tick(Seconds(i as f64 * dt));
+        }
+        s.frames_processed()
+    }
+
+    #[test]
+    fn frame_count_matches_rate() {
+        // 10 seconds at 30 FPR with 10ms ticks: 300 frames (+1 initial).
+        let n = count_frames(30.0, 0.01, 10.0);
+        assert!((n as i64 - 300).unsigned_abs() <= 1, "got {n}");
+        let n2 = count_frames(2.0, 0.01, 10.0);
+        assert!((n2 as i64 - 20).unsigned_abs() <= 1, "got {n2}");
+    }
+
+    #[test]
+    fn coarse_ticks_still_sample() {
+        // Tick period (100 ms) much longer than frame period (33 ms):
+        // every tick processes (at most) one frame.
+        let n = count_frames(30.0, 0.1, 1.0);
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rate_change_takes_effect() {
+        let mut s = FrameSampler::new(Fpr(1.0));
+        assert!(s.on_tick(Seconds(0.0)));
+        assert!(!s.on_tick(Seconds(0.5)));
+        s.set_rate(Fpr(10.0));
+        // Next frame still due at t=1.0 (already scheduled)...
+        assert!(!s.on_tick(Seconds(0.9)));
+        assert!(s.on_tick(Seconds(1.0)));
+        // ...but the one after that arrives 0.1s later.
+        assert!(s.on_tick(Seconds(1.1)));
+    }
+
+    #[test]
+    fn period_is_reciprocal() {
+        let s = FrameSampler::new(Fpr(30.0));
+        assert!((s.period().value() - 1.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = FrameSampler::new(Fpr(0.0));
+    }
+}

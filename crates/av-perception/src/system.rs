@@ -1,0 +1,365 @@
+//! The end-to-end perception pipeline: per-camera sampling into a fused
+//! world model.
+//!
+//! This is the substitute for the paper's DNN perception stack. Each camera
+//! samples frames at its own configurable FPR; a processed frame observes
+//! the ground-truth agents inside that camera's FOV; observations feed the
+//! shared [`WorldModel`], which applies K-frame confirmation. The planner
+//! then reacts only to confirmed (and stale) tracks — reproducing exactly
+//! the latency-safety coupling the paper studies.
+
+use crate::dropout::{DropPolicy, FrameDropper};
+use crate::occlusion::occluded;
+use crate::rig::{CameraId, CameraRig};
+use crate::sampler::FrameSampler;
+use crate::world_model::{TrackerConfig, WorldModel};
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// Per-camera rates used to construct a [`PerceptionSystem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RatePlan {
+    /// Every camera runs at the same rate (the paper's experimental
+    /// framework "only allows the same FPR settings for all the cameras in
+    /// one experiment", §4.2).
+    Uniform(Fpr),
+    /// Explicit per-camera rates, indexed like the rig.
+    PerCamera(Vec<Fpr>),
+}
+
+/// Error constructing or reconfiguring a [`PerceptionSystem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PerceptionError {
+    /// The rate plan length does not match the rig.
+    RatePlanMismatch {
+        /// Cameras in the rig.
+        cameras: usize,
+        /// Rates supplied.
+        rates: usize,
+    },
+    /// Camera id out of range.
+    UnknownCamera(CameraId),
+    /// Rates must be positive and finite.
+    InvalidRate(Fpr),
+}
+
+impl std::fmt::Display for PerceptionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerceptionError::RatePlanMismatch { cameras, rates } => {
+                write!(f, "rate plan has {rates} rates for {cameras} cameras")
+            }
+            PerceptionError::UnknownCamera(id) => write!(f, "unknown camera {id}"),
+            PerceptionError::InvalidRate(r) => write!(f, "invalid frame rate {r}"),
+        }
+    }
+}
+
+impl std::error::Error for PerceptionError {}
+
+/// What one tick of the perception system did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TickReport {
+    /// Cameras that processed a frame at this tick.
+    pub frames: Vec<CameraId>,
+    /// Cameras whose frame was due this tick but lost to the injected
+    /// drop policy.
+    pub dropped: Vec<CameraId>,
+    /// Actors observed at this tick (deduplicated across cameras).
+    pub observed: Vec<ActorId>,
+}
+
+/// Camera rig + per-camera frame samplers + fused world model.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_core::scene::Scene;
+/// use av_perception::rig::CameraRig;
+/// use av_perception::system::{PerceptionSystem, RatePlan};
+/// use av_perception::world_model::TrackerConfig;
+///
+/// # fn main() -> Result<(), av_perception::system::PerceptionError> {
+/// let mut sys = PerceptionSystem::new(
+///     CameraRig::drive_av(),
+///     RatePlan::Uniform(Fpr(30.0)),
+///     TrackerConfig::default(),
+/// )?;
+/// let ego = Agent::new(ActorId::EGO, ActorKind::Vehicle, Dimensions::CAR,
+///                      VehicleState::at_rest(Vec2::ZERO, Radians(0.0)));
+/// let scene = Scene::new(Seconds(0.0), ego, vec![]);
+/// let report = sys.tick(&scene);
+/// assert_eq!(report.frames.len(), 5); // all cameras fire their first frame
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionSystem {
+    rig: CameraRig,
+    samplers: Vec<FrameSampler>,
+    droppers: Vec<FrameDropper>,
+    world: WorldModel,
+    model_occlusion: bool,
+}
+
+impl PerceptionSystem {
+    /// Creates a perception system over `rig` with the given rate plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerceptionError::RatePlanMismatch`] when a per-camera plan
+    /// does not match the rig size, or [`PerceptionError::InvalidRate`] for
+    /// non-positive rates.
+    pub fn new(
+        rig: CameraRig,
+        rates: RatePlan,
+        tracker: TrackerConfig,
+    ) -> Result<Self, PerceptionError> {
+        let rates = match rates {
+            RatePlan::Uniform(r) => vec![r; rig.len()],
+            RatePlan::PerCamera(v) => {
+                if v.len() != rig.len() {
+                    return Err(PerceptionError::RatePlanMismatch {
+                        cameras: rig.len(),
+                        rates: v.len(),
+                    });
+                }
+                v
+            }
+        };
+        if let Some(&bad) = rates.iter().find(|r| !(r.value() > 0.0 && r.is_finite())) {
+            return Err(PerceptionError::InvalidRate(bad));
+        }
+        let samplers: Vec<FrameSampler> = rates.into_iter().map(FrameSampler::new).collect();
+        let droppers = vec![FrameDropper::default(); samplers.len()];
+        Ok(Self {
+            rig,
+            samplers,
+            droppers,
+            world: WorldModel::new(tracker),
+            model_occlusion: true,
+        })
+    }
+
+    /// Injects a frame-loss pattern on every camera (failure injection;
+    /// see [`crate::dropout`]). Default: no loss.
+    pub fn with_drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.droppers = vec![FrameDropper::new(policy); self.samplers.len()];
+        self
+    }
+
+    /// Disables the line-of-sight occlusion model (every in-FOV actor is
+    /// observed even behind other vehicles). Enabled by default.
+    pub fn without_occlusion(mut self) -> Self {
+        self.model_occlusion = false;
+        self
+    }
+
+    /// The camera rig.
+    #[inline]
+    pub fn rig(&self) -> &CameraRig {
+        &self.rig
+    }
+
+    /// The fused world model.
+    #[inline]
+    pub fn world(&self) -> &WorldModel {
+        &self.world
+    }
+
+    /// Current rate of one camera.
+    pub fn rate(&self, id: CameraId) -> Option<Fpr> {
+        self.samplers.get(id.0).map(|s| s.rate())
+    }
+
+    /// Current rates of every camera, in rig order.
+    pub fn rates(&self) -> Vec<Fpr> {
+        self.samplers.iter().map(|s| s.rate()).collect()
+    }
+
+    /// Reconfigures one camera's rate (work prioritization, §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown camera or a non-positive rate.
+    pub fn set_rate(&mut self, id: CameraId, rate: Fpr) -> Result<(), PerceptionError> {
+        if !(rate.value() > 0.0 && rate.is_finite()) {
+            return Err(PerceptionError::InvalidRate(rate));
+        }
+        self.samplers
+            .get_mut(id.0)
+            .ok_or(PerceptionError::UnknownCamera(id))?
+            .set_rate(rate);
+        Ok(())
+    }
+
+    /// Advances perception by one simulation tick against the ground-truth
+    /// `scene`. Cameras whose samplers fire observe the actors in their
+    /// FOV; the world model ingests the union.
+    pub fn tick(&mut self, scene: &Scene) -> TickReport {
+        let now = scene.time;
+        let mut report = TickReport::default();
+        let mut observed: Vec<Agent> = Vec::new();
+        for (i, sampler) in self.samplers.iter_mut().enumerate() {
+            if !sampler.on_tick(now) {
+                continue;
+            }
+            let cam_id = CameraId(i);
+            if !self.droppers[i].survives() {
+                report.dropped.push(cam_id);
+                continue;
+            }
+            report.frames.push(cam_id);
+            let cam = &self.rig.cameras()[i];
+            for actor in &scene.actors {
+                if cam.sees_agent(&scene.ego.state, actor)
+                    && !observed.iter().any(|a| a.id == actor.id)
+                    && !(self.model_occlusion
+                        && occluded(scene.ego.state.position, actor, &scene.actors))
+                {
+                    observed.push(*actor);
+                }
+            }
+        }
+        if !report.frames.is_empty() {
+            self.world.observe(now, &observed);
+        } else {
+            self.world.prune(now);
+        }
+        report.observed = observed.iter().map(|a| a.id).collect();
+        report
+    }
+
+    /// Total frames processed across all cameras.
+    pub fn total_frames(&self) -> u64 {
+        self.samplers.iter().map(|s| s.frames_processed()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ego() -> Agent {
+        Agent::new(
+            ActorId::EGO,
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::ZERO, Radians(0.0)),
+        )
+    }
+
+    fn front_actor(x: f64) -> Agent {
+        Agent::new(
+            ActorId(1),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(x, 0.0), Radians(0.0)),
+        )
+    }
+
+    fn system(fpr: f64, k: u32) -> PerceptionSystem {
+        PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::Uniform(Fpr(fpr)),
+            TrackerConfig {
+                confirmation_frames: k,
+                drop_after: Seconds(1.0),
+            },
+        )
+        .expect("valid uniform plan")
+    }
+
+    #[test]
+    fn confirmation_latency_scales_with_rate() {
+        // At 10 FPR with K = 5, a newly appearing actor confirms after
+        // ~0.4-0.5 s (5 frames, 100 ms apart).
+        let mut sys = system(10.0, 5);
+        let mut confirmed_at = None;
+        for i in 0..200 {
+            let t = i as f64 * 0.01;
+            let scene = Scene::new(Seconds(t), ego(), vec![front_actor(40.0)]);
+            sys.tick(&scene);
+            if confirmed_at.is_none() && !sys.world().confirmed_agents(Seconds(t)).is_empty() {
+                confirmed_at = Some(t);
+            }
+        }
+        let t = confirmed_at.expect("actor eventually confirmed");
+        assert!((0.35..=0.55).contains(&t), "confirmed at {t}");
+    }
+
+    #[test]
+    fn higher_rate_confirms_faster() {
+        for (fpr, bound) in [(30.0, 0.20), (5.0, 1.1)] {
+            let mut sys = system(fpr, 5);
+            let mut confirmed_at = None;
+            for i in 0..400 {
+                let t = i as f64 * 0.01;
+                let scene = Scene::new(Seconds(t), ego(), vec![front_actor(40.0)]);
+                sys.tick(&scene);
+                if confirmed_at.is_none() && !sys.world().confirmed_agents(Seconds(t)).is_empty()
+                {
+                    confirmed_at = Some(t);
+                    break;
+                }
+            }
+            let t = confirmed_at.expect("confirmed");
+            assert!(t <= bound, "{fpr} FPR confirmed at {t}, expected <= {bound}");
+        }
+    }
+
+    #[test]
+    fn per_camera_plan_validated() {
+        let err = PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::PerCamera(vec![Fpr(30.0); 3]),
+            TrackerConfig::default(),
+        )
+        .expect_err("3 rates for 5 cameras");
+        assert!(matches!(err, PerceptionError::RatePlanMismatch { cameras: 5, rates: 3 }));
+        let err2 = PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::Uniform(Fpr(0.0)),
+            TrackerConfig::default(),
+        )
+        .expect_err("zero rate");
+        assert!(matches!(err2, PerceptionError::InvalidRate(_)));
+    }
+
+    #[test]
+    fn set_rate_round_trips() {
+        let mut sys = system(30.0, 5);
+        sys.set_rate(CameraId(2), Fpr(5.0)).expect("camera exists");
+        assert_eq!(sys.rate(CameraId(2)), Some(Fpr(5.0)));
+        assert!(sys.set_rate(CameraId(99), Fpr(5.0)).is_err());
+        assert!(sys.set_rate(CameraId(0), Fpr(-1.0)).is_err());
+        assert_eq!(sys.rates().len(), 5);
+    }
+
+    #[test]
+    fn actor_behind_is_seen_by_rear_camera_only_tick() {
+        let mut sys = system(30.0, 1);
+        let rear_actor = Agent::new(
+            ActorId(7),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(-30.0, 0.0), Radians(0.0)),
+        );
+        let scene = Scene::new(Seconds(0.0), ego(), vec![rear_actor]);
+        let report = sys.tick(&scene);
+        assert!(report.observed.contains(&ActorId(7)));
+    }
+
+    #[test]
+    fn out_of_range_actor_never_tracked() {
+        let mut sys = system(30.0, 1);
+        for i in 0..50 {
+            let t = i as f64 * 0.01;
+            let scene = Scene::new(Seconds(t), ego(), vec![front_actor(400.0)]);
+            sys.tick(&scene);
+        }
+        // 400 m ahead: beyond front-wide range (150 m) but within
+        // front-narrow's 250 m? No: 400 > 250, invisible to all.
+        assert!(sys.world().is_empty());
+    }
+}

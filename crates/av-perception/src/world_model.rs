@@ -1,0 +1,252 @@
+//! The perceived world model: confirmed actor tracks with stale state.
+//!
+//! The paper's perception system needs `K` processed frames to *confirm* an
+//! actor before the planner reacts to it (§2.1: the confirmation delay term
+//! α = K·(l − l₀)). Between processed frames a track holds the state from
+//! the last frame — that staleness, plus the confirmation delay, is the
+//! entire safety cost of a low frame processing rate.
+
+use av_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One tracked actor inside the world model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    /// The actor's last observed identity/footprint/state.
+    pub agent: Agent,
+    /// Scenario time of the last processed frame that contained the actor.
+    pub last_seen: Seconds,
+    /// Processed-frame sightings accumulated toward confirmation.
+    pub sightings: u32,
+    /// `true` once the actor has been seen in at least `K` processed frames.
+    pub confirmed: bool,
+}
+
+impl Track {
+    /// The track's state coasted forward to `now` under constant velocity.
+    ///
+    /// The perception stack only knows the state as of `last_seen`; the
+    /// planner may optionally dead-reckon it forward. The paper's perceived
+    /// current state is the raw (stale) track; coasting is provided for the
+    /// planner's time-to-collision estimates.
+    pub fn coasted(&self, now: Seconds) -> Agent {
+        let dt = Seconds((now - self.last_seen).value().max(0.0));
+        let mut agent = self.agent;
+        agent.state = agent.state.predict_constant_accel(dt);
+        agent
+    }
+}
+
+/// Configuration of the tracker / confirmation logic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Frames needed to confirm a new actor (paper `K`, default 5).
+    pub confirmation_frames: u32,
+    /// A track not refreshed for this long is dropped (and must re-confirm).
+    pub drop_after: Seconds,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            confirmation_frames: 5,
+            drop_after: Seconds(1.0),
+        }
+    }
+}
+
+/// The set of tracks built from processed camera frames.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_perception::world_model::{TrackerConfig, WorldModel};
+///
+/// let mut wm = WorldModel::new(TrackerConfig { confirmation_frames: 2, ..Default::default() });
+/// let actor = Agent::new(ActorId(1), ActorKind::Vehicle, Dimensions::CAR,
+///                        VehicleState::at_rest(Vec2::new(30.0, 0.0), Radians(0.0)));
+/// wm.observe(Seconds(0.0), &[actor]);
+/// assert!(wm.confirmed_agents(Seconds(0.0)).is_empty()); // 1 of 2 sightings
+/// wm.observe(Seconds(0.1), &[actor]);
+/// assert_eq!(wm.confirmed_agents(Seconds(0.1)).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct WorldModel {
+    config: TrackerConfig,
+    tracks: BTreeMap<ActorId, Track>,
+}
+
+impl WorldModel {
+    /// Creates an empty world model.
+    pub fn new(config: TrackerConfig) -> Self {
+        Self {
+            config,
+            tracks: BTreeMap::new(),
+        }
+    }
+
+    /// The tracker configuration.
+    #[inline]
+    pub fn config(&self) -> TrackerConfig {
+        self.config
+    }
+
+    /// Ingests one processed frame: every observed agent refreshes (or
+    /// starts) its track; tracks unseen for longer than
+    /// [`TrackerConfig::drop_after`] are pruned.
+    pub fn observe(&mut self, now: Seconds, observed: &[Agent]) {
+        for agent in observed {
+            let entry = self.tracks.entry(agent.id).or_insert(Track {
+                agent: *agent,
+                last_seen: now,
+                sightings: 0,
+                confirmed: false,
+            });
+            entry.agent = *agent;
+            entry.last_seen = now;
+            entry.sightings = entry.sightings.saturating_add(1);
+            if entry.sightings >= self.config.confirmation_frames {
+                entry.confirmed = true;
+            }
+        }
+        self.prune(now);
+    }
+
+    /// Advances time without observations, pruning expired tracks.
+    pub fn prune(&mut self, now: Seconds) {
+        let ttl = self.config.drop_after;
+        self.tracks
+            .retain(|_, t| (now - t.last_seen).value() <= ttl.value() + 1e-12);
+    }
+
+    /// The track for `id`, if present (confirmed or not).
+    pub fn track(&self, id: ActorId) -> Option<&Track> {
+        self.tracks.get(&id)
+    }
+
+    /// All tracks in id order.
+    pub fn tracks(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.values()
+    }
+
+    /// Confirmed agents with their *stale* last-seen state — what the
+    /// planner is allowed to react to.
+    ///
+    /// `now` is accepted for symmetry with [`WorldModel::coasted_agents`]
+    /// and future filtering; the returned states are as-of each track's
+    /// `last_seen`.
+    pub fn confirmed_agents(&self, _now: Seconds) -> Vec<Agent> {
+        self.tracks
+            .values()
+            .filter(|t| t.confirmed)
+            .map(|t| t.agent)
+            .collect()
+    }
+
+    /// Confirmed agents dead-reckoned to `now`.
+    pub fn coasted_agents(&self, now: Seconds) -> Vec<Agent> {
+        self.tracks
+            .values()
+            .filter(|t| t.confirmed)
+            .map(|t| t.coasted(now))
+            .collect()
+    }
+
+    /// Number of tracks (confirmed or not).
+    pub fn len(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// `true` when no actor is being tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tracks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actor(id: u32, x: f64, v: f64) -> Agent {
+        Agent::new(
+            ActorId(id),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::new(
+                Vec2::new(x, 0.0),
+                Radians(0.0),
+                MetersPerSecond(v),
+                MetersPerSecondSquared::ZERO,
+            ),
+        )
+    }
+
+    fn config(k: u32) -> TrackerConfig {
+        TrackerConfig {
+            confirmation_frames: k,
+            drop_after: Seconds(0.5),
+        }
+    }
+
+    #[test]
+    fn confirmation_needs_k_frames() {
+        let mut wm = WorldModel::new(config(5));
+        for i in 0..4 {
+            wm.observe(Seconds(i as f64 * 0.1), &[actor(1, 30.0, 0.0)]);
+            assert!(
+                wm.confirmed_agents(Seconds(i as f64 * 0.1)).is_empty(),
+                "confirmed after only {} frames",
+                i + 1
+            );
+        }
+        wm.observe(Seconds(0.4), &[actor(1, 30.0, 0.0)]);
+        assert_eq!(wm.confirmed_agents(Seconds(0.4)).len(), 1);
+    }
+
+    #[test]
+    fn stale_state_is_last_seen() {
+        let mut wm = WorldModel::new(config(1));
+        wm.observe(Seconds(0.0), &[actor(1, 30.0, 10.0)]);
+        wm.observe(Seconds(0.2), &[actor(1, 32.0, 10.0)]);
+        // No frame since t=0.2; confirmed state stays at x=32.
+        let agents = wm.confirmed_agents(Seconds(0.45));
+        assert_eq!(agents[0].state.position.x, 32.0);
+        // Coasting projects it to x = 32 + 10 * 0.25.
+        let coasted = wm.coasted_agents(Seconds(0.45));
+        assert!((coasted[0].state.position.x - 34.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn track_dropped_after_ttl_and_reconfirms() {
+        let mut wm = WorldModel::new(config(2));
+        wm.observe(Seconds(0.0), &[actor(1, 30.0, 0.0)]);
+        wm.observe(Seconds(0.1), &[actor(1, 30.0, 0.0)]);
+        assert_eq!(wm.confirmed_agents(Seconds(0.1)).len(), 1);
+        // Nothing seen past the 0.5s TTL: track dropped.
+        wm.prune(Seconds(0.7));
+        assert!(wm.is_empty());
+        // Reappearance must re-confirm from scratch.
+        wm.observe(Seconds(0.8), &[actor(1, 40.0, 0.0)]);
+        assert!(wm.confirmed_agents(Seconds(0.8)).is_empty());
+    }
+
+    #[test]
+    fn tracks_are_per_actor() {
+        let mut wm = WorldModel::new(config(1));
+        wm.observe(Seconds(0.0), &[actor(1, 30.0, 0.0), actor(2, 50.0, 0.0)]);
+        assert_eq!(wm.len(), 2);
+        assert!(wm.track(ActorId(1)).is_some());
+        assert!(wm.track(ActorId(2)).expect("tracked").confirmed);
+        assert!(wm.track(ActorId(3)).is_none());
+    }
+
+    #[test]
+    fn coasted_track_does_not_rewind() {
+        let mut wm = WorldModel::new(config(1));
+        wm.observe(Seconds(1.0), &[actor(1, 30.0, 10.0)]);
+        let t = *wm.track(ActorId(1)).expect("tracked");
+        // Query earlier than last_seen: state unchanged, no reverse travel.
+        let back = t.coasted(Seconds(0.5));
+        assert_eq!(back.state.position.x, 30.0);
+    }
+}

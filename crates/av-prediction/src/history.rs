@@ -1,0 +1,207 @@
+//! Track history: estimating motion derivatives from past observations.
+//!
+//! The perceived world model only carries instantaneous states. To feed
+//! the CTRV predictor (turn rate) or smooth a noisy acceleration, the
+//! online system keeps a short rolling history per track and estimates
+//! the derivatives from it by finite differences over the window.
+
+use crate::kinematic::Ctrv;
+use av_core::prelude::*;
+use std::collections::VecDeque;
+
+/// A bounded rolling window of observed states for one actor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackHistory {
+    samples: VecDeque<(Seconds, VehicleState)>,
+    capacity: usize,
+}
+
+impl TrackHistory {
+    /// Creates a history keeping the most recent `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` — derivatives need at least two samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "history needs at least two samples");
+        Self {
+            samples: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records an observation. Out-of-order observations (time not after
+    /// the newest sample) are ignored.
+    pub fn push(&mut self, time: Seconds, state: VehicleState) {
+        if let Some((latest, _)) = self.samples.back() {
+            if time.value() <= latest.value() {
+                return;
+            }
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((time, state));
+    }
+
+    /// Number of stored observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no observation is stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent observation.
+    pub fn latest(&self) -> Option<(Seconds, VehicleState)> {
+        self.samples.back().copied()
+    }
+
+    /// The time span covered by the window.
+    pub fn span(&self) -> Seconds {
+        match (self.samples.front(), self.samples.back()) {
+            (Some((first, _)), Some((last, _))) => *last - *first,
+            _ => Seconds::ZERO,
+        }
+    }
+
+    /// Average heading change rate over the window (rad/s), or `None`
+    /// with fewer than two samples.
+    pub fn turn_rate(&self) -> Option<Radians> {
+        let (t0, s0) = self.samples.front()?;
+        let (t1, s1) = self.samples.back()?;
+        let dt = (*t1 - *t0).value();
+        if dt <= 1e-9 {
+            return None;
+        }
+        let dh = (s1.heading - s0.heading).normalized().value();
+        Some(Radians(dh / dt))
+    }
+
+    /// Average longitudinal acceleration over the window, or `None` with
+    /// fewer than two samples.
+    pub fn mean_acceleration(&self) -> Option<MetersPerSecondSquared> {
+        let (t0, s0) = self.samples.front()?;
+        let (t1, s1) = self.samples.back()?;
+        let dt = (*t1 - *t0).value();
+        if dt <= 1e-9 {
+            return None;
+        }
+        Some(MetersPerSecondSquared(
+            (s1.speed - s0.speed).value() / dt,
+        ))
+    }
+
+    /// A CTRV predictor parameterized by the estimated turn rate.
+    pub fn ctrv(&self) -> Option<Ctrv> {
+        self.turn_rate().map(Ctrv::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::TrajectoryPredictor;
+
+    fn state(heading: f64, speed: f64) -> VehicleState {
+        VehicleState::new(
+            Vec2::ZERO,
+            Radians(heading),
+            MetersPerSecond(speed),
+            MetersPerSecondSquared::ZERO,
+        )
+    }
+
+    #[test]
+    fn turn_rate_from_heading_trend() {
+        let mut h = TrackHistory::new(10);
+        for i in 0..5 {
+            let t = i as f64 * 0.1;
+            h.push(Seconds(t), state(0.05 * t, 10.0));
+        }
+        let rate = h.turn_rate().expect("two samples");
+        assert!((rate.value() - 0.05).abs() < 1e-9);
+        assert!(h.ctrv().is_some());
+    }
+
+    #[test]
+    fn turn_rate_handles_wraparound() {
+        use std::f64::consts::PI;
+        let mut h = TrackHistory::new(4);
+        // Heading crosses the ±pi seam: 3.1 -> -3.1 is +0.083 rad of
+        // actual left turn, not -6.2.
+        h.push(Seconds(0.0), state(PI - 0.04, 10.0));
+        h.push(Seconds(1.0), state(-PI + 0.04, 10.0));
+        let rate = h.turn_rate().expect("two samples");
+        assert!((rate.value() - 0.08).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn acceleration_from_speed_trend() {
+        let mut h = TrackHistory::new(10);
+        h.push(Seconds(0.0), state(0.0, 20.0));
+        h.push(Seconds(0.5), state(0.0, 18.0));
+        h.push(Seconds(1.0), state(0.0, 16.0));
+        let a = h.mean_acceleration().expect("samples");
+        assert!((a.value() + 4.0).abs() < 1e-9);
+        assert!((h.span().value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut h = TrackHistory::new(3);
+        for i in 0..6 {
+            h.push(Seconds(i as f64), state(0.0, i as f64));
+        }
+        assert_eq!(h.len(), 3);
+        // Window now spans t=3..5 with speeds 3..5: accel = 1.
+        assert!((h.mean_acceleration().expect("full").value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_pushes_ignored() {
+        let mut h = TrackHistory::new(4);
+        h.push(Seconds(1.0), state(0.0, 10.0));
+        h.push(Seconds(0.5), state(0.0, 99.0));
+        h.push(Seconds(1.0), state(0.0, 99.0));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.latest().expect("one sample").1.speed, MetersPerSecond(10.0));
+    }
+
+    #[test]
+    fn single_sample_has_no_derivatives() {
+        let mut h = TrackHistory::new(4);
+        assert!(h.is_empty());
+        h.push(Seconds(0.0), state(0.0, 10.0));
+        assert!(h.turn_rate().is_none());
+        assert!(h.mean_acceleration().is_none());
+        assert!(h.ctrv().is_none());
+    }
+
+    #[test]
+    fn estimated_ctrv_predicts_curved_motion() {
+        // An actor turning left at 0.1 rad/s observed twice; the derived
+        // CTRV rollout must curve left.
+        let mut h = TrackHistory::new(4);
+        h.push(Seconds(0.0), state(0.0, 10.0));
+        h.push(Seconds(1.0), state(0.1, 10.0));
+        let ctrv = h.ctrv().expect("rate estimated");
+        let agent = Agent::new(
+            ActorId(1),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            state(0.1, 10.0),
+        );
+        let futures = ctrv.predict(&agent, Seconds(1.0), Seconds(5.0));
+        let end = futures[0].sample(Seconds(6.0));
+        assert!(end.position.y > 1.0, "did not curve left: {:?}", end.position);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_capacity_rejected() {
+        let _ = TrackHistory::new(1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Single-hypothesis kinematic predictors: constant velocity, constant
+//! acceleration, and constant turn rate & velocity (CTRV).
+
+use crate::predictor::{rollout, TrajectoryPredictor};
+use av_core::prelude::*;
+
+/// Predicts the actor continues at its current speed and heading.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_prediction::kinematic::ConstantVelocity;
+/// use av_prediction::predictor::TrajectoryPredictor;
+///
+/// let agent = Agent::new(ActorId(1), ActorKind::Vehicle, Dimensions::CAR,
+///     VehicleState::new(Vec2::ZERO, Radians(0.0), MetersPerSecond(10.0),
+///                       MetersPerSecondSquared(-2.0)));
+/// let futures = ConstantVelocity.predict(&agent, Seconds(0.0), Seconds(2.0));
+/// assert_eq!(futures.len(), 1);
+/// // Deceleration is ignored: 20 m covered in 2 s.
+/// assert!((futures[0].sample(Seconds(2.0)).position.x - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstantVelocity;
+
+impl TrajectoryPredictor for ConstantVelocity {
+    fn predict(&self, agent: &Agent, now: Seconds, horizon: Seconds) -> Vec<Trajectory> {
+        let base = VehicleState {
+            accel: MetersPerSecondSquared::ZERO,
+            ..agent.state
+        };
+        vec![rollout(now, horizon, 1.0, |dt| {
+            base.predict_constant_accel(dt)
+        })]
+    }
+}
+
+/// Predicts the actor holds its current acceleration (speed clamped at
+/// zero: a braking vehicle stops and stays stopped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConstantAcceleration;
+
+impl TrajectoryPredictor for ConstantAcceleration {
+    fn predict(&self, agent: &Agent, now: Seconds, horizon: Seconds) -> Vec<Trajectory> {
+        let base = agent.state;
+        vec![rollout(now, horizon, 1.0, |dt| {
+            base.predict_constant_accel(dt)
+        })]
+    }
+}
+
+/// Constant turn rate and velocity (CTRV): the actor holds its speed while
+/// its heading changes at a fixed rate — the standard model for curved-road
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ctrv {
+    /// Heading change rate (rad/s); positive turns left.
+    pub turn_rate: Radians,
+}
+
+impl Ctrv {
+    /// Creates a CTRV predictor with the given turn rate (rad/s).
+    pub fn new(turn_rate: Radians) -> Self {
+        Self { turn_rate }
+    }
+
+    /// The turn rate matching travel along a circular arc of signed
+    /// `radius` at `speed` (positive radius turns left).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is zero.
+    pub fn for_arc(radius: Meters, speed: MetersPerSecond) -> Self {
+        assert!(radius.value() != 0.0, "arc radius must be nonzero");
+        Self {
+            turn_rate: Radians(speed.value() / radius.value()),
+        }
+    }
+}
+
+impl TrajectoryPredictor for Ctrv {
+    fn predict(&self, agent: &Agent, now: Seconds, horizon: Seconds) -> Vec<Trajectory> {
+        let s0 = agent.state;
+        let omega = self.turn_rate.value();
+        let v = s0.speed.value().max(0.0);
+        vec![rollout(now, horizon, 1.0, move |dt| {
+            let t = dt.value();
+            let h0 = s0.heading.value();
+            let (dx, dy) = if omega.abs() < 1e-9 {
+                (v * t * h0.cos(), v * t * h0.sin())
+            } else {
+                // Closed-form CTRV displacement.
+                (
+                    v / omega * ((h0 + omega * t).sin() - h0.sin()),
+                    v / omega * (h0.cos() - (h0 + omega * t).cos()),
+                )
+            };
+            VehicleState {
+                position: s0.position + Vec2::new(dx, dy),
+                heading: Radians(h0 + omega * t).normalized(),
+                speed: MetersPerSecond(v),
+                accel: MetersPerSecondSquared::ZERO,
+            }
+        })]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::TrajectoryPredictor;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn agent(v: f64, a: f64) -> Agent {
+        Agent::new(
+            ActorId(1),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::new(
+                Vec2::ZERO,
+                Radians(0.0),
+                MetersPerSecond(v),
+                MetersPerSecondSquared(a),
+            ),
+        )
+    }
+
+    #[test]
+    fn constant_acceleration_brakes_to_stop() {
+        let futures = ConstantAcceleration.predict(&agent(10.0, -5.0), Seconds(0.0), Seconds(5.0));
+        let end = futures[0].sample(Seconds(5.0));
+        assert!((end.position.x - 10.0).abs() < 1e-9);
+        assert_eq!(end.speed, MetersPerSecond::ZERO);
+    }
+
+    #[test]
+    fn cv_and_ca_agree_without_acceleration() {
+        let a = agent(15.0, 0.0);
+        let cv = ConstantVelocity.predict(&a, Seconds(0.0), Seconds(3.0));
+        let ca = ConstantAcceleration.predict(&a, Seconds(0.0), Seconds(3.0));
+        let p1 = cv[0].sample(Seconds(3.0)).position;
+        let p2 = ca[0].sample(Seconds(3.0)).position;
+        assert!((p1 - p2).norm() < 1e-9);
+    }
+
+    #[test]
+    fn ctrv_quarter_circle() {
+        // 10 m/s on a 100 m-radius left arc: after a quarter period the
+        // heading has advanced pi/2 and the position is (100, 100)-ish
+        // relative to the turn center at (0, 100).
+        let ctrv = Ctrv::for_arc(Meters(100.0), MetersPerSecond(10.0));
+        let quarter = Seconds(100.0 * FRAC_PI_2 / 10.0);
+        let futures = ctrv.predict(&agent(10.0, 0.0), Seconds(0.0), quarter);
+        let end = futures[0].sample(quarter);
+        assert!((end.position.x - 100.0).abs() < 0.5, "x={}", end.position.x);
+        assert!((end.position.y - 100.0).abs() < 0.5, "y={}", end.position.y);
+        assert!((end.heading.value() - FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ctrv_zero_rate_degenerates_to_cv() {
+        let ctrv = Ctrv::new(Radians(0.0));
+        let futures = ctrv.predict(&agent(12.0, 0.0), Seconds(0.0), Seconds(2.0));
+        let end = futures[0].sample(Seconds(2.0));
+        assert!((end.position.x - 24.0).abs() < 1e-9);
+        assert!(end.position.y.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! Trajectory predictors for the Zhuyi (DAC 2022) reproduction.
+//!
+//! Paper Eq. 4 aggregates tolerable latencies over a set `T` of predicted
+//! trajectories per actor, "given by a trajectory predictor". The paper
+//! leverages learned predictors (MultiPath, PredictionNet); this crate
+//! substitutes predictors that produce the same artifact — time-stamped
+//! trajectories with probabilities — from kinematic state:
+//!
+//! - [`oracle::OraclePredictor`] — ground truth from a recorded trace
+//!   (pre-deployment, |T| = 1),
+//! - [`kinematic::ConstantVelocity`], [`kinematic::ConstantAcceleration`],
+//!   [`kinematic::Ctrv`] — single-hypothesis rollouts (online),
+//! - [`maneuver::ManeuverPredictor`] — a multi-hypothesis set (keep lane /
+//!   brake / lane changes) with prior probabilities.
+//!
+//! # Example
+//!
+//! ```
+//! use av_core::prelude::*;
+//! use av_prediction::prelude::*;
+//!
+//! let lead = Agent::new(ActorId(1), ActorKind::Vehicle, Dimensions::CAR,
+//!     VehicleState::new(Vec2::new(50.0, 0.0), Radians(0.0),
+//!                       MetersPerSecond(20.0), MetersPerSecondSquared(-4.0)));
+//! let futures = ConstantAcceleration.predict(&lead, Seconds(0.0), Seconds(6.0));
+//! // The lead stops after 5 s, 50 m further on.
+//! let end = futures[0].sample(Seconds(6.0));
+//! assert!((end.position.x - 100.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod history;
+pub mod kinematic;
+pub mod maneuver;
+pub mod oracle;
+pub mod predictor;
+
+/// Glob import of the crate's main types.
+pub mod prelude {
+    pub use crate::history::TrackHistory;
+    pub use crate::kinematic::{ConstantAcceleration, ConstantVelocity, Ctrv};
+    pub use crate::maneuver::{ManeuverConfig, ManeuverPredictor};
+    pub use crate::oracle::OraclePredictor;
+    pub use crate::predictor::{rollout, TrajectoryPredictor, ROLLOUT_DT};
+}

@@ -1,0 +1,225 @@
+//! Multi-hypothesis maneuver prediction.
+//!
+//! The substitute for learned predictors like MultiPath [Chai et al. 2019]:
+//! each actor gets a small set of hypotheses — keep lane, brake, accelerate
+//! and lane changes toward adjacent lanes — with fixed prior probabilities.
+//! Zhuyi's Eq. 4 then aggregates tolerable latencies across the set.
+
+use crate::predictor::{rollout, TrajectoryPredictor};
+use av_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the maneuver hypothesis set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManeuverConfig {
+    /// Probability of continuing in lane at constant speed.
+    pub p_keep: f64,
+    /// Probability of braking at [`ManeuverConfig::brake_decel`].
+    pub p_brake: f64,
+    /// Probability of each lane change (left and right get this each when
+    /// the target lane exists).
+    pub p_lane_change: f64,
+    /// Deceleration magnitude of the brake hypothesis.
+    pub brake_decel: MetersPerSecondSquared,
+    /// Duration of a lane-change maneuver.
+    pub lane_change_duration: Seconds,
+    /// Lane width used to aim lane-change hypotheses.
+    pub lane_width: Meters,
+    /// Number of lanes on the road (lane 0 is the rightmost).
+    pub lanes: u32,
+}
+
+impl Default for ManeuverConfig {
+    fn default() -> Self {
+        Self {
+            p_keep: 0.5,
+            p_brake: 0.2,
+            p_lane_change: 0.15,
+            brake_decel: MetersPerSecondSquared(3.0),
+            lane_change_duration: Seconds(3.0),
+            lane_width: Meters(3.7),
+            lanes: 3,
+        }
+    }
+}
+
+/// Multi-hypothesis predictor over a road reference path.
+///
+/// Lane membership is derived from the actor's lateral Frenet offset on the
+/// reference path (lane 0 centered at d = 0, lane i at d = i·width).
+#[derive(Debug, Clone)]
+pub struct ManeuverPredictor {
+    path: Path,
+    config: ManeuverConfig,
+}
+
+impl ManeuverPredictor {
+    /// Creates a predictor over `path` (the road's rightmost-lane
+    /// centerline).
+    pub fn new(path: Path, config: ManeuverConfig) -> Self {
+        Self { path, config }
+    }
+
+    /// The configured hypothesis set parameters.
+    pub fn config(&self) -> &ManeuverConfig {
+        &self.config
+    }
+
+    /// The lane index nearest to lateral offset `d` (clamped to the road).
+    fn lane_of(&self, d: Meters) -> i64 {
+        let idx = (d.value() / self.config.lane_width.value()).round() as i64;
+        idx.clamp(0, self.config.lanes as i64 - 1)
+    }
+
+    /// Rolls out a lane-keeping or lane-changing hypothesis along the path.
+    fn lane_rollout(
+        &self,
+        agent: &Agent,
+        now: Seconds,
+        horizon: Seconds,
+        probability: f64,
+        accel: MetersPerSecondSquared,
+        target_lane: i64,
+    ) -> Trajectory {
+        let f0 = self.path.project(agent.state.position);
+        let d0 = f0.d;
+        let d1 = Meters(target_lane as f64 * self.config.lane_width.value());
+        let t_lc = self.config.lane_change_duration.value();
+        let path = self.path.clone();
+        let v0 = agent.state.speed;
+        rollout(now, horizon, probability, move |dt| {
+            let (ds, v) = distance_speed_after(v0, accel, dt);
+            // Smoothstep lateral blend over the lane-change duration.
+            let u = (dt.value() / t_lc).clamp(0.0, 1.0);
+            let blend = u * u * (3.0 - 2.0 * u);
+            let d = Meters(d0.value() + (d1.value() - d0.value()) * blend);
+            let pose = path.pose_at(f0.s + ds);
+            let left = Vec2::from_heading(pose.heading).perp();
+            VehicleState {
+                position: pose.position + left * d.value(),
+                heading: pose.heading,
+                speed: v,
+                accel,
+            }
+        })
+    }
+}
+
+impl TrajectoryPredictor for ManeuverPredictor {
+    fn predict(&self, agent: &Agent, now: Seconds, horizon: Seconds) -> Vec<Trajectory> {
+        let cfg = &self.config;
+        let lane = self.lane_of(self.path.project(agent.state.position).d);
+        let mut futures = Vec::with_capacity(4);
+        futures.push(self.lane_rollout(
+            agent,
+            now,
+            horizon,
+            cfg.p_keep,
+            MetersPerSecondSquared::ZERO,
+            lane,
+        ));
+        futures.push(self.lane_rollout(
+            agent,
+            now,
+            horizon,
+            cfg.p_brake,
+            MetersPerSecondSquared(-cfg.brake_decel.value().abs()),
+            lane,
+        ));
+        for target in [lane - 1, lane + 1] {
+            if target >= 0 && target < cfg.lanes as i64 {
+                futures.push(self.lane_rollout(
+                    agent,
+                    now,
+                    horizon,
+                    cfg.p_lane_change,
+                    MetersPerSecondSquared::ZERO,
+                    target,
+                ));
+            }
+        }
+        futures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn road() -> Path {
+        Path::straight(Vec2::ZERO, Radians(0.0), Meters(2000.0))
+    }
+
+    fn actor_in_lane(lane: f64, v: f64) -> Agent {
+        Agent::new(
+            ActorId(1),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::new(
+                Vec2::new(50.0, lane * 3.7),
+                Radians(0.0),
+                MetersPerSecond(v),
+                MetersPerSecondSquared::ZERO,
+            ),
+        )
+    }
+
+    #[test]
+    fn middle_lane_actor_gets_four_hypotheses() {
+        let p = ManeuverPredictor::new(road(), ManeuverConfig::default());
+        let futures = p.predict(&actor_in_lane(1.0, 15.0), Seconds(0.0), Seconds(4.0));
+        assert_eq!(futures.len(), 4); // keep, brake, left, right
+        let total: f64 = futures.iter().map(|t| t.probability()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_lane_actor_loses_one_lane_change() {
+        let p = ManeuverPredictor::new(road(), ManeuverConfig::default());
+        let futures = p.predict(&actor_in_lane(0.0, 15.0), Seconds(0.0), Seconds(4.0));
+        assert_eq!(futures.len(), 3);
+        let futures = p.predict(&actor_in_lane(2.0, 15.0), Seconds(0.0), Seconds(4.0));
+        assert_eq!(futures.len(), 3);
+    }
+
+    #[test]
+    fn keep_hypothesis_stays_in_lane() {
+        let p = ManeuverPredictor::new(road(), ManeuverConfig::default());
+        let futures = p.predict(&actor_in_lane(1.0, 15.0), Seconds(0.0), Seconds(4.0));
+        let keep = &futures[0];
+        let end = keep.sample(Seconds(4.0));
+        assert!((end.position.y - 3.7).abs() < 1e-6);
+        assert!((end.position.x - 110.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lane_change_hypothesis_reaches_adjacent_lane() {
+        let p = ManeuverPredictor::new(road(), ManeuverConfig::default());
+        let futures = p.predict(&actor_in_lane(1.0, 15.0), Seconds(0.0), Seconds(5.0));
+        // Hypotheses: keep, brake, left(lane 0), right(lane 2).
+        let lat_ends: Vec<f64> = futures
+            .iter()
+            .map(|t| t.sample(Seconds(5.0)).position.y)
+            .collect();
+        assert!(lat_ends.iter().any(|y| (y - 0.0).abs() < 0.05));
+        assert!(lat_ends.iter().any(|y| (y - 7.4).abs() < 0.05));
+    }
+
+    #[test]
+    fn brake_hypothesis_slows_down() {
+        let p = ManeuverPredictor::new(road(), ManeuverConfig::default());
+        let futures = p.predict(&actor_in_lane(1.0, 9.0), Seconds(0.0), Seconds(4.0));
+        let brake = &futures[1];
+        let end = brake.sample(Seconds(4.0));
+        assert_eq!(end.speed, MetersPerSecond::ZERO); // 9 m/s / 3 m/s^2 = 3 s
+    }
+
+    #[test]
+    fn off_road_lateral_clamps_to_valid_lane() {
+        let p = ManeuverPredictor::new(road(), ManeuverConfig::default());
+        // Actor laterally beyond lane 2: treated as lane 2, so only a
+        // right... er, left change toward lane 1 plus keep/brake.
+        let futures = p.predict(&actor_in_lane(5.0, 10.0), Seconds(0.0), Seconds(3.0));
+        assert_eq!(futures.len(), 3);
+    }
+}

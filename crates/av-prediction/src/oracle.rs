@@ -1,0 +1,143 @@
+//! The oracle predictor: ground-truth futures read from a recorded trace.
+//!
+//! Pre-deployment (§3.1) "the actor's location at future time-steps is
+//! known, i.e., the size of the set T is one". The oracle wraps a scenario
+//! trace and serves each actor's actual future as a single trajectory with
+//! probability one.
+
+use crate::predictor::TrajectoryPredictor;
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use av_core::trajectory::TrajectoryPoint;
+
+/// Ground-truth predictor over a recorded trace.
+#[derive(Debug, Clone)]
+pub struct OraclePredictor {
+    scenes: Vec<Scene>,
+    /// Subsampling interval for served trajectories.
+    spacing: Seconds,
+}
+
+impl OraclePredictor {
+    /// Wraps a time-ordered trace. `spacing` subsamples the served future
+    /// (interpolation covers the gaps); pass the trace resolution for exact
+    /// replay.
+    pub fn new(scenes: Vec<Scene>, spacing: Seconds) -> Self {
+        Self {
+            scenes,
+            spacing: Seconds(spacing.value().max(1e-6)),
+        }
+    }
+
+    /// The wrapped trace.
+    pub fn scenes(&self) -> &[Scene] {
+        &self.scenes
+    }
+}
+
+impl TrajectoryPredictor for OraclePredictor {
+    fn predict(&self, agent: &Agent, now: Seconds, horizon: Seconds) -> Vec<Trajectory> {
+        let mut points: Vec<TrajectoryPoint> = Vec::new();
+        let mut next_sample = now.value();
+        for scene in &self.scenes {
+            if scene.time.value() + 1e-12 < next_sample {
+                continue;
+            }
+            if (scene.time - now).value() > horizon.value() {
+                break;
+            }
+            let Some(actor) = scene.actor(agent.id) else {
+                if points.is_empty() {
+                    continue;
+                }
+                break; // future ends when the actor despawns
+            };
+            points.push(TrajectoryPoint {
+                time: scene.time,
+                position: actor.state.position,
+                heading: actor.state.heading,
+                speed: actor.state.speed,
+                accel: actor.state.accel,
+            });
+            next_sample = scene.time.value() + self.spacing.value();
+        }
+        Trajectory::new(points, 1.0).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(n: usize) -> Vec<Scene> {
+        (0..n)
+            .map(|k| {
+                let t = k as f64 * 0.1;
+                let ego = Agent::new(
+                    ActorId::EGO,
+                    ActorKind::Vehicle,
+                    Dimensions::CAR,
+                    VehicleState::at_rest(Vec2::ZERO, Radians(0.0)),
+                );
+                let actor = Agent::new(
+                    ActorId(1),
+                    ActorKind::Vehicle,
+                    Dimensions::CAR,
+                    VehicleState::new(
+                        Vec2::new(10.0 + 5.0 * t, 0.0),
+                        Radians(0.0),
+                        MetersPerSecond(5.0),
+                        MetersPerSecondSquared::ZERO,
+                    ),
+                );
+                Scene::new(Seconds(t), ego, vec![actor])
+            })
+            .collect()
+    }
+
+    fn probe() -> Agent {
+        Agent::new(
+            ActorId(1),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::ZERO, Radians(0.0)),
+        )
+    }
+
+    #[test]
+    fn oracle_returns_single_ground_truth_future() {
+        let oracle = OraclePredictor::new(trace(50), Seconds(0.1));
+        let futures = oracle.predict(&probe(), Seconds(1.0), Seconds(2.0));
+        assert_eq!(futures.len(), 1);
+        let t = &futures[0];
+        assert_eq!(t.probability(), 1.0);
+        // At absolute t=2.0 the actor is at 10 + 5*2 = 20.
+        assert!((t.sample(Seconds(2.0)).position.x - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_respects_horizon() {
+        let oracle = OraclePredictor::new(trace(100), Seconds(0.1));
+        let futures = oracle.predict(&probe(), Seconds(0.0), Seconds(1.0));
+        assert!((futures[0].end_time().value() - 1.0).abs() < 0.11);
+    }
+
+    #[test]
+    fn unknown_actor_yields_no_future() {
+        let oracle = OraclePredictor::new(trace(10), Seconds(0.1));
+        let stranger = Agent::new(
+            ActorId(42),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::ZERO, Radians(0.0)),
+        );
+        assert!(oracle.predict(&stranger, Seconds(0.0), Seconds(1.0)).is_empty());
+    }
+
+    #[test]
+    fn query_past_trace_end_is_empty() {
+        let oracle = OraclePredictor::new(trace(10), Seconds(0.1));
+        let futures = oracle.predict(&probe(), Seconds(100.0), Seconds(1.0));
+        assert!(futures.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! The trajectory-predictor interface and rollout helpers.
+//!
+//! Post-deployment, Zhuyi consumes *predicted* future trajectories (the set
+//! `T` of paper Eq. 4) produced from the perceived world model. The paper
+//! leverages existing predictors (MultiPath, PredictionNet); this workspace
+//! substitutes kinematic and maneuver-based predictors that produce the
+//! same artifact: a set of time-stamped trajectories with probabilities.
+
+use av_core::prelude::*;
+use av_core::trajectory::TrajectoryPoint;
+
+/// Produces a set of predicted future trajectories for one actor.
+///
+/// Implementations must return trajectories whose sample times start at
+/// `now` and extend to roughly `now + horizon`, and whose probabilities are
+/// positive (they need not sum to one; Zhuyi's aggregation normalizes).
+pub trait TrajectoryPredictor {
+    /// Predicts futures for `agent` as perceived at `now`.
+    fn predict(&self, agent: &Agent, now: Seconds, horizon: Seconds) -> Vec<Trajectory>;
+}
+
+/// Sampling interval used by the kinematic rollouts.
+pub const ROLLOUT_DT: Seconds = Seconds(0.1);
+
+/// Rolls a state forward under a per-step transition function, producing a
+/// trajectory of `probability`.
+///
+/// The transition receives the elapsed time from `now` and must return the
+/// state at that offset (closed-form transitions keep rollouts exact).
+pub fn rollout(
+    now: Seconds,
+    horizon: Seconds,
+    probability: f64,
+    state_at: impl Fn(Seconds) -> VehicleState,
+) -> Trajectory {
+    let steps = (horizon.value() / ROLLOUT_DT.value()).ceil().max(1.0) as usize;
+    let points = (0..=steps)
+        .map(|i| {
+            let dt = Seconds(ROLLOUT_DT.value() * i as f64);
+            let s = state_at(dt);
+            TrajectoryPoint {
+                time: now + dt,
+                position: s.position,
+                heading: s.heading,
+                speed: s.speed,
+                accel: s.accel,
+            }
+        })
+        .collect();
+    Trajectory::new(points, probability).expect("rollout times strictly increase")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollout_produces_monotone_times() {
+        let state = VehicleState::new(
+            Vec2::ZERO,
+            Radians(0.0),
+            MetersPerSecond(10.0),
+            MetersPerSecondSquared::ZERO,
+        );
+        let traj = rollout(Seconds(5.0), Seconds(3.0), 1.0, |dt| {
+            state.predict_constant_accel(dt)
+        });
+        assert_eq!(traj.start_time(), Seconds(5.0));
+        assert!((traj.end_time().value() - 8.0).abs() < 1e-9);
+        let s = traj.sample(Seconds(6.5));
+        assert!((s.position.x - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rollout_tiny_horizon_still_valid() {
+        let state = VehicleState::at_rest(Vec2::ZERO, Radians(0.0));
+        let traj = rollout(Seconds(0.0), Seconds(0.01), 0.5, |dt| {
+            state.predict_constant_accel(dt)
+        });
+        assert!(traj.points().len() >= 2);
+        assert_eq!(traj.probability(), 0.5);
+    }
+}

@@ -1,0 +1,15 @@
+use av_core::prelude::*;
+use av_scenarios::prelude::*;
+
+fn main() {
+    let rates = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30];
+    for id in ScenarioId::ALL {
+        let s = Scenario::build(id, 0);
+        let mut row = String::new();
+        for &f in &rates {
+            let tr = s.run_at(Fpr(f as f64));
+            row.push_str(if tr.collided() { " X " } else { " . " });
+        }
+        println!("{:40} {}", id.name(), row);
+    }
+}

@@ -1,0 +1,31 @@
+//! The nine Table-1 driving scenarios of the Zhuyi paper (DAC 2022).
+//!
+//! Each [`catalog::ScenarioId`] instantiates to a [`catalog::Scenario`]:
+//! road geometry, ego placement and cruise speed, and choreographed actors
+//! (cut-outs revealing hidden obstacles, close cut-ins, sudden braking,
+//! side activity). Scenarios run closed-loop through `av-sim` at any
+//! camera rate plan; [`catalog::minimum_required_fpr`] reproduces Table 1's
+//! MRF probe.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use av_core::prelude::*;
+//! use av_scenarios::prelude::*;
+//!
+//! let scenario = Scenario::build(ScenarioId::VehicleFollowing, 0);
+//! let trace = scenario.run_at(Fpr(30.0));
+//! assert!(!trace.collided());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod jitter;
+
+/// Glob import of the crate's main types.
+pub mod prelude {
+    pub use crate::catalog::{minimum_required_fpr, Mrf, Scenario, ScenarioId};
+    pub use crate::jitter::Jitter;
+}

@@ -1,0 +1,388 @@
+//! The closed-loop simulation engine.
+//!
+//! Each tick: snapshot the ground truth, detect collisions, feed perception
+//! (frame sampling + confirmation), let the ego plan against the *perceived*
+//! world, then integrate everyone forward. The loop is fully deterministic —
+//! scenario randomization happens at construction time (seeded parameter
+//! jitter in `av-scenarios`), mirroring the paper's repeated runs of
+//! non-deterministic simulations.
+
+use crate::policy::EgoVehicle;
+use crate::road::Road;
+use crate::script::{ActorScript, EgoObservation, ScriptedActor};
+use crate::trace::{SimEvent, Trace};
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use av_perception::system::PerceptionSystem;
+use serde::{Deserialize, Serialize};
+
+/// Engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Tick length (the paper's traces use 10 ms).
+    pub dt: Seconds,
+    /// Scenario duration.
+    pub duration: Seconds,
+    /// Stop at the first collision (on), or keep simulating (off).
+    pub stop_on_collision: bool,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            dt: Seconds(0.01),
+            duration: Seconds(20.0),
+            stop_on_collision: true,
+        }
+    }
+}
+
+/// Why [`Simulation::step`] ended the run, if it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepOutcome {
+    /// The run continues.
+    Running,
+    /// A collision was detected (and `stop_on_collision` is set).
+    Collided,
+    /// The configured duration elapsed.
+    Finished,
+}
+
+/// A running closed-loop scenario.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    road: Road,
+    ego: EgoVehicle,
+    actors: Vec<ScriptedActor>,
+    perception: PerceptionSystem,
+    config: SimulationConfig,
+    time: Seconds,
+    trace: Trace,
+    finished: bool,
+}
+
+impl Simulation {
+    /// Builds a simulation from a road, a spawned ego, actor scripts and a
+    /// configured perception system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any script is invalid for the road (wrong lane, ego id) —
+    /// scenario definitions are programmer input, not runtime data.
+    pub fn new(
+        road: Road,
+        ego: EgoVehicle,
+        scripts: Vec<ActorScript>,
+        perception: PerceptionSystem,
+        config: SimulationConfig,
+    ) -> Self {
+        let actors = scripts
+            .into_iter()
+            .map(|s| ScriptedActor::spawn(s, &road))
+            .collect();
+        Self {
+            road,
+            ego,
+            actors,
+            perception,
+            config,
+            time: Seconds::ZERO,
+            trace: Trace {
+                scenes: Vec::new(),
+                events: Vec::new(),
+                dt: config.dt,
+            },
+            finished: false,
+        }
+    }
+
+    /// Current scenario time.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// The road being driven.
+    pub fn road(&self) -> &Road {
+        &self.road
+    }
+
+    /// The ego vehicle.
+    pub fn ego(&self) -> &EgoVehicle {
+        &self.ego
+    }
+
+    /// The perception system (e.g. to inspect current rates).
+    pub fn perception(&self) -> &PerceptionSystem {
+        &self.perception
+    }
+
+    /// Mutable perception access — the hook the Zhuyi-based runtime uses
+    /// to re-prioritize per-camera rates while the scenario runs (§3.2).
+    pub fn perception_mut(&mut self) -> &mut PerceptionSystem {
+        &mut self.perception
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The current ground-truth snapshot.
+    pub fn snapshot(&self) -> Scene {
+        Scene::new(
+            self.time,
+            self.ego.to_agent(&self.road),
+            self.actors.iter().map(|a| a.to_agent(&self.road)).collect(),
+        )
+    }
+
+    /// Advances one tick.
+    pub fn step(&mut self) -> StepOutcome {
+        if self.finished {
+            return StepOutcome::Finished;
+        }
+        let scene = self.snapshot();
+        self.trace.scenes.push(scene.clone());
+
+        // Ground-truth collision check.
+        let ego_fp = scene.ego.footprint();
+        for actor in &scene.actors {
+            if ego_fp.intersects(&actor.footprint()) {
+                self.trace.events.push(SimEvent::Collision {
+                    time: self.time,
+                    actor: actor.id,
+                });
+                if self.config.stop_on_collision {
+                    self.finished = true;
+                    return StepOutcome::Collided;
+                }
+            }
+        }
+
+        // Perception sees the ground truth through sampled frames.
+        self.perception.tick(&scene);
+        let perceived = self.perception.world().coasted_agents(self.time);
+
+        // Ego plans against the perceived world; actors follow scripts
+        // against the ground truth.
+        let command = self.ego.plan(&perceived, &self.road);
+        let ego_obs = EgoObservation {
+            s: self.ego.s(),
+            speed: self.ego.speed(),
+            half_length: self.ego.dims().length / 2.0,
+        };
+        self.ego.integrate(command, self.config.dt);
+        for actor in &mut self.actors {
+            if let Some(desc) = actor.step(self.time, self.config.dt, &ego_obs, &self.road) {
+                self.trace.events.push(SimEvent::Maneuver {
+                    time: self.time,
+                    description: desc,
+                });
+            }
+        }
+
+        self.time += self.config.dt;
+        if self.time.value() >= self.config.duration.value() - 1e-12 {
+            self.finished = true;
+            return StepOutcome::Finished;
+        }
+        StepOutcome::Running
+    }
+
+    /// Runs to completion and returns the trace.
+    pub fn run(mut self) -> Trace {
+        while self.step() == StepOutcome::Running {}
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use crate::road::LaneId;
+    use crate::script::Placement;
+    use av_perception::rig::CameraRig;
+    use av_perception::system::RatePlan;
+    use av_perception::world_model::TrackerConfig;
+
+    fn perception(fpr: f64) -> PerceptionSystem {
+        PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::Uniform(Fpr(fpr)),
+            TrackerConfig::default(),
+        )
+        .expect("valid plan")
+    }
+
+    fn base_sim(fpr: f64, ego_speed: f64, scripts: Vec<ActorScript>) -> Simulation {
+        let road = Road::straight_three_lane(Meters(3000.0));
+        let ego = EgoVehicle::spawn(
+            &road,
+            LaneId(1),
+            Meters(50.0),
+            PolicyConfig::cruise(MetersPerSecond(ego_speed)),
+        );
+        Simulation::new(road, ego, scripts, perception(fpr), SimulationConfig::default())
+    }
+
+    #[test]
+    fn empty_road_run_is_uneventful() {
+        let trace = base_sim(30.0, 25.0, vec![]).run();
+        assert!(!trace.collided());
+        assert!((trace.duration().value() - 20.0).abs() < 0.05);
+        // Ego held its speed throughout.
+        assert!(trace.min_ego_speed().expect("scenes recorded").value() > 24.5);
+    }
+
+    #[test]
+    fn high_fpr_avoids_static_obstacle() {
+        let obstacle = ActorScript::obstacle(ActorId(1), LaneId(1), Meters(400.0));
+        let trace = base_sim(30.0, 25.0, vec![obstacle]).run();
+        assert!(!trace.collided(), "30 FPR must stop in time");
+        // IDM creeps asymptotically toward the standstill gap; near-zero
+        // terminal speed is a successful stop.
+        assert!(trace.min_ego_speed().expect("scenes recorded").value() < 2.0);
+    }
+
+    #[test]
+    fn sub_1_fpr_hits_close_fast_obstacle() {
+        // 31 m/s toward an obstacle 150 m ahead at 0.2 FPR: the world
+        // refreshes every 5 s and takes K=5 frames (25 s) to confirm —
+        // the ego never reacts.
+        let obstacle = ActorScript::obstacle(ActorId(1), LaneId(1), Meters(200.0));
+        let trace = base_sim(0.2, 31.0, vec![obstacle]).run();
+        assert!(trace.collided(), "0.2 FPR cannot confirm the obstacle in time");
+    }
+
+    #[test]
+    fn trace_records_every_tick_until_stop() {
+        let sim = base_sim(30.0, 20.0, vec![]);
+        let trace = sim.run();
+        let expected = (20.0 / 0.01) as usize;
+        assert!((trace.scenes.len() as i64 - expected as i64).abs() <= 1);
+        // Times strictly increase.
+        for pair in trace.scenes.windows(2) {
+            assert!(pair[1].time > pair[0].time);
+        }
+    }
+
+    #[test]
+    fn step_after_finish_is_idempotent() {
+        let mut sim = base_sim(30.0, 20.0, vec![]);
+        while sim.step() == StepOutcome::Running {}
+        assert_eq!(sim.step(), StepOutcome::Finished);
+        assert_eq!(sim.step(), StepOutcome::Finished);
+    }
+
+    #[test]
+    fn collision_stops_run_and_is_logged() {
+        let obstacle = ActorScript::obstacle(ActorId(1), LaneId(1), Meters(120.0));
+        let trace = base_sim(0.2, 31.0, vec![obstacle]).run();
+        let (t, actor) = trace.collision().expect("collision logged");
+        assert_eq!(actor, ActorId(1));
+        assert!(t.value() < 5.0);
+        // Trace ends at the collision tick.
+        assert!((trace.duration() - t).value().abs() < 0.02);
+    }
+
+    #[test]
+    fn maneuver_events_are_logged() {
+        let cutter = ActorScript::cruising(
+            ActorId(2),
+            Placement {
+                lane: LaneId(0),
+                s: Meters(100.0),
+                speed: MetersPerSecond(20.0),
+            },
+        )
+        .with_maneuver(
+            crate::script::Trigger::AtTime(Seconds(1.0)),
+            crate::script::Action::ChangeLane {
+                target: LaneId(1),
+                duration: Seconds(2.0),
+            },
+        );
+        let trace = base_sim(30.0, 20.0, vec![cutter]).run();
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::Maneuver { .. })));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use crate::road::LaneId;
+    use av_perception::rig::CameraRig;
+    use av_perception::system::{PerceptionSystem, RatePlan};
+    use av_perception::world_model::TrackerConfig;
+
+    #[test]
+    fn without_stop_on_collision_the_run_continues() {
+        let road = Road::straight_three_lane(Meters(3000.0));
+        let ego = EgoVehicle::spawn(
+            &road,
+            LaneId(1),
+            Meters(50.0),
+            PolicyConfig::cruise(MetersPerSecond(31.0)),
+        );
+        let obstacle = ActorScript::obstacle(ActorId(1), LaneId(1), Meters(150.0));
+        // 0.2 FPR: guaranteed collision (see `sub_1_fpr_hits_close_fast_obstacle`).
+        let perception = PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::Uniform(Fpr(0.2)),
+            TrackerConfig::default(),
+        )
+        .expect("valid plan");
+        let trace = Simulation::new(
+            road,
+            ego,
+            vec![obstacle],
+            perception,
+            SimulationConfig {
+                duration: Seconds(10.0),
+                stop_on_collision: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(trace.collided());
+        // The run covered the full duration despite the collision.
+        assert!(trace.duration().value() > 9.9, "stopped early at {}", trace.duration());
+        // Collision events keep being recorded while overlapping.
+        let collisions = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Collision { .. }))
+            .count();
+        assert!(collisions > 1, "only {collisions} collision events");
+    }
+
+    #[test]
+    fn snapshot_reflects_live_state() {
+        let road = Road::straight_three_lane(Meters(1000.0));
+        let ego = EgoVehicle::spawn(
+            &road,
+            LaneId(0),
+            Meters(10.0),
+            PolicyConfig::cruise(MetersPerSecond(10.0)),
+        );
+        let perception = PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::Uniform(Fpr(30.0)),
+            TrackerConfig::default(),
+        )
+        .expect("valid plan");
+        let mut sim = Simulation::new(road, ego, vec![], perception, SimulationConfig::default());
+        let before = sim.snapshot();
+        for _ in 0..100 {
+            sim.step();
+        }
+        let after = sim.snapshot();
+        assert!(after.ego.state.position.x > before.ego.state.position.x + 9.0);
+        assert_eq!(after.time, sim.time());
+    }
+}

@@ -1,0 +1,347 @@
+//! Trace import/export as CSV.
+//!
+//! Scenario traces are the interface between the simulator and external
+//! tooling (plotting, spreadsheet analysis, replaying a trace through the
+//! Zhuyi pipeline in another process). One row per (tick, agent), columns
+//! fixed and versioned by a header; everything is plain text so the files
+//! diff well and need no extra dependencies.
+
+use crate::trace::Trace;
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// The exact header written and expected by this module.
+pub const TRACE_CSV_HEADER: &str =
+    "time_s,agent,kind,x_m,y_m,heading_rad,speed_mps,accel_mps2,length_m,width_m";
+
+/// Error importing a trace from CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceCsvError {
+    /// The header row is missing or does not match [`TRACE_CSV_HEADER`].
+    BadHeader {
+        /// What was found instead.
+        found: String,
+    },
+    /// A row does not have the expected number of fields.
+    BadRowShape {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        fields: usize,
+    },
+    /// A field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+        /// Offending text.
+        value: String,
+    },
+    /// Rows are not grouped by non-decreasing time.
+    TimeNotMonotonic {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A scene is missing its ego row.
+    MissingEgo {
+        /// The scene time without an ego.
+        time: Seconds,
+    },
+}
+
+impl std::fmt::Display for TraceCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCsvError::BadHeader { found } => {
+                write!(f, "unexpected trace CSV header: {found:?}")
+            }
+            TraceCsvError::BadRowShape { line, fields } => {
+                write!(f, "line {line}: expected 10 fields, found {fields}")
+            }
+            TraceCsvError::BadField { line, column, value } => {
+                write!(f, "line {line}: cannot parse {column} from {value:?}")
+            }
+            TraceCsvError::TimeNotMonotonic { line } => {
+                write!(f, "line {line}: time went backwards")
+            }
+            TraceCsvError::MissingEgo { time } => {
+                write!(f, "scene at {time} has no ego row")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceCsvError {}
+
+/// Serializes the scenes of a trace to CSV (events are not included; they
+/// are derivable by re-running collision checks or kept separately).
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.scenes.len() * 96 + 128);
+    out.push_str(TRACE_CSV_HEADER);
+    out.push('\n');
+    for scene in &trace.scenes {
+        for agent in scene.agents() {
+            let kind = match agent.kind {
+                ActorKind::Vehicle => "vehicle",
+                ActorKind::StaticObstacle => "obstacle",
+            };
+            let _ = writeln!(
+                out,
+                "{:.4},{},{},{:.4},{:.4},{:.6},{:.4},{:.4},{:.2},{:.2}",
+                scene.time.value(),
+                agent.id.0,
+                kind,
+                agent.state.position.x,
+                agent.state.position.y,
+                agent.state.heading.value(),
+                agent.state.speed.value(),
+                agent.state.accel.value(),
+                agent.dims.length.value(),
+                agent.dims.width.value(),
+            );
+        }
+    }
+    out
+}
+
+fn parse<T: FromStr>(
+    line: usize,
+    column: &'static str,
+    value: &str,
+) -> Result<T, TraceCsvError> {
+    value.trim().parse().map_err(|_| TraceCsvError::BadField {
+        line,
+        column,
+        value: value.to_string(),
+    })
+}
+
+/// Parses a trace back from CSV produced by [`trace_to_csv`].
+///
+/// `dt` is not stored in the CSV; it is re-derived from the first two
+/// distinct scene times (or zero for single-scene traces).
+///
+/// # Errors
+///
+/// Returns a [`TraceCsvError`] describing the first malformed row.
+pub fn trace_from_csv(csv: &str) -> Result<Trace, TraceCsvError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == TRACE_CSV_HEADER => {}
+        other => {
+            return Err(TraceCsvError::BadHeader {
+                found: other.map(|(_, h)| h.to_string()).unwrap_or_default(),
+            })
+        }
+    }
+
+    let mut scenes: Vec<Scene> = Vec::new();
+    let mut pending: Option<(Seconds, Option<Agent>, Vec<Agent>)> = None;
+    let flush =
+        |pending: &mut Option<(Seconds, Option<Agent>, Vec<Agent>)>,
+         scenes: &mut Vec<Scene>|
+         -> Result<(), TraceCsvError> {
+            if let Some((time, ego, actors)) = pending.take() {
+                let ego = ego.ok_or(TraceCsvError::MissingEgo { time })?;
+                scenes.push(Scene::new(time, ego, actors));
+            }
+            Ok(())
+        };
+
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split(',').collect();
+        if fields.len() != 10 {
+            return Err(TraceCsvError::BadRowShape {
+                line,
+                fields: fields.len(),
+            });
+        }
+        let time = Seconds(parse(line, "time_s", fields[0])?);
+        let id: u32 = parse(line, "agent", fields[1])?;
+        let kind = match fields[2].trim() {
+            "vehicle" => ActorKind::Vehicle,
+            "obstacle" => ActorKind::StaticObstacle,
+            other => {
+                return Err(TraceCsvError::BadField {
+                    line,
+                    column: "kind",
+                    value: other.to_string(),
+                })
+            }
+        };
+        let agent = Agent::new(
+            ActorId(id),
+            kind,
+            Dimensions::new(
+                Meters(parse(line, "length_m", fields[8])?),
+                Meters(parse(line, "width_m", fields[9])?),
+            ),
+            VehicleState::new(
+                Vec2::new(parse(line, "x_m", fields[3])?, parse(line, "y_m", fields[4])?),
+                Radians(parse(line, "heading_rad", fields[5])?),
+                MetersPerSecond(parse(line, "speed_mps", fields[6])?),
+                MetersPerSecondSquared(parse(line, "accel_mps2", fields[7])?),
+            ),
+        );
+
+        let same_scene = pending
+            .as_ref()
+            .is_some_and(|(t, _, _)| (time - *t).value().abs() < 1e-9);
+        if !same_scene {
+            if let Some((t, _, _)) = &pending {
+                if time < *t {
+                    return Err(TraceCsvError::TimeNotMonotonic { line });
+                }
+            }
+            flush(&mut pending, &mut scenes)?;
+            pending = Some((time, None, Vec::new()));
+        }
+        let (_, ego, actors) = pending.as_mut().expect("pending scene initialized");
+        if agent.id.is_ego() {
+            *ego = Some(agent);
+        } else {
+            actors.push(agent);
+        }
+    }
+    flush(&mut pending, &mut scenes)?;
+
+    let dt = scenes
+        .windows(2)
+        .map(|w| w[1].time - w[0].time)
+        .find(|d| d.value() > 0.0)
+        .unwrap_or(Seconds::ZERO);
+    Ok(Trace {
+        scenes,
+        events: Vec::new(),
+        dt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SimEvent;
+
+    fn sample_trace() -> Trace {
+        let mk = |t: f64, ego_x: f64| {
+            let ego = Agent::new(
+                ActorId::EGO,
+                ActorKind::Vehicle,
+                Dimensions::CAR,
+                VehicleState::new(
+                    Vec2::new(ego_x, 3.7),
+                    Radians(0.01),
+                    MetersPerSecond(20.0),
+                    MetersPerSecondSquared(-1.5),
+                ),
+            );
+            let obstacle = Agent::new(
+                ActorId(2),
+                ActorKind::StaticObstacle,
+                Dimensions::OBSTACLE,
+                VehicleState::at_rest(Vec2::new(100.0, 3.7), Radians(0.0)),
+            );
+            Scene::new(Seconds(t), ego, vec![obstacle])
+        };
+        Trace {
+            scenes: vec![mk(0.0, 0.0), mk(0.01, 0.2), mk(0.02, 0.4)],
+            events: vec![SimEvent::Collision {
+                time: Seconds(0.02),
+                actor: ActorId(2),
+            }],
+            dt: Seconds(0.01),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_scenes() {
+        let original = sample_trace();
+        let csv = trace_to_csv(&original);
+        let back = trace_from_csv(&csv).expect("parse succeeds");
+        assert_eq!(back.scenes.len(), 3);
+        assert_eq!(back.dt, Seconds(0.01));
+        for (a, b) in original.scenes.iter().zip(&back.scenes) {
+            assert!((a.time - b.time).value().abs() < 1e-9);
+            assert_eq!(a.actors.len(), b.actors.len());
+            assert!((a.ego.state.position.x - b.ego.state.position.x).abs() < 1e-3);
+            assert_eq!(a.actors[0].kind, b.actors[0].kind);
+        }
+        // Events are intentionally not serialized.
+        assert!(back.events.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            trace_from_csv("nope\n1,2,3"),
+            Err(TraceCsvError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            trace_from_csv(""),
+            Err(TraceCsvError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let csv = format!("{TRACE_CSV_HEADER}\n0.0,0,vehicle,1,2\n");
+        assert!(matches!(
+            trace_from_csv(&csv),
+            Err(TraceCsvError::BadRowShape { line: 2, fields: 5 })
+        ));
+        let csv = format!("{TRACE_CSV_HEADER}\n0.0,0,spaceship,0,0,0,0,0,4.5,1.8\n");
+        assert!(matches!(
+            trace_from_csv(&csv),
+            Err(TraceCsvError::BadField { column: "kind", .. })
+        ));
+        let csv = format!("{TRACE_CSV_HEADER}\nzero,0,vehicle,0,0,0,0,0,4.5,1.8\n");
+        assert!(matches!(
+            trace_from_csv(&csv),
+            Err(TraceCsvError::BadField { column: "time_s", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_sceneless_ego() {
+        let csv = format!("{TRACE_CSV_HEADER}\n0.0,7,vehicle,0,0,0,0,0,4.5,1.8\n");
+        assert!(matches!(
+            trace_from_csv(&csv),
+            Err(TraceCsvError::MissingEgo { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let row = "0,vehicle,0,0,0,0,0,4.5,1.8";
+        let csv = format!("{TRACE_CSV_HEADER}\n1.0,{row}\n0.5,{row}\n");
+        assert!(matches!(
+            trace_from_csv(&csv),
+            Err(TraceCsvError::TimeNotMonotonic { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let empty = Trace::default();
+        let back = trace_from_csv(&trace_to_csv(&empty)).expect("parse succeeds");
+        assert!(back.scenes.is_empty());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = TraceCsvError::BadField {
+            line: 3,
+            column: "x_m",
+            value: "abc".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("x_m") && msg.contains("abc"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Safety metrics computed over recorded traces.
+//!
+//! Beyond the binary collided/safe outcome, scenario analysis (and our
+//! EXPERIMENTS.md tables) benefit from standard surrogate safety metrics:
+//! time-to-collision (TTC), time headway (THW), and their minima over a
+//! run. These quantify *how close* a configuration came to failing —
+//! useful when comparing FPR settings that all avoided collision.
+
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Surrogate safety metrics at one instant, measured against the nearest
+/// in-corridor frontal actor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstantMetrics {
+    /// Scenario time.
+    pub time: Seconds,
+    /// Bumper-to-bumper gap to the lead (None when no frontal actor).
+    pub gap: Option<Meters>,
+    /// Time to collision at current closing speed (None when not
+    /// closing or no lead).
+    pub ttc: Option<Seconds>,
+    /// Time headway: gap over ego speed (None when stopped or no lead).
+    pub thw: Option<Seconds>,
+}
+
+/// Aggregated minima over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunMetrics {
+    /// Smallest bumper-to-bumper frontal gap.
+    pub min_gap: Option<Meters>,
+    /// Smallest time to collision.
+    pub min_ttc: Option<Seconds>,
+    /// Smallest time headway.
+    pub min_thw: Option<Seconds>,
+}
+
+/// Lateral corridor slack used when deciding whether an actor is frontal.
+const CORRIDOR_MARGIN: f64 = 0.3;
+
+/// Metrics for one scene: nearest frontal in-corridor actor ahead of the
+/// ego along its heading.
+pub fn instant_metrics(scene: &Scene) -> InstantMetrics {
+    let ego = &scene.ego;
+    let forward = Vec2::from_heading(ego.state.heading);
+    let mut best: Option<(Meters, MetersPerSecond)> = None;
+    for actor in &scene.actors {
+        let rel = actor.state.position - ego.state.position;
+        let ahead = rel.dot(forward);
+        if ahead <= 0.0 {
+            continue;
+        }
+        let lateral = rel.cross(forward).abs();
+        let corridor =
+            (ego.dims.width.value() + actor.dims.width.value()) / 2.0 + CORRIDOR_MARGIN;
+        if lateral > corridor {
+            continue;
+        }
+        let gap = Meters(
+            ahead - (ego.dims.length.value() + actor.dims.length.value()) / 2.0,
+        );
+        let closing = MetersPerSecond(
+            ego.state.speed.value()
+                - actor.state.velocity().dot(forward),
+        );
+        if best.is_none_or(|(g, _)| gap < g) {
+            best = Some((gap, closing));
+        }
+    }
+    let (gap, ttc, thw) = match best {
+        None => (None, None, None),
+        Some((gap, closing)) => {
+            let ttc = (closing.value() > 1e-6 && gap.value() > 0.0)
+                .then(|| gap / closing);
+            let thw = (ego.state.speed.value() > 1e-6).then(|| gap / ego.state.speed);
+            (Some(gap), ttc, thw)
+        }
+    };
+    InstantMetrics {
+        time: scene.time,
+        gap,
+        ttc,
+        thw,
+    }
+}
+
+/// Minima over a full trace.
+///
+/// ```
+/// use av_sim::metrics::run_metrics;
+/// use av_sim::trace::Trace;
+///
+/// let metrics = run_metrics(&Trace::default());
+/// assert!(metrics.min_ttc.is_none()); // empty trace: nothing measured
+/// ```
+pub fn run_metrics(trace: &Trace) -> RunMetrics {
+    let mut out = RunMetrics::default();
+    for scene in &trace.scenes {
+        let m = instant_metrics(scene);
+        if let Some(g) = m.gap {
+            out.min_gap = Some(out.min_gap.map_or(g, |cur: Meters| cur.min(g)));
+        }
+        if let Some(t) = m.ttc {
+            out.min_ttc = Some(out.min_ttc.map_or(t, |cur: Seconds| cur.min(t)));
+        }
+        if let Some(t) = m.thw {
+            out.min_thw = Some(out.min_thw.map_or(t, |cur: Seconds| cur.min(t)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent(id: u32, x: f64, y: f64, v: f64) -> Agent {
+        Agent::new(
+            ActorId(id),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::new(
+                Vec2::new(x, y),
+                Radians(0.0),
+                MetersPerSecond(v),
+                MetersPerSecondSquared::ZERO,
+            ),
+        )
+    }
+
+    fn scene(actors: Vec<Agent>) -> Scene {
+        Scene::new(Seconds(1.0), agent(0, 0.0, 0.0, 20.0), actors)
+    }
+
+    #[test]
+    fn lead_metrics_are_computed() {
+        // Lead 54.5 m ahead (50 m bumper gap) doing 10 m/s: closing at 10.
+        let m = instant_metrics(&scene(vec![agent(1, 54.5, 0.0, 10.0)]));
+        assert!((m.gap.expect("lead").value() - 50.0).abs() < 1e-9);
+        assert!((m.ttc.expect("closing").value() - 5.0).abs() < 1e-9);
+        assert!((m.thw.expect("moving").value() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receding_lead_has_no_ttc() {
+        let m = instant_metrics(&scene(vec![agent(1, 54.5, 0.0, 30.0)]));
+        assert!(m.ttc.is_none());
+        assert!(m.gap.is_some());
+    }
+
+    #[test]
+    fn adjacent_lane_and_rear_actors_ignored() {
+        let m = instant_metrics(&scene(vec![
+            agent(1, 30.0, 3.7, 0.0),
+            agent(2, -20.0, 0.0, 25.0),
+        ]));
+        assert!(m.gap.is_none());
+        assert!(m.ttc.is_none());
+    }
+
+    #[test]
+    fn nearest_lead_wins() {
+        let m = instant_metrics(&scene(vec![
+            agent(1, 80.0, 0.0, 10.0),
+            agent(2, 40.0, 0.0, 15.0),
+        ]));
+        assert!((m.gap.expect("lead").value() - 35.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_minima_accumulate() {
+        let trace = Trace {
+            scenes: vec![
+                scene(vec![agent(1, 104.5, 0.0, 10.0)]), // gap 100, ttc 10
+                scene(vec![agent(1, 54.5, 0.0, 10.0)]),  // gap 50, ttc 5
+                scene(vec![agent(1, 84.5, 0.0, 10.0)]),  // gap 80, ttc 8
+            ],
+            events: vec![],
+            dt: Seconds(0.01),
+        };
+        let m = run_metrics(&trace);
+        assert_eq!(m.min_gap, Some(Meters(50.0)));
+        assert_eq!(m.min_ttc, Some(Seconds(5.0)));
+        assert!((m.min_thw.expect("moving").value() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_has_no_metrics() {
+        let m = run_metrics(&Trace::default());
+        assert_eq!(m, RunMetrics::default());
+    }
+}

@@ -1,0 +1,574 @@
+//! Scripted actor behaviors: triggers and maneuvers in road coordinates.
+//!
+//! The paper's scenarios are choreographies — "an actor ... cuts out of the
+//! ego's lane and reveals a static obstacle", "the actor applies sudden
+//! braking" (§4.1). An [`ActorScript`] encodes such choreography as an
+//! ordered list of trigger → action pairs evaluated against the live
+//! simulation state.
+
+use crate::road::{LaneId, Road};
+use av_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Where and how an actor enters the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Starting lane.
+    pub lane: LaneId,
+    /// Starting arc-length position along the road.
+    pub s: Meters,
+    /// Starting (and initially held) speed.
+    pub speed: MetersPerSecond,
+}
+
+/// When a scripted maneuver fires. Maneuvers are evaluated in script order:
+/// maneuver *n+1* is armed only after maneuver *n* has fired.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Fire immediately when armed.
+    Immediately,
+    /// Fire at an absolute scenario time.
+    AtTime(Seconds),
+    /// Fire when the actor is ahead of the ego by at most this
+    /// bumper-to-bumper arc-length gap.
+    GapAheadOfEgo(Meters),
+    /// Fire when the actor is behind the ego by at most this
+    /// bumper-to-bumper arc-length gap.
+    GapBehindEgo(Meters),
+    /// Fire when the ego's arc-length position passes this point.
+    EgoPasses(Meters),
+}
+
+/// What a scripted maneuver does once triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Move to the center of `target` over `duration` with a smoothstep
+    /// lateral profile.
+    ChangeLane {
+        /// Destination lane.
+        target: LaneId,
+        /// Lateral maneuver duration.
+        duration: Seconds,
+    },
+    /// Accelerate or brake toward `target` speed, limited to
+    /// `accel_limit` (a positive magnitude).
+    SetSpeed {
+        /// Speed to converge to.
+        target: MetersPerSecond,
+        /// Acceleration magnitude bound.
+        accel_limit: MetersPerSecondSquared,
+    },
+    /// Brake to a stop at `decel` (positive magnitude) — the paper's
+    /// "sudden braking, reducing its speed to zero".
+    HardBrake {
+        /// Braking deceleration magnitude.
+        decel: MetersPerSecondSquared,
+    },
+    /// Continuously track the ego's speed (used by *Front & right
+    /// activity 2*, where an actor "matches its position side to side to
+    /// the ego with similar speed").
+    MatchEgoSpeed {
+        /// Acceleration magnitude bound while tracking.
+        accel_limit: MetersPerSecondSquared,
+    },
+}
+
+/// One trigger → action pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedManeuver {
+    /// Firing condition (armed in script order).
+    pub trigger: Trigger,
+    /// Behavior change applied when fired.
+    pub action: Action,
+}
+
+/// A fully scripted actor: identity, entry placement, and choreography.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_sim::prelude::*;
+///
+/// // The Vehicle-following lead: cruise at 70 mph, slam the brakes at t=3s.
+/// let lead = ActorScript::cruising(ActorId(1), Placement {
+///     lane: LaneId(1), s: Meters(104.5), speed: Mph(70.0).into(),
+/// })
+/// .with_maneuver(
+///     Trigger::AtTime(Seconds(3.0)),
+///     Action::HardBrake { decel: MetersPerSecondSquared(6.5) },
+/// );
+/// assert_eq!(lead.maneuvers.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActorScript {
+    /// Actor identity (must not be [`ActorId::EGO`]).
+    pub id: ActorId,
+    /// Vehicle or static obstacle.
+    pub kind: ActorKind,
+    /// Footprint.
+    pub dims: Dimensions,
+    /// Entry placement.
+    pub placement: Placement,
+    /// Choreography, evaluated in order.
+    pub maneuvers: Vec<ScriptedManeuver>,
+}
+
+impl ActorScript {
+    /// A vehicle with no scripted maneuvers (holds lane and speed).
+    pub fn cruising(id: ActorId, placement: Placement) -> Self {
+        Self {
+            id,
+            kind: ActorKind::Vehicle,
+            dims: Dimensions::CAR,
+            placement,
+            maneuvers: Vec::new(),
+        }
+    }
+
+    /// A static obstacle parked in `lane` at arc length `s`.
+    pub fn obstacle(id: ActorId, lane: LaneId, s: Meters) -> Self {
+        Self {
+            id,
+            kind: ActorKind::StaticObstacle,
+            dims: Dimensions::OBSTACLE,
+            placement: Placement {
+                lane,
+                s,
+                speed: MetersPerSecond::ZERO,
+            },
+            maneuvers: Vec::new(),
+        }
+    }
+
+    /// Appends a maneuver (builder style).
+    pub fn with_maneuver(mut self, trigger: Trigger, action: Action) -> Self {
+        self.maneuvers.push(ScriptedManeuver { trigger, action });
+        self
+    }
+}
+
+/// Longitudinal control mode of a live scripted actor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum SpeedMode {
+    Hold,
+    Toward {
+        target: MetersPerSecond,
+        limit: MetersPerSecondSquared,
+    },
+    MatchEgo {
+        limit: MetersPerSecondSquared,
+    },
+}
+
+/// An in-flight lateral lane-change profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct LaneChange {
+    from_d: Meters,
+    to_d: Meters,
+    start: Seconds,
+    duration: Seconds,
+}
+
+/// The ego state a script can react to.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EgoObservation {
+    /// Ego arc-length position.
+    pub s: Meters,
+    /// Ego speed.
+    pub speed: MetersPerSecond,
+    /// Ego half length (for bumper-to-bumper trigger gaps).
+    pub half_length: Meters,
+}
+
+/// A scripted actor being simulated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptedActor {
+    script: ActorScript,
+    /// Longitudinal arc-length position.
+    s: Meters,
+    /// Lateral offset.
+    d: Meters,
+    /// Longitudinal speed.
+    speed: MetersPerSecond,
+    /// Longitudinal acceleration applied last tick.
+    accel: MetersPerSecondSquared,
+    mode: SpeedMode,
+    lane_change: Option<LaneChange>,
+    next_maneuver: usize,
+}
+
+impl ScriptedActor {
+    /// Spawns the scripted actor on `road`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script uses [`ActorId::EGO`] or places the actor on a
+    /// nonexistent lane.
+    pub fn spawn(script: ActorScript, road: &Road) -> Self {
+        assert!(
+            !script.id.is_ego(),
+            "actor scripts must not use the ego id"
+        );
+        let d = road
+            .lane_offset(script.placement.lane)
+            .unwrap_or_else(|e| panic!("invalid placement for {}: {e}", script.id));
+        Self {
+            s: script.placement.s,
+            d,
+            speed: script.placement.speed,
+            accel: MetersPerSecondSquared::ZERO,
+            mode: SpeedMode::Hold,
+            lane_change: None,
+            next_maneuver: 0,
+            script,
+        }
+    }
+
+    /// The actor's script.
+    pub fn script(&self) -> &ActorScript {
+        &self.script
+    }
+
+    /// Current arc-length position.
+    pub fn s(&self) -> Meters {
+        self.s
+    }
+
+    /// Current lateral offset.
+    pub fn d(&self) -> Meters {
+        self.d
+    }
+
+    /// Current speed.
+    pub fn speed(&self) -> MetersPerSecond {
+        self.speed
+    }
+
+    /// `true` once every scripted maneuver has fired.
+    pub fn script_complete(&self) -> bool {
+        self.next_maneuver >= self.script.maneuvers.len()
+    }
+
+    /// Bumper-to-bumper gap to the ego (positive when this actor is ahead).
+    fn gap_to_ego(&self, ego: &EgoObservation) -> Meters {
+        Meters(
+            (self.s - ego.s).value().abs()
+                - ego.half_length.value()
+                - self.script.dims.length.value() / 2.0,
+        )
+    }
+
+    /// Advances the choreography and integrates one tick of motion.
+    ///
+    /// Returns a human-readable description of any maneuver that fired this
+    /// tick (for the event log).
+    pub fn step(&mut self, now: Seconds, dt: Seconds, ego: &EgoObservation, road: &Road)
+        -> Option<String> {
+        let mut fired = None;
+        if let Some(m) = self.script.maneuvers.get(self.next_maneuver) {
+            let triggered = match m.trigger {
+                Trigger::Immediately => true,
+                Trigger::AtTime(t) => now.value() + 1e-12 >= t.value(),
+                Trigger::GapAheadOfEgo(g) => {
+                    self.s > ego.s && self.gap_to_ego(ego) <= g
+                }
+                Trigger::GapBehindEgo(g) => {
+                    self.s < ego.s && self.gap_to_ego(ego) <= g
+                }
+                Trigger::EgoPasses(s) => ego.s >= s,
+            };
+            if triggered {
+                let m = *m;
+                self.apply(&m.action, now, road);
+                fired = Some(format!("{}: {:?}", self.script.id, m.action));
+                self.next_maneuver += 1;
+            }
+        }
+
+        // Longitudinal control.
+        let desired = match self.mode {
+            SpeedMode::Hold => self.speed,
+            SpeedMode::Toward { target, .. } => target,
+            SpeedMode::MatchEgo { .. } => ego.speed,
+        };
+        let limit = match self.mode {
+            SpeedMode::Hold => MetersPerSecondSquared::ZERO,
+            SpeedMode::Toward { limit, .. } | SpeedMode::MatchEgo { limit } => limit,
+        };
+        let dv = (desired - self.speed).value();
+        let a = if dt.value() > 0.0 {
+            (dv / dt.value()).clamp(-limit.value().abs(), limit.value().abs())
+        } else {
+            0.0
+        };
+        self.accel = MetersPerSecondSquared(a);
+        let (ds, v) = distance_speed_after(self.speed, self.accel, dt);
+        self.s += ds;
+        self.speed = v;
+
+        // Lateral profile.
+        if let Some(lc) = self.lane_change {
+            let u = ((now + dt - lc.start).value() / lc.duration.value()).clamp(0.0, 1.0);
+            let blend = u * u * (3.0 - 2.0 * u);
+            self.d = Meters(lc.from_d.value() + (lc.to_d.value() - lc.from_d.value()) * blend);
+            if u >= 1.0 {
+                self.lane_change = None;
+            }
+        }
+        fired
+    }
+
+    fn apply(&mut self, action: &Action, now: Seconds, road: &Road) {
+        match *action {
+            Action::ChangeLane { target, duration } => {
+                let to_d = road
+                    .lane_offset(target)
+                    .unwrap_or_else(|e| panic!("invalid lane change for {}: {e}", self.script.id));
+                self.lane_change = Some(LaneChange {
+                    from_d: self.d,
+                    to_d,
+                    start: now,
+                    duration: Seconds(duration.value().max(1e-3)),
+                });
+            }
+            Action::SetSpeed {
+                target,
+                accel_limit,
+            } => {
+                self.mode = SpeedMode::Toward {
+                    target: target.max(MetersPerSecond::ZERO),
+                    limit: accel_limit,
+                };
+            }
+            Action::HardBrake { decel } => {
+                self.mode = SpeedMode::Toward {
+                    target: MetersPerSecond::ZERO,
+                    limit: MetersPerSecondSquared(decel.value().abs()),
+                };
+            }
+            Action::MatchEgoSpeed { accel_limit } => {
+                self.mode = SpeedMode::MatchEgo { limit: accel_limit };
+            }
+        }
+    }
+
+    /// Snapshot as a world-frame [`Agent`].
+    pub fn to_agent(&self, road: &Road) -> Agent {
+        let base = road.path().pose_at(self.s);
+        let left = Vec2::from_heading(base.heading).perp();
+        Agent::new(
+            self.script.id,
+            self.script.kind,
+            self.script.dims,
+            VehicleState::new(
+                base.position + left * self.d.value(),
+                base.heading,
+                self.speed,
+                self.accel,
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn road() -> Road {
+        Road::straight_three_lane(Meters(2000.0))
+    }
+
+    fn ego_obs(s: f64, v: f64) -> EgoObservation {
+        EgoObservation {
+            s: Meters(s),
+            speed: MetersPerSecond(v),
+            half_length: Meters(2.25),
+        }
+    }
+
+    const DT: Seconds = Seconds(0.01);
+
+    fn run(actor: &mut ScriptedActor, road: &Road, seconds: f64, ego: &EgoObservation) {
+        let steps = (seconds / DT.value()).round() as usize;
+        for k in 0..steps {
+            let now = Seconds(k as f64 * DT.value());
+            actor.step(now, DT, ego, road);
+        }
+    }
+
+    #[test]
+    fn cruising_actor_holds_lane_and_speed() {
+        let road = road();
+        let script = ActorScript::cruising(
+            ActorId(1),
+            Placement {
+                lane: LaneId(1),
+                s: Meters(50.0),
+                speed: MetersPerSecond(10.0),
+            },
+        );
+        let mut actor = ScriptedActor::spawn(script, &road);
+        run(&mut actor, &road, 2.0, &ego_obs(0.0, 10.0));
+        assert!((actor.s().value() - 70.0).abs() < 1e-6);
+        assert!((actor.d().value() - 3.7).abs() < 1e-9);
+        assert!(actor.script_complete());
+    }
+
+    #[test]
+    fn timed_lane_change_reaches_target() {
+        let road = road();
+        let script = ActorScript::cruising(
+            ActorId(1),
+            Placement {
+                lane: LaneId(1),
+                s: Meters(50.0),
+                speed: MetersPerSecond(10.0),
+            },
+        )
+        .with_maneuver(
+            Trigger::AtTime(Seconds(1.0)),
+            Action::ChangeLane {
+                target: LaneId(0),
+                duration: Seconds(2.0),
+            },
+        );
+        let mut actor = ScriptedActor::spawn(script, &road);
+        run(&mut actor, &road, 4.0, &ego_obs(0.0, 10.0));
+        assert!(actor.d().value().abs() < 1e-6, "d = {}", actor.d());
+    }
+
+    #[test]
+    fn lane_change_is_smooth_and_monotone() {
+        let road = road();
+        let script = ActorScript::cruising(
+            ActorId(1),
+            Placement {
+                lane: LaneId(0),
+                s: Meters(0.0),
+                speed: MetersPerSecond(10.0),
+            },
+        )
+        .with_maneuver(
+            Trigger::Immediately,
+            Action::ChangeLane {
+                target: LaneId(1),
+                duration: Seconds(2.0),
+            },
+        );
+        let mut actor = ScriptedActor::spawn(script, &road);
+        let ego = ego_obs(0.0, 10.0);
+        let mut last_d = actor.d().value();
+        for k in 0..250 {
+            actor.step(Seconds(k as f64 * DT.value()), DT, &ego, &road);
+            let d = actor.d().value();
+            assert!(d + 1e-9 >= last_d, "lateral profile reversed at step {k}");
+            assert!(d <= 3.7 + 1e-9);
+            last_d = d;
+        }
+        assert!((last_d - 3.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hard_brake_stops_the_actor() {
+        let road = road();
+        let script = ActorScript::cruising(
+            ActorId(1),
+            Placement {
+                lane: LaneId(1),
+                s: Meters(100.0),
+                speed: MetersPerSecond(20.0),
+            },
+        )
+        .with_maneuver(
+            Trigger::AtTime(Seconds(0.5)),
+            Action::HardBrake {
+                decel: MetersPerSecondSquared(6.0),
+            },
+        );
+        let mut actor = ScriptedActor::spawn(script, &road);
+        run(&mut actor, &road, 5.0, &ego_obs(0.0, 20.0));
+        assert_eq!(actor.speed(), MetersPerSecond::ZERO);
+        // 0.5 s cruise (10 m) + v^2/2a = 33.3 m braking.
+        assert!((actor.s().value() - 143.3).abs() < 0.5, "s = {}", actor.s());
+    }
+
+    #[test]
+    fn gap_trigger_fires_when_ego_closes() {
+        let road = road();
+        let script = ActorScript::cruising(
+            ActorId(1),
+            Placement {
+                lane: LaneId(1),
+                s: Meters(40.0),
+                speed: MetersPerSecond(5.0),
+            },
+        )
+        .with_maneuver(
+            Trigger::GapAheadOfEgo(Meters(20.0)),
+            Action::SetSpeed {
+                target: MetersPerSecond(15.0),
+                accel_limit: MetersPerSecondSquared(3.0),
+            },
+        );
+        let mut actor = ScriptedActor::spawn(script, &road);
+        // Ego far behind: no trigger.
+        actor.step(Seconds(0.0), DT, &ego_obs(0.0, 20.0), &road);
+        assert!(!actor.script_complete());
+        // Ego within 20 m bumper gap: trigger fires.
+        let fired = actor.step(Seconds(0.01), DT, &ego_obs(20.0, 20.0), &road);
+        assert!(fired.is_some());
+        assert!(actor.script_complete());
+    }
+
+    #[test]
+    fn match_ego_speed_tracks() {
+        let road = road();
+        let script = ActorScript::cruising(
+            ActorId(1),
+            Placement {
+                lane: LaneId(2),
+                s: Meters(0.0),
+                speed: MetersPerSecond(5.0),
+            },
+        )
+        .with_maneuver(
+            Trigger::Immediately,
+            Action::MatchEgoSpeed {
+                accel_limit: MetersPerSecondSquared(3.0),
+            },
+        );
+        let mut actor = ScriptedActor::spawn(script, &road);
+        run(&mut actor, &road, 5.0, &ego_obs(0.0, 15.0));
+        assert!((actor.speed().value() - 15.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn obstacle_never_moves() {
+        let road = road();
+        let mut actor =
+            ScriptedActor::spawn(ActorScript::obstacle(ActorId(9), LaneId(1), Meters(300.0)), &road);
+        run(&mut actor, &road, 3.0, &ego_obs(0.0, 30.0));
+        assert_eq!(actor.s(), Meters(300.0));
+        assert_eq!(actor.speed(), MetersPerSecond::ZERO);
+        let agent = actor.to_agent(&road);
+        assert_eq!(agent.kind, ActorKind::StaticObstacle);
+        assert!((agent.state.position.x - 300.0).abs() < 1e-9);
+        assert!((agent.state.position.y - 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ego id")]
+    fn ego_id_rejected_in_scripts() {
+        let road = road();
+        let _ = ScriptedActor::spawn(
+            ActorScript::cruising(
+                ActorId::EGO,
+                Placement {
+                    lane: LaneId(0),
+                    s: Meters(0.0),
+                    speed: MetersPerSecond(0.0),
+                },
+            ),
+            &road,
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Scenario traces: everything a run recorded.
+//!
+//! The pre-deployment workflow (paper §3.1) is "for each AV tested
+//! scenario, the scenario trace is collected which includes the states of
+//! the ego and all the actors at all the time-steps". [`Trace`] is that
+//! artifact, plus the event log (maneuvers fired, collisions) needed to
+//! classify a run as safe or not.
+
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Something notable that happened during a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// The ego's footprint overlapped an actor's: the safety failure the
+    /// whole system exists to prevent.
+    Collision {
+        /// When the overlap was first detected.
+        time: Seconds,
+        /// The actor collided with.
+        actor: ActorId,
+    },
+    /// A scripted maneuver fired.
+    Maneuver {
+        /// When it fired.
+        time: Seconds,
+        /// Human-readable description.
+        description: String,
+    },
+}
+
+impl fmt::Display for SimEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimEvent::Collision { time, actor } => {
+                write!(f, "[{time}] collision with {actor}")
+            }
+            SimEvent::Maneuver { time, description } => {
+                write!(f, "[{time}] {description}")
+            }
+        }
+    }
+}
+
+/// The full record of one simulation run.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_perception::prelude::*;
+/// use av_sim::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let road = Road::straight_three_lane(Meters(1000.0));
+/// let ego = EgoVehicle::spawn(&road, LaneId(1), Meters(0.0),
+///                             PolicyConfig::cruise(MetersPerSecond(20.0)));
+/// let perception = PerceptionSystem::new(CameraRig::drive_av(),
+///     RatePlan::Uniform(Fpr(30.0)), TrackerConfig::default())?;
+/// let trace = Simulation::new(road, ego, vec![], perception,
+///     SimulationConfig { duration: Seconds(2.0), ..Default::default() }).run();
+/// assert!(!trace.collided());
+/// assert!(trace.duration().value() > 1.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// Ground-truth snapshots, one per tick, in time order.
+    pub scenes: Vec<Scene>,
+    /// Event log.
+    pub events: Vec<SimEvent>,
+    /// Simulation tick length.
+    pub dt: Seconds,
+}
+
+impl Trace {
+    /// `true` when the run ended in a collision.
+    pub fn collided(&self) -> bool {
+        self.collision().is_some()
+    }
+
+    /// The first collision, if any.
+    pub fn collision(&self) -> Option<(Seconds, ActorId)> {
+        self.events.iter().find_map(|e| match e {
+            SimEvent::Collision { time, actor } => Some((*time, *actor)),
+            _ => None,
+        })
+    }
+
+    /// Scenario time covered by the trace.
+    pub fn duration(&self) -> Seconds {
+        self.scenes.last().map(|s| s.time).unwrap_or(Seconds::ZERO)
+    }
+
+    /// The ego's minimum speed over the run (hard braking shows up here).
+    pub fn min_ego_speed(&self) -> Option<MetersPerSecond> {
+        self.scenes
+            .iter()
+            .map(|s| s.ego.state.speed)
+            .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite speeds"))
+    }
+
+    /// The ego's strongest deceleration over the run (positive magnitude).
+    pub fn max_ego_decel(&self) -> Option<MetersPerSecondSquared> {
+        self.scenes
+            .iter()
+            .map(|s| MetersPerSecondSquared((-s.ego.state.accel.value()).max(0.0)))
+            .max_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite accels"))
+    }
+
+    /// The smallest bumper-to-bumper distance between the ego and any
+    /// actor over the run (a "near miss" metric; negative means overlap).
+    pub fn min_clearance(&self) -> Option<Meters> {
+        self.scenes
+            .iter()
+            .flat_map(|scene| {
+                scene.actors.iter().map(move |a| {
+                    let center = (a.state.position - scene.ego.state.position).norm();
+                    // Conservative circle approximation by half-diagonals.
+                    let r_ego = scene.ego.dims.length.value().hypot(scene.ego.dims.width.value())
+                        / 2.0;
+                    let r_a = a.dims.length.value().hypot(a.dims.width.value()) / 2.0;
+                    Meters(center - r_ego - r_a)
+                })
+            })
+            .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite distances"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene(t: f64, ego_v: f64, ego_a: f64) -> Scene {
+        let ego = Agent::new(
+            ActorId::EGO,
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::new(
+                Vec2::new(10.0 * t, 0.0),
+                Radians(0.0),
+                MetersPerSecond(ego_v),
+                MetersPerSecondSquared(ego_a),
+            ),
+        );
+        Scene::new(Seconds(t), ego, vec![])
+    }
+
+    #[test]
+    fn collision_classification() {
+        let mut trace = Trace {
+            scenes: vec![scene(0.0, 10.0, 0.0)],
+            events: vec![],
+            dt: Seconds(0.01),
+        };
+        assert!(!trace.collided());
+        trace.events.push(SimEvent::Maneuver {
+            time: Seconds(0.5),
+            description: "actor#1: lane change".into(),
+        });
+        assert!(!trace.collided());
+        trace.events.push(SimEvent::Collision {
+            time: Seconds(1.0),
+            actor: ActorId(1),
+        });
+        assert!(trace.collided());
+        assert_eq!(trace.collision(), Some((Seconds(1.0), ActorId(1))));
+    }
+
+    #[test]
+    fn run_statistics() {
+        let trace = Trace {
+            scenes: vec![scene(0.0, 20.0, 0.0), scene(0.5, 15.0, -6.0), scene(1.0, 12.0, -2.0)],
+            events: vec![],
+            dt: Seconds(0.5),
+        };
+        assert_eq!(trace.duration(), Seconds(1.0));
+        assert_eq!(trace.min_ego_speed(), Some(MetersPerSecond(12.0)));
+        assert_eq!(trace.max_ego_decel(), Some(MetersPerSecondSquared(6.0)));
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let trace = Trace::default();
+        assert!(!trace.collided());
+        assert_eq!(trace.duration(), Seconds::ZERO);
+        assert_eq!(trace.min_ego_speed(), None);
+        assert_eq!(trace.min_clearance(), None);
+    }
+
+    #[test]
+    fn events_display() {
+        let e = SimEvent::Collision {
+            time: Seconds(1.5),
+            actor: ActorId(2),
+        };
+        assert!(e.to_string().contains("collision"));
+        assert!(e.to_string().contains("actor#2"));
+    }
+}

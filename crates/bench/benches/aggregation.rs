@@ -1,0 +1,44 @@
+//! Criterion bench: Eq.-4 aggregation over prediction sets of various
+//! sizes and modes (DESIGN.md ablation #2).
+
+use av_core::units::Seconds;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zhuyi::aggregate::{aggregate_latencies, Aggregation};
+
+/// A deterministic pseudo-random latency/probability set.
+fn samples(n: usize) -> Vec<(Seconds, f64)> {
+    (0..n)
+        .map(|i| {
+            // Cheap LCG so the bench needs no RNG dependency.
+            let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                >> 33) as f64
+                / (u32::MAX as f64 / 2.0);
+            let latency = 0.033 + (x % 1.0) * 0.967;
+            let prob = 0.05 + ((x * 7.0) % 1.0) * 0.95;
+            (Seconds(latency), prob)
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_latencies");
+    for n in [4usize, 64, 1024] {
+        let set = samples(n);
+        for (name, mode) in [
+            ("worst_case", Aggregation::WorstCase),
+            ("mean", Aggregation::Mean),
+            ("p99", Aggregation::P99),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &set,
+                |b, set| b.iter(|| black_box(aggregate_latencies(black_box(set), mode))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: the per-actor tolerable-latency search, naive vs.
+//! Eq.-3-accelerated inner loop (the paper's §2.1 optimization and
+//! DESIGN.md ablation #1).
+
+use av_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zhuyi::estimator::{EgoKinematics, TolerableLatencyEstimator};
+use zhuyi::future::{ConstantAccelActor, FixedGapActor, StationaryActor};
+use zhuyi::{SearchStrategy, ZhuyiConfig};
+
+fn estimators() -> [(&'static str, TolerableLatencyEstimator); 2] {
+    let accelerated =
+        TolerableLatencyEstimator::new(ZhuyiConfig::paper()).expect("paper config is valid");
+    let mut naive_cfg = ZhuyiConfig::paper();
+    naive_cfg.strategy = SearchStrategy::Naive;
+    let naive = TolerableLatencyEstimator::new(naive_cfg).expect("naive config is valid");
+    [("accelerated", accelerated), ("naive", naive)]
+}
+
+fn bench_search(c: &mut Criterion) {
+    let ego = EgoKinematics::new(MetersPerSecond(26.8), MetersPerSecondSquared::ZERO);
+    let l0 = Seconds(1.0 / 30.0);
+    let mut group = c.benchmark_group("tolerable_latency");
+    for (name, estimator) in estimators() {
+        group.bench_function(BenchmarkId::new("stationary_60m", name), |b| {
+            let future = StationaryActor::new(Meters(60.0));
+            b.iter(|| black_box(estimator.tolerable_latency(black_box(ego), &future, l0)))
+        });
+        group.bench_function(BenchmarkId::new("braking_lead_50m", name), |b| {
+            let future = ConstantAccelActor::new(
+                Meters(50.0),
+                MetersPerSecond(26.8),
+                MetersPerSecondSquared(-6.0),
+            );
+            b.iter(|| black_box(estimator.tolerable_latency(black_box(ego), &future, l0)))
+        });
+        group.bench_function(BenchmarkId::new("infeasible_10m", name), |b| {
+            let future = FixedGapActor::new(Meters(10.0), MetersPerSecond::ZERO);
+            b.iter(|| black_box(estimator.tolerable_latency(black_box(ego), &future, l0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

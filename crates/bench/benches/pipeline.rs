@@ -1,0 +1,78 @@
+//! Criterion bench: a full per-timestep Zhuyi pass (all actors, Eq. 4
+//! aggregation, Eq. 5 camera folding) as a function of scene size and
+//! prediction-set size — the quantities |A| and |T| of the paper's §4.2
+//! compute-demand formula.
+
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use av_perception::rig::CameraRig;
+use av_prediction::kinematic::ConstantVelocity;
+use av_prediction::maneuver::{ManeuverConfig, ManeuverPredictor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zhuyi_runtime::online::{OnlineConfig, OnlineEstimator};
+
+/// A perceived scene with `n` actors spread over the three lanes.
+fn scene(n: usize) -> Scene {
+    let ego = Agent::new(
+        ActorId::EGO,
+        ActorKind::Vehicle,
+        Dimensions::CAR,
+        VehicleState::new(
+            Vec2::new(0.0, 3.7),
+            Radians(0.0),
+            MetersPerSecond(26.8),
+            MetersPerSecondSquared::ZERO,
+        ),
+    );
+    let actors = (0..n)
+        .map(|i| {
+            let lane = (i % 3) as f64 * 3.7;
+            let x = 25.0 + 18.0 * i as f64;
+            Agent::new(
+                ActorId(i as u32 + 1),
+                ActorKind::Vehicle,
+                Dimensions::CAR,
+                VehicleState::new(
+                    Vec2::new(x, lane),
+                    Radians(0.0),
+                    MetersPerSecond(20.0 + (i % 4) as f64),
+                    MetersPerSecondSquared(if i % 3 == 0 { -2.0 } else { 0.0 }),
+                ),
+            )
+        })
+        .collect();
+    Scene::new(Seconds(0.0), ego, actors)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let estimator = OnlineEstimator::new(OnlineConfig::default()).expect("valid config");
+    let path = Path::straight(Vec2::new(-100.0, 0.0), Radians(0.0), Meters(3000.0));
+    let rig = CameraRig::drive_av();
+    let l0 = Seconds(1.0 / 30.0);
+
+    let mut group = c.benchmark_group("online_step");
+    group.sample_size(30);
+    for actors in [1usize, 2, 4, 8] {
+        let sc = scene(actors);
+        group.bench_with_input(
+            BenchmarkId::new("cv_single_future", actors),
+            &sc,
+            |b, sc| {
+                b.iter(|| {
+                    black_box(estimator.estimate(black_box(sc), &path, &rig, &ConstantVelocity, l0))
+                })
+            },
+        );
+    }
+    // Multi-hypothesis prediction set (|T| = 3-4 per actor).
+    let maneuver = ManeuverPredictor::new(path.clone(), ManeuverConfig::default());
+    let sc = scene(4);
+    group.bench_function("maneuver_multi_future_4_actors", |b| {
+        b.iter(|| black_box(estimator.estimate(black_box(&sc), &path, &rig, &maneuver, l0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench: closed-loop simulator throughput (ticks per second)
+//! and whole-scenario wall time — the substrate cost behind Table 1's
+//! hundreds of runs.
+
+use av_core::prelude::*;
+use av_perception::system::RatePlan;
+use av_scenarios::catalog::{Scenario, ScenarioId};
+use av_sim::engine::StepOutcome;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    // Whole-scenario iterations are ~100 ms each; keep the suite's wall
+    // time bounded.
+    group.sample_size(10);
+    group.bench_function("tick_vehicle_following", |b| {
+        b.iter_batched(
+            || {
+                Scenario::build(ScenarioId::VehicleFollowing, 0)
+                    .simulation(RatePlan::Uniform(Fpr(30.0)))
+                    .expect("uniform plan is valid")
+            },
+            |mut sim| {
+                for _ in 0..100 {
+                    if sim.step() != StepOutcome::Running {
+                        break;
+                    }
+                }
+                black_box(sim.time())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    for id in [ScenarioId::CutOut, ScenarioId::ChallengingCutInCurved] {
+        group.bench_with_input(
+            BenchmarkId::new("full_scenario", id.name()),
+            &id,
+            |b, &id| {
+                b.iter(|| {
+                    let trace = Scenario::build(id, 0).run_at(Fpr(30.0));
+                    black_box(trace.scenes.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Shared logic for the per-camera latency figures (paper Figs. 4–6) and
+//! the Table-1 validation runs.
+
+use crate::{write_results, Table};
+use av_core::prelude::*;
+use av_perception::camera::CameraKind;
+use av_perception::rig::CameraRig;
+use av_scenarios::catalog::{Scenario, ScenarioId};
+use av_sim::trace::Trace;
+use zhuyi::pipeline::{analyze_trace, PipelineConfig, TraceAnalysis};
+use zhuyi::{TolerableLatencyEstimator, ZhuyiConfig};
+
+/// The three cameras the paper's figures and Table-1 sums use.
+pub const TABLE1_CAMERAS: [CameraKind; 3] =
+    [CameraKind::FrontWide, CameraKind::Left, CameraKind::Right];
+
+/// Runs `id` at a uniform `fpr` and applies the offline (pre-deployment)
+/// Zhuyi pipeline to the recorded trace.
+pub fn run_and_analyze(id: ScenarioId, seed: u64, fpr: f64, stride: usize) -> (Trace, TraceAnalysis) {
+    let scenario = Scenario::build(id, seed);
+    let trace = scenario.run_at(Fpr(fpr));
+    let estimator =
+        TolerableLatencyEstimator::new(ZhuyiConfig::paper()).expect("paper config is valid");
+    let config = PipelineConfig {
+        current_latency: Seconds(1.0 / fpr),
+        stride,
+        ..Default::default()
+    };
+    let analysis = analyze_trace(
+        &trace.scenes,
+        scenario.road.path(),
+        &CameraRig::drive_av(),
+        &estimator,
+        &config,
+    );
+    (trace, analysis)
+}
+
+/// Emits one per-camera latency figure (panels b–e of Figs. 4–6): a
+/// human-readable table on stdout plus a full-resolution CSV in
+/// `results/`.
+pub fn emit_camera_figure(title: &str, file_stem: &str, analysis: &TraceAnalysis) {
+    println!("== {title} ==");
+    let mut table = Table::new([
+        "time_s",
+        "left_latency_ms",
+        "front_latency_ms",
+        "right_latency_ms",
+        "ego_accel_mps2",
+        "ego_speed_mps",
+    ]);
+    for step in &analysis.steps {
+        let latency_of = |kind: CameraKind| {
+            step.cameras
+                .iter()
+                .find(|c| c.kind == kind)
+                .map_or(f64::NAN, |c| c.latency.as_millis())
+        };
+        table.row([
+            format!("{:.2}", step.time.value()),
+            format!("{:.0}", latency_of(CameraKind::Left)),
+            format!("{:.0}", latency_of(CameraKind::FrontWide)),
+            format!("{:.0}", latency_of(CameraKind::Right)),
+            format!("{:.2}", step.ego_accel.value()),
+            format!("{:.2}", step.ego_speed.value()),
+        ]);
+    }
+    let path = write_results(&format!("{file_stem}.csv"), &table.to_csv());
+    // Downsample for the console: roughly 25 lines.
+    let every = (analysis.steps.len() / 25).max(1);
+    let mut console = Table::new([
+        "t(s)",
+        "left(ms)",
+        "front(ms)",
+        "right(ms)",
+        "accel(m/s^2)",
+    ]);
+    for step in analysis.steps.iter().step_by(every) {
+        let latency_of = |kind: CameraKind| {
+            step.cameras
+                .iter()
+                .find(|c| c.kind == kind)
+                .map_or(f64::NAN, |c| c.latency.as_millis())
+        };
+        console.row([
+            format!("{:.1}", step.time.value()),
+            format!("{:.0}", latency_of(CameraKind::Left)),
+            format!("{:.0}", latency_of(CameraKind::FrontWide)),
+            format!("{:.0}", latency_of(CameraKind::Right)),
+            format!("{:+.2}", step.ego_accel.value()),
+        ]);
+    }
+    println!("{}", console.render());
+    let front_max = analysis
+        .camera_latency_series(CameraKind::FrontWide)
+        .iter()
+        .map(|(_, l)| Fpr::from_latency(*l).value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("front camera peak requirement: {front_max:.1} FPR");
+    println!("full-resolution series written to {}\n", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_and_analyze_produces_steps() {
+        let (trace, analysis) = run_and_analyze(ScenarioId::VehicleFollowing, 0, 30.0, 100);
+        assert!(!trace.scenes.is_empty());
+        assert!(!analysis.steps.is_empty());
+        assert!(analysis.max_camera_fpr().is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! Compute-demand model for multi-camera AV perception (paper Fig. 1).
+//!
+//! The paper's motivating figure projects the Tera-Operations-Per-Second
+//! (TOPS) demand of running state-of-the-art camera perception — the
+//! MLPerf SSD-Large (SSD-ResNet34) object detector at 1200×1200 — on all
+//! 12 cameras of a Hyperion-class vehicle, inflated 20% for the additional
+//! camera models that reuse extracted features, against the capability of
+//! NVIDIA DRIVE AGX Xavier and Jetson AGX Orin SoCs.
+//!
+//! ```
+//! use compute_model::{PerceptionWorkload, Soc};
+//!
+//! let demand = PerceptionWorkload::paper_default().tops_demand(30.0);
+//! // A 12-camera 30-FPR system wants far more than Xavier offers.
+//! assert!(demand > Soc::xavier().peak_tops());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use serde::{Deserialize, Serialize};
+
+/// Giga-operations per frame of SSD-ResNet34 ("SSD-Large") at 1200×1200,
+/// from the MLPerf inference suite (~433 GFLOPs ≈ 433 Gops per image).
+pub const SSD_LARGE_GOPS_PER_FRAME: f64 = 433.0;
+
+/// An in-vehicle SoC with a peak inference throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Soc {
+    name: String,
+    peak_tops: f64,
+}
+
+impl Soc {
+    /// Creates an SoC description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_tops` is not positive and finite.
+    pub fn new(name: impl Into<String>, peak_tops: f64) -> Self {
+        assert!(
+            peak_tops > 0.0 && peak_tops.is_finite(),
+            "peak TOPS must be positive and finite, got {peak_tops}"
+        );
+        Self {
+            name: name.into(),
+            peak_tops,
+        }
+    }
+
+    /// NVIDIA DRIVE AGX Xavier (30 INT8 TOPS).
+    pub fn xavier() -> Self {
+        Self::new("DRIVE AGX Xavier", 30.0)
+    }
+
+    /// NVIDIA Jetson AGX Orin (275 INT8 TOPS).
+    pub fn orin() -> Self {
+        Self::new("Jetson AGX Orin", 275.0)
+    }
+
+    /// The SoC's marketing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Peak throughput in TOPS.
+    pub fn peak_tops(&self) -> f64 {
+        self.peak_tops
+    }
+
+    /// `true` when this SoC can sustain `demand_tops` of perception work.
+    pub fn sustains(&self, demand_tops: f64) -> bool {
+        self.peak_tops + 1e-9 >= demand_tops
+    }
+
+    /// The largest uniform per-camera FPR this SoC sustains for a
+    /// workload.
+    pub fn max_sustainable_fpr(&self, workload: &PerceptionWorkload) -> f64 {
+        self.peak_tops / workload.tops_demand(1.0)
+    }
+}
+
+/// The camera-perception workload of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerceptionWorkload {
+    /// Number of cameras processed.
+    pub cameras: u32,
+    /// Giga-ops per processed frame (detector cost).
+    pub gops_per_frame: f64,
+    /// Multiplier for additional per-camera models (lane detection, free
+    /// space, occlusion...) that reuse extracted features. The paper uses
+    /// 1.2 (+20%).
+    pub feature_reuse_overhead: f64,
+}
+
+impl PerceptionWorkload {
+    /// The paper's exact Fig.-1 assumptions: 12 cameras, SSD-Large at
+    /// 1200×1200, +20% for feature-sharing models.
+    pub fn paper_default() -> Self {
+        Self {
+            cameras: 12,
+            gops_per_frame: SSD_LARGE_GOPS_PER_FRAME,
+            feature_reuse_overhead: 1.2,
+        }
+    }
+
+    /// TOPS demand at a uniform per-camera frame rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fpr` is negative or non-finite.
+    pub fn tops_demand(&self, fpr: f64) -> f64 {
+        assert!(
+            fpr >= 0.0 && fpr.is_finite(),
+            "frame rate must be non-negative and finite, got {fpr}"
+        );
+        self.cameras as f64 * self.gops_per_frame * self.feature_reuse_overhead * fpr / 1000.0
+    }
+
+    /// The Fig.-1 data series: `(fpr, demand)` rows for the given rates.
+    pub fn demand_series(&self, rates: &[f64]) -> Vec<(f64, f64)> {
+        rates.iter().map(|&f| (f, self.tops_demand(f))).collect()
+    }
+
+    /// Scales the demand by the *fraction of frames actually processed*,
+    /// which is how a Zhuyi-prioritized system (paper: 36% or fewer
+    /// frames) maps back onto Fig. 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn tops_demand_at_fraction(&self, fpr: f64, fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be within [0, 1], got {fraction}"
+        );
+        self.tops_demand(fpr) * fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_magnitudes() {
+        let w = PerceptionWorkload::paper_default();
+        // 12 cameras x 433 Gops x 1.2 x 30 FPR = 187 TOPS.
+        let demand_30 = w.tops_demand(30.0);
+        assert!((demand_30 - 187.0).abs() < 1.0, "demand {demand_30}");
+        // Xavier (30 TOPS) cannot sustain even 10 FPR; Orin sustains 30.
+        assert!(!Soc::xavier().sustains(w.tops_demand(10.0)));
+        assert!(Soc::orin().sustains(demand_30));
+    }
+
+    #[test]
+    fn xavier_caps_out_below_6_fpr() {
+        let w = PerceptionWorkload::paper_default();
+        let max = Soc::xavier().max_sustainable_fpr(&w);
+        assert!(
+            (4.0..6.0).contains(&max),
+            "Xavier sustainable FPR {max} out of expected band"
+        );
+    }
+
+    #[test]
+    fn demand_is_linear_in_rate() {
+        let w = PerceptionWorkload::paper_default();
+        assert!((w.tops_demand(20.0) - 2.0 * w.tops_demand(10.0)).abs() < 1e-9);
+        assert_eq!(w.tops_demand(0.0), 0.0);
+    }
+
+    #[test]
+    fn series_matches_pointwise() {
+        let w = PerceptionWorkload::paper_default();
+        let series = w.demand_series(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(series.len(), 4);
+        for (f, d) in series {
+            assert!((d - w.tops_demand(f)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zhuyi_fraction_scales_demand() {
+        let w = PerceptionWorkload::paper_default();
+        // At the paper's 36% fraction, the 30-FPR demand fits on Orin with
+        // lots of headroom.
+        let d = w.tops_demand_at_fraction(30.0, 0.36);
+        assert!((d - 187.0 * 0.36).abs() < 1.0);
+        assert!(Soc::orin().sustains(d));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_out_of_range_panics() {
+        let _ = PerceptionWorkload::paper_default().tops_demand_at_fraction(30.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_soc_rejected() {
+        let _ = Soc::new("broken", 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! The Zhuyi-based AV system (paper §3, Fig. 3): online safety checking
+//! and work prioritization built on the Zhuyi model.
+//!
+//! - [`online`] — runs the Eq. 1–5 machinery over the *perceived* world
+//!   model and predicted trajectories (post-deployment mode),
+//! - [`safety_check`] — alarms when any camera runs below its estimated
+//!   safe rate, recommending the paper's three mitigations,
+//! - [`prioritize`] — splits a fixed frame budget across cameras in
+//!   proportion to their estimated requirements,
+//! - [`system`] — the control loop wiring all of it into a running
+//!   simulation ([`system::drive`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use av_prediction::kinematic::ConstantAcceleration;
+//! use av_scenarios::prelude::*;
+//! use av_perception::system::RatePlan;
+//! use av_core::prelude::*;
+//! use zhuyi_runtime::system::{drive, RuntimeConfig, ZhuyiRuntime};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let scenario = Scenario::build(ScenarioId::VehicleFollowing, 0);
+//! let sim = scenario.simulation(RatePlan::Uniform(Fpr(30.0)))?;
+//! let runtime = ZhuyiRuntime::new(RuntimeConfig::default())?;
+//! let (trace, decisions) = drive(sim, &runtime, &ConstantAcceleration);
+//! assert!(!trace.collided());
+//! println!("{} control decisions", decisions.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod online;
+pub mod prioritize;
+pub mod report;
+pub mod safety_check;
+pub mod system;
+
+pub use online::{OnlineConfig, OnlineEstimates, OnlineEstimator};
+pub use report::{CameraPeak, ScenarioReport};
+pub use prioritize::{Allocation, AllocationError, BudgetAllocator};
+pub use safety_check::{check, Alarm, SafetyAction, SafetyVerdict};
+pub use system::{drive, RuntimeConfig, RuntimeDecision, ZhuyiRuntime};

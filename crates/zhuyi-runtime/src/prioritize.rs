@@ -1,0 +1,306 @@
+//! Work prioritization: dividing a fixed frame budget across cameras
+//! (paper §3.2).
+//!
+//! "Instead of processing each camera's images at the same frequency, the
+//! AV system could process these images at rates proportional to the
+//! estimated rates." The allocator grants each camera its Zhuyi demand
+//! when the budget allows and spreads the surplus proportionally; when the
+//! budget is insufficient it shrinks allocations toward the demands'
+//! proportions while flagging the shortfall.
+
+use av_core::units::Fpr;
+use serde::{Deserialize, Serialize};
+use zhuyi::camera_fpr::CameraEstimate;
+
+/// A frame-rate budget shared by all cameras.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetAllocator {
+    /// Total frames per second the in-vehicle computer can process.
+    pub total: Fpr,
+    /// Floor granted to every camera (a sensor is never fully starved).
+    pub min_per_camera: Fpr,
+    /// Hardware cap per camera (e.g. the sensor's native 30 FPS).
+    pub max_per_camera: Fpr,
+}
+
+impl BudgetAllocator {
+    /// The paper's baseline: a system provisioned for 30 FPR on each of
+    /// `cameras` cameras.
+    pub fn provisioned_for_30(cameras: usize) -> Self {
+        Self {
+            total: Fpr(30.0 * cameras as f64),
+            min_per_camera: Fpr(1.0),
+            max_per_camera: Fpr(30.0),
+        }
+    }
+
+    /// Validates the allocator invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the violated invariant.
+    pub fn validate(&self, cameras: usize) -> Result<(), AllocationError> {
+        if !(self.total.value() > 0.0 && self.total.is_finite()) {
+            return Err(AllocationError::InvalidBudget(self.total));
+        }
+        if self.min_per_camera.value() < 0.0
+            || self.min_per_camera.value() > self.max_per_camera.value()
+        {
+            return Err(AllocationError::InvalidPerCameraBounds {
+                min: self.min_per_camera,
+                max: self.max_per_camera,
+            });
+        }
+        if self.min_per_camera.value() * cameras as f64 > self.total.value() + 1e-9 {
+            return Err(AllocationError::FloorExceedsBudget {
+                cameras,
+                min: self.min_per_camera,
+                total: self.total,
+            });
+        }
+        Ok(())
+    }
+
+    /// Splits the budget across cameras given their Zhuyi demands.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the allocator is misconfigured for this
+    /// camera count.
+    pub fn allocate(&self, estimates: &[CameraEstimate]) -> Result<Allocation, AllocationError> {
+        self.validate(estimates.len())?;
+        let n = estimates.len();
+        let min = self.min_per_camera.value();
+        let max = self.max_per_camera.value();
+        let demands: Vec<f64> = estimates
+            .iter()
+            .map(|e| e.fpr().value().clamp(min, max))
+            .collect();
+        let demand_total: f64 = demands.iter().sum();
+        let budget = self.total.value();
+
+        let mut rates = vec![0.0; n];
+        let satisfied = demand_total <= budget + 1e-9;
+        if satisfied {
+            // Grant demands, then spread the surplus proportionally to
+            // demand (comfort headroom), capped per camera.
+            rates.copy_from_slice(&demands);
+            let mut surplus = budget - demand_total;
+            // Two passes are enough: cameras hitting the cap return their
+            // share to the rest.
+            for _ in 0..2 {
+                if surplus <= 1e-9 {
+                    break;
+                }
+                let open: f64 = rates
+                    .iter()
+                    .zip(&demands)
+                    .filter(|(r, _)| **r < max - 1e-9)
+                    .map(|(_, d)| *d)
+                    .sum();
+                if open <= 0.0 {
+                    break;
+                }
+                let mut used = 0.0;
+                for (r, d) in rates.iter_mut().zip(&demands) {
+                    if *r < max - 1e-9 {
+                        let grant = (surplus * d / open).min(max - *r);
+                        *r += grant;
+                        used += grant;
+                    }
+                }
+                surplus -= used;
+            }
+        } else {
+            // Shrink toward proportional shares, honoring the floor.
+            let scale = (budget - min * n as f64) / (demand_total - min * n as f64).max(1e-9);
+            for (r, d) in rates.iter_mut().zip(&demands) {
+                *r = min + (d - min).max(0.0) * scale.clamp(0.0, 1.0);
+            }
+        }
+        Ok(Allocation {
+            rates: rates.into_iter().map(Fpr).collect(),
+            demand_total: Fpr(demand_total),
+            satisfied,
+        })
+    }
+}
+
+/// Result of a budget split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Granted per-camera rates, in rig order.
+    pub rates: Vec<Fpr>,
+    /// Sum of (clamped) demands.
+    pub demand_total: Fpr,
+    /// `false` when the budget could not cover the demands — a safety
+    /// alarm accompanies this state.
+    pub satisfied: bool,
+}
+
+impl Allocation {
+    /// Total rate actually granted.
+    pub fn granted_total(&self) -> Fpr {
+        self.rates.iter().copied().sum()
+    }
+}
+
+/// Error configuring or running the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AllocationError {
+    /// The total budget must be positive and finite.
+    InvalidBudget(Fpr),
+    /// Per-camera bounds are inverted or negative.
+    InvalidPerCameraBounds {
+        /// Configured floor.
+        min: Fpr,
+        /// Configured cap.
+        max: Fpr,
+    },
+    /// The per-camera floor times the camera count exceeds the budget.
+    FloorExceedsBudget {
+        /// Number of cameras.
+        cameras: usize,
+        /// Configured floor.
+        min: Fpr,
+        /// Total budget.
+        total: Fpr,
+    },
+}
+
+impl std::fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocationError::InvalidBudget(b) => write!(f, "invalid budget {b}"),
+            AllocationError::InvalidPerCameraBounds { min, max } => {
+                write!(f, "invalid per-camera bounds [{min}, {max}]")
+            }
+            AllocationError::FloorExceedsBudget {
+                cameras,
+                min,
+                total,
+            } => write!(
+                f,
+                "floor {min} x {cameras} cameras exceeds budget {total}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_core::units::Seconds;
+    use av_perception::camera::CameraKind;
+    use av_perception::rig::CameraId;
+
+    fn estimates(latencies: &[f64]) -> Vec<CameraEstimate> {
+        latencies
+            .iter()
+            .enumerate()
+            .map(|(i, l)| CameraEstimate {
+                camera: CameraId(i),
+                kind: CameraKind::ALL[i % 5],
+                latency: Seconds(*l),
+                limiting_actor: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn surplus_spreads_proportionally() {
+        let alloc = BudgetAllocator {
+            total: Fpr(30.0),
+            min_per_camera: Fpr(1.0),
+            max_per_camera: Fpr(30.0),
+        };
+        // Demands 10 and 5 (latencies 0.1, 0.2): surplus 15 splits 10:5.
+        let a = alloc.allocate(&estimates(&[0.1, 0.2])).expect("valid");
+        assert!(a.satisfied);
+        assert!((a.rates[0].value() - 20.0).abs() < 1e-6);
+        assert!((a.rates[1].value() - 10.0).abs() < 1e-6);
+        assert!((a.granted_total().value() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cap_redirects_surplus() {
+        let alloc = BudgetAllocator {
+            total: Fpr(40.0),
+            min_per_camera: Fpr(1.0),
+            max_per_camera: Fpr(30.0),
+        };
+        // Demands 20 and 2; naive proportional split would push camera 0
+        // past the 30 cap; the excess flows to camera 1.
+        let a = alloc.allocate(&estimates(&[0.05, 0.5])).expect("valid");
+        assert!(a.rates[0].value() <= 30.0 + 1e-9);
+        assert!((a.granted_total().value() - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shortage_scales_down_but_honors_floor() {
+        let alloc = BudgetAllocator {
+            total: Fpr(12.0),
+            min_per_camera: Fpr(1.0),
+            max_per_camera: Fpr(30.0),
+        };
+        // Demands 20, 10, 1 (total 31 > 12).
+        let a = alloc.allocate(&estimates(&[0.05, 0.1, 1.0])).expect("valid");
+        assert!(!a.satisfied);
+        for r in &a.rates {
+            assert!(r.value() >= 1.0 - 1e-9);
+        }
+        assert!(a.granted_total().value() <= 12.0 + 1e-6);
+        // Hungrier cameras still get more.
+        assert!(a.rates[0] > a.rates[1]);
+        assert!(a.rates[1] > a.rates[2]);
+    }
+
+    #[test]
+    fn paper_baseline_constructor() {
+        let alloc = BudgetAllocator::provisioned_for_30(5);
+        assert_eq!(alloc.total, Fpr(150.0));
+        alloc.validate(5).expect("valid");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let bad = BudgetAllocator {
+            total: Fpr(0.0),
+            min_per_camera: Fpr(1.0),
+            max_per_camera: Fpr(30.0),
+        };
+        assert!(matches!(bad.validate(3), Err(AllocationError::InvalidBudget(_))));
+        let inverted = BudgetAllocator {
+            total: Fpr(10.0),
+            min_per_camera: Fpr(5.0),
+            max_per_camera: Fpr(2.0),
+        };
+        assert!(matches!(
+            inverted.validate(1),
+            Err(AllocationError::InvalidPerCameraBounds { .. })
+        ));
+        let floor = BudgetAllocator {
+            total: Fpr(3.0),
+            min_per_camera: Fpr(2.0),
+            max_per_camera: Fpr(30.0),
+        };
+        assert!(matches!(
+            floor.validate(5),
+            Err(AllocationError::FloorExceedsBudget { .. })
+        ));
+        assert!(floor.validate(1).is_ok());
+    }
+
+    #[test]
+    fn fully_idle_rig_gets_floor_plus_surplus() {
+        let alloc = BudgetAllocator::provisioned_for_30(3);
+        // All cameras idle (1 FPR demands): everything satisfied, surplus
+        // spread evenly (equal demands).
+        let a = alloc.allocate(&estimates(&[1.0, 1.0, 1.0])).expect("valid");
+        assert!(a.satisfied);
+        assert!((a.rates[0].value() - a.rates[1].value()).abs() < 1e-9);
+        assert!(a.rates[0].value() <= 30.0 + 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! Pre-deployment scenario reports (paper §3.1).
+//!
+//! "This modular evaluation of the test will provide per-camera processing
+//! rate requirements at every time-step in a tested scenario, which can
+//! also be included in the feedback to the system designers to help design
+//! a safer and more efficient AV system." — a [`ScenarioReport`] is that
+//! feedback artifact: outcome, surrogate safety metrics, per-camera peak
+//! requirements and the fraction of a fixed provisioning the scenario
+//! actually needs.
+
+use av_core::prelude::*;
+use av_perception::camera::CameraKind;
+use av_perception::rig::CameraRig;
+use av_sim::metrics::{run_metrics, RunMetrics};
+use av_sim::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zhuyi::pipeline::{analyze_trace, PipelineConfig};
+use zhuyi::TolerableLatencyEstimator;
+
+/// The per-camera peak requirement over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraPeak {
+    /// Camera position.
+    pub kind: CameraKind,
+    /// Highest FPR requirement over the run.
+    pub peak: Fpr,
+}
+
+/// Designer feedback for one tested scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario label.
+    pub name: String,
+    /// Whether the test failed (collision).
+    pub collided: bool,
+    /// Scenario time covered.
+    pub duration: Seconds,
+    /// Surrogate safety metrics (minima over the run).
+    pub metrics: RunMetrics,
+    /// Highest single-camera requirement over all cameras and times.
+    pub max_estimated_fpr: Option<Fpr>,
+    /// Peak requirement per camera.
+    pub camera_peaks: Vec<CameraPeak>,
+    /// max over time of the summed front+left+right requirement, relative
+    /// to a 3×30-FPR provisioning (Table 1's fraction column).
+    pub fraction_of_provisioned: Option<f64>,
+}
+
+impl ScenarioReport {
+    /// Builds the report by running the offline Zhuyi pipeline over a
+    /// recorded trace.
+    pub fn from_trace(
+        name: impl Into<String>,
+        trace: &Trace,
+        road_path: &Path,
+        rig: &CameraRig,
+        estimator: &TolerableLatencyEstimator,
+        pipeline: &PipelineConfig,
+    ) -> Self {
+        let analysis = analyze_trace(&trace.scenes, road_path, rig, estimator, pipeline);
+        let camera_peaks = rig
+            .iter()
+            .map(|(_, cam)| {
+                let peak = analysis
+                    .camera_latency_series(cam.kind())
+                    .iter()
+                    .map(|(_, l)| Fpr::from_latency(*l).value())
+                    .fold(0.0_f64, f64::max);
+                CameraPeak {
+                    kind: cam.kind(),
+                    peak: Fpr(peak),
+                }
+            })
+            .collect();
+        let fraction = analysis
+            .max_total_fpr(&[CameraKind::FrontWide, CameraKind::Left, CameraKind::Right])
+            .map(|sum| sum.value() / 90.0);
+        Self {
+            name: name.into(),
+            collided: trace.collided(),
+            duration: trace.duration(),
+            metrics: run_metrics(trace),
+            max_estimated_fpr: analysis.max_camera_fpr(),
+            camera_peaks,
+            fraction_of_provisioned: fraction,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} after {}",
+            self.name,
+            if self.collided { "COLLISION" } else { "safe" },
+            self.duration
+        )?;
+        if let Some(ttc) = self.metrics.min_ttc {
+            writeln!(f, "  min TTC {ttc}")?;
+        }
+        if let Some(gap) = self.metrics.min_gap {
+            writeln!(f, "  min frontal gap {gap}")?;
+        }
+        if let Some(max) = self.max_estimated_fpr {
+            writeln!(f, "  max per-camera requirement {max}")?;
+        }
+        for peak in &self.camera_peaks {
+            writeln!(f, "    {}: {}", peak.kind, peak.peak)?;
+        }
+        if let Some(fraction) = self.fraction_of_provisioned {
+            writeln!(
+                f,
+                "  fraction of a 3x30-FPR provisioning: {:.0}%",
+                fraction * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_perception::system::RatePlan;
+    use av_scenarios::catalog::{Scenario, ScenarioId};
+    use zhuyi::ZhuyiConfig;
+
+    fn report(id: ScenarioId, fpr: f64) -> ScenarioReport {
+        let scenario = Scenario::build(id, 0);
+        let trace = scenario
+            .simulation(RatePlan::Uniform(Fpr(fpr)))
+            .expect("valid plan")
+            .run();
+        let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper()).expect("valid");
+        let pipeline = PipelineConfig {
+            current_latency: Seconds(1.0 / fpr),
+            stride: 50,
+            ..Default::default()
+        };
+        ScenarioReport::from_trace(
+            id.name(),
+            &trace,
+            scenario.road.path(),
+            &CameraRig::drive_av(),
+            &estimator,
+            &pipeline,
+        )
+    }
+
+    #[test]
+    fn safe_run_report_is_complete() {
+        let r = report(ScenarioId::VehicleFollowing, 30.0);
+        assert!(!r.collided);
+        assert!(r.max_estimated_fpr.expect("estimates present").value() >= 1.0);
+        assert_eq!(r.camera_peaks.len(), 5);
+        assert!(r.metrics.min_ttc.is_some());
+        let fraction = r.fraction_of_provisioned.expect("three cameras present");
+        assert!((0.0..=1.5).contains(&fraction));
+        let text = r.to_string();
+        assert!(text.contains("safe"));
+        assert!(text.contains("front-120"));
+    }
+
+    #[test]
+    fn collided_run_is_flagged() {
+        let r = report(ScenarioId::CutOutFast, 2.0);
+        assert!(r.collided);
+        assert!(r.to_string().contains("COLLISION"));
+    }
+
+    #[test]
+    fn front_camera_dominates_in_frontal_scenario() {
+        let r = report(ScenarioId::VehicleFollowing, 30.0);
+        let peak_of = |kind: CameraKind| {
+            r.camera_peaks
+                .iter()
+                .find(|p| p.kind == kind)
+                .expect("camera present")
+                .peak
+        };
+        assert!(peak_of(CameraKind::FrontWide) >= peak_of(CameraKind::Left));
+        assert!(peak_of(CameraKind::FrontWide) >= peak_of(CameraKind::Rear));
+    }
+}

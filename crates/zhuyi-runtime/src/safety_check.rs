@@ -1,0 +1,195 @@
+//! The safety-check block of the Zhuyi-based AV system (paper §3.2).
+//!
+//! "With Zhuyi's estimated per-camera requirements, the system can check
+//! whether the current per-camera processing rates are above the
+//! estimates. If not, there is a safety concern with a high potential for
+//! a collision" — the check raises an alarm and recommends one of the
+//! paper's three mitigations.
+
+use av_perception::camera::CameraKind;
+use av_perception::rig::CameraId;
+use av_core::units::Fpr;
+use serde::{Deserialize, Serialize};
+use zhuyi::camera_fpr::CameraEstimate;
+
+/// A camera running below its estimated safe rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// The under-provisioned camera.
+    pub camera: CameraId,
+    /// Its rig position.
+    pub kind: CameraKind,
+    /// The rate Zhuyi requires.
+    pub required: Fpr,
+    /// The rate it is actually running at.
+    pub actual: Fpr,
+}
+
+impl Alarm {
+    /// How far below the requirement the camera runs, in frames per
+    /// second.
+    pub fn deficit(&self) -> Fpr {
+        Fpr((self.required.value() - self.actual.value()).max(0.0))
+    }
+}
+
+/// The paper's three mitigation actions (§3.2, Safety Check).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SafetyAction {
+    /// "Request the system to raise the processing rate for the cameras
+    /// that fall below the estimation."
+    RaiseRate {
+        /// Which camera to speed up.
+        camera: CameraId,
+        /// The minimum rate to reach.
+        to: Fpr,
+    },
+    /// "Operate in a limited functionality mode that compromises
+    /// non-essential tasks."
+    DegradeNonEssential,
+    /// "Activate an emergency back-up system, if available."
+    ActivateBackup,
+}
+
+/// Outcome of one safety check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SafetyVerdict {
+    /// `true` when every camera meets its requirement.
+    pub safe: bool,
+    /// Cameras in deficit.
+    pub alarms: Vec<Alarm>,
+    /// Recommended mitigations, mildest first.
+    pub recommended: Vec<SafetyAction>,
+}
+
+/// Headroom factor: a camera is alarmed only when it runs below
+/// `required` (no margin); mitigation requests add this factor on top.
+const RAISE_MARGIN: f64 = 1.1;
+
+/// Compares current per-camera rates against Zhuyi estimates.
+///
+/// `current` must be indexed like `estimates` (rig order).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths — they must describe
+/// the same rig.
+///
+/// ```
+/// use av_core::units::{Fpr, Seconds};
+/// use av_perception::rig::{CameraId, CameraRig};
+/// use zhuyi::camera_fpr::CameraEstimate;
+/// use zhuyi_runtime::safety_check::check;
+///
+/// # use av_perception::camera::CameraKind;
+/// let estimates = vec![CameraEstimate {
+///     camera: CameraId(0), kind: CameraKind::FrontWide,
+///     latency: Seconds(0.1), limiting_actor: None,
+/// }];
+/// let verdict = check(&[Fpr(5.0)], &estimates);
+/// assert!(!verdict.safe); // 5 FPR < required 10 FPR
+/// ```
+pub fn check(current: &[Fpr], estimates: &[CameraEstimate]) -> SafetyVerdict {
+    assert_eq!(
+        current.len(),
+        estimates.len(),
+        "rate vector and estimates must describe the same rig"
+    );
+    let mut alarms = Vec::new();
+    for (rate, est) in current.iter().zip(estimates) {
+        let required = est.fpr();
+        if rate.value() + 1e-9 < required.value() {
+            alarms.push(Alarm {
+                camera: est.camera,
+                kind: est.kind,
+                required,
+                actual: *rate,
+            });
+        }
+    }
+    let mut recommended = Vec::new();
+    if !alarms.is_empty() {
+        for alarm in &alarms {
+            recommended.push(SafetyAction::RaiseRate {
+                camera: alarm.camera,
+                to: Fpr(alarm.required.value() * RAISE_MARGIN),
+            });
+        }
+        recommended.push(SafetyAction::DegradeNonEssential);
+        // Large deficits escalate to the backup system.
+        if alarms.iter().any(|a| a.deficit().value() > 10.0) {
+            recommended.push(SafetyAction::ActivateBackup);
+        }
+    }
+    SafetyVerdict {
+        safe: alarms.is_empty(),
+        alarms,
+        recommended,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_core::units::Seconds;
+
+    fn estimate(idx: usize, kind: CameraKind, latency: f64) -> CameraEstimate {
+        CameraEstimate {
+            camera: CameraId(idx),
+            kind,
+            latency: Seconds(latency),
+            limiting_actor: None,
+        }
+    }
+
+    #[test]
+    fn all_sufficient_is_safe() {
+        let estimates = vec![
+            estimate(0, CameraKind::FrontWide, 0.2), // needs 5
+            estimate(1, CameraKind::Left, 1.0),      // needs 1
+        ];
+        let verdict = check(&[Fpr(10.0), Fpr(1.0)], &estimates);
+        assert!(verdict.safe);
+        assert!(verdict.alarms.is_empty());
+        assert!(verdict.recommended.is_empty());
+    }
+
+    #[test]
+    fn deficit_raises_alarm_and_rate_request() {
+        let estimates = vec![estimate(0, CameraKind::FrontWide, 0.1)]; // needs 10
+        let verdict = check(&[Fpr(4.0)], &estimates);
+        assert!(!verdict.safe);
+        assert_eq!(verdict.alarms.len(), 1);
+        let alarm = verdict.alarms[0];
+        assert!((alarm.deficit().value() - 6.0).abs() < 1e-9);
+        assert!(verdict.recommended.iter().any(|a| matches!(
+            a,
+            SafetyAction::RaiseRate { camera, to } if camera.0 == 0 && to.value() >= 10.0
+        )));
+        assert!(verdict
+            .recommended
+            .contains(&SafetyAction::DegradeNonEssential));
+    }
+
+    #[test]
+    fn huge_deficit_escalates_to_backup() {
+        let estimates = vec![estimate(0, CameraKind::FrontWide, 0.04)]; // needs 25
+        let verdict = check(&[Fpr(2.0)], &estimates);
+        assert!(verdict.recommended.contains(&SafetyAction::ActivateBackup));
+    }
+
+    #[test]
+    fn small_deficit_does_not_escalate() {
+        let estimates = vec![estimate(0, CameraKind::FrontWide, 0.2)]; // needs 5
+        let verdict = check(&[Fpr(4.0)], &estimates);
+        assert!(!verdict.safe);
+        assert!(!verdict.recommended.contains(&SafetyAction::ActivateBackup));
+    }
+
+    #[test]
+    #[should_panic(expected = "same rig")]
+    fn mismatched_lengths_panic() {
+        let estimates = vec![estimate(0, CameraKind::FrontWide, 0.2)];
+        let _ = check(&[Fpr(1.0), Fpr(2.0)], &estimates);
+    }
+}

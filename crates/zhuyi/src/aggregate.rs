@@ -1,0 +1,217 @@
+//! Aggregating per-trajectory latencies into a per-actor estimate
+//! (paper Eq. 4).
+//!
+//! During operation the AV predicts multiple future trajectories per actor,
+//! each with a probability. Zhuyi runs the tolerable-latency search per
+//! trajectory and combines the results. The paper discusses three choices:
+//! the most pessimistic (cover the worst trajectory), a probability-weighted
+//! average, and an nth-percentile that "allows the ego to be cautious while
+//! being not too pessimistic".
+//!
+//! Pessimism here means *demanding a smaller latency* (a higher FPR). The
+//! percentile is therefore taken from the low end of the latency
+//! distribution: covering n% of predicted futures means choosing a latency
+//! small enough that at least n% of the probability mass tolerates it.
+
+use av_core::units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// How per-trajectory latencies combine into one per-actor latency (Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Aggregation {
+    /// Cover every predicted future: the smallest tolerable latency
+    /// (most pessimistic; equals the maximum per-trajectory FPR).
+    #[default]
+    WorstCase,
+    /// Probability-weighted mean latency: "gives more weight to the most
+    /// likely future trajectory".
+    Mean,
+    /// Cover `n` percent of the probability mass (`0 < n ≤ 100`): the
+    /// latency tolerated by at least `n`% of futures. `Percentile(100.0)`
+    /// equals [`Aggregation::WorstCase`]. The paper's example uses n = 99.
+    Percentile(f64),
+}
+
+impl Aggregation {
+    /// The paper's Eq. 4 example: the 99th percentile.
+    pub const P99: Aggregation = Aggregation::Percentile(99.0);
+
+    /// Validates the aggregation mode (percentile bounds).
+    pub fn validate(self) -> Result<(), InvalidPercentile> {
+        if let Aggregation::Percentile(n) = self {
+            if !(n > 0.0 && n <= 100.0 && n.is_finite()) {
+                return Err(InvalidPercentile(n));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error: percentile outside `(0, 100]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidPercentile(pub f64);
+
+impl std::fmt::Display for InvalidPercentile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "percentile {} outside (0, 100]", self.0)
+    }
+}
+
+impl std::error::Error for InvalidPercentile {}
+
+/// Combines `(latency, probability)` pairs per Eq. 4.
+///
+/// Probabilities are normalized internally; non-positive weights are
+/// ignored. Returns `None` when no valid sample remains.
+///
+/// ```
+/// use av_core::units::Seconds;
+/// use zhuyi::aggregate::{aggregate_latencies, Aggregation};
+///
+/// let samples = [(Seconds(0.2), 0.5), (Seconds(1.0), 0.5)];
+/// let worst = aggregate_latencies(&samples, Aggregation::WorstCase);
+/// assert_eq!(worst, Some(Seconds(0.2)));
+/// let mean = aggregate_latencies(&samples, Aggregation::Mean);
+/// assert_eq!(mean, Some(Seconds(0.6)));
+/// ```
+pub fn aggregate_latencies(
+    samples: &[(Seconds, f64)],
+    aggregation: Aggregation,
+) -> Option<Seconds> {
+    let mut valid: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|(l, p)| l.is_finite() && *p > 0.0 && p.is_finite())
+        .map(|(l, p)| (l.value(), *p))
+        .collect();
+    if valid.is_empty() {
+        return None;
+    }
+    let total: f64 = valid.iter().map(|(_, p)| p).sum();
+    match aggregation {
+        Aggregation::WorstCase => valid
+            .iter()
+            .map(|(l, _)| *l)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite latencies"))
+            .map(Seconds),
+        Aggregation::Mean => {
+            let mean = valid.iter().map(|(l, p)| l * p).sum::<f64>() / total;
+            Some(Seconds(mean))
+        }
+        Aggregation::Percentile(n) => {
+            // Smallest cumulative-probability prefix (from the largest
+            // latencies down) that reaches n% of the mass: the returned
+            // latency is tolerated by at least n% of futures.
+            valid.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite latencies"));
+            let target = (1.0 - n / 100.0) * total;
+            let mut acc = 0.0;
+            for (l, p) in &valid {
+                acc += p;
+                if acc >= target - 1e-12 {
+                    return Some(Seconds(*l));
+                }
+            }
+            // Numerical fallback: the largest latency.
+            valid.last().map(|(l, _)| Seconds(*l))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(values: &[(f64, f64)]) -> Vec<(Seconds, f64)> {
+        values.iter().map(|(l, p)| (Seconds(*l), *p)).collect()
+    }
+
+    #[test]
+    fn worst_case_is_min_latency() {
+        let samples = s(&[(0.5, 0.7), (0.1, 0.1), (1.0, 0.2)]);
+        assert_eq!(
+            aggregate_latencies(&samples, Aggregation::WorstCase),
+            Some(Seconds(0.1))
+        );
+    }
+
+    #[test]
+    fn mean_weights_by_probability() {
+        let samples = s(&[(0.2, 0.9), (1.0, 0.1)]);
+        let mean = aggregate_latencies(&samples, Aggregation::Mean).expect("nonempty");
+        assert!((mean.value() - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_normalizes_unnormalized_weights() {
+        let samples = s(&[(0.2, 9.0), (1.0, 1.0)]);
+        let mean = aggregate_latencies(&samples, Aggregation::Mean).expect("nonempty");
+        assert!((mean.value() - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p100_equals_worst_case() {
+        let samples = s(&[(0.5, 0.25), (0.1, 0.25), (0.9, 0.5)]);
+        assert_eq!(
+            aggregate_latencies(&samples, Aggregation::Percentile(100.0)),
+            aggregate_latencies(&samples, Aggregation::WorstCase),
+        );
+    }
+
+    #[test]
+    fn p99_trims_rare_outlier() {
+        // A 0.4%-probability catastrophic trajectory demanding 33 ms; the
+        // other futures tolerate 0.5 s. Covering 99% ignores the outlier.
+        let mut samples = s(&[(0.033, 0.004)]);
+        samples.extend(s(&[(0.5, 0.996)]));
+        let p99 = aggregate_latencies(&samples, Aggregation::P99).expect("nonempty");
+        assert_eq!(p99, Seconds(0.5));
+        // But worst-case still honors it.
+        assert_eq!(
+            aggregate_latencies(&samples, Aggregation::WorstCase),
+            Some(Seconds(0.033))
+        );
+    }
+
+    #[test]
+    fn p99_keeps_significant_tail() {
+        // 5% of futures demand 0.1 s: covering 99% must honor them.
+        let samples = s(&[(0.1, 0.05), (0.5, 0.95)]);
+        let p99 = aggregate_latencies(&samples, Aggregation::P99).expect("nonempty");
+        assert_eq!(p99, Seconds(0.1));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(aggregate_latencies(&[], Aggregation::WorstCase), None);
+        let zero_mass = s(&[(0.5, 0.0)]);
+        assert_eq!(aggregate_latencies(&zero_mass, Aggregation::Mean), None);
+        let nan_latency = [(Seconds(f64::NAN), 1.0)];
+        assert_eq!(
+            aggregate_latencies(&nan_latency, Aggregation::WorstCase),
+            None
+        );
+    }
+
+    #[test]
+    fn single_sample_is_identity_for_all_modes() {
+        let samples = s(&[(0.33, 1.0)]);
+        for agg in [
+            Aggregation::WorstCase,
+            Aggregation::Mean,
+            Aggregation::P99,
+            Aggregation::Percentile(50.0),
+        ] {
+            assert_eq!(aggregate_latencies(&samples, agg), Some(Seconds(0.33)));
+        }
+    }
+
+    #[test]
+    fn percentile_validation() {
+        assert!(Aggregation::Percentile(0.0).validate().is_err());
+        assert!(Aggregation::Percentile(101.0).validate().is_err());
+        assert!(Aggregation::Percentile(f64::NAN).validate().is_err());
+        assert!(Aggregation::P99.validate().is_ok());
+        assert!(Aggregation::WorstCase.validate().is_ok());
+        let msg = InvalidPercentile(0.0).to_string();
+        assert!(msg.contains("(0, 100]"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-camera FPR aggregation (paper Eq. 5).
+//!
+//! Having a tolerable latency per actor, each camera's required frame
+//! processing rate is the reciprocal of the *smallest* tolerable latency
+//! among the actors in that camera's field of view:
+//!
+//! FPR_sensor = 1 / min_{i ∈ A} l_actor_i.
+//!
+//! A camera with no FOV actors is assigned the model's maximum latency
+//! (e.g. 1 s), matching the paper's Fig. 6 observation that "the tolerable
+//! latency for side cameras is 1000 ms as there are no actors on the
+//! sides" — i.e. an idle camera still requires FPR 1.
+
+use crate::estimator::{LatencyEstimate, SearchOutcome};
+use av_core::prelude::*;
+use av_perception::camera::CameraKind;
+use av_perception::rig::{CameraId, CameraRig};
+use serde::{Deserialize, Serialize};
+
+/// The final per-actor estimate: identity plus tolerable latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActorEstimate {
+    /// Which actor.
+    pub actor: ActorId,
+    /// The aggregated tolerable latency (Eq. 4 output).
+    pub latency: Seconds,
+    /// How the search concluded.
+    pub outcome: SearchOutcome,
+    /// Search effort.
+    pub stats: crate::estimator::SearchStats,
+}
+
+impl ActorEstimate {
+    /// Wraps a per-future latency estimate with its actor id.
+    pub fn new(actor: ActorId, estimate: LatencyEstimate) -> Self {
+        Self {
+            actor,
+            latency: estimate.latency,
+            outcome: estimate.outcome,
+            stats: estimate.stats,
+        }
+    }
+
+    /// The minimum FPR this actor demands (Eq. 5's per-actor term).
+    pub fn fpr(&self) -> Fpr {
+        Fpr::from_latency(self.latency)
+    }
+
+    /// Work-prioritization importance: the inverse of the tolerable
+    /// latency (§3.2 — "the higher the latency estimate, the less
+    /// important the object is").
+    pub fn importance(&self) -> f64 {
+        self.fpr().value()
+    }
+}
+
+/// The per-camera requirement derived from Eq. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CameraEstimate {
+    /// Which camera in the rig.
+    pub camera: CameraId,
+    /// The camera's position/kind.
+    pub kind: CameraKind,
+    /// The smallest tolerable latency among FOV actors (or the model
+    /// maximum for an empty FOV).
+    pub latency: Seconds,
+    /// The actor that set the requirement, if any.
+    pub limiting_actor: Option<ActorId>,
+}
+
+impl CameraEstimate {
+    /// Minimum required frame processing rate, FPR = 1/latency (Eq. 5).
+    pub fn fpr(&self) -> Fpr {
+        Fpr::from_latency(self.latency)
+    }
+}
+
+/// Applies Eq. 5: per-camera minimum FPR over the actors in each camera's
+/// FOV.
+///
+/// `scene` supplies the geometry (who is visible to which camera);
+/// `estimates` supplies per-actor tolerable latencies (actors missing from
+/// `estimates` are ignored); `idle_latency` is assigned to cameras with no
+/// visible estimated actor (use the model's `max_latency`).
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_core::scene::Scene;
+/// use av_perception::rig::CameraRig;
+/// use zhuyi::camera_fpr::{per_camera_fpr, ActorEstimate};
+/// use zhuyi::estimator::{LatencyEstimate, SearchOutcome, SearchStats};
+///
+/// let rig = CameraRig::drive_av();
+/// let ego = Agent::new(ActorId::EGO, ActorKind::Vehicle, Dimensions::CAR,
+///                      VehicleState::at_rest(Vec2::ZERO, Radians(0.0)));
+/// let front = Agent::new(ActorId(1), ActorKind::Vehicle, Dimensions::CAR,
+///                        VehicleState::at_rest(Vec2::new(40.0, 0.0), Radians(0.0)));
+/// let scene = Scene::new(Seconds(0.0), ego, vec![front]);
+/// let est = ActorEstimate {
+///     actor: ActorId(1),
+///     latency: Seconds(0.2),
+///     outcome: SearchOutcome::Tolerable,
+///     stats: SearchStats::default(),
+/// };
+/// let cams = per_camera_fpr(&rig, &scene, &[est], Seconds(1.0));
+/// // The front cameras see the actor and require 5 FPR; sides stay at 1.
+/// assert!(cams.iter().any(|c| (c.fpr().value() - 5.0).abs() < 1e-9));
+/// ```
+pub fn per_camera_fpr(
+    rig: &CameraRig,
+    scene: &av_core::scene::Scene,
+    estimates: &[ActorEstimate],
+    idle_latency: Seconds,
+) -> Vec<CameraEstimate> {
+    rig.iter()
+        .map(|(id, cam)| {
+            let mut latency = idle_latency;
+            let mut limiting = None;
+            for actor in &scene.actors {
+                let Some(est) = estimates.iter().find(|e| e.actor == actor.id) else {
+                    continue;
+                };
+                if cam.sees_agent(&scene.ego.state, actor) && est.latency < latency {
+                    latency = est.latency;
+                    limiting = Some(actor.id);
+                }
+            }
+            CameraEstimate {
+                camera: id,
+                kind: cam.kind(),
+                latency,
+                limiting_actor: limiting,
+            }
+        })
+        .collect()
+}
+
+/// Orders actors by decreasing importance (paper §3.2: "the inverse of
+/// the per-actor tolerable latency estimate is proportional to the actor's
+/// importance"), breaking ties by id for determinism.
+///
+/// Downstream per-actor work (trajectory refinement, intent classifiers)
+/// can then be truncated from the back of the list when compute runs
+/// short — see [`truncate_work`].
+pub fn rank_by_importance(estimates: &[ActorEstimate]) -> Vec<ActorEstimate> {
+    let mut ranked = estimates.to_vec();
+    ranked.sort_by(|a, b| {
+        b.importance()
+            .partial_cmp(&a.importance())
+            .expect("finite importances")
+            .then_with(|| a.actor.cmp(&b.actor))
+    });
+    ranked
+}
+
+/// Selects the actors whose per-actor work fits a budget of `slots`
+/// work units (one unit per actor), most important first — the paper's
+/// "truncating work for less important objects".
+///
+/// ```
+/// use av_core::prelude::*;
+/// use zhuyi::camera_fpr::{truncate_work, ActorEstimate};
+/// use zhuyi::estimator::{SearchOutcome, SearchStats};
+///
+/// let mk = |id: u32, latency: f64| ActorEstimate {
+///     actor: ActorId(id), latency: Seconds(latency),
+///     outcome: SearchOutcome::Tolerable, stats: SearchStats::default(),
+/// };
+/// let kept = truncate_work(&[mk(1, 1.0), mk(2, 0.1), mk(3, 0.4)], 2);
+/// // The 100 ms actor and the 400 ms actor fit; the idle one is dropped.
+/// assert_eq!(kept.iter().map(|e| e.actor.0).collect::<Vec<_>>(), vec![2, 3]);
+/// ```
+pub fn truncate_work(estimates: &[ActorEstimate], slots: usize) -> Vec<ActorEstimate> {
+    rank_by_importance(estimates)
+        .into_iter()
+        .take(slots)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::SearchStats;
+    use av_core::scene::Scene;
+
+    fn agent(id: u32, x: f64, y: f64) -> Agent {
+        Agent::new(
+            ActorId(id),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(x, y), Radians(0.0)),
+        )
+    }
+
+    fn estimate(id: u32, latency: f64) -> ActorEstimate {
+        ActorEstimate {
+            actor: ActorId(id),
+            latency: Seconds(latency),
+            outcome: SearchOutcome::Tolerable,
+            stats: SearchStats::default(),
+        }
+    }
+
+    fn scene(actors: Vec<Agent>) -> Scene {
+        Scene::new(Seconds(0.0), agent(0, 0.0, 0.0), actors)
+    }
+
+    #[test]
+    fn min_latency_wins_per_camera() {
+        let rig = CameraRig::drive_av();
+        let sc = scene(vec![agent(1, 40.0, 0.0), agent(2, 60.0, 0.0)]);
+        let cams = per_camera_fpr(
+            &rig,
+            &sc,
+            &[estimate(1, 0.5), estimate(2, 0.2)],
+            Seconds(1.0),
+        );
+        let front = cams
+            .iter()
+            .find(|c| c.kind == CameraKind::FrontWide)
+            .expect("front camera present");
+        assert_eq!(front.latency, Seconds(0.2));
+        assert_eq!(front.limiting_actor, Some(ActorId(2)));
+        assert!((front.fpr().value() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_fov_gets_idle_latency() {
+        let rig = CameraRig::drive_av();
+        let sc = scene(vec![agent(1, 40.0, 0.0)]);
+        let cams = per_camera_fpr(&rig, &sc, &[estimate(1, 0.1)], Seconds(1.0));
+        let rear = cams
+            .iter()
+            .find(|c| c.kind == CameraKind::Rear)
+            .expect("rear camera present");
+        assert_eq!(rear.latency, Seconds(1.0));
+        assert_eq!(rear.limiting_actor, None);
+        assert!((rear.fpr().value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn side_actor_raises_side_camera_only() {
+        let rig = CameraRig::drive_av();
+        // Actor abreast of the ego on the left.
+        let sc = scene(vec![agent(1, 1.0, 3.7)]);
+        let cams = per_camera_fpr(&rig, &sc, &[estimate(1, 0.25)], Seconds(1.0));
+        let left = cams.iter().find(|c| c.kind == CameraKind::Left).expect("left");
+        let right = cams.iter().find(|c| c.kind == CameraKind::Right).expect("right");
+        assert_eq!(left.latency, Seconds(0.25));
+        assert_eq!(right.latency, Seconds(1.0));
+    }
+
+    #[test]
+    fn actor_without_estimate_is_ignored() {
+        let rig = CameraRig::drive_av();
+        let sc = scene(vec![agent(1, 40.0, 0.0), agent(9, 50.0, 0.0)]);
+        let cams = per_camera_fpr(&rig, &sc, &[estimate(1, 0.5)], Seconds(1.0));
+        let front = cams
+            .iter()
+            .find(|c| c.kind == CameraKind::FrontWide)
+            .expect("front");
+        assert_eq!(front.limiting_actor, Some(ActorId(1)));
+    }
+
+    #[test]
+    fn ranking_is_by_importance_then_id() {
+        let ranked = rank_by_importance(&[
+            estimate(3, 0.4),
+            estimate(1, 0.1),
+            estimate(2, 0.4),
+        ]);
+        let ids: Vec<u32> = ranked.iter().map(|e| e.actor.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncation_keeps_most_important() {
+        let kept = truncate_work(
+            &[estimate(1, 1.0), estimate(2, 0.05), estimate(3, 0.5)],
+            1,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].actor, ActorId(2));
+        // Zero slots: nothing kept; oversize budget: everything kept.
+        assert!(truncate_work(&[estimate(1, 1.0)], 0).is_empty());
+        assert_eq!(truncate_work(&[estimate(1, 1.0)], 5).len(), 1);
+    }
+
+    #[test]
+    fn importance_is_inverse_latency() {
+        let high = estimate(1, 0.1);
+        let low = estimate(2, 1.0);
+        assert!(high.importance() > low.importance());
+        assert!((high.importance() - 10.0).abs() < 1e-9);
+        assert!((high.fpr().value() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,395 @@
+//! Actor futures: how the estimator sees one actor's predicted motion
+//! relative to the ego's path.
+//!
+//! The tolerable-latency search (paper §2.1) only needs three things about
+//! the actor at each candidate time t_n:
+//!
+//! 1. `s_n` — the distance available between the ego's position at t₀ and
+//!    the actor's position at t_n (Eq. 1),
+//! 2. `v_a_n` — the actor's velocity at t_n (Eq. 2),
+//! 3. whether a collision is geometrically possible at t_n at all (the
+//!    actor overlaps the ego's travel corridor).
+//!
+//! [`ActorFuture`] abstracts those three queries so the same search runs on
+//! ground-truth traces (pre-deployment, §3.1), predicted trajectories
+//! (post-deployment, §3.2) and the synthetic fixed-gap sweep of Fig. 8.
+
+use av_core::prelude::*;
+
+/// The actor's situation relative to the ego's path at one future instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeState {
+    /// Bumper-to-bumper distance along the ego's path from the ego's t₀
+    /// position to the actor: the paper's `s_n`. Negative when the actor is
+    /// behind the ego.
+    pub gap: Meters,
+    /// The actor's velocity component along the ego's path at t_n: the
+    /// paper's `v_a_n`.
+    pub speed_along: MetersPerSecond,
+    /// `true` when the actor laterally overlaps the ego's travel corridor
+    /// at t_n, i.e. a collision is geometrically possible.
+    pub in_corridor: bool,
+}
+
+/// One predicted future of one actor, as seen from the ego at t₀.
+///
+/// Times are relative: `at(Seconds(0.5))` is the state half a second after
+/// the estimation instant.
+pub trait ActorFuture {
+    /// The actor's relative state at future offset `tn ≥ 0`.
+    fn at(&self, tn: Seconds) -> RelativeState;
+
+    /// How far this future extends. Queries beyond it are permitted and
+    /// should extrapolate sensibly; the estimator will not look past the
+    /// configured horizon anyway.
+    fn horizon(&self) -> Seconds;
+
+    /// Probability mass of this future within the actor's prediction set
+    /// `T` (Eq. 4). Defaults to certainty.
+    fn probability(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A stationary obstacle at a fixed gap: the simplest threat (the revealed
+/// obstacle of the Cut-out scenarios).
+///
+/// ```
+/// use av_core::prelude::*;
+/// use zhuyi::future::{ActorFuture, StationaryActor};
+///
+/// let obstacle = StationaryActor::new(Meters(60.0));
+/// let s = obstacle.at(Seconds(3.0));
+/// assert_eq!(s.gap, Meters(60.0));
+/// assert_eq!(s.speed_along, MetersPerSecond(0.0));
+/// assert!(s.in_corridor);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationaryActor {
+    gap: Meters,
+}
+
+impl StationaryActor {
+    /// A stopped actor `gap` meters (bumper-to-bumper) ahead of the ego, in
+    /// the ego's lane.
+    pub fn new(gap: Meters) -> Self {
+        Self { gap }
+    }
+}
+
+impl ActorFuture for StationaryActor {
+    fn at(&self, _tn: Seconds) -> RelativeState {
+        RelativeState {
+            gap: self.gap,
+            speed_along: MetersPerSecond::ZERO,
+            in_corridor: true,
+        }
+    }
+
+    fn horizon(&self) -> Seconds {
+        Seconds(f64::INFINITY)
+    }
+}
+
+/// The synthetic actor of the paper's Fig. 8 sensitivity sweep: the
+/// distance `s_n` the ego may travel is *fixed* regardless of t_n, and the
+/// actor's end velocity `v_a_n` is constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedGapActor {
+    gap: Meters,
+    speed: MetersPerSecond,
+}
+
+impl FixedGapActor {
+    /// An in-lane actor with fixed available distance `gap` (the sweep's
+    /// `s_n`) and constant end velocity `speed` (`v_a_n`).
+    pub fn new(gap: Meters, speed: MetersPerSecond) -> Self {
+        Self { gap, speed }
+    }
+}
+
+impl ActorFuture for FixedGapActor {
+    fn at(&self, _tn: Seconds) -> RelativeState {
+        RelativeState {
+            gap: self.gap,
+            speed_along: self.speed,
+            in_corridor: true,
+        }
+    }
+
+    fn horizon(&self) -> Seconds {
+        Seconds(f64::INFINITY)
+    }
+}
+
+/// An in-lane actor moving under constant acceleration — the closed-form
+/// future used by the vehicle-following style examples and the online
+/// constant-velocity/constant-acceleration predictors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantAccelActor {
+    gap0: Meters,
+    speed0: MetersPerSecond,
+    accel: MetersPerSecondSquared,
+    in_corridor: bool,
+}
+
+impl ConstantAccelActor {
+    /// An actor `gap0` ahead, moving along the ego's path at `speed0` with
+    /// constant acceleration `accel` (speed clamps at zero — a braking lead
+    /// vehicle stops and stays stopped).
+    pub fn new(gap0: Meters, speed0: MetersPerSecond, accel: MetersPerSecondSquared) -> Self {
+        Self {
+            gap0,
+            speed0,
+            accel,
+            in_corridor: true,
+        }
+    }
+
+    /// Marks the actor as outside the ego's corridor (e.g. an adjacent-lane
+    /// vehicle tracked by a side camera).
+    pub fn outside_corridor(mut self) -> Self {
+        self.in_corridor = false;
+        self
+    }
+}
+
+impl ActorFuture for ConstantAccelActor {
+    fn at(&self, tn: Seconds) -> RelativeState {
+        let (d, v) = distance_speed_after(self.speed0, self.accel, tn);
+        RelativeState {
+            gap: self.gap0 + d,
+            speed_along: v,
+            in_corridor: self.in_corridor,
+        }
+    }
+
+    fn horizon(&self) -> Seconds {
+        Seconds(f64::INFINITY)
+    }
+}
+
+/// Geometry linking a recorded/predicted [`Trajectory`] to the ego's path:
+/// the general-purpose future used by the offline pipeline and the online
+/// system.
+///
+/// The actor's world positions are projected into the Frenet frame of the
+/// ego's reference path. The available distance is measured bumper to
+/// bumper; corridor membership compares lateral offsets against the
+/// half-width sum plus a configurable margin.
+#[derive(Debug, Clone)]
+pub struct TrajectoryFuture {
+    path: Path,
+    trajectory: Trajectory,
+    /// Absolute time corresponding to relative offset zero.
+    t0: Seconds,
+    /// Ego arc-length position at t₀.
+    ego_s0: Meters,
+    /// Ego lateral offset at t₀.
+    ego_d0: Meters,
+    /// Half the ego length plus half the actor length.
+    length_allowance: Meters,
+    /// Half-width sum plus margin: the corridor half-width.
+    corridor_half_width: Meters,
+}
+
+impl TrajectoryFuture {
+    /// Builds the future of `actor_dims`-sized actor following `trajectory`
+    /// (absolute times), seen from an ego of `ego_dims` at `ego_state`, with
+    /// `path` as the longitudinal reference.
+    ///
+    /// `corridor_margin` is added to the half-width sum when testing
+    /// lateral overlap (paper's conservatism; see
+    /// [`crate::ZhuyiConfig::corridor_margin`]).
+    pub fn new(
+        path: Path,
+        ego_state: &VehicleState,
+        ego_dims: Dimensions,
+        actor_dims: Dimensions,
+        trajectory: Trajectory,
+        t0: Seconds,
+        corridor_margin: Meters,
+    ) -> Self {
+        let ego_frenet = path.project(ego_state.position);
+        Self {
+            path,
+            trajectory,
+            t0,
+            ego_s0: ego_frenet.s,
+            ego_d0: ego_frenet.d,
+            length_allowance: Meters((ego_dims.length.value() + actor_dims.length.value()) / 2.0),
+            corridor_half_width: Meters(
+                (ego_dims.width.value() + actor_dims.width.value()) / 2.0
+                    + corridor_margin.value(),
+            ),
+        }
+    }
+
+    /// The probability carried by the underlying trajectory.
+    pub fn trajectory_probability(&self) -> f64 {
+        self.trajectory.probability()
+    }
+}
+
+impl ActorFuture for TrajectoryFuture {
+    fn at(&self, tn: Seconds) -> RelativeState {
+        let sample = self.trajectory.sample(self.t0 + tn);
+        let frenet = self.path.project(sample.position);
+        let tangent = self.path.pose_at(frenet.s).heading;
+        let along = sample.speed.value() * (sample.heading - tangent).normalized().cos();
+        RelativeState {
+            gap: frenet.s - self.ego_s0 - self.length_allowance,
+            speed_along: MetersPerSecond(along),
+            in_corridor: (frenet.d - self.ego_d0).abs() <= self.corridor_half_width,
+        }
+    }
+
+    fn horizon(&self) -> Seconds {
+        Seconds((self.trajectory.end_time() - self.t0).value().max(0.0))
+    }
+
+    fn probability(&self) -> f64 {
+        self.trajectory.probability()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_core::trajectory::TrajectoryPoint;
+
+    fn straight_path() -> Path {
+        Path::straight(Vec2::ZERO, Radians(0.0), Meters(2000.0))
+    }
+
+    fn ego_at(x: f64) -> VehicleState {
+        VehicleState::new(
+            Vec2::new(x, 0.0),
+            Radians(0.0),
+            MetersPerSecond(20.0),
+            MetersPerSecondSquared::ZERO,
+        )
+    }
+
+    /// Straight-line trajectory at constant speed, offset `y`.
+    fn traj(x0: f64, y: f64, v: f64, n: usize) -> Trajectory {
+        let points = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                TrajectoryPoint {
+                    time: Seconds(t),
+                    position: Vec2::new(x0 + v * t, y),
+                    heading: Radians(0.0),
+                    speed: MetersPerSecond(v),
+                    accel: MetersPerSecondSquared::ZERO,
+                }
+            })
+            .collect();
+        Trajectory::new(points, 1.0).expect("valid trajectory")
+    }
+
+    fn future(t: Trajectory) -> TrajectoryFuture {
+        TrajectoryFuture::new(
+            straight_path(),
+            &ego_at(0.0),
+            Dimensions::CAR,
+            Dimensions::CAR,
+            t,
+            Seconds(0.0),
+            Meters(0.3),
+        )
+    }
+
+    #[test]
+    fn gap_is_bumper_to_bumper() {
+        // Actor center 50m ahead: gap = 50 - (4.5+4.5)/2 = 45.5.
+        let f = future(traj(50.0, 0.0, 0.0, 30));
+        let s = f.at(Seconds(0.0));
+        assert!((s.gap.value() - 45.5).abs() < 1e-9);
+        assert!(s.in_corridor);
+    }
+
+    #[test]
+    fn moving_actor_gap_grows() {
+        let f = future(traj(50.0, 0.0, 10.0, 30));
+        let s0 = f.at(Seconds(0.0));
+        let s2 = f.at(Seconds(2.0));
+        assert!((s2.gap.value() - s0.gap.value() - 20.0).abs() < 1e-9);
+        assert!((s2.speed_along.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_lane_actor_outside_corridor() {
+        // 3.7m lateral: way beyond (1.8+1.8)/2 + 0.3 = 2.1.
+        let f = future(traj(30.0, 3.7, 10.0, 30));
+        assert!(!f.at(Seconds(0.0)).in_corridor);
+        // 1.5m lateral: inside the corridor.
+        let f2 = future(traj(30.0, 1.5, 10.0, 30));
+        assert!(f2.at(Seconds(0.0)).in_corridor);
+    }
+
+    #[test]
+    fn actor_behind_has_negative_gap() {
+        let f = future(traj(-30.0, 0.0, 10.0, 30));
+        assert!(f.at(Seconds(0.0)).gap < Meters::ZERO);
+    }
+
+    #[test]
+    fn oncoming_actor_has_negative_along_speed() {
+        let points = (0..30)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                TrajectoryPoint {
+                    time: Seconds(t),
+                    position: Vec2::new(100.0 - 15.0 * t, 0.0),
+                    heading: Radians(std::f64::consts::PI),
+                    speed: MetersPerSecond(15.0),
+                    accel: MetersPerSecondSquared::ZERO,
+                }
+            })
+            .collect();
+        let f = future(Trajectory::new(points, 1.0).expect("valid"));
+        let s = f.at(Seconds(1.0));
+        assert!((s.speed_along.value() + 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_accel_actor_clamps_at_stop() {
+        let a = ConstantAccelActor::new(
+            Meters(50.0),
+            MetersPerSecond(10.0),
+            MetersPerSecondSquared(-5.0),
+        );
+        // Stops after 2s having advanced 10m; stays there.
+        let s = a.at(Seconds(5.0));
+        assert!((s.gap.value() - 60.0).abs() < 1e-9);
+        assert_eq!(s.speed_along, MetersPerSecond::ZERO);
+        let out = a.outside_corridor();
+        assert!(!out.at(Seconds(0.0)).in_corridor);
+    }
+
+    #[test]
+    fn fixed_gap_actor_is_time_invariant() {
+        let a = FixedGapActor::new(Meters(30.0), MetersPerSecond(5.0));
+        for t in [0.0, 1.0, 7.5] {
+            let s = a.at(Seconds(t));
+            assert_eq!(s.gap, Meters(30.0));
+            assert_eq!(s.speed_along, MetersPerSecond(5.0));
+        }
+        assert_eq!(a.probability(), 1.0);
+    }
+
+    #[test]
+    fn trajectory_future_horizon_is_relative() {
+        let f = TrajectoryFuture::new(
+            straight_path(),
+            &ego_at(0.0),
+            Dimensions::CAR,
+            Dimensions::CAR,
+            traj(50.0, 0.0, 10.0, 30), // ends at t = 2.9s absolute
+            Seconds(1.0),
+            Meters(0.3),
+        );
+        assert!((f.horizon().value() - 1.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Compute-demand accounting for the Zhuyi model itself (paper §4.2).
+//!
+//! The paper bounds the model's work as |A|·|T|·M·L·C operations, with
+//! |A| actors, |T| predicted trajectories per actor, M inner iterations,
+//! L = max(l)/δl outer steps and C ≈ 100 ops per iteration, concluding the
+//! model "should execute within 2 ms" on a 10+ GOPS processor. This module
+//! reproduces that arithmetic and also converts *measured* search effort
+//! (constraint evaluations actually performed) into the same unit.
+
+use crate::config::ZhuyiConfig;
+use crate::estimator::SearchStats;
+use serde::{Deserialize, Serialize};
+
+/// Ops performed per constraint-check iteration (paper's C ≈ 100).
+pub const OPS_PER_ITERATION: u64 = 100;
+
+/// The paper's analytic work bound and its derived execution-time estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpsBound {
+    /// Number of actors |A|.
+    pub actors: u64,
+    /// Predicted trajectories per actor |T|.
+    pub trajectories_per_actor: u64,
+    /// Inner iteration budget M.
+    pub inner_iterations: u64,
+    /// Outer latency steps L.
+    pub latency_steps: u64,
+    /// Ops per iteration C.
+    pub ops_per_iteration: u64,
+}
+
+impl OpsBound {
+    /// Builds the bound from a model configuration plus scene size.
+    pub fn for_config(config: &ZhuyiConfig, actors: u64, trajectories_per_actor: u64) -> Self {
+        Self {
+            actors,
+            trajectories_per_actor,
+            inner_iterations: config.max_inner_iterations as u64,
+            latency_steps: config.latency_steps() as u64,
+            ops_per_iteration: OPS_PER_ITERATION,
+        }
+    }
+
+    /// Total operation bound |A|·|T|·M·L·C.
+    pub fn total_ops(&self) -> u64 {
+        self.actors
+            * self.trajectories_per_actor
+            * self.inner_iterations
+            * self.latency_steps
+            * self.ops_per_iteration
+    }
+
+    /// Estimated execution time on a processor sustaining `gops` (billions
+    /// of ops per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gops` is not strictly positive.
+    pub fn execution_time_secs(&self, gops: f64) -> f64 {
+        assert!(gops > 0.0, "processor throughput must be positive, got {gops}");
+        self.total_ops() as f64 / (gops * 1e9)
+    }
+}
+
+/// Converts measured search effort into estimated operations.
+///
+/// ```
+/// use zhuyi::estimator::SearchStats;
+/// use zhuyi::ops::{measured_ops, OPS_PER_ITERATION};
+///
+/// let stats = SearchStats { latency_steps: 10, constraint_evaluations: 250 };
+/// assert_eq!(measured_ops(&stats), 250 * OPS_PER_ITERATION);
+/// ```
+pub fn measured_ops(stats: &SearchStats) -> u64 {
+    stats.constraint_evaluations * OPS_PER_ITERATION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_two_actor_bound_is_60_kops() {
+        // §4.2: "For a scenario with 2 actors and a single future
+        // prediction, the compute demand is capped at 60 kilo-ops."
+        let bound = OpsBound::for_config(&ZhuyiConfig::paper(), 2, 1);
+        assert_eq!(bound.total_ops(), 60_000);
+    }
+
+    #[test]
+    fn executes_within_2ms_on_10_gops() {
+        let bound = OpsBound::for_config(&ZhuyiConfig::paper(), 2, 1);
+        assert!(bound.execution_time_secs(10.0) < 2e-3);
+    }
+
+    #[test]
+    fn bound_scales_linearly_in_actors_and_trajectories() {
+        let cfg = ZhuyiConfig::paper();
+        let one = OpsBound::for_config(&cfg, 1, 1).total_ops();
+        assert_eq!(OpsBound::for_config(&cfg, 4, 1).total_ops(), 4 * one);
+        assert_eq!(OpsBound::for_config(&cfg, 1, 5).total_ops(), 5 * one);
+    }
+
+    #[test]
+    fn measured_ops_uses_evaluation_count() {
+        let stats = SearchStats {
+            latency_steps: 3,
+            constraint_evaluations: 42,
+        };
+        assert_eq!(measured_ops(&stats), 4200);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gops_rejected() {
+        let _ = OpsBound::for_config(&ZhuyiConfig::paper(), 1, 1).execution_time_secs(0.0);
+    }
+}

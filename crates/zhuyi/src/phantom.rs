@@ -1,0 +1,175 @@
+//! Yet-to-be-detected objects (paper §5, future work).
+//!
+//! The paper lists "incorporating yet-to-be-detected objects" as a future
+//! direction: an empty field of view is only as reassuring as the sensing
+//! horizon behind it. This module computes the **phantom floor** — the
+//! processing rate a camera needs so the ego could still stop for a
+//! worst-case stationary obstacle sitting *just beyond* what perception
+//! has cleared (the camera's range, or the current occlusion boundary).
+//!
+//! The phantom requirement gives each camera a speed-dependent minimum
+//! even when no actor is tracked, replacing the bare 1-FPR idle floor of
+//! Eq. 5 with a physically grounded one.
+
+use crate::estimator::{EgoKinematics, LatencyEstimate, TolerableLatencyEstimator};
+use crate::future::StationaryActor;
+use av_core::prelude::*;
+
+/// Tolerable latency against a hypothetical stationary obstacle revealed
+/// at `cleared_distance` ahead of the ego (bumper to bumper).
+///
+/// This is simply the standard search against a [`StationaryActor`] at
+/// that distance; the value of the function is the framing: call it with
+/// the camera's sensing range (or the distance to the nearest occluder)
+/// to obtain the camera's floor requirement when its FOV looks empty.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use zhuyi::estimator::EgoKinematics;
+/// use zhuyi::phantom::phantom_requirement;
+/// use zhuyi::{TolerableLatencyEstimator, ZhuyiConfig};
+///
+/// # fn main() -> Result<(), zhuyi::config::ConfigError> {
+/// let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper())?;
+/// // 70 mph with 150 m of cleared road ahead: a modest floor.
+/// let ego = EgoKinematics::new(Mph(70.0).into(), MetersPerSecondSquared(0.0));
+/// let est = phantom_requirement(&estimator, ego, Meters(150.0), Seconds(1.0 / 30.0));
+/// assert!(est.fpr().value() < 10.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn phantom_requirement(
+    estimator: &TolerableLatencyEstimator,
+    ego: EgoKinematics,
+    cleared_distance: Meters,
+    current_latency: Seconds,
+) -> LatencyEstimate {
+    estimator.tolerable_latency(ego, &StationaryActor::new(cleared_distance), current_latency)
+}
+
+/// The cleared distance ahead of the ego along its corridor: the nearest
+/// occluder/actor boundary if any is closer than the sensing range.
+///
+/// Feeds [`phantom_requirement`] from a perceived scene: phantom objects
+/// can hide behind the nearest tracked vehicle or beyond sensor range,
+/// whichever is closer.
+pub fn cleared_distance(
+    ego: &VehicleState,
+    ego_dims: Dimensions,
+    tracked: &[Agent],
+    sensing_range: Meters,
+    corridor_margin: Meters,
+) -> Meters {
+    let forward = Vec2::from_heading(ego.heading);
+    let mut cleared = sensing_range;
+    for agent in tracked {
+        if agent.id.is_ego() {
+            continue;
+        }
+        let rel = agent.state.position - ego.position;
+        let ahead = rel.dot(forward);
+        if ahead <= 0.0 {
+            continue;
+        }
+        let lateral = rel.cross(forward).abs();
+        let corridor = (ego_dims.width.value() + agent.dims.width.value()) / 2.0
+            + corridor_margin.value();
+        if lateral > corridor {
+            continue;
+        }
+        let boundary = Meters(
+            ahead - (ego_dims.length.value() + agent.dims.length.value()) / 2.0,
+        );
+        cleared = cleared.min(boundary.max(Meters::ZERO));
+    }
+    cleared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::SearchOutcome;
+    use crate::ZhuyiConfig;
+
+    fn estimator() -> TolerableLatencyEstimator {
+        TolerableLatencyEstimator::new(ZhuyiConfig::paper()).expect("valid")
+    }
+
+    fn ego_kin(v: f64) -> EgoKinematics {
+        EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared::ZERO)
+    }
+
+    const L0: Seconds = Seconds(1.0 / 30.0);
+
+    #[test]
+    fn faster_ego_needs_higher_phantom_floor() {
+        let e = estimator();
+        let slow = phantom_requirement(&e, ego_kin(10.0), Meters(80.0), L0);
+        let fast = phantom_requirement(&e, ego_kin(30.0), Meters(80.0), L0);
+        assert!(fast.latency < slow.latency);
+    }
+
+    #[test]
+    fn outdriving_the_sensor_is_infeasible() {
+        // 40 m/s with only 30 m of cleared road: no rate can save a
+        // phantom there — the ego is overdriving its sensors.
+        let e = estimator();
+        let est = phantom_requirement(&e, ego_kin(40.0), Meters(30.0), L0);
+        assert_eq!(est.outcome, SearchOutcome::Infeasible);
+    }
+
+    fn ego_state(v: f64) -> VehicleState {
+        VehicleState::new(
+            Vec2::ZERO,
+            Radians(0.0),
+            MetersPerSecond(v),
+            MetersPerSecondSquared::ZERO,
+        )
+    }
+
+    fn car_at(id: u32, x: f64, y: f64) -> Agent {
+        Agent::new(
+            ActorId(id),
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::at_rest(Vec2::new(x, y), Radians(0.0)),
+        )
+    }
+
+    #[test]
+    fn cleared_distance_stops_at_nearest_corridor_actor() {
+        let cleared = cleared_distance(
+            &ego_state(20.0),
+            Dimensions::CAR,
+            &[car_at(1, 60.0, 0.0), car_at(2, 30.0, 0.0)],
+            Meters(150.0),
+            Meters(0.3),
+        );
+        // Nearest in-corridor actor at 30 m centers: 30 - 4.5 = 25.5.
+        assert!((cleared.value() - 25.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cleared_distance_ignores_adjacent_lanes_and_rear() {
+        let cleared = cleared_distance(
+            &ego_state(20.0),
+            Dimensions::CAR,
+            &[car_at(1, 40.0, 3.7), car_at(2, -20.0, 0.0)],
+            Meters(150.0),
+            Meters(0.3),
+        );
+        assert_eq!(cleared, Meters(150.0));
+    }
+
+    #[test]
+    fn overlapping_actor_clamps_to_zero() {
+        let cleared = cleared_distance(
+            &ego_state(20.0),
+            Dimensions::CAR,
+            &[car_at(1, 2.0, 0.0)],
+            Meters(150.0),
+            Meters(0.3),
+        );
+        assert_eq!(cleared, Meters::ZERO);
+    }
+}

@@ -1,0 +1,216 @@
+//! Property-based tests of the Zhuyi model invariants: bounds,
+//! monotonicity and conservatism of the tolerable-latency search, Eq.-4
+//! aggregation, and naive/accelerated search agreement.
+
+use av_core::prelude::*;
+use proptest::prelude::*;
+use zhuyi::aggregate::{aggregate_latencies, Aggregation};
+use zhuyi::estimator::{EgoKinematics, SearchOutcome, TolerableLatencyEstimator};
+use zhuyi::future::{ConstantAccelActor, FixedGapActor, StationaryActor};
+use zhuyi::{SearchStrategy, ZhuyiConfig};
+
+fn estimator() -> TolerableLatencyEstimator {
+    TolerableLatencyEstimator::new(ZhuyiConfig::paper()).expect("paper config is valid")
+}
+
+const L0: Seconds = Seconds(1.0 / 30.0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The returned latency always lies on the configured grid within
+    /// [min_latency, max_latency], whatever the situation.
+    #[test]
+    fn latency_is_always_within_bounds(
+        v in 0.0..45.0f64, gap in 0.0..300.0f64, van in 0.0..45.0f64, a0 in -8.0..3.0f64,
+    ) {
+        let e = estimator();
+        let est = e.tolerable_latency(
+            EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared(a0)),
+            &FixedGapActor::new(Meters(gap), MetersPerSecond(van)),
+            L0,
+        );
+        let cfg = e.config();
+        prop_assert!(est.latency >= cfg.min_latency - Seconds(1e-9));
+        prop_assert!(est.latency <= cfg.max_latency + Seconds(1e-9));
+        if est.outcome == SearchOutcome::Infeasible {
+            prop_assert_eq!(est.latency, cfg.min_latency);
+        }
+    }
+
+    /// More room can never hurt: tolerable latency is non-decreasing in
+    /// the available gap.
+    #[test]
+    fn latency_monotone_in_gap(
+        v in 1.0..40.0f64, gap in 5.0..200.0f64, extra in 0.1..100.0f64,
+    ) {
+        let e = estimator();
+        let ego = EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared::ZERO);
+        let near = e.tolerable_latency(ego, &StationaryActor::new(Meters(gap)), L0);
+        let far = e.tolerable_latency(ego, &StationaryActor::new(Meters(gap + extra)), L0);
+        prop_assert!(
+            far.latency >= near.latency,
+            "gap {} -> {}, latency {} -> {}",
+            gap, gap + extra, near.latency, far.latency
+        );
+    }
+
+    /// A faster ego can never tolerate more latency against the same
+    /// stationary obstacle.
+    #[test]
+    fn latency_antitone_in_ego_speed(
+        v in 1.0..35.0f64, dv in 0.1..10.0f64, gap in 10.0..250.0f64,
+    ) {
+        let e = estimator();
+        let slow = e.tolerable_latency(
+            EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared::ZERO),
+            &StationaryActor::new(Meters(gap)),
+            L0,
+        );
+        let fast = e.tolerable_latency(
+            EgoKinematics::new(MetersPerSecond(v + dv), MetersPerSecondSquared::ZERO),
+            &StationaryActor::new(Meters(gap)),
+            L0,
+        );
+        prop_assert!(fast.latency <= slow.latency);
+    }
+
+    /// A faster actor (same gap) can never demand a smaller latency...
+    /// i.e. tolerable latency is non-decreasing in the actor's velocity.
+    #[test]
+    fn latency_monotone_in_actor_speed(
+        v in 5.0..40.0f64, gap in 10.0..150.0f64, van in 0.0..30.0f64, dva in 0.1..10.0f64,
+    ) {
+        let e = estimator();
+        let ego = EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared::ZERO);
+        let slow = e.tolerable_latency(ego, &FixedGapActor::new(Meters(gap), MetersPerSecond(van)), L0);
+        let fast = e.tolerable_latency(
+            ego,
+            &FixedGapActor::new(Meters(gap), MetersPerSecond(van + dva)),
+            L0,
+        );
+        prop_assert!(fast.latency >= slow.latency);
+    }
+
+    /// The Eq.-3 accelerated search is never more *tolerant* than the
+    /// exhaustive naive scan (it may be more conservative: the paper caps
+    /// it at M iterations, and chasing a decelerating actor's velocity
+    /// target converges geometrically, so M can run out before the scan's
+    /// answer is reached).
+    #[test]
+    fn accelerated_is_never_more_tolerant_than_naive(
+        v in 1.0..40.0f64, gap in 5.0..200.0f64, van in 0.0..35.0f64, a in -6.0..0.0f64,
+    ) {
+        let accel = estimator();
+        let mut cfg = ZhuyiConfig::paper();
+        cfg.strategy = SearchStrategy::Naive;
+        let naive = TolerableLatencyEstimator::new(cfg).expect("valid");
+        let ego = EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared::ZERO);
+        let future = ConstantAccelActor::new(
+            Meters(gap),
+            MetersPerSecond(van),
+            MetersPerSecondSquared(a),
+        );
+        let ln = naive.tolerable_latency(ego, &future, L0).latency;
+        let la = accel.tolerable_latency(ego, &future, L0).latency;
+        // Two grid steps of slack cover off-grid t_n values the exact
+        // jumps can reach but the 10 ms scan cannot (both searches only
+        // return latencies whose constraints they actually verified, so
+        // this is approximation jitter, not a soundness issue).
+        prop_assert!(
+            la <= ln + Seconds(0.067),
+            "accelerated {la} more tolerant than naive {ln}"
+        );
+    }
+
+    /// The bounded-tolerance comparison also holds on constant-velocity
+    /// actors (no moving target). Exact agreement is NOT guaranteed even
+    /// there: the satisfiable t_n window can be narrower than the scan's
+    /// 10 ms grid (the Eq.-3 jump lands inside it exactly), and the scan
+    /// can out-wait the M-capped search where slow gap growth eventually
+    /// satisfies Eq. 1.
+    #[test]
+    fn searches_agree_within_tolerance_for_cv_actors(
+        v in 1.0..40.0f64, gap in 5.0..200.0f64, van in 0.0..35.0f64,
+    ) {
+        let accel = estimator();
+        let mut cfg = ZhuyiConfig::paper();
+        cfg.strategy = SearchStrategy::Naive;
+        let naive = TolerableLatencyEstimator::new(cfg).expect("valid");
+        let ego = EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared::ZERO);
+        let future = FixedGapActor::new(Meters(gap), MetersPerSecond(van));
+        let n = naive.tolerable_latency(ego, &future, L0);
+        let a = accel.tolerable_latency(ego, &future, L0);
+        prop_assert!(
+            a.latency <= n.latency + Seconds(0.067),
+            "accelerated {} far more tolerant than naive {}",
+            a.latency,
+            n.latency
+        );
+        // Unconstrained classification (no frontal threat at all) does not
+        // depend on the inner search, so it must agree exactly.
+        prop_assert_eq!(
+            n.outcome == SearchOutcome::Unconstrained,
+            a.outcome == SearchOutcome::Unconstrained
+        );
+    }
+
+    /// The confirmation-delay term only ever tightens the estimate
+    /// relative to a zero-alpha run.
+    #[test]
+    fn alpha_only_tightens(
+        v in 1.0..40.0f64, gap in 5.0..200.0f64,
+    ) {
+        let e = estimator();
+        let ego = EgoKinematics::new(MetersPerSecond(v), MetersPerSecondSquared::ZERO);
+        let future = StationaryActor::new(Meters(gap));
+        // l0 = max latency disables alpha entirely.
+        let no_alpha = e.tolerable_latency(ego, &future, Seconds(1.0));
+        let with_alpha = e.tolerable_latency(ego, &future, L0);
+        prop_assert!(with_alpha.latency <= no_alpha.latency);
+    }
+
+    // ---------------- Eq. 4 aggregation ----------------
+
+    /// Any aggregation result lies within the sample hull, and WorstCase
+    /// lower-bounds every other mode.
+    #[test]
+    fn aggregation_within_hull(
+        latencies in prop::collection::vec(0.033..1.0f64, 1..20),
+        seedp in 0.01..1.0f64,
+    ) {
+        let samples: Vec<(Seconds, f64)> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (Seconds(*l), seedp * ((i % 7 + 1) as f64)))
+            .collect();
+        let lo = latencies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = latencies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let worst = aggregate_latencies(&samples, Aggregation::WorstCase).expect("nonempty");
+        prop_assert!((worst.value() - lo).abs() < 1e-12);
+        for mode in [Aggregation::Mean, Aggregation::P99, Aggregation::Percentile(50.0)] {
+            let out = aggregate_latencies(&samples, mode).expect("nonempty");
+            prop_assert!(out.value() >= lo - 1e-12, "{mode:?} below hull");
+            prop_assert!(out.value() <= hi + 1e-12, "{mode:?} above hull");
+            prop_assert!(
+                out.value() + 1e-12 >= worst.value(),
+                "{mode:?} less pessimistic than worst case"
+            );
+        }
+    }
+
+    /// Percentile coverage is monotone: covering more probability mass
+    /// can only lower (tighten) the latency.
+    #[test]
+    fn percentile_monotone_in_coverage(
+        latencies in prop::collection::vec(0.033..1.0f64, 2..20),
+        n1 in 1.0..99.0f64, dn in 0.5..50.0f64,
+    ) {
+        let samples: Vec<(Seconds, f64)> =
+            latencies.iter().map(|l| (Seconds(*l), 1.0)).collect();
+        let n2 = (n1 + dn).min(100.0);
+        let loose = aggregate_latencies(&samples, Aggregation::Percentile(n1)).expect("nonempty");
+        let tight = aggregate_latencies(&samples, Aggregation::Percentile(n2)).expect("nonempty");
+        prop_assert!(tight <= loose);
+    }
+}

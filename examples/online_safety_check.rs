@@ -1,0 +1,72 @@
+//! Online safety check and work prioritization (paper §3.2, Fig. 3).
+//!
+//! Drives the *Vehicle following* scenario with the Zhuyi runtime in the
+//! loop. Every 100 ms the runtime estimates per-camera requirements from
+//! the perceived world model, checks them against the actual rates, and
+//! re-prioritizes a fixed frame budget toward the cameras that matter —
+//! the front camera when the lead vehicle slams its brakes.
+//!
+//! Run: `cargo run --release --example online_safety_check`
+
+use zhuyi_repro::core::prelude::*;
+use zhuyi_repro::perception::camera::CameraKind;
+use zhuyi_repro::perception::system::RatePlan;
+use zhuyi_repro::prediction::kinematic::ConstantAcceleration;
+use zhuyi_repro::runtime::prioritize::BudgetAllocator;
+use zhuyi_repro::runtime::system::{drive, RuntimeConfig, ZhuyiRuntime};
+use zhuyi_repro::scenarios::catalog::{Scenario, ScenarioId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::build(ScenarioId::VehicleFollowing, 0);
+    // A constrained system: 40 frames/second shared by five cameras
+    // (instead of the paper's fully provisioned 5 x 30).
+    let sim = scenario.simulation(RatePlan::Uniform(Fpr(8.0)))?;
+    let runtime = ZhuyiRuntime::new(RuntimeConfig {
+        budget: Some(BudgetAllocator {
+            total: Fpr(40.0),
+            min_per_camera: Fpr(1.0),
+            max_per_camera: Fpr(30.0),
+        }),
+        apply_allocation: true,
+        ..Default::default()
+    })?;
+
+    let rig = zhuyi_repro::perception::rig::CameraRig::drive_av();
+    let front = rig.find(CameraKind::FrontWide).expect("front camera");
+    let rear = rig.find(CameraKind::Rear).expect("rear camera");
+
+    let (trace, decisions) = drive(sim, &runtime, &ConstantAcceleration);
+
+    println!("vehicle following at 70 mph on a 40-frames/s budget\n");
+    println!(" t(s) | front req | alarm | granted front | granted rear");
+    println!("------+-----------+-------+---------------+-------------");
+    for d in decisions.iter().step_by(10) {
+        let front_req = d
+            .estimates
+            .camera(CameraKind::FrontWide)
+            .map_or(0.0, |c| c.fpr().value());
+        let (gf, gr) = d
+            .allocation
+            .as_ref()
+            .map_or((f64::NAN, f64::NAN), |a| {
+                (a.rates[front.0].value(), a.rates[rear.0].value())
+            });
+        println!(
+            " {:>4.1} | {front_req:>6.1}    | {} | {gf:>10.1}    | {gr:>8.1}",
+            d.time.value(),
+            if d.verdict.safe { "  -  " } else { "ALARM" },
+        );
+    }
+
+    println!(
+        "\nrun outcome: {}, {} control decisions, {} alarms",
+        if trace.collided() { "COLLISION" } else { "no collision" },
+        decisions.len(),
+        decisions.iter().filter(|d| !d.verdict.safe).count()
+    );
+    println!(
+        "When the lead brakes (t = 3 s) the front requirement spikes; the\n\
+         allocator shifts budget from the idle cameras to the front camera."
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Pre-deployment safety report (paper §3.1): the designer-feedback
+//! artifact for every Table-1 scenario.
+//!
+//! For each scenario this runs the closed-loop test once at 30 FPR,
+//! applies the offline Zhuyi pipeline to the trace, and prints outcome,
+//! surrogate safety metrics (minimum TTC / frontal gap), per-camera peak
+//! requirements and the fraction of a 3×30-FPR provisioning the scenario
+//! needs.
+//!
+//! Run: `cargo run --release --example pre_deployment_report`
+
+use zhuyi_repro::core::prelude::*;
+use zhuyi_repro::model::pipeline::PipelineConfig;
+use zhuyi_repro::model::{TolerableLatencyEstimator, ZhuyiConfig};
+use zhuyi_repro::perception::rig::CameraRig;
+use zhuyi_repro::runtime::report::ScenarioReport;
+use zhuyi_repro::scenarios::catalog::{Scenario, ScenarioId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper())?;
+    let rig = CameraRig::drive_av();
+    let pipeline = PipelineConfig {
+        current_latency: Seconds(1.0 / 30.0),
+        stride: 25,
+        ..Default::default()
+    };
+
+    println!("pre-deployment safety report (all scenarios @ 30 FPR)\n");
+    for id in ScenarioId::ALL {
+        let scenario = Scenario::build(id, 0);
+        let trace = scenario.run_at(Fpr(30.0));
+        let report = ScenarioReport::from_trace(
+            id.name(),
+            &trace,
+            scenario.road.path(),
+            &rig,
+            &estimator,
+            &pipeline,
+        );
+        println!("{report}");
+    }
+    println!(
+        "Use these reports to spot where \"a different resource allocation for\n\
+         different sensors can provide a safer drive\" (paper 3.1) — e.g. every\n\
+         front-only scenario leaves both side cameras at their 1-FPR floor."
+    );
+    Ok(())
+}

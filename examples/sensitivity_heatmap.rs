@@ -1,0 +1,52 @@
+//! Sensitivity heat map (paper Fig. 8): how the minimum safe FPR varies
+//! with ego speed and actor end velocity at a fixed available distance.
+//!
+//! Prints a compact character map: '.' for <= 2 FPR, digits for higher
+//! finite requirements, '+' for above 30 FPR, '#' for unavoidable
+//! collisions.
+//!
+//! Run: `cargo run --release --example sensitivity_heatmap [-- <gap-m>]`
+
+use zhuyi_repro::core::prelude::*;
+use zhuyi_repro::model::sensitivity::{paper_axis, sweep_fixed_gap, CellOutcome};
+use zhuyi_repro::model::ZhuyiConfig;
+
+fn glyph(cell: &CellOutcome) -> char {
+    match cell {
+        CellOutcome::RequiredFpr(f) if *f <= 2.0 => '.',
+        CellOutcome::RequiredFpr(f) if *f < 10.0 => {
+            char::from_digit(f.round() as u32, 10).unwrap_or('9')
+        }
+        CellOutcome::RequiredFpr(_) => '*',
+        CellOutcome::AboveLimit => '+',
+        CellOutcome::Unavoidable => '#',
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gap: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30.0);
+    let axis = paper_axis();
+    let grid = sweep_fixed_gap(
+        ZhuyiConfig::paper(),
+        Meters(gap),
+        &axis,
+        &axis,
+        Fpr(1.0), // paper setting: no confirmation-delay term in the sweep
+    )?;
+
+    println!("minimum safe FPR, s_n = {gap} m");
+    println!("rows: ego speed 0..70 mph (top to bottom)");
+    println!("cols: actor end velocity 0..70 mph (left to right)");
+    println!("legend: '.' <=2 FPR, digit = FPR, '*' >=10, '+' above 30, '#' unavoidable\n");
+    for (i, ve) in grid.ego_speeds.iter().enumerate() {
+        let row: String = grid.cells[i].iter().map(glyph).collect();
+        println!("{:>3.0} mph  {row}", ve.value());
+    }
+
+    let (finite, above, unavoidable) = grid.census();
+    println!(
+        "\n{finite} feasible cells, {above} above the 30-FPR limit, {unavoidable} unavoidable"
+    );
+    println!("(compare with `cargo run -p zhuyi-bench --bin fig8_sensitivity` for full values)");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Trace tooling: record a scenario, export it to CSV, re-import it, and
+//! analyze the round-tripped trace — the workflow for handing traces to
+//! external plotting or replaying them in another process.
+//!
+//! Run: `cargo run --release --example trace_tooling`
+
+use zhuyi_repro::core::prelude::*;
+use zhuyi_repro::model::pipeline::{analyze_trace, PipelineConfig};
+use zhuyi_repro::model::{TolerableLatencyEstimator, ZhuyiConfig};
+use zhuyi_repro::perception::rig::CameraRig;
+use zhuyi_repro::scenarios::catalog::{Scenario, ScenarioId};
+use zhuyi_repro::sim::io::{trace_from_csv, trace_to_csv};
+use zhuyi_repro::sim::metrics::run_metrics;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Record.
+    let scenario = Scenario::build(ScenarioId::ChallengingCutIn, 0);
+    let trace = scenario.run_at(Fpr(30.0));
+    println!(
+        "recorded {} scenes over {} ({} events)",
+        trace.scenes.len(),
+        trace.duration(),
+        trace.events.len()
+    );
+
+    // 2. Export.
+    let csv = trace_to_csv(&trace);
+    let path = std::env::temp_dir().join("zhuyi_challenging_cut_in.csv");
+    std::fs::write(&path, &csv)?;
+    println!("exported {} bytes to {}", csv.len(), path.display());
+
+    // 3. Re-import and verify integrity.
+    let restored = trace_from_csv(&std::fs::read_to_string(&path)?)?;
+    assert_eq!(restored.scenes.len(), trace.scenes.len());
+    let metrics = run_metrics(&restored);
+    println!(
+        "round-trip ok; min TTC {}, min frontal gap {}",
+        metrics.min_ttc.map_or("-".into(), |t| t.to_string()),
+        metrics.min_gap.map_or("-".into(), |g| g.to_string()),
+    );
+
+    // 4. The re-imported trace feeds the Zhuyi pipeline like a fresh one.
+    let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper())?;
+    let analysis = analyze_trace(
+        &restored.scenes,
+        scenario.road.path(),
+        &CameraRig::drive_av(),
+        &estimator,
+        &PipelineConfig {
+            stride: 50,
+            ..Default::default()
+        },
+    );
+    println!(
+        "Zhuyi on the restored trace: max per-camera requirement {}",
+        analysis.max_camera_fpr().expect("steps analyzed")
+    );
+    Ok(())
+}

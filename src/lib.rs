@@ -1,0 +1,48 @@
+//! Facade crate for the **Zhuyi** (DAC 2022) reproduction.
+//!
+//! Zhuyi estimates, at every instant of a driving scenario, the minimum
+//! per-camera sensor frame processing rate (FPR) an autonomous vehicle must
+//! sustain to stay collision-free, by running a kinematics-based
+//! tolerable-latency search per surrounding actor and aggregating per camera
+//! field of view.
+//!
+//! This crate re-exports the whole workspace so examples and downstream
+//! users need a single dependency:
+//!
+//! - `core` ([`av_core`]) — units, geometry, Frenet paths, kinematic states
+//! - `model` ([`zhuyi`]) — the Zhuyi estimator (the paper's contribution)
+//! - `perception` ([`av_perception`]) — camera rig, frame sampling, world model
+//! - `prediction` ([`av_prediction`]) — trajectory predictors
+//! - `sim` ([`av_sim`]) — closed-loop driving simulator
+//! - `scenarios` ([`av_scenarios`]) — the nine Table-1 scenarios
+//! - `runtime` ([`zhuyi_runtime`]) — online safety check & work prioritization
+//! - `compute` ([`compute_model`]) — Figure-1 compute-demand model
+//!
+//! # Quickstart
+//!
+//! ```
+//! use zhuyi_repro::model::{ActorEstimate, TolerableLatencyEstimator, ZhuyiConfig};
+//! use zhuyi_repro::core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Ego doing 20 m/s, 60 m behind a stopped obstacle.
+//! let config = ZhuyiConfig::paper();
+//! let estimator = TolerableLatencyEstimator::new(config)?;
+//! let ego = VehicleState::new(Vec2::ZERO, Radians(0.0), MetersPerSecond(20.0),
+//!                             MetersPerSecondSquared(0.0));
+//! let obstacle = Agent::new(ActorId(1), ActorKind::StaticObstacle, Dimensions::OBSTACLE,
+//!                           VehicleState::at_rest(Vec2::new(60.0, 0.0), Radians(0.0)));
+//! let estimate: ActorEstimate = estimator.estimate_stationary_actor(&ego, &obstacle);
+//! assert!(estimate.latency < Seconds(1.0)); // the obstacle constrains the ego
+//! # Ok(())
+//! # }
+//! ```
+
+pub use av_core as core;
+pub use av_perception as perception;
+pub use av_prediction as prediction;
+pub use av_scenarios as scenarios;
+pub use av_sim as sim;
+pub use compute_model as compute;
+pub use zhuyi as model;
+pub use zhuyi_runtime as runtime;

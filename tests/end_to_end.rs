@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full pre-deployment pipeline
+//! (scenario → simulation → trace → Zhuyi analysis) and the paper's
+//! headline claims on small configurations.
+
+use zhuyi_repro::core::prelude::*;
+use zhuyi_repro::model::pipeline::{analyze_trace, PipelineConfig};
+use zhuyi_repro::model::{SearchOutcome, TolerableLatencyEstimator, ZhuyiConfig};
+use zhuyi_repro::perception::camera::CameraKind;
+use zhuyi_repro::perception::rig::CameraRig;
+use zhuyi_repro::scenarios::catalog::{Scenario, ScenarioId};
+
+fn analyze(id: ScenarioId, fpr: f64, stride: usize) -> zhuyi_repro::model::TraceAnalysis {
+    let scenario = Scenario::build(id, 0);
+    let trace = scenario.run_at(Fpr(fpr));
+    assert!(
+        !trace.collided(),
+        "{id}: reference run at {fpr} FPR must be collision-free"
+    );
+    let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper()).expect("valid config");
+    let config = PipelineConfig {
+        current_latency: Seconds(1.0 / fpr),
+        stride,
+        ..Default::default()
+    };
+    analyze_trace(
+        &trace.scenes,
+        scenario.road.path(),
+        &CameraRig::drive_av(),
+        &estimator,
+        &config,
+    )
+}
+
+/// The paper's central validation: for every scenario, the Zhuyi estimate
+/// obtained from a safe 30-FPR run must be at least the scenario's
+/// minimum required FPR.
+#[test]
+fn estimates_are_conservative_for_all_scenarios() {
+    // (scenario, MRF measured by the av-scenarios probe at seed 0)
+    let mrf: [(ScenarioId, f64); 9] = [
+        (ScenarioId::CutOut, 2.0),
+        (ScenarioId::CutOutFast, 6.0),
+        (ScenarioId::CutIn, 1.0),
+        (ScenarioId::ChallengingCutIn, 3.0),
+        (ScenarioId::ChallengingCutInCurved, 4.0),
+        (ScenarioId::VehicleFollowing, 1.0),
+        (ScenarioId::FrontRightActivity1, 1.0),
+        (ScenarioId::FrontRightActivity2, 1.0),
+        (ScenarioId::FrontRightActivity3, 1.0),
+    ];
+    for (id, required) in mrf {
+        let analysis = analyze(id, 30.0, 25);
+        let estimate = analysis
+            .max_camera_fpr()
+            .expect("analysis produced steps")
+            .value();
+        assert!(
+            estimate + 1e-9 >= required,
+            "{id}: estimate {estimate:.1} FPR below MRF {required}"
+        );
+    }
+}
+
+/// The paper's headline: at most ~36% of a 3-camera 30-FPR provisioning
+/// is ever needed in the studied scenarios.
+#[test]
+fn fraction_of_provisioned_resources_is_bounded() {
+    let cameras = [CameraKind::FrontWide, CameraKind::Left, CameraKind::Right];
+    let mut worst: f64 = 0.0;
+    for id in [
+        ScenarioId::CutOut,
+        ScenarioId::CutOutFast,
+        ScenarioId::FrontRightActivity1,
+    ] {
+        let analysis = analyze(id, 30.0, 25);
+        let sum = analysis
+            .max_total_fpr(&cameras)
+            .expect("analysis produced steps")
+            .value();
+        worst = worst.max(sum / 90.0);
+    }
+    assert!(
+        worst <= 0.40,
+        "fraction {worst:.2} exceeds the paper's ~36% bound"
+    );
+    assert!(worst >= 0.03, "fraction {worst:.2} suspiciously small");
+}
+
+/// Lowering the FPR below the MRF must actually produce collisions — the
+/// causal chain (frame sampling → confirmation → stale planning) works
+/// end to end.
+#[test]
+fn low_rate_causes_collision_in_hard_scenarios() {
+    for (id, unsafe_fpr) in [(ScenarioId::CutOutFast, 3.0), (ScenarioId::CutOut, 1.0)] {
+        let trace = Scenario::build(id, 0).run_at(Fpr(unsafe_fpr));
+        assert!(
+            trace.collided(),
+            "{id} at {unsafe_fpr} FPR should collide (below MRF)"
+        );
+    }
+}
+
+/// Side cameras stay unconstrained in the front-only Cut-in scenario
+/// (paper Fig. 6: "the tolerable latency for side cameras is 1000 ms").
+#[test]
+fn cut_in_side_cameras_idle() {
+    let analysis = analyze(ScenarioId::CutIn, 30.0, 25);
+    for kind in [CameraKind::Left, CameraKind::Right] {
+        for (t, latency) in analysis.camera_latency_series(kind) {
+            assert_eq!(
+                latency,
+                Seconds(1.0),
+                "{kind} camera constrained at t={t} in a front-only scenario"
+            );
+        }
+    }
+    // The front camera, by contrast, is constrained at some point.
+    let front_min = analysis
+        .camera_latency_series(CameraKind::FrontWide)
+        .iter()
+        .map(|(_, l)| l.value())
+        .fold(f64::INFINITY, f64::min);
+    assert!(front_min < 1.0, "front camera never constrained");
+}
+
+/// The ego's braking episodes coincide with tightened front-camera
+/// requirements shortly before them (the Fig. 4-6 correlation).
+#[test]
+fn requirement_tightens_before_braking() {
+    let analysis = analyze(ScenarioId::CutOutFast, 30.0, 10);
+    // Find the first hard-braking step.
+    let brake_t = analysis
+        .steps
+        .iter()
+        .find(|s| s.ego_accel.value() < -3.0)
+        .map(|s| s.time.value())
+        .expect("cut-out fast must brake hard");
+    // In the two seconds before it, the front camera must have tightened.
+    let tight = analysis
+        .steps
+        .iter()
+        .filter(|s| s.time.value() > brake_t - 2.0 && s.time.value() <= brake_t)
+        .filter_map(|s| {
+            s.cameras
+                .iter()
+                .find(|c| c.kind == CameraKind::FrontWide)
+                .map(|c| c.latency.value())
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        tight < 0.2,
+        "front latency only reached {tight}s before braking at t={brake_t}"
+    );
+}
+
+/// Infeasible situations are flagged, not silently clamped.
+#[test]
+fn infeasible_outcome_is_reported() {
+    use zhuyi_repro::model::future::StationaryActor;
+    use zhuyi_repro::model::EgoKinematics;
+    let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper()).expect("valid");
+    let est = estimator.tolerable_latency(
+        EgoKinematics::new(MetersPerSecond(30.0), MetersPerSecondSquared::ZERO),
+        &StationaryActor::new(Meters(5.0)),
+        Seconds(1.0 / 30.0),
+    );
+    assert_eq!(est.outcome, SearchOutcome::Infeasible);
+}

@@ -1,0 +1,92 @@
+//! Failure-injection integration tests: frame loss degrades the effective
+//! processing rate, collisions reappear below the MRF, and the Zhuyi
+//! safety check notices the shortfall.
+
+use zhuyi_repro::core::prelude::*;
+use zhuyi_repro::perception::dropout::DropPolicy;
+use zhuyi_repro::perception::system::RatePlan;
+use zhuyi_repro::prediction::kinematic::ConstantAcceleration;
+use zhuyi_repro::runtime::system::{drive, RuntimeConfig, ZhuyiRuntime};
+use zhuyi_repro::scenarios::catalog::{Scenario, ScenarioId};
+use zhuyi_repro::sim::engine::Simulation;
+
+fn sim_with_drops(id: ScenarioId, fpr: f64, policy: DropPolicy) -> Simulation {
+    let scenario = Scenario::build(id, 0);
+    let mut sim = scenario
+        .simulation(RatePlan::Uniform(Fpr(fpr)))
+        .expect("uniform plan is valid");
+    let perception = sim.perception().clone().with_drop_policy(policy);
+    *sim.perception_mut() = perception;
+    sim
+}
+
+/// Cut-out fast has MRF 6. Running at 8 FPR is safe; dropping every other
+/// frame (effective 4 FPR) pushes it below the MRF and the collision
+/// returns — frame loss is exactly a rate reduction.
+#[test]
+fn half_rate_drop_reintroduces_collision() {
+    let healthy = sim_with_drops(ScenarioId::CutOutFast, 8.0, DropPolicy::None).run();
+    assert!(!healthy.collided(), "8 FPR must be safe (MRF 6)");
+
+    let degraded = sim_with_drops(ScenarioId::CutOutFast, 8.0, DropPolicy::EveryNth(2)).run();
+    assert!(
+        degraded.collided(),
+        "8 FPR with 50% frame loss (effective 4) must collide"
+    );
+}
+
+/// A mild loss pattern that keeps the effective rate above the MRF stays
+/// safe.
+#[test]
+fn mild_drop_above_mrf_stays_safe() {
+    // 10 FPR with 1-in-5 loss: effective 8 >= MRF 6.
+    let trace = sim_with_drops(ScenarioId::CutOutFast, 10.0, DropPolicy::EveryNth(5)).run();
+    assert!(!trace.collided());
+}
+
+/// The online safety check flags the braking episode when the configured
+/// rate leaves no margin for the injected burst loss; and burst loss is
+/// *harsher* than its average-rate equivalent (the gaps concatenate), so
+/// even the "<1 MRF" following scenario collides at very low rates.
+#[test]
+fn safety_check_alarms_under_bursty_loss() {
+    let burst = DropPolicy::Burst { period: 6, length: 3 };
+    // 4 FPR + 50% burst loss: survives, but the check must alarm.
+    let scenario = Scenario::build(ScenarioId::VehicleFollowing, 0);
+    let mut sim = scenario
+        .simulation(RatePlan::Uniform(Fpr(4.0)))
+        .expect("valid plan");
+    *sim.perception_mut() = sim.perception().clone().with_drop_policy(burst);
+    let runtime = ZhuyiRuntime::new(RuntimeConfig::default()).expect("valid config");
+    let (trace, decisions) = drive(sim, &runtime, &ConstantAcceleration);
+    assert!(!trace.collided());
+    assert!(
+        decisions.iter().any(|d| !d.verdict.safe),
+        "no alarm despite burst loss through a braking episode"
+    );
+
+    // 2 FPR + the same burst: the effective gaps exceed what even this
+    // MRF-<1 scenario tolerates.
+    let mut sim = Scenario::build(ScenarioId::VehicleFollowing, 0)
+        .simulation(RatePlan::Uniform(Fpr(2.0)))
+        .expect("valid plan");
+    *sim.perception_mut() = sim.perception().clone().with_drop_policy(burst);
+    assert!(sim.run().collided(), "bursty loss at 2 FPR must be fatal");
+}
+
+/// Dropped frames are reported per tick so a watchdog could detect the
+/// fault directly.
+#[test]
+fn drop_reports_are_visible() {
+    let mut sim = sim_with_drops(ScenarioId::VehicleFollowing, 30.0, DropPolicy::EveryNth(2));
+    let mut dropped = 0usize;
+    for _ in 0..200 {
+        let scene = sim.snapshot();
+        let report = sim.perception_mut().tick(&scene);
+        dropped += report.dropped.len();
+        if sim.step() != zhuyi_repro::sim::engine::StepOutcome::Running {
+            break;
+        }
+    }
+    assert!(dropped > 0, "drop policy never reported a lost frame");
+}

@@ -1,0 +1,162 @@
+//! Integration tests of the post-deployment loop: online estimation,
+//! safety checking and budget prioritization driving a live simulation.
+
+use zhuyi_repro::core::prelude::*;
+use zhuyi_repro::perception::camera::CameraKind;
+use zhuyi_repro::perception::system::RatePlan;
+use zhuyi_repro::prediction::kinematic::{ConstantAcceleration, ConstantVelocity};
+use zhuyi_repro::prediction::maneuver::{ManeuverConfig, ManeuverPredictor};
+use zhuyi_repro::runtime::prioritize::BudgetAllocator;
+use zhuyi_repro::runtime::system::{drive, RuntimeConfig, ZhuyiRuntime};
+use zhuyi_repro::scenarios::catalog::{Scenario, ScenarioId};
+
+#[test]
+fn online_loop_survives_every_scenario_at_30_fpr() {
+    let runtime = ZhuyiRuntime::new(RuntimeConfig::default()).expect("valid config");
+    for id in [
+        ScenarioId::CutIn,
+        ScenarioId::VehicleFollowing,
+        ScenarioId::FrontRightActivity2,
+    ] {
+        let sim = Scenario::build(id, 0)
+            .simulation(RatePlan::Uniform(Fpr(30.0)))
+            .expect("valid plan");
+        let (trace, decisions) = drive(sim, &runtime, &ConstantVelocity);
+        assert!(!trace.collided(), "{id} collided with the runtime attached");
+        assert!(!decisions.is_empty());
+        // Every decision carries a full camera vector.
+        for d in &decisions {
+            assert_eq!(d.estimates.cameras.len(), 5);
+        }
+    }
+}
+
+#[test]
+fn prioritized_budget_keeps_hard_scenario_safe() {
+    // Cut-out fast needs ~6 FPR on the front camera (MRF 6). A uniform
+    // split of a 35-frame budget gives each camera 7 FPR — safe but with
+    // zero headroom. The Zhuyi-prioritized allocation instead starves the
+    // idle cameras and gives the front camera up to 30.
+    let scenario = Scenario::build(ScenarioId::CutOutFast, 0);
+    let sim = scenario
+        .simulation(RatePlan::Uniform(Fpr(7.0)))
+        .expect("valid plan");
+    let runtime = ZhuyiRuntime::new(RuntimeConfig {
+        budget: Some(BudgetAllocator {
+            total: Fpr(35.0),
+            min_per_camera: Fpr(1.0),
+            max_per_camera: Fpr(30.0),
+        }),
+        apply_allocation: true,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let (trace, decisions) = drive(sim, &runtime, &ConstantAcceleration);
+    assert!(!trace.collided(), "prioritized budget failed to keep the run safe");
+    // The allocator must have granted the front camera a super-uniform
+    // share at some point.
+    let rig = zhuyi_repro::perception::rig::CameraRig::drive_av();
+    let front = rig.find(CameraKind::FrontWide).expect("front camera");
+    let boosted = decisions
+        .iter()
+        .filter_map(|d| d.allocation.as_ref())
+        .any(|a| a.rates[front.0].value() > 7.0 + 1e-9);
+    assert!(boosted, "front camera never received extra budget");
+}
+
+#[test]
+fn multi_hypothesis_prediction_is_more_conservative() {
+    let scenario = Scenario::build(ScenarioId::CutIn, 0);
+    let runtime = ZhuyiRuntime::new(RuntimeConfig::default()).expect("valid config");
+
+    let sim1 = scenario
+        .simulation(RatePlan::Uniform(Fpr(30.0)))
+        .expect("valid plan");
+    let (_, cv) = drive(sim1, &runtime, &ConstantVelocity);
+
+    let sim2 = scenario
+        .simulation(RatePlan::Uniform(Fpr(30.0)))
+        .expect("valid plan");
+    let maneuver = ManeuverPredictor::new(scenario.road.path().clone(), ManeuverConfig::default());
+    let (_, mh) = drive(sim2, &runtime, &maneuver);
+
+    let min_front = |ds: &[zhuyi_repro::runtime::RuntimeDecision]| {
+        ds.iter()
+            .filter_map(|d| d.estimates.camera(CameraKind::FrontWide).map(|c| c.latency.value()))
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Worst-case aggregation over a hypothesis set that includes braking
+    // futures can only tighten the estimate.
+    assert!(
+        min_front(&mh) <= min_front(&cv) + 1e-9,
+        "maneuver set must be at least as conservative as CV"
+    );
+}
+
+/// The Fig.-1 story closed end to end: a 12-camera rig under a budget of
+/// 36% of full provisioning (the paper's measured need) still grants every
+/// camera at least its floor and concentrates surplus on demand.
+#[test]
+fn hyperion_twelve_camera_budget_allocates() {
+    use zhuyi_repro::perception::rig::CameraRig;
+    use zhuyi_repro::runtime::prioritize::BudgetAllocator;
+    use zhuyi_repro::model::camera_fpr::CameraEstimate;
+    use zhuyi_repro::perception::rig::CameraId;
+
+    let rig = CameraRig::hyperion_12();
+    assert_eq!(rig.len(), 12);
+    // 36% of 12 x 30 FPR.
+    let allocator = BudgetAllocator {
+        total: Fpr(0.36 * 12.0 * 30.0),
+        min_per_camera: Fpr(1.0),
+        max_per_camera: Fpr(30.0),
+    };
+    // A demanding front camera (33 ms), a moderate side, ten idle.
+    let estimates: Vec<CameraEstimate> = rig
+        .iter()
+        .map(|(id, cam)| CameraEstimate {
+            camera: id,
+            kind: cam.kind(),
+            latency: match id.0 {
+                1 => Seconds(0.033),
+                2 => Seconds(0.25),
+                _ => Seconds(1.0),
+            },
+            limiting_actor: None,
+        })
+        .collect();
+    let allocation = allocator.allocate(&estimates).expect("valid allocator");
+    assert!(allocation.satisfied, "36% budget covers this scene");
+    assert!(allocation.rates[1].value() >= 30.0 - 1e-6, "front gets its 30");
+    assert!(allocation.rates[2].value() >= 4.0, "side gets its 4");
+    for (i, rate) in allocation.rates.iter().enumerate() {
+        assert!(rate.value() >= 1.0 - 1e-9, "camera {i} starved");
+        assert!(rate.value() <= 30.0 + 1e-9, "camera {i} over cap");
+    }
+    assert!(allocation.granted_total().value() <= allocator.total.value() + 1e-6);
+    let _ = CameraId(0); // silence unused import on some cfgs
+}
+
+#[test]
+fn underprovisioned_system_alarms_before_collision_risk() {
+    // Vehicle following at 2 FPR stays collision-free (MRF < 1) but the
+    // estimates during the braking transient exceed 2 FPR, so the check
+    // must alarm at least once — the "online safety check" use case.
+    let scenario = Scenario::build(ScenarioId::VehicleFollowing, 0);
+    let sim = scenario
+        .simulation(RatePlan::Uniform(Fpr(2.0)))
+        .expect("valid plan");
+    let runtime = ZhuyiRuntime::new(RuntimeConfig::default()).expect("valid config");
+    let (trace, decisions) = drive(sim, &runtime, &ConstantAcceleration);
+    assert!(!trace.collided());
+    assert!(
+        decisions.iter().any(|d| !d.verdict.safe),
+        "no alarm despite running at 2 FPR through a hard-braking episode"
+    );
+    // And the alarm names the front camera.
+    let alarmed_front = decisions
+        .iter()
+        .flat_map(|d| d.verdict.alarms.iter())
+        .any(|a| a.kind == CameraKind::FrontWide);
+    assert!(alarmed_front);
+}
