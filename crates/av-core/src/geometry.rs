@@ -280,10 +280,7 @@ impl OrientedRect {
         let d = lb - la;
         let mut t0 = 0.0_f64;
         let mut t1 = 1.0_f64;
-        for (origin, dir, half) in [
-            (la.x, d.x, self.half_length),
-            (la.y, d.y, self.half_width),
-        ] {
+        for (origin, dir, half) in [(la.x, d.x, self.half_length), (la.y, d.y, self.half_width)] {
             if dir.abs() < 1e-12 {
                 if origin.abs() > half {
                     return false;

@@ -33,8 +33,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod geometry;
-pub mod scene;
 pub mod path;
+pub mod scene;
 pub mod state;
 pub mod trajectory;
 pub mod units;

@@ -64,8 +64,15 @@ mod tests {
 
     #[test]
     fn actor_lookup() {
-        let scene = Scene::new(Seconds(1.0), agent(0, 0.0), vec![agent(1, 10.0), agent(2, 20.0)]);
-        assert_eq!(scene.actor(ActorId(2)).map(|a| a.state.position.x), Some(20.0));
+        let scene = Scene::new(
+            Seconds(1.0),
+            agent(0, 0.0),
+            vec![agent(1, 10.0), agent(2, 20.0)],
+        );
+        assert_eq!(
+            scene.actor(ActorId(2)).map(|a| a.state.position.x),
+            Some(20.0)
+        );
         assert!(scene.actor(ActorId(9)).is_none());
     }
 

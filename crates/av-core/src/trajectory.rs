@@ -48,7 +48,10 @@ impl fmt::Display for TrajectoryError {
         match self {
             TrajectoryError::Empty => write!(f, "trajectory has no points"),
             TrajectoryError::NonMonotonicTime { index } => {
-                write!(f, "trajectory time not strictly increasing at sample {index}")
+                write!(
+                    f,
+                    "trajectory time not strictly increasing at sample {index}"
+                )
             }
             TrajectoryError::InvalidProbability { value } => {
                 write!(f, "trajectory probability {value} outside [0, 1]")
@@ -179,10 +182,8 @@ impl Trajectory {
         TrajectoryPoint {
             time,
             position: a.position.lerp(b.position, u),
-            heading: Radians(
-                a.heading.value() + (b.heading - a.heading).normalized().value() * u,
-            )
-            .normalized(),
+            heading: Radians(a.heading.value() + (b.heading - a.heading).normalized().value() * u)
+                .normalized(),
             speed: a.speed + (b.speed - a.speed) * u,
             accel: a.accel + (b.accel - a.accel) * u,
         }
@@ -227,12 +228,10 @@ mod tests {
             Trajectory::new(vec![p], 1.5),
             Err(TrajectoryError::InvalidProbability { value: 1.5 })
         );
-        assert!(
-            Trajectory::new(vec![p], f64::NAN)
-                .expect_err("NaN probability must be rejected")
-                .to_string()
-                .contains("probability")
-        );
+        assert!(Trajectory::new(vec![p], f64::NAN)
+            .expect_err("NaN probability must be rejected")
+            .to_string()
+            .contains("probability"));
     }
 
     #[test]

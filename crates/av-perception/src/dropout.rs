@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn every_nth_drops_one_in_n() {
         let s = survivors(DropPolicy::EveryNth(3), 9);
-        assert_eq!(s, vec![true, true, false, true, true, false, true, true, false]);
+        assert_eq!(
+            s,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
         assert!((DropPolicy::EveryNth(3).survival_rate() - 2.0 / 3.0).abs() < 1e-12);
         // n = 2 halves the rate.
         let s2 = survivors(DropPolicy::EveryNth(2), 4);
@@ -104,26 +107,50 @@ mod tests {
 
     #[test]
     fn burst_drops_prefix_of_each_cycle() {
-        let s = survivors(DropPolicy::Burst { period: 5, length: 2 }, 10);
+        let s = survivors(
+            DropPolicy::Burst {
+                period: 5,
+                length: 2,
+            },
+            10,
+        );
         assert_eq!(
             s,
             vec![false, false, true, true, true, false, false, true, true, true]
         );
-        assert!((DropPolicy::Burst { period: 5, length: 2 }.survival_rate() - 0.6).abs() < 1e-12);
+        assert!(
+            (DropPolicy::Burst {
+                period: 5,
+                length: 2
+            }
+            .survival_rate()
+                - 0.6)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn degenerate_policies_pass() {
         assert!(survivors(DropPolicy::EveryNth(0), 5).iter().all(|&s| s));
-        assert!(survivors(DropPolicy::Burst { period: 0, length: 3 }, 5)
-            .iter()
-            .all(|&s| s));
+        assert!(survivors(
+            DropPolicy::Burst {
+                period: 0,
+                length: 3
+            },
+            5
+        )
+        .iter()
+        .all(|&s| s));
         assert_eq!(DropPolicy::EveryNth(0).survival_rate(), 1.0);
     }
 
     #[test]
     fn full_burst_drops_everything() {
-        let policy = DropPolicy::Burst { period: 4, length: 4 };
+        let policy = DropPolicy::Burst {
+            period: 4,
+            length: 4,
+        };
         assert!(survivors(policy, 8).iter().all(|&s| !s));
         assert_eq!(policy.survival_rate(), 0.0);
     }

@@ -39,7 +39,10 @@ impl CameraRig {
     ///
     /// Panics if `cameras` is empty.
     pub fn new(cameras: Vec<Camera>) -> Self {
-        assert!(!cameras.is_empty(), "a camera rig needs at least one camera");
+        assert!(
+            !cameras.is_empty(),
+            "a camera rig needs at least one camera"
+        );
         Self { cameras }
     }
 
@@ -94,7 +97,12 @@ impl CameraRig {
             // Near-field fisheyes (parking / close-cut-in coverage).
             Camera::new(CameraKind::FrontWide, Radians(0.0), fisheye, Meters(25.0)),
             Camera::new(CameraKind::Left, Radians(FRAC_PI_2), fisheye, Meters(25.0)),
-            Camera::new(CameraKind::Right, Radians(-FRAC_PI_2), fisheye, Meters(25.0)),
+            Camera::new(
+                CameraKind::Right,
+                Radians(-FRAC_PI_2),
+                fisheye,
+                Meters(25.0),
+            ),
             Camera::new(CameraKind::Rear, Radians(PI), fisheye, Meters(25.0)),
             // Rear-quarter cameras (overtaking traffic).
             Camera::new(

@@ -297,14 +297,16 @@ mod tests {
                 let t = i as f64 * 0.01;
                 let scene = Scene::new(Seconds(t), ego(), vec![front_actor(40.0)]);
                 sys.tick(&scene);
-                if confirmed_at.is_none() && !sys.world().confirmed_agents(Seconds(t)).is_empty()
-                {
+                if confirmed_at.is_none() && !sys.world().confirmed_agents(Seconds(t)).is_empty() {
                     confirmed_at = Some(t);
                     break;
                 }
             }
             let t = confirmed_at.expect("confirmed");
-            assert!(t <= bound, "{fpr} FPR confirmed at {t}, expected <= {bound}");
+            assert!(
+                t <= bound,
+                "{fpr} FPR confirmed at {t}, expected <= {bound}"
+            );
         }
     }
 
@@ -316,7 +318,13 @@ mod tests {
             TrackerConfig::default(),
         )
         .expect_err("3 rates for 5 cameras");
-        assert!(matches!(err, PerceptionError::RatePlanMismatch { cameras: 5, rates: 3 }));
+        assert!(matches!(
+            err,
+            PerceptionError::RatePlanMismatch {
+                cameras: 5,
+                rates: 3
+            }
+        ));
         let err2 = PerceptionSystem::new(
             CameraRig::drive_av(),
             RatePlan::Uniform(Fpr(0.0)),

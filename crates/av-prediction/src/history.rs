@@ -89,9 +89,7 @@ impl TrackHistory {
         if dt <= 1e-9 {
             return None;
         }
-        Some(MetersPerSecondSquared(
-            (s1.speed - s0.speed).value() / dt,
-        ))
+        Some(MetersPerSecondSquared((s1.speed - s0.speed).value() / dt))
     }
 
     /// A CTRV predictor parameterized by the estimated turn rate.
@@ -167,7 +165,10 @@ mod tests {
         h.push(Seconds(0.5), state(0.0, 99.0));
         h.push(Seconds(1.0), state(0.0, 99.0));
         assert_eq!(h.len(), 1);
-        assert_eq!(h.latest().expect("one sample").1.speed, MetersPerSecond(10.0));
+        assert_eq!(
+            h.latest().expect("one sample").1.speed,
+            MetersPerSecond(10.0)
+        );
     }
 
     #[test]
@@ -196,7 +197,11 @@ mod tests {
         );
         let futures = ctrv.predict(&agent, Seconds(1.0), Seconds(5.0));
         let end = futures[0].sample(Seconds(6.0));
-        assert!(end.position.y > 1.0, "did not curve left: {:?}", end.position);
+        assert!(
+            end.position.y > 1.0,
+            "did not curve left: {:?}",
+            end.position
+        );
     }
 
     #[test]

@@ -131,7 +131,9 @@ mod tests {
             Dimensions::CAR,
             VehicleState::at_rest(Vec2::ZERO, Radians(0.0)),
         );
-        assert!(oracle.predict(&stranger, Seconds(0.0), Seconds(1.0)).is_empty());
+        assert!(oracle
+            .predict(&stranger, Seconds(0.0), Seconds(1.0))
+            .is_empty());
     }
 
     #[test]

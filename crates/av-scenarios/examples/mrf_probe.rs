@@ -1,15 +1,38 @@
-use av_core::prelude::*;
-use av_scenarios::prelude::*;
+//! Quick minimum-required-FPR probe over the nine Table-1 scenarios,
+//! fleet-style.
+//!
+//! This used to be a hand-rolled double loop running every scenario at
+//! every rate (108 closed-loop simulations, sequentially); it now plans
+//! one minimum-safe-FPR search job per scenario and fans them out across
+//! the worker pool. The search binary-localizes the safety boundary and
+//! verifies every rate above it, so it answers exactly like the grid scan
+//! while skipping the rates below the boundary (the `sims run` column
+//! shows what each scenario actually cost).
+//!
+//! Run: `cargo run --release -p av-scenarios --example mrf_probe`
+
+use av_scenarios::catalog::{ScenarioId, PAPER_RATE_GRID};
+use zhuyi_fleet::{pool, run_sweep, JobOutcome, SweepPlan};
 
 fn main() {
-    let rates = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30];
-    for id in ScenarioId::ALL {
-        let s = Scenario::build(id, 0);
-        let mut row = String::new();
-        for &f in &rates {
-            let tr = s.run_at(Fpr(f as f64));
-            row.push_str(if tr.collided() { " X " } else { " . " });
-        }
-        println!("{:40} {}", id.name(), row);
+    let rates = PAPER_RATE_GRID.to_vec();
+    let plan = SweepPlan::builder()
+        .scenarios(ScenarioId::ALL)
+        .min_safe_fpr(rates.clone())
+        .build();
+    let store = run_sweep(&plan, pool::default_workers());
+
+    println!("{:40} {:>6} {:>10}", "scenario", "MRF", "sims run");
+    for result in store.results() {
+        let JobOutcome::MinSafeFpr(search) = &result.outcome else {
+            continue;
+        };
+        println!(
+            "{:40} {:>6} {:>7}/{}",
+            result.job.spec.scenario.name(),
+            search.label(),
+            search.sims_run,
+            search.grid_size,
+        );
     }
 }

@@ -230,20 +230,23 @@ fn cut_out(seed: u64, j: &mut Jitter, speed: Mph, reveal_budget: f64) -> Scenari
     // reveal delay (ego bumper-to-obstacle-bumper ~ 3.25 m of lengths).
     let trigger_s = obstacle_s - Meters(reveal_budget + vf * reveal_delay + 3.25);
     let trigger_s = j.position(trigger_s, Meters(3.0));
-    let lead = ActorScript::cruising(
-        ActorId(1),
-        place(1, EGO_START + Meters(30.0), v),
-    )
-    .with_maneuver(
-        Trigger::EgoPasses(trigger_s),
-        Action::ChangeLane {
-            target: LaneId(2),
-            duration: Seconds(lc),
-        },
-    );
+    let lead = ActorScript::cruising(ActorId(1), place(1, EGO_START + Meters(30.0), v))
+        .with_maneuver(
+            Trigger::EgoPasses(trigger_s),
+            Action::ChangeLane {
+                target: LaneId(2),
+                duration: Seconds(lc),
+            },
+        );
     let obstacle = ActorScript::obstacle(ActorId(2), LaneId(1), obstacle_s);
-    let left = ActorScript::cruising(ActorId(3), place(2, j.position(Meters(46.0), Meters(4.0)), v));
-    let right = ActorScript::cruising(ActorId(4), place(0, j.position(Meters(52.0), Meters(4.0)), v));
+    let left = ActorScript::cruising(
+        ActorId(3),
+        place(2, j.position(Meters(46.0), Meters(4.0)), v),
+    );
+    let right = ActorScript::cruising(
+        ActorId(4),
+        place(0, j.position(Meters(52.0), Meters(4.0)), v),
+    );
     let id = if speed.value() > 30.0 {
         ScenarioId::CutOutFast
     } else {
@@ -438,28 +441,21 @@ fn front_right_1(seed: u64, j: &mut Jitter) -> Scenario {
 /// and paces the ego side by side; another actor follows the ego.
 fn front_right_2(seed: u64, j: &mut Jitter) -> Scenario {
     let v: MetersPerSecond = j.speed(Mph(40.0).into());
-    let front = ActorScript::cruising(
-        ActorId(1),
-        place(1, EGO_START + Meters(35.0), v * 0.92),
-    )
-    .with_maneuver(
-        Trigger::GapAheadOfEgo(Meters(22.0)),
-        Action::ChangeLane {
-            target: LaneId(0),
-            duration: Seconds(2.5),
-        },
-    )
-    .with_maneuver(
-        Trigger::AtTime(Seconds(8.0)),
-        Action::MatchEgoSpeed {
-            accel_limit: MetersPerSecondSquared(2.0),
-        },
-    );
-    let follower = ActorScript::cruising(
-        ActorId(2),
-        place(1, Meters(18.0), v),
-    )
-    .with_maneuver(
+    let front = ActorScript::cruising(ActorId(1), place(1, EGO_START + Meters(35.0), v * 0.92))
+        .with_maneuver(
+            Trigger::GapAheadOfEgo(Meters(22.0)),
+            Action::ChangeLane {
+                target: LaneId(0),
+                duration: Seconds(2.5),
+            },
+        )
+        .with_maneuver(
+            Trigger::AtTime(Seconds(8.0)),
+            Action::MatchEgoSpeed {
+                accel_limit: MetersPerSecondSquared(2.0),
+            },
+        );
+    let follower = ActorScript::cruising(ActorId(2), place(1, Meters(18.0), v)).with_maneuver(
         Trigger::Immediately,
         Action::MatchEgoSpeed {
             accel_limit: MetersPerSecondSquared(2.0),
@@ -526,15 +522,18 @@ impl fmt::Display for Mrf {
     }
 }
 
+/// The paper's Table-1 candidate rate grid: 1–10 FPR, then 15 and 30.
+pub const PAPER_RATE_GRID: [u32; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30];
+
 /// Determines the minimum required FPR for a scenario: the smallest rate
 /// in `candidates` (sorted ascending) such that no seed in `seeds`
 /// collides at that rate or any higher tested rate.
 pub fn minimum_required_fpr(id: ScenarioId, candidates: &[u32], seeds: &[u64]) -> Mrf {
     let mut highest_unsafe: Option<u32> = None;
     for &fpr in candidates {
-        let any_collision = seeds.iter().any(|&seed| {
-            Scenario::build(id, seed).run_at(Fpr(fpr as f64)).collided()
-        });
+        let any_collision = seeds
+            .iter()
+            .any(|&seed| Scenario::build(id, seed).run_at(Fpr(fpr as f64)).collided());
         if any_collision {
             highest_unsafe = Some(fpr);
         }
@@ -658,7 +657,9 @@ mod tests {
             .perception(RatePlan::Uniform(Fpr(30.0)))
             .expect("valid plan");
         assert!((fast.world().config().drop_after.value() - 1.0).abs() < 1e-9);
-        let slow = s.perception(RatePlan::Uniform(Fpr(1.0))).expect("valid plan");
+        let slow = s
+            .perception(RatePlan::Uniform(Fpr(1.0)))
+            .expect("valid plan");
         assert!((slow.world().config().drop_after.value() - 3.5).abs() < 1e-9);
         // Per-camera plans use the slowest camera.
         let mixed = s

@@ -26,6 +26,6 @@ pub mod jitter;
 
 /// Glob import of the crate's main types.
 pub mod prelude {
-    pub use crate::catalog::{minimum_required_fpr, Mrf, Scenario, ScenarioId};
+    pub use crate::catalog::{minimum_required_fpr, Mrf, Scenario, ScenarioId, PAPER_RATE_GRID};
     pub use crate::jitter::Jitter;
 }

@@ -223,7 +223,13 @@ mod tests {
             Meters(50.0),
             PolicyConfig::cruise(MetersPerSecond(ego_speed)),
         );
-        Simulation::new(road, ego, scripts, perception(fpr), SimulationConfig::default())
+        Simulation::new(
+            road,
+            ego,
+            scripts,
+            perception(fpr),
+            SimulationConfig::default(),
+        )
     }
 
     #[test]
@@ -252,7 +258,10 @@ mod tests {
         // the ego never reacts.
         let obstacle = ActorScript::obstacle(ActorId(1), LaneId(1), Meters(200.0));
         let trace = base_sim(0.2, 31.0, vec![obstacle]).run();
-        assert!(trace.collided(), "0.2 FPR cannot confirm the obstacle in time");
+        assert!(
+            trace.collided(),
+            "0.2 FPR cannot confirm the obstacle in time"
+        );
     }
 
     #[test]
@@ -351,7 +360,11 @@ mod more_tests {
         .run();
         assert!(trace.collided());
         // The run covered the full duration despite the collision.
-        assert!(trace.duration().value() > 9.9, "stopped early at {}", trace.duration());
+        assert!(
+            trace.duration().value() > 9.9,
+            "stopped early at {}",
+            trace.duration()
+        );
         // Collision events keep being recorded while overlapping.
         let collisions = trace
             .events

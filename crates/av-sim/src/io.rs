@@ -61,7 +61,11 @@ impl std::fmt::Display for TraceCsvError {
             TraceCsvError::BadRowShape { line, fields } => {
                 write!(f, "line {line}: expected 10 fields, found {fields}")
             }
-            TraceCsvError::BadField { line, column, value } => {
+            TraceCsvError::BadField {
+                line,
+                column,
+                value,
+            } => {
                 write!(f, "line {line}: cannot parse {column} from {value:?}")
             }
             TraceCsvError::TimeNotMonotonic { line } => {
@@ -107,11 +111,7 @@ pub fn trace_to_csv(trace: &Trace) -> String {
     out
 }
 
-fn parse<T: FromStr>(
-    line: usize,
-    column: &'static str,
-    value: &str,
-) -> Result<T, TraceCsvError> {
+fn parse<T: FromStr>(line: usize, column: &'static str, value: &str) -> Result<T, TraceCsvError> {
     value.trim().parse().map_err(|_| TraceCsvError::BadField {
         line,
         column,
@@ -140,16 +140,15 @@ pub fn trace_from_csv(csv: &str) -> Result<Trace, TraceCsvError> {
 
     let mut scenes: Vec<Scene> = Vec::new();
     let mut pending: Option<(Seconds, Option<Agent>, Vec<Agent>)> = None;
-    let flush =
-        |pending: &mut Option<(Seconds, Option<Agent>, Vec<Agent>)>,
-         scenes: &mut Vec<Scene>|
-         -> Result<(), TraceCsvError> {
-            if let Some((time, ego, actors)) = pending.take() {
-                let ego = ego.ok_or(TraceCsvError::MissingEgo { time })?;
-                scenes.push(Scene::new(time, ego, actors));
-            }
-            Ok(())
-        };
+    let flush = |pending: &mut Option<(Seconds, Option<Agent>, Vec<Agent>)>,
+                 scenes: &mut Vec<Scene>|
+     -> Result<(), TraceCsvError> {
+        if let Some((time, ego, actors)) = pending.take() {
+            let ego = ego.ok_or(TraceCsvError::MissingEgo { time })?;
+            scenes.push(Scene::new(time, ego, actors));
+        }
+        Ok(())
+    };
 
     for (idx, raw) in lines {
         let line = idx + 1;
@@ -184,7 +183,10 @@ pub fn trace_from_csv(csv: &str) -> Result<Trace, TraceCsvError> {
                 Meters(parse(line, "width_m", fields[9])?),
             ),
             VehicleState::new(
-                Vec2::new(parse(line, "x_m", fields[3])?, parse(line, "y_m", fields[4])?),
+                Vec2::new(
+                    parse(line, "x_m", fields[3])?,
+                    parse(line, "y_m", fields[4])?,
+                ),
                 Radians(parse(line, "heading_rad", fields[5])?),
                 MetersPerSecond(parse(line, "speed_mps", fields[6])?),
                 MetersPerSecondSquared(parse(line, "accel_mps2", fields[7])?),
@@ -304,7 +306,10 @@ mod tests {
         let csv = format!("{TRACE_CSV_HEADER}\nzero,0,vehicle,0,0,0,0,0,4.5,1.8\n");
         assert!(matches!(
             trace_from_csv(&csv),
-            Err(TraceCsvError::BadField { column: "time_s", .. })
+            Err(TraceCsvError::BadField {
+                column: "time_s",
+                ..
+            })
         ));
     }
 

@@ -6,9 +6,9 @@
 //! run. These quantify *how close* a configuration came to failing —
 //! useful when comparing FPR settings that all avoided collision.
 
+use crate::trace::Trace;
 use av_core::prelude::*;
 use av_core::scene::Scene;
-use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
 
 /// Surrogate safety metrics at one instant, measured against the nearest
@@ -53,18 +53,13 @@ pub fn instant_metrics(scene: &Scene) -> InstantMetrics {
             continue;
         }
         let lateral = rel.cross(forward).abs();
-        let corridor =
-            (ego.dims.width.value() + actor.dims.width.value()) / 2.0 + CORRIDOR_MARGIN;
+        let corridor = (ego.dims.width.value() + actor.dims.width.value()) / 2.0 + CORRIDOR_MARGIN;
         if lateral > corridor {
             continue;
         }
-        let gap = Meters(
-            ahead - (ego.dims.length.value() + actor.dims.length.value()) / 2.0,
-        );
-        let closing = MetersPerSecond(
-            ego.state.speed.value()
-                - actor.state.velocity().dot(forward),
-        );
+        let gap = Meters(ahead - (ego.dims.length.value() + actor.dims.length.value()) / 2.0);
+        let closing =
+            MetersPerSecond(ego.state.speed.value() - actor.state.velocity().dot(forward));
         if best.is_none_or(|(g, _)| gap < g) {
             best = Some((gap, closing));
         }
@@ -72,8 +67,7 @@ pub fn instant_metrics(scene: &Scene) -> InstantMetrics {
     let (gap, ttc, thw) = match best {
         None => (None, None, None),
         Some((gap, closing)) => {
-            let ttc = (closing.value() > 1e-6 && gap.value() > 0.0)
-                .then(|| gap / closing);
+            let ttc = (closing.value() > 1e-6 && gap.value() > 0.0).then(|| gap / closing);
             let thw = (ego.state.speed.value() > 1e-6).then(|| gap / ego.state.speed);
             (Some(gap), ttc, thw)
         }

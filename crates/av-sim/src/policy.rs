@@ -190,7 +190,9 @@ impl EgoVehicle {
         let v0 = cfg.desired_speed.value().max(0.1);
         let free = cfg.max_accel.value() * (1.0 - (v / v0).powi(4));
         let Some((leader, gap)) = self.lead(perceived, road) else {
-            return MetersPerSecondSquared(free.clamp(-cfg.max_decel.value(), cfg.max_accel.value()));
+            return MetersPerSecondSquared(
+                free.clamp(-cfg.max_decel.value(), cfg.max_accel.value()),
+            );
         };
         let gap = gap.value().max(0.1);
         let v_lead = leader.state.speed.value().max(0.0);
@@ -211,8 +213,8 @@ impl EgoVehicle {
         let s_star = cfg.min_gap.value()
             + v * cfg.headway.value()
             + v * dv / (2.0 * (cfg.max_accel.value() * cfg.comfort_decel.value()).sqrt());
-        let accel = cfg.max_accel.value()
-            * (1.0 - (v / v0).powi(4) - (s_star.max(0.0) / gap).powi(2));
+        let accel =
+            cfg.max_accel.value() * (1.0 - (v / v0).powi(4) - (s_star.max(0.0) / gap).powi(2));
         MetersPerSecondSquared(accel.clamp(-cfg.max_decel.value(), cfg.max_accel.value()))
     }
 
@@ -220,9 +222,7 @@ impl EgoVehicle {
     /// integrates one tick.
     pub fn integrate(&mut self, command: MetersPerSecondSquared, dt: Seconds) {
         let max_delta = self.config.jerk_limit * dt.value();
-        let delta = (command - self.accel)
-            .value()
-            .clamp(-max_delta, max_delta);
+        let delta = (command - self.accel).value().clamp(-max_delta, max_delta);
         self.accel = MetersPerSecondSquared(self.accel.value() + delta);
         let (ds, v) = distance_speed_after(self.speed, self.accel, dt);
         self.s += ds;
@@ -307,7 +307,11 @@ mod tests {
     #[test]
     fn follows_slower_lead_without_collision() {
         let (ego, min_gap) = simulate(ego(30.0), vec![lead_agent(60.0, 3.7, 15.0)], 20.0);
-        assert!((ego.speed().value() - 15.0).abs() < 1.0, "speed {}", ego.speed());
+        assert!(
+            (ego.speed().value() - 15.0).abs() < 1.0,
+            "speed {}",
+            ego.speed()
+        );
         assert!(min_gap > 1.0);
     }
 

@@ -204,10 +204,7 @@ impl ScriptedActor {
     /// Panics if the script uses [`ActorId::EGO`] or places the actor on a
     /// nonexistent lane.
     pub fn spawn(script: ActorScript, road: &Road) -> Self {
-        assert!(
-            !script.id.is_ego(),
-            "actor scripts must not use the ego id"
-        );
+        assert!(!script.id.is_ego(), "actor scripts must not use the ego id");
         let d = road
             .lane_offset(script.placement.lane)
             .unwrap_or_else(|e| panic!("invalid placement for {}: {e}", script.id));
@@ -261,19 +258,20 @@ impl ScriptedActor {
     ///
     /// Returns a human-readable description of any maneuver that fired this
     /// tick (for the event log).
-    pub fn step(&mut self, now: Seconds, dt: Seconds, ego: &EgoObservation, road: &Road)
-        -> Option<String> {
+    pub fn step(
+        &mut self,
+        now: Seconds,
+        dt: Seconds,
+        ego: &EgoObservation,
+        road: &Road,
+    ) -> Option<String> {
         let mut fired = None;
         if let Some(m) = self.script.maneuvers.get(self.next_maneuver) {
             let triggered = match m.trigger {
                 Trigger::Immediately => true,
                 Trigger::AtTime(t) => now.value() + 1e-12 >= t.value(),
-                Trigger::GapAheadOfEgo(g) => {
-                    self.s > ego.s && self.gap_to_ego(ego) <= g
-                }
-                Trigger::GapBehindEgo(g) => {
-                    self.s < ego.s && self.gap_to_ego(ego) <= g
-                }
+                Trigger::GapAheadOfEgo(g) => self.s > ego.s && self.gap_to_ego(ego) <= g,
+                Trigger::GapBehindEgo(g) => self.s < ego.s && self.gap_to_ego(ego) <= g,
                 Trigger::EgoPasses(s) => ego.s >= s,
             };
             if triggered {
@@ -544,8 +542,10 @@ mod tests {
     #[test]
     fn obstacle_never_moves() {
         let road = road();
-        let mut actor =
-            ScriptedActor::spawn(ActorScript::obstacle(ActorId(9), LaneId(1), Meters(300.0)), &road);
+        let mut actor = ScriptedActor::spawn(
+            ActorScript::obstacle(ActorId(9), LaneId(1), Meters(300.0)),
+            &road,
+        );
         run(&mut actor, &road, 3.0, &ego_obs(0.0, 30.0));
         assert_eq!(actor.s(), Meters(300.0));
         assert_eq!(actor.speed(), MetersPerSecond::ZERO);

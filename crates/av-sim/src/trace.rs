@@ -118,7 +118,12 @@ impl Trace {
                 scene.actors.iter().map(move |a| {
                     let center = (a.state.position - scene.ego.state.position).norm();
                     // Conservative circle approximation by half-diagonals.
-                    let r_ego = scene.ego.dims.length.value().hypot(scene.ego.dims.width.value())
+                    let r_ego = scene
+                        .ego
+                        .dims
+                        .length
+                        .value()
+                        .hypot(scene.ego.dims.width.value())
                         / 2.0;
                     let r_a = a.dims.length.value().hypot(a.dims.width.value()) / 2.0;
                     Meters(center - r_ego - r_a)
@@ -171,7 +176,11 @@ mod tests {
     #[test]
     fn run_statistics() {
         let trace = Trace {
-            scenes: vec![scene(0.0, 20.0, 0.0), scene(0.5, 15.0, -6.0), scene(1.0, 12.0, -2.0)],
+            scenes: vec![
+                scene(0.0, 20.0, 0.0),
+                scene(0.5, 15.0, -6.0),
+                scene(1.0, 12.0, -2.0),
+            ],
             events: vec![],
             dt: Seconds(0.5),
         };

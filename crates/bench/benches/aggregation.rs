@@ -11,7 +11,9 @@ fn samples(n: usize) -> Vec<(Seconds, f64)> {
     (0..n)
         .map(|i| {
             // Cheap LCG so the bench needs no RNG dependency.
-            let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+            let x = ((i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
                 >> 33) as f64
                 / (u32::MAX as f64 / 2.0);
             let latency = 0.033 + (x % 1.0) * 0.967;
@@ -30,11 +32,9 @@ fn bench_aggregation(c: &mut Criterion) {
             ("mean", Aggregation::Mean),
             ("p99", Aggregation::P99),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &set,
-                |b, set| b.iter(|| black_box(aggregate_latencies(black_box(set), mode))),
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &set, |b, set| {
+                b.iter(|| black_box(aggregate_latencies(black_box(set), mode)))
+            });
         }
     }
     group.finish();

@@ -122,7 +122,11 @@ fn main() {
         .run();
     println!(
         "closed-loop check of the Zhuyi allocation (ceil'd): {}",
-        if trace.collided() { "COLLISION" } else { "safe" }
+        if trace.collided() {
+            "COLLISION"
+        } else {
+            "safe"
+        }
     );
 
     let mut table = Table::new(["method", "simulations", "front", "left", "right"]);

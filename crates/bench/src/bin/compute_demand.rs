@@ -46,7 +46,10 @@ fn main() {
     let estimator = TolerableLatencyEstimator::new(config).expect("paper config is valid");
     let ego = EgoKinematics::new(MetersPerSecond(26.8), MetersPerSecondSquared::ZERO);
     let situations: [(&str, Box<dyn zhuyi::future::ActorFuture>); 3] = [
-        ("stationary obstacle @60m", Box::new(StationaryActor::new(Meters(60.0)))),
+        (
+            "stationary obstacle @60m",
+            Box::new(StationaryActor::new(Meters(60.0))),
+        ),
         (
             "braking lead @50m",
             Box::new(ConstantAccelActor::new(

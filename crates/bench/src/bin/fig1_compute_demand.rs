@@ -21,14 +21,29 @@ fn main() {
         workload.cameras, workload.gops_per_frame, workload.feature_reuse_overhead
     );
 
-    let mut table = Table::new(["per-camera FPR", "demand (TOPS)", "Xavier (30)", "Orin (275)"]);
+    let mut table = Table::new([
+        "per-camera FPR",
+        "demand (TOPS)",
+        "Xavier (30)",
+        "Orin (275)",
+    ]);
     for &fpr in &rates {
         let demand = workload.tops_demand(fpr);
         table.row([
             format!("{fpr:.0}"),
             format!("{demand:.1}"),
-            if socs[0].sustains(demand) { "ok" } else { "EXCEEDED" }.to_string(),
-            if socs[1].sustains(demand) { "ok" } else { "EXCEEDED" }.to_string(),
+            if socs[0].sustains(demand) {
+                "ok"
+            } else {
+                "EXCEEDED"
+            }
+            .to_string(),
+            if socs[1].sustains(demand) {
+                "ok"
+            } else {
+                "EXCEEDED"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", table.render());

@@ -19,10 +19,10 @@ use av_prediction::maneuver::{ManeuverConfig, ManeuverPredictor};
 use av_prediction::predictor::TrajectoryPredictor;
 use av_scenarios::catalog::{Scenario, ScenarioId};
 use zhuyi::Aggregation;
-use zhuyi_runtime::online::OnlineConfig;
-use zhuyi_runtime::system::{drive, RuntimeConfig, ZhuyiRuntime};
 use zhuyi_bench::figures::run_and_analyze;
 use zhuyi_bench::{write_results, Table};
+use zhuyi_runtime::online::OnlineConfig;
+use zhuyi_runtime::system::{drive, RuntimeConfig, ZhuyiRuntime};
 
 fn online_front_series(
     scenario: &Scenario,
@@ -106,12 +106,8 @@ fn main() {
     }
     println!("{}", table.render());
 
-    let min_of = |series: &[(f64, f64)]| {
-        series
-            .iter()
-            .map(|(_, v)| *v)
-            .fold(f64::INFINITY, f64::min)
-    };
+    let min_of =
+        |series: &[(f64, f64)]| series.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
     println!("tightest front-camera latency (ms):");
     println!("  offline oracle      : {:.0}", min_of(&offline_series));
     println!("  online, CV futures  : {:.0}", min_of(&cv_series));

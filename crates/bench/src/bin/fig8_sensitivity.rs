@@ -29,7 +29,11 @@ fn emit(grid: &SensitivityGrid, stem: &str) {
         grid.gap.value()
     );
     let mut header: Vec<String> = vec!["ve0\\van".into()];
-    header.extend(grid.actor_speeds.iter().map(|v| format!("{:.0}", v.value())));
+    header.extend(
+        grid.actor_speeds
+            .iter()
+            .map(|v| format!("{:.0}", v.value())),
+    );
     let mut table = Table::new(header);
     for (i, ve) in grid.ego_speeds.iter().enumerate() {
         let mut row = vec![format!("{:.0}", ve.value())];
@@ -72,8 +76,8 @@ fn main() {
         for c1 in [0.8, 0.9, 1.0] {
             let mut cfg = ZhuyiConfig::paper();
             cfg.c1 = c1;
-            let grid = sweep_fixed_gap(cfg, Meters(30.0), &axis, &axis, Fpr(1.0))
-                .expect("valid config");
+            let grid =
+                sweep_fixed_gap(cfg, Meters(30.0), &axis, &axis, Fpr(1.0)).expect("valid config");
             let (_, _, unavoidable) = grid.census();
             table.row([
                 format!("{c1:.1}"),

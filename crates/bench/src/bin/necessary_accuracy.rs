@@ -27,15 +27,10 @@ fn main() {
     let l0 = Seconds(1.0 / 30.0);
 
     println!("== Necessary perception accuracy (extension of paper 5) ==");
-    println!(
-        "situation: 70 mph following, lead 50 m ahead braking hard at 6.5 m/s^2\n"
-    );
+    println!("situation: 70 mph following, lead 50 m ahead braking hard at 6.5 m/s^2\n");
     let ego = EgoKinematics::new(Mph(70.0).into(), MetersPerSecondSquared::ZERO);
-    let lead = ConstantAccelActor::new(
-        Meters(50.0),
-        Mph(70.0).into(),
-        MetersPerSecondSquared(-6.5),
-    );
+    let lead =
+        ConstantAccelActor::new(Meters(50.0), Mph(70.0).into(), MetersPerSecondSquared(-6.5));
     let mut acc_table = Table::new(["processing rate (FPR)", "tolerable position error (m)"]);
     for fpr in [30.0, 15.0, 10.0, 8.0, 6.0, 5.0, 4.0] {
         let sigma = required_accuracy(&estimator, ego, &lead, Fpr(fpr), Meters(45.0), l0);

@@ -21,7 +21,7 @@
 //! (add `-- --seeds N` to change the repeat count, `-- --quick` for a
 //! 3-rate smoke pass).
 
-use av_scenarios::catalog::{minimum_required_fpr, Mrf, ScenarioId};
+use av_scenarios::catalog::{minimum_required_fpr, Mrf, ScenarioId, PAPER_RATE_GRID};
 use zhuyi_bench::figures::{run_and_analyze, TABLE1_CAMERAS};
 use zhuyi_bench::{fmt1, mean, write_results, Table};
 
@@ -79,7 +79,7 @@ fn main() {
     let rates: Vec<u32> = if args.iter().any(|a| a == "--quick") {
         vec![1, 5, 30]
     } else {
-        vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30]
+        PAPER_RATE_GRID.to_vec()
     };
 
     println!(
@@ -90,18 +90,17 @@ fn main() {
 
     // Scenarios are independent; fan out across threads.
     let mut rows: Vec<Option<Row>> = (0..ScenarioId::ALL.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, id) in ScenarioId::ALL.into_iter().enumerate() {
             let rates = &rates;
             let seeds = &seeds;
-            handles.push((i, scope.spawn(move |_| scenario_row(id, rates, seeds))));
+            handles.push((i, scope.spawn(move || scenario_row(id, rates, seeds))));
         }
         for (i, handle) in handles {
             rows[i] = Some(handle.join().expect("scenario worker panicked"));
         }
-    })
-    .expect("thread scope");
+    });
 
     let mut header: Vec<String> = vec!["Scenario".into(), "Ego mph".into(), "MRF".into()];
     header.extend(rates.iter().map(|r| format!("@{r}")));

@@ -16,7 +16,12 @@ pub const TABLE1_CAMERAS: [CameraKind; 3] =
 
 /// Runs `id` at a uniform `fpr` and applies the offline (pre-deployment)
 /// Zhuyi pipeline to the recorded trace.
-pub fn run_and_analyze(id: ScenarioId, seed: u64, fpr: f64, stride: usize) -> (Trace, TraceAnalysis) {
+pub fn run_and_analyze(
+    id: ScenarioId,
+    seed: u64,
+    fpr: f64,
+    stride: usize,
+) -> (Trace, TraceAnalysis) {
     let scenario = Scenario::build(id, seed);
     let trace = scenario.run_at(Fpr(fpr));
     let estimator =
@@ -68,13 +73,7 @@ pub fn emit_camera_figure(title: &str, file_stem: &str, analysis: &TraceAnalysis
     let path = write_results(&format!("{file_stem}.csv"), &table.to_csv());
     // Downsample for the console: roughly 25 lines.
     let every = (analysis.steps.len() / 25).max(1);
-    let mut console = Table::new([
-        "t(s)",
-        "left(ms)",
-        "front(ms)",
-        "right(ms)",
-        "accel(m/s^2)",
-    ]);
+    let mut console = Table::new(["t(s)", "left(ms)", "front(ms)", "right(ms)", "accel(m/s^2)"]);
     for step in analysis.steps.iter().step_by(every) {
         let latency_of = |kind: CameraKind| {
             step.cameras

@@ -114,7 +114,8 @@ pub fn write_results(name: &str, contents: &str) -> PathBuf {
     fs::create_dir_all(&dir).expect("create results directory");
     let path = dir.join(name);
     let mut f = fs::File::create(&path).expect("create results file");
-    f.write_all(contents.as_bytes()).expect("write results file");
+    f.write_all(contents.as_bytes())
+        .expect("write results file");
     path
 }
 
@@ -150,7 +151,13 @@ mod tests {
         assert!(s.contains("Cut-out fast"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_eq!(
+            lines[1]
+                .chars()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
     }
 
     #[test]

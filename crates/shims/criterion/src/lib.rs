@@ -1,0 +1,211 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, so the `crates/bench/benches/*` suites link against this
+//! shim instead of the real criterion. It implements the API subset those
+//! suites use — [`Criterion::benchmark_group`], [`BenchmarkGroup`]
+//! configuration, [`Bencher::iter`] / [`Bencher::iter_batched`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! mean-over-N-samples timer instead of criterion's statistical engine.
+//!
+//! Numbers printed by this shim are honest wall-clock means but carry no
+//! outlier rejection or confidence intervals; treat them as order-of-
+//! magnitude guidance until the real criterion can be restored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; mirrors `criterion::BatchSize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold; batch many per timing window.
+    SmallInput,
+    /// Setup output is large; batch few.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_id` parameterized by `parameter`.
+    pub fn new<F: Display, P: Display>(function_id: F, parameter: P) -> Self {
+        Self {
+            label: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn run(samples: u32) -> Self {
+        Self {
+            samples,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up out of the measurement.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = u64::from(self.samples);
+    }
+
+    /// Times `routine` over fresh `setup` outputs, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = u64::from(self.samples);
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("{label:<60} (not driven)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iters);
+        println!(
+            "{label:<60} {per_iter:>12} ns/iter ({} samples)",
+            self.iters
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut bencher = Bencher::run(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, label));
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id.label, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        self.run(id.label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 50,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::run(50);
+        f(&mut bencher);
+        bencher.report(label);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a benchmark binary, like `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,116 @@
+//! Offline deterministic stand-in for the `proptest` crate.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, so this shim reimplements the slice of proptest the repo's
+//! property tests use:
+//!
+//! - the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! - range strategies over `f64` and integer types,
+//!   plus [`prop::collection::vec`],
+//! - [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike the real proptest there is **no shrinking** and no persisted
+//! failure regressions: each test runs a fixed number of cases drawn from
+//! a deterministic per-test stream (seeded from the test's name), so
+//! failures reproduce exactly on every run and machine. The assertion
+//! macros print the failing inputs through ordinary `assert!` panics.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Run-shape configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each test body runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the hermetic suite
+        // fast while still exercising each property broadly.
+        Self { cases: 64 }
+    }
+}
+
+/// Strategy constructors namespaced like the real crate (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A strategy producing `Vec`s of `elem` samples with a length
+        /// drawn uniformly from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy::new(elem, size)
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Asserts a property holds for the current case; mirrors
+/// `proptest::prop_assert!` but panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares a block of property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a regular
+/// `#[test]` running the body over `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,26 @@
+//! The deterministic per-test random stream behind [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic random stream, seeded from the test's name so each
+/// property explores a different — but forever stable — input sequence.
+#[derive(Debug)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Builds the stream for the named test.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a keeps the seed independent of std's unstable hasher.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io, so `#[derive(Serialize, Deserialize)]` is provided by this
+//! shim instead of the real `serde_derive`. The derives intentionally
+//! expand to **nothing**: the workspace never serializes through serde
+//! (all I/O is hand-rolled CSV/JSON), the derives only document intent and
+//! keep the source compatible with the real crate. Swapping the real
+//! serde back in is a two-line `Cargo.toml` change per crate.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

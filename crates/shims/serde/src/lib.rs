@@ -1,0 +1,26 @@
+//! Offline marker-trait stand-in for `serde`.
+//!
+//! The workspace builds in a hermetic environment with no access to
+//! crates.io. Nothing in the repo actually serializes through serde (all
+//! persisted formats are hand-rolled CSV/JSON in `av-sim`, `bench` and
+//! `zhuyi-fleet`), but the domain types carry
+//! `#[derive(Serialize, Deserialize)]` to document intent and stay
+//! source-compatible with the real crate. This shim supplies just enough
+//! surface for those derives and imports to resolve:
+//!
+//! - [`Serialize`] / [`Deserialize`] marker traits (never implemented —
+//!   the companion `serde_derive` shim expands the derives to nothing),
+//! - the derive-macro re-exports under the same names.
+//!
+//! Swapping the real serde back in is a per-crate `Cargo.toml` change;
+//! no source edits are required.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,272 @@
+//! `fleet_sweep` — run a fleet-scale scenario sweep from the command line.
+//!
+//! The paper's pre-deployment workflow (§3.1) at corpus scale: expand the
+//! nine Table-1 scenarios into jittered variants, fan the resulting jobs
+//! across a worker pool, and aggregate/export the merged results.
+//!
+//! ```text
+//! USAGE:
+//!   fleet_sweep [--mode msf|probe|analyze] [--scenarios all|0,1,5]
+//!               [--variants N] [--workers N] [--rates 1,2,...,30]
+//!               [--fpr F] [--predictor oracle|cv|ca] [--stride N]
+//!               [--csv NAME] [--json NAME] [--traces] [--baseline] [--help]
+//! ```
+//!
+//! Defaults reproduce Table 1 fleet-style: `--mode msf --scenarios all
+//! --variants 10` over the paper's rate grid, on all available cores.
+//! `--baseline` re-runs the same sweep single-threaded and prints the
+//! speedup (on a multi-core machine; a 1-core box shows ~1x).
+
+use av_scenarios::catalog::{ScenarioId, PAPER_RATE_GRID};
+use std::process::ExitCode;
+use std::time::Instant;
+use zhuyi_fleet::{pool, run_sweep, PredictorChoice, SweepPlan};
+
+#[derive(Debug)]
+struct Args {
+    mode: Mode,
+    scenarios: Vec<ScenarioId>,
+    variants: u64,
+    workers: usize,
+    rates: Vec<u32>,
+    fpr: f64,
+    predictor: PredictorChoice,
+    stride: usize,
+    csv: Option<String>,
+    json: Option<String>,
+    traces: bool,
+    baseline: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Msf,
+    Probe,
+    Analyze,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Msf,
+            scenarios: ScenarioId::ALL.to_vec(),
+            variants: 10,
+            workers: pool::default_workers(),
+            rates: PAPER_RATE_GRID.to_vec(),
+            fpr: 30.0,
+            predictor: PredictorChoice::Oracle,
+            stride: 20,
+            csv: None,
+            json: None,
+            traces: false,
+            baseline: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut seen: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        seen.push(flag.clone());
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "msf" => Mode::Msf,
+                    "probe" => Mode::Probe,
+                    "analyze" => Mode::Analyze,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--scenarios" => {
+                let spec = value("--scenarios")?;
+                args.scenarios = if spec == "all" {
+                    ScenarioId::ALL.to_vec()
+                } else {
+                    spec.split(',')
+                        .map(|s| {
+                            let index: usize = s
+                                .trim()
+                                .parse()
+                                .map_err(|_| format!("bad scenario index {s:?}"))?;
+                            ScenarioId::ALL
+                                .get(index)
+                                .copied()
+                                .ok_or_else(|| format!("scenario index {index} out of 0..9"))
+                        })
+                        .collect::<Result<_, String>>()?
+                };
+            }
+            "--variants" => {
+                args.variants = value("--variants")?
+                    .parse()
+                    .map_err(|_| "bad --variants".to_string())?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_string())?
+            }
+            "--rates" => {
+                args.rates = value("--rates")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad rate {s:?}")))
+                    .collect::<Result<_, String>>()?;
+                // A rate grid is a set; accept it in any order.
+                args.rates.sort_unstable();
+                args.rates.dedup();
+                if args.rates.first() == Some(&0) {
+                    return Err("rates must be >= 1".to_string());
+                }
+            }
+            "--fpr" => {
+                args.fpr = value("--fpr")?
+                    .parse()
+                    .map_err(|_| "bad --fpr".to_string())?
+            }
+            "--predictor" => {
+                args.predictor = match value("--predictor")?.as_str() {
+                    "oracle" => PredictorChoice::Oracle,
+                    "cv" => PredictorChoice::ConstantVelocity,
+                    "ca" => PredictorChoice::ConstantAcceleration,
+                    other => return Err(format!("unknown predictor {other:?}")),
+                }
+            }
+            "--stride" => {
+                args.stride = value("--stride")?
+                    .parse()
+                    .map_err(|_| "bad --stride".to_string())?
+            }
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--traces" => args.traces = true,
+            "--baseline" => args.baseline = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.workers == 0 {
+        return Err("--workers must be >= 1".to_string());
+    }
+    if args.variants == 0 {
+        return Err("--variants must be >= 1".to_string());
+    }
+    if !(args.fpr.is_finite() && args.fpr > 0.0) {
+        return Err("--fpr must be positive and finite".to_string());
+    }
+    // Reject flags the selected mode would silently ignore — a dropped
+    // `--rates` or `--fpr` quietly changes what safety question was asked.
+    let irrelevant: &[&str] = match args.mode {
+        Mode::Msf => &["--fpr", "--predictor", "--stride", "--traces"],
+        Mode::Probe => &["--rates", "--predictor", "--stride"],
+        Mode::Analyze => &["--rates", "--traces"],
+    };
+    let mode_name = match args.mode {
+        Mode::Msf => "msf",
+        Mode::Probe => "probe",
+        Mode::Analyze => "analyze",
+    };
+    if let Some(flag) = seen.iter().find(|f| irrelevant.contains(&f.as_str())) {
+        return Err(format!("{flag} does not apply to --mode {mode_name}"));
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "fleet_sweep — parallel fleet-scale scenario sweeps\n\n\
+         USAGE:\n  fleet_sweep [--mode msf|probe|analyze] [--scenarios all|0,1,5]\n\
+         \x20             [--variants N] [--workers N] [--rates 1,2,...,30]\n\
+         \x20             [--fpr F] [--predictor oracle|cv|ca] [--stride N]\n\
+         \x20             [--csv NAME] [--json NAME] [--traces] [--baseline]\n\n\
+         MODES:\n\
+         \x20 msf      binary-search each instance's minimum safe rate over --rates (default)\n\
+         \x20 probe    run each instance closed-loop at --fpr and record collisions\n\
+         \x20 analyze  run at --fpr, then Zhuyi-analyze the trace with --predictor\n\n\
+         Scenario indexes follow Table-1 order (0 = Cut-out ... 8 = Front & right 3).\n\
+         --csv/--json write into results/ via the bench harness; --traces keeps\n\
+         probe traces and writes them as results/trace_*.csv."
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            usage();
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    let mut builder = SweepPlan::builder()
+        .scenarios(args.scenarios.iter().copied())
+        .jittered_variants(args.variants);
+    builder = match args.mode {
+        Mode::Msf => builder.min_safe_fpr(args.rates.clone()),
+        Mode::Probe => builder.probe(args.fpr, args.traces),
+        Mode::Analyze => builder.analyze(args.fpr, args.predictor, args.stride),
+    };
+    let plan = builder.build();
+
+    println!(
+        "fleet_sweep: {} jobs ({} scenarios x {} variants), {} workers",
+        plan.len(),
+        args.scenarios.len(),
+        args.variants,
+        args.workers
+    );
+
+    let start = Instant::now();
+    let store = run_sweep(&plan, args.workers);
+    let elapsed = start.elapsed();
+    println!(
+        "completed {} jobs in {:.2}s ({:.1} jobs/s)\n",
+        store.len(),
+        elapsed.as_secs_f64(),
+        store.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    if args.baseline {
+        let start = Instant::now();
+        let sequential = run_sweep(&plan, 1);
+        let baseline = start.elapsed();
+        assert_eq!(
+            sequential.to_csv(),
+            store.to_csv(),
+            "parallel and sequential sweeps must merge identically"
+        );
+        println!(
+            "single-thread baseline: {:.2}s -> speedup {:.2}x on {} workers (identical output)\n",
+            baseline.as_secs_f64(),
+            baseline.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            args.workers
+        );
+    }
+
+    println!("{}", store.summary_table().render());
+
+    if let Some(name) = &args.csv {
+        let path = zhuyi_bench::write_results(name, &store.to_csv());
+        println!("wrote {}", path.display());
+    }
+    if let Some(name) = &args.json {
+        let path = zhuyi_bench::write_results(name, &store.to_json());
+        println!("wrote {}", path.display());
+    }
+    if args.traces {
+        for (name, csv) in store.kept_traces() {
+            let path = zhuyi_bench::write_results(&name, csv);
+            println!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,166 @@
+//! Job execution: turning one [`JobSpec`] into one [`JobOutcome`].
+//!
+//! Execution is a pure function of the spec — scenarios are rebuilt from
+//! their (id, seed) pair, the simulator is deterministic, and the Zhuyi
+//! estimator is deterministic — which is the property the worker pool's
+//! deterministic merge relies on.
+
+use crate::job::{JobKind, JobSpec, PredictorChoice};
+use crate::search::min_safe_fpr;
+use crate::store::{AnalysisOutcome, JobOutcome, ProbeOutcome};
+use av_core::units::Seconds;
+use av_perception::rig::CameraRig;
+use av_prediction::kinematic::{ConstantAcceleration, ConstantVelocity};
+use av_prediction::predictor::TrajectoryPredictor;
+use av_scenarios::catalog::Scenario;
+use av_sim::io::trace_to_csv;
+use av_sim::trace::Trace;
+use zhuyi::pipeline::{analyze_trace, PipelineConfig};
+use zhuyi::{TolerableLatencyEstimator, ZhuyiConfig};
+use zhuyi_runtime::online::{OnlineConfig, OnlineEstimator};
+
+/// Executes one job to completion.
+///
+/// # Panics
+///
+/// Panics if the job's rate plan is rejected by the perception system
+/// (non-positive or non-finite rates, wrong per-camera arity) — plan
+/// validation belongs at plan-building time, not in the fleet hot loop.
+pub fn execute(spec: &JobSpec) -> JobOutcome {
+    let scenario = Scenario::build(spec.scenario, spec.seed);
+    match &spec.kind {
+        JobKind::Probe { plan, keep_trace } => {
+            let trace = run(&scenario, plan);
+            JobOutcome::Probe(probe_outcome(&trace, *keep_trace))
+        }
+        JobKind::MinSafeFpr { candidates } => {
+            JobOutcome::MinSafeFpr(min_safe_fpr(&scenario, candidates))
+        }
+        JobKind::Analyze {
+            plan,
+            predictor,
+            stride,
+        } => {
+            let trace = run(&scenario, plan);
+            JobOutcome::Analysis(analyze(
+                &scenario,
+                &trace,
+                plan.min_rate(),
+                *predictor,
+                *stride,
+            ))
+        }
+    }
+}
+
+fn run(scenario: &Scenario, plan: &crate::job::RateSpec) -> Trace {
+    scenario
+        .simulation(plan.to_rate_plan())
+        .expect("fleet plans are validated at build time")
+        .run()
+}
+
+fn probe_outcome(trace: &Trace, keep_trace: bool) -> ProbeOutcome {
+    let collision = trace.collision();
+    ProbeOutcome {
+        collided: trace.collided(),
+        collision_time: collision.map(|(t, _)| t),
+        collision_actor: collision.map(|(_, a)| a),
+        min_clearance: trace.min_clearance(),
+        duration: trace.duration(),
+        trace_csv: keep_trace.then(|| trace_to_csv(trace)),
+    }
+}
+
+fn analyze(
+    scenario: &Scenario,
+    trace: &Trace,
+    min_rate: f64,
+    predictor: PredictorChoice,
+    stride: usize,
+) -> AnalysisOutcome {
+    if trace.collided() {
+        // A collided run has no meaningful "required rate" — the paper
+        // analyzes collision-free reference traces only.
+        return AnalysisOutcome {
+            collided: true,
+            steps: 0,
+            max_camera_fpr: None,
+            constraint_evaluations: 0,
+        };
+    }
+    let current_latency = Seconds(1.0 / min_rate.max(f64::MIN_POSITIVE));
+    let rig = CameraRig::drive_av();
+    let path = scenario.road.path();
+
+    match predictor {
+        PredictorChoice::Oracle => {
+            let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper())
+                .expect("paper config is valid");
+            let config = PipelineConfig {
+                current_latency,
+                stride,
+                ..Default::default()
+            };
+            let analysis = analyze_trace(&trace.scenes, path, &rig, &estimator, &config);
+            AnalysisOutcome {
+                collided: false,
+                steps: analysis.steps.len(),
+                max_camera_fpr: analysis.max_camera_fpr().map(|f| f.value()),
+                constraint_evaluations: analysis.total_constraint_evaluations(),
+            }
+        }
+        PredictorChoice::ConstantVelocity => analyze_online(
+            trace,
+            path,
+            &rig,
+            &ConstantVelocity,
+            current_latency,
+            stride,
+        ),
+        PredictorChoice::ConstantAcceleration => analyze_online(
+            trace,
+            path,
+            &rig,
+            &ConstantAcceleration,
+            current_latency,
+            stride,
+        ),
+    }
+}
+
+fn analyze_online(
+    trace: &Trace,
+    path: &av_core::path::Path,
+    rig: &CameraRig,
+    predictor: &dyn TrajectoryPredictor,
+    current_latency: Seconds,
+    stride: usize,
+) -> AnalysisOutcome {
+    let estimator =
+        OnlineEstimator::new(OnlineConfig::default()).expect("default online config is valid");
+    let mut steps = 0usize;
+    let mut max_fpr: Option<f64> = None;
+    let mut evaluations = 0u64;
+    for scene in trace.scenes.iter().step_by(stride.max(1)) {
+        let estimates = estimator.estimate(scene, path, rig, predictor, current_latency);
+        steps += 1;
+        evaluations += estimates
+            .actors
+            .iter()
+            .map(|a| a.stats.constraint_evaluations)
+            .sum::<u64>();
+        for camera in &estimates.cameras {
+            let fpr = camera.fpr().value();
+            if fpr.is_finite() {
+                max_fpr = Some(max_fpr.map_or(fpr, |m: f64| m.max(fpr)));
+            }
+        }
+    }
+    AnalysisOutcome {
+        collided: false,
+        steps,
+        max_camera_fpr: max_fpr,
+        constraint_evaluations: evaluations,
+    }
+}

@@ -1,0 +1,204 @@
+//! The fleet job model: one [`SweepJob`] is one independently executable
+//! unit of sweep work.
+//!
+//! A job is the cross product the paper's pre-deployment workflow (§3.1)
+//! iterates over — *scenario id × jitter seed × rate plan × predictor
+//! choice* — plus the kind of question asked of that instance:
+//!
+//! - [`JobKind::Probe`]: run the scenario closed-loop at one rate plan and
+//!   record whether the ego collided,
+//! - [`JobKind::MinSafeFpr`]: binary-search the smallest safe uniform rate
+//!   (replacing the old brute-force rate grids),
+//! - [`JobKind::Analyze`]: run at a rate plan and push the recorded trace
+//!   through the Zhuyi estimator with a chosen trajectory predictor.
+//!
+//! Jobs carry a dense [`JobId`] assigned at plan-expansion time; results
+//! are merged back in id order, which is what makes a fleet sweep
+//! deterministic regardless of worker-thread interleaving.
+
+use av_core::units::Fpr;
+use av_perception::system::RatePlan;
+use av_scenarios::catalog::ScenarioId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense, plan-assigned identifier of a [`SweepJob`].
+///
+/// Ids number jobs in plan-expansion order; the result merge sorts by id,
+/// so two sweeps over the same plan produce identically ordered results
+/// whatever the thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// A camera rate plan in plain-`f64` form, convertible to
+/// [`av_perception::system::RatePlan`].
+///
+/// Kept separate from `RatePlan` so jobs stay cheap to clone, hash and
+/// print, and so plan expansion does not depend on perception-system
+/// validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateSpec {
+    /// Every camera processes frames at the same rate.
+    Uniform(f64),
+    /// One rate per camera, in rig order.
+    PerCamera(Vec<f64>),
+}
+
+impl RateSpec {
+    /// The equivalent perception-system rate plan.
+    pub fn to_rate_plan(&self) -> RatePlan {
+        match self {
+            RateSpec::Uniform(r) => RatePlan::Uniform(Fpr(*r)),
+            RateSpec::PerCamera(rs) => RatePlan::PerCamera(rs.iter().map(|r| Fpr(*r)).collect()),
+        }
+    }
+
+    /// The slowest camera rate in the plan (defines the per-frame latency
+    /// `l0` the Zhuyi analysis starts from).
+    pub fn min_rate(&self) -> f64 {
+        match self {
+            RateSpec::Uniform(r) => *r,
+            RateSpec::PerCamera(rs) => rs.iter().copied().fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+impl fmt::Display for RateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateSpec::Uniform(r) => write!(f, "{r}"),
+            RateSpec::PerCamera(rs) => {
+                let cells: Vec<String> = rs.iter().map(|r| r.to_string()).collect();
+                write!(f, "[{}]", cells.join("|"))
+            }
+        }
+    }
+}
+
+/// Which trajectory predictor an [`JobKind::Analyze`] job feeds the
+/// estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorChoice {
+    /// Hindsight oracle futures taken from the recorded trace itself (the
+    /// paper's pre-deployment §3.1 setting).
+    Oracle,
+    /// Constant-velocity kinematic rollout per actor.
+    ConstantVelocity,
+    /// Constant-acceleration kinematic rollout per actor.
+    ConstantAcceleration,
+}
+
+impl PredictorChoice {
+    /// Short stable name used in CSV/JSON exports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorChoice::Oracle => "oracle",
+            PredictorChoice::ConstantVelocity => "cv",
+            PredictorChoice::ConstantAcceleration => "ca",
+        }
+    }
+}
+
+impl fmt::Display for PredictorChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What question a job asks of its scenario instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Run closed-loop at `plan` and record the collision outcome.
+    Probe {
+        /// The camera rates driven.
+        plan: RateSpec,
+        /// Keep the full trace (as CSV via [`av_sim::io`]) in the result.
+        /// Costs memory; intended for export and byte-exact comparisons.
+        keep_trace: bool,
+    },
+    /// Binary-search the minimum safe uniform rate over `candidates`
+    /// (ascending). See [`crate::search::min_safe_fpr`].
+    MinSafeFpr {
+        /// Ascending candidate rates, e.g. Table 1's `[1..10, 15, 30]`.
+        candidates: Vec<u32>,
+    },
+    /// Run at `plan`, then estimate the required per-camera rates over
+    /// the recorded trace with `predictor`.
+    Analyze {
+        /// The camera rates driven.
+        plan: RateSpec,
+        /// Trajectory source for the estimator.
+        predictor: PredictorChoice,
+        /// Analyze every `stride`-th scene (the sim ticks at 100 Hz;
+        /// stride 20 analyzes at 5 Hz).
+        stride: usize,
+    },
+}
+
+impl JobKind {
+    /// Short stable name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Probe { .. } => "probe",
+            JobKind::MinSafeFpr { .. } => "msf",
+            JobKind::Analyze { .. } => "analyze",
+        }
+    }
+}
+
+/// Everything needed to execute one unit of sweep work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Which Table-1 scenario.
+    pub scenario: ScenarioId,
+    /// Jitter seed (0 = nominal geometry).
+    pub seed: u64,
+    /// The question asked.
+    pub kind: JobKind,
+}
+
+/// A scheduled unit of sweep work: a [`JobSpec`] plus its merge id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepJob {
+    /// Dense id assigned in plan-expansion order.
+    pub id: JobId,
+    /// The work itself.
+    pub spec: JobSpec,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_spec_round_trips_to_rate_plan() {
+        let uniform = RateSpec::Uniform(10.0);
+        assert!(matches!(uniform.to_rate_plan(), RatePlan::Uniform(f) if f.value() == 10.0));
+        assert_eq!(uniform.min_rate(), 10.0);
+
+        let per = RateSpec::PerCamera(vec![30.0, 2.0, 15.0]);
+        assert_eq!(per.min_rate(), 2.0);
+        assert!(matches!(per.to_rate_plan(), RatePlan::PerCamera(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn display_forms_are_stable() {
+        assert_eq!(JobId(7).to_string(), "job7");
+        assert_eq!(RateSpec::Uniform(6.0).to_string(), "6");
+        assert_eq!(RateSpec::PerCamera(vec![1.0, 2.0]).to_string(), "[1|2]");
+        assert_eq!(PredictorChoice::ConstantVelocity.to_string(), "cv");
+        assert_eq!(
+            JobKind::MinSafeFpr {
+                candidates: vec![1, 30]
+            }
+            .name(),
+            "msf"
+        );
+    }
+}

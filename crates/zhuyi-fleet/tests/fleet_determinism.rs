@@ -1,0 +1,118 @@
+//! Fleet determinism and correctness: a multi-threaded sweep must be
+//! byte-identical to the same sweep on one thread, and the binary-search
+//! minimum-safe-FPR driver must agree with the exhaustive grid scan.
+
+use av_scenarios::catalog::{minimum_required_fpr, ScenarioId};
+use zhuyi_fleet::{run_sweep, JobOutcome, PredictorChoice, ResultStore, SweepPlan};
+
+/// Three scenarios spanning the corpus: one that collides at low rates
+/// (Cut-out), one benign highway case (Vehicle following), one with side
+/// activity (Front & right 1).
+const SCENARIOS: [ScenarioId; 3] = [
+    ScenarioId::CutOut,
+    ScenarioId::VehicleFollowing,
+    ScenarioId::FrontRightActivity1,
+];
+
+fn mixed_plan() -> SweepPlan {
+    SweepPlan::builder()
+        .scenarios(SCENARIOS)
+        .jittered_variants(2)
+        .probe(4.0, true)
+        .min_safe_fpr(vec![1, 4, 30])
+        .build()
+}
+
+fn fingerprint(store: &ResultStore) -> String {
+    let mut bytes = String::new();
+    bytes.push_str(&store.to_csv());
+    bytes.push_str(&store.to_json());
+    for (name, csv) in store.kept_traces() {
+        bytes.push_str(&name);
+        bytes.push_str(csv);
+    }
+    bytes
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_sequential() {
+    let plan = mixed_plan();
+    let sequential = fingerprint(&run_sweep(&plan, 1));
+    for workers in [2, 4] {
+        let parallel = fingerprint(&run_sweep(&plan, workers));
+        assert_eq!(
+            parallel, sequential,
+            "sweep output diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn binary_search_agrees_with_exhaustive_scan_across_seeds() {
+    let grid = [1u32, 4, 30];
+    let store = run_sweep(
+        &SweepPlan::builder()
+            .scenarios(SCENARIOS)
+            .jittered_variants(2)
+            .min_safe_fpr(grid.to_vec())
+            .build(),
+        4,
+    );
+    for result in store.results() {
+        let JobOutcome::MinSafeFpr(search) = &result.outcome else {
+            panic!("plan only contains MSF jobs");
+        };
+        let expected =
+            minimum_required_fpr(result.job.spec.scenario, &grid, &[result.job.spec.seed]);
+        assert_eq!(
+            search.mrf, expected,
+            "{} seed {}: binary search disagrees with exhaustive scan",
+            result.job.spec.scenario, result.job.spec.seed
+        );
+        assert!(search.sims_run <= search.grid_size);
+    }
+}
+
+#[test]
+fn jittered_variants_multiply_the_corpus() {
+    let plan = SweepPlan::builder()
+        .scenarios(SCENARIOS)
+        .jittered_variants(12)
+        .probe(30.0, false)
+        .build();
+    assert_eq!(plan.len(), 3 * 12);
+    // Seeds produce distinct jobs, and each rebuilds a distinct scenario
+    // instance (seed 0 nominal, others jittered).
+    let seeds: std::collections::BTreeSet<u64> = plan.jobs().iter().map(|j| j.spec.seed).collect();
+    assert_eq!(seeds.len(), 12);
+}
+
+#[test]
+fn analyze_jobs_produce_conservative_estimates() {
+    // At a safe rate, the Zhuyi estimate must exist and be positive; the
+    // CV-predictor path must run the same number of strided steps.
+    let store = run_sweep(
+        &SweepPlan::builder()
+            .scenarios([ScenarioId::VehicleFollowing])
+            .seeds([0])
+            .analyze(10.0, PredictorChoice::Oracle, 50)
+            .analyze(10.0, PredictorChoice::ConstantVelocity, 50)
+            .build(),
+        2,
+    );
+    let outcomes: Vec<_> = store
+        .results()
+        .iter()
+        .map(|r| match &r.outcome {
+            JobOutcome::Analysis(a) => a,
+            other => panic!("expected analysis outcome, got {other:?}"),
+        })
+        .collect();
+    assert_eq!(outcomes.len(), 2);
+    for a in &outcomes {
+        assert!(!a.collided, "reference run at 10 FPR must be safe");
+        assert!(a.steps > 0);
+        let est = a.max_camera_fpr.expect("safe run produces an estimate");
+        assert!(est > 0.0 && est.is_finite());
+    }
+}

@@ -40,7 +40,7 @@ pub mod safety_check;
 pub mod system;
 
 pub use online::{OnlineConfig, OnlineEstimates, OnlineEstimator};
-pub use report::{CameraPeak, ScenarioReport};
 pub use prioritize::{Allocation, AllocationError, BudgetAllocator};
+pub use report::{CameraPeak, ScenarioReport};
 pub use safety_check::{check, Alarm, SafetyAction, SafetyVerdict};
 pub use system::{drive, RuntimeConfig, RuntimeDecision, ZhuyiRuntime};

@@ -179,10 +179,7 @@ impl std::fmt::Display for AllocationError {
                 cameras,
                 min,
                 total,
-            } => write!(
-                f,
-                "floor {min} x {cameras} cameras exceeds budget {total}"
-            ),
+            } => write!(f, "floor {min} x {cameras} cameras exceeds budget {total}"),
         }
     }
 }
@@ -246,7 +243,9 @@ mod tests {
             max_per_camera: Fpr(30.0),
         };
         // Demands 20, 10, 1 (total 31 > 12).
-        let a = alloc.allocate(&estimates(&[0.05, 0.1, 1.0])).expect("valid");
+        let a = alloc
+            .allocate(&estimates(&[0.05, 0.1, 1.0]))
+            .expect("valid");
         assert!(!a.satisfied);
         for r in &a.rates {
             assert!(r.value() >= 1.0 - 1e-9);
@@ -271,7 +270,10 @@ mod tests {
             min_per_camera: Fpr(1.0),
             max_per_camera: Fpr(30.0),
         };
-        assert!(matches!(bad.validate(3), Err(AllocationError::InvalidBudget(_))));
+        assert!(matches!(
+            bad.validate(3),
+            Err(AllocationError::InvalidBudget(_))
+        ));
         let inverted = BudgetAllocator {
             total: Fpr(10.0),
             min_per_camera: Fpr(5.0),

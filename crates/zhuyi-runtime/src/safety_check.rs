@@ -6,9 +6,9 @@
 //! a collision" — the check raises an alarm and recommends one of the
 //! paper's three mitigations.
 
+use av_core::units::Fpr;
 use av_perception::camera::CameraKind;
 use av_perception::rig::CameraId;
-use av_core::units::Fpr;
 use serde::{Deserialize, Serialize};
 use zhuyi::camera_fpr::CameraEstimate;
 

@@ -221,7 +221,11 @@ mod tests {
         let (trace, decisions) = drive(sim(30.0), &runtime, &ConstantAcceleration);
         assert!(!trace.collided());
         // 15 s at 10 Hz control: ~150 decisions.
-        assert!((140..=160).contains(&decisions.len()), "{}", decisions.len());
+        assert!(
+            (140..=160).contains(&decisions.len()),
+            "{}",
+            decisions.len()
+        );
     }
 
     #[test]

@@ -244,8 +244,14 @@ mod tests {
         // Actor abreast of the ego on the left.
         let sc = scene(vec![agent(1, 1.0, 3.7)]);
         let cams = per_camera_fpr(&rig, &sc, &[estimate(1, 0.25)], Seconds(1.0));
-        let left = cams.iter().find(|c| c.kind == CameraKind::Left).expect("left");
-        let right = cams.iter().find(|c| c.kind == CameraKind::Right).expect("right");
+        let left = cams
+            .iter()
+            .find(|c| c.kind == CameraKind::Left)
+            .expect("left");
+        let right = cams
+            .iter()
+            .find(|c| c.kind == CameraKind::Right)
+            .expect("right");
         assert_eq!(left.latency, Seconds(0.25));
         assert_eq!(right.latency, Seconds(1.0));
     }
@@ -264,21 +270,14 @@ mod tests {
 
     #[test]
     fn ranking_is_by_importance_then_id() {
-        let ranked = rank_by_importance(&[
-            estimate(3, 0.4),
-            estimate(1, 0.1),
-            estimate(2, 0.4),
-        ]);
+        let ranked = rank_by_importance(&[estimate(3, 0.4), estimate(1, 0.1), estimate(2, 0.4)]);
         let ids: Vec<u32> = ranked.iter().map(|e| e.actor.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
     }
 
     #[test]
     fn truncation_keeps_most_important() {
-        let kept = truncate_work(
-            &[estimate(1, 1.0), estimate(2, 0.05), estimate(3, 0.5)],
-            1,
-        );
+        let kept = truncate_work(&[estimate(1, 1.0), estimate(2, 0.05), estimate(3, 0.5)], 1);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].actor, ActorId(2));
         // Zero slots: nothing kept; oversize budget: everything kept.

@@ -294,7 +294,10 @@ mod tests {
         c.latency_step = Seconds(0.0);
         assert!(matches!(
             c.validate(),
-            Err(ConfigError::NonPositiveDuration { name: "latency_step", .. })
+            Err(ConfigError::NonPositiveDuration {
+                name: "latency_step",
+                ..
+            })
         ));
         let mut c = ZhuyiConfig::paper();
         c.min_latency = Seconds(2.0);
@@ -307,7 +310,10 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::ZeroIterations));
         let mut c = ZhuyiConfig::paper();
         c.min_brake_decel = MetersPerSecondSquared(-1.0);
-        assert!(matches!(c.validate(), Err(ConfigError::NonPositiveBraking(_))));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveBraking(_))
+        ));
         let mut c = ZhuyiConfig::paper();
         c.corridor_margin = Meters(-0.1);
         assert!(matches!(

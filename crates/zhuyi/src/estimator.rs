@@ -192,7 +192,14 @@ impl TolerableLatencyEstimator {
         while latency.value() >= cfg.min_latency.value() - eps {
             stats.latency_steps += 1;
             if self
-                .try_latency(latency, ego, future, current_latency, &intervals, &mut stats)
+                .try_latency(
+                    latency,
+                    ego,
+                    future,
+                    current_latency,
+                    &intervals,
+                    &mut stats,
+                )
                 .is_some()
             {
                 return LatencyEstimate {
@@ -221,11 +228,9 @@ impl TolerableLatencyEstimator {
         ego: &VehicleState,
         actor: &Agent,
     ) -> crate::ActorEstimate {
-        let center_gap = (actor.state.position - ego.position)
-            .dot(Vec2::from_heading(ego.heading));
-        let gap = Meters(
-            center_gap - (Dimensions::CAR.length.value() + actor.dims.length.value()) / 2.0,
-        );
+        let center_gap = (actor.state.position - ego.position).dot(Vec2::from_heading(ego.heading));
+        let gap =
+            Meters(center_gap - (Dimensions::CAR.length.value() + actor.dims.length.value()) / 2.0);
         let est = self.tolerable_latency(
             EgoKinematics::from_state(ego),
             &crate::future::StationaryActor::new(gap),
@@ -503,7 +508,8 @@ mod tests {
 
     #[test]
     fn far_obstacle_tolerates_max_latency() {
-        let est = estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(200.0)), L0);
+        let est =
+            estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(200.0)), L0);
         assert_eq!(est.outcome, SearchOutcome::Tolerable);
         assert_eq!(est.latency, Seconds(1.0));
     }
@@ -526,7 +532,8 @@ mod tests {
     #[test]
     fn too_close_obstacle_is_infeasible() {
         // 20 m/s with 10 m of room: stopping needs v^2/(2*4.9) ~ 41 m.
-        let est = estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(10.0)), L0);
+        let est =
+            estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(10.0)), L0);
         assert_eq!(est.outcome, SearchOutcome::Infeasible);
         assert_eq!(est.latency, estimator().config().min_latency);
     }
@@ -538,7 +545,8 @@ mod tests {
         // travel -> t_r ~ 0.66 s. With K = 5 and l0 = 33 ms, t_r = l +
         // 5(l - l0) = 6l - 0.166, so l ~ 0.14 s. The search (33 ms grid)
         // should land within one step of that.
-        let est = estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(60.0)), L0);
+        let est =
+            estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(60.0)), L0);
         assert_eq!(est.outcome, SearchOutcome::Tolerable);
         let l = est.latency.value();
         assert!((0.066..=0.20).contains(&l), "latency {l}");
@@ -547,7 +555,11 @@ mod tests {
     #[test]
     fn receding_actor_is_unconstraining() {
         // Actor ahead moving away much faster than the ego.
-        let f = ConstantAccelActor::new(Meters(30.0), MetersPerSecond(40.0), MetersPerSecondSquared::ZERO);
+        let f = ConstantAccelActor::new(
+            Meters(30.0),
+            MetersPerSecond(40.0),
+            MetersPerSecondSquared::ZERO,
+        );
         let est = estimator().tolerable_latency(ego(20.0, 0.0), &f, L0);
         assert_eq!(est.outcome, SearchOutcome::Tolerable);
         assert_eq!(est.latency, Seconds(1.0));
@@ -555,8 +567,12 @@ mod tests {
 
     #[test]
     fn actor_outside_corridor_is_unconstrained() {
-        let f = ConstantAccelActor::new(Meters(30.0), MetersPerSecond(5.0), MetersPerSecondSquared::ZERO)
-            .outside_corridor();
+        let f = ConstantAccelActor::new(
+            Meters(30.0),
+            MetersPerSecond(5.0),
+            MetersPerSecondSquared::ZERO,
+        )
+        .outside_corridor();
         let est = estimator().tolerable_latency(ego(30.0, 0.0), &f, L0);
         assert_eq!(est.outcome, SearchOutcome::Unconstrained);
         assert_eq!(est.latency, Seconds(1.0));
@@ -564,7 +580,11 @@ mod tests {
 
     #[test]
     fn actor_behind_is_unconstrained() {
-        let f = ConstantAccelActor::new(Meters(-30.0), MetersPerSecond(10.0), MetersPerSecondSquared::ZERO);
+        let f = ConstantAccelActor::new(
+            Meters(-30.0),
+            MetersPerSecond(10.0),
+            MetersPerSecondSquared::ZERO,
+        );
         let est = estimator().tolerable_latency(ego(20.0, 0.0), &f, L0);
         // Gap stays negative: the follower never becomes a frontal threat
         // within the horizon... unless it overtakes. At 10 m/s it never
@@ -681,7 +701,8 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let est = estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(45.0)), L0);
+        let est =
+            estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(45.0)), L0);
         assert!(est.stats.latency_steps >= 1);
         assert!(est.stats.constraint_evaluations > 0);
         let mut merged = SearchStats::default();
@@ -691,7 +712,8 @@ mod tests {
 
     #[test]
     fn fpr_reciprocal_of_latency() {
-        let est = estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(45.0)), L0);
+        let est =
+            estimator().tolerable_latency(ego(20.0, 0.0), &StationaryActor::new(Meters(45.0)), L0);
         assert!((est.fpr().value() - 1.0 / est.latency.value()).abs() < 1e-9);
     }
 
@@ -704,11 +726,8 @@ mod tests {
 
     #[test]
     fn negative_ego_speed_treated_as_stopped() {
-        let est = estimator().tolerable_latency(
-            ego(-5.0, 0.0),
-            &StationaryActor::new(Meters(20.0)),
-            L0,
-        );
+        let est =
+            estimator().tolerable_latency(ego(-5.0, 0.0), &StationaryActor::new(Meters(20.0)), L0);
         // A stopped ego is always safe against a stopped obstacle.
         assert_eq!(est.outcome, SearchOutcome::Tolerable);
         assert_eq!(est.latency, Seconds(1.0));

@@ -219,8 +219,7 @@ impl TrajectoryFuture {
             ego_d0: ego_frenet.d,
             length_allowance: Meters((ego_dims.length.value() + actor_dims.length.value()) / 2.0),
             corridor_half_width: Meters(
-                (ego_dims.width.value() + actor_dims.width.value()) / 2.0
-                    + corridor_margin.value(),
+                (ego_dims.width.value() + actor_dims.width.value()) / 2.0 + corridor_margin.value(),
             ),
         }
     }

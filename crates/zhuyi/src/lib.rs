@@ -59,7 +59,9 @@ pub mod sensitivity;
 pub mod uncertainty;
 
 pub use aggregate::Aggregation;
-pub use camera_fpr::{per_camera_fpr, rank_by_importance, truncate_work, ActorEstimate, CameraEstimate};
+pub use camera_fpr::{
+    per_camera_fpr, rank_by_importance, truncate_work, ActorEstimate, CameraEstimate,
+};
 pub use config::{AlphaModel, SearchStrategy, ZhuyiConfig};
 pub use estimator::{
     EgoKinematics, InnerSolution, LatencyEstimate, SearchOutcome, SearchStats,

@@ -57,7 +57,10 @@ impl OpsBound {
     ///
     /// Panics if `gops` is not strictly positive.
     pub fn execution_time_secs(&self, gops: f64) -> f64 {
-        assert!(gops > 0.0, "processor throughput must be positive, got {gops}");
+        assert!(
+            gops > 0.0,
+            "processor throughput must be positive, got {gops}"
+        );
         self.total_ops() as f64 / (gops * 1e9)
     }
 }

@@ -44,7 +44,11 @@ pub fn phantom_requirement(
     cleared_distance: Meters,
     current_latency: Seconds,
 ) -> LatencyEstimate {
-    estimator.tolerable_latency(ego, &StationaryActor::new(cleared_distance), current_latency)
+    estimator.tolerable_latency(
+        ego,
+        &StationaryActor::new(cleared_distance),
+        current_latency,
+    )
 }
 
 /// The cleared distance ahead of the ego along its corridor: the nearest
@@ -72,14 +76,12 @@ pub fn cleared_distance(
             continue;
         }
         let lateral = rel.cross(forward).abs();
-        let corridor = (ego_dims.width.value() + agent.dims.width.value()) / 2.0
-            + corridor_margin.value();
+        let corridor =
+            (ego_dims.width.value() + agent.dims.width.value()) / 2.0 + corridor_margin.value();
         if lateral > corridor {
             continue;
         }
-        let boundary = Meters(
-            ahead - (ego_dims.length.value() + agent.dims.length.value()) / 2.0,
-        );
+        let boundary = Meters(ahead - (ego_dims.length.value() + agent.dims.length.value()) / 2.0);
         cleared = cleared.min(boundary.max(Meters::ZERO));
     }
     cleared

@@ -204,12 +204,7 @@ pub fn analyze_step(
         wrapped.latency = latency;
         actor_estimates.push(wrapped);
     }
-    let cameras = per_camera_fpr(
-        rig,
-        scene,
-        &actor_estimates,
-        estimator.config().max_latency,
-    );
+    let cameras = per_camera_fpr(rig, scene, &actor_estimates, estimator.config().max_latency);
     StepAnalysis {
         time: scene.time,
         ego_speed: scene.ego.state.speed,
@@ -333,7 +328,11 @@ mod tests {
         let trace = closing_trace(300, 0.01);
         let analysis = analyze_trace(&trace, &path, &rig, &est, &cfg);
         for (_, latency) in analysis.camera_latency_series(CameraKind::Left) {
-            assert_eq!(latency, Seconds(1.0), "idle side camera must sit at max latency");
+            assert_eq!(
+                latency,
+                Seconds(1.0),
+                "idle side camera must sit at max latency"
+            );
         }
         // Max camera FPR is therefore set by the front camera.
         let max = analysis.max_camera_fpr().expect("nonempty");
@@ -353,7 +352,9 @@ mod tests {
         let analysis = analyze_trace(&trace, &path, &rig, &est, &cfg);
         let kinds = [CameraKind::FrontWide, CameraKind::Left, CameraKind::Right];
         let total = analysis.max_total_fpr(&kinds).expect("nonempty");
-        let front_only = analysis.max_total_fpr(&[CameraKind::FrontWide]).expect("nonempty");
+        let front_only = analysis
+            .max_total_fpr(&[CameraKind::FrontWide])
+            .expect("nonempty");
         // Idle sides contribute 1 FPR each.
         assert!((total.value() - front_only.value() - 2.0).abs() < 1e-9);
     }

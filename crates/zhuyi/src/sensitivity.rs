@@ -190,10 +190,9 @@ mod tests {
                 }
                 for (j, &va) in g.actor_speeds.iter().enumerate() {
                     match g.cells[i][j] {
-                        CellOutcome::RequiredFpr(f) => assert!(
-                            f <= 2.0 + 1e-9,
-                            "sn={gap} ve={ve} va={va}: FPR {f} > 2"
-                        ),
+                        CellOutcome::RequiredFpr(f) => {
+                            assert!(f <= 2.0 + 1e-9, "sn={gap} ve={ve} va={va}: FPR {f} > 2")
+                        }
                         other => panic!("sn={gap} ve={ve} va={va}: unexpected {other:?}"),
                     }
                 }
@@ -282,8 +281,7 @@ mod tests {
                 let (prev_class, prev_fpr) = rank(&g.cells[i][j - 1]);
                 let (class, fpr) = rank(&g.cells[i][j]);
                 assert!(
-                    class < prev_class
-                        || (class == prev_class && fpr <= prev_fpr + 1e-9),
+                    class < prev_class || (class == prev_class && fpr <= prev_fpr + 1e-9),
                     "faster actor raised requirement at ego {} actor {}",
                     g.ego_speeds[i],
                     g.actor_speeds[j]

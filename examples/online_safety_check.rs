@@ -45,12 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .estimates
             .camera(CameraKind::FrontWide)
             .map_or(0.0, |c| c.fpr().value());
-        let (gf, gr) = d
-            .allocation
-            .as_ref()
-            .map_or((f64::NAN, f64::NAN), |a| {
-                (a.rates[front.0].value(), a.rates[rear.0].value())
-            });
+        let (gf, gr) = d.allocation.as_ref().map_or((f64::NAN, f64::NAN), |a| {
+            (a.rates[front.0].value(), a.rates[rear.0].value())
+        });
         println!(
             " {:>4.1} | {front_req:>6.1}    | {} | {gf:>10.1}    | {gr:>8.1}",
             d.time.value(),
@@ -60,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nrun outcome: {}, {} control decisions, {} alarms",
-        if trace.collided() { "COLLISION" } else { "no collision" },
+        if trace.collided() {
+            "COLLISION"
+        } else {
+            "no collision"
+        },
         decisions.len(),
         decisions.iter().filter(|d| !d.verdict.safe).count()
     );

@@ -66,6 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Every estimate is explainable — the full Eq. 1/2 arithmetic behind it:
     let (name, ego, future) = &situations[0];
     println!("\nwhy ({name}):");
-    println!("  {}", estimator.explain(*ego, future.as_ref(), current_latency));
+    println!(
+        "  {}",
+        estimator.explain(*ego, future.as_ref(), current_latency)
+    );
     Ok(())
 }

@@ -1,60 +1,63 @@
-//! Scenario sweep: run one of the paper's Table-1 scenarios closed-loop
-//! at several camera frame rates, watch where it starts colliding, and
-//! compare against Zhuyi's offline estimate for the safe runs.
+//! Scenario sweep, fleet-style: probe one Table-1 scenario at several
+//! camera rates, find where it stops colliding, and compare Zhuyi's
+//! offline estimates for the safe runs — the paper's pre-deployment
+//! workflow in miniature (§3.1).
 //!
-//! This is the paper's pre-deployment workflow in miniature: scenario
-//! testing at fixed FPRs to find the minimum required rate, then the Zhuyi
-//! model run over the recorded traces to check its estimates are
-//! conservative (estimate >= MRF).
+//! This used to be a hand-rolled sequential loop; it now expands into a
+//! fleet plan (one collision probe per rate plus one Zhuyi analysis per
+//! rate) and runs through the `zhuyi-fleet` worker pool, merging results
+//! deterministically.
 //!
 //! Run: `cargo run --release --example scenario_sweep [-- <scenario-index 0..8>]`
 
-use zhuyi_repro::core::prelude::*;
-use zhuyi_repro::model::pipeline::{analyze_trace, PipelineConfig};
-use zhuyi_repro::model::{TolerableLatencyEstimator, ZhuyiConfig};
-use zhuyi_repro::perception::rig::CameraRig;
-use zhuyi_repro::scenarios::catalog::{Scenario, ScenarioId};
+use zhuyi_repro::fleet::{pool, run_sweep, JobOutcome, PredictorChoice, SweepPlan};
+use zhuyi_repro::scenarios::catalog::ScenarioId;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
     let index: usize = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(1); // default: Cut-out fast, the hardest scenario
-    let id = *ScenarioId::ALL.get(index).unwrap_or(&ScenarioId::CutOutFast);
-    let scenario = Scenario::build(id, 0);
-    println!(
-        "scenario: {} (ego {} in lane {})\n",
-        id.name(),
-        id.ego_speed(),
-        scenario.ego_lane
-    );
+    let id = *ScenarioId::ALL
+        .get(index)
+        .unwrap_or(&ScenarioId::CutOutFast);
+    println!("scenario: {} (ego {})\n", id.name(), id.ego_speed());
 
-    let estimator = TolerableLatencyEstimator::new(ZhuyiConfig::paper())?;
-    let rig = CameraRig::drive_av();
+    let rates = [1.0, 2.0, 4.0, 6.0, 10.0, 30.0];
+    let mut builder = SweepPlan::builder().scenarios([id]).seeds([0]);
+    for &fpr in &rates {
+        builder = builder
+            .probe(fpr, false)
+            .analyze(fpr, PredictorChoice::Oracle, 20);
+    }
+    let store = run_sweep(&builder.build(), pool::default_workers());
 
     println!("  FPR | outcome    | max Zhuyi estimate over cameras/time");
     println!("  ----+------------+-------------------------------------");
-    for fpr in [1.0, 2.0, 4.0, 6.0, 10.0, 30.0] {
-        let trace = scenario.run_at(Fpr(fpr));
-        if let Some((t, actor)) = trace.collision() {
-            println!("  {fpr:>3} | COLLISION  | with {actor} at {t} (Zhuyi N/A)");
+    // Jobs alternate probe/analyze per rate, in plan order.
+    for pair in store.results().chunks(2) {
+        let [probe, analysis] = pair else { continue };
+        let (JobOutcome::Probe(p), JobOutcome::Analysis(a)) = (&probe.outcome, &analysis.outcome)
+        else {
             continue;
-        }
-        let config = PipelineConfig {
-            current_latency: Seconds(1.0 / fpr),
-            stride: 20,
-            ..Default::default()
         };
-        let analysis = analyze_trace(&trace.scenes, scenario.road.path(), &rig, &estimator, &config);
-        let max_est = analysis
-            .max_camera_fpr()
-            .map_or("-".to_string(), |f| format!("{:.1} FPR", f.value()));
-        println!("  {fpr:>3} | safe       | {max_est}");
+        let fpr = match &probe.job.spec.kind {
+            zhuyi_repro::fleet::JobKind::Probe { plan, .. } => plan.min_rate(),
+            _ => continue,
+        };
+        if p.collided {
+            let when = p.collision_time.map_or("-".to_string(), |t| format!("{t}"));
+            println!("  {fpr:>3} | COLLISION  | at {when} (Zhuyi N/A)");
+        } else {
+            let estimate = a
+                .max_camera_fpr
+                .map_or("-".to_string(), |f| format!("{f:.1} FPR"));
+            println!("  {fpr:>3} | safe       | {estimate}");
+        }
     }
 
     println!(
         "\nThe first safe row is the scenario's minimum required FPR; Zhuyi's\n\
          estimates for the safe runs should sit at or above it (conservative)."
     );
-    Ok(())
 }

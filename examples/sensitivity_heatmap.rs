@@ -24,7 +24,10 @@ fn glyph(cell: &CellOutcome) -> char {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let gap: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(30.0);
+    let gap: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30.0);
     let axis = paper_axis();
     let grid = sweep_fixed_gap(
         ZhuyiConfig::paper(),

@@ -17,6 +17,7 @@
 //! - `scenarios` ([`av_scenarios`]) — the nine Table-1 scenarios
 //! - `runtime` ([`zhuyi_runtime`]) — online safety check & work prioritization
 //! - `compute` ([`compute_model`]) — Figure-1 compute-demand model
+//! - `fleet` ([`zhuyi_fleet`]) — parallel fleet-scale scenario sweeps
 //!
 //! # Quickstart
 //!
@@ -45,4 +46,5 @@ pub use av_scenarios as scenarios;
 pub use av_sim as sim;
 pub use compute_model as compute;
 pub use zhuyi as model;
+pub use zhuyi_fleet as fleet;
 pub use zhuyi_runtime as runtime;

@@ -50,7 +50,10 @@ fn mild_drop_above_mrf_stays_safe() {
 /// even the "<1 MRF" following scenario collides at very low rates.
 #[test]
 fn safety_check_alarms_under_bursty_loss() {
-    let burst = DropPolicy::Burst { period: 6, length: 3 };
+    let burst = DropPolicy::Burst {
+        period: 6,
+        length: 3,
+    };
     // 4 FPR + 50% burst loss: survives, but the check must alarm.
     let scenario = Scenario::build(ScenarioId::VehicleFollowing, 0);
     let mut sim = scenario

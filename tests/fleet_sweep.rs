@@ -1,0 +1,48 @@
+//! Tier-1 smoke of the fleet subsystem through the facade: a compact
+//! multi-scenario sweep must merge deterministically at every worker
+//! count and reproduce the Table-1 headline orderings.
+
+use zhuyi_repro::fleet::{run_sweep, JobOutcome, SweepPlan};
+use zhuyi_repro::scenarios::catalog::{Mrf, ScenarioId};
+
+#[test]
+fn fleet_sweep_is_deterministic_and_matches_table1_shapes() {
+    let plan = SweepPlan::builder()
+        .scenarios([
+            ScenarioId::CutOut,
+            ScenarioId::CutIn,
+            ScenarioId::VehicleFollowing,
+        ])
+        .seeds([0])
+        .min_safe_fpr(vec![1, 2, 4, 30])
+        .build();
+
+    let sequential = run_sweep(&plan, 1);
+    let parallel = run_sweep(&plan, 3);
+    assert_eq!(
+        sequential.to_csv(),
+        parallel.to_csv(),
+        "worker count changed the merged results"
+    );
+    assert_eq!(sequential.to_json(), parallel.to_json());
+
+    let mrf_of = |id: ScenarioId| {
+        sequential
+            .results()
+            .iter()
+            .find(|r| r.job.spec.scenario == id)
+            .map(|r| match &r.outcome {
+                JobOutcome::MinSafeFpr(m) => m.mrf,
+                other => panic!("expected MSF outcome, got {other:?}"),
+            })
+            .expect("scenario present in sweep")
+    };
+    // Table 1: Cut-out needs 2 FPR; Cut-in and Vehicle following survive
+    // the lowest tested rate.
+    assert_eq!(mrf_of(ScenarioId::CutOut), Mrf::Fpr(2));
+    assert_eq!(mrf_of(ScenarioId::CutIn), Mrf::BelowMinimumTested);
+    assert_eq!(
+        mrf_of(ScenarioId::VehicleFollowing),
+        Mrf::BelowMinimumTested
+    );
+}

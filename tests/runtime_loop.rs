@@ -52,7 +52,10 @@ fn prioritized_budget_keeps_hard_scenario_safe() {
     })
     .expect("valid config");
     let (trace, decisions) = drive(sim, &runtime, &ConstantAcceleration);
-    assert!(!trace.collided(), "prioritized budget failed to keep the run safe");
+    assert!(
+        !trace.collided(),
+        "prioritized budget failed to keep the run safe"
+    );
     // The allocator must have granted the front camera a super-uniform
     // share at some point.
     let rig = zhuyi_repro::perception::rig::CameraRig::drive_av();
@@ -82,7 +85,11 @@ fn multi_hypothesis_prediction_is_more_conservative() {
 
     let min_front = |ds: &[zhuyi_repro::runtime::RuntimeDecision]| {
         ds.iter()
-            .filter_map(|d| d.estimates.camera(CameraKind::FrontWide).map(|c| c.latency.value()))
+            .filter_map(|d| {
+                d.estimates
+                    .camera(CameraKind::FrontWide)
+                    .map(|c| c.latency.value())
+            })
             .fold(f64::INFINITY, f64::min)
     };
     // Worst-case aggregation over a hypothesis set that includes braking
@@ -98,10 +105,10 @@ fn multi_hypothesis_prediction_is_more_conservative() {
 /// camera at least its floor and concentrates surplus on demand.
 #[test]
 fn hyperion_twelve_camera_budget_allocates() {
-    use zhuyi_repro::perception::rig::CameraRig;
-    use zhuyi_repro::runtime::prioritize::BudgetAllocator;
     use zhuyi_repro::model::camera_fpr::CameraEstimate;
     use zhuyi_repro::perception::rig::CameraId;
+    use zhuyi_repro::perception::rig::CameraRig;
+    use zhuyi_repro::runtime::prioritize::BudgetAllocator;
 
     let rig = CameraRig::hyperion_12();
     assert_eq!(rig.len(), 12);
@@ -127,7 +134,10 @@ fn hyperion_twelve_camera_budget_allocates() {
         .collect();
     let allocation = allocator.allocate(&estimates).expect("valid allocator");
     assert!(allocation.satisfied, "36% budget covers this scene");
-    assert!(allocation.rates[1].value() >= 30.0 - 1e-6, "front gets its 30");
+    assert!(
+        allocation.rates[1].value() >= 30.0 - 1e-6,
+        "front gets its 30"
+    );
     assert!(allocation.rates[2].value() >= 4.0, "side gets its 4");
     for (i, rate) in allocation.rates.iter().enumerate() {
         assert!(rate.value() >= 1.0 - 1e-9, "camera {i} starved");
