@@ -232,7 +232,12 @@ impl OrientedRect {
 
     /// The four corners, counter-clockwise.
     pub fn corners(&self) -> [Vec2; 4] {
-        let axis = Vec2::from_heading(self.heading);
+        self.corners_along(Vec2::from_heading(self.heading))
+    }
+
+    /// The corners given the precomputed long-axis direction (lets callers
+    /// that already evaluated the heading's sin/cos reuse it).
+    fn corners_along(&self, axis: Vec2) -> [Vec2; 4] {
         let side = axis.perp();
         let l = axis * self.half_length;
         let w = side * self.half_width;
@@ -246,14 +251,11 @@ impl OrientedRect {
 
     /// Separating-axis overlap test between two oriented rectangles.
     pub fn intersects(&self, other: &Self) -> bool {
-        let a = self.corners();
-        let b = other.corners();
-        let axes = [
-            Vec2::from_heading(self.heading),
-            Vec2::from_heading(self.heading).perp(),
-            Vec2::from_heading(other.heading),
-            Vec2::from_heading(other.heading).perp(),
-        ];
+        let axis_a = Vec2::from_heading(self.heading);
+        let axis_b = Vec2::from_heading(other.heading);
+        let a = self.corners_along(axis_a);
+        let b = other.corners_along(axis_b);
+        let axes = [axis_a, axis_a.perp(), axis_b, axis_b.perp()];
         for axis in axes {
             let (amin, amax) = project(&a, axis);
             let (bmin, bmax) = project(&b, axis);
@@ -274,9 +276,12 @@ impl OrientedRect {
     /// line-of-sight test behind the perception occlusion model.
     pub fn intersects_segment(&self, a: Vec2, b: Vec2) -> bool {
         // Work in the rectangle's local frame, reducing to a segment/AABB
-        // slab test.
-        let la = (a - self.center).rotated(-self.heading);
-        let lb = (b - self.center).rotated(-self.heading);
+        // slab test. One sin/cos evaluation covers both endpoints.
+        let angle = -self.heading;
+        let (s, c) = (angle.sin(), angle.cos());
+        let rot = |v: Vec2| Vec2::new(v.x * c - v.y * s, v.x * s + v.y * c);
+        let la = rot(a - self.center);
+        let lb = rot(b - self.center);
         let d = lb - la;
         let mut t0 = 0.0_f64;
         let mut t1 = 1.0_f64;

@@ -47,7 +47,7 @@ pub mod units;
 /// ```
 pub mod prelude {
     pub use crate::geometry::{OrientedRect, Vec2};
-    pub use crate::path::{FrenetPose, Path, PathPose};
+    pub use crate::path::{FrenetPose, Path, PathFrame, PathPose};
     pub use crate::scene::Scene;
     pub use crate::state::{
         distance_speed_after, ActorId, ActorKind, Agent, Dimensions, VehicleState,

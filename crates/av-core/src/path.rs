@@ -65,6 +65,32 @@ pub struct PathPose {
     pub heading: Radians,
 }
 
+/// A full road frame on a path: pose plus the left normal, all terms
+/// precomputed at path construction (no trig per query).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathFrame {
+    /// World-frame position.
+    pub position: Vec2,
+    /// Tangent direction of the path at this point.
+    pub heading: Radians,
+    /// Unit normal pointing left of the direction of travel.
+    pub left: Vec2,
+}
+
+/// Circle parameters remembered by [`Path::arc`] so projection can jump
+/// straight to the right neighborhood instead of scanning the polyline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct ArcIndex {
+    /// Circle center.
+    center: Vec2,
+    /// Unsigned circle radius.
+    radius: f64,
+    /// Azimuth of the first vertex around the center.
+    start_angle: f64,
+    /// Signed angle swept per polyline segment (positive = CCW).
+    seg_angle: f64,
+}
+
 /// An arc-length-parameterized polyline used as a road centerline or a lane
 /// centerline.
 ///
@@ -90,6 +116,17 @@ pub struct Path {
     points: Vec<Vec2>,
     /// Cumulative arc length at each point; `cum_s[0] == 0`.
     cum_s: Vec<f64>,
+    /// Per-segment unit tangents, precomputed at construction so the
+    /// per-tick pose queries pay no `hypot`/`atan2`.
+    seg_unit: Vec<Vec2>,
+    /// Per-segment tangent headings (`atan2` evaluated once, here).
+    seg_heading: Vec<Radians>,
+    /// Per-segment left normals, `from_heading(heading).perp()` evaluated
+    /// once so Frenet-to-world conversions pay no trig per call.
+    seg_left: Vec<Vec2>,
+    /// Set when the polyline samples a circular arc; accelerates
+    /// projection from O(segments) to O(1) + a tiny verified window.
+    arc: Option<ArcIndex>,
 }
 
 impl Path {
@@ -104,15 +141,30 @@ impl Path {
             return Err(PathError::TooFewPoints);
         }
         let mut cum_s = Vec::with_capacity(points.len());
+        let mut seg_unit = Vec::with_capacity(points.len() - 1);
+        let mut seg_heading = Vec::with_capacity(points.len() - 1);
+        let mut seg_left = Vec::with_capacity(points.len() - 1);
         cum_s.push(0.0);
         for i in 1..points.len() {
-            let seg = (points[i] - points[i - 1]).norm();
+            let dir = points[i] - points[i - 1];
+            let seg = dir.norm();
             if seg < 1e-9 {
                 return Err(PathError::DegenerateSegment { index: i - 1 });
             }
             cum_s.push(cum_s[i - 1] + seg);
+            let heading = dir.heading();
+            seg_unit.push(dir / seg);
+            seg_heading.push(heading);
+            seg_left.push(Vec2::from_heading(heading).perp());
         }
-        Ok(Self { points, cum_s })
+        Ok(Self {
+            points,
+            cum_s,
+            seg_unit,
+            seg_heading,
+            seg_left,
+            arc: None,
+        })
     }
 
     /// A straight path starting at `origin` along `heading`.
@@ -169,7 +221,14 @@ impl Path {
             let angle = Radians(start_angle.value() + dtheta);
             points.push(center + Vec2::from_heading(angle) * r.abs());
         }
-        Self::from_points(points).expect("arc samples are distinct")
+        let mut path = Self::from_points(points).expect("arc samples are distinct");
+        path.arc = Some(ArcIndex {
+            center,
+            radius: r.abs(),
+            start_angle: start_angle.value(),
+            seg_angle: arc_length.value() / (n as f64) / r,
+        });
+        path
     }
 
     /// Total arc length of the path.
@@ -184,55 +243,74 @@ impl Path {
         &self.points
     }
 
-    /// World pose at arc length `s`, extrapolating along the end tangents
-    /// outside `[0, length]`.
-    pub fn pose_at(&self, s: Meters) -> PathPose {
-        let s = s.value();
+    /// The segment index whose arc-length interval contains `s` (clamped
+    /// to real segments; callers handle extrapolation beyond the ends).
+    fn segment_at(&self, s: f64) -> usize {
         let n = self.points.len();
-        if s <= 0.0 {
-            let dir = self.points[1] - self.points[0];
-            let heading = dir.heading();
-            let unit = dir / dir.norm();
-            return PathPose {
-                position: self.points[0] + unit * s,
-                heading,
-            };
-        }
-        if s >= *self.cum_s.last().expect("nonempty") {
-            let dir = self.points[n - 1] - self.points[n - 2];
-            let heading = dir.heading();
-            let unit = dir / dir.norm();
-            let overshoot = s - self.cum_s[n - 1];
-            return PathPose {
-                position: self.points[n - 1] + unit * overshoot,
-                heading,
-            };
-        }
-        // Binary search for the containing segment.
-        let i = match self
+        match self
             .cum_s
             .binary_search_by(|probe| probe.partial_cmp(&s).expect("finite arc lengths"))
         {
             Ok(i) => i.min(n - 2),
             Err(i) => i - 1,
-        };
-        let seg = self.points[i + 1] - self.points[i];
-        let seg_len = self.cum_s[i + 1] - self.cum_s[i];
-        let t = (s - self.cum_s[i]) / seg_len;
-        PathPose {
-            position: self.points[i].lerp(self.points[i + 1], t),
-            heading: seg.heading(),
         }
     }
 
-    /// Projects a world point onto the path, returning its Frenet pose.
-    ///
-    /// Points beyond the ends project onto the extrapolated end tangents
-    /// (yielding `s < 0` or `s > length`).
-    pub fn project(&self, point: Vec2) -> FrenetPose {
-        let mut best_d2 = f64::INFINITY;
-        let mut best = FrenetPose::default();
-        for i in 0..self.points.len() - 1 {
+    /// World pose at arc length `s`, extrapolating along the end tangents
+    /// outside `[0, length]`.
+    pub fn pose_at(&self, s: Meters) -> PathPose {
+        let frame = self.frame_at(s);
+        PathPose {
+            position: frame.position,
+            heading: frame.heading,
+        }
+    }
+
+    /// World pose *and* left normal at arc length `s` — the full road
+    /// frame, with every trig term precomputed at construction. The hot
+    /// form of [`Path::pose_at`] for per-tick Frenet-to-world conversion.
+    pub fn frame_at(&self, s: Meters) -> PathFrame {
+        let s = s.value();
+        let n = self.points.len();
+        if s <= 0.0 {
+            return PathFrame {
+                position: self.points[0] + self.seg_unit[0] * s,
+                heading: self.seg_heading[0],
+                left: self.seg_left[0],
+            };
+        }
+        if s >= *self.cum_s.last().expect("nonempty") {
+            let overshoot = s - self.cum_s[n - 1];
+            return PathFrame {
+                position: self.points[n - 1] + self.seg_unit[n - 2] * overshoot,
+                heading: self.seg_heading[n - 2],
+                left: self.seg_left[n - 2],
+            };
+        }
+        let i = self.segment_at(s);
+        let seg_len = self.cum_s[i + 1] - self.cum_s[i];
+        let t = (s - self.cum_s[i]) / seg_len;
+        PathFrame {
+            position: self.points[i].lerp(self.points[i + 1], t),
+            heading: self.seg_heading[i],
+            left: self.seg_left[i],
+        }
+    }
+
+    /// Scans segments `[i0, i1)` for a closer projection than
+    /// `best`, exactly as the classic full scan visits them (ascending,
+    /// strict improvement), so any pruned search that visits a superset of
+    /// the winning segment returns bit-identical results.
+    fn project_segments(
+        &self,
+        point: Vec2,
+        i0: usize,
+        i1: usize,
+        best_d2: &mut f64,
+        best: &mut FrenetPose,
+    ) {
+        let last = self.points.len() - 2;
+        for i in i0..i1 {
             let a = self.points[i];
             let b = self.points[i + 1];
             let ab = b - a;
@@ -240,31 +318,196 @@ impl Path {
             let mut t = (point - a).dot(ab) / ab.norm_sq();
             // Allow extrapolation only on the terminal segments.
             let lo = if i == 0 { f64::NEG_INFINITY } else { 0.0 };
-            let hi = if i == self.points.len() - 2 {
-                f64::INFINITY
-            } else {
-                1.0
-            };
+            let hi = if i == last { f64::INFINITY } else { 1.0 };
             t = t.clamp(lo, hi);
             let proj = a + ab * t;
             let offset = point - proj;
             let d2 = offset.norm_sq();
-            if d2 < best_d2 {
-                best_d2 = d2;
+            if d2 < *best_d2 {
+                *best_d2 = d2;
                 let s = self.cum_s[i] + t * seg_len;
                 // Sign: positive left of travel direction.
                 let sign = if ab.cross(offset) >= 0.0 { 1.0 } else { -1.0 };
-                best = FrenetPose::new(Meters(s), Meters(sign * d2.sqrt()));
+                *best = FrenetPose::new(Meters(s), Meters(sign * d2.sqrt()));
             }
+        }
+    }
+
+    /// Projects a world point onto the path, returning its Frenet pose.
+    ///
+    /// Points beyond the ends project onto the extrapolated end tangents
+    /// (yielding `s < 0` or `s > length`).
+    ///
+    /// Dense polylines (the sampled arc roads) are searched with a
+    /// block-pruned scan: a coarse pass lower-bounds each block of
+    /// segments by sampled-vertex distance minus block arc span (arc
+    /// length bounds chord length, so the bound is sound for any
+    /// polyline), and only blocks that could beat the running best are
+    /// scanned exactly. Terminal blocks are always scanned because their
+    /// segments extrapolate. Blocks are visited in ascending order with
+    /// strict-improvement updates, so the winning segment — and therefore
+    /// the returned pose, bit for bit — matches the classic full scan.
+    pub fn project(&self, point: Vec2) -> FrenetPose {
+        let mut best_d2 = f64::INFINITY;
+        let mut best = FrenetPose::default();
+        let nseg = self.points.len() - 1;
+        const BLOCK: usize = 16;
+        if nseg <= 2 * BLOCK {
+            self.project_segments(point, 0, nseg, &mut best_d2, &mut best);
+            return best;
+        }
+        if let Some(arc) = self.arc {
+            if let Some(pose) = self.project_arc(point, &arc) {
+                return pose;
+            }
+        }
+        // Coarse pass over blocks of BLOCK segments: squared distances to
+        // the block-boundary vertices only, no square roots, no
+        // allocation. `best_d` mirrors sqrt(best_d2), refreshed only on
+        // improvement.
+        let n = self.points.len();
+        let mut best_d = f64::INFINITY;
+        let mut i0 = 0usize;
+        let mut d2_start = (point - self.points[0]).norm_sq();
+        while i0 < n - 1 {
+            let i1 = (i0 + BLOCK).min(n - 1);
+            let d2_end = (point - self.points[i1]).norm_sq();
+            let span = self.cum_s[i1] - self.cum_s[i0];
+            // Any point q on this block lies within `span` (arc length
+            // bounds chord) of both boundary vertices, so |point - q| >=
+            // max(d_boundary) - span. Prune only when that lower bound
+            // clears the running best by a safety margin absorbing the
+            // squared-arithmetic rounding. Terminal blocks extrapolate and
+            // are always scanned.
+            let terminal = i0 == 0 || i1 == n - 1;
+            let threshold = best_d + span + 1e-9;
+            if terminal || d2_start.max(d2_end) <= threshold * threshold {
+                let before = best_d2;
+                self.project_segments(point, i0, i1, &mut best_d2, &mut best);
+                if best_d2 < before {
+                    best_d = best_d2.sqrt();
+                }
+            }
+            i0 = i1;
+            d2_start = d2_end;
         }
         best
     }
 
+    /// Arc-indexed projection: use the query's azimuth around the circle
+    /// center for an O(1) segment guess, then scan a window whose
+    /// completeness is certified by the law of cosines — a vertex at
+    /// angular offset Δθ from the query azimuth sits at distance
+    /// `sqrt(R² + r² − 2·R·r·cos Δθ)`, monotone in |Δθ|, so every segment
+    /// both of whose vertices lie beyond the certified angular window is
+    /// provably farther than the best already found. Terminal segments are
+    /// always scanned (they extrapolate). Returns `None` when the query is
+    /// too close to the circle center for a stable azimuth (the generic
+    /// scan handles it).
+    fn project_arc(&self, point: Vec2, arc: &ArcIndex) -> Option<FrenetPose> {
+        use std::f64::consts::TAU;
+        let nseg = self.points.len() - 1;
+        let rel = point - arc.center;
+        let r = rel.norm_sq().sqrt();
+        if r < 1e-6 {
+            return None;
+        }
+        // Query azimuth relative to the first vertex, in segment units.
+        // Sweeps beyond a full turn are covered by the k-images below.
+        let base = rel.y.atan2(rel.x) - arc.start_angle;
+        let turns = (nseg as f64 * arc.seg_angle.abs()) / TAU;
+        let k_max = turns.ceil() as i64 + 1;
+        let image = |k: i64| (base + k as f64 * TAU) / arc.seg_angle;
+        // The image closest to the valid index range seeds the guess.
+        let mut guess = image(0);
+        let mut guess_overshoot = f64::INFINITY;
+        for k in -k_max..=k_max {
+            let i = image(k);
+            let overshoot = (-i).max(i - nseg as f64).max(0.0);
+            if overshoot < guess_overshoot {
+                guess_overshoot = overshoot;
+                guess = i;
+            }
+        }
+        let gi = guess.clamp(0.0, (nseg - 1) as f64) as usize;
+
+        // Preliminary pass: a small window around the guess plus the
+        // terminal segments, to establish an upper bound on the distance.
+        // Terminal segments extrapolate along their lines, so the exact
+        // point-to-line distance (one cross product) lower-bounds them;
+        // when it cannot beat the window's best they are skipped — but
+        // never skipped for ties, keeping the scan's first-wins order.
+        let (w_lo, w_hi) = (gi.saturating_sub(4), (gi + 5).min(nseg));
+        let line_dist = |i: usize| (self.seg_unit[i].cross(point - self.points[i])).abs();
+        let mut pre_d2 = f64::INFINITY;
+        let mut pre = FrenetPose::default();
+        if w_lo > 0 {
+            let d0 = line_dist(0);
+            if d0 * d0 <= (point - self.points[w_lo]).norm_sq() {
+                self.project_segments(point, 0, 1, &mut pre_d2, &mut pre);
+            }
+        }
+        self.project_segments(point, w_lo, w_hi, &mut pre_d2, &mut pre);
+        if w_hi < nseg {
+            let dn = line_dist(nseg - 1);
+            if dn * dn <= pre_d2 {
+                self.project_segments(point, nseg - 1, nseg, &mut pre_d2, &mut pre);
+            }
+        }
+
+        // Certify the window: any segment that could still win has a
+        // vertex within `bound` of the query (chord distance >= nearest
+        // vertex distance - segment length), i.e. within `theta_max` of
+        // its azimuth. The 1e-6 margin absorbs vertex rounding off the
+        // ideal circle.
+        let max_seg = self.cum_s[nseg] / nseg as f64;
+        let bound = pre_d2.sqrt() + max_seg + 1e-6;
+        let cos_max = (arc.radius * arc.radius + r * r - bound * bound) / (2.0 * arc.radius * r);
+        let (mut lo, mut hi) = (w_lo, w_hi);
+        if cos_max < -1.0 {
+            // Everything qualifies; give up on pruning.
+            (lo, hi) = (0, nseg);
+        } else if cos_max <= 1.0 {
+            let half_width = cos_max.acos() / arc.seg_angle.abs();
+            for k in -k_max..=k_max {
+                let center = image(k);
+                let (v_lo, v_hi) = (center - half_width, center + half_width);
+                if v_hi < 0.0 || v_lo > nseg as f64 {
+                    continue;
+                }
+                // Vertex window -> segment window (segment i owns
+                // vertices i and i+1), clamped and floored outward.
+                let s_lo = (v_lo.floor() - 1.0).max(0.0) as usize;
+                let s_hi = (v_hi.ceil() as usize + 1).min(nseg);
+                lo = lo.min(s_lo);
+                hi = hi.max(s_hi);
+            }
+        }
+        // The preliminary pass already visited {0} ∪ window ∪ {last} in
+        // ascending order with the scan's strict-improvement rule; when
+        // the certified hull adds nothing, its result is final.
+        if lo >= w_lo && hi <= w_hi {
+            return Some(pre);
+        }
+        // Final pass in globally ascending order: terminal start, the
+        // certified hull, terminal end — same visit order and strict
+        // improvement rule as the classic scan.
+        let mut best_d2 = f64::INFINITY;
+        let mut best = FrenetPose::default();
+        if lo > 0 {
+            self.project_segments(point, 0, 1, &mut best_d2, &mut best);
+        }
+        self.project_segments(point, lo, hi, &mut best_d2, &mut best);
+        if hi < nseg {
+            self.project_segments(point, nseg - 1, nseg, &mut best_d2, &mut best);
+        }
+        Some(best)
+    }
+
     /// Converts a Frenet pose back into a world point.
     pub fn frenet_to_world(&self, pose: FrenetPose) -> Vec2 {
-        let base = self.pose_at(pose.s);
-        let left = Vec2::from_heading(base.heading).perp();
-        base.position + left * pose.d.value()
+        let frame = self.frame_at(pose.s);
+        frame.position + frame.left * pose.d.value()
     }
 }
 
@@ -378,6 +621,72 @@ mod tests {
         );
         let msg = PathError::DegenerateSegment { index: 3 }.to_string();
         assert!(msg.contains('3'));
+    }
+
+    /// The classic exhaustive scan, as an oracle for the pruned search.
+    fn full_scan(path: &Path, point: Vec2) -> FrenetPose {
+        let mut best_d2 = f64::INFINITY;
+        let mut best = FrenetPose::default();
+        path.project_segments(point, 0, path.points().len() - 1, &mut best_d2, &mut best);
+        best
+    }
+
+    #[test]
+    fn pruned_projection_matches_full_scan_oracle() {
+        // The arc-indexed fast path and the block-pruned fallback both
+        // claim bit-identical results to the exhaustive scan; pin it over
+        // a sweep of query points around several dense paths, including
+        // on-path, off-path, near-center, beyond-end and far-away points.
+        let paths = [
+            // The catalog's curved road geometry (left arc).
+            Path::arc(
+                Vec2::ZERO,
+                Radians(0.0),
+                Meters(400.0),
+                Meters(1500.0),
+                Meters(2.0),
+            ),
+            // A right arc sweeping more than a half turn.
+            Path::arc(
+                Vec2::new(5.0, -3.0),
+                Radians(1.2),
+                Meters(-80.0),
+                Meters(400.0),
+                Meters(1.0),
+            ),
+            // A dense non-arc polyline (sine wave) exercising the generic
+            // block-pruned scan.
+            Path::from_points(
+                (0..400)
+                    .map(|i| Vec2::new(i as f64, (i as f64 * 0.12).sin() * 25.0))
+                    .collect(),
+            )
+            .expect("valid polyline"),
+        ];
+        // Deterministic pseudo-random offsets (LCG), no external RNG.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // in [-1, 1)
+        };
+        for path in &paths {
+            let length = path.length().value();
+            for i in 0..400 {
+                let s = length * (i as f64 / 399.0) * 1.2 - 0.1 * length; // beyond both ends
+                let base = path.pose_at(Meters(s)).position;
+                let point = base + Vec2::new(next() * 60.0, next() * 60.0);
+                let fast = path.project(point);
+                let oracle = full_scan(path, point);
+                assert_eq!(fast, oracle, "path len {length:.0}, query {point}");
+            }
+            // Degenerate-direction spot checks: the arc's circle center
+            // and points straight out from each end.
+            for point in [Vec2::ZERO, Vec2::new(-500.0, 0.0), Vec2::new(0.0, 900.0)] {
+                assert_eq!(path.project(point), full_scan(path, point));
+            }
+        }
     }
 
     #[test]

@@ -81,6 +81,16 @@ impl Dimensions {
         width: Meters(1.8),
     };
 
+    /// Radius of the footprint's circumcircle (half the diagonal) — the
+    /// shared conservative bound behind the collision, visibility and
+    /// clearance prefilters. Plain sqrt: vehicle extents are nowhere near
+    /// the over/underflow regime where `hypot` pays for itself.
+    #[inline]
+    pub fn circumradius(&self) -> f64 {
+        let (l, w) = (self.length.value(), self.width.value());
+        (l * l + w * w).sqrt() / 2.0
+    }
+
     /// Creates a footprint.
     ///
     /// # Panics

@@ -122,11 +122,13 @@ impl Camera {
     /// field of view given the ego's pose.
     pub fn sees(&self, ego: &VehicleState, target: Vec2) -> bool {
         let rel = target - ego.position;
-        let dist = rel.norm();
-        if dist > self.range.value() {
+        // Squared-distance range test: no square root on the reject path,
+        // which is the common case across a five-camera rig.
+        let d2 = rel.norm_sq();
+        if d2 > self.range.value() * self.range.value() {
             return false;
         }
-        if dist < 1e-9 {
+        if d2 < 1e-18 {
             return true;
         }
         let bearing = (rel.heading() - ego.heading - self.mount).normalized();
@@ -136,6 +138,13 @@ impl Camera {
     /// `true` when any reference point of `agent` (center or footprint
     /// corners) is visible, which approximates seeing any part of the body.
     pub fn sees_agent(&self, ego: &VehicleState, agent: &Agent) -> bool {
+        // If the center is out of range by more than the footprint's
+        // circumradius, no corner can be in range either — skip the corner
+        // expansion (and its trig) entirely.
+        let reach = self.range.value() + agent.dims.circumradius();
+        if (agent.state.position - ego.position).norm_sq() > reach * reach {
+            return false;
+        }
         if self.sees(ego, agent.state.position) {
             return true;
         }

@@ -100,6 +100,9 @@ pub struct PerceptionSystem {
     droppers: Vec<FrameDropper>,
     world: WorldModel,
     model_occlusion: bool,
+    /// Reused per-tick observation buffer; always empty between ticks so
+    /// it never affects equality or serialization.
+    observed_scratch: Vec<Agent>,
 }
 
 impl PerceptionSystem {
@@ -138,6 +141,7 @@ impl PerceptionSystem {
             droppers,
             world: WorldModel::new(tracker),
             model_occlusion: true,
+            observed_scratch: Vec::new(),
         })
     }
 
@@ -199,34 +203,45 @@ impl PerceptionSystem {
     pub fn tick(&mut self, scene: &Scene) -> TickReport {
         let now = scene.time;
         let mut report = TickReport::default();
-        let mut observed: Vec<Agent> = Vec::new();
         for (i, sampler) in self.samplers.iter_mut().enumerate() {
             if !sampler.on_tick(now) {
                 continue;
             }
             let cam_id = CameraId(i);
-            if !self.droppers[i].survives() {
+            if self.droppers[i].survives() {
+                report.frames.push(cam_id);
+            } else {
                 report.dropped.push(cam_id);
-                continue;
-            }
-            report.frames.push(cam_id);
-            let cam = &self.rig.cameras()[i];
-            for actor in &scene.actors {
-                if cam.sees_agent(&scene.ego.state, actor)
-                    && !observed.iter().any(|a| a.id == actor.id)
-                    && !(self.model_occlusion
-                        && occluded(scene.ego.state.position, actor, &scene.actors))
-                {
-                    observed.push(*actor);
-                }
             }
         }
-        if !report.frames.is_empty() {
-            self.world.observe(now, &observed);
-        } else {
+        if report.frames.is_empty() {
             self.world.prune(now);
+            return report;
         }
+        // An actor is observed this tick when any processed frame's camera
+        // sees it and its sight line is clear. Visibility is per-camera but
+        // occlusion is not, so actors iterate outermost and each pays the
+        // occlusion test at most once per tick. (The per-camera loop this
+        // replaces observed the same set, camera-major; the world model
+        // ingests observations per-id, so order is immaterial.)
+        let mut observed = std::mem::take(&mut self.observed_scratch);
+        let cameras = self.rig.cameras();
+        for actor in &scene.actors {
+            let seen = report
+                .frames
+                .iter()
+                .any(|cam_id| cameras[cam_id.0].sees_agent(&scene.ego.state, actor));
+            if seen
+                && !(self.model_occlusion
+                    && occluded(scene.ego.state.position, actor, &scene.actors))
+            {
+                observed.push(*actor);
+            }
+        }
+        self.world.observe(now, &observed);
         report.observed = observed.iter().map(|a| a.id).collect();
+        observed.clear();
+        self.observed_scratch = observed;
         report
     }
 

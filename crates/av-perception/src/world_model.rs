@@ -74,6 +74,12 @@ impl Default for TrackerConfig {
 pub struct WorldModel {
     config: TrackerConfig,
     tracks: BTreeMap<ActorId, Track>,
+    /// Lower bound on the oldest `last_seen` among live tracks (`None`
+    /// iff there are no tracks). Lets the per-tick [`WorldModel::prune`]
+    /// skip walking the tree when nothing can possibly have expired; it
+    /// may understate after refreshes, which only costs an occasional
+    /// extra walk, never a missed expiry.
+    oldest_seen: Option<Seconds>,
 }
 
 impl WorldModel {
@@ -82,6 +88,7 @@ impl WorldModel {
         Self {
             config,
             tracks: BTreeMap::new(),
+            oldest_seen: None,
         }
     }
 
@@ -109,14 +116,30 @@ impl WorldModel {
                 entry.confirmed = true;
             }
         }
+        if self.oldest_seen.is_none() && !self.tracks.is_empty() {
+            self.oldest_seen = Some(now);
+        }
         self.prune(now);
     }
 
     /// Advances time without observations, pruning expired tracks.
     pub fn prune(&mut self, now: Seconds) {
+        // Nothing can have expired while even a lower bound on the oldest
+        // refresh is within the TTL — the hot-loop no-op path.
+        let Some(oldest) = self.oldest_seen else {
+            return;
+        };
         let ttl = self.config.drop_after;
+        if (now - oldest).value() <= ttl.value() + 1e-12 {
+            return;
+        }
         self.tracks
             .retain(|_, t| (now - t.last_seen).value() <= ttl.value() + 1e-12);
+        self.oldest_seen = self
+            .tracks
+            .values()
+            .map(|t| t.last_seen)
+            .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite times"));
     }
 
     /// The track for `id`, if present (confirmed or not).
@@ -145,11 +168,22 @@ impl WorldModel {
 
     /// Confirmed agents dead-reckoned to `now`.
     pub fn coasted_agents(&self, now: Seconds) -> Vec<Agent> {
-        self.tracks
-            .values()
-            .filter(|t| t.confirmed)
-            .map(|t| t.coasted(now))
-            .collect()
+        let mut out = Vec::new();
+        self.coast_into(&mut out, now);
+        out
+    }
+
+    /// Confirmed agents dead-reckoned to `now`, written into a reused
+    /// buffer (cleared first) — the allocation-free form of
+    /// [`WorldModel::coasted_agents`] used by the simulation hot loop.
+    pub fn coast_into(&self, out: &mut Vec<Agent>, now: Seconds) {
+        out.clear();
+        out.extend(
+            self.tracks
+                .values()
+                .filter(|t| t.confirmed)
+                .map(|t| t.coasted(now)),
+        );
     }
 
     /// Number of tracks (confirmed or not).
@@ -214,6 +248,11 @@ mod tests {
         // Coasting projects it to x = 32 + 10 * 0.25.
         let coasted = wm.coasted_agents(Seconds(0.45));
         assert!((coasted[0].state.position.x - 34.5).abs() < 1e-9);
+        // The buffer-reuse form produces the same agents and clears any
+        // stale contents first.
+        let mut buffer = vec![actor(9, 0.0, 0.0)];
+        wm.coast_into(&mut buffer, Seconds(0.45));
+        assert_eq!(buffer, coasted);
     }
 
     #[test]

@@ -11,7 +11,8 @@ use av_core::prelude::*;
 use av_perception::rig::CameraRig;
 use av_perception::system::{PerceptionError, PerceptionSystem, RatePlan};
 use av_perception::world_model::TrackerConfig;
-use av_sim::engine::{Simulation, SimulationConfig};
+use av_sim::engine::{Simulation, SimulationConfig, StepOutcome};
+use av_sim::observer::{MetricsObserver, NullObserver, RunSummary, SimObserver};
 use av_sim::policy::{EgoVehicle, PolicyConfig};
 use av_sim::road::{LaneId, Road};
 use av_sim::script::{Action, ActorScript, Placement, Trigger};
@@ -194,6 +195,53 @@ impl Scenario {
         self.simulation(RatePlan::Uniform(fpr))
             .expect("uniform positive rate plans are valid")
             .run()
+    }
+
+    /// Runs the scenario closed-loop at `rates`, streaming every tick's
+    /// scene and event to `observer`, and returns how the run ended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid rate plans.
+    pub fn run_with(
+        &self,
+        rates: RatePlan,
+        observer: &mut dyn SimObserver,
+    ) -> Result<StepOutcome, PerceptionError> {
+        let mut sim = self.simulation(rates)?;
+        Ok(sim.run_with(observer))
+    }
+
+    /// Runs the scenario with all cameras at `fpr` and returns the scalar
+    /// outcome only — the streaming fast path: no scene is ever stored, no
+    /// per-tick allocation is made. Equivalent to
+    /// `run_at(fpr)`'s trace statistics (pinned by the metrics-equivalence
+    /// suite) at a fraction of the cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fpr` is not a valid rate (positive, finite).
+    pub fn outcome_at(&self, fpr: Fpr) -> RunSummary {
+        let mut metrics = MetricsObserver::new();
+        self.run_with(RatePlan::Uniform(fpr), &mut metrics)
+            .expect("uniform positive rate plans are valid");
+        metrics.summary()
+    }
+
+    /// The cheapest possible safety probe: runs with all cameras at `fpr`
+    /// under a [`NullObserver`] — nothing is recorded or folded at all —
+    /// and reads the collision verdict off the engine's own
+    /// [`StepOutcome`]. Catalog simulations stop on first collision, so
+    /// the outcome carries exactly the collided/survived bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fpr` is not a valid rate (positive, finite).
+    pub fn collides_at(&self, fpr: Fpr) -> bool {
+        let outcome = self
+            .run_with(RatePlan::Uniform(fpr), &mut NullObserver)
+            .expect("uniform positive rate plans are valid");
+        outcome == StepOutcome::Collided
     }
 }
 
@@ -528,12 +576,16 @@ pub const PAPER_RATE_GRID: [u32; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30];
 /// Determines the minimum required FPR for a scenario: the smallest rate
 /// in `candidates` (sorted ascending) such that no seed in `seeds`
 /// collides at that rate or any higher tested rate.
+///
+/// Probes run streaming under a `NullObserver`
+/// ([`Scenario::collides_at`]): no trace is recorded and no statistics are
+/// folded, since only the collision bit is consulted.
 pub fn minimum_required_fpr(id: ScenarioId, candidates: &[u32], seeds: &[u64]) -> Mrf {
     let mut highest_unsafe: Option<u32> = None;
     for &fpr in candidates {
         let any_collision = seeds
             .iter()
-            .any(|&seed| Scenario::build(id, seed).run_at(Fpr(fpr as f64)).collided());
+            .any(|&seed| Scenario::build(id, seed).collides_at(Fpr(fpr as f64)));
         if any_collision {
             highest_unsafe = Some(fpr);
         }

@@ -1,0 +1,104 @@
+//! Equivalence suite: the streaming [`MetricsObserver`] must report
+//! exactly the statistics computed from a full [`TraceRecorder`] trace —
+//! across every catalog scenario, several jitter seeds, and both FPR
+//! extremes of the paper's rate grid.
+//!
+//! "Exactly" means bit-for-bit `f64` equality, not tolerance: both paths
+//! run the identical closed loop and fold the identical arithmetic, so any
+//! difference is a bug in the streaming fast path.
+
+use av_core::prelude::*;
+use av_perception::system::RatePlan;
+use av_scenarios::prelude::*;
+use av_sim::prelude::*;
+
+const SEEDS: [u64; 3] = [0, 1, 2];
+/// The paper grid's extremes: 1 FPR (collision-heavy) and 30 FPR (safe).
+const FPR_EXTREMES: [f64; 2] = [1.0, 30.0];
+
+#[test]
+fn metrics_observer_matches_trace_across_the_catalog() {
+    let mut collisions = 0usize;
+    for id in ScenarioId::ALL {
+        for seed in SEEDS {
+            let scenario = Scenario::build(id, seed);
+            for fpr in FPR_EXTREMES {
+                let trace = scenario.run_at(Fpr(fpr));
+                let summary = scenario.outcome_at(Fpr(fpr));
+                let label = format!("{id} seed {seed} @ {fpr} FPR");
+                assert_eq!(
+                    summary.ticks as usize,
+                    trace.scenes.len(),
+                    "{label}: tick count"
+                );
+                assert_eq!(summary.duration, trace.duration(), "{label}: duration");
+                assert_eq!(summary.collision, trace.collision(), "{label}: collision");
+                assert_eq!(summary.collided(), trace.collided(), "{label}: collided");
+                assert_eq!(
+                    summary.min_ego_speed,
+                    trace.min_ego_speed(),
+                    "{label}: min ego speed"
+                );
+                assert_eq!(
+                    summary.max_ego_decel,
+                    trace.max_ego_decel(),
+                    "{label}: max ego decel"
+                );
+                assert_eq!(
+                    summary.min_clearance,
+                    trace.min_clearance(),
+                    "{label}: min clearance"
+                );
+                assert_eq!(summary.events, trace.events.len(), "{label}: event count");
+                if summary.collided() {
+                    collisions += 1;
+                }
+            }
+        }
+    }
+    // Sanity: the corpus must exercise both outcomes, or the equivalence
+    // proved nothing about collision bookkeeping.
+    assert!(collisions > 0, "no instance collided at 1 FPR");
+    assert!(
+        collisions < ScenarioId::ALL.len() * SEEDS.len() * FPR_EXTREMES.len(),
+        "every instance collided"
+    );
+}
+
+#[test]
+fn trace_recorder_is_byte_identical_to_classic_run() {
+    // The observer-driven recorder and the classic `run()` path must
+    // produce the same `Trace` down to every field (scene-by-scene,
+    // event-by-event `PartialEq`).
+    for id in [ScenarioId::CutOut, ScenarioId::ChallengingCutInCurved] {
+        for fpr in FPR_EXTREMES {
+            let scenario = Scenario::build(id, 1);
+            let classic = scenario.run_at(Fpr(fpr));
+            let mut recorder = TraceRecorder::new(Seconds(0.01));
+            scenario
+                .run_with(RatePlan::Uniform(Fpr(fpr)), &mut recorder)
+                .expect("uniform plans are valid");
+            assert_eq!(
+                recorder.into_trace(),
+                classic,
+                "{id} @ {fpr} FPR: recorder diverged from classic run"
+            );
+        }
+    }
+}
+
+#[test]
+fn null_observer_agrees_on_the_outcome() {
+    // A NullObserver run still terminates with the same outcome the
+    // metrics path reports.
+    let scenario = Scenario::build(ScenarioId::CutOutFast, 0);
+    let summary = scenario.outcome_at(Fpr(4.0));
+    let outcome = scenario
+        .run_with(RatePlan::Uniform(Fpr(4.0)), &mut NullObserver)
+        .expect("uniform plans are valid");
+    assert_eq!(
+        outcome == StepOutcome::Collided,
+        summary.collided(),
+        "outcome and summary disagree"
+    );
+}

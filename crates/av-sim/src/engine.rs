@@ -6,7 +6,24 @@
 //! scenario randomization happens at construction time (seeded parameter
 //! jitter in `av-scenarios`), mirroring the paper's repeated runs of
 //! non-deterministic simulations.
+//!
+//! # Streaming core
+//!
+//! The engine is observer-driven: [`Simulation::step_with`] rebuilds one
+//! persistent scratch [`Scene`] in place each tick and *lends* it (plus
+//! every [`SimEvent`]) to a [`SimObserver`] by reference. Nothing is
+//! allocated per tick on the engine side; what a run costs in memory is
+//! decided entirely by the observer ([`crate::observer::TraceRecorder`]
+//! keeps everything, [`crate::observer::MetricsObserver`] keeps scalars,
+//! [`crate::observer::NullObserver`] keeps nothing). The classic
+//! [`Simulation::step`]/[`Simulation::run`] API records a full trace and
+//! is a thin wrapper over the same streaming loop.
+//!
+//! Run length is tick-counted: the engine executes exactly
+//! `ceil(duration / dt)` ticks and derives `time = tick · dt`, so no
+//! floating-point drift accumulates against the stop condition.
 
+use crate::observer::{SimObserver, TraceRecorder};
 use crate::policy::EgoVehicle;
 use crate::road::Road;
 use crate::script::{ActorScript, EgoObservation, ScriptedActor};
@@ -56,7 +73,20 @@ pub struct Simulation {
     actors: Vec<ScriptedActor>,
     perception: PerceptionSystem,
     config: SimulationConfig,
-    time: Seconds,
+    /// Completed ticks; the current scenario time is `tick * dt`.
+    tick: u64,
+    /// Exact run length in ticks, fixed at construction.
+    total_ticks: u64,
+    /// Persistent scratch snapshot, rebuilt in place every tick.
+    scratch: Scene,
+    /// Persistent perceived-world buffer, refilled every tick.
+    perceived: Vec<Agent>,
+    /// Footprint circumradius of the ego (fixed dimensions, computed once).
+    ego_circumradius: f64,
+    /// Footprint circumradii of the actors, in actor order.
+    actor_circumradii: Vec<f64>,
+    /// Trace recorded by the classic [`Simulation::step`] path only;
+    /// observer-driven runs leave it empty.
     trace: Trace,
     finished: bool,
 }
@@ -76,9 +106,28 @@ impl Simulation {
         perception: PerceptionSystem,
         config: SimulationConfig,
     ) -> Self {
-        let actors = scripts
+        let actors: Vec<ScriptedActor> = scripts
             .into_iter()
             .map(|s| ScriptedActor::spawn(s, &road))
+            .collect();
+        // Exact integer run length: the last tick is the largest k with
+        // k * dt < duration. The 1e-9 slack only absorbs the rounding of
+        // the division itself, not accumulated drift (there is none).
+        let ratio = config.duration.value() / config.dt.value();
+        let total_ticks = if ratio > 0.0 {
+            (ratio - 1e-9).ceil().max(0.0) as u64
+        } else {
+            0
+        };
+        let scratch = Scene::new(
+            Seconds::ZERO,
+            ego.to_agent(&road),
+            Vec::with_capacity(actors.len()),
+        );
+        let ego_circumradius = ego.dims().circumradius();
+        let actor_circumradii = actors
+            .iter()
+            .map(|a| a.script().dims.circumradius())
             .collect();
         Self {
             road,
@@ -86,19 +135,39 @@ impl Simulation {
             actors,
             perception,
             config,
-            time: Seconds::ZERO,
+            tick: 0,
+            total_ticks,
+            scratch,
+            perceived: Vec::new(),
+            ego_circumradius,
+            actor_circumradii,
             trace: Trace {
                 scenes: Vec::new(),
                 events: Vec::new(),
                 dt: config.dt,
             },
-            finished: false,
+            finished: total_ticks == 0,
         }
     }
 
-    /// Current scenario time.
+    /// Current scenario time (`tick * dt`, drift-free).
     pub fn time(&self) -> Seconds {
-        self.time
+        Seconds(self.tick as f64 * self.config.dt.value())
+    }
+
+    /// Completed ticks.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The exact run length in ticks (`ceil(duration / dt)`).
+    pub fn total_ticks(&self) -> u64 {
+        self.total_ticks
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
     }
 
     /// The road being driven.
@@ -130,26 +199,49 @@ impl Simulation {
     /// The current ground-truth snapshot.
     pub fn snapshot(&self) -> Scene {
         Scene::new(
-            self.time,
+            self.time(),
             self.ego.to_agent(&self.road),
             self.actors.iter().map(|a| a.to_agent(&self.road)).collect(),
         )
     }
 
-    /// Advances one tick.
-    pub fn step(&mut self) -> StepOutcome {
+    /// Advances one tick, streaming the scene and events to `observer`.
+    ///
+    /// The engine rebuilds its persistent scratch scene in place and lends
+    /// it by reference — after warm-up, a tick performs no allocation on
+    /// the engine side (scripted-maneuver descriptions, which fire a
+    /// handful of times per run, are the one exception).
+    pub fn step_with(&mut self, observer: &mut dyn SimObserver) -> StepOutcome {
         if self.finished {
             return StepOutcome::Finished;
         }
-        let scene = self.snapshot();
-        self.trace.scenes.push(scene.clone());
+        let time = self.time();
+        let dt = self.config.dt;
 
-        // Ground-truth collision check.
-        let ego_fp = scene.ego.footprint();
-        for actor in &scene.actors {
+        // Rebuild the scratch snapshot in place.
+        self.scratch.time = time;
+        self.scratch.ego = self.ego.to_agent(&self.road);
+        self.scratch.actors.clear();
+        for actor in &self.actors {
+            self.scratch.actors.push(actor.to_agent(&self.road));
+        }
+        observer.on_scene(&self.scratch);
+
+        // Ground-truth collision check. A center-distance prefilter over
+        // footprint circumcircles skips the exact (trig-heavy) SAT test
+        // for the overwhelmingly common far-apart case; the outcome is
+        // identical because no rectangle escapes its circumcircle.
+        let ego = &self.scratch.ego;
+        let mut ego_fp = None;
+        for (actor, r_actor) in self.scratch.actors.iter().zip(&self.actor_circumradii) {
+            let r_sum = self.ego_circumradius + r_actor;
+            if (actor.state.position - ego.state.position).norm_sq() > r_sum * r_sum {
+                continue;
+            }
+            let ego_fp = ego_fp.get_or_insert_with(|| ego.footprint());
             if ego_fp.intersects(&actor.footprint()) {
-                self.trace.events.push(SimEvent::Collision {
-                    time: self.time,
+                observer.on_event(&SimEvent::Collision {
+                    time,
                     actor: actor.id,
                 });
                 if self.config.stop_on_collision {
@@ -159,34 +251,55 @@ impl Simulation {
             }
         }
 
-        // Perception sees the ground truth through sampled frames.
-        self.perception.tick(&scene);
-        let perceived = self.perception.world().coasted_agents(self.time);
+        // Perception sees the ground truth through sampled frames; the
+        // perceived world is coasted into a reused buffer.
+        self.perception.tick(&self.scratch);
+        self.perception
+            .world()
+            .coast_into(&mut self.perceived, time);
 
         // Ego plans against the perceived world; actors follow scripts
         // against the ground truth.
-        let command = self.ego.plan(&perceived, &self.road);
+        let command = self.ego.plan(&self.perceived, &self.road);
         let ego_obs = EgoObservation {
             s: self.ego.s(),
             speed: self.ego.speed(),
             half_length: self.ego.dims().length / 2.0,
         };
-        self.ego.integrate(command, self.config.dt);
+        self.ego.integrate(command, dt);
         for actor in &mut self.actors {
-            if let Some(desc) = actor.step(self.time, self.config.dt, &ego_obs, &self.road) {
-                self.trace.events.push(SimEvent::Maneuver {
-                    time: self.time,
-                    description: desc,
-                });
+            if let Some(description) = actor.step(time, dt, &ego_obs, &self.road) {
+                observer.on_event(&SimEvent::Maneuver { time, description });
             }
         }
 
-        self.time += self.config.dt;
-        if self.time.value() >= self.config.duration.value() - 1e-12 {
+        self.tick += 1;
+        if self.tick >= self.total_ticks {
             self.finished = true;
             return StepOutcome::Finished;
         }
         StepOutcome::Running
+    }
+
+    /// Drives the simulation to completion under `observer` and returns
+    /// how it ended.
+    pub fn run_with(&mut self, observer: &mut dyn SimObserver) -> StepOutcome {
+        loop {
+            match self.step_with(observer) {
+                StepOutcome::Running => {}
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// Advances one tick, recording into the internal trace (the classic
+    /// API; equivalent to [`Simulation::step_with`] on a
+    /// [`TraceRecorder`]).
+    pub fn step(&mut self) -> StepOutcome {
+        let mut recorder = TraceRecorder::resume(std::mem::take(&mut self.trace));
+        let outcome = self.step_with(&mut recorder);
+        self.trace = recorder.into_trace();
+        outcome
     }
 
     /// Runs to completion and returns the trace.
@@ -372,6 +485,176 @@ mod more_tests {
             .filter(|e| matches!(e, SimEvent::Collision { .. }))
             .count();
         assert!(collisions > 1, "only {collisions} collision events");
+    }
+
+    #[test]
+    fn run_length_is_exact_for_any_dt() {
+        // 1.0 s at dt = 0.1: accumulating `time += dt` drifts below 1.0
+        // after ten additions (0.1 is not exact in binary); the tick
+        // counter must still stop at exactly 10 ticks.
+        for (dt, duration, expected) in [
+            (0.1, 1.0, 10u64),
+            (0.01, 20.0, 2000),
+            (0.02, 0.05, 3),   // non-multiple: ticks at 0.00, 0.02, 0.04
+            (0.001, 0.007, 7), // another awkward binary ratio
+        ] {
+            let road = Road::straight_three_lane(Meters(3000.0));
+            let ego = EgoVehicle::spawn(
+                &road,
+                LaneId(1),
+                Meters(50.0),
+                PolicyConfig::cruise(MetersPerSecond(20.0)),
+            );
+            let perception = PerceptionSystem::new(
+                CameraRig::drive_av(),
+                RatePlan::Uniform(Fpr(30.0)),
+                TrackerConfig::default(),
+            )
+            .expect("valid plan");
+            let sim = Simulation::new(
+                road,
+                ego,
+                vec![],
+                perception,
+                SimulationConfig {
+                    dt: Seconds(dt),
+                    duration: Seconds(duration),
+                    stop_on_collision: true,
+                },
+            );
+            assert_eq!(sim.total_ticks(), expected, "dt {dt}, duration {duration}");
+            let trace = sim.run();
+            assert_eq!(trace.scenes.len(), expected as usize);
+            // Times are derived as tick * dt, not accumulated.
+            for (k, scene) in trace.scenes.iter().enumerate() {
+                assert_eq!(scene.time, Seconds(k as f64 * dt));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_recorder_matches_classic_run() {
+        let road = Road::straight_three_lane(Meters(3000.0));
+        let mk = || {
+            let ego = EgoVehicle::spawn(
+                &road,
+                LaneId(1),
+                Meters(50.0),
+                PolicyConfig::cruise(MetersPerSecond(31.0)),
+            );
+            let perception = PerceptionSystem::new(
+                CameraRig::drive_av(),
+                RatePlan::Uniform(Fpr(0.2)),
+                TrackerConfig::default(),
+            )
+            .expect("valid plan");
+            Simulation::new(
+                road.clone(),
+                ego,
+                vec![crate::script::ActorScript::obstacle(
+                    ActorId(1),
+                    LaneId(1),
+                    Meters(200.0),
+                )],
+                perception,
+                SimulationConfig {
+                    duration: Seconds(10.0),
+                    ..Default::default()
+                },
+            )
+        };
+        let classic = mk().run();
+        let mut recorder = crate::observer::TraceRecorder::new(Seconds(0.01));
+        let outcome = mk().run_with(&mut recorder);
+        assert_eq!(outcome, StepOutcome::Collided);
+        assert_eq!(
+            recorder.into_trace(),
+            classic,
+            "observer path must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn metrics_observer_matches_trace_statistics() {
+        let road = Road::straight_three_lane(Meters(3000.0));
+        let mk = || {
+            let ego = EgoVehicle::spawn(
+                &road,
+                LaneId(1),
+                Meters(50.0),
+                PolicyConfig::cruise(MetersPerSecond(25.0)),
+            );
+            let perception = PerceptionSystem::new(
+                CameraRig::drive_av(),
+                RatePlan::Uniform(Fpr(30.0)),
+                TrackerConfig::default(),
+            )
+            .expect("valid plan");
+            Simulation::new(
+                road.clone(),
+                ego,
+                vec![crate::script::ActorScript::obstacle(
+                    ActorId(1),
+                    LaneId(1),
+                    Meters(400.0),
+                )],
+                perception,
+                SimulationConfig {
+                    duration: Seconds(10.0),
+                    ..Default::default()
+                },
+            )
+        };
+        let trace = mk().run();
+        let mut metrics = crate::observer::MetricsObserver::new();
+        mk().run_with(&mut metrics);
+        let summary = metrics.summary();
+        assert_eq!(summary.ticks as usize, trace.scenes.len());
+        assert_eq!(summary.duration, trace.duration());
+        assert_eq!(summary.collision, trace.collision());
+        assert_eq!(summary.min_ego_speed, trace.min_ego_speed());
+        assert_eq!(summary.max_ego_decel, trace.max_ego_decel());
+        assert_eq!(summary.min_clearance, trace.min_clearance());
+        assert_eq!(summary.events, trace.events.len());
+    }
+
+    #[test]
+    fn null_observer_runs_to_completion_without_recording() {
+        let road = Road::straight_three_lane(Meters(3000.0));
+        let ego = EgoVehicle::spawn(
+            &road,
+            LaneId(1),
+            Meters(50.0),
+            PolicyConfig::cruise(MetersPerSecond(20.0)),
+        );
+        let perception = PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::Uniform(Fpr(30.0)),
+            TrackerConfig::default(),
+        )
+        .expect("valid plan");
+        let mut sim = Simulation::new(
+            road,
+            ego,
+            vec![],
+            perception,
+            SimulationConfig {
+                duration: Seconds(5.0),
+                ..Default::default()
+            },
+        );
+        let outcome = sim.run_with(&mut crate::observer::NullObserver);
+        assert_eq!(outcome, StepOutcome::Finished);
+        assert_eq!(sim.tick(), sim.total_ticks());
+        assert!(
+            sim.trace().scenes.is_empty(),
+            "observer runs leave the internal trace empty"
+        );
+        // A finished simulation stays finished under any observer.
+        assert_eq!(
+            sim.run_with(&mut crate::observer::NullObserver),
+            StepOutcome::Finished
+        );
     }
 
     #[test]

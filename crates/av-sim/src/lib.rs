@@ -10,7 +10,12 @@
 //! - [`policy`] — the ego's IDM + AEB driving policy consuming the
 //!   *perceived* (sampled, confirmed, stale) world model,
 //! - [`engine`] — the tick loop wiring ground truth → perception → planning
-//!   → integration, with collision detection and trace recording,
+//!   → integration, with collision detection, streaming each tick's scene
+//!   to a pluggable [`observer::SimObserver`],
+//! - [`observer`] — what a run keeps: the full [`trace::Trace`]
+//!   ([`observer::TraceRecorder`]), incremental scalars with zero stored
+//!   scenes ([`observer::MetricsObserver`]), or nothing
+//!   ([`observer::NullObserver`]),
 //! - [`trace`] — the recorded artifact the offline Zhuyi pipeline analyzes.
 //!
 //! # Example: a minimum-required-FPR probe
@@ -40,6 +45,7 @@
 pub mod engine;
 pub mod io;
 pub mod metrics;
+pub mod observer;
 pub mod policy;
 pub mod road;
 pub mod script;
@@ -49,6 +55,9 @@ pub mod trace;
 pub mod prelude {
     pub use crate::engine::{Simulation, SimulationConfig, StepOutcome};
     pub use crate::metrics::{instant_metrics, run_metrics, InstantMetrics, RunMetrics};
+    pub use crate::observer::{
+        MetricsObserver, NullObserver, RunSummary, SimObserver, TraceRecorder,
+    };
     pub use crate::policy::{EgoVehicle, PolicyConfig};
     pub use crate::road::{LaneId, Road, RoadError};
     pub use crate::script::{

@@ -1,0 +1,314 @@
+//! Streaming simulation observers: consume each tick's scene by reference.
+//!
+//! The paper's workload is thousands of repeated closed-loop runs per
+//! scenario, and most of them only ask scalar questions — did the ego
+//! collide, when, how hard did it brake, how close did it get. Recording a
+//! full [`Trace`] (one owned [`Scene`] per tick, ~2,000 per 20 s run) to
+//! answer those questions wastes both allocation and memory bandwidth.
+//!
+//! [`SimObserver`] inverts the dependency: the engine *lends* each tick's
+//! ground-truth scene (and every event) to an observer by reference, and
+//! the observer decides what to keep.
+//!
+//! - [`TraceRecorder`] keeps everything — it reproduces the classic
+//!   [`Trace`] byte-for-byte (one owned scene per tick, the only copy made);
+//! - [`MetricsObserver`] folds the stream into a [`RunSummary`] of scalars
+//!   with zero stored scenes and zero per-tick allocation;
+//! - [`NullObserver`] keeps nothing (pure throughput measurement, or runs
+//!   driven entirely through external state inspection).
+
+use crate::trace::{min_clearance_in, SimEvent, Trace};
+use av_core::prelude::*;
+use av_core::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// A consumer of the simulation's per-tick stream.
+///
+/// [`crate::engine::Simulation::step_with`] calls [`SimObserver::on_scene`]
+/// exactly once per tick — *before* collision detection, matching the
+/// classic trace order — and [`SimObserver::on_event`] for every event in
+/// the order the engine emits them (collisions first, then maneuvers).
+/// The lent scene is only valid for the duration of the call; observers
+/// that need history must copy what they keep.
+pub trait SimObserver {
+    /// One tick's ground-truth snapshot, lent by reference.
+    fn on_scene(&mut self, scene: &Scene);
+    /// A simulation event (collision, scripted maneuver), lent by reference.
+    fn on_event(&mut self, event: &SimEvent);
+}
+
+impl<O: SimObserver + ?Sized> SimObserver for &mut O {
+    fn on_scene(&mut self, scene: &Scene) {
+        (**self).on_scene(scene);
+    }
+    fn on_event(&mut self, event: &SimEvent) {
+        (**self).on_event(event);
+    }
+}
+
+/// Observes nothing. Useful for pure-throughput benchmarks and for runs
+/// whose outcome is read from the simulation state itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {
+    fn on_scene(&mut self, _scene: &Scene) {}
+    fn on_event(&mut self, _event: &SimEvent) {}
+}
+
+/// Records the full classic [`Trace`]: every scene, every event.
+///
+/// This is the only observer that owns scenes — exactly one copy per tick,
+/// cloned from the engine's lent snapshot. Its output is byte-identical to
+/// the trace the engine historically recorded itself.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceRecorder {
+    trace: Trace,
+}
+
+impl TraceRecorder {
+    /// An empty recorder for a simulation ticking at `dt`.
+    pub fn new(dt: Seconds) -> Self {
+        Self {
+            trace: Trace {
+                scenes: Vec::new(),
+                events: Vec::new(),
+                dt,
+            },
+        }
+    }
+
+    /// Resumes recording onto an existing trace (the engine's legacy
+    /// `step()` path threads its internal trace through here).
+    pub fn resume(trace: Trace) -> Self {
+        Self { trace }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the recorder, yielding the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl SimObserver for TraceRecorder {
+    fn on_scene(&mut self, scene: &Scene) {
+        self.trace.scenes.push(scene.clone());
+    }
+    fn on_event(&mut self, event: &SimEvent) {
+        self.trace.events.push(event.clone());
+    }
+}
+
+/// The scalar outcome of one run, as folded by [`MetricsObserver`].
+///
+/// Every field matches the corresponding [`Trace`] query bit-for-bit:
+/// `collision` ≡ [`Trace::collision`], `duration` ≡ [`Trace::duration`],
+/// `min_ego_speed` ≡ [`Trace::min_ego_speed`], `max_ego_decel` ≡
+/// [`Trace::max_ego_decel`], `min_clearance` ≡ [`Trace::min_clearance`] —
+/// the equivalence suite in `av-scenarios` pins this across the whole
+/// scenario catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Ticks observed (scenes lent).
+    pub ticks: u64,
+    /// Scenario time of the last observed scene.
+    pub duration: Seconds,
+    /// First collision, if any: when and with whom.
+    pub collision: Option<(Seconds, ActorId)>,
+    /// The ego's minimum speed over the run.
+    pub min_ego_speed: Option<MetersPerSecond>,
+    /// The ego's strongest deceleration over the run (positive magnitude).
+    pub max_ego_decel: Option<MetersPerSecondSquared>,
+    /// Smallest bumper-to-bumper ego-to-actor clearance (circle
+    /// approximation; negative means overlap).
+    pub min_clearance: Option<Meters>,
+    /// Total events observed (collisions and maneuvers).
+    pub events: usize,
+}
+
+impl RunSummary {
+    /// `true` when the run ended in (or recorded) a collision.
+    pub fn collided(&self) -> bool {
+        self.collision.is_some()
+    }
+}
+
+/// Folds the scene stream into a [`RunSummary`] — no stored scenes, no
+/// per-tick allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsObserver {
+    summary: RunSummary,
+}
+
+impl MetricsObserver {
+    /// A fresh observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The summary folded so far.
+    pub fn summary(&self) -> RunSummary {
+        self.summary
+    }
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_scene(&mut self, scene: &Scene) {
+        let s = &mut self.summary;
+        s.ticks += 1;
+        s.duration = scene.time;
+
+        // Each fold keeps the *first* minimum on ties, matching the
+        // `Iterator::min_by` semantics of the Trace queries (max_ego_decel
+        // uses `max_by`, which keeps the last of equals — but equal f64
+        // values are indistinguishable, so `>` is equivalent).
+        let speed = scene.ego.state.speed;
+        if s.min_ego_speed.is_none_or(|cur| speed < cur) {
+            s.min_ego_speed = Some(speed);
+        }
+        let decel = MetersPerSecondSquared((-scene.ego.state.accel.value()).max(0.0));
+        if s.max_ego_decel.is_none_or(|cur| decel > cur) {
+            s.max_ego_decel = Some(decel);
+        }
+        if let Some(clearance) = min_clearance_in(scene) {
+            if s.min_clearance.is_none_or(|cur| clearance < cur) {
+                s.min_clearance = Some(clearance);
+            }
+        }
+    }
+
+    fn on_event(&mut self, event: &SimEvent) {
+        self.summary.events += 1;
+        if self.summary.collision.is_none() {
+            if let SimEvent::Collision { time, actor } = event {
+                self.summary.collision = Some((*time, *actor));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene(t: f64, ego_v: f64, ego_a: f64, actor_x: Option<f64>) -> Scene {
+        let ego = Agent::new(
+            ActorId::EGO,
+            ActorKind::Vehicle,
+            Dimensions::CAR,
+            VehicleState::new(
+                Vec2::new(10.0 * t, 0.0),
+                Radians(0.0),
+                MetersPerSecond(ego_v),
+                MetersPerSecondSquared(ego_a),
+            ),
+        );
+        let actors = actor_x
+            .map(|x| {
+                vec![Agent::new(
+                    ActorId(1),
+                    ActorKind::Vehicle,
+                    Dimensions::CAR,
+                    VehicleState::at_rest(Vec2::new(x, 0.0), Radians(0.0)),
+                )]
+            })
+            .unwrap_or_default();
+        Scene::new(Seconds(t), ego, actors)
+    }
+
+    #[test]
+    fn metrics_match_trace_queries_on_a_synthetic_stream() {
+        let scenes = vec![
+            scene(0.0, 20.0, 0.0, Some(100.0)),
+            scene(0.5, 15.0, -6.0, Some(60.0)),
+            scene(1.0, 12.0, -2.0, Some(80.0)),
+        ];
+        let events = vec![
+            SimEvent::Maneuver {
+                time: Seconds(0.5),
+                description: "actor#1: brake".into(),
+            },
+            SimEvent::Collision {
+                time: Seconds(1.0),
+                actor: ActorId(1),
+            },
+        ];
+        let mut metrics = MetricsObserver::new();
+        let mut recorder = TraceRecorder::new(Seconds(0.5));
+        for s in &scenes {
+            metrics.on_scene(s);
+            recorder.on_scene(s);
+        }
+        for e in &events {
+            metrics.on_event(e);
+            recorder.on_event(e);
+        }
+        let summary = metrics.summary();
+        let trace = recorder.into_trace();
+        assert_eq!(summary.ticks as usize, trace.scenes.len());
+        assert_eq!(summary.duration, trace.duration());
+        assert_eq!(summary.collision, trace.collision());
+        assert_eq!(summary.collided(), trace.collided());
+        assert_eq!(summary.min_ego_speed, trace.min_ego_speed());
+        assert_eq!(summary.max_ego_decel, trace.max_ego_decel());
+        assert_eq!(summary.min_clearance, trace.min_clearance());
+        assert_eq!(summary.events, trace.events.len());
+    }
+
+    #[test]
+    fn recorder_is_byte_identical_to_hand_built_trace() {
+        let s = scene(0.0, 10.0, 0.0, None);
+        let mut recorder = TraceRecorder::new(Seconds(0.01));
+        recorder.on_scene(&s);
+        let expected = Trace {
+            scenes: vec![s],
+            events: vec![],
+            dt: Seconds(0.01),
+        };
+        assert_eq!(recorder.trace(), &expected);
+        assert_eq!(recorder.into_trace(), expected);
+    }
+
+    #[test]
+    fn first_collision_wins() {
+        let mut metrics = MetricsObserver::new();
+        metrics.on_event(&SimEvent::Collision {
+            time: Seconds(1.0),
+            actor: ActorId(3),
+        });
+        metrics.on_event(&SimEvent::Collision {
+            time: Seconds(2.0),
+            actor: ActorId(4),
+        });
+        assert_eq!(
+            metrics.summary().collision,
+            Some((Seconds(1.0), ActorId(3)))
+        );
+        assert_eq!(metrics.summary().events, 2);
+    }
+
+    #[test]
+    fn null_observer_observes_nothing() {
+        let mut null = NullObserver;
+        null.on_scene(&scene(0.0, 1.0, 0.0, None));
+        null.on_event(&SimEvent::Collision {
+            time: Seconds(0.0),
+            actor: ActorId(1),
+        });
+        assert_eq!(null, NullObserver);
+    }
+
+    #[test]
+    fn empty_metrics_are_empty() {
+        let summary = MetricsObserver::new().summary();
+        assert!(!summary.collided());
+        assert_eq!(summary.ticks, 0);
+        assert_eq!(summary.min_ego_speed, None);
+        assert_eq!(summary.min_clearance, None);
+    }
+}

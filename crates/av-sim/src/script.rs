@@ -351,15 +351,14 @@ impl ScriptedActor {
 
     /// Snapshot as a world-frame [`Agent`].
     pub fn to_agent(&self, road: &Road) -> Agent {
-        let base = road.path().pose_at(self.s);
-        let left = Vec2::from_heading(base.heading).perp();
+        let frame = road.path().frame_at(self.s);
         Agent::new(
             self.script.id,
             self.script.kind,
             self.script.dims,
             VehicleState::new(
-                base.position + left * self.d.value(),
-                base.heading,
+                frame.position + frame.left * self.d.value(),
+                frame.heading,
                 self.speed,
                 self.accel,
             ),

@@ -114,23 +114,30 @@ impl Trace {
     pub fn min_clearance(&self) -> Option<Meters> {
         self.scenes
             .iter()
-            .flat_map(|scene| {
-                scene.actors.iter().map(move |a| {
-                    let center = (a.state.position - scene.ego.state.position).norm();
-                    // Conservative circle approximation by half-diagonals.
-                    let r_ego = scene
-                        .ego
-                        .dims
-                        .length
-                        .value()
-                        .hypot(scene.ego.dims.width.value())
-                        / 2.0;
-                    let r_a = a.dims.length.value().hypot(a.dims.width.value()) / 2.0;
-                    Meters(center - r_ego - r_a)
-                })
-            })
+            .filter_map(min_clearance_in)
             .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite distances"))
     }
+}
+
+/// The smallest ego-to-actor clearance within one scene (circle
+/// approximation by half-diagonals; negative means overlap). `None` when
+/// the scene has no actors.
+///
+/// Shared by [`Trace::min_clearance`] and the streaming
+/// [`crate::observer::MetricsObserver`] so the two paths are equal by
+/// construction.
+pub fn min_clearance_in(scene: &Scene) -> Option<Meters> {
+    let r_ego = scene.ego.dims.circumradius();
+    scene
+        .actors
+        .iter()
+        .map(|a| {
+            let center = (a.state.position - scene.ego.state.position)
+                .norm_sq()
+                .sqrt();
+            Meters(center - r_ego - a.dims.circumradius())
+        })
+        .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite distances"))
 }
 
 #[cfg(test)]

@@ -1,11 +1,14 @@
 //! Criterion bench: closed-loop simulator throughput (ticks per second)
 //! and whole-scenario wall time — the substrate cost behind Table 1's
-//! hundreds of runs.
+//! hundreds of runs. Each full-scenario case runs both paths: `recorded`
+//! (classic full trace) and `streaming` (MetricsObserver, zero stored
+//! scenes), so the observer fast path's speedup never regresses unseen.
 
 use av_core::prelude::*;
 use av_perception::system::RatePlan;
 use av_scenarios::catalog::{Scenario, ScenarioId};
 use av_sim::engine::StepOutcome;
+use av_sim::observer::NullObserver;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -32,14 +35,43 @@ fn bench_steps(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         )
     });
+    group.bench_function("tick_vehicle_following_streaming", |b| {
+        b.iter_batched(
+            || {
+                Scenario::build(ScenarioId::VehicleFollowing, 0)
+                    .simulation(RatePlan::Uniform(Fpr(30.0)))
+                    .expect("uniform plan is valid")
+            },
+            |mut sim| {
+                let mut observer = NullObserver;
+                for _ in 0..100 {
+                    if sim.step_with(&mut observer) != StepOutcome::Running {
+                        break;
+                    }
+                }
+                black_box(sim.time())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
     for id in [ScenarioId::CutOut, ScenarioId::ChallengingCutInCurved] {
         group.bench_with_input(
-            BenchmarkId::new("full_scenario", id.name()),
+            BenchmarkId::new("full_scenario_recorded", id.name()),
             &id,
             |b, &id| {
                 b.iter(|| {
                     let trace = Scenario::build(id, 0).run_at(Fpr(30.0));
                     black_box(trace.scenes.len())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_scenario_streaming", id.name()),
+            &id,
+            |b, &id| {
+                b.iter(|| {
+                    let summary = Scenario::build(id, 0).outcome_at(Fpr(30.0));
+                    black_box(summary.ticks)
                 })
             },
         );

@@ -9,7 +9,8 @@
 //!   fleet_sweep [--mode msf|probe|analyze] [--scenarios all|0,1,5]
 //!               [--variants N] [--workers N] [--rates 1,2,...,30]
 //!               [--fpr F] [--predictor oracle|cv|ca] [--stride N]
-//!               [--csv NAME] [--json NAME] [--traces] [--baseline] [--help]
+//!               [--csv NAME] [--json NAME] [--traces] [--record-traces]
+//!               [--baseline] [--help]
 //! ```
 //!
 //! Defaults reproduce Table 1 fleet-style: `--mode msf --scenarios all
@@ -20,7 +21,7 @@
 use av_scenarios::catalog::{ScenarioId, PAPER_RATE_GRID};
 use std::process::ExitCode;
 use std::time::Instant;
-use zhuyi_fleet::{pool, run_sweep, PredictorChoice, SweepPlan};
+use zhuyi_fleet::{cli, pool, run_sweep_with, ExecOptions, PredictorChoice, SweepPlan};
 
 #[derive(Debug)]
 struct Args {
@@ -35,6 +36,7 @@ struct Args {
     csv: Option<String>,
     json: Option<String>,
     traces: bool,
+    record_traces: bool,
     baseline: bool,
 }
 
@@ -59,6 +61,7 @@ impl Default for Args {
             csv: None,
             json: None,
             traces: false,
+            record_traces: false,
             baseline: false,
         }
     }
@@ -81,25 +84,7 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown mode {other:?}")),
                 }
             }
-            "--scenarios" => {
-                let spec = value("--scenarios")?;
-                args.scenarios = if spec == "all" {
-                    ScenarioId::ALL.to_vec()
-                } else {
-                    spec.split(',')
-                        .map(|s| {
-                            let index: usize = s
-                                .trim()
-                                .parse()
-                                .map_err(|_| format!("bad scenario index {s:?}"))?;
-                            ScenarioId::ALL
-                                .get(index)
-                                .copied()
-                                .ok_or_else(|| format!("scenario index {index} out of 0..9"))
-                        })
-                        .collect::<Result<_, String>>()?
-                };
-            }
+            "--scenarios" => args.scenarios = cli::parse_scenarios(&value("--scenarios")?)?,
             "--variants" => {
                 args.variants = value("--variants")?
                     .parse()
@@ -110,18 +95,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --workers".to_string())?
             }
-            "--rates" => {
-                args.rates = value("--rates")?
-                    .split(',')
-                    .map(|s| s.trim().parse().map_err(|_| format!("bad rate {s:?}")))
-                    .collect::<Result<_, String>>()?;
-                // A rate grid is a set; accept it in any order.
-                args.rates.sort_unstable();
-                args.rates.dedup();
-                if args.rates.first() == Some(&0) {
-                    return Err("rates must be >= 1".to_string());
-                }
-            }
+            "--rates" => args.rates = cli::parse_rates(&value("--rates")?)?,
             "--fpr" => {
                 args.fpr = value("--fpr")?
                     .parse()
@@ -143,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
             "--csv" => args.csv = Some(value("--csv")?),
             "--json" => args.json = Some(value("--json")?),
             "--traces" => args.traces = true,
+            "--record-traces" => args.record_traces = true,
             "--baseline" => args.baseline = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -161,7 +136,9 @@ fn parse_args() -> Result<Args, String> {
     let irrelevant: &[&str] = match args.mode {
         Mode::Msf => &["--fpr", "--predictor", "--stride", "--traces"],
         Mode::Probe => &["--rates", "--predictor", "--stride"],
-        Mode::Analyze => &["--rates", "--traces"],
+        // Analyze jobs always record (the estimator consumes the trace),
+        // so --record-traces would be a silent no-op there.
+        Mode::Analyze => &["--rates", "--traces", "--record-traces"],
     };
     let mode_name = match args.mode {
         Mode::Msf => "msf",
@@ -180,14 +157,18 @@ fn usage() {
          USAGE:\n  fleet_sweep [--mode msf|probe|analyze] [--scenarios all|0,1,5]\n\
          \x20             [--variants N] [--workers N] [--rates 1,2,...,30]\n\
          \x20             [--fpr F] [--predictor oracle|cv|ca] [--stride N]\n\
-         \x20             [--csv NAME] [--json NAME] [--traces] [--baseline]\n\n\
+         \x20             [--csv NAME] [--json NAME] [--traces] [--record-traces]\n\
+         \x20             [--baseline]\n\n\
          MODES:\n\
          \x20 msf      binary-search each instance's minimum safe rate over --rates (default)\n\
          \x20 probe    run each instance closed-loop at --fpr and record collisions\n\
          \x20 analyze  run at --fpr, then Zhuyi-analyze the trace with --predictor\n\n\
          Scenario indexes follow Table-1 order (0 = Cut-out ... 8 = Front & right 3).\n\
          --csv/--json write into results/ via the bench harness; --traces keeps\n\
-         probe traces and writes them as results/trace_*.csv."
+         probe traces and writes them as results/trace_*.csv.\n\
+         Probes and msf searches run metrics-only (streaming, zero stored scenes);\n\
+         --record-traces forces the classic full-trace path (identical results,\n\
+         for debugging and baseline timing)."
     );
 }
 
@@ -225,8 +206,11 @@ fn main() -> ExitCode {
         args.workers
     );
 
+    let options = ExecOptions {
+        record_traces: args.record_traces,
+    };
     let start = Instant::now();
-    let store = run_sweep(&plan, args.workers);
+    let store = run_sweep_with(&plan, args.workers, options);
     let elapsed = start.elapsed();
     println!(
         "completed {} jobs in {:.2}s ({:.1} jobs/s)\n",
@@ -237,7 +221,7 @@ fn main() -> ExitCode {
 
     if args.baseline {
         let start = Instant::now();
-        let sequential = run_sweep(&plan, 1);
+        let sequential = run_sweep_with(&plan, 1, options);
         let baseline = start.elapsed();
         assert_eq!(
             sequential.to_csv(),

@@ -1,0 +1,291 @@
+//! `perf_baseline` — measure the streaming simulation core against the
+//! classic trace-recording path and record the result as
+//! `results/BENCH_sim.json`.
+//!
+//! Two measurements, both over the real scenario catalog:
+//!
+//! 1. **single-run throughput** (ticks/sec): every selected scenario at
+//!    30 FPR, once through `Scenario::run_at` (full trace) and once
+//!    through `Scenario::outcome_at` (streaming `MetricsObserver`);
+//! 2. **MSF catalog sweep** (sims/sec): the paper's Table-1 workload —
+//!    scenarios × jittered variants × `min_safe_fpr` over the rate grid —
+//!    executed by the fleet engine metrics-only vs. with
+//!    `ExecOptions::record_traces` forcing full traces.
+//!
+//! Both modes must produce identical sweep exports (asserted here), so
+//! the speedup is a like-for-like measurement, not a changed experiment.
+//!
+//! ```text
+//! USAGE:
+//!   perf_baseline [--scenarios all|0,1,5] [--variants N]
+//!                 [--rates 1,2,...,30] [--workers N] [--out NAME]
+//! ```
+//!
+//! Defaults reproduce the acceptance workload: all nine scenarios,
+//! 10 variants, the paper rate grid, one worker (pure single-thread
+//! core comparison), writing `results/BENCH_sim.json`.
+
+use av_core::prelude::*;
+use av_scenarios::catalog::{Scenario, ScenarioId, PAPER_RATE_GRID};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+use zhuyi_fleet::{cli, run_sweep_with, ExecOptions, JobOutcome, SweepPlan};
+
+#[derive(Debug)]
+struct Args {
+    scenarios: Vec<ScenarioId>,
+    variants: u64,
+    rates: Vec<u32>,
+    workers: usize,
+    reps: u32,
+    baseline_s: Option<f64>,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            scenarios: ScenarioId::ALL.to_vec(),
+            variants: 10,
+            rates: PAPER_RATE_GRID.to_vec(),
+            workers: 1,
+            reps: 3,
+            baseline_s: None,
+            out: "BENCH_sim.json".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--scenarios" => args.scenarios = cli::parse_scenarios(&value("--scenarios")?)?,
+            "--variants" => {
+                args.variants = value("--variants")?
+                    .parse()
+                    .map_err(|_| "bad --variants".to_string())?
+            }
+            "--rates" => args.rates = cli::parse_rates(&value("--rates")?)?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_string())?
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse()
+                    .map_err(|_| "bad --reps".to_string())?
+            }
+            "--baseline-s" => {
+                args.baseline_s = Some(
+                    value("--baseline-s")?
+                        .parse()
+                        .map_err(|_| "bad --baseline-s".to_string())?,
+                )
+            }
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.variants == 0 {
+        return Err("--variants must be >= 1".to_string());
+    }
+    if args.workers == 0 {
+        return Err("--workers must be >= 1".to_string());
+    }
+    if args.rates.is_empty() {
+        return Err("--rates must name at least one rate".to_string());
+    }
+    if args.reps == 0 {
+        return Err("--reps must be >= 1".to_string());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "perf_baseline — streaming vs trace-recording simulation-core benchmark\n\n\
+         USAGE:\n  perf_baseline [--scenarios all|0,1,5] [--variants N]\n\
+         \x20              [--rates 1,2,...,30] [--workers N] [--reps N]\n\
+         \x20              [--baseline-s SECS] [--out NAME]\n\n\
+         Writes results/<NAME> (default BENCH_sim.json): single-run ticks/sec and\n\
+         MSF-sweep sims/sec for the recorded and streaming paths, plus speedups.\n\
+         Each measurement is the best of --reps repetitions (noise rejection).\n\
+         --baseline-s records an externally measured wall time for the identical\n\
+         sweep on the pre-streaming engine (e.g. the previous commit's\n\
+         `fleet_sweep --mode msf --variants N --workers 1`) into the JSON, so the\n\
+         against-baseline speedup is part of the committed artifact."
+    );
+}
+
+/// One pass over every selected scenario (seed 0) at 30 FPR; returns
+/// (total ticks, seconds).
+fn single_run_pass(scenarios: &[ScenarioId], streaming: bool) -> (u64, f64) {
+    let start = Instant::now();
+    let mut ticks = 0u64;
+    for &id in scenarios {
+        let scenario = Scenario::build(id, 0);
+        if streaming {
+            ticks += scenario.outcome_at(Fpr(30.0)).ticks;
+        } else {
+            ticks += scenario.run_at(Fpr(30.0)).scenes.len() as u64;
+        }
+    }
+    (ticks, start.elapsed().as_secs_f64())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            usage();
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    // --- Phase 1: single-run throughput (ticks/sec). -------------------
+    // One throwaway pass warms code and allocator; each timed pass is the
+    // best of --reps repetitions, which rejects scheduler noise on a
+    // shared machine far better than averaging.
+    let _ = single_run_pass(&args.scenarios[..1.min(args.scenarios.len())], true);
+    let best_of = |streaming: bool| {
+        (0..args.reps)
+            .map(|_| single_run_pass(&args.scenarios, streaming))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("reps >= 1")
+    };
+    let (recorded_ticks, recorded_run_s) = best_of(false);
+    let (streaming_ticks, streaming_run_s) = best_of(true);
+    assert_eq!(
+        recorded_ticks, streaming_ticks,
+        "both paths must simulate the same ticks"
+    );
+    println!(
+        "single-run ({} scenarios @ 30 FPR): recorded {:.0} ticks/s, streaming {:.0} ticks/s ({:.2}x)",
+        args.scenarios.len(),
+        recorded_ticks as f64 / recorded_run_s.max(1e-9),
+        streaming_ticks as f64 / streaming_run_s.max(1e-9),
+        recorded_run_s / streaming_run_s.max(1e-9),
+    );
+
+    // --- Phase 2: the MSF catalog sweep (sims/sec). --------------------
+    let plan = SweepPlan::builder()
+        .scenarios(args.scenarios.iter().copied())
+        .jittered_variants(args.variants)
+        .min_safe_fpr(args.rates.clone())
+        .build();
+    println!(
+        "msf sweep: {} jobs ({} scenarios x {} variants, grid {:?}), {} worker(s)",
+        plan.len(),
+        args.scenarios.len(),
+        args.variants,
+        args.rates,
+        args.workers
+    );
+
+    let timed_sweep = |options: ExecOptions| {
+        (0..args.reps)
+            .map(|_| {
+                let start = Instant::now();
+                let store = run_sweep_with(&plan, args.workers, options);
+                (start.elapsed().as_secs_f64(), store)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("reps >= 1")
+    };
+    let (recorded_sweep_s, recorded_store) = timed_sweep(ExecOptions {
+        record_traces: true,
+    });
+    let (streaming_sweep_s, streaming_store) = timed_sweep(ExecOptions::default());
+
+    assert_eq!(
+        recorded_store.to_csv(),
+        streaming_store.to_csv(),
+        "streaming and recorded sweeps must export identical results"
+    );
+    let sims: u64 = streaming_store
+        .results()
+        .iter()
+        .map(|r| match &r.outcome {
+            JobOutcome::MinSafeFpr(m) => u64::from(m.sims_run),
+            _ => 0,
+        })
+        .sum();
+    let sweep_speedup = recorded_sweep_s / streaming_sweep_s.max(1e-9);
+    println!(
+        "msf sweep: {} sims; recorded {:.2}s ({:.1} sims/s), streaming {:.2}s ({:.1} sims/s) -> {:.2}x",
+        sims,
+        recorded_sweep_s,
+        sims as f64 / recorded_sweep_s.max(1e-9),
+        streaming_sweep_s,
+        sims as f64 / streaming_sweep_s.max(1e-9),
+        sweep_speedup,
+    );
+
+    // --- Write BENCH_sim.json (hand-rolled JSON; serde is a shim). -----
+    let mut json = String::new();
+    let scenario_names: Vec<String> = args
+        .scenarios
+        .iter()
+        .map(|s| format!("\"{}\"", s.name()))
+        .collect();
+    let rate_cells: Vec<String> = args.rates.iter().map(|r| r.to_string()).collect();
+    let _ = write!(
+        json,
+        "{{\n  \"schema\": \"zhuyi.bench_sim.v1\",\n  \"config\": {{\"scenarios\": [{}], \"variants\": {}, \"rates\": [{}], \"workers\": {}}},\n",
+        scenario_names.join(", "),
+        args.variants,
+        rate_cells.join(", "),
+        args.workers,
+    );
+    let _ = writeln!(
+        json,
+        "  \"single_run\": {{\"ticks\": {}, \"recorded_s\": {:.6}, \"streaming_s\": {:.6}, \"recorded_ticks_per_s\": {:.1}, \"streaming_ticks_per_s\": {:.1}, \"speedup\": {:.3}}},",
+        recorded_ticks,
+        recorded_run_s,
+        streaming_run_s,
+        recorded_ticks as f64 / recorded_run_s.max(1e-9),
+        streaming_ticks as f64 / streaming_run_s.max(1e-9),
+        recorded_run_s / streaming_run_s.max(1e-9),
+    );
+    let _ = write!(
+        json,
+        "  \"msf_sweep\": {{\"jobs\": {}, \"sims\": {}, \"recorded_s\": {:.6}, \"streaming_s\": {:.6}, \"recorded_sims_per_s\": {:.2}, \"streaming_sims_per_s\": {:.2}, \"speedup\": {:.3}}}",
+        plan.len(),
+        sims,
+        recorded_sweep_s,
+        streaming_sweep_s,
+        sims as f64 / recorded_sweep_s.max(1e-9),
+        sims as f64 / streaming_sweep_s.max(1e-9),
+        sweep_speedup,
+    );
+    if let Some(baseline_s) = args.baseline_s {
+        let _ = write!(
+            json,
+            ",\n  \"pre_streaming_baseline\": {{\"method\": \"identical msf sweep on the pre-streaming engine (previous commit's fleet_sweep --mode msf), measured externally on the same machine\", \"wall_s\": {:.6}, \"streaming_speedup\": {:.3}}}",
+            baseline_s,
+            baseline_s / streaming_sweep_s.max(1e-9),
+        );
+        println!(
+            "pre-streaming baseline: {:.2}s -> streaming speedup {:.2}x",
+            baseline_s,
+            baseline_s / streaming_sweep_s.max(1e-9),
+        );
+    }
+    json.push_str("\n}\n");
+    let path = zhuyi_bench::write_results(&args.out, &json);
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}

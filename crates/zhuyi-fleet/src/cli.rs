@@ -1,0 +1,72 @@
+//! Shared flag parsing for the fleet binaries (`fleet_sweep`,
+//! `perf_baseline`), so the two CLIs cannot drift apart on how a
+//! scenario list or a rate grid is interpreted.
+
+use av_scenarios::catalog::ScenarioId;
+
+/// Parses a `--scenarios` value: `all`, or comma-separated Table-1
+/// indexes (`0 = Cut-out ... 8 = Front & right 3`).
+///
+/// # Errors
+///
+/// Returns a human-readable message for non-numeric or out-of-range
+/// indexes.
+pub fn parse_scenarios(spec: &str) -> Result<Vec<ScenarioId>, String> {
+    if spec == "all" {
+        return Ok(ScenarioId::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(|s| {
+            let index: usize = s
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad scenario index {s:?}"))?;
+            ScenarioId::ALL
+                .get(index)
+                .copied()
+                .ok_or_else(|| format!("scenario index {index} out of 0..9"))
+        })
+        .collect()
+}
+
+/// Parses a `--rates` value: comma-separated integer rates, treated as a
+/// set (sorted ascending, deduplicated) and rejected when any rate is 0.
+///
+/// # Errors
+///
+/// Returns a human-readable message for non-numeric or zero rates.
+pub fn parse_rates(spec: &str) -> Result<Vec<u32>, String> {
+    let mut rates: Vec<u32> = spec
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad rate {s:?}")))
+        .collect::<Result<_, String>>()?;
+    rates.sort_unstable();
+    rates.dedup();
+    if rates.first() == Some(&0) {
+        return Err("rates must be >= 1".to_string());
+    }
+    Ok(rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_all_and_indexes() {
+        assert_eq!(parse_scenarios("all").expect("all"), ScenarioId::ALL);
+        assert_eq!(
+            parse_scenarios("0, 5").expect("valid"),
+            vec![ScenarioId::CutOut, ScenarioId::VehicleFollowing]
+        );
+        assert!(parse_scenarios("9").is_err());
+        assert!(parse_scenarios("x").is_err());
+    }
+
+    #[test]
+    fn rates_are_a_sorted_set() {
+        assert_eq!(parse_rates("30,1,4,4").expect("valid"), vec![1, 4, 30]);
+        assert!(parse_rates("0,1").is_err());
+        assert!(parse_rates("1,two").is_err());
+    }
+}

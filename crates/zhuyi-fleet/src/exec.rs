@@ -4,9 +4,18 @@
 //! their (id, seed) pair, the simulator is deterministic, and the Zhuyi
 //! estimator is deterministic — which is the property the worker pool's
 //! deterministic merge relies on.
+//!
+//! By default execution is *metrics-only* wherever the outcome allows it:
+//! collision probes and minimum-safe-FPR searches stream each run through
+//! an [`av_sim::observer::MetricsObserver`] and never store a scene. Full
+//! traces are recorded only for jobs that actually export them (probes
+//! with `keep_trace`) or analyze them (Zhuyi trace analysis) — or for
+//! every job when [`ExecOptions::record_traces`] forces the classic path
+//! (the `fleet_sweep --record-traces` flag, and the baseline that the
+//! `perf_baseline` benchmark measures the streaming path against).
 
 use crate::job::{JobKind, JobSpec, PredictorChoice};
-use crate::search::min_safe_fpr;
+use crate::search::min_safe_fpr_with;
 use crate::store::{AnalysisOutcome, JobOutcome, ProbeOutcome};
 use av_core::units::Seconds;
 use av_perception::rig::CameraRig;
@@ -14,12 +23,23 @@ use av_prediction::kinematic::{ConstantAcceleration, ConstantVelocity};
 use av_prediction::predictor::TrajectoryPredictor;
 use av_scenarios::catalog::Scenario;
 use av_sim::io::trace_to_csv;
+use av_sim::observer::{MetricsObserver, RunSummary};
 use av_sim::trace::Trace;
 use zhuyi::pipeline::{analyze_trace, PipelineConfig};
 use zhuyi::{TolerableLatencyEstimator, ZhuyiConfig};
 use zhuyi_runtime::online::{OnlineConfig, OnlineEstimator};
 
-/// Executes one job to completion.
+/// Execution-wide options, orthogonal to the per-job [`JobSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Force the classic full-trace path even for jobs whose outcome only
+    /// needs scalars. Costs memory and time; produces identical results
+    /// (pinned by the fleet determinism tests).
+    pub record_traces: bool,
+}
+
+/// Executes one job to completion with default options (metrics-only
+/// wherever possible).
 ///
 /// # Panics
 ///
@@ -27,15 +47,34 @@ use zhuyi_runtime::online::{OnlineConfig, OnlineEstimator};
 /// (non-positive or non-finite rates, wrong per-camera arity) — plan
 /// validation belongs at plan-building time, not in the fleet hot loop.
 pub fn execute(spec: &JobSpec) -> JobOutcome {
+    execute_with(spec, ExecOptions::default())
+}
+
+/// Executes one job to completion under explicit [`ExecOptions`].
+///
+/// # Panics
+///
+/// See [`execute`].
+pub fn execute_with(spec: &JobSpec, options: ExecOptions) -> JobOutcome {
     let scenario = Scenario::build(spec.scenario, spec.seed);
     match &spec.kind {
         JobKind::Probe { plan, keep_trace } => {
-            let trace = run(&scenario, plan);
-            JobOutcome::Probe(probe_outcome(&trace, *keep_trace))
+            if *keep_trace || options.record_traces {
+                let trace = run(&scenario, plan);
+                JobOutcome::Probe(probe_outcome(&trace, *keep_trace))
+            } else {
+                let mut metrics = MetricsObserver::new();
+                scenario
+                    .run_with(plan.to_rate_plan(), &mut metrics)
+                    .expect("fleet plans are validated at build time");
+                JobOutcome::Probe(probe_from_summary(&metrics.summary()))
+            }
         }
-        JobKind::MinSafeFpr { candidates } => {
-            JobOutcome::MinSafeFpr(min_safe_fpr(&scenario, candidates))
-        }
+        JobKind::MinSafeFpr { candidates } => JobOutcome::MinSafeFpr(min_safe_fpr_with(
+            &scenario,
+            candidates,
+            options.record_traces,
+        )),
         JobKind::Analyze {
             plan,
             predictor,
@@ -69,6 +108,17 @@ fn probe_outcome(trace: &Trace, keep_trace: bool) -> ProbeOutcome {
         min_clearance: trace.min_clearance(),
         duration: trace.duration(),
         trace_csv: keep_trace.then(|| trace_to_csv(trace)),
+    }
+}
+
+fn probe_from_summary(summary: &RunSummary) -> ProbeOutcome {
+    ProbeOutcome {
+        collided: summary.collided(),
+        collision_time: summary.collision.map(|(t, _)| t),
+        collision_actor: summary.collision.map(|(_, a)| a),
+        min_clearance: summary.min_clearance,
+        duration: summary.duration,
+        trace_csv: None,
     }
 }
 

@@ -20,7 +20,10 @@
 //!   localization of the safety boundary plus a memoized verification of
 //!   every higher rate, answering exactly like the old brute-force scans
 //!   while skipping the candidates below the boundary;
-//! - [`exec`] — pure job execution (the function the pool parallelizes);
+//! - [`exec`] — pure job execution (the function the pool parallelizes),
+//!   metrics-only by default: probes and MSF searches stream through
+//!   `av-sim`'s `MetricsObserver` and never store a scene, recording full
+//!   traces only for jobs that export or analyze them;
 //! - [`store`] — the merged [`store::ResultStore`]: percentile
 //!   aggregation per scenario, aligned tables and CSV via
 //!   [`zhuyi_bench::Table`], JSON, and full-trace export via
@@ -57,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod exec;
 pub mod job;
 pub mod plan;
@@ -64,20 +68,30 @@ pub mod pool;
 pub mod search;
 pub mod store;
 
+pub use exec::ExecOptions;
 pub use job::{JobId, JobKind, JobSpec, PredictorChoice, RateSpec, SweepJob};
 pub use plan::{SweepPlan, SweepPlanBuilder};
-pub use search::{min_safe_fpr, MsfSearch};
+pub use search::{min_safe_fpr, min_safe_fpr_with, MsfSearch};
 pub use store::{JobOutcome, JobResult, ResultStore, ScenarioSummary};
 
 /// Runs every job of `plan` on `workers` threads and merges the results
-/// into an id-ordered [`ResultStore`].
+/// into an id-ordered [`ResultStore`]. Execution is metrics-only wherever
+/// the outcome allows it (see [`exec`]).
 ///
 /// The output is identical for any `workers >= 1`; see the crate docs'
 /// determinism section.
 pub fn run_sweep(plan: &SweepPlan, workers: usize) -> ResultStore {
-    let results = pool::run_indexed(plan.jobs().to_vec(), workers, |job| JobResult {
+    run_sweep_with(plan, workers, ExecOptions::default())
+}
+
+/// [`run_sweep`] under explicit [`ExecOptions`] — e.g. `record_traces` to
+/// force the classic full-trace path for every job (identical results,
+/// higher cost; the baseline the `perf_baseline` benchmark measures
+/// against).
+pub fn run_sweep_with(plan: &SweepPlan, workers: usize, options: ExecOptions) -> ResultStore {
+    let results = pool::run_indexed(plan.jobs().to_vec(), workers, move |job| JobResult {
         job: job.clone(),
-        outcome: exec::execute(&job.spec),
+        outcome: exec::execute_with(&job.spec, options),
     });
     ResultStore::new(results)
 }

@@ -74,6 +74,7 @@ struct Probe<'a> {
     candidates: &'a [u32],
     evals: Vec<Option<bool>>,
     sims_run: u32,
+    record_traces: bool,
 }
 
 impl Probe<'_> {
@@ -82,10 +83,17 @@ impl Probe<'_> {
             return known;
         }
         self.sims_run += 1;
-        let safe = !self
-            .scenario
-            .run_at(Fpr(f64::from(self.candidates[index])))
-            .collided();
+        let fpr = Fpr(f64::from(self.candidates[index]));
+        // Only the collision bit is consulted, so the default probe runs
+        // streaming under a NullObserver (nothing recorded, nothing
+        // folded); `record_traces` forces the classic full-trace path
+        // (the equivalence baseline, and what `--record-traces` sweeps
+        // use).
+        let safe = if self.record_traces {
+            !self.scenario.run_at(fpr).collided()
+        } else {
+            !self.scenario.collides_at(fpr)
+        };
         self.evals[index] = Some(safe);
         safe
     }
@@ -96,7 +104,8 @@ impl Probe<'_> {
 /// also collision-free** — the same answer as running the whole grid
 /// through [`av_scenarios::catalog::minimum_required_fpr`], usually in
 /// fewer simulations (see the module docs for why the upper candidates
-/// must all be checked).
+/// must all be checked). Probes are metrics-only (streaming, zero stored
+/// scenes); see [`min_safe_fpr_with`] to force trace-recording probes.
 ///
 /// Returns [`Mrf::BelowMinimumTested`] when every candidate is safe (the
 /// probe cannot distinguish rates below the grid floor), and
@@ -106,6 +115,22 @@ impl Probe<'_> {
 ///
 /// Panics if `candidates` is empty or not strictly ascending.
 pub fn min_safe_fpr(scenario: &Scenario, candidates: &[u32]) -> MsfSearch {
+    min_safe_fpr_with(scenario, candidates, false)
+}
+
+/// [`min_safe_fpr`] with an explicit probe backend: `record_traces =
+/// false` streams metrics only (the default fast path), `true` records a
+/// full trace per probe (the classic path). Both backends simulate the
+/// identical closed loop and return identical answers.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or not strictly ascending.
+pub fn min_safe_fpr_with(
+    scenario: &Scenario,
+    candidates: &[u32],
+    record_traces: bool,
+) -> MsfSearch {
     assert!(!candidates.is_empty(), "empty candidate grid");
     assert!(
         candidates.windows(2).all(|w| w[0] < w[1]),
@@ -118,6 +143,7 @@ pub fn min_safe_fpr(scenario: &Scenario, candidates: &[u32]) -> MsfSearch {
         candidates,
         evals: vec![None; n],
         sims_run: 0,
+        record_traces,
     };
 
     // Phase 1 — binary localization: the first-safe index under a
@@ -214,6 +240,20 @@ mod tests {
         );
         // And never more than the scan, anywhere.
         assert!(result.sims_run <= result.grid_size);
+    }
+
+    #[test]
+    fn streaming_and_recorded_probes_agree() {
+        let grid = [1u32, 4, 30];
+        for (id, seed) in [
+            (ScenarioId::CutOut, 0u64),
+            (ScenarioId::ChallengingCutInCurved, 6),
+        ] {
+            let scenario = Scenario::build(id, seed);
+            let streaming = min_safe_fpr_with(&scenario, &grid, false);
+            let recorded = min_safe_fpr_with(&scenario, &grid, true);
+            assert_eq!(streaming, recorded, "{id} seed {seed}: backends diverged");
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! minimum-safe-FPR driver must agree with the exhaustive grid scan.
 
 use av_scenarios::catalog::{minimum_required_fpr, ScenarioId};
-use zhuyi_fleet::{run_sweep, JobOutcome, PredictorChoice, ResultStore, SweepPlan};
+use zhuyi_fleet::{
+    run_sweep, run_sweep_with, ExecOptions, JobOutcome, PredictorChoice, ResultStore, SweepPlan,
+};
 
 /// Three scenarios spanning the corpus: one that collides at low rates
 /// (Cut-out), one benign highway case (Vehicle following), one with side
@@ -70,6 +72,45 @@ fn binary_search_agrees_with_exhaustive_scan_across_seeds() {
             result.job.spec.scenario, result.job.spec.seed
         );
         assert!(search.sims_run <= search.grid_size);
+    }
+}
+
+#[test]
+fn metrics_only_sweep_matches_trace_recording_sweep() {
+    // The streaming fast path is an optimization, not a different
+    // experiment: a metrics-only sweep must export the same CSV rows and
+    // JSON document, and answer every MsfSearch identically, as the same
+    // sweep forced down the classic full-trace path.
+    let plan = SweepPlan::builder()
+        .scenarios(SCENARIOS)
+        .jittered_variants(2)
+        .probe(4.0, false)
+        .min_safe_fpr(vec![1, 4, 30])
+        .build();
+    let streaming = run_sweep_with(&plan, 2, ExecOptions::default());
+    let recorded = run_sweep_with(
+        &plan,
+        2,
+        ExecOptions {
+            record_traces: true,
+        },
+    );
+    assert_eq!(
+        streaming.to_csv(),
+        recorded.to_csv(),
+        "CSV rows diverged between streaming and trace-recording sweeps"
+    );
+    assert_eq!(
+        streaming.to_json(),
+        recorded.to_json(),
+        "JSON export diverged between streaming and trace-recording sweeps"
+    );
+    for (a, b) in streaming.results().iter().zip(recorded.results()) {
+        if let (JobOutcome::MinSafeFpr(fast), JobOutcome::MinSafeFpr(slow)) =
+            (&a.outcome, &b.outcome)
+        {
+            assert_eq!(fast, slow, "{}: MsfSearch diverged", a.job.id);
+        }
     }
 }
 

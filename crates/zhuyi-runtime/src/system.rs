@@ -13,6 +13,7 @@ use av_core::prelude::*;
 use av_core::scene::Scene;
 use av_prediction::predictor::TrajectoryPredictor;
 use av_sim::engine::{Simulation, StepOutcome};
+use av_sim::observer::TraceRecorder;
 use av_sim::trace::Trace;
 use serde::{Deserialize, Serialize};
 use zhuyi::config::ConfigError;
@@ -141,6 +142,7 @@ pub fn drive(
     predictor: &dyn TrajectoryPredictor,
 ) -> (Trace, Vec<RuntimeDecision>) {
     let mut decisions = Vec::new();
+    let mut recorder = TraceRecorder::new(sim.config().dt);
     let period = runtime.config().control_period.value().max(1e-3);
     let mut next_control = 0.0;
     loop {
@@ -148,12 +150,12 @@ pub fn drive(
             decisions.push(runtime.control_step(&mut sim, predictor));
             next_control = sim.time().value() + period;
         }
-        match sim.step() {
+        match sim.step_with(&mut recorder) {
             StepOutcome::Running => continue,
             StepOutcome::Collided | StepOutcome::Finished => break,
         }
     }
-    (sim.trace().clone(), decisions)
+    (recorder.into_trace(), decisions)
 }
 
 #[cfg(test)]
