@@ -275,10 +275,42 @@ impl OrientedRect {
     /// `true` when the segment `a`-`b` touches the rectangle — the
     /// line-of-sight test behind the perception occlusion model.
     pub fn intersects_segment(&self, a: Vec2, b: Vec2) -> bool {
-        // Work in the rectangle's local frame, reducing to a segment/AABB
-        // slab test. One sin/cos evaluation covers both endpoints.
+        self.prepared().intersects_segment(a, b)
+    }
+
+    /// Precomputes the local-frame rotation terms, so callers that test
+    /// many segments against the same rectangle (the per-tick occlusion
+    /// sweep) pay the sin/cos once instead of per test.
+    pub fn prepared(&self) -> PreparedRect {
         let angle = -self.heading;
-        let (s, c) = (angle.sin(), angle.cos());
+        PreparedRect {
+            center: self.center,
+            half_length: self.half_length,
+            half_width: self.half_width,
+            sin: angle.sin(),
+            cos: angle.cos(),
+        }
+    }
+}
+
+/// An [`OrientedRect`] with its local-frame rotation precomputed (see
+/// [`OrientedRect::prepared`]); its segment test is bit-identical to
+/// [`OrientedRect::intersects_segment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedRect {
+    center: Vec2,
+    half_length: f64,
+    half_width: f64,
+    sin: f64,
+    cos: f64,
+}
+
+impl PreparedRect {
+    /// `true` when the segment `a`-`b` touches the rectangle — the same
+    /// segment/AABB slab test as [`OrientedRect::intersects_segment`],
+    /// with the rotation terms read from the cache.
+    pub fn intersects_segment(&self, a: Vec2, b: Vec2) -> bool {
+        let (s, c) = (self.sin, self.cos);
         let rot = |v: Vec2| Vec2::new(v.x * c - v.y * s, v.x * s + v.y * c);
         let la = rot(a - self.center);
         let lb = rot(b - self.center);

@@ -46,9 +46,9 @@ pub mod units;
 /// let _ = Meters(1.0) + Meters(2.0);
 /// ```
 pub mod prelude {
-    pub use crate::geometry::{OrientedRect, Vec2};
-    pub use crate::path::{FrenetPose, Path, PathFrame, PathPose};
-    pub use crate::scene::Scene;
+    pub use crate::geometry::{OrientedRect, PreparedRect, Vec2};
+    pub use crate::path::{FrenetPose, Path, PathFrame, PathPose, ProjectionHint};
+    pub use crate::scene::{Scene, SceneColumns};
     pub use crate::state::{
         distance_speed_after, ActorId, ActorKind, Agent, Dimensions, VehicleState,
     };

@@ -11,6 +11,10 @@ use crate::units::{Meters, Radians};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Block size of the pruned fallback scan; polylines at most twice this
+/// long are scanned exhaustively (and get no spatial grid).
+const PRUNE_BLOCK: usize = 16;
+
 /// Error constructing a [`Path`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PathError {
@@ -91,6 +95,202 @@ struct ArcIndex {
     seg_angle: f64,
 }
 
+/// A caller-owned memo of the last winning projection segment, exploiting
+/// temporal coherence: a tracked vehicle moves a fraction of a segment per
+/// tick, so last tick's winner tightly bounds this tick's search.
+///
+/// [`Path::project_with_hint`] reads the hint to seed its pruning bound
+/// and rewrites it with the new winner. The hint **never** changes the
+/// answer — a stale or wrong hint (even one from a different path) only
+/// widens the certified search window; the returned pose is bit-identical
+/// to [`Path::project`] for every input. `Default` is the empty hint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectionHint {
+    /// Last winning segment index, if any (`u32::MAX` is never produced).
+    seg: Option<u32>,
+}
+
+/// Construction-time uniform spatial grid over a dense polyline's
+/// vertices, making generic (non-arc) centerline projection O(1) like the
+/// arc-indexed fast path.
+///
+/// Each cell stores the inclusive *index hull* `[lo, hi]` of the vertices
+/// it contains. A query (a) finds a nearby vertex by expanding ring
+/// search for a distance upper bound, (b) collects the vertex-index hull
+/// of every cell intersecting the certified disk (bound + longest chord),
+/// and (c) exactly scans that contiguous segment range — ascending, with
+/// the same strict-improvement rule as the classic full scan, so the
+/// result is bit-identical. On self-approaching polylines the hull may
+/// widen toward a full scan; it never loses the winner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SegmentGrid {
+    /// Grid origin (bounding-box minimum corner).
+    origin: Vec2,
+    /// Cell edge length.
+    cell: f64,
+    /// Cells along x.
+    nx: u32,
+    /// Cells along y.
+    ny: u32,
+    /// Per-cell minimum vertex index (`u32::MAX` marks an empty cell).
+    hull_lo: Vec<u32>,
+    /// Per-cell maximum vertex index (unused when the cell is empty).
+    hull_hi: Vec<u32>,
+    /// Longest segment chord length (certification margin: any point of a
+    /// segment lies within this of both its endpoints).
+    max_seg: f64,
+}
+
+impl SegmentGrid {
+    /// Builds the grid over `points`; `cum_s` supplies chord lengths.
+    fn build(points: &[Vec2], cum_s: &[f64]) -> Self {
+        let n = points.len();
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let max_seg = (1..n)
+            .map(|i| cum_s[i] - cum_s[i - 1])
+            .fold(0.0f64, f64::max);
+        // Cell edge ~4 average chords keeps a handful of vertices per
+        // occupied cell; grow it until the grid is at most ~4 cells per
+        // vertex so memory stays proportional to the path.
+        let avg_seg = cum_s[n - 1] / (n - 1) as f64;
+        let mut cell = (avg_seg * 4.0).max(1e-6);
+        let dims = |cell: f64| {
+            let nx = ((max_x - min_x) / cell).floor() as u64 + 1;
+            let ny = ((max_y - min_y) / cell).floor() as u64 + 1;
+            (nx, ny)
+        };
+        let mut guard = 0;
+        while {
+            let (nx, ny) = dims(cell);
+            nx * ny > (4 * n as u64).max(64)
+        } {
+            cell *= 2.0;
+            guard += 1;
+            assert!(guard < 64, "segment grid sizing failed to converge");
+        }
+        let (nx, ny) = dims(cell);
+        let (nx, ny) = (nx as u32, ny as u32);
+        let cells = (nx as usize) * (ny as usize);
+        let origin = Vec2::new(min_x, min_y);
+        let mut hull_lo = vec![u32::MAX; cells];
+        let mut hull_hi = vec![0u32; cells];
+        for (i, p) in points.iter().enumerate() {
+            let ix = (((p.x - origin.x) / cell) as u32).min(nx - 1);
+            let iy = (((p.y - origin.y) / cell) as u32).min(ny - 1);
+            let idx = (iy * nx + ix) as usize;
+            let i = i as u32;
+            hull_lo[idx] = hull_lo[idx].min(i);
+            hull_hi[idx] = hull_hi[idx].max(i);
+        }
+        Self {
+            origin,
+            cell,
+            nx,
+            ny,
+            hull_lo,
+            hull_hi,
+            max_seg,
+        }
+    }
+
+    /// Folds one cell's sampled vertices (its hull endpoints) into the
+    /// running squared-distance bound.
+    #[inline]
+    fn sample_cell(&self, ix: u32, iy: u32, point: Vec2, points: &[Vec2], best_sq: &mut f64) {
+        let idx = (iy * self.nx + ix) as usize;
+        let lo = self.hull_lo[idx];
+        if lo == u32::MAX {
+            return;
+        }
+        let hi = self.hull_hi[idx];
+        let d_lo = (point - points[lo as usize]).norm_sq();
+        let d_hi = (point - points[hi as usize]).norm_sq();
+        *best_sq = best_sq.min(d_lo).min(d_hi);
+    }
+
+    /// An upper bound on the distance from `point` to the nearest polyline
+    /// vertex, by expanding ring search from the point's (clamped) cell.
+    /// Sound for points outside the grid too: clamping is a projection
+    /// onto the grid's convex hull, which never shortens distances to
+    /// cells, so the `(ring − 1) · cell` termination bound still holds.
+    fn vertex_bound(&self, point: Vec2, points: &[Vec2]) -> f64 {
+        let cx = (((point.x - self.origin.x) / self.cell).floor().max(0.0) as u32).min(self.nx - 1);
+        let cy = (((point.y - self.origin.y) / self.cell).floor().max(0.0) as u32).min(self.ny - 1);
+        let mut best_sq = f64::INFINITY;
+        let max_r = self.nx.max(self.ny) as i64;
+        for r in 0..=max_r {
+            if best_sq.is_finite() {
+                let floor = (r - 1).max(0) as f64 * self.cell;
+                if floor * floor > best_sq {
+                    break;
+                }
+            }
+            let (cx, cy) = (cx as i64, cy as i64);
+            let (x0, x1) = (cx - r, cx + r);
+            let (y0, y1) = (cy - r, cy + r);
+            let clamp_x = |x: i64| x >= 0 && x < self.nx as i64;
+            let clamp_y = |y: i64| y >= 0 && y < self.ny as i64;
+            // Top and bottom rows of the ring, then the side columns.
+            for y in [y0, y1] {
+                if clamp_y(y) && (y == y0 || y0 != y1) {
+                    for x in x0.max(0)..=x1.min(self.nx as i64 - 1) {
+                        self.sample_cell(x as u32, y as u32, point, points, &mut best_sq);
+                    }
+                }
+            }
+            for x in [x0, x1] {
+                if clamp_x(x) && (x == x0 || x0 != x1) {
+                    for y in (y0 + 1).max(0)..=(y1 - 1).min(self.ny as i64 - 1) {
+                        self.sample_cell(x as u32, y as u32, point, points, &mut best_sq);
+                    }
+                }
+            }
+        }
+        best_sq.sqrt()
+    }
+
+    /// The inclusive vertex-index hull over every cell intersecting the
+    /// axis-aligned box of half-width `bound` around `point`; `None` when
+    /// every such cell is empty.
+    fn hull_within(&self, point: Vec2, bound: f64) -> Option<(usize, usize)> {
+        let x0 = (((point.x - bound - self.origin.x) / self.cell)
+            .floor()
+            .max(0.0) as u32)
+            .min(self.nx - 1);
+        let x1 = (((point.x + bound - self.origin.x) / self.cell)
+            .floor()
+            .max(0.0) as u32)
+            .min(self.nx - 1);
+        let y0 = (((point.y - bound - self.origin.y) / self.cell)
+            .floor()
+            .max(0.0) as u32)
+            .min(self.ny - 1);
+        let y1 = (((point.y + bound - self.origin.y) / self.cell)
+            .floor()
+            .max(0.0) as u32)
+            .min(self.ny - 1);
+        let (mut lo, mut hi) = (u32::MAX, 0u32);
+        for iy in y0..=y1 {
+            let row = (iy * self.nx) as usize;
+            for idx in row + x0 as usize..=row + x1 as usize {
+                let cell_lo = self.hull_lo[idx];
+                if cell_lo != u32::MAX {
+                    lo = lo.min(cell_lo);
+                    hi = hi.max(self.hull_hi[idx]);
+                }
+            }
+        }
+        (lo != u32::MAX).then_some((lo as usize, hi as usize))
+    }
+}
+
 /// An arc-length-parameterized polyline used as a road centerline or a lane
 /// centerline.
 ///
@@ -127,6 +327,10 @@ pub struct Path {
     /// Set when the polyline samples a circular arc; accelerates
     /// projection from O(segments) to O(1) + a tiny verified window.
     arc: Option<ArcIndex>,
+    /// Construction-time spatial grid over the vertices, built for dense
+    /// generic polylines (arc-sampled paths use [`ArcIndex`] instead);
+    /// accelerates projection to O(1) + a certified window.
+    grid: Option<SegmentGrid>,
 }
 
 impl Path {
@@ -157,6 +361,8 @@ impl Path {
             seg_heading.push(heading);
             seg_left.push(Vec2::from_heading(heading).perp());
         }
+        let grid =
+            (points.len() - 1 > 2 * PRUNE_BLOCK).then(|| SegmentGrid::build(&points, &cum_s));
         Ok(Self {
             points,
             cum_s,
@@ -164,6 +370,7 @@ impl Path {
             seg_heading,
             seg_left,
             arc: None,
+            grid,
         })
     }
 
@@ -256,6 +463,29 @@ impl Path {
         }
     }
 
+    /// [`Path::segment_at`] by short neighbor walk from a previous
+    /// segment index (temporal coherence), falling back to the binary
+    /// search when the start is missing or far. For interior `s` the
+    /// segment index is the unique `i` with `cum_s[i] <= s < cum_s[i+1]`
+    /// — exactly what the binary search computes — so the walk returns
+    /// the identical index for every start.
+    fn segment_at_walked(&self, s: f64, start: Option<u32>) -> usize {
+        let Some(start) = start else {
+            return self.segment_at(s);
+        };
+        let mut i = (start as usize).min(self.points.len() - 2);
+        for _ in 0..8 {
+            if s < self.cum_s[i] {
+                i -= 1;
+            } else if s >= self.cum_s[i + 1] {
+                i += 1;
+            } else {
+                return i;
+            }
+        }
+        self.segment_at(s)
+    }
+
     /// World pose at arc length `s`, extrapolating along the end tangents
     /// outside `[0, length]`.
     pub fn pose_at(&self, s: Meters) -> PathPose {
@@ -270,6 +500,20 @@ impl Path {
     /// frame, with every trig term precomputed at construction. The hot
     /// form of [`Path::pose_at`] for per-tick Frenet-to-world conversion.
     pub fn frame_at(&self, s: Meters) -> PathFrame {
+        self.frame_at_impl(s, None)
+    }
+
+    /// [`Path::frame_at`] seeded by (and refreshing) a caller-owned
+    /// [`ProjectionHint`]: a vehicle's arc-length position moves a
+    /// fraction of a segment per tick, so a short walk from last tick's
+    /// segment replaces the binary search on dense polylines. The
+    /// returned frame is bit-identical to [`Path::frame_at`] for every
+    /// hint state.
+    pub fn frame_at_hinted(&self, s: Meters, hint: &mut ProjectionHint) -> PathFrame {
+        self.frame_at_impl(s, Some(hint))
+    }
+
+    fn frame_at_impl(&self, s: Meters, hint: Option<&mut ProjectionHint>) -> PathFrame {
         let s = s.value();
         let n = self.points.len();
         if s <= 0.0 {
@@ -287,7 +531,14 @@ impl Path {
                 left: self.seg_left[n - 2],
             };
         }
-        let i = self.segment_at(s);
+        let i = match hint {
+            Some(hint) => {
+                let i = self.segment_at_walked(s, hint.seg);
+                hint.seg = Some(i as u32);
+                i
+            }
+            None => self.segment_at(s),
+        };
         let seg_len = self.cum_s[i + 1] - self.cum_s[i];
         let t = (s - self.cum_s[i]) / seg_len;
         PathFrame {
@@ -338,29 +589,152 @@ impl Path {
     /// Points beyond the ends project onto the extrapolated end tangents
     /// (yielding `s < 0` or `s > length`).
     ///
-    /// Dense polylines (the sampled arc roads) are searched with a
-    /// block-pruned scan: a coarse pass lower-bounds each block of
-    /// segments by sampled-vertex distance minus block arc span (arc
-    /// length bounds chord length, so the bound is sound for any
-    /// polyline), and only blocks that could beat the running best are
-    /// scanned exactly. Terminal blocks are always scanned because their
-    /// segments extrapolate. Blocks are visited in ascending order with
-    /// strict-improvement updates, so the winning segment — and therefore
-    /// the returned pose, bit for bit — matches the classic full scan.
+    /// Dense polylines take one of two fast paths, both returning results
+    /// bit-identical to the classic exhaustive segment scan (pinned by the
+    /// oracle test in this module): arc-sampled paths jump via the
+    /// [`Path::arc`] circle index, generic dense polylines via the
+    /// construction-time vertex grid ([`Path::project_with_hint`] explains
+    /// the certification). Anything else falls back to a block-pruned
+    /// scan.
+    ///
+    /// ```
+    /// use av_core::geometry::Vec2;
+    /// use av_core::path::Path;
+    /// use av_core::units::{Meters, Radians};
+    ///
+    /// // A dense sine-wave centerline: projection is grid-accelerated.
+    /// let path = Path::from_points(
+    ///     (0..300)
+    ///         .map(|i| Vec2::new(i as f64, (i as f64 * 0.1).sin() * 10.0))
+    ///         .collect(),
+    /// )
+    /// .expect("valid polyline");
+    /// let pose = path.project(Vec2::new(150.2, 3.0));
+    /// // s advances along the wave; d is the signed lateral offset.
+    /// assert!(pose.s.value() > 140.0);
+    /// assert!(pose.d.value().abs() < 15.0);
+    /// ```
     pub fn project(&self, point: Vec2) -> FrenetPose {
+        self.project_impl(point, None)
+    }
+
+    /// [`Path::project`] seeded by (and refreshing) a caller-owned
+    /// [`ProjectionHint`] — the temporal-coherence fast path for callers
+    /// that re-project slowly moving points every tick, like the planner
+    /// projecting each tracked vehicle into road coordinates.
+    ///
+    /// The hinted segment's distance upper-bounds the optimum, certifying
+    /// a (usually tiny) candidate window around it; the window is scanned
+    /// exactly, in ascending order with the full scan's strict-improvement
+    /// rule. The answer is therefore **bit-identical to [`Path::project`]
+    /// for every hint state** — a stale hint only costs speed.
+    pub fn project_with_hint(&self, point: Vec2, hint: &mut ProjectionHint) -> FrenetPose {
+        self.project_impl(point, Some(hint))
+    }
+
+    fn project_impl(&self, point: Vec2, hint: Option<&mut ProjectionHint>) -> FrenetPose {
+        let nseg = self.points.len() - 1;
+        let pose = 'found: {
+            if nseg <= 2 * PRUNE_BLOCK {
+                let mut best_d2 = f64::INFINITY;
+                let mut best = FrenetPose::default();
+                self.project_segments(point, 0, nseg, &mut best_d2, &mut best);
+                break 'found best;
+            }
+            // A valid hint replaces the grid's ring search (and, on arc
+            // paths, the whole azimuth-indexed machinery): the distance to
+            // the hinted segment is already an upper bound on the optimum.
+            let seed = hint.as_ref().and_then(|h| h.seg).map(|h| {
+                let h = (h as usize).min(nseg - 1);
+                let mut d2 = f64::INFINITY;
+                let mut scratch = FrenetPose::default();
+                self.project_segments(point, h, h + 1, &mut d2, &mut scratch);
+                d2.sqrt()
+            });
+            if let Some(grid) = &self.grid {
+                if seed.is_some() {
+                    break 'found self.project_grid(point, grid, seed);
+                }
+            }
+            if let Some(arc) = self.arc {
+                if let Some(pose) = self.project_arc(point, &arc) {
+                    break 'found pose;
+                }
+            }
+            if let Some(grid) = &self.grid {
+                break 'found self.project_grid(point, grid, seed);
+            }
+            self.project_pruned(point)
+        };
+        if let Some(hint) = hint {
+            // Remember the winning segment (derived from the winning arc
+            // length; queries beyond the ends clamp to the terminals).
+            let s = pose.s.value();
+            let seg = if s <= 0.0 {
+                0
+            } else if s >= *self.cum_s.last().expect("nonempty") {
+                nseg - 1
+            } else {
+                self.segment_at_walked(s, hint.seg)
+            };
+            hint.seg = Some(seg as u32);
+        }
+        pose
+    }
+
+    /// Grid-accelerated exact projection: certify a candidate vertex hull
+    /// from a distance upper bound (`seed` if the caller has one, else a
+    /// ring search), then scan `{first} ∪ hull ∪ {last}` ascending with
+    /// strict improvement — the full scan's visit discipline over a
+    /// certified superset of every segment that could win.
+    fn project_grid(&self, point: Vec2, grid: &SegmentGrid, seed: Option<f64>) -> FrenetPose {
+        let nseg = self.points.len() - 1;
+        let upper = seed.unwrap_or_else(|| grid.vertex_bound(point, &self.points));
+        // Any segment that could win has a point within `upper` of the
+        // query, hence a vertex within `upper + max_seg`; the margin
+        // absorbs the rounding of the distance arithmetic.
+        let bound = upper + grid.max_seg + 1e-6;
         let mut best_d2 = f64::INFINITY;
         let mut best = FrenetPose::default();
-        let nseg = self.points.len() - 1;
-        const BLOCK: usize = 16;
-        if nseg <= 2 * BLOCK {
-            self.project_segments(point, 0, nseg, &mut best_d2, &mut best);
-            return best;
-        }
-        if let Some(arc) = self.arc {
-            if let Some(pose) = self.project_arc(point, &arc) {
-                return pose;
+        match grid.hull_within(point, bound) {
+            Some((mut lo_v, mut hi_v)) => {
+                // The cell hull is coarse (whole cells); shrink it to the
+                // vertices actually inside the certified disk before the
+                // exact scan — still a superset of every vertex within
+                // `bound`, so the certification argument is unchanged.
+                let b2 = bound * bound;
+                while lo_v < hi_v && (point - self.points[lo_v]).norm_sq() > b2 {
+                    lo_v += 1;
+                }
+                while hi_v > lo_v && (point - self.points[hi_v]).norm_sq() > b2 {
+                    hi_v -= 1;
+                }
+                let (lo, hi) = (lo_v.saturating_sub(1), hi_v.min(nseg - 1) + 1);
+                if lo > 0 {
+                    self.project_segments(point, 0, 1, &mut best_d2, &mut best);
+                }
+                self.project_segments(point, lo, hi, &mut best_d2, &mut best);
+                if hi < nseg {
+                    self.project_segments(point, nseg - 1, nseg, &mut best_d2, &mut best);
+                }
+            }
+            // No vertex near the query (possible only with a seeded bound,
+            // from an extrapolating terminal hint): only the terminal
+            // segments, which extrapolate, can win. Scan both.
+            None => {
+                self.project_segments(point, 0, 1, &mut best_d2, &mut best);
+                self.project_segments(point, nseg - 1, nseg, &mut best_d2, &mut best);
             }
         }
+        best
+    }
+
+    /// The block-pruned fallback scan for paths with neither an arc index
+    /// nor a vertex grid.
+    fn project_pruned(&self, point: Vec2) -> FrenetPose {
+        let mut best_d2 = f64::INFINITY;
+        let mut best = FrenetPose::default();
+        const BLOCK: usize = PRUNE_BLOCK;
         // Coarse pass over blocks of BLOCK segments: squared distances to
         // the block-boundary vertices only, no square roots, no
         // allocation. `best_d` mirrors sqrt(best_d2), refreshed only on
@@ -687,6 +1061,90 @@ mod tests {
                 assert_eq!(path.project(point), full_scan(path, point));
             }
         }
+    }
+
+    #[test]
+    fn hinted_projection_is_bit_identical_for_any_hint() {
+        // Dense arc, dense sine wave (grid path), and a short path: the
+        // hinted projection must equal the plain one under a coherent
+        // hint, a stale hint, an adversarial hint, and an empty hint.
+        let paths = [
+            Path::arc(
+                Vec2::ZERO,
+                Radians(0.0),
+                Meters(400.0),
+                Meters(1500.0),
+                Meters(2.0),
+            ),
+            Path::from_points(
+                (0..400)
+                    .map(|i| Vec2::new(i as f64, (i as f64 * 0.12).sin() * 25.0))
+                    .collect(),
+            )
+            .expect("valid polyline"),
+            Path::straight(Vec2::ZERO, Radians(0.3), Meters(100.0)),
+        ];
+        for path in &paths {
+            let length = path.length().value();
+            // Temporal coherence: a point crawling along the path with a
+            // persistent hint.
+            let mut hint = ProjectionHint::default();
+            for i in 0..600 {
+                let s = length * (i as f64 / 599.0) * 1.3 - 0.15 * length;
+                let lateral = ((i % 13) as f64 - 6.0) * 1.5;
+                let base = path.pose_at(Meters(s));
+                let left = Vec2::from_heading(base.heading).perp();
+                let point = base.position + left * lateral;
+                assert_eq!(
+                    path.project_with_hint(point, &mut hint),
+                    path.project(point),
+                    "coherent hint diverged at i={i}"
+                );
+            }
+            // Adversarial hints: every segment index (including an
+            // out-of-range one) against a fixed set of queries.
+            let nseg = path.points().len() - 1;
+            let queries = [
+                Vec2::new(-50.0, 7.0),
+                path.pose_at(Meters(length * 0.7)).position + Vec2::new(3.0, -40.0),
+                path.pose_at(Meters(length * 2.0)).position,
+                Vec2::ZERO,
+            ];
+            for &point in &queries {
+                let expected = path.project(point);
+                for seg in (0..nseg.min(64)).chain([nseg.saturating_sub(1), nseg, nseg + 1000]) {
+                    let mut hint = ProjectionHint {
+                        seg: Some(seg as u32),
+                    };
+                    assert_eq!(
+                        path.project_with_hint(point, &mut hint),
+                        expected,
+                        "hint seg {seg} diverged on {point}"
+                    );
+                    // The refreshed hint is a real segment.
+                    assert!(hint.seg.is_some_and(|s| (s as usize) < nseg));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_built_only_for_dense_polylines() {
+        let short = Path::straight(Vec2::ZERO, Radians(0.0), Meters(10.0));
+        assert!(short.grid.is_none(), "2-point path needs no grid");
+        let arc = Path::arc(
+            Vec2::ZERO,
+            Radians(0.0),
+            Meters(100.0),
+            Meters(300.0),
+            Meters(1.0),
+        );
+        // Arc paths carry both: the arc index answers cold queries, the
+        // grid answers hint-seeded ones.
+        assert!(arc.arc.is_some() && arc.grid.is_some());
+        let dense = Path::from_points((0..100).map(|i| Vec2::new(i as f64, 0.0)).collect())
+            .expect("valid polyline");
+        assert!(dense.grid.is_some(), "dense generic polyline gets a grid");
     }
 
     #[test]

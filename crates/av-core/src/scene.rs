@@ -3,9 +3,24 @@
 //! A recorded scenario trace is a time-ordered sequence of [`Scene`]s; the
 //! Zhuyi pipeline walks that sequence, and the online system builds the same
 //! snapshot from the perceived world model.
+//!
+//! Two layouts describe the same snapshot:
+//!
+//! - [`Scene`] is the array-of-structs (AoS) form — one [`Agent`] per
+//!   actor. It is what traces record, what serialization sees, and what
+//!   any consumer that wants whole agents reads.
+//! - [`SceneColumns`] is the struct-of-arrays (SoA) form — parallel
+//!   position/heading/speed/accel/dims columns. It is what the simulation
+//!   hot loop rebuilds in place every tick, so that perception visibility,
+//!   the bounding-circle collision prefilter and streaming metric folds
+//!   sweep contiguous memory instead of striding through whole agents.
+//!
+//! Conversion between the two is lossless in both directions (pinned by a
+//! proptest round-trip in `tests/proptests.rs`).
 
-use crate::state::{ActorId, Agent};
-use crate::units::Seconds;
+use crate::geometry::Vec2;
+use crate::state::{ActorId, ActorKind, Agent, Dimensions};
+use crate::units::{MetersPerSecond, MetersPerSecondSquared, Radians, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// The ego and every actor at one instant of scenario time.
@@ -46,6 +61,207 @@ impl Scene {
     }
 }
 
+/// The struct-of-arrays form of a [`Scene`]: the ego as one [`Agent`] and
+/// every actor split into parallel columns.
+///
+/// All columns always have the same length (one entry per actor, in the
+/// same order the AoS scene stores them); the accessors below return
+/// plain slices so hot loops can sweep a single field — every actor
+/// position, say — as contiguous memory. The fields are private precisely
+/// to protect that same-length invariant: actors enter through
+/// [`SceneColumns::push_actor`] or [`SceneColumns::fill_from_scene`] only.
+///
+/// Conversion to and from [`Scene`] is lossless: `Agent`s are decomposed
+/// field-by-field and reassembled bit-for-bit.
+///
+/// Deserialization trusts its input: a hand-crafted serialized form with
+/// unequal column lengths would violate the invariant the constructors
+/// protect (a validating deserializer belongs with any move to real
+/// serde — the in-workspace shim generates no deserialization code).
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_core::scene::{Scene, SceneColumns};
+///
+/// let ego = Agent::new(ActorId::EGO, ActorKind::Vehicle, Dimensions::CAR,
+///                      VehicleState::at_rest(Vec2::ZERO, Radians(0.0)));
+/// let actor = Agent::new(ActorId(1), ActorKind::Vehicle, Dimensions::CAR,
+///                        VehicleState::at_rest(Vec2::new(30.0, 0.0), Radians(0.0)));
+/// let scene = Scene::new(Seconds(0.0), ego, vec![actor]);
+/// let columns = SceneColumns::from_scene(&scene);
+/// assert_eq!(columns.positions(), &[Vec2::new(30.0, 0.0)]);
+/// assert_eq!(columns.to_scene(), scene); // lossless round trip
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneColumns {
+    /// Scenario time of this snapshot.
+    pub time: Seconds,
+    /// The ego vehicle (a single entity; splitting it buys nothing).
+    pub ego: Agent,
+    ids: Vec<ActorId>,
+    kinds: Vec<ActorKind>,
+    positions: Vec<Vec2>,
+    headings: Vec<Radians>,
+    speeds: Vec<MetersPerSecond>,
+    accels: Vec<MetersPerSecondSquared>,
+    dims: Vec<Dimensions>,
+}
+
+impl SceneColumns {
+    /// An empty (no actors) snapshot at `time` with the given ego.
+    pub fn new(time: Seconds, ego: Agent) -> Self {
+        Self {
+            time,
+            ego,
+            ids: Vec::new(),
+            kinds: Vec::new(),
+            positions: Vec::new(),
+            headings: Vec::new(),
+            speeds: Vec::new(),
+            accels: Vec::new(),
+            dims: Vec::new(),
+        }
+    }
+
+    /// Builds the SoA form of `scene`.
+    pub fn from_scene(scene: &Scene) -> Self {
+        let mut columns = Self::new(scene.time, scene.ego);
+        for actor in &scene.actors {
+            columns.push_actor(*actor);
+        }
+        columns
+    }
+
+    /// Rebuilds this snapshot in place from `scene`, reusing every
+    /// column's allocation.
+    pub fn fill_from_scene(&mut self, scene: &Scene) {
+        self.time = scene.time;
+        self.ego = scene.ego;
+        self.clear_actors();
+        for actor in &scene.actors {
+            self.push_actor(*actor);
+        }
+    }
+
+    /// Appends one actor, decomposed into the columns.
+    pub fn push_actor(&mut self, agent: Agent) {
+        self.ids.push(agent.id);
+        self.kinds.push(agent.kind);
+        self.positions.push(agent.state.position);
+        self.headings.push(agent.state.heading);
+        self.speeds.push(agent.state.speed);
+        self.accels.push(agent.state.accel);
+        self.dims.push(agent.dims);
+    }
+
+    /// Removes every actor (the ego and time stay), keeping capacity.
+    pub fn clear_actors(&mut self) {
+        self.ids.clear();
+        self.kinds.clear();
+        self.positions.clear();
+        self.headings.clear();
+        self.speeds.clear();
+        self.accels.clear();
+        self.dims.clear();
+    }
+
+    /// Number of actors (excluding the ego).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no actors are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Actor identities, in actor order.
+    #[inline]
+    pub fn ids(&self) -> &[ActorId] {
+        &self.ids
+    }
+
+    /// Actor kinds, in actor order.
+    #[inline]
+    pub fn kinds(&self) -> &[ActorKind] {
+        &self.kinds
+    }
+
+    /// Actor center positions, in actor order.
+    #[inline]
+    pub fn positions(&self) -> &[Vec2] {
+        &self.positions
+    }
+
+    /// Actor headings, in actor order.
+    #[inline]
+    pub fn headings(&self) -> &[Radians] {
+        &self.headings
+    }
+
+    /// Actor speeds, in actor order.
+    #[inline]
+    pub fn speeds(&self) -> &[MetersPerSecond] {
+        &self.speeds
+    }
+
+    /// Actor accelerations, in actor order.
+    #[inline]
+    pub fn accels(&self) -> &[MetersPerSecondSquared] {
+        &self.accels
+    }
+
+    /// Actor footprints, in actor order.
+    #[inline]
+    pub fn dims(&self) -> &[Dimensions] {
+        &self.dims
+    }
+
+    /// Reassembles actor `index` as a whole [`Agent`], bit-for-bit equal
+    /// to the one that was pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[inline]
+    pub fn actor(&self, index: usize) -> Agent {
+        Agent {
+            id: self.ids[index],
+            kind: self.kinds[index],
+            dims: self.dims[index],
+            state: crate::state::VehicleState {
+                position: self.positions[index],
+                heading: self.headings[index],
+                speed: self.speeds[index],
+                accel: self.accels[index],
+            },
+        }
+    }
+
+    /// Iterates the actors as reassembled [`Agent`]s, in actor order.
+    pub fn actors(&self) -> impl Iterator<Item = Agent> + '_ {
+        (0..self.len()).map(|i| self.actor(i))
+    }
+
+    /// Converts back to the AoS [`Scene`].
+    pub fn to_scene(&self) -> Scene {
+        Scene::new(self.time, self.ego, self.actors().collect())
+    }
+
+    /// Writes this snapshot into an existing [`Scene`], reusing its actor
+    /// allocation — the in-place counterpart of [`SceneColumns::to_scene`]
+    /// used when a trace-recording observer needs the AoS form of the hot
+    /// loop's SoA scratch.
+    pub fn write_scene(&self, scene: &mut Scene) {
+        scene.time = self.time;
+        scene.ego = self.ego;
+        scene.actors.clear();
+        scene.actors.extend(self.actors());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +297,56 @@ mod tests {
         let scene = Scene::new(Seconds(0.0), agent(0, 0.0), vec![agent(1, 10.0)]);
         let ids: Vec<_> = scene.agents().map(|a| a.id).collect();
         assert_eq!(ids, vec![ActorId::EGO, ActorId(1)]);
+    }
+
+    #[test]
+    fn columns_round_trip_is_lossless() {
+        let scene = Scene::new(
+            Seconds(2.5),
+            agent(0, 1.0),
+            vec![agent(1, 10.0), agent(2, 20.0)],
+        );
+        let columns = SceneColumns::from_scene(&scene);
+        assert_eq!(columns.len(), 2);
+        assert_eq!(columns.to_scene(), scene);
+        // Per-actor reassembly matches the AoS agents bit-for-bit.
+        for (i, actor) in scene.actors.iter().enumerate() {
+            assert_eq!(columns.actor(i), *actor);
+        }
+    }
+
+    #[test]
+    fn columns_fill_and_write_reuse_buffers() {
+        let a = Scene::new(Seconds(0.0), agent(0, 0.0), vec![agent(1, 10.0)]);
+        let b = Scene::new(
+            Seconds(1.0),
+            agent(0, 5.0),
+            vec![agent(1, 15.0), agent(2, 30.0)],
+        );
+        let mut columns = SceneColumns::from_scene(&a);
+        columns.fill_from_scene(&b);
+        assert_eq!(columns.to_scene(), b);
+        // write_scene overwrites stale contents entirely.
+        let mut out = a.clone();
+        columns.write_scene(&mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn columns_expose_contiguous_fields() {
+        let scene = Scene::new(
+            Seconds(0.0),
+            agent(0, 0.0),
+            vec![agent(1, 10.0), agent(2, 20.0)],
+        );
+        let columns = SceneColumns::from_scene(&scene);
+        assert_eq!(
+            columns.positions(),
+            &[Vec2::new(10.0, 0.0), Vec2::new(20.0, 0.0)]
+        );
+        assert_eq!(columns.ids(), &[ActorId(1), ActorId(2)]);
+        assert_eq!(columns.dims().len(), 2);
+        assert_eq!(columns.actors().count(), 2);
+        assert!(!columns.is_empty());
     }
 }

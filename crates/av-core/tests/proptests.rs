@@ -134,6 +134,52 @@ proptest! {
         prop_assert!(diff < 0.02, "heading off tangent by {diff}");
     }
 
+    // ---------------- scenes (AoS <-> SoA) ----------------
+
+    #[test]
+    fn scene_columns_round_trip_is_lossless(
+        t in 0.0..100.0f64,
+        n in 0usize..6,
+        x0 in -500.0..500.0f64, y0 in -20.0..20.0f64,
+        dx in 1.0..80.0f64, h in -3.2..3.2f64,
+        v in 0.0..40.0f64, a in -8.0..4.0f64,
+    ) {
+        use av_core::scene::{Scene, SceneColumns};
+        let mk = |i: usize| {
+            let kind = if i.is_multiple_of(2) { ActorKind::Vehicle } else { ActorKind::StaticObstacle };
+            let dims = if i.is_multiple_of(2) { Dimensions::CAR } else { Dimensions::OBSTACLE };
+            Agent::new(
+                ActorId(i as u32),
+                kind,
+                dims,
+                VehicleState::new(
+                    Vec2::new(x0 + dx * i as f64, y0 + i as f64),
+                    Radians(h + 0.1 * i as f64),
+                    MetersPerSecond(v + i as f64),
+                    MetersPerSecondSquared(a),
+                ),
+            )
+        };
+        let scene = Scene::new(Seconds(t), mk(0), (1..=n).map(mk).collect());
+        // Whole-scene conversion is exact in both directions.
+        let columns = SceneColumns::from_scene(&scene);
+        prop_assert_eq!(&columns.to_scene(), &scene);
+        // The incremental (push-based) build matches the bulk build.
+        let mut pushed = SceneColumns::new(scene.time, scene.ego);
+        for actor in &scene.actors {
+            pushed.push_actor(*actor);
+        }
+        prop_assert_eq!(&pushed, &columns);
+        // In-place refills are equivalent to fresh conversions.
+        let other = Scene::new(Seconds(t + 1.0), mk(1), vec![mk(2), mk(3)]);
+        let mut refilled = columns.clone();
+        refilled.fill_from_scene(&other);
+        prop_assert_eq!(&refilled, &SceneColumns::from_scene(&other));
+        let mut written = scene.clone();
+        refilled.write_scene(&mut written);
+        prop_assert_eq!(written, other);
+    }
+
     // ---------------- kinematics ----------------
 
     #[test]

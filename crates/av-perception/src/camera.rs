@@ -125,31 +125,75 @@ impl Camera {
         // Squared-distance range test: no square root on the reject path,
         // which is the common case across a five-camera rig.
         let d2 = rel.norm_sq();
-        if d2 > self.range.value() * self.range.value() {
+        if !self.in_range_sq(d2) {
             return false;
         }
         if d2 < 1e-18 {
             return true;
         }
-        let bearing = (rel.heading() - ego.heading - self.mount).normalized();
+        self.sees_bearing(ego.heading, rel.heading())
+    }
+
+    /// The range half of [`Camera::sees`], given the precomputed squared
+    /// center distance — identical arithmetic, hoisted so a rig sweep
+    /// computes the distance once per target instead of once per camera.
+    // The negated comparison deliberately preserves the original reject
+    // test `d2 > range²` (including its NaN behavior) bit for bit.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    pub fn in_range_sq(&self, d2: f64) -> bool {
+        !(d2 > self.range.value() * self.range.value())
+    }
+
+    /// The bearing half of [`Camera::sees`], given the target's
+    /// precomputed world bearing (`rel.heading()`) — identical
+    /// arithmetic, hoisted so a rig sweep pays one `atan2` per target
+    /// point instead of one per camera.
+    #[inline]
+    pub fn sees_bearing(&self, ego_heading: Radians, world_bearing: Radians) -> bool {
+        let bearing = (world_bearing - ego_heading - self.mount).normalized();
         bearing.value().abs() <= self.fov.value() / 2.0 + 1e-12
+    }
+
+    /// The body-reach prefilter of [`Camera::sees_body`], given the
+    /// squared center distance and the footprint circumradius — identical
+    /// arithmetic, hoisted for rig sweeps.
+    // See `in_range_sq` for why the comparison is negated.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    #[inline]
+    pub fn reaches_body_sq(&self, d2: f64, circumradius: f64) -> bool {
+        let reach = self.range.value() + circumradius;
+        !(d2 > reach * reach)
     }
 
     /// `true` when any reference point of `agent` (center or footprint
     /// corners) is visible, which approximates seeing any part of the body.
     pub fn sees_agent(&self, ego: &VehicleState, agent: &Agent) -> bool {
+        self.sees_body(ego, agent.state.position, agent.state.heading, agent.dims)
+    }
+
+    /// [`Camera::sees_agent`] over a body given by its pose fields — the
+    /// form the perception hot loop uses against a struct-of-arrays
+    /// [`av_core::scene::SceneColumns`] snapshot, where position, heading
+    /// and dims arrive from separate columns instead of a whole [`Agent`].
+    /// Identical arithmetic, identical answer.
+    pub fn sees_body(
+        &self,
+        ego: &VehicleState,
+        position: Vec2,
+        heading: Radians,
+        dims: Dimensions,
+    ) -> bool {
         // If the center is out of range by more than the footprint's
         // circumradius, no corner can be in range either — skip the corner
         // expansion (and its trig) entirely.
-        let reach = self.range.value() + agent.dims.circumradius();
-        if (agent.state.position - ego.position).norm_sq() > reach * reach {
+        if !self.reaches_body_sq((position - ego.position).norm_sq(), dims.circumradius()) {
             return false;
         }
-        if self.sees(ego, agent.state.position) {
+        if self.sees(ego, position) {
             return true;
         }
-        agent
-            .footprint()
+        OrientedRect::new(position, heading, dims.length, dims.width)
             .corners()
             .into_iter()
             .any(|c| self.sees(ego, c))

@@ -8,6 +8,7 @@
 //! model it for scenario realism.)
 
 use av_core::prelude::*;
+use av_core::scene::SceneColumns;
 
 /// `true` when the line of sight from `viewpoint` to `target`'s center is
 /// blocked by any of `others` (the target itself and the ego are skipped by
@@ -34,19 +35,52 @@ pub fn occluded(viewpoint: Vec2, target: &Agent, others: &[Agent]) -> bool {
     others.iter().any(|other| {
         other.id != target.id
             && !other.id.is_ego()
-            && shrunken_footprint(other).intersects_segment(viewpoint, end)
+            && shrunken(other.state.position, other.state.heading, other.dims)
+                .intersects_segment(viewpoint, end)
+    })
+}
+
+/// Fills `out` (cleared first) with every actor's 20%-shrunken blocker
+/// footprint — prepared for repeated segment tests — in actor order.
+/// This is the per-tick precomputation behind [`occluded_against`]: each
+/// prepared rect costs one sin/cos pair, so building them once per tick
+/// instead of once per target–blocker pair hoists the trig out of the
+/// occlusion inner loop.
+pub fn fill_shrunken_footprints(columns: &SceneColumns, out: &mut Vec<PreparedRect>) {
+    out.clear();
+    let (positions, headings, dims) = (columns.positions(), columns.headings(), columns.dims());
+    out.extend((0..columns.len()).map(|j| shrunken(positions[j], headings[j], dims[j]).prepared()));
+}
+
+/// [`occluded`] for actor `target` of a struct-of-arrays snapshot,
+/// against prebuilt shrunken footprints (from
+/// [`fill_shrunken_footprints`] on the same snapshot) — the form the
+/// perception hot loop uses. The test itself — center-to-center ray
+/// against 20%-shrunken footprints, skipping the target and the ego by
+/// id, in actor order — is arithmetic-identical to the AoS form.
+///
+/// # Panics
+///
+/// Panics if `target >= columns.len()` or `shrunken` is shorter than the
+/// actor count.
+pub fn occluded_against(
+    viewpoint: Vec2,
+    target: usize,
+    columns: &SceneColumns,
+    shrunken: &[PreparedRect],
+) -> bool {
+    let end = columns.positions()[target];
+    let target_id = columns.ids()[target];
+    let ids = columns.ids();
+    (0..columns.len()).any(|j| {
+        ids[j] != target_id && !ids[j].is_ego() && shrunken[j].intersects_segment(viewpoint, end)
     })
 }
 
 /// The blocker footprint, shrunk 20% so grazing sight lines count as
 /// visible.
-fn shrunken_footprint(agent: &Agent) -> OrientedRect {
-    OrientedRect::new(
-        agent.state.position,
-        agent.state.heading,
-        agent.dims.length * 0.8,
-        agent.dims.width * 0.8,
-    )
+fn shrunken(position: Vec2, heading: Radians, dims: Dimensions) -> OrientedRect {
+    OrientedRect::new(position, heading, dims.length * 0.8, dims.width * 0.8)
 }
 
 #[cfg(test)]

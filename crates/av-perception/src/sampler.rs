@@ -102,6 +102,15 @@ impl FrameSampler {
     pub fn frames_processed(&self) -> u64 {
         self.frames_processed
     }
+
+    /// When the next frame is due ([`FrameSampler::on_tick`] fires at the
+    /// first `now` with `now + 1e-12 >= next_due`). Lets a multi-camera
+    /// rig cache the earliest due time and skip the per-sampler walk on
+    /// ticks where no camera can fire.
+    #[inline]
+    pub fn next_due(&self) -> Seconds {
+        self.next_due
+    }
 }
 
 #[cfg(test)]

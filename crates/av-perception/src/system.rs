@@ -9,12 +9,12 @@
 //! the latency-safety coupling the paper studies.
 
 use crate::dropout::{DropPolicy, FrameDropper};
-use crate::occlusion::occluded;
+use crate::occlusion::{fill_shrunken_footprints, occluded, occluded_against};
 use crate::rig::{CameraId, CameraRig};
 use crate::sampler::FrameSampler;
 use crate::world_model::{TrackerConfig, WorldModel};
 use av_core::prelude::*;
-use av_core::scene::Scene;
+use av_core::scene::{Scene, SceneColumns};
 use serde::{Deserialize, Serialize};
 
 /// Per-camera rates used to construct a [`PerceptionSystem`].
@@ -59,6 +59,10 @@ impl std::fmt::Display for PerceptionError {
 impl std::error::Error for PerceptionError {}
 
 /// What one tick of the perception system did.
+///
+/// [`PerceptionSystem::tick`] lends its report by reference from a buffer
+/// the system owns and reuses, so frame ticks cost no allocation; callers
+/// that need to keep a report across ticks clone it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct TickReport {
     /// Cameras that processed a frame at this tick.
@@ -68,6 +72,14 @@ pub struct TickReport {
     pub dropped: Vec<CameraId>,
     /// Actors observed at this tick (deduplicated across cameras).
     pub observed: Vec<ActorId>,
+}
+
+impl TickReport {
+    fn clear(&mut self) {
+        self.frames.clear();
+        self.dropped.clear();
+        self.observed.clear();
+    }
 }
 
 /// Camera rig + per-camera frame samplers + fused world model.
@@ -93,16 +105,39 @@ pub struct TickReport {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerceptionSystem {
     rig: CameraRig,
     samplers: Vec<FrameSampler>,
     droppers: Vec<FrameDropper>,
     world: WorldModel,
     model_occlusion: bool,
-    /// Reused per-tick observation buffer; always empty between ticks so
-    /// it never affects equality or serialization.
+    /// Reused per-tick observation buffer; always empty between ticks.
     observed_scratch: Vec<Agent>,
+    /// Reused per-tick blocker-footprint buffer for the occlusion sweep.
+    blocker_scratch: Vec<PreparedRect>,
+    /// Cached earliest `next_due` across samplers: ticks before it skip
+    /// the per-sampler walk entirely (most ticks, at low rates). Derived
+    /// state — rebuilt after every frame tick, conservatively reset on
+    /// rate changes.
+    next_frame_due: Seconds,
+    /// Reused per-tick report, lent by reference from
+    /// [`PerceptionSystem::tick`]; holds the *last* tick's report between
+    /// ticks, which is why it is excluded from [`PartialEq`].
+    report: TickReport,
+}
+
+/// Equality compares configuration and accumulated perception state
+/// (rig, samplers, droppers, world model, occlusion flag) and ignores the
+/// reusable per-tick scratch buffers.
+impl PartialEq for PerceptionSystem {
+    fn eq(&self, other: &Self) -> bool {
+        self.rig == other.rig
+            && self.samplers == other.samplers
+            && self.droppers == other.droppers
+            && self.world == other.world
+            && self.model_occlusion == other.model_occlusion
+    }
 }
 
 impl PerceptionSystem {
@@ -142,6 +177,9 @@ impl PerceptionSystem {
             world: WorldModel::new(tracker),
             model_occlusion: true,
             observed_scratch: Vec::new(),
+            blocker_scratch: Vec::new(),
+            next_frame_due: Seconds(f64::NEG_INFINITY),
+            report: TickReport::default(),
         })
     }
 
@@ -194,29 +232,58 @@ impl PerceptionSystem {
             .get_mut(id.0)
             .ok_or(PerceptionError::UnknownCamera(id))?
             .set_rate(rate);
+        // Conservatively invalidate the earliest-due cache: the next tick
+        // walks every sampler again. (Today's samplers keep their already
+        // scheduled frame on a rate change, so this is belt-and-braces,
+        // not a correctness requirement.)
+        self.next_frame_due = Seconds(f64::NEG_INFINITY);
         Ok(())
     }
 
-    /// Advances perception by one simulation tick against the ground-truth
-    /// `scene`. Cameras whose samplers fire observe the actors in their
-    /// FOV; the world model ingests the union.
-    pub fn tick(&mut self, scene: &Scene) -> TickReport {
-        let now = scene.time;
-        let mut report = TickReport::default();
+    /// Fires the per-camera samplers for the tick at `now`, filling the
+    /// reusable report's `frames`/`dropped`. Returns `true` when at least
+    /// one frame survives to be processed.
+    fn sample_frames(&mut self, now: Seconds) -> bool {
+        self.report.clear();
+        // No sampler can fire before the cached earliest due time — the
+        // common non-frame tick costs one comparison, not a rig walk.
+        // (`on_tick` fires iff `now + 1e-12 >= next_due`, so skipping
+        // while `now + 1e-12 < min(next_due)` is exact.)
+        if now.value() + 1e-12 < self.next_frame_due.value() {
+            return false;
+        }
         for (i, sampler) in self.samplers.iter_mut().enumerate() {
             if !sampler.on_tick(now) {
                 continue;
             }
             let cam_id = CameraId(i);
             if self.droppers[i].survives() {
-                report.frames.push(cam_id);
+                self.report.frames.push(cam_id);
             } else {
-                report.dropped.push(cam_id);
+                self.report.dropped.push(cam_id);
             }
         }
-        if report.frames.is_empty() {
+        self.next_frame_due = Seconds(
+            self.samplers
+                .iter()
+                .map(|s| s.next_due().value())
+                .fold(f64::INFINITY, f64::min),
+        );
+        !self.report.frames.is_empty()
+    }
+
+    /// Advances perception by one simulation tick against the ground-truth
+    /// `scene`. Cameras whose samplers fire observe the actors in their
+    /// FOV; the world model ingests the union.
+    ///
+    /// The returned report is lent from a buffer the system reuses every
+    /// tick (no per-tick allocation once the buffers are warm); clone it
+    /// to keep it past the next call.
+    pub fn tick(&mut self, scene: &Scene) -> &TickReport {
+        let now = scene.time;
+        if !self.sample_frames(now) {
             self.world.prune(now);
-            return report;
+            return &self.report;
         }
         // An actor is observed this tick when any processed frame's camera
         // sees it and its sight line is clear. Visibility is per-camera but
@@ -227,7 +294,8 @@ impl PerceptionSystem {
         let mut observed = std::mem::take(&mut self.observed_scratch);
         let cameras = self.rig.cameras();
         for actor in &scene.actors {
-            let seen = report
+            let seen = self
+                .report
                 .frames
                 .iter()
                 .any(|cam_id| cameras[cam_id.0].sees_agent(&scene.ego.state, actor));
@@ -239,10 +307,111 @@ impl PerceptionSystem {
             }
         }
         self.world.observe(now, &observed);
-        report.observed = observed.iter().map(|a| a.id).collect();
+        self.report.observed.extend(observed.iter().map(|a| a.id));
         observed.clear();
         self.observed_scratch = observed;
-        report
+        &self.report
+    }
+
+    /// [`PerceptionSystem::tick`] over a struct-of-arrays snapshot — the
+    /// form the simulation hot loop feeds. The visibility sweep reads the
+    /// contiguous position/heading/dims columns directly and the
+    /// occlusion sweep tests prebuilt blocker footprints
+    /// ([`occluded_against`]); the observed set, the world-model
+    /// ingestion and the report are arithmetic-identical to the AoS
+    /// [`PerceptionSystem::tick`] on the equivalent [`Scene`].
+    ///
+    /// [`occluded_against`]: crate::occlusion::occluded_against
+    pub fn tick_columns(&mut self, columns: &SceneColumns) -> &TickReport {
+        let now = columns.time;
+        if !self.sample_frames(now) {
+            self.world.prune(now);
+            return &self.report;
+        }
+        let mut observed = std::mem::take(&mut self.observed_scratch);
+        let mut blockers = std::mem::take(&mut self.blocker_scratch);
+        let mut blockers_ready = false;
+        let cameras = self.rig.cameras();
+        let ego = &columns.ego.state;
+        let (positions, headings, dims) = (columns.positions(), columns.headings(), columns.dims());
+        for i in 0..columns.len() {
+            // Visibility is an `any` over (frame camera × reference point)
+            // pairs of a pure predicate, so it can be evaluated
+            // point-major: the center's distance and world bearing (the
+            // `atan2`) are computed once and shared across the rig, and
+            // the corner expansion runs at most once per actor instead of
+            // once per camera. Same pairs, same per-pair arithmetic, same
+            // answer as the camera-major `sees_body` sweep.
+            let rel = positions[i] - ego.position;
+            let d2 = rel.norm_sq();
+            let circ = dims[i].circumradius();
+            let mut world_bearing = None;
+            let mut any_reach = false;
+            let mut seen = false;
+            for cam_id in &self.report.frames {
+                let cam = &cameras[cam_id.0];
+                if !cam.reaches_body_sq(d2, circ) {
+                    continue;
+                }
+                any_reach = true;
+                if cam.in_range_sq(d2) {
+                    if d2 < 1e-18 {
+                        seen = true;
+                        break;
+                    }
+                    let bearing = *world_bearing.get_or_insert_with(|| rel.heading());
+                    if cam.sees_bearing(ego.heading, bearing) {
+                        seen = true;
+                        break;
+                    }
+                }
+            }
+            if !seen && any_reach {
+                let corners =
+                    OrientedRect::new(positions[i], headings[i], dims[i].length, dims[i].width)
+                        .corners();
+                'corners: for corner in corners {
+                    let crel = corner - ego.position;
+                    let cd2 = crel.norm_sq();
+                    let mut corner_bearing = None;
+                    for cam_id in &self.report.frames {
+                        let cam = &cameras[cam_id.0];
+                        if !cam.reaches_body_sq(d2, circ) || !cam.in_range_sq(cd2) {
+                            continue;
+                        }
+                        if cd2 < 1e-18 {
+                            seen = true;
+                            break 'corners;
+                        }
+                        let bearing = *corner_bearing.get_or_insert_with(|| crel.heading());
+                        if cam.sees_bearing(ego.heading, bearing) {
+                            seen = true;
+                            break 'corners;
+                        }
+                    }
+                }
+            }
+            if seen && self.model_occlusion {
+                // The 20%-shrunken blocker rects are shared by every
+                // target this tick; build them on the first test.
+                if !blockers_ready {
+                    fill_shrunken_footprints(columns, &mut blockers);
+                    blockers_ready = true;
+                }
+                if occluded_against(ego.position, i, columns, &blockers) {
+                    continue;
+                }
+            }
+            if seen {
+                observed.push(columns.actor(i));
+            }
+        }
+        self.world.observe(now, &observed);
+        self.report.observed.extend(observed.iter().map(|a| a.id));
+        observed.clear();
+        self.observed_scratch = observed;
+        self.blocker_scratch = blockers;
+        &self.report
     }
 
     /// Total frames processed across all cameras.
@@ -371,6 +540,46 @@ mod tests {
         let scene = Scene::new(Seconds(0.0), ego(), vec![rear_actor]);
         let report = sys.tick(&scene);
         assert!(report.observed.contains(&ActorId(7)));
+    }
+
+    #[test]
+    fn columns_tick_matches_scene_tick() {
+        // The SoA fast path must produce the identical report and the
+        // identical world model as the AoS path, tick for tick — including
+        // occlusion (the rear actor hides behind the front one until the
+        // front one drifts aside).
+        let mut aos = system(10.0, 3);
+        let mut soa = aos.clone();
+        for i in 0..150 {
+            let t = i as f64 * 0.01;
+            let drift = 0.03 * i as f64;
+            let blocker = Agent::new(
+                ActorId(1),
+                ActorKind::Vehicle,
+                Dimensions::CAR,
+                VehicleState::at_rest(Vec2::new(30.0, drift), Radians(0.0)),
+            );
+            let hidden = Agent::new(
+                ActorId(2),
+                ActorKind::StaticObstacle,
+                Dimensions::OBSTACLE,
+                VehicleState::at_rest(Vec2::new(70.0, 0.0), Radians(0.0)),
+            );
+            let side = Agent::new(
+                ActorId(3),
+                ActorKind::Vehicle,
+                Dimensions::CAR,
+                VehicleState::at_rest(Vec2::new(10.0, 20.0), Radians(0.3)),
+            );
+            let scene = Scene::new(Seconds(t), ego(), vec![blocker, hidden, side]);
+            let columns = SceneColumns::from_scene(&scene);
+            let from_scene = aos.tick(&scene).clone();
+            let from_columns = soa.tick_columns(&columns);
+            assert_eq!(&from_scene, from_columns, "tick {i}: reports diverged");
+            assert_eq!(aos, soa, "tick {i}: perception state diverged");
+        }
+        assert_eq!(aos.world().len(), soa.world().len());
+        assert!(!aos.world().is_empty(), "nothing was ever tracked");
     }
 
     #[test]

@@ -8,7 +8,6 @@
 
 use av_core::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One tracked actor inside the world model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +35,18 @@ impl Track {
         agent.state = agent.state.predict_constant_accel(dt);
         agent
     }
+}
+
+/// A live track plus derived per-track state the hot coasting loop reuses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct TrackSlot {
+    track: Track,
+    /// `Vec2::from_heading(track.agent.state.heading)`, computed once per
+    /// refresh so per-tick dead reckoning pays no sin/cos. Invariant:
+    /// always consistent with the stored heading (both are written only
+    /// by [`WorldModel::observe`]), so coasting through it is
+    /// bit-identical to [`Track::coasted`].
+    heading_unit: Vec2,
 }
 
 /// Configuration of the tracker / confirmation logic.
@@ -73,10 +84,15 @@ impl Default for TrackerConfig {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct WorldModel {
     config: TrackerConfig,
-    tracks: BTreeMap<ActorId, Track>,
+    /// Live tracks, sorted by actor id. A handful of actors share a
+    /// scenario, so a sorted vector beats a tree map on every per-tick
+    /// walk (coasting, confirmation queries) and loses nothing on the
+    /// per-frame id lookups; id order — and therefore every iteration
+    /// order — matches the old `BTreeMap` exactly.
+    tracks: Vec<TrackSlot>,
     /// Lower bound on the oldest `last_seen` among live tracks (`None`
     /// iff there are no tracks). Lets the per-tick [`WorldModel::prune`]
-    /// skip walking the tree when nothing can possibly have expired; it
+    /// skip walking the list when nothing can possibly have expired; it
     /// may understate after refreshes, which only costs an occasional
     /// extra walk, never a missed expiry.
     oldest_seen: Option<Seconds>,
@@ -87,7 +103,7 @@ impl WorldModel {
     pub fn new(config: TrackerConfig) -> Self {
         Self {
             config,
-            tracks: BTreeMap::new(),
+            tracks: Vec::new(),
             oldest_seen: None,
         }
     }
@@ -103,12 +119,30 @@ impl WorldModel {
     /// [`TrackerConfig::drop_after`] are pruned.
     pub fn observe(&mut self, now: Seconds, observed: &[Agent]) {
         for agent in observed {
-            let entry = self.tracks.entry(agent.id).or_insert(Track {
-                agent: *agent,
-                last_seen: now,
-                sightings: 0,
-                confirmed: false,
-            });
+            let index = match self
+                .tracks
+                .binary_search_by_key(&agent.id, |slot| slot.track.agent.id)
+            {
+                Ok(index) => index,
+                Err(index) => {
+                    self.tracks.insert(
+                        index,
+                        TrackSlot {
+                            track: Track {
+                                agent: *agent,
+                                last_seen: now,
+                                sightings: 0,
+                                confirmed: false,
+                            },
+                            heading_unit: Vec2::from_heading(agent.state.heading),
+                        },
+                    );
+                    index
+                }
+            };
+            let slot = &mut self.tracks[index];
+            slot.heading_unit = Vec2::from_heading(agent.state.heading);
+            let entry = &mut slot.track;
             entry.agent = *agent;
             entry.last_seen = now;
             entry.sightings = entry.sightings.saturating_add(1);
@@ -134,22 +168,25 @@ impl WorldModel {
             return;
         }
         self.tracks
-            .retain(|_, t| (now - t.last_seen).value() <= ttl.value() + 1e-12);
+            .retain(|slot| (now - slot.track.last_seen).value() <= ttl.value() + 1e-12);
         self.oldest_seen = self
             .tracks
-            .values()
-            .map(|t| t.last_seen)
+            .iter()
+            .map(|slot| slot.track.last_seen)
             .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite times"));
     }
 
     /// The track for `id`, if present (confirmed or not).
     pub fn track(&self, id: ActorId) -> Option<&Track> {
-        self.tracks.get(&id)
+        self.tracks
+            .binary_search_by_key(&id, |slot| slot.track.agent.id)
+            .ok()
+            .map(|index| &self.tracks[index].track)
     }
 
     /// All tracks in id order.
     pub fn tracks(&self) -> impl Iterator<Item = &Track> {
-        self.tracks.values()
+        self.tracks.iter().map(|slot| &slot.track)
     }
 
     /// Confirmed agents with their *stale* last-seen state — what the
@@ -160,9 +197,9 @@ impl WorldModel {
     /// `last_seen`.
     pub fn confirmed_agents(&self, _now: Seconds) -> Vec<Agent> {
         self.tracks
-            .values()
-            .filter(|t| t.confirmed)
-            .map(|t| t.agent)
+            .iter()
+            .filter(|slot| slot.track.confirmed)
+            .map(|slot| slot.track.agent)
             .collect()
     }
 
@@ -178,11 +215,26 @@ impl WorldModel {
     /// [`WorldModel::coasted_agents`] used by the simulation hot loop.
     pub fn coast_into(&self, out: &mut Vec<Agent>, now: Seconds) {
         out.clear();
+        // Same arithmetic as [`Track::coasted`] (pinned by the unit tests)
+        // with the heading's unit vector read from the per-refresh cache
+        // instead of recomputed — dead reckoning pays no per-tick trig.
         out.extend(
             self.tracks
-                .values()
-                .filter(|t| t.confirmed)
-                .map(|t| t.coasted(now)),
+                .iter()
+                .filter(|slot| slot.track.confirmed)
+                .map(|slot| {
+                    let track = &slot.track;
+                    let dt = Seconds((now - track.last_seen).value().max(0.0));
+                    let (d, v) = av_core::state::distance_speed_after(
+                        track.agent.state.speed,
+                        track.agent.state.accel,
+                        dt,
+                    );
+                    let mut agent = track.agent;
+                    agent.state.position += slot.heading_unit * d.value();
+                    agent.state.speed = v;
+                    agent
+                }),
         );
     }
 

@@ -579,13 +579,23 @@ pub const PAPER_RATE_GRID: [u32; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30];
 ///
 /// Probes run streaming under a `NullObserver`
 /// ([`Scenario::collides_at`]): no trace is recorded and no statistics are
-/// folded, since only the collision bit is consulted.
+/// folded, since only the collision bit is consulted. Each seed's scenario
+/// instance is built once and shared across the whole candidate grid via
+/// a [`crate::sweep::SweepContext`].
 pub fn minimum_required_fpr(id: ScenarioId, candidates: &[u32], seeds: &[u64]) -> Mrf {
+    let scenarios: Vec<Scenario> = seeds
+        .iter()
+        .map(|&seed| Scenario::build(id, seed))
+        .collect();
+    let mut contexts: Vec<crate::sweep::SweepContext> = scenarios
+        .iter()
+        .map(crate::sweep::SweepContext::new)
+        .collect();
     let mut highest_unsafe: Option<u32> = None;
     for &fpr in candidates {
-        let any_collision = seeds
-            .iter()
-            .any(|&seed| Scenario::build(id, seed).collides_at(Fpr(fpr as f64)));
+        let any_collision = contexts
+            .iter_mut()
+            .any(|context| context.collides_at(Fpr(fpr as f64)));
         if any_collision {
             highest_unsafe = Some(fpr);
         }

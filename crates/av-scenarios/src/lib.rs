@@ -23,9 +23,11 @@
 
 pub mod catalog;
 pub mod jitter;
+pub mod sweep;
 
 /// Glob import of the crate's main types.
 pub mod prelude {
     pub use crate::catalog::{minimum_required_fpr, Mrf, Scenario, ScenarioId, PAPER_RATE_GRID};
     pub use crate::jitter::Jitter;
+    pub use crate::sweep::SweepContext;
 }

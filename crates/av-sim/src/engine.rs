@@ -28,8 +28,9 @@ use crate::policy::EgoVehicle;
 use crate::road::Road;
 use crate::script::{ActorScript, EgoObservation, ScriptedActor};
 use crate::trace::{SimEvent, Trace};
+use av_core::geometry::OrientedRect;
 use av_core::prelude::*;
-use av_core::scene::Scene;
+use av_core::scene::{Scene, SceneColumns};
 use av_perception::system::PerceptionSystem;
 use serde::{Deserialize, Serialize};
 
@@ -77,10 +78,23 @@ pub struct Simulation {
     tick: u64,
     /// Exact run length in ticks, fixed at construction.
     total_ticks: u64,
-    /// Persistent scratch snapshot, rebuilt in place every tick.
-    scratch: Scene,
+    /// Persistent struct-of-arrays scratch snapshot, rebuilt in place
+    /// every tick; perception visibility, the collision prefilter and
+    /// observer folds sweep its contiguous columns.
+    scratch: SceneColumns,
+    /// Persistent array-of-structs materialization of the scratch, filled
+    /// only for observers that ask for whole scenes (see
+    /// [`SimObserver::on_scene_columns`]).
+    scratch_aos: Scene,
     /// Persistent perceived-world buffer, refilled every tick.
     perceived: Vec<Agent>,
+    /// Per-perceived-slot Frenet projection hints (temporal coherence in
+    /// the planner); stale hints are harmless — they never change results.
+    hints: Vec<ProjectionHint>,
+    /// Road-segment hint for the ego's per-tick pose lookup.
+    ego_pose_hint: ProjectionHint,
+    /// Road-segment hints for each actor's per-tick pose lookup.
+    actor_pose_hints: Vec<ProjectionHint>,
     /// Footprint circumradius of the ego (fixed dimensions, computed once).
     ego_circumradius: f64,
     /// Footprint circumradii of the actors, in actor order.
@@ -119,11 +133,10 @@ impl Simulation {
         } else {
             0
         };
-        let scratch = Scene::new(
-            Seconds::ZERO,
-            ego.to_agent(&road),
-            Vec::with_capacity(actors.len()),
-        );
+        let ego_agent = ego.to_agent(&road);
+        let actor_count = actors.len();
+        let scratch = SceneColumns::new(Seconds::ZERO, ego_agent);
+        let scratch_aos = Scene::new(Seconds::ZERO, ego_agent, Vec::with_capacity(actor_count));
         let ego_circumradius = ego.dims().circumradius();
         let actor_circumradii = actors
             .iter()
@@ -138,7 +151,11 @@ impl Simulation {
             tick: 0,
             total_ticks,
             scratch,
+            scratch_aos,
             perceived: Vec::new(),
+            hints: Vec::new(),
+            ego_pose_hint: ProjectionHint::default(),
+            actor_pose_hints: vec![ProjectionHint::default(); actor_count],
             ego_circumradius,
             actor_circumradii,
             trace: Trace {
@@ -148,6 +165,32 @@ impl Simulation {
             },
             finished: total_ticks == 0,
         }
+    }
+
+    /// Rewinds this simulation to tick zero with a fresh ego and a fresh
+    /// perception system, keeping the road, the actor scripts, the engine
+    /// configuration and — crucially — every scratch allocation (scene
+    /// columns, perceived buffer, projection hints, actor vector).
+    ///
+    /// This is the engine half of sweep-level scene sharing: a
+    /// minimum-safe-FPR search re-simulates the *same* scenario instance
+    /// once per candidate rate, and resetting beats rebuilding (road
+    /// clone, script clones, buffer growth) at every candidate. A reset
+    /// simulation is observably identical to a freshly constructed one —
+    /// pinned by the sweep-sharing determinism tests in `zhuyi-fleet`.
+    pub fn reset(&mut self, ego: EgoVehicle, perception: PerceptionSystem) {
+        self.ego_circumradius = ego.dims().circumradius();
+        self.ego = ego;
+        self.perception = perception;
+        self.tick = 0;
+        self.finished = self.total_ticks == 0;
+        for actor in &mut self.actors {
+            actor.reset(&self.road);
+        }
+        self.trace.scenes.clear();
+        self.trace.events.clear();
+        // Scratch buffers are rebuilt from scratch every tick; hints are
+        // performance memos that never affect results. Nothing to clear.
     }
 
     /// Current scenario time (`tick * dt`, drift-free).
@@ -207,10 +250,12 @@ impl Simulation {
 
     /// Advances one tick, streaming the scene and events to `observer`.
     ///
-    /// The engine rebuilds its persistent scratch scene in place and lends
-    /// it by reference — after warm-up, a tick performs no allocation on
-    /// the engine side (scripted-maneuver descriptions, which fire a
-    /// handful of times per run, are the one exception).
+    /// The engine rebuilds its persistent struct-of-arrays scratch
+    /// snapshot in place and lends it by reference — after warm-up, a tick
+    /// performs no allocation on the engine side (scripted-maneuver
+    /// descriptions, which fire a handful of times per run, are the one
+    /// exception; the zero-allocation claim is pinned by the
+    /// counting-allocator test in `tests/alloc_free.rs`).
     pub fn step_with(&mut self, observer: &mut dyn SimObserver) -> StepOutcome {
         if self.finished {
             return StepOutcome::Finished;
@@ -218,31 +263,45 @@ impl Simulation {
         let time = self.time();
         let dt = self.config.dt;
 
-        // Rebuild the scratch snapshot in place.
+        // Rebuild the scratch snapshot in place, column by column; pose
+        // hints carry each vehicle's road segment across ticks.
         self.scratch.time = time;
-        self.scratch.ego = self.ego.to_agent(&self.road);
-        self.scratch.actors.clear();
-        for actor in &self.actors {
-            self.scratch.actors.push(actor.to_agent(&self.road));
+        self.scratch.ego = self
+            .ego
+            .to_agent_hinted(&self.road, &mut self.ego_pose_hint);
+        self.scratch.clear_actors();
+        for (actor, hint) in self.actors.iter().zip(&mut self.actor_pose_hints) {
+            self.scratch
+                .push_actor(actor.to_agent_hinted(&self.road, hint));
         }
-        observer.on_scene(&self.scratch);
+        observer.on_scene_columns(&self.scratch, &mut self.scratch_aos);
 
         // Ground-truth collision check. A center-distance prefilter over
-        // footprint circumcircles skips the exact (trig-heavy) SAT test
-        // for the overwhelmingly common far-apart case; the outcome is
-        // identical because no rectangle escapes its circumcircle.
+        // footprint circumcircles — a sweep of the contiguous position
+        // column against the precomputed radii — skips the exact
+        // (trig-heavy) SAT test for the overwhelmingly common far-apart
+        // case; the outcome is identical because no rectangle escapes its
+        // circumcircle. Only prefilter survivors reassemble a footprint.
         let ego = &self.scratch.ego;
+        let positions = self.scratch.positions();
         let mut ego_fp = None;
-        for (actor, r_actor) in self.scratch.actors.iter().zip(&self.actor_circumradii) {
+        for (i, (&position, r_actor)) in positions.iter().zip(&self.actor_circumradii).enumerate() {
             let r_sum = self.ego_circumradius + r_actor;
-            if (actor.state.position - ego.state.position).norm_sq() > r_sum * r_sum {
+            if (position - ego.state.position).norm_sq() > r_sum * r_sum {
                 continue;
             }
             let ego_fp = ego_fp.get_or_insert_with(|| ego.footprint());
-            if ego_fp.intersects(&actor.footprint()) {
+            let dims = self.scratch.dims()[i];
+            let footprint = OrientedRect::new(
+                position,
+                self.scratch.headings()[i],
+                dims.length,
+                dims.width,
+            );
+            if ego_fp.intersects(&footprint) {
                 observer.on_event(&SimEvent::Collision {
                     time,
-                    actor: actor.id,
+                    actor: self.scratch.ids()[i],
                 });
                 if self.config.stop_on_collision {
                     self.finished = true;
@@ -251,16 +310,22 @@ impl Simulation {
             }
         }
 
-        // Perception sees the ground truth through sampled frames; the
+        // Perception sees the ground truth through sampled frames — the
+        // visibility sweep reads the scratch columns directly; the
         // perceived world is coasted into a reused buffer.
-        self.perception.tick(&self.scratch);
+        self.perception.tick_columns(&self.scratch);
         self.perception
             .world()
             .coast_into(&mut self.perceived, time);
 
-        // Ego plans against the perceived world; actors follow scripts
-        // against the ground truth.
-        let command = self.ego.plan(&self.perceived, &self.road);
+        // Ego plans against the perceived world (per-slot projection
+        // hints carry last tick's winning Frenet segment); actors follow
+        // scripts against the ground truth.
+        self.hints
+            .resize(self.perceived.len(), ProjectionHint::default());
+        let command = self
+            .ego
+            .plan_with_hints(&self.perceived, &self.road, &mut self.hints);
         let ego_obs = EgoObservation {
             s: self.ego.s(),
             speed: self.ego.speed(),
@@ -283,6 +348,30 @@ impl Simulation {
 
     /// Drives the simulation to completion under `observer` and returns
     /// how it ended.
+    ///
+    /// ```
+    /// use av_core::prelude::*;
+    /// use av_perception::prelude::*;
+    /// use av_sim::prelude::*;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let road = Road::straight_three_lane(Meters(1000.0));
+    /// let ego = EgoVehicle::spawn(&road, LaneId(1), Meters(0.0),
+    ///                             PolicyConfig::cruise(MetersPerSecond(20.0)));
+    /// let perception = PerceptionSystem::new(CameraRig::drive_av(),
+    ///     RatePlan::Uniform(Fpr(30.0)), TrackerConfig::default())?;
+    /// let mut sim = Simulation::new(road, ego, vec![], perception,
+    ///     SimulationConfig { duration: Seconds(0.5), ..Default::default() });
+    ///
+    /// // Stream the run into a metrics fold: scalars only, no stored scenes.
+    /// let mut metrics = MetricsObserver::new();
+    /// let outcome = sim.run_with(&mut metrics);
+    /// assert_eq!(outcome, StepOutcome::Finished);
+    /// assert_eq!(metrics.summary().ticks, sim.total_ticks());
+    /// assert!(!metrics.summary().collided());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn run_with(&mut self, observer: &mut dyn SimObserver) -> StepOutcome {
         loop {
             match self.step_with(observer) {

@@ -17,24 +17,72 @@
 //! - [`NullObserver`] keeps nothing (pure throughput measurement, or runs
 //!   driven entirely through external state inspection).
 
-use crate::trace::{min_clearance_in, SimEvent, Trace};
+use crate::trace::{min_clearance_columns, min_clearance_in, SimEvent, Trace};
 use av_core::prelude::*;
-use av_core::scene::Scene;
+use av_core::scene::{Scene, SceneColumns};
 use serde::{Deserialize, Serialize};
 
 /// A consumer of the simulation's per-tick stream.
 ///
-/// [`crate::engine::Simulation::step_with`] calls [`SimObserver::on_scene`]
-/// exactly once per tick — *before* collision detection, matching the
-/// classic trace order — and [`SimObserver::on_event`] for every event in
+/// [`crate::engine::Simulation::step_with`] streams each tick's snapshot
+/// exactly once — *before* collision detection, matching the classic
+/// trace order — and calls [`SimObserver::on_event`] for every event in
 /// the order the engine emits them (collisions first, then maneuvers).
 /// The lent scene is only valid for the duration of the call; observers
 /// that need history must copy what they keep.
+///
+/// The engine's hot loop maintains the snapshot in struct-of-arrays form
+/// ([`SceneColumns`]) and delivers it through
+/// [`SimObserver::on_scene_columns`]. The default implementation
+/// materializes the array-of-structs [`Scene`] into the engine-owned
+/// scratch buffer (no allocation after warm-up) and forwards it to
+/// [`SimObserver::on_scene`], so observers that want whole scenes — like
+/// [`TraceRecorder`] — implement only `on_scene`. Observers that can fold
+/// the columns directly ([`MetricsObserver`], [`NullObserver`]) override
+/// `on_scene_columns` and skip the materialization entirely.
+///
+/// ```
+/// use av_core::prelude::*;
+/// use av_sim::observer::SimObserver;
+/// use av_sim::trace::SimEvent;
+///
+/// /// Counts ticks and collisions; needs neither scenes nor columns.
+/// #[derive(Default)]
+/// struct Counter {
+///     ticks: u64,
+///     collisions: u64,
+/// }
+///
+/// impl SimObserver for Counter {
+///     fn on_scene(&mut self, _scene: &av_core::scene::Scene) {
+///         self.ticks += 1;
+///     }
+///     fn on_event(&mut self, event: &SimEvent) {
+///         if matches!(event, SimEvent::Collision { .. }) {
+///             self.collisions += 1;
+///         }
+///     }
+/// }
+///
+/// let mut counter = Counter::default();
+/// counter.on_event(&SimEvent::Collision { time: Seconds(1.0), actor: ActorId(1) });
+/// assert_eq!(counter.collisions, 1);
+/// ```
 pub trait SimObserver {
     /// One tick's ground-truth snapshot, lent by reference.
     fn on_scene(&mut self, scene: &Scene);
     /// A simulation event (collision, scripted maneuver), lent by reference.
     fn on_event(&mut self, event: &SimEvent);
+    /// One tick's snapshot in the engine's struct-of-arrays form, plus the
+    /// engine-owned scratch [`Scene`] for observers that need the
+    /// array-of-structs view. The default materializes into `scratch`
+    /// (reusing its buffers) and delegates to [`SimObserver::on_scene`];
+    /// overriding it lets an observer consume the contiguous columns with
+    /// no materialization at all.
+    fn on_scene_columns(&mut self, columns: &SceneColumns, scratch: &mut Scene) {
+        columns.write_scene(scratch);
+        self.on_scene(scratch);
+    }
 }
 
 impl<O: SimObserver + ?Sized> SimObserver for &mut O {
@@ -43,6 +91,9 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     }
     fn on_event(&mut self, event: &SimEvent) {
         (**self).on_event(event);
+    }
+    fn on_scene_columns(&mut self, columns: &SceneColumns, scratch: &mut Scene) {
+        (**self).on_scene_columns(columns, scratch);
     }
 }
 
@@ -54,6 +105,7 @@ pub struct NullObserver;
 impl SimObserver for NullObserver {
     fn on_scene(&mut self, _scene: &Scene) {}
     fn on_event(&mut self, _event: &SimEvent) {}
+    fn on_scene_columns(&mut self, _columns: &SceneColumns, _scratch: &mut Scene) {}
 }
 
 /// Records the full classic [`Trace`]: every scene, every event.
@@ -155,31 +207,45 @@ impl MetricsObserver {
     pub fn summary(&self) -> RunSummary {
         self.summary
     }
-}
 
-impl SimObserver for MetricsObserver {
-    fn on_scene(&mut self, scene: &Scene) {
+    /// One tick's fold, shared by the AoS and SoA entry points (the only
+    /// part that differs between them is how the scene-wide minimum
+    /// clearance is computed).
+    fn fold(&mut self, time: Seconds, ego: &Agent, clearance: Option<Meters>) {
         let s = &mut self.summary;
         s.ticks += 1;
-        s.duration = scene.time;
+        s.duration = time;
 
         // Each fold keeps the *first* minimum on ties, matching the
         // `Iterator::min_by` semantics of the Trace queries (max_ego_decel
         // uses `max_by`, which keeps the last of equals — but equal f64
         // values are indistinguishable, so `>` is equivalent).
-        let speed = scene.ego.state.speed;
+        let speed = ego.state.speed;
         if s.min_ego_speed.is_none_or(|cur| speed < cur) {
             s.min_ego_speed = Some(speed);
         }
-        let decel = MetersPerSecondSquared((-scene.ego.state.accel.value()).max(0.0));
+        let decel = MetersPerSecondSquared((-ego.state.accel.value()).max(0.0));
         if s.max_ego_decel.is_none_or(|cur| decel > cur) {
             s.max_ego_decel = Some(decel);
         }
-        if let Some(clearance) = min_clearance_in(scene) {
+        if let Some(clearance) = clearance {
             if s.min_clearance.is_none_or(|cur| clearance < cur) {
                 s.min_clearance = Some(clearance);
             }
         }
+    }
+}
+
+impl SimObserver for MetricsObserver {
+    fn on_scene(&mut self, scene: &Scene) {
+        self.fold(scene.time, &scene.ego, min_clearance_in(scene));
+    }
+
+    fn on_scene_columns(&mut self, columns: &SceneColumns, _scratch: &mut Scene) {
+        // Folds straight off the contiguous columns — no AoS scene is
+        // materialized; `min_clearance_columns` is bit-identical to the
+        // AoS fold on the equivalent scene.
+        self.fold(columns.time, &columns.ego, min_clearance_columns(columns));
     }
 
     fn on_event(&mut self, event: &SimEvent) {

@@ -133,7 +133,17 @@ impl EgoVehicle {
 
     /// Snapshot as a world-frame [`Agent`].
     pub fn to_agent(&self, road: &Road) -> Agent {
-        let frame = road.path().frame_at(self.s);
+        self.agent_from(road.path().frame_at(self.s))
+    }
+
+    /// [`EgoVehicle::to_agent`] with a caller-owned [`ProjectionHint`]
+    /// memoizing the road segment under the ego (temporal coherence;
+    /// bit-identical results for any hint state).
+    pub fn to_agent_hinted(&self, road: &Road, hint: &mut ProjectionHint) -> Agent {
+        self.agent_from(road.path().frame_at_hinted(self.s, hint))
+    }
+
+    fn agent_from(&self, frame: PathFrame) -> Agent {
         Agent::new(
             ActorId::EGO,
             ActorKind::Vehicle,
@@ -149,13 +159,28 @@ impl EgoVehicle {
 
     /// Chooses the lead obstacle among perceived agents: the nearest one
     /// ahead whose lateral offset overlaps the ego's corridor.
-    fn lead<'a>(&self, perceived: &'a [Agent], road: &Road) -> Option<(&'a Agent, Meters)> {
+    ///
+    /// `hints` (when provided, one slot per perceived agent) memoizes each
+    /// agent's last winning projection segment across ticks — the
+    /// temporal-coherence fast path of [`Path::project_with_hint`], which
+    /// is bit-identical to the plain projection.
+    fn lead<'a>(
+        &self,
+        perceived: &'a [Agent],
+        road: &Road,
+        mut hints: Option<&mut [ProjectionHint]>,
+    ) -> Option<(&'a Agent, Meters)> {
         let mut best: Option<(&Agent, Meters)> = None;
-        for agent in perceived {
+        for (i, agent) in perceived.iter().enumerate() {
             if agent.id.is_ego() {
                 continue;
             }
-            let f = road.to_frenet(agent.state.position);
+            let f = match hints.as_deref_mut() {
+                Some(hints) => road
+                    .path()
+                    .project_with_hint(agent.state.position, &mut hints[i]),
+                None => road.to_frenet(agent.state.position),
+            };
             let lateral = (f.d - self.d).abs();
             let corridor = Meters(
                 (self.dims.width.value() + agent.dims.width.value()) / 2.0
@@ -184,11 +209,41 @@ impl EgoVehicle {
     /// when the kinematically required deceleration exceeds the AEB
     /// trigger.
     pub fn plan(&self, perceived: &[Agent], road: &Road) -> MetersPerSecondSquared {
+        self.plan_impl(perceived, road, None)
+    }
+
+    /// [`EgoVehicle::plan`] with per-agent [`ProjectionHint`]s (one slot
+    /// per perceived agent, caller-owned across ticks) so each Frenet
+    /// projection starts from last tick's winning segment. Identical
+    /// command for identical inputs — hints affect only the search cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hints` is shorter than `perceived`.
+    pub fn plan_with_hints(
+        &self,
+        perceived: &[Agent],
+        road: &Road,
+        hints: &mut [ProjectionHint],
+    ) -> MetersPerSecondSquared {
+        assert!(
+            hints.len() >= perceived.len(),
+            "one projection hint per perceived agent"
+        );
+        self.plan_impl(perceived, road, Some(hints))
+    }
+
+    fn plan_impl(
+        &self,
+        perceived: &[Agent],
+        road: &Road,
+        hints: Option<&mut [ProjectionHint]>,
+    ) -> MetersPerSecondSquared {
         let cfg = &self.config;
         let v = self.speed.value().max(0.0);
         let v0 = cfg.desired_speed.value().max(0.1);
         let free = cfg.max_accel.value() * (1.0 - (v / v0).powi(4));
-        let Some((leader, gap)) = self.lead(perceived, road) else {
+        let Some((leader, gap)) = self.lead(perceived, road, hints) else {
             return MetersPerSecondSquared(
                 free.clamp(-cfg.max_decel.value(), cfg.max_accel.value()),
             );

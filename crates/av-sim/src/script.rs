@@ -225,6 +225,22 @@ impl ScriptedActor {
         &self.script
     }
 
+    /// Rewinds the actor to its spawn state (same placement, speed, armed
+    /// maneuvers) without cloning the script — the in-place counterpart of
+    /// [`ScriptedActor::spawn`] used when one scenario instance is
+    /// re-simulated across many candidate rates.
+    pub fn reset(&mut self, road: &Road) {
+        self.s = self.script.placement.s;
+        self.d = road
+            .lane_offset(self.script.placement.lane)
+            .expect("placement was validated at spawn");
+        self.speed = self.script.placement.speed;
+        self.accel = MetersPerSecondSquared::ZERO;
+        self.mode = SpeedMode::Hold;
+        self.lane_change = None;
+        self.next_maneuver = 0;
+    }
+
     /// Current arc-length position.
     pub fn s(&self) -> Meters {
         self.s
@@ -351,7 +367,17 @@ impl ScriptedActor {
 
     /// Snapshot as a world-frame [`Agent`].
     pub fn to_agent(&self, road: &Road) -> Agent {
-        let frame = road.path().frame_at(self.s);
+        self.agent_from(road.path().frame_at(self.s))
+    }
+
+    /// [`ScriptedActor::to_agent`] with a caller-owned [`ProjectionHint`]
+    /// memoizing the road segment under the actor (temporal coherence;
+    /// bit-identical results for any hint state).
+    pub fn to_agent_hinted(&self, road: &Road, hint: &mut ProjectionHint) -> Agent {
+        self.agent_from(road.path().frame_at_hinted(self.s, hint))
+    }
+
+    fn agent_from(&self, frame: PathFrame) -> Agent {
         Agent::new(
             self.script.id,
             self.script.kind,

@@ -7,7 +7,7 @@
 //! classify a run as safe or not.
 
 use av_core::prelude::*;
-use av_core::scene::Scene;
+use av_core::scene::{Scene, SceneColumns};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -136,6 +136,26 @@ pub fn min_clearance_in(scene: &Scene) -> Option<Meters> {
                 .norm_sq()
                 .sqrt();
             Meters(center - r_ego - a.dims.circumradius())
+        })
+        .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite distances"))
+}
+
+/// [`min_clearance_in`] over the struct-of-arrays form of the scene: the
+/// same fold (same operations, same order) reading the contiguous
+/// position/dims columns the simulation hot loop maintains, so
+/// [`crate::observer::MetricsObserver`] never has to materialize whole
+/// agents. Bit-identical to [`min_clearance_in`] on the equivalent
+/// [`Scene`].
+pub fn min_clearance_columns(columns: &SceneColumns) -> Option<Meters> {
+    let r_ego = columns.ego.dims.circumradius();
+    let ego_position = columns.ego.state.position;
+    columns
+        .positions()
+        .iter()
+        .zip(columns.dims())
+        .map(|(&position, dims)| {
+            let center = (position - ego_position).norm_sq().sqrt();
+            Meters(center - r_ego - dims.circumradius())
         })
         .min_by(|a, b| a.value().partial_cmp(&b.value()).expect("finite distances"))
 }

@@ -40,6 +40,8 @@ struct Args {
     workers: usize,
     reps: u32,
     baseline_s: Option<f64>,
+    prev_sims_per_s: Option<f64>,
+    prev_remeasured_sims_per_s: Option<f64>,
     out: String,
 }
 
@@ -52,9 +54,25 @@ impl Default for Args {
             workers: 1,
             reps: 3,
             baseline_s: None,
+            prev_sims_per_s: None,
+            prev_remeasured_sims_per_s: None,
             out: "BENCH_sim.json".to_string(),
         }
     }
+}
+
+/// The previous committed benchmark's streaming MSF throughput, read from
+/// the existing `results/<out>` before it is overwritten — the
+/// before/after hook that makes each regenerated `BENCH_sim.json` carry
+/// its own against-last-PR speedup.
+fn previous_streaming_sims_per_s(out: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(zhuyi_bench::results_dir().join(out)).ok()?;
+    // Hand-rolled extraction (serde is a shim): the field appears once,
+    // inside the "msf_sweep" object.
+    let tail = &text[text.find("\"msf_sweep\"")?..];
+    let tail = &tail[tail.find("\"streaming_sims_per_s\":")?..];
+    let value = tail.split(':').nth(1)?.split([',', '}']).next()?.trim();
+    value.parse().ok()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,6 +106,20 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --baseline-s".to_string())?,
                 )
             }
+            "--prev-sims-per-s" => {
+                args.prev_sims_per_s = Some(
+                    value("--prev-sims-per-s")?
+                        .parse()
+                        .map_err(|_| "bad --prev-sims-per-s".to_string())?,
+                )
+            }
+            "--prev-remeasured-sims-per-s" => {
+                args.prev_remeasured_sims_per_s = Some(
+                    value("--prev-remeasured-sims-per-s")?
+                        .parse()
+                        .map_err(|_| "bad --prev-remeasured-sims-per-s".to_string())?,
+                )
+            }
             "--out" => args.out = value("--out")?,
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -119,7 +151,10 @@ fn usage() {
          --baseline-s records an externally measured wall time for the identical\n\
          sweep on the pre-streaming engine (e.g. the previous commit's\n\
          `fleet_sweep --mode msf --variants N --workers 1`) into the JSON, so the\n\
-         against-baseline speedup is part of the committed artifact."
+         against-baseline speedup is part of the committed artifact.\n\
+         The streaming throughput of the existing results/<NAME> (or an explicit\n\
+         --prev-sims-per-s, e.g. the previous commit's binary re-measured on this\n\
+         machine) is carried into a vs_previous section with the before/after ratio."
     );
 }
 
@@ -205,6 +240,15 @@ fn main() -> ExitCode {
             .min_by(|a, b| a.0.total_cmp(&b.0))
             .expect("reps >= 1")
     };
+    // Capture the previous committed number before overwriting the file.
+    // An explicitly re-measured baseline stands in when no committed
+    // number exists, so `--prev-remeasured-sims-per-s` is never silently
+    // dropped.
+    let previous_sims_per_s = args
+        .prev_sims_per_s
+        .or_else(|| previous_streaming_sims_per_s(&args.out))
+        .or(args.prev_remeasured_sims_per_s);
+
     let (recorded_sweep_s, recorded_store) = timed_sweep(ExecOptions {
         record_traces: true,
     });
@@ -271,6 +315,40 @@ fn main() -> ExitCode {
         sims as f64 / streaming_sweep_s.max(1e-9),
         sweep_speedup,
     );
+    if let Some(previous) = previous_sims_per_s {
+        let current = sims as f64 / streaming_sweep_s.max(1e-9);
+        let _ = write!(
+            json,
+            ",\n  \"vs_previous\": {{\"previous_streaming_sims_per_s\": {:.2}, \"streaming_sims_per_s\": {:.2}, \"speedup\": {:.3}",
+            previous,
+            current,
+            current / previous.max(1e-9),
+        );
+        println!(
+            "vs previous: {:.1} -> {:.1} streaming sims/s ({:.2}x)",
+            previous,
+            current,
+            current / previous.max(1e-9),
+        );
+        if let Some(remeasured) = args.prev_remeasured_sims_per_s {
+            // The previous commit's binary re-run on this machine at bench
+            // time — the like-for-like ratio when the committed number was
+            // recorded under different machine load.
+            let _ = write!(
+                json,
+                ", \"previous_remeasured_sims_per_s\": {:.2}, \"speedup_same_machine\": {:.3}",
+                remeasured,
+                current / remeasured.max(1e-9),
+            );
+            println!(
+                "vs previous (re-measured on this machine): {:.1} -> {:.1} sims/s ({:.2}x)",
+                remeasured,
+                current,
+                current / remeasured.max(1e-9),
+            );
+        }
+        json.push('}');
+    }
     if let Some(baseline_s) = args.baseline_s {
         let _ = write!(
             json,

@@ -25,6 +25,7 @@
 
 use av_core::units::Fpr;
 use av_scenarios::catalog::{Mrf, Scenario};
+use av_scenarios::sweep::SweepContext;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one minimum-safe-FPR search, with its cost accounting.
@@ -71,6 +72,10 @@ impl MsfSearch {
 /// Memoizing safety oracle over one scenario instance's candidate grid.
 struct Probe<'a> {
     scenario: &'a Scenario,
+    /// Shared simulation for the streaming probes: the scenario is built
+    /// once and reset per candidate (sweep-level scene sharing). Lazily
+    /// created so the trace-recording baseline never pays for it.
+    context: Option<SweepContext<'a>>,
     candidates: &'a [u32],
     evals: Vec<Option<bool>>,
     sims_run: u32,
@@ -86,13 +91,18 @@ impl Probe<'_> {
         let fpr = Fpr(f64::from(self.candidates[index]));
         // Only the collision bit is consulted, so the default probe runs
         // streaming under a NullObserver (nothing recorded, nothing
-        // folded); `record_traces` forces the classic full-trace path
-        // (the equivalence baseline, and what `--record-traces` sweeps
-        // use).
+        // folded) on the shared reset-per-candidate simulation;
+        // `record_traces` forces the classic full-trace build-per-run
+        // path (the equivalence baseline, and what `--record-traces`
+        // sweeps use).
         let safe = if self.record_traces {
             !self.scenario.run_at(fpr).collided()
         } else {
-            !self.scenario.collides_at(fpr)
+            let scenario = self.scenario;
+            !self
+                .context
+                .get_or_insert_with(|| SweepContext::new(scenario))
+                .collides_at(fpr)
         };
         self.evals[index] = Some(safe);
         safe
@@ -110,6 +120,23 @@ impl Probe<'_> {
 /// Returns [`Mrf::BelowMinimumTested`] when every candidate is safe (the
 /// probe cannot distinguish rates below the grid floor), and
 /// [`Mrf::AboveMaximumTested`] when the largest candidate still collides.
+///
+/// Each probe runs on a shared [`SweepContext`]: the scenario instance
+/// is built once and the simulation reset — never rebuilt — between
+/// candidate rates.
+///
+/// ```no_run
+/// use av_scenarios::catalog::{Mrf, Scenario, ScenarioId};
+/// use zhuyi_fleet::min_safe_fpr;
+///
+/// // Cut-out, nominal geometry: unsafe at 1 FPR, safe from 2 up —
+/// // Table 1's MRF 2 — at the cost of at most one sim per candidate.
+/// let scenario = Scenario::build(ScenarioId::CutOut, 0);
+/// let result = min_safe_fpr(&scenario, &[1, 2, 4, 30]);
+/// assert_eq!(result.mrf, Mrf::Fpr(2));
+/// assert!(result.sims_run <= result.grid_size);
+/// println!("{} in {} sims", result.label(), result.sims_run);
+/// ```
 ///
 /// # Panics
 ///
@@ -140,6 +167,7 @@ pub fn min_safe_fpr_with(
     let n = candidates.len();
     let mut probe = Probe {
         scenario,
+        context: None,
         candidates,
         evals: vec![None; n],
         sims_run: 0,

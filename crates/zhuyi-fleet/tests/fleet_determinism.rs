@@ -157,3 +157,27 @@ fn analyze_jobs_produce_conservative_estimates() {
         assert!(est > 0.0 && est.is_finite());
     }
 }
+
+#[test]
+fn shared_context_search_matches_rebuild_per_candidate_across_catalog() {
+    // Sweep-level scene sharing: the streaming `min_safe_fpr` runs every
+    // candidate on one shared, reset-per-candidate simulation
+    // (`SweepContext`), while the trace-recording backend rebuilds the
+    // scenario from scratch for every candidate. Both must return the
+    // identical search result (answer *and* cost accounting) across the
+    // whole jittered catalog — any divergence means a reset leaked state
+    // between candidate runs.
+    use zhuyi_fleet::{min_safe_fpr, min_safe_fpr_with};
+    let grid = [1u32, 4, 30];
+    for id in ScenarioId::ALL {
+        for seed in [0u64, 6] {
+            let scenario = av_scenarios::catalog::Scenario::build(id, seed);
+            let shared = min_safe_fpr(&scenario, &grid);
+            let rebuilt = min_safe_fpr_with(&scenario, &grid, true);
+            assert_eq!(
+                shared, rebuilt,
+                "{id} seed {seed}: shared-context search diverged from per-candidate rebuild"
+            );
+        }
+    }
+}

@@ -6,6 +6,10 @@
 //! tolerable-latency search per surrounding actor and aggregating per camera
 //! field of view.
 //!
+//! (See `docs/ARCHITECTURE.md` in the repository for the three-layer
+//! architecture: av-core data model → av-sim streaming observer loop →
+//! zhuyi-fleet sharded sweeps.)
+//!
 //! This crate re-exports the whole workspace so examples and downstream
 //! users need a single dependency:
 //!
@@ -38,6 +42,9 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub use av_core as core;
 pub use av_perception as perception;
