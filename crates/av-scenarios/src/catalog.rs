@@ -62,6 +62,22 @@ impl ScenarioId {
         ScenarioId::FrontRightActivity3,
     ];
 
+    /// This scenario's position in Table-1 order — the index CLI flags
+    /// use and the inverse of [`ScenarioId::from_index`]. Stable across
+    /// runs, so it is also the scenario encoding of the distributed sweep
+    /// wire protocol.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&id| id == self)
+            .expect("ALL contains every variant")
+    }
+
+    /// The scenario at Table-1 index `index`, or `None` past the nine.
+    pub fn from_index(index: usize) -> Option<Self> {
+        Self::ALL.get(index).copied()
+    }
+
     /// The scenario's Table-1 name.
     pub fn name(self) -> &'static str {
         match self {
@@ -573,6 +589,50 @@ impl fmt::Display for Mrf {
 /// The paper's Table-1 candidate rate grid: 1–10 FPR, then 15 and 30.
 pub const PAPER_RATE_GRID: [u32; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 30];
 
+/// A named heterogeneous per-camera rate plan for the paper's five-camera
+/// rig ([`CameraRig::drive_av`]): one rate per camera in rig order —
+/// front narrow, front wide, left, right, rear.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerCameraPlan {
+    /// Short stable name used by CLI flags and exports.
+    pub name: &'static str,
+    /// Rates in rig order (FPR per camera).
+    pub rates: [f64; 5],
+}
+
+/// The heterogeneous per-camera rate-grid experiment (§3.2's per-camera
+/// estimates, probed closed-loop): instead of one uniform rate, each plan
+/// budgets the five cameras differently. Probing the whole jittered
+/// corpus against these plans answers which *allocation* of a fixed
+/// processing budget keeps the fleet collision-free — the question a
+/// uniform grid cannot ask.
+pub const PER_CAMERA_PLANS: [PerCameraPlan; 4] = [
+    // Forward-looking cameras fast, sides slow, rear slowest: the
+    // allocation Zhuyi's per-camera estimates suggest for front-activity
+    // scenarios.
+    PerCameraPlan {
+        name: "front-heavy",
+        rates: [30.0, 15.0, 4.0, 4.0, 2.0],
+    },
+    // Sides prioritized over distance: cut-ins are first visible in the
+    // side cameras' fields of view.
+    PerCameraPlan {
+        name: "side-heavy",
+        rates: [6.0, 6.0, 15.0, 15.0, 2.0],
+    },
+    // A flat economy budget: everything slow, rear nearly off.
+    PerCameraPlan {
+        name: "economy",
+        rates: [6.0, 4.0, 2.0, 2.0, 1.0],
+    },
+    // The inverted (adversarial) allocation: fast rear, starved front —
+    // the plan the probes should prove unsafe on forward scenarios.
+    PerCameraPlan {
+        name: "rear-heavy",
+        rates: [2.0, 2.0, 4.0, 4.0, 30.0],
+    },
+];
+
 /// Determines the minimum required FPR for a scenario: the smallest rate
 /// in `candidates` (sorted ascending) such that no seed in `seeds`
 /// collides at that rate or any higher tested rate.
@@ -734,6 +794,30 @@ mod tests {
             ]))
             .expect("valid plan");
         assert!((mixed.world().config().drop_after.value() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_index_round_trips() {
+        for (index, &id) in ScenarioId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), index);
+            assert_eq!(ScenarioId::from_index(index), Some(id));
+        }
+        assert_eq!(ScenarioId::from_index(ScenarioId::ALL.len()), None);
+    }
+
+    #[test]
+    fn per_camera_plans_fit_the_rig_and_are_valid() {
+        let rig = CameraRig::drive_av();
+        let mut names = std::collections::BTreeSet::new();
+        for plan in PER_CAMERA_PLANS {
+            assert_eq!(plan.rates.len(), rig.len(), "{} arity", plan.name);
+            assert!(
+                plan.rates.iter().all(|r| r.is_finite() && *r > 0.0),
+                "{} has an invalid rate",
+                plan.name
+            );
+            assert!(names.insert(plan.name), "duplicate plan name {}", plan.name);
+        }
     }
 
     #[test]

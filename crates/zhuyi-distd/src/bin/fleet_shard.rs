@@ -1,0 +1,84 @@
+//! `fleet_shard` — one sweep worker process.
+//!
+//! Connects to a `fleet_sweep --dist` coordinator, executes the shards it
+//! is assigned through the fleet engine's metrics-only execution path,
+//! and streams each job's result back the moment it finishes. Normally
+//! spawned by the coordinator itself; run it by hand (or on another host)
+//! to join a coordinator that passed `--listen`:
+//!
+//! ```text
+//! USAGE:
+//!   fleet_shard --connect HOST:PORT [--name NAME]
+//!               [--spawned] [--fail-after N] [--help]
+//! ```
+//!
+//! `--spawned` marks the worker as coordinator-spawned (eligible for
+//! respawn after a crash); `--fail-after N` is the fault-injection hook —
+//! the process exits hard (code 17) after streaming N results — used by
+//! the crash-recovery tests.
+
+use std::process::ExitCode;
+use zhuyi_distd::{cli, run_worker, WorkerOptions};
+
+fn parse_args() -> Result<WorkerOptions, String> {
+    let mut connect: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut spawned = false;
+    let mut fail_after: Option<u32> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--connect" => connect = Some(cli::parse_addr("--connect", &value("--connect")?)?),
+            "--name" => name = Some(value("--name")?),
+            "--spawned" => spawned = true,
+            "--fail-after" => fail_after = Some(cli::parse_fail_after(&value("--fail-after")?)?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let connect = connect.ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
+    let mut options = WorkerOptions::new(connect);
+    if let Some(name) = name {
+        options.name = name;
+    }
+    options.spawned = spawned;
+    options.fail_after = fail_after;
+    Ok(options)
+}
+
+fn usage() {
+    eprintln!(
+        "fleet_shard — distributed sweep worker\n\n\
+         USAGE:\n  fleet_shard --connect HOST:PORT [--name NAME] [--spawned]\n\
+         \x20             [--fail-after N]\n\n\
+         Joins the fleet coordinator at HOST:PORT (a `fleet_sweep --dist` run,\n\
+         usually one that passed --listen), executes assigned job shards and\n\
+         streams results back. --fail-after N crashes the process (exit 17)\n\
+         after N results — fault injection for the crash-recovery tests."
+    );
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            usage();
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+    match run_worker(&options) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fleet_shard[{}]: {e}", options.name);
+            ExitCode::FAILURE
+        }
+    }
+}

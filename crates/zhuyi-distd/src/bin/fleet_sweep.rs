@@ -1,0 +1,407 @@
+//! `fleet_sweep` — run a fleet-scale scenario sweep from the command
+//! line, on this process's thread pool or sharded across worker
+//! processes/hosts.
+//!
+//! The paper's pre-deployment workflow (§3.1) at corpus scale: expand the
+//! nine Table-1 scenarios into jittered variants, fan the resulting jobs
+//! across workers, and aggregate/export the merged results.
+//!
+//! ```text
+//! USAGE:
+//!   fleet_sweep [--mode msf|probe|percam|analyze] [--scenarios all|0,1,5]
+//!               [--variants N] [--workers N] [--rates 1,2,...,30]
+//!               [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]
+//!               [--stride N] [--csv NAME] [--json NAME] [--traces]
+//!               [--record-traces] [--baseline]
+//!               [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]
+//!               [--connect ADDR] [--help]
+//! ```
+//!
+//! Defaults reproduce Table 1 fleet-style: `--mode msf --scenarios all
+//! --variants 10` over the paper's rate grid, on all available cores.
+//!
+//! **Distributed modes.** `--dist` shards the sweep across `--workers N`
+//! spawned `fleet_shard` OS processes (plus any external workers when
+//! `--listen HOST:PORT` is given); exports stay byte-identical to the
+//! single-process run. `--checkpoint PATH` makes the run resumable and
+//! `--batch N` pins the shard size. `--connect HOST:PORT` turns this
+//! invocation into a *worker* that joins a coordinator elsewhere (the
+//! multi-host story: run `fleet_sweep --dist --listen` on one box and
+//! `fleet_sweep --connect` on the others).
+
+use av_scenarios::catalog::{PerCameraPlan, ScenarioId, PAPER_RATE_GRID};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use zhuyi_distd::{cli as dcli, run_distributed, run_worker, DistConfig, WorkerOptions};
+use zhuyi_fleet::{cli, pool, run_sweep_with, ExecOptions, PredictorChoice, SweepPlan};
+
+#[derive(Debug)]
+struct Args {
+    mode: Mode,
+    scenarios: Vec<ScenarioId>,
+    variants: u64,
+    workers: usize,
+    rates: Vec<u32>,
+    fpr: f64,
+    plans: Vec<PerCameraPlan>,
+    predictor: PredictorChoice,
+    stride: usize,
+    csv: Option<String>,
+    json: Option<String>,
+    traces: bool,
+    record_traces: bool,
+    baseline: bool,
+    dist: bool,
+    listen: Option<String>,
+    connect: Option<String>,
+    checkpoint: Option<PathBuf>,
+    batch: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Msf,
+    Probe,
+    PerCamera,
+    Analyze,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Msf => "msf",
+            Mode::Probe => "probe",
+            Mode::PerCamera => "percam",
+            Mode::Analyze => "analyze",
+        }
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Msf,
+            scenarios: ScenarioId::ALL.to_vec(),
+            variants: 10,
+            workers: pool::default_workers(),
+            rates: PAPER_RATE_GRID.to_vec(),
+            fpr: 30.0,
+            plans: av_scenarios::catalog::PER_CAMERA_PLANS.to_vec(),
+            predictor: PredictorChoice::Oracle,
+            stride: 20,
+            csv: None,
+            json: None,
+            traces: false,
+            record_traces: false,
+            baseline: false,
+            dist: false,
+            listen: None,
+            connect: None,
+            checkpoint: None,
+            batch: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut seen: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        seen.push(flag.clone());
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "msf" => Mode::Msf,
+                    "probe" => Mode::Probe,
+                    "percam" => Mode::PerCamera,
+                    "analyze" => Mode::Analyze,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--scenarios" => args.scenarios = cli::parse_scenarios(&value("--scenarios")?)?,
+            "--variants" => {
+                args.variants = value("--variants")?
+                    .parse()
+                    .map_err(|_| "bad --variants".to_string())?
+            }
+            "--workers" => {
+                let raw = value("--workers")?;
+                args.workers = if raw.trim() == "0" {
+                    0
+                } else {
+                    dcli::parse_workers(&raw)?
+                };
+            }
+            "--rates" => args.rates = cli::parse_rates(&value("--rates")?)?,
+            "--fpr" => {
+                args.fpr = value("--fpr")?
+                    .parse()
+                    .map_err(|_| "bad --fpr".to_string())?
+            }
+            "--plans" => args.plans = cli::parse_per_camera_plans(&value("--plans")?)?,
+            "--predictor" => {
+                args.predictor = match value("--predictor")?.as_str() {
+                    "oracle" => PredictorChoice::Oracle,
+                    "cv" => PredictorChoice::ConstantVelocity,
+                    "ca" => PredictorChoice::ConstantAcceleration,
+                    other => return Err(format!("unknown predictor {other:?}")),
+                }
+            }
+            "--stride" => {
+                args.stride = value("--stride")?
+                    .parse()
+                    .map_err(|_| "bad --stride".to_string())?
+            }
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--json" => args.json = Some(value("--json")?),
+            "--traces" => args.traces = true,
+            "--record-traces" => args.record_traces = true,
+            "--baseline" => args.baseline = true,
+            "--dist" => args.dist = true,
+            "--listen" => args.listen = Some(dcli::parse_addr("--listen", &value("--listen")?)?),
+            "--connect" => {
+                args.connect = Some(dcli::parse_addr("--connect", &value("--connect")?)?)
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(dcli::parse_checkpoint(&value("--checkpoint")?)?)
+            }
+            "--batch" => args.batch = Some(dcli::parse_batch(&value("--batch")?)?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.workers == 0 && !(args.dist && args.listen.is_some()) {
+        return Err(
+            "--workers 0 is only valid with --dist --listen (external workers only)".to_string(),
+        );
+    }
+    if args.variants == 0 {
+        return Err("--variants must be >= 1".to_string());
+    }
+    if !(args.fpr.is_finite() && args.fpr > 0.0) {
+        return Err("--fpr must be positive and finite".to_string());
+    }
+    dcli::validate_dist_flags(&dcli::DistFlags {
+        dist: args.dist,
+        connect: args.connect.clone(),
+        listen: args.listen.clone(),
+        checkpoint: args.checkpoint.clone(),
+        batch: args.batch,
+        export_flags: ["--csv", "--json", "--traces", "--baseline"]
+            .iter()
+            .filter(|f| seen.iter().any(|s| s == *f))
+            .map(ToString::to_string)
+            .collect(),
+    })?;
+    if args.connect.is_some() {
+        // A worker has no plan of its own: every plan-shaping flag would
+        // be silently ignored, so reject them loudly instead.
+        let plan_flags = [
+            "--mode",
+            "--scenarios",
+            "--variants",
+            "--workers",
+            "--rates",
+            "--fpr",
+            "--plans",
+            "--predictor",
+            "--stride",
+            "--record-traces",
+        ];
+        if let Some(flag) = seen.iter().find(|f| plan_flags.contains(&f.as_str())) {
+            return Err(format!(
+                "{flag} does not apply to a --connect worker (the coordinator owns the plan)"
+            ));
+        }
+    }
+    // Reject flags the selected mode would silently ignore — a dropped
+    // `--rates` or `--fpr` quietly changes what safety question was asked.
+    if args.connect.is_none() {
+        let irrelevant: &[&str] = match args.mode {
+            Mode::Msf => &["--fpr", "--plans", "--predictor", "--stride", "--traces"],
+            Mode::Probe => &["--rates", "--plans", "--predictor", "--stride"],
+            Mode::PerCamera => &["--rates", "--fpr", "--predictor", "--stride"],
+            // Analyze jobs always record (the estimator consumes the
+            // trace), so --record-traces would be a silent no-op there.
+            Mode::Analyze => &["--rates", "--plans", "--traces", "--record-traces"],
+        };
+        if let Some(flag) = seen.iter().find(|f| irrelevant.contains(&f.as_str())) {
+            return Err(format!(
+                "{flag} does not apply to --mode {}",
+                args.mode.name()
+            ));
+        }
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "fleet_sweep — parallel fleet-scale scenario sweeps (threads or processes)\n\n\
+         USAGE:\n  fleet_sweep [--mode msf|probe|percam|analyze] [--scenarios all|0,1,5]\n\
+         \x20             [--variants N] [--workers N] [--rates 1,2,...,30]\n\
+         \x20             [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]\n\
+         \x20             [--stride N] [--csv NAME] [--json NAME] [--traces]\n\
+         \x20             [--record-traces] [--baseline]\n\
+         \x20             [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]\n\
+         \x20             [--connect ADDR]\n\n\
+         MODES:\n\
+         \x20 msf      binary-search each instance's minimum safe rate over --rates (default)\n\
+         \x20 probe    run each instance closed-loop at --fpr and record collisions\n\
+         \x20 percam   probe each instance against the heterogeneous per-camera rate\n\
+         \x20          plans selected by --plans (catalog presets, see below)\n\
+         \x20 analyze  run at --fpr, then Zhuyi-analyze the trace with --predictor\n\n\
+         DISTRIBUTION:\n\
+         \x20 --dist            shard across --workers N spawned fleet_shard processes\n\
+         \x20 --listen ADDR     (with --dist) also accept external workers on ADDR\n\
+         \x20 --checkpoint P    append completed jobs to P; resume P if it exists\n\
+         \x20 --batch N         jobs per shard (default: pending/(workers*4))\n\
+         \x20 --connect ADDR    be a worker for the coordinator at ADDR instead\n\n\
+         Scenario indexes follow Table-1 order (0 = Cut-out ... 8 = Front & right 3).\n\
+         Per-camera plan indexes follow catalog order (0 = front-heavy, 1 = side-heavy,\n\
+         2 = economy, 3 = rear-heavy). --csv/--json write into results/ via the bench\n\
+         harness. Distributed exports are byte-identical to single-process exports\n\
+         (worker count, shard shape, crashes and resumes never change the output)."
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            usage();
+            return if message.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+
+    // Worker mode: join a coordinator elsewhere; it owns plan and exports.
+    if let Some(addr) = &args.connect {
+        println!("fleet_sweep: joining coordinator at {addr} as a worker");
+        return match run_worker(&WorkerOptions::new(addr.clone())) {
+            Ok(executed) => {
+                println!("worker done: executed {executed} jobs");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut builder = SweepPlan::builder()
+        .scenarios(args.scenarios.iter().copied())
+        .jittered_variants(args.variants);
+    builder = match args.mode {
+        Mode::Msf => builder.min_safe_fpr(args.rates.clone()),
+        Mode::Probe => builder.probe(args.fpr, args.traces),
+        Mode::PerCamera => {
+            builder.probe_per_camera_plans(args.plans.iter().map(|p| p.rates.to_vec()), args.traces)
+        }
+        Mode::Analyze => builder.analyze(args.fpr, args.predictor, args.stride),
+    };
+    let plan = builder.build();
+
+    println!(
+        "fleet_sweep: {} jobs ({} scenarios x {} variants), {} {}",
+        plan.len(),
+        args.scenarios.len(),
+        args.variants,
+        args.workers,
+        if args.dist {
+            "worker processes"
+        } else {
+            "worker threads"
+        }
+    );
+
+    let options = ExecOptions {
+        record_traces: args.record_traces,
+    };
+    let start = Instant::now();
+    let store = if args.dist {
+        let config = DistConfig {
+            spawn_workers: args.workers,
+            listen: args.listen.clone(),
+            checkpoint: args.checkpoint.clone(),
+            batch_size: args.batch,
+            options,
+            ..DistConfig::default()
+        };
+        let report = match run_distributed(&plan, &config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let s = report.stats;
+        println!(
+            "distributed: {} workers ({} lost, {} respawned), {} shards ({} reassigned, \
+             {} jobs stolen, {} duplicate results), {} jobs resumed from checkpoint",
+            s.workers_connected,
+            s.workers_lost,
+            s.workers_respawned,
+            s.batches_assigned,
+            s.batches_reassigned,
+            s.jobs_stolen,
+            s.duplicate_results,
+            s.resumed_jobs,
+        );
+        report.store
+    } else {
+        run_sweep_with(&plan, args.workers, options)
+    };
+    let elapsed = start.elapsed();
+    println!(
+        "completed {} jobs in {:.2}s ({:.1} jobs/s)\n",
+        store.len(),
+        elapsed.as_secs_f64(),
+        store.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    if args.baseline {
+        let start = Instant::now();
+        let sequential = run_sweep_with(&plan, 1, options);
+        let baseline = start.elapsed();
+        assert_eq!(
+            sequential.to_csv(),
+            store.to_csv(),
+            "parallel and sequential sweeps must merge identically"
+        );
+        println!(
+            "single-thread baseline: {:.2}s -> speedup {:.2}x on {} workers (identical output)\n",
+            baseline.as_secs_f64(),
+            baseline.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            args.workers
+        );
+    }
+
+    println!("{}", store.summary_table().render());
+
+    if let Some(name) = &args.csv {
+        let path = zhuyi_bench::write_results(name, &store.to_csv());
+        println!("wrote {}", path.display());
+    }
+    if let Some(name) = &args.json {
+        let path = zhuyi_bench::write_results(name, &store.to_json());
+        println!("wrote {}", path.display());
+    }
+    if args.traces {
+        for (name, csv) in store.kept_traces() {
+            let path = zhuyi_bench::write_results(&name, csv);
+            println!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

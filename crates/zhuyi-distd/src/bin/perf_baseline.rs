@@ -10,15 +10,20 @@
 //! 2. **MSF catalog sweep** (sims/sec): the paper's Table-1 workload —
 //!    scenarios × jittered variants × `min_safe_fpr` over the rate grid —
 //!    executed by the fleet engine metrics-only vs. with
-//!    `ExecOptions::record_traces` forcing full traces.
+//!    `ExecOptions::record_traces` forcing full traces;
+//! 3. **shard scaling** (sims/sec per worker-process count): the same
+//!    streaming MSF sweep distributed across 1/2/4 spawned `fleet_shard`
+//!    processes via `zhuyi-distd`, each run's exports asserted
+//!    byte-identical to the single-process sweep.
 //!
-//! Both modes must produce identical sweep exports (asserted here), so
-//! the speedup is a like-for-like measurement, not a changed experiment.
+//! Every mode must produce identical sweep exports (asserted here), so
+//! the speedups are like-for-like measurements, not changed experiments.
 //!
 //! ```text
 //! USAGE:
 //!   perf_baseline [--scenarios all|0,1,5] [--variants N]
-//!                 [--rates 1,2,...,30] [--workers N] [--out NAME]
+//!                 [--rates 1,2,...,30] [--workers N]
+//!                 [--shards 1,2,4|none] [--out NAME]
 //! ```
 //!
 //! Defaults reproduce the acceptance workload: all nine scenarios,
@@ -30,6 +35,7 @@ use av_scenarios::catalog::{Scenario, ScenarioId, PAPER_RATE_GRID};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
+use zhuyi_distd::{default_worker_binary, run_distributed, DistConfig};
 use zhuyi_fleet::{cli, run_sweep_with, ExecOptions, JobOutcome, SweepPlan};
 
 #[derive(Debug)]
@@ -38,6 +44,7 @@ struct Args {
     variants: u64,
     rates: Vec<u32>,
     workers: usize,
+    shards: Vec<u32>,
     reps: u32,
     baseline_s: Option<f64>,
     prev_sims_per_s: Option<f64>,
@@ -52,6 +59,7 @@ impl Default for Args {
             variants: 10,
             rates: PAPER_RATE_GRID.to_vec(),
             workers: 1,
+            shards: vec![1, 2, 4],
             reps: 3,
             baseline_s: None,
             prev_sims_per_s: None,
@@ -75,6 +83,29 @@ fn previous_streaming_sims_per_s(out: &str) -> Option<f64> {
     value.parse().ok()
 }
 
+/// Parses `--shards`: `none` to skip the shard-scaling phase, or a
+/// comma-separated set of worker-process counts (sorted, deduplicated,
+/// all `>= 1`).
+fn parse_shards(spec: &str) -> Result<Vec<u32>, String> {
+    if spec.trim() == "none" {
+        return Ok(Vec::new());
+    }
+    let mut shards: Vec<u32> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad shard count {s:?}"))
+        })
+        .collect::<Result<_, String>>()?;
+    shards.sort_unstable();
+    shards.dedup();
+    if shards.first() == Some(&0) {
+        return Err("shard worker counts must be >= 1".to_string());
+    }
+    Ok(shards)
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
@@ -94,6 +125,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --workers".to_string())?
             }
+            "--shards" => args.shards = parse_shards(&value("--shards")?)?,
             "--reps" => {
                 args.reps = value("--reps")?
                     .parse()
@@ -144,9 +176,12 @@ fn usage() {
         "perf_baseline — streaming vs trace-recording simulation-core benchmark\n\n\
          USAGE:\n  perf_baseline [--scenarios all|0,1,5] [--variants N]\n\
          \x20              [--rates 1,2,...,30] [--workers N] [--reps N]\n\
-         \x20              [--baseline-s SECS] [--out NAME]\n\n\
+         \x20              [--shards 1,2,4|none] [--baseline-s SECS] [--out NAME]\n\n\
          Writes results/<NAME> (default BENCH_sim.json): single-run ticks/sec and\n\
-         MSF-sweep sims/sec for the recorded and streaming paths, plus speedups.\n\
+         MSF-sweep sims/sec for the recorded and streaming paths, plus speedups,\n\
+         plus a shard_scaling section measuring the same streaming sweep sharded\n\
+         across --shards spawned fleet_shard worker processes (build fleet_shard\n\
+         first; every distributed run's exports are asserted byte-identical).\n\
          Each measurement is the best of --reps repetitions (noise rejection).\n\
          --baseline-s records an externally measured wall time for the identical\n\
          sweep on the pre-streaming engine (e.g. the previous commit's\n\
@@ -278,6 +313,47 @@ fn main() -> ExitCode {
         sweep_speedup,
     );
 
+    // --- Phase 3: shard scaling (sims/sec per worker-process count). ---
+    // One rep per point: each point spawns OS processes, so best-of-reps
+    // buys little against that startup noise, and the equality assert
+    // below is the correctness half regardless of timing.
+    let mut shard_rows: Vec<(u32, f64, f64)> = Vec::new();
+    if !args.shards.is_empty() {
+        let worker_binary = match default_worker_binary() {
+            Ok(path) => path,
+            Err(message) => {
+                eprintln!("error: shard scaling needs the worker binary: {message}");
+                return ExitCode::from(2);
+            }
+        };
+        for &workers in &args.shards {
+            let config = DistConfig {
+                spawn_workers: workers as usize,
+                worker_binary: Some(worker_binary.clone()),
+                ..DistConfig::default()
+            };
+            let start = Instant::now();
+            let report = match run_distributed(&plan, &config) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("error: shard-scaling run with {workers} worker(s) failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let wall_s = start.elapsed().as_secs_f64();
+            assert_eq!(
+                report.store.to_csv(),
+                streaming_store.to_csv(),
+                "{workers}-worker distributed sweep must export identical results"
+            );
+            let sims_per_s = sims as f64 / wall_s.max(1e-9);
+            println!(
+                "shard scaling: {workers} worker process(es): {wall_s:.2}s ({sims_per_s:.1} sims/s)"
+            );
+            shard_rows.push((workers, wall_s, sims_per_s));
+        }
+    }
+
     // --- Write BENCH_sim.json (hand-rolled JSON; serde is a shim). -----
     let mut json = String::new();
     let scenario_names: Vec<String> = args
@@ -315,6 +391,27 @@ fn main() -> ExitCode {
         sims as f64 / streaming_sweep_s.max(1e-9),
         sweep_speedup,
     );
+    if !shard_rows.is_empty() {
+        let base_sims_per_s = shard_rows[0].2;
+        let cells: Vec<String> = shard_rows
+            .iter()
+            .map(|&(workers, wall_s, sims_per_s)| {
+                format!(
+                    "\n    {{\"workers\": {workers}, \"wall_s\": {wall_s:.6}, \"sims_per_s\": {sims_per_s:.2}, \"scaling_vs_smallest\": {:.3}}}",
+                    sims_per_s / base_sims_per_s.max(1e-9),
+                )
+            })
+            .collect();
+        // machine_parallelism is the reading key: on a 1-core box every
+        // worker count collapses to ~1.0x, and that is the hardware
+        // talking, not the scheduler.
+        let _ = write!(
+            json,
+            ",\n  \"shard_scaling\": {{\"machine_parallelism\": {}, \"points\": [{}\n  ]}}",
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            cells.join(","),
+        );
+    }
     if let Some(previous) = previous_sims_per_s {
         let current = sims as f64 / streaming_sweep_s.max(1e-9);
         let _ = write!(

@@ -1,0 +1,353 @@
+//! Crash-safe checkpointing of completed sweep jobs.
+//!
+//! The coordinator appends every *first* (deduplicated) [`JobResult`] it
+//! receives to an on-disk log and flushes per record, so an interrupted
+//! distributed sweep resumes without re-simulating finished jobs — and,
+//! because exports are rebuilt from the id-ordered union of resumed and
+//! fresh results, a resumed sweep still produces **byte-identical** output
+//! to an uninterrupted one.
+//!
+//! # File format
+//!
+//! ```text
+//! magic   b"ZHUYIDC1"                      (8 bytes)
+//! u64-LE  plan fingerprint                 (FNV-1a over the encoded plan
+//!                                           jobs + the exec options)
+//! records u32-LE length + encoded JobResult  (see `wire::put_job_result`)
+//! ```
+//!
+//! A torn final record (the coordinator died mid-append) is tolerated and
+//! ignored on load; anything else malformed is an error. The fingerprint
+//! pins a checkpoint to one exact (plan, options) pair — resuming a
+//! different sweep against it is refused rather than silently merged.
+
+use crate::wire::{self, WireError};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use zhuyi_fleet::{ExecOptions, JobResult, SweepPlan};
+
+const MAGIC: &[u8; 8] = b"ZHUYIDC1";
+
+/// Errors raised while writing or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file failed.
+    Io(std::io::Error),
+    /// The file is not a checkpoint, or a non-tail record is corrupt.
+    Corrupt(String),
+    /// The checkpoint belongs to a different (plan, options) pair.
+    PlanMismatch {
+        /// Fingerprint stored in the file.
+        found: u64,
+        /// Fingerprint of the sweep being resumed.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::PlanMismatch { found, expected } => write!(
+                f,
+                "checkpoint fingerprint {found:#018x} does not match this sweep \
+                 ({expected:#018x}); it records a different plan or options"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over the plan's wire-encoded jobs plus the exec options
+/// — the identity a checkpoint is pinned to. Folds one reused per-job
+/// buffer into the hash state, so memory stays O(1) in the plan size.
+pub fn plan_fingerprint(plan: &SweepPlan, options: ExecOptions) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let fold = |hash: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *hash ^= u64::from(b);
+            *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let mut buf = Vec::with_capacity(64);
+    for job in plan.jobs() {
+        buf.clear();
+        wire::put_job(&mut buf, job);
+        fold(&mut hash, &buf);
+    }
+    fold(&mut hash, &[u8::from(options.record_traces)]);
+    hash
+}
+
+/// Append-only checkpoint writer; see the module docs for the format.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    records: usize,
+}
+
+impl CheckpointWriter {
+    /// Creates (or truncates) a checkpoint for the given sweep identity
+    /// and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O failures.
+    pub fn create(path: &Path, fingerprint: u64) -> Result<Self, CheckpointError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut writer = BufWriter::new(file);
+        writer.write_all(MAGIC)?;
+        writer.write_all(&fingerprint.to_le_bytes())?;
+        writer.flush()?;
+        Ok(Self {
+            writer,
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    /// Opens an existing checkpoint for appending after `loaded` records
+    /// were recovered from it: the recovered records are rewritten to a
+    /// sibling temp file (discarding any torn tail) which then atomically
+    /// renames over the original — a crash mid-rewrite leaves the old
+    /// checkpoint untouched, never a truncated one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O failures.
+    pub fn resume(
+        path: &Path,
+        loaded: &[JobResult],
+        fingerprint: u64,
+    ) -> Result<Self, CheckpointError> {
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".rewrite");
+        let tmp = PathBuf::from(tmp);
+        let mut writer = Self::create(&tmp, fingerprint)?;
+        for result in loaded {
+            writer.append(result)?;
+        }
+        // append() flushed every record to the OS; the rename makes the
+        // compacted file the checkpoint in one step. The open handle
+        // follows the inode, so subsequent appends land in `path`.
+        std::fs::rename(&tmp, path)?;
+        writer.path = path.to_path_buf();
+        Ok(writer)
+    }
+
+    /// Appends one completed result and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O failures.
+    pub fn append(&mut self, result: &JobResult) -> Result<(), CheckpointError> {
+        let mut payload = Vec::with_capacity(128);
+        wire::put_job_result(&mut payload, result);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.writer.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended so far (including any re-appended on resume).
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Loads a checkpoint's recovered results, validating the header against
+/// `fingerprint`. Returns results in file order (deduplicated by job id,
+/// first occurrence wins). A truncated final record is silently dropped.
+///
+/// # Errors
+///
+/// [`CheckpointError::Corrupt`] for bad magic or an undecodable non-tail
+/// record, [`CheckpointError::PlanMismatch`] for a different sweep.
+pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<JobResult>, CheckpointError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() + 8 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::Corrupt("bad or missing header".into()));
+    }
+    let found = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if found != fingerprint {
+        return Err(CheckpointError::PlanMismatch {
+            found,
+            expected: fingerprint,
+        });
+    }
+    let mut results: Vec<JobResult> = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut pos = 16usize;
+    while pos < bytes.len() {
+        if pos + 4 > bytes.len() {
+            break; // torn length prefix
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let start = pos + 4;
+        let Some(end) = start.checked_add(len).filter(|&end| end <= bytes.len()) else {
+            break; // torn record body
+        };
+        match wire::decode_job_result(&bytes[start..end]) {
+            Ok(result) => {
+                if seen.insert(result.job.id) {
+                    results.push(result);
+                }
+            }
+            Err(WireError::Malformed(what)) if end == bytes.len() => {
+                // A complete-length but garbage tail record still means a
+                // torn write only if it is the last one; surface anything
+                // earlier as corruption.
+                let _ = what;
+                break;
+            }
+            Err(e) => return Err(CheckpointError::Corrupt(e.to_string())),
+        }
+        pos = end;
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_core::units::Seconds;
+    use av_scenarios::catalog::ScenarioId;
+    use zhuyi_fleet::store::ProbeOutcome;
+    use zhuyi_fleet::{JobId, JobKind, JobOutcome, JobSpec, RateSpec, SweepJob};
+
+    fn probe_result(id: u64, collided: bool) -> JobResult {
+        JobResult {
+            job: SweepJob {
+                id: JobId(id),
+                spec: JobSpec {
+                    scenario: ScenarioId::CutOut,
+                    seed: id,
+                    kind: JobKind::Probe {
+                        plan: RateSpec::Uniform(4.0),
+                        keep_trace: false,
+                    },
+                },
+            },
+            outcome: JobOutcome::Probe(ProbeOutcome {
+                collided,
+                collision_time: None,
+                collision_actor: None,
+                min_clearance: Some(av_core::units::Meters(1.5)),
+                duration: Seconds(25.0),
+                trace_csv: None,
+            }),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("zhuyi-distd-ckpt-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join("ckpt.bin")
+    }
+
+    #[test]
+    fn write_load_round_trip_with_dedup() {
+        let path = tmp("roundtrip");
+        let mut w = CheckpointWriter::create(&path, 42).expect("create");
+        w.append(&probe_result(0, false)).expect("append");
+        w.append(&probe_result(1, true)).expect("append");
+        w.append(&probe_result(0, false)).expect("append dup");
+        drop(w);
+        let loaded = load(&path, 42).expect("load");
+        assert_eq!(loaded.len(), 2, "duplicate job id must collapse");
+        assert_eq!(loaded[0].job.id, JobId(0));
+        assert_eq!(loaded[1].job.id, JobId(1));
+        assert_eq!(loaded[1], probe_result(1, true));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_resume_rewrites_it() {
+        let path = tmp("torn");
+        let mut w = CheckpointWriter::create(&path, 7).expect("create");
+        w.append(&probe_result(0, false)).expect("append");
+        w.append(&probe_result(1, false)).expect("append");
+        drop(w);
+        // Tear the last record mid-body.
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("tear");
+        let loaded = load(&path, 7).expect("load survives torn tail");
+        assert_eq!(loaded.len(), 1);
+        // Resume compacts the file; a fresh load sees both the recovered
+        // record and anything appended after.
+        let mut w = CheckpointWriter::resume(&path, &loaded, 7).expect("resume");
+        w.append(&probe_result(2, true)).expect("append");
+        drop(w);
+        let reloaded = load(&path, 7).expect("reload");
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded[1].job.id, JobId(2));
+    }
+
+    #[test]
+    fn wrong_fingerprint_and_bad_magic_are_refused() {
+        let path = tmp("mismatch");
+        drop(CheckpointWriter::create(&path, 1).expect("create"));
+        assert!(matches!(
+            load(&path, 2),
+            Err(CheckpointError::PlanMismatch {
+                found: 1,
+                expected: 2
+            })
+        ));
+        std::fs::write(&path, b"not a checkpoint").expect("clobber");
+        assert!(matches!(load(&path, 1), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fingerprint_separates_plans_and_options() {
+        let plan_a = SweepPlan::builder()
+            .scenarios([ScenarioId::CutOut])
+            .seeds([0])
+            .probe(4.0, false)
+            .build();
+        let plan_b = SweepPlan::builder()
+            .scenarios([ScenarioId::CutOut])
+            .seeds([1])
+            .probe(4.0, false)
+            .build();
+        let defaults = ExecOptions::default();
+        let recording = ExecOptions {
+            record_traces: true,
+        };
+        assert_eq!(
+            plan_fingerprint(&plan_a, defaults),
+            plan_fingerprint(&plan_a, defaults),
+            "fingerprint must be deterministic"
+        );
+        assert_ne!(
+            plan_fingerprint(&plan_a, defaults),
+            plan_fingerprint(&plan_b, defaults)
+        );
+        assert_ne!(
+            plan_fingerprint(&plan_a, defaults),
+            plan_fingerprint(&plan_a, recording)
+        );
+    }
+}

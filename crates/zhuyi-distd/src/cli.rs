@@ -1,0 +1,294 @@
+//! Parsing and validation of the distribution CLI flags (`--workers`,
+//! `--connect`, `--checkpoint`, `--listen`, `--batch`), shared by
+//! `fleet_sweep` and `fleet_shard` so both reject malformed values with
+//! the same clear messages (and a non-zero exit code, pinned by
+//! `tests/cli_validation.rs`).
+
+use std::path::PathBuf;
+
+/// Parses a `--workers` value: a base-10 process count, `>= 1`.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric or zero values.
+pub fn parse_workers(spec: &str) -> Result<usize, String> {
+    let workers: usize = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--workers expects a whole number, got {spec:?}"))?;
+    if workers == 0 {
+        return Err(
+            "--workers must be >= 1 (use --listen to run with only external workers)".to_string(),
+        );
+    }
+    Ok(workers)
+}
+
+/// Parses a `--connect`/`--listen` value: syntactically a `host:port`
+/// pair (non-empty host, valid `u16` port). The *original string* is
+/// returned and DNS resolution is deliberately deferred to connect/bind
+/// time — a worker started while the resolver is briefly unavailable
+/// must fall into the connect retry loop, not die with a syntax error.
+///
+/// # Errors
+///
+/// A human-readable message naming the flag for port-less or
+/// malformed-port addresses.
+pub fn parse_addr(flag: &str, spec: &str) -> Result<String, String> {
+    let spec = spec.trim();
+    let well_formed = spec
+        .rsplit_once(':')
+        .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+    if well_formed {
+        Ok(spec.to_string())
+    } else {
+        Err(format!(
+            "{flag} expects host:port (e.g. 127.0.0.1:7700), got {spec:?}"
+        ))
+    }
+}
+
+/// Parses a `--checkpoint` value: a file path whose parent directory
+/// exists (the file itself may not yet — first runs create it).
+///
+/// # Errors
+///
+/// A human-readable message for empty paths or missing parent
+/// directories.
+pub fn parse_checkpoint(spec: &str) -> Result<PathBuf, String> {
+    if spec.trim().is_empty() {
+        return Err("--checkpoint expects a file path".to_string());
+    }
+    let path = PathBuf::from(spec);
+    let parent = match path.parent() {
+        None => std::path::Path::new("."),
+        Some(p) if p.as_os_str().is_empty() => std::path::Path::new("."),
+        Some(p) => p,
+    };
+    if !parent.is_dir() {
+        return Err(format!(
+            "--checkpoint directory {} does not exist",
+            parent.display()
+        ));
+    }
+    Ok(path)
+}
+
+/// Parses a `--batch` value: jobs per shard, `>= 1`.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric or zero values.
+pub fn parse_batch(spec: &str) -> Result<usize, String> {
+    let batch: usize = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--batch expects a whole number, got {spec:?}"))?;
+    if batch == 0 {
+        return Err("--batch must be >= 1".to_string());
+    }
+    Ok(batch)
+}
+
+/// Parses a `--fail-after` value (worker fault injection): `>= 1`.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric or zero values.
+pub fn parse_fail_after(spec: &str) -> Result<u32, String> {
+    let n: u32 = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--fail-after expects a whole number, got {spec:?}"))?;
+    if n == 0 {
+        return Err("--fail-after must be >= 1".to_string());
+    }
+    Ok(n)
+}
+
+/// The distribution-relevant subset of `fleet_sweep` flags, checked for
+/// internal consistency by [`validate_dist_flags`].
+#[derive(Debug, Clone, Default)]
+pub struct DistFlags {
+    /// `--dist` was given.
+    pub dist: bool,
+    /// `--connect ADDR` was given (worker mode).
+    pub connect: Option<String>,
+    /// `--listen ADDR` was given.
+    pub listen: Option<String>,
+    /// `--checkpoint PATH` was given.
+    pub checkpoint: Option<PathBuf>,
+    /// `--batch N` was given.
+    pub batch: Option<usize>,
+    /// Export/reporting flags that a worker cannot honor (`--csv`,
+    /// `--json`, `--traces`, `--baseline`), by flag name.
+    pub export_flags: Vec<String>,
+}
+
+/// Cross-flag validation for the distribution modes: `--connect` turns
+/// the process into a worker (which exports nothing and coordinates
+/// nothing), while `--listen`/`--checkpoint`/`--batch` only make sense on
+/// a `--dist` coordinator.
+///
+/// # Errors
+///
+/// A human-readable message naming the conflicting flags.
+pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
+    if let Some(addr) = &flags.connect {
+        if flags.dist {
+            return Err(
+                "--connect joins another coordinator; it cannot be combined with --dist"
+                    .to_string(),
+            );
+        }
+        if flags.listen.is_some() {
+            return Err("--connect and --listen are mutually exclusive".to_string());
+        }
+        if flags.checkpoint.is_some() {
+            return Err(
+                "--checkpoint belongs to the coordinator, not a --connect worker".to_string(),
+            );
+        }
+        if flags.batch.is_some() {
+            return Err("--batch belongs to the coordinator, not a --connect worker".to_string());
+        }
+        if let Some(flag) = flags.export_flags.first() {
+            return Err(format!(
+                "{flag} does not apply to a --connect worker (the coordinator at {addr} owns \
+                 all exports)"
+            ));
+        }
+        return Ok(());
+    }
+    if !flags.dist {
+        for (value, flag) in [
+            (flags.listen.is_some(), "--listen"),
+            (flags.checkpoint.is_some(), "--checkpoint"),
+            (flags.batch.is_some(), "--batch"),
+        ] {
+            if value {
+                return Err(format!("{flag} requires --dist"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_must_be_a_positive_count() {
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers(" 2 "), Ok(2));
+        assert!(parse_workers("0").is_err());
+        assert!(parse_workers("-1").is_err());
+        assert!(parse_workers("two").is_err());
+        assert!(parse_workers("").is_err());
+    }
+
+    #[test]
+    fn addresses_need_host_and_port() {
+        assert_eq!(
+            parse_addr("--connect", "127.0.0.1:7700"),
+            Ok("127.0.0.1:7700".to_string())
+        );
+        assert_eq!(
+            parse_addr("--listen", "localhost:0"),
+            Ok("localhost:0".to_string())
+        );
+        // Resolution is deferred to connect time: a well-formed but
+        // (currently) unresolvable host must parse, so workers retry
+        // instead of dying with a syntax error.
+        assert!(parse_addr("--connect", "coord-host.invalid:7700").is_ok());
+        assert!(parse_addr("--listen", "[::1]:7700").is_ok());
+        let err = parse_addr("--connect", "127.0.0.1").expect_err("port required");
+        assert!(err.contains("--connect"), "message names the flag: {err}");
+        assert!(parse_addr("--connect", "not a host:port").is_err());
+        assert!(parse_addr("--connect", "").is_err());
+    }
+
+    #[test]
+    fn checkpoint_paths_need_an_existing_directory() {
+        assert!(parse_checkpoint("ckpt.bin").is_ok(), "cwd-relative is fine");
+        let tmp = std::env::temp_dir().join("ckpt.bin");
+        assert!(parse_checkpoint(tmp.to_str().expect("utf-8 temp dir")).is_ok());
+        assert!(parse_checkpoint("").is_err());
+        let err = parse_checkpoint("/no/such/dir/anywhere/ckpt.bin").expect_err("missing dir");
+        assert!(err.contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn batch_and_fail_after_are_positive_counts() {
+        assert_eq!(parse_batch("8"), Ok(8));
+        assert!(parse_batch("0").is_err());
+        assert!(parse_batch("x").is_err());
+        assert_eq!(parse_fail_after("3"), Ok(3));
+        assert!(parse_fail_after("0").is_err());
+        assert!(parse_fail_after("3.5").is_err());
+    }
+
+    #[test]
+    fn coordinator_only_flags_require_dist() {
+        let ok = DistFlags {
+            dist: true,
+            checkpoint: Some(PathBuf::from("ckpt.bin")),
+            batch: Some(4),
+            listen: Some("127.0.0.1:0".into()),
+            ..DistFlags::default()
+        };
+        assert_eq!(validate_dist_flags(&ok), Ok(()));
+        for flags in [
+            DistFlags {
+                checkpoint: Some(PathBuf::from("ckpt.bin")),
+                ..DistFlags::default()
+            },
+            DistFlags {
+                listen: Some("127.0.0.1:0".into()),
+                ..DistFlags::default()
+            },
+            DistFlags {
+                batch: Some(4),
+                ..DistFlags::default()
+            },
+        ] {
+            let err = validate_dist_flags(&flags).expect_err("requires --dist");
+            assert!(err.contains("--dist"), "{err}");
+        }
+    }
+
+    #[test]
+    fn worker_mode_excludes_coordinator_and_export_flags() {
+        let base = DistFlags {
+            connect: Some("127.0.0.1:7700".into()),
+            ..DistFlags::default()
+        };
+        assert_eq!(validate_dist_flags(&base), Ok(()));
+        let conflicts = [
+            DistFlags {
+                dist: true,
+                ..base.clone()
+            },
+            DistFlags {
+                listen: Some("127.0.0.1:0".into()),
+                ..base.clone()
+            },
+            DistFlags {
+                checkpoint: Some(PathBuf::from("ckpt.bin")),
+                ..base.clone()
+            },
+            DistFlags {
+                batch: Some(2),
+                ..base.clone()
+            },
+            DistFlags {
+                export_flags: vec!["--json".into()],
+                ..base.clone()
+            },
+        ];
+        for flags in conflicts {
+            assert!(validate_dist_flags(&flags).is_err(), "{flags:?}");
+        }
+    }
+}

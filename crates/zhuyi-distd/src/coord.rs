@@ -1,0 +1,940 @@
+//! The sweep coordinator: shards a [`SweepPlan`] across worker processes,
+//! reassigns work on crashes, checkpoints completed jobs, and merges
+//! results deterministically.
+//!
+//! # Scheduler
+//!
+//! Pending jobs are chunked into contiguous *shards* (batches) that idle
+//! workers pull from a shared queue — dynamic self-scheduling, so fast
+//! workers naturally take more shards. When the queue runs dry and a
+//! worker goes idle, the scheduler **steals the tail half** of the busiest
+//! in-flight shard: the stolen job ids are revoked from the victim (which
+//! skips any of them it has not started) and assigned to the idle worker.
+//! A job that both workers end up executing is harmless — execution is a
+//! pure function of the job, and the merge keeps only the first result
+//! per id.
+//!
+//! # Worker lifecycle
+//!
+//! ```text
+//!           spawn/accept          Assign             BatchDone
+//!  (child) ────────────► idle ──────────► busy ────────────► idle ─► ...
+//!                          │                │ socket EOF /
+//!                          │                │ heartbeat timeout
+//!                          ▼                ▼
+//!                        dead ◄──────── dead: shard's unfinished jobs
+//!                    (respawn if          requeue at the front
+//!                     coordinator-spawned
+//!                     and budget remains)
+//! ```
+//!
+//! Crash detection is two-layered: a closed socket (EOF mid-read) is
+//! immediate, and a heartbeat timeout catches connections that died
+//! without an EOF (half-open sockets, vanished hosts). A worker whose
+//! *simulation* wedges is deliberately not declared dead by heartbeats —
+//! its ticker thread keeps beating, and since job execution is
+//! deterministic, a wedged job would wedge identically on any other
+//! worker; [`DistConfig::stall_timeout`] is the backstop that ends such
+//! a run with an explicit error. Workers the coordinator spawned itself
+//! are respawned (fresh, without fault-injection flags) while work
+//! remains and the respawn budget allows; externally joined workers are
+//! simply dropped.
+//!
+//! # Determinism invariant
+//!
+//! The merged [`ResultStore`] is built exclusively from id-deduplicated
+//! results sorted by [`zhuyi_fleet::JobId`] — the same merge a
+//! single-process [`zhuyi_fleet::run_sweep`] performs — so worker count,
+//! shard boundaries, steals, crashes, and checkpoint resumes cannot change
+//! a single exported byte. `tests/dist_determinism.rs` pins this.
+
+use crate::checkpoint::{self, CheckpointError, CheckpointWriter};
+use crate::wire::{self, Frame, WireError, PROTOCOL_VERSION};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use zhuyi_fleet::{ExecOptions, JobId, JobResult, ResultStore, SweepJob, SweepPlan};
+
+/// Configuration of one distributed sweep run.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Worker processes the coordinator spawns itself (0 is allowed when
+    /// [`DistConfig::listen`] accepts external workers).
+    pub spawn_workers: usize,
+    /// Path of the `fleet_shard` worker binary; `None` resolves a sibling
+    /// of the current executable (see [`default_worker_binary`]).
+    pub worker_binary: Option<PathBuf>,
+    /// Additional listen address (`host:port`) for workers joining from
+    /// other processes or hosts via `--connect`. `None` binds an ephemeral
+    /// loopback port used only by spawned workers.
+    pub listen: Option<String>,
+    /// Checkpoint file: completed jobs append here and an existing,
+    /// fingerprint-matching file is resumed instead of re-simulated.
+    pub checkpoint: Option<PathBuf>,
+    /// Sweep-wide execution options, forwarded to every worker.
+    pub options: ExecOptions,
+    /// Jobs per shard; `None` derives `ceil(pending / (workers * 4))`,
+    /// small enough for the pull queue to balance, large enough to
+    /// amortize frames.
+    pub batch_size: Option<usize>,
+    /// A worker silent for longer than this is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Hard cap on sweep-wide silence: if no result arrives for this long
+    /// the run aborts with [`DistError::Stalled`] instead of hanging.
+    pub stall_timeout: Duration,
+    /// Replacement processes the coordinator may spawn for crashed
+    /// spawned workers.
+    pub max_respawns: usize,
+    /// Extra argv appended to the k-th *initially* spawned worker —
+    /// the fault-injection hook (`--fail-after N`) the crash tests use.
+    /// Respawned replacements never inherit these.
+    pub worker_extra_args: Vec<Vec<String>>,
+    /// Test hook: abort the run (checkpoint intact) after this many fresh
+    /// results, simulating a coordinator crash mid-sweep.
+    pub abort_after_results: Option<usize>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            spawn_workers: 2,
+            worker_binary: None,
+            listen: None,
+            checkpoint: None,
+            options: ExecOptions::default(),
+            batch_size: None,
+            heartbeat_timeout: Duration::from_secs(30),
+            stall_timeout: Duration::from_secs(600),
+            max_respawns: 3,
+            worker_extra_args: Vec::new(),
+            abort_after_results: None,
+        }
+    }
+}
+
+/// Counters describing how a distributed run actually unfolded. None of
+/// these influence the merged output (see the determinism invariant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Workers that completed the handshake.
+    pub workers_connected: usize,
+    /// Workers lost to EOF or heartbeat timeout.
+    pub workers_lost: usize,
+    /// Replacement processes spawned for crashed spawned workers.
+    pub workers_respawned: usize,
+    /// Shards assigned (including reassignments and stolen shards).
+    pub batches_assigned: usize,
+    /// Shards whose unfinished jobs were requeued after a worker died.
+    pub batches_reassigned: usize,
+    /// Jobs moved to an idle worker by tail stealing.
+    pub jobs_stolen: usize,
+    /// Results discarded because another worker delivered the job first.
+    pub duplicate_results: usize,
+    /// Jobs recovered from the checkpoint instead of executed.
+    pub resumed_jobs: usize,
+    /// Jobs executed (first results) this run.
+    pub executed_jobs: usize,
+}
+
+/// A finished distributed sweep: the merged store plus run statistics.
+#[derive(Debug)]
+pub struct DistReport {
+    /// Merged, id-ordered results — byte-identical exports to a
+    /// single-process sweep of the same plan.
+    pub store: ResultStore,
+    /// How the run unfolded.
+    pub stats: DistStats,
+}
+
+/// Errors a distributed run can end with.
+#[derive(Debug)]
+pub enum DistError {
+    /// Socket or process plumbing failed.
+    Io(String),
+    /// No worker could serve the sweep (none spawned, none joined, none
+    /// respawnable).
+    NoWorkers(String),
+    /// The worker binary could not be resolved.
+    WorkerBinary(String),
+    /// Checkpoint file problems.
+    Checkpoint(CheckpointError),
+    /// The `abort_after_results` test hook fired.
+    Aborted {
+        /// Fresh results recorded before aborting.
+        completed: usize,
+    },
+    /// No result arrived within [`DistConfig::stall_timeout`].
+    Stalled {
+        /// Jobs finished before the stall.
+        completed: usize,
+        /// Jobs the plan wanted.
+        total: usize,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Io(what) => write!(f, "distributed sweep i/o failure: {what}"),
+            DistError::NoWorkers(what) => write!(f, "no workers available: {what}"),
+            DistError::WorkerBinary(what) => write!(f, "{what}"),
+            DistError::Checkpoint(e) => write!(f, "{e}"),
+            DistError::Aborted { completed } => {
+                write!(f, "aborted by test hook after {completed} results")
+            }
+            DistError::Stalled { completed, total } => {
+                write!(f, "sweep stalled at {completed}/{total} jobs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<CheckpointError> for DistError {
+    fn from(e: CheckpointError) -> Self {
+        DistError::Checkpoint(e)
+    }
+}
+
+/// Resolves the `fleet_shard` worker binary as a sibling of the running
+/// executable (where cargo places every binary of the workspace).
+///
+/// # Errors
+///
+/// A human-readable message naming the missing path and the build command
+/// that produces it.
+pub fn default_worker_binary() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate current exe: {e}"))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| "current exe has no parent directory".to_string())?;
+    let candidate = dir.join(format!("fleet_shard{}", std::env::consts::EXE_SUFFIX));
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(format!(
+            "worker binary not found at {} — build it first \
+             (`cargo build --release -p zhuyi-distd --bin fleet_shard`) \
+             or pass an explicit path",
+            candidate.display()
+        ))
+    }
+}
+
+/// Chunks `jobs` into contiguous shards of at most `size` jobs.
+fn chunk_batches(jobs: &[SweepJob], size: usize) -> VecDeque<Vec<SweepJob>> {
+    jobs.chunks(size.max(1)).map(<[SweepJob]>::to_vec).collect()
+}
+
+/// The derived default shard size: small enough for the pull queue to
+/// balance across `workers`, large enough to amortize protocol frames.
+/// An external-only coordinator (`workers == 0`, `--listen`) cannot know
+/// how many workers will join, so it assumes a fleet of 8 — fine-grained
+/// enough that late joiners pull real work instead of living off steals.
+fn default_batch_size(pending: usize, workers: usize) -> usize {
+    let workers = if workers == 0 { 8 } else { workers };
+    pending.div_ceil(workers * 4).max(1)
+}
+
+type WorkerId = u64;
+
+enum Event {
+    Connected {
+        worker: WorkerId,
+        writer: TcpStream,
+        spawned: bool,
+        name: String,
+    },
+    Frame {
+        worker: WorkerId,
+        frame: Frame,
+    },
+    Disconnected {
+        worker: WorkerId,
+    },
+}
+
+struct WorkerConn {
+    writer: TcpStream,
+    name: String,
+    spawned: bool,
+    busy: Option<u32>,
+    last_seen: Instant,
+}
+
+struct Inflight {
+    worker: WorkerId,
+    remaining: BTreeMap<u64, SweepJob>,
+}
+
+struct ChildSlot {
+    child: Child,
+    exited: bool,
+}
+
+/// Everything the scheduling loop mutates, factored out so event handling
+/// stays in named methods instead of one giant match.
+struct Coordinator {
+    workers: BTreeMap<WorkerId, WorkerConn>,
+    pending: VecDeque<Vec<SweepJob>>,
+    inflight: BTreeMap<u32, Inflight>,
+    done: BTreeMap<JobId, JobResult>,
+    next_batch: u32,
+    stats: DistStats,
+    checkpoint: Option<CheckpointWriter>,
+    total: usize,
+}
+
+impl Coordinator {
+    fn remaining_work(&self) -> usize {
+        self.total - self.done.len()
+    }
+
+    fn record_result(&mut self, result: JobResult) -> Result<(), DistError> {
+        if self.done.contains_key(&result.job.id) {
+            self.stats.duplicate_results += 1;
+            return Ok(());
+        }
+        if let Some(writer) = &mut self.checkpoint {
+            writer.append(&result)?;
+        }
+        for fl in self.inflight.values_mut() {
+            fl.remaining.remove(&result.job.id.0);
+        }
+        self.stats.executed_jobs += 1;
+        self.done.insert(result.job.id, result);
+        Ok(())
+    }
+
+    /// Gives `worker` its next shard: pull from the queue, or steal the
+    /// tail half of the busiest in-flight shard.
+    fn dispatch(&mut self, worker: WorkerId) {
+        let Some(conn) = self.workers.get(&worker) else {
+            return;
+        };
+        if conn.busy.is_some() {
+            return;
+        }
+        if let Some(jobs) = self.pending.pop_front() {
+            self.assign(worker, jobs);
+            return;
+        }
+        // Steal: the in-flight shard with the most remaining jobs, as long
+        // as there are at least two to split.
+        let victim = self
+            .inflight
+            .iter()
+            .filter(|(_, fl)| fl.worker != worker && fl.remaining.len() >= 2)
+            .max_by_key(|(_, fl)| fl.remaining.len())
+            .map(|(&batch, _)| batch);
+        let Some(victim_batch) = victim else {
+            return;
+        };
+        let (victim_worker, stolen) = {
+            let fl = self.inflight.get_mut(&victim_batch).expect("victim exists");
+            let keep = fl.remaining.len().div_ceil(2);
+            let stolen_ids: Vec<u64> = fl.remaining.keys().skip(keep).copied().collect();
+            let stolen: Vec<SweepJob> = stolen_ids
+                .iter()
+                .map(|id| fl.remaining.remove(id).expect("stolen id present"))
+                .collect();
+            (fl.worker, stolen)
+        };
+        if stolen.is_empty() {
+            return;
+        }
+        self.stats.jobs_stolen += stolen.len();
+        // Tell the victim to skip anything it has not started; failure to
+        // deliver only costs a duplicated (identical) result.
+        if let Some(victim_conn) = self.workers.get_mut(&victim_worker) {
+            let revoke = Frame::Revoke {
+                jobs: stolen.iter().map(|j| j.id.0).collect(),
+            };
+            let _ = wire::write_frame(&mut victim_conn.writer, &revoke);
+        }
+        self.assign(worker, stolen);
+    }
+
+    fn assign(&mut self, worker: WorkerId, jobs: Vec<SweepJob>) {
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        let Some(conn) = self.workers.get_mut(&worker) else {
+            self.pending.push_front(jobs);
+            return;
+        };
+        if wire::write_assign(&mut conn.writer, batch, &jobs).is_err() {
+            self.pending.push_front(jobs);
+            self.lose_worker(worker);
+            return;
+        }
+        conn.busy = Some(batch);
+        self.stats.batches_assigned += 1;
+        self.inflight.insert(
+            batch,
+            Inflight {
+                worker,
+                remaining: jobs.into_iter().map(|j| (j.id.0, j)).collect(),
+            },
+        );
+    }
+
+    /// Removes a worker and requeues the unfinished jobs of its shards.
+    fn lose_worker(&mut self, worker: WorkerId) {
+        let Some(conn) = self.workers.remove(&worker) else {
+            return;
+        };
+        let _ = conn.writer.shutdown(Shutdown::Both);
+        self.stats.workers_lost += 1;
+        eprintln!(
+            "fleet coordinator: lost {}worker {} mid-sweep; reassigning its shard",
+            if conn.spawned { "spawned " } else { "" },
+            conn.name,
+        );
+        let orphaned: Vec<u32> = self
+            .inflight
+            .iter()
+            .filter(|(_, fl)| fl.worker == worker)
+            .map(|(&batch, _)| batch)
+            .collect();
+        for batch in orphaned {
+            let fl = self.inflight.remove(&batch).expect("batch listed");
+            if !fl.remaining.is_empty() {
+                self.stats.batches_reassigned += 1;
+                self.pending
+                    .push_front(fl.remaining.into_values().collect());
+            }
+        }
+    }
+
+    fn dispatch_idle(&mut self) {
+        let idle: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|(_, c)| c.busy.is_none())
+            .map(|(&id, _)| id)
+            .collect();
+        for worker in idle {
+            self.dispatch(worker);
+        }
+    }
+
+    fn shutdown_workers(&mut self) {
+        for conn in self.workers.values_mut() {
+            // Send the frame but do not hard-close the socket: a worker
+            // may still be flushing its final BatchDone, and exits
+            // cleanly on its own once it reads Shutdown.
+            let _ = wire::write_frame(&mut conn.writer, &Frame::Shutdown);
+        }
+        self.workers.clear();
+    }
+}
+
+fn spawn_worker(
+    binary: &PathBuf,
+    addr: &str,
+    name: &str,
+    extra: &[String],
+) -> Result<Child, DistError> {
+    Command::new(binary)
+        .arg("--connect")
+        .arg(addr)
+        .arg("--name")
+        .arg(name)
+        .arg("--spawned")
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| DistError::Io(format!("spawning {}: {e}", binary.display())))
+}
+
+fn reap_children(children: &mut [ChildSlot]) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut alive = false;
+        for slot in children.iter_mut() {
+            if slot.exited {
+                continue;
+            }
+            match slot.child.try_wait() {
+                Ok(Some(_)) | Err(_) => slot.exited = true,
+                Ok(None) => alive = true,
+            }
+        }
+        if !alive {
+            return;
+        }
+        if Instant::now() >= deadline {
+            for slot in children.iter_mut() {
+                if !slot.exited {
+                    let _ = slot.child.kill();
+                    let _ = slot.child.wait();
+                    slot.exited = true;
+                }
+            }
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Runs every job of `plan` across worker processes and merges the
+/// results; see the module docs for scheduling, fault handling, and the
+/// determinism invariant.
+///
+/// # Errors
+///
+/// See [`DistError`]. On any error, spawned workers are torn down and the
+/// checkpoint (if configured) retains everything completed so far.
+pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistReport, DistError> {
+    if config.spawn_workers == 0 && config.listen.is_none() {
+        return Err(DistError::NoWorkers(
+            "spawn_workers is 0 and no listen address accepts external workers".into(),
+        ));
+    }
+
+    let fingerprint = checkpoint::plan_fingerprint(plan, config.options);
+    let mut coordinator = Coordinator {
+        workers: BTreeMap::new(),
+        pending: VecDeque::new(),
+        inflight: BTreeMap::new(),
+        done: BTreeMap::new(),
+        next_batch: 0,
+        stats: DistStats::default(),
+        checkpoint: None,
+        total: plan.len(),
+    };
+
+    if let Some(path) = &config.checkpoint {
+        if path.exists() {
+            let loaded = checkpoint::load(path, fingerprint)?;
+            coordinator.stats.resumed_jobs = loaded.len();
+            coordinator.checkpoint = Some(CheckpointWriter::resume(path, &loaded, fingerprint)?);
+            for result in loaded {
+                coordinator.done.insert(result.job.id, result);
+            }
+        } else {
+            coordinator.checkpoint = Some(CheckpointWriter::create(path, fingerprint)?);
+        }
+    }
+
+    let pending_jobs: Vec<SweepJob> = plan
+        .jobs()
+        .iter()
+        .filter(|j| !coordinator.done.contains_key(&j.id))
+        .cloned()
+        .collect();
+    if pending_jobs.is_empty() {
+        return Ok(DistReport {
+            store: ResultStore::new(coordinator.done.into_values().collect()),
+            stats: coordinator.stats,
+        });
+    }
+    let batch_size = config
+        .batch_size
+        .unwrap_or_else(|| default_batch_size(pending_jobs.len(), config.spawn_workers));
+    coordinator.pending = chunk_batches(&pending_jobs, batch_size);
+
+    // --- plumbing: listener, accept/reader threads, spawned children. ---
+    let listener = match &config.listen {
+        Some(addr) => {
+            TcpListener::bind(addr).map_err(|e| DistError::Io(format!("binding {addr}: {e}")))?
+        }
+        None => TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| DistError::Io(format!("binding loopback: {e}")))?,
+    };
+    let bound = listener
+        .local_addr()
+        .map_err(|e| DistError::Io(format!("local_addr: {e}")))?;
+    // Spawned workers (and the shutdown self-connect that unblocks the
+    // accept loop) must dial a *routable* address: a wildcard bind like
+    // 0.0.0.0:7700 is a listen address, not a destination, so map it to
+    // the same-family loopback with the bound port.
+    let local_addr = if bound.ip().is_unspecified() {
+        let loopback: std::net::IpAddr = if bound.is_ipv4() {
+            std::net::Ipv4Addr::LOCALHOST.into()
+        } else {
+            std::net::Ipv6Addr::LOCALHOST.into()
+        };
+        std::net::SocketAddr::new(loopback, bound.port()).to_string()
+    } else {
+        bound.to_string()
+    };
+
+    let (events_tx, events_rx) = mpsc::channel::<Event>();
+    let stop = Arc::new(AtomicBool::new(false));
+    let record_traces = config.options.record_traces;
+    {
+        let events_tx = events_tx.clone();
+        let stop = Arc::clone(&stop);
+        let listener = listener
+            .try_clone()
+            .map_err(|e| DistError::Io(format!("cloning listener: {e}")))?;
+        std::thread::spawn(move || {
+            let mut next_worker: WorkerId = 0;
+            loop {
+                let Ok((stream, _)) = listener.accept() else {
+                    return;
+                };
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let worker = next_worker;
+                next_worker += 1;
+                let events_tx = events_tx.clone();
+                std::thread::spawn(move || {
+                    serve_connection(stream, worker, record_traces, &events_tx)
+                });
+            }
+        });
+    }
+
+    // Teardown shared by every exit path below — the accept thread,
+    // bound port, and spawned children must never outlive this call, even
+    // when setup itself fails partway.
+    let finish = |coordinator: &mut Coordinator,
+                  children: &mut Vec<ChildSlot>,
+                  stop: &AtomicBool,
+                  local_addr: &str| {
+        coordinator.shutdown_workers();
+        stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so its thread exits.
+        let _ = TcpStream::connect(local_addr);
+        reap_children(children);
+    };
+
+    let mut children: Vec<ChildSlot> = Vec::new();
+    let mut spawned_total = 0usize;
+    let binary = if config.spawn_workers > 0 {
+        match &config.worker_binary {
+            Some(path) => Some(path.clone()),
+            None => match default_worker_binary() {
+                Ok(path) => Some(path),
+                Err(message) => {
+                    finish(&mut coordinator, &mut children, &stop, &local_addr);
+                    return Err(DistError::WorkerBinary(message));
+                }
+            },
+        }
+    } else {
+        None
+    };
+    for k in 0..config.spawn_workers {
+        let extra = config.worker_extra_args.get(k).cloned().unwrap_or_default();
+        match spawn_worker(
+            binary.as_ref().expect("binary resolved when spawning"),
+            &local_addr,
+            &format!("spawned-{k}"),
+            &extra,
+        ) {
+            Ok(child) => {
+                children.push(ChildSlot {
+                    child,
+                    exited: false,
+                });
+                spawned_total += 1;
+            }
+            Err(e) => {
+                finish(&mut coordinator, &mut children, &stop, &local_addr);
+                return Err(e);
+            }
+        }
+    }
+
+    // --- the scheduling loop. -------------------------------------------
+    let mut respawns_used = 0usize;
+    let mut last_progress = Instant::now();
+    let result: Result<(), DistError> = loop {
+        if coordinator.done.len() == coordinator.total {
+            break Ok(());
+        }
+        match events_rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(Event::Connected {
+                worker,
+                writer,
+                spawned,
+                name,
+            }) => {
+                coordinator.stats.workers_connected += 1;
+                coordinator.workers.insert(
+                    worker,
+                    WorkerConn {
+                        writer,
+                        name,
+                        spawned,
+                        busy: None,
+                        last_seen: Instant::now(),
+                    },
+                );
+                coordinator.dispatch(worker);
+            }
+            Ok(Event::Frame { worker, frame }) => {
+                if let Some(conn) = coordinator.workers.get_mut(&worker) {
+                    conn.last_seen = Instant::now();
+                }
+                match frame {
+                    Frame::Heartbeat => {}
+                    Frame::Result { result } => {
+                        let fresh = !coordinator.done.contains_key(&result.job.id);
+                        if let Err(e) = coordinator.record_result(*result) {
+                            break Err(e);
+                        }
+                        if fresh {
+                            last_progress = Instant::now();
+                        }
+                        if let Some(limit) = config.abort_after_results {
+                            if coordinator.stats.executed_jobs >= limit {
+                                break Err(DistError::Aborted {
+                                    completed: coordinator.stats.executed_jobs,
+                                });
+                            }
+                        }
+                    }
+                    Frame::BatchDone { batch } => {
+                        if let Some(conn) = coordinator.workers.get_mut(&worker) {
+                            if conn.busy == Some(batch) {
+                                conn.busy = None;
+                            }
+                        }
+                        if let Some(fl) = coordinator.inflight.remove(&batch) {
+                            // Defensive: anything not delivered and not
+                            // stolen goes back on the queue.
+                            if !fl.remaining.is_empty() {
+                                coordinator
+                                    .pending
+                                    .push_front(fl.remaining.into_values().collect());
+                            }
+                        }
+                        coordinator.dispatch(worker);
+                    }
+                    // Workers never send these; ignore rather than trust.
+                    Frame::Hello { .. }
+                    | Frame::Welcome { .. }
+                    | Frame::Reject { .. }
+                    | Frame::Assign { .. }
+                    | Frame::Revoke { .. }
+                    | Frame::Shutdown => {}
+                }
+            }
+            Ok(Event::Disconnected { worker }) => {
+                coordinator.lose_worker(worker);
+                coordinator.dispatch_idle();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                break Err(DistError::Io("event channel closed".into()));
+            }
+        }
+
+        // Housekeeping on every iteration (cheap at these event rates).
+        let timed_out: Vec<WorkerId> = coordinator
+            .workers
+            .iter()
+            .filter(|(_, c)| c.last_seen.elapsed() > config.heartbeat_timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for worker in timed_out {
+            coordinator.lose_worker(worker);
+        }
+        let mut replacements: Vec<ChildSlot> = Vec::new();
+        for slot in &mut children {
+            if slot.exited {
+                continue;
+            }
+            if let Ok(Some(status)) = slot.child.try_wait() {
+                slot.exited = true;
+                let crashed = !status.success();
+                if crashed
+                    && coordinator.remaining_work() > 0
+                    && respawns_used < config.max_respawns
+                {
+                    respawns_used += 1;
+                    let name = format!("spawned-{spawned_total}");
+                    spawned_total += 1;
+                    match spawn_worker(
+                        binary.as_ref().expect("respawn implies spawned workers"),
+                        &local_addr,
+                        &name,
+                        &[],
+                    ) {
+                        Ok(child) => {
+                            coordinator.stats.workers_respawned += 1;
+                            replacements.push(ChildSlot {
+                                child,
+                                exited: false,
+                            });
+                        }
+                        Err(e) => {
+                            // A failed respawn can never be retried (no
+                            // further child-exit events will fire), so
+                            // exhaust the budget: the no-workers check
+                            // below then errors promptly instead of
+                            // idling into a misleading stall timeout.
+                            respawns_used = config.max_respawns;
+                            eprintln!("fleet coordinator: respawn failed: {e}");
+                        }
+                    }
+                }
+            }
+        }
+        children.extend(replacements);
+        coordinator.dispatch_idle();
+
+        if coordinator.workers.is_empty()
+            && children.iter().all(|slot| slot.exited)
+            && config.listen.is_none()
+            && (respawns_used >= config.max_respawns || config.spawn_workers == 0)
+        {
+            break Err(DistError::NoWorkers(
+                "every spawned worker exited and the respawn budget is spent".into(),
+            ));
+        }
+        if last_progress.elapsed() > config.stall_timeout {
+            break Err(DistError::Stalled {
+                completed: coordinator.done.len(),
+                total: coordinator.total,
+            });
+        }
+    };
+
+    finish(&mut coordinator, &mut children, &stop, &local_addr);
+    result?;
+    Ok(DistReport {
+        store: ResultStore::new(coordinator.done.into_values().collect()),
+        stats: coordinator.stats,
+    })
+}
+
+/// Per-connection thread: handshake, then pump frames into the event
+/// channel until the socket dies.
+fn serve_connection(
+    mut stream: TcpStream,
+    worker: WorkerId,
+    record_traces: bool,
+    events: &mpsc::Sender<Event>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let hello = match wire::read_frame(&mut stream) {
+        Ok(Frame::Hello {
+            version,
+            spawned,
+            name,
+        }) => {
+            if version != PROTOCOL_VERSION {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Frame::Reject {
+                        reason: format!(
+                            "protocol version {version} != coordinator {PROTOCOL_VERSION}"
+                        ),
+                    },
+                );
+                return;
+            }
+            (spawned, name)
+        }
+        _ => return, // not a worker; drop silently
+    };
+    if wire::write_frame(
+        &mut stream,
+        &Frame::Welcome {
+            version: PROTOCOL_VERSION,
+            record_traces,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_read_timeout(None);
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    if events
+        .send(Event::Connected {
+            worker,
+            writer,
+            spawned: hello.0,
+            name: hello.1,
+        })
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(frame) => {
+                if events.send(Event::Frame { worker, frame }).is_err() {
+                    return;
+                }
+            }
+            Err(WireError::Io(_))
+            | Err(WireError::FrameTooLarge(_))
+            | Err(WireError::Malformed(_)) => {
+                let _ = events.send(Event::Disconnected { worker });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zhuyi_fleet::SweepPlan;
+
+    fn plan(jobs: usize) -> Vec<SweepJob> {
+        let plan = SweepPlan::builder()
+            .scenarios([av_scenarios::catalog::ScenarioId::CutOut])
+            .seeds(0..jobs as u64)
+            .probe(4.0, false)
+            .build();
+        plan.jobs().to_vec()
+    }
+
+    #[test]
+    fn batches_chunk_contiguously_and_cover_everything() {
+        let jobs = plan(10);
+        let batches = chunk_batches(&jobs, 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let flat: Vec<u64> = batches.iter().flatten().map(|j| j.id.0).collect();
+        assert_eq!(flat, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn default_batch_size_balances_without_degenerating() {
+        assert_eq!(default_batch_size(160, 4), 10);
+        assert_eq!(default_batch_size(3, 4), 1);
+        assert_eq!(default_batch_size(0, 4), 1);
+        // External-only coordinators assume an 8-worker fleet.
+        assert_eq!(default_batch_size(96, 0), 3);
+    }
+
+    #[test]
+    fn zero_workers_without_listen_is_rejected_up_front() {
+        let plan = SweepPlan::builder()
+            .scenarios([av_scenarios::catalog::ScenarioId::CutOut])
+            .seeds([0])
+            .probe(4.0, false)
+            .build();
+        let config = DistConfig {
+            spawn_workers: 0,
+            ..DistConfig::default()
+        };
+        assert!(matches!(
+            run_distributed(&plan, &config),
+            Err(DistError::NoWorkers(_))
+        ));
+    }
+}

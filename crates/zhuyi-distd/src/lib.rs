@@ -1,0 +1,63 @@
+//! **zhuyi-distd** — the multi-process sharded sweep subsystem: a
+//! coordinator/worker runtime that distributes a
+//! [`zhuyi_fleet::SweepPlan`] across OS processes (and, over TCP, across
+//! hosts) using only the standard library.
+//!
+//! PR 1–3 made a sweep a pure function of its plan and gave results an
+//! id-ordered, location-independent merge; this crate adds the layer the
+//! ROADMAP's sharding north star asks for on top of that invariant:
+//!
+//! - [`wire`] — the length-prefixed framed protocol: versioned handshake,
+//!   shard assignment, streamed per-job results, heartbeats, revocation;
+//! - [`coord`] — [`coord::run_distributed`]: a work-stealing shard
+//!   scheduler with per-worker in-flight tracking, crash detection (EOF +
+//!   heartbeat timeout) with shard reassignment and respawning, and
+//!   crash-safe [`checkpoint`]ing of completed jobs;
+//! - [`worker`] — the worker loop (`fleet_shard`, or `fleet_sweep
+//!   --connect` on another host) executing jobs through the fleet
+//!   engine's metrics-only [`zhuyi_fleet::exec`] path;
+//! - [`cli`] — shared parsing/validation of the distribution flags.
+//!
+//! # Determinism
+//!
+//! A distributed sweep exports **byte-identical** CSV/JSON to the same
+//! sweep run single-process: jobs are executed by the exact same
+//! deterministic `exec` code, `f64`s cross the wire as IEEE-754 bit
+//! patterns, and the merge is the same id-ordered
+//! [`zhuyi_fleet::ResultStore`] merge — so worker count, shard shape,
+//! steals, crashes, and checkpoint resumes are all invisible in the
+//! output. `tests/dist_determinism.rs` pins every one of those claims.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use zhuyi_distd::{run_distributed, DistConfig};
+//! use zhuyi_fleet::SweepPlan;
+//!
+//! let plan = SweepPlan::builder()
+//!     .jittered_variants(10)
+//!     .min_safe_fpr(vec![1, 2, 4, 6, 10, 30])
+//!     .build();
+//! let report = run_distributed(&plan, &DistConfig {
+//!     spawn_workers: 4,
+//!     ..DistConfig::default()
+//! }).expect("distributed sweep");
+//! println!("{}", report.store.summary_table().render());
+//! assert_eq!(report.stats.executed_jobs, plan.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+pub mod cli;
+pub mod coord;
+pub mod wire;
+pub mod worker;
+
+pub use checkpoint::{plan_fingerprint, CheckpointError, CheckpointWriter};
+pub use coord::{
+    default_worker_binary, run_distributed, DistConfig, DistError, DistReport, DistStats,
+};
+pub use wire::{Frame, WireError, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerError, WorkerOptions, FAULT_EXIT_CODE};

@@ -1,0 +1,847 @@
+//! The coordinator/worker wire protocol: length-prefixed frames over any
+//! byte stream, with a versioned handshake.
+//!
+//! The workspace is hermetic (its `serde` is a no-op marker shim, like
+//! every other persisted format in the repo — CSV, JSON, traces — the
+//! encoding here is hand-rolled), so this module defines an explicit,
+//! byte-deterministic binary codec for exactly the types that cross a
+//! process boundary: [`SweepJob`] assignments going out and [`JobResult`]s
+//! coming back.
+//!
+//! # Framing
+//!
+//! Every frame is `u32-LE payload length` + payload; the payload is a
+//! one-byte [`Frame`] tag followed by tag-specific fields. Integers are
+//! little-endian, `f64`s travel as their IEEE-754 bit pattern
+//! ([`f64::to_bits`]) so results round-trip **bit-exactly** — the property
+//! the distributed==single-process byte-determinism guarantee rests on —
+//! and strings are `u32` length + UTF-8 bytes.
+//!
+//! # Session shape
+//!
+//! ```text
+//! worker → Hello{version, spawned, name}
+//! coord  → Welcome{version, record_traces}      (or Reject{reason} + close)
+//! coord  → Assign{batch, jobs}                  (repeatedly)
+//! worker → Result{job_result}                   (streamed, one per job)
+//! worker → BatchDone{batch}
+//! worker → Heartbeat                            (periodic, from a side thread)
+//! coord  → Revoke{job_ids}                      (work stealing: skip if unstarted)
+//! coord  → Shutdown                             (sweep complete)
+//! ```
+//!
+//! A version mismatch at handshake is answered with [`Frame::Reject`] and
+//! a closed connection; the worker exits non-zero.
+
+use std::fmt;
+use std::io::{Read, Write};
+use zhuyi_fleet::store::{AnalysisOutcome, ProbeOutcome};
+use zhuyi_fleet::{JobId, JobKind, JobOutcome, JobResult, JobSpec, MsfSearch, SweepJob};
+use zhuyi_fleet::{PredictorChoice, RateSpec};
+
+use av_scenarios::catalog::{Mrf, ScenarioId};
+
+/// Protocol version sent in the handshake; bumped on any frame-layout
+/// change. Coordinator and worker must match exactly.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a single frame's payload (defends both sides against a
+/// corrupt or hostile length prefix). Kept traces are the largest payload
+/// in practice and sit well under this.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// Errors produced while encoding, decoding, or transporting frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// The bytes did not decode as the claimed frame.
+    Malformed(String),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::FrameTooLarge(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN} cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One protocol message. See the module docs for the session shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → coordinator: open a session.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Whether the coordinator spawned this worker itself (spawned
+        /// workers are respawned on crash; externally joined ones are not).
+        spawned: bool,
+        /// Human-readable worker name for logs and stats.
+        name: String,
+    },
+    /// Coordinator → worker: session accepted.
+    Welcome {
+        /// The coordinator's [`PROTOCOL_VERSION`] (echoed back).
+        version: u16,
+        /// Sweep-wide [`zhuyi_fleet::ExecOptions::record_traces`].
+        record_traces: bool,
+    },
+    /// Coordinator → worker: session refused (version mismatch, shutting
+    /// down); the connection closes right after.
+    Reject {
+        /// Why the session was refused.
+        reason: String,
+    },
+    /// Coordinator → worker: execute these jobs in order.
+    Assign {
+        /// Batch id echoed back in [`Frame::BatchDone`].
+        batch: u32,
+        /// The shard's jobs, ascending by id.
+        jobs: Vec<SweepJob>,
+    },
+    /// Coordinator → worker: these job ids were reassigned elsewhere
+    /// (work stealing); skip any of them not yet started.
+    Revoke {
+        /// Raw [`JobId`] values to skip.
+        jobs: Vec<u64>,
+    },
+    /// Worker → coordinator: one finished job (streamed as soon as it
+    /// completes, so a crash loses at most the job in progress).
+    Result {
+        /// The finished job and its outcome.
+        result: Box<JobResult>,
+    },
+    /// Worker → coordinator: every non-revoked job of the batch was
+    /// executed and its result already streamed.
+    BatchDone {
+        /// The batch id from [`Frame::Assign`].
+        batch: u32,
+    },
+    /// Worker → coordinator: liveness signal (sent from a side thread so
+    /// long-running jobs do not read as crashes).
+    Heartbeat,
+    /// Coordinator → worker: the sweep is complete; exit cleanly.
+    Shutdown,
+}
+
+// --- primitive encoders -------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_f64(out, x);
+        }
+    }
+}
+
+// --- primitive decoder --------------------------------------------------
+
+/// Cursor over one frame's payload bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| WireError::Malformed("payload truncated".into()))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Malformed(format!("bool byte {other}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed("non-UTF-8 string".into()))
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            other => Err(WireError::Malformed(format!("option tag {other}"))),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// --- domain codecs ------------------------------------------------------
+
+fn put_rate_spec(out: &mut Vec<u8>, spec: &RateSpec) {
+    match spec {
+        RateSpec::Uniform(r) => {
+            out.push(0);
+            put_f64(out, *r);
+        }
+        RateSpec::PerCamera(rs) => {
+            out.push(1);
+            put_u32(out, rs.len() as u32);
+            for &r in rs {
+                put_f64(out, r);
+            }
+        }
+    }
+}
+
+fn rate_spec(r: &mut Reader<'_>) -> Result<RateSpec, WireError> {
+    match r.u8()? {
+        0 => Ok(RateSpec::Uniform(r.f64()?)),
+        1 => {
+            let n = r.u32()? as usize;
+            // Capacity capped: `n` is untrusted bytes, and the per-element
+            // reads below bound the real length anyway.
+            let mut rates = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                rates.push(r.f64()?);
+            }
+            Ok(RateSpec::PerCamera(rates))
+        }
+        other => Err(WireError::Malformed(format!("rate-spec tag {other}"))),
+    }
+}
+
+pub(crate) fn put_job(out: &mut Vec<u8>, job: &SweepJob) {
+    put_u64(out, job.id.0);
+    out.push(job.spec.scenario.index() as u8);
+    put_u64(out, job.spec.seed);
+    match &job.spec.kind {
+        JobKind::Probe { plan, keep_trace } => {
+            out.push(0);
+            put_rate_spec(out, plan);
+            put_bool(out, *keep_trace);
+        }
+        JobKind::MinSafeFpr { candidates } => {
+            out.push(1);
+            put_u32(out, candidates.len() as u32);
+            for &c in candidates {
+                put_u32(out, c);
+            }
+        }
+        JobKind::Analyze {
+            plan,
+            predictor,
+            stride,
+        } => {
+            out.push(2);
+            put_rate_spec(out, plan);
+            out.push(match predictor {
+                PredictorChoice::Oracle => 0,
+                PredictorChoice::ConstantVelocity => 1,
+                PredictorChoice::ConstantAcceleration => 2,
+            });
+            put_u64(out, *stride as u64);
+        }
+    }
+}
+
+fn job(r: &mut Reader<'_>) -> Result<SweepJob, WireError> {
+    let id = JobId(r.u64()?);
+    let scenario_index = r.u8()? as usize;
+    let scenario = ScenarioId::from_index(scenario_index)
+        .ok_or_else(|| WireError::Malformed(format!("scenario index {scenario_index}")))?;
+    let seed = r.u64()?;
+    let kind = match r.u8()? {
+        0 => JobKind::Probe {
+            plan: rate_spec(r)?,
+            keep_trace: r.boolean()?,
+        },
+        1 => {
+            let n = r.u32()? as usize;
+            // Capacity capped against untrusted counts (see rate_spec).
+            let mut candidates = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                candidates.push(r.u32()?);
+            }
+            JobKind::MinSafeFpr { candidates }
+        }
+        2 => JobKind::Analyze {
+            plan: rate_spec(r)?,
+            predictor: match r.u8()? {
+                0 => PredictorChoice::Oracle,
+                1 => PredictorChoice::ConstantVelocity,
+                2 => PredictorChoice::ConstantAcceleration,
+                other => return Err(WireError::Malformed(format!("predictor tag {other}"))),
+            },
+            stride: r.u64()? as usize,
+        },
+        other => return Err(WireError::Malformed(format!("job-kind tag {other}"))),
+    };
+    Ok(SweepJob {
+        id,
+        spec: JobSpec {
+            scenario,
+            seed,
+            kind,
+        },
+    })
+}
+
+/// Encodes one [`JobResult`] (also the checkpoint record format — see
+/// [`crate::checkpoint`]).
+pub fn put_job_result(out: &mut Vec<u8>, result: &JobResult) {
+    put_job(out, &result.job);
+    match &result.outcome {
+        JobOutcome::Probe(p) => {
+            out.push(0);
+            put_bool(out, p.collided);
+            put_opt_f64(out, p.collision_time.map(|t| t.value()));
+            match p.collision_actor {
+                None => out.push(0),
+                Some(a) => {
+                    out.push(1);
+                    put_u32(out, a.0);
+                }
+            }
+            put_opt_f64(out, p.min_clearance.map(|c| c.value()));
+            put_f64(out, p.duration.value());
+            match &p.trace_csv {
+                None => out.push(0),
+                Some(csv) => {
+                    out.push(1);
+                    put_str(out, csv);
+                }
+            }
+        }
+        JobOutcome::MinSafeFpr(m) => {
+            out.push(1);
+            match m.mrf {
+                Mrf::BelowMinimumTested => out.push(0),
+                Mrf::Fpr(rate) => {
+                    out.push(1);
+                    put_u32(out, rate);
+                }
+                Mrf::AboveMaximumTested => out.push(2),
+            }
+            put_u32(out, m.sims_run);
+            put_u32(out, m.grid_size);
+            put_u32(out, m.grid_min);
+            put_u32(out, m.grid_max);
+        }
+        JobOutcome::Analysis(a) => {
+            out.push(2);
+            put_bool(out, a.collided);
+            put_u64(out, a.steps as u64);
+            put_opt_f64(out, a.max_camera_fpr);
+            put_u64(out, a.constraint_evaluations);
+        }
+    }
+}
+
+fn job_result(r: &mut Reader<'_>) -> Result<JobResult, WireError> {
+    use av_core::state::ActorId;
+    use av_core::units::{Meters, Seconds};
+    let job = job(r)?;
+    let outcome = match r.u8()? {
+        0 => {
+            let collided = r.boolean()?;
+            let collision_time = r.opt_f64()?.map(Seconds);
+            let collision_actor = match r.u8()? {
+                0 => None,
+                1 => Some(ActorId(r.u32()?)),
+                other => return Err(WireError::Malformed(format!("actor tag {other}"))),
+            };
+            let min_clearance = r.opt_f64()?.map(Meters);
+            let duration = Seconds(r.f64()?);
+            let trace_csv = match r.u8()? {
+                0 => None,
+                1 => Some(r.string()?),
+                other => return Err(WireError::Malformed(format!("trace tag {other}"))),
+            };
+            JobOutcome::Probe(ProbeOutcome {
+                collided,
+                collision_time,
+                collision_actor,
+                min_clearance,
+                duration,
+                trace_csv,
+            })
+        }
+        1 => {
+            let mrf = match r.u8()? {
+                0 => Mrf::BelowMinimumTested,
+                1 => Mrf::Fpr(r.u32()?),
+                2 => Mrf::AboveMaximumTested,
+                other => return Err(WireError::Malformed(format!("mrf tag {other}"))),
+            };
+            JobOutcome::MinSafeFpr(MsfSearch {
+                mrf,
+                sims_run: r.u32()?,
+                grid_size: r.u32()?,
+                grid_min: r.u32()?,
+                grid_max: r.u32()?,
+            })
+        }
+        2 => JobOutcome::Analysis(AnalysisOutcome {
+            collided: r.boolean()?,
+            steps: r.u64()? as usize,
+            max_camera_fpr: r.opt_f64()?,
+            constraint_evaluations: r.u64()?,
+        }),
+        other => return Err(WireError::Malformed(format!("outcome tag {other}"))),
+    };
+    Ok(JobResult { job, outcome })
+}
+
+/// Decodes a [`JobResult`] from exactly `bytes` (the checkpoint record
+/// format; the inverse of [`put_job_result`]).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on truncated, trailing, or invalid bytes.
+pub fn decode_job_result(bytes: &[u8]) -> Result<JobResult, WireError> {
+    let mut r = Reader::new(bytes);
+    let result = job_result(&mut r)?;
+    r.finish()?;
+    Ok(result)
+}
+
+// --- frame codec --------------------------------------------------------
+
+/// Encodes a frame payload (tag + fields, *without* the length prefix).
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match frame {
+        Frame::Hello {
+            version,
+            spawned,
+            name,
+        } => {
+            out.push(0);
+            put_u16(&mut out, *version);
+            put_bool(&mut out, *spawned);
+            put_str(&mut out, name);
+        }
+        Frame::Welcome {
+            version,
+            record_traces,
+        } => {
+            out.push(1);
+            put_u16(&mut out, *version);
+            put_bool(&mut out, *record_traces);
+        }
+        Frame::Reject { reason } => {
+            out.push(2);
+            put_str(&mut out, reason);
+        }
+        Frame::Assign { batch, jobs } => {
+            out.push(3);
+            put_u32(&mut out, *batch);
+            put_u32(&mut out, jobs.len() as u32);
+            for j in jobs {
+                put_job(&mut out, j);
+            }
+        }
+        Frame::Revoke { jobs } => {
+            out.push(4);
+            put_u32(&mut out, jobs.len() as u32);
+            for &id in jobs {
+                put_u64(&mut out, id);
+            }
+        }
+        Frame::Result { result } => {
+            out.push(5);
+            put_job_result(&mut out, result);
+        }
+        Frame::BatchDone { batch } => {
+            out.push(6);
+            put_u32(&mut out, *batch);
+        }
+        Frame::Heartbeat => out.push(7),
+        Frame::Shutdown => out.push(8),
+    }
+    out
+}
+
+/// Decodes a frame from exactly `payload` (the inverse of
+/// [`encode_frame`]).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on truncated, trailing, or invalid bytes.
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(payload);
+    let frame = match r.u8()? {
+        0 => Frame::Hello {
+            version: r.u16()?,
+            spawned: r.boolean()?,
+            name: r.string()?,
+        },
+        1 => Frame::Welcome {
+            version: r.u16()?,
+            record_traces: r.boolean()?,
+        },
+        2 => Frame::Reject {
+            reason: r.string()?,
+        },
+        3 => {
+            let batch = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut jobs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                jobs.push(job(&mut r)?);
+            }
+            Frame::Assign { batch, jobs }
+        }
+        4 => {
+            let n = r.u32()? as usize;
+            let mut jobs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                jobs.push(r.u64()?);
+            }
+            Frame::Revoke { jobs }
+        }
+        5 => Frame::Result {
+            result: Box::new(job_result(&mut r)?),
+        },
+        6 => Frame::BatchDone { batch: r.u32()? },
+        7 => Frame::Heartbeat,
+        8 => Frame::Shutdown,
+        other => return Err(WireError::Malformed(format!("frame tag {other}"))),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Writes one length-prefixed frame and flushes.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on stream failure, [`WireError::FrameTooLarge`] for
+/// a payload over [`MAX_FRAME_LEN`] (checked before any u32 narrowing,
+/// so an absurd payload can never wrap into a small length prefix).
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    write_payload(stream, &encode_frame(frame))
+}
+
+/// Encodes and writes an [`Frame::Assign`] directly from a borrowed job
+/// slice — what the coordinator's hot assign/steal path uses, so shards
+/// are serialized without first cloning every job into an owned `Frame`.
+/// Byte-identical to `write_frame(&Frame::Assign { .. })`.
+///
+/// # Errors
+///
+/// See [`write_frame`].
+pub fn write_assign(
+    stream: &mut impl Write,
+    batch: u32,
+    jobs: &[SweepJob],
+) -> Result<(), WireError> {
+    let mut out = Vec::with_capacity(16 + jobs.len() * 48);
+    out.push(3);
+    put_u32(&mut out, batch);
+    put_u32(&mut out, jobs.len() as u32);
+    for job in jobs {
+        put_job(&mut out, job);
+    }
+    write_payload(stream, &out)
+}
+
+fn write_payload(stream: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(WireError::FrameTooLarge(
+            u32::try_from(payload.len()).unwrap_or(u32::MAX),
+        ));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame (blocking until complete).
+///
+/// # Errors
+///
+/// [`WireError::Io`] on stream failure or EOF mid-frame;
+/// [`WireError::FrameTooLarge`] / [`WireError::Malformed`] on bad bytes.
+pub fn read_frame(stream: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len_bytes = [0u8; 4];
+    stream.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    decode_frame(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_core::state::ActorId;
+    use av_core::units::{Meters, Seconds};
+
+    fn sample_jobs() -> Vec<SweepJob> {
+        let mk = |id: u64, scenario: ScenarioId, seed: u64, kind: JobKind| SweepJob {
+            id: JobId(id),
+            spec: JobSpec {
+                scenario,
+                seed,
+                kind,
+            },
+        };
+        vec![
+            mk(
+                0,
+                ScenarioId::CutOut,
+                3,
+                JobKind::Probe {
+                    plan: RateSpec::Uniform(4.0),
+                    keep_trace: true,
+                },
+            ),
+            mk(
+                1,
+                ScenarioId::ChallengingCutInCurved,
+                6,
+                JobKind::MinSafeFpr {
+                    candidates: vec![1, 4, 30],
+                },
+            ),
+            mk(
+                17,
+                ScenarioId::FrontRightActivity3,
+                0,
+                JobKind::Analyze {
+                    plan: RateSpec::PerCamera(vec![30.0, 15.0, 4.0, 4.0, 2.0]),
+                    predictor: PredictorChoice::ConstantVelocity,
+                    stride: 20,
+                },
+            ),
+        ]
+    }
+
+    fn sample_results() -> Vec<JobResult> {
+        let jobs = sample_jobs();
+        vec![
+            JobResult {
+                job: jobs[0].clone(),
+                outcome: JobOutcome::Probe(ProbeOutcome {
+                    collided: true,
+                    collision_time: Some(Seconds(3.7500000000001)),
+                    collision_actor: Some(ActorId(2)),
+                    min_clearance: Some(Meters(0.0)),
+                    duration: Seconds(3.76),
+                    trace_csv: Some("t,x,y\n0,1,2\n".to_string()),
+                }),
+            },
+            JobResult {
+                job: jobs[1].clone(),
+                outcome: JobOutcome::MinSafeFpr(MsfSearch {
+                    mrf: Mrf::Fpr(4),
+                    sims_run: 3,
+                    grid_size: 3,
+                    grid_min: 1,
+                    grid_max: 30,
+                }),
+            },
+            JobResult {
+                job: jobs[2].clone(),
+                outcome: JobOutcome::Analysis(AnalysisOutcome {
+                    collided: false,
+                    steps: 42,
+                    // A deliberately awkward double: must survive bit-exactly.
+                    max_camera_fpr: Some(f64::from_bits(0x3FF5_5555_5555_5555)),
+                    constraint_evaluations: 12345,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                spawned: true,
+                name: "spawned-0".into(),
+            },
+            Frame::Welcome {
+                version: PROTOCOL_VERSION,
+                record_traces: false,
+            },
+            Frame::Reject {
+                reason: "protocol version 9 != 1".into(),
+            },
+            Frame::Assign {
+                batch: 7,
+                jobs: sample_jobs(),
+            },
+            Frame::Revoke {
+                jobs: vec![3, 9, 11],
+            },
+            Frame::Result {
+                result: Box::new(sample_results().remove(0)),
+            },
+            Frame::BatchDone { batch: 7 },
+            Frame::Heartbeat,
+            Frame::Shutdown,
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame);
+            let back = decode_frame(&bytes).expect("round trip");
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn results_round_trip_bit_exactly() {
+        for result in sample_results() {
+            let mut bytes = Vec::new();
+            put_job_result(&mut bytes, &result);
+            let back = decode_job_result(&bytes).expect("round trip");
+            assert_eq!(back, result);
+        }
+    }
+
+    #[test]
+    fn write_assign_matches_the_owned_frame_encoding() {
+        let jobs = sample_jobs();
+        let mut borrowed: Vec<u8> = Vec::new();
+        write_assign(&mut borrowed, 7, &jobs).expect("write into a Vec");
+        let mut owned: Vec<u8> = Vec::new();
+        write_frame(&mut owned, &Frame::Assign { batch: 7, jobs }).expect("write into a Vec");
+        assert_eq!(
+            borrowed, owned,
+            "the two assign writers must agree byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn stream_framing_round_trips_multiple_frames() {
+        let mut buf: Vec<u8> = Vec::new();
+        let frames = vec![
+            Frame::Heartbeat,
+            Frame::Assign {
+                batch: 0,
+                jobs: sample_jobs(),
+            },
+            Frame::Shutdown,
+        ];
+        for frame in &frames {
+            write_frame(&mut buf, frame).expect("write into a Vec");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for frame in &frames {
+            assert_eq!(&read_frame(&mut cursor).expect("read back"), frame);
+        }
+        // EOF afterwards surfaces as an I/O error, not a panic.
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected_not_panicked() {
+        assert!(matches!(decode_frame(&[99]), Err(WireError::Malformed(_))));
+        assert!(matches!(decode_frame(&[]), Err(WireError::Malformed(_))));
+        // Truncated Assign.
+        let mut bytes = encode_frame(&Frame::Assign {
+            batch: 0,
+            jobs: sample_jobs(),
+        });
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+        // Trailing garbage.
+        let mut bytes = encode_frame(&Frame::Heartbeat);
+        bytes.push(0);
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Malformed(_))));
+        // Oversized length prefix.
+        let mut framed = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        framed.extend_from_slice(&[0; 8]);
+        let mut cursor = std::io::Cursor::new(framed);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+}

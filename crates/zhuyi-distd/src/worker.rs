@@ -1,0 +1,246 @@
+//! The worker half of the protocol: connect, handshake, execute assigned
+//! shards job-by-job through the fleet engine's metrics-only execution
+//! path, and stream each result back the moment it finishes.
+//!
+//! A worker is deliberately single-threaded about simulation — process
+//! count is the parallelism axis — but runs two side threads: a reader
+//! pumping coordinator frames ([`crate::wire::Frame::Assign`] /
+//! [`crate::wire::Frame::Revoke`] / [`crate::wire::Frame::Shutdown`])
+//! into an inbox, and a heartbeat ticker, so a multi-second simulation
+//! never reads as a crash and a revoke can overtake the jobs queued
+//! behind the one currently simulating.
+
+use crate::wire::{self, Frame, PROTOCOL_VERSION};
+use std::collections::{HashSet, VecDeque};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use zhuyi_fleet::{exec, ExecOptions, JobResult, SweepJob};
+
+/// Exit code of a worker whose `--fail-after` fault injection fired.
+pub const FAULT_EXIT_CODE: u8 = 17;
+
+/// How a worker run can fail.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Could not reach the coordinator.
+    Connect(String),
+    /// Handshake failed (version mismatch, rejected, bad frame).
+    Handshake(String),
+    /// The coordinator vanished mid-sweep.
+    ConnectionLost(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Connect(what) => write!(f, "cannot connect to coordinator: {what}"),
+            WorkerError::Handshake(what) => write!(f, "handshake failed: {what}"),
+            WorkerError::ConnectionLost(what) => write!(f, "coordinator connection lost: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// Options of one worker session.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address (`host:port`).
+    pub connect: String,
+    /// Name sent in the handshake (shows up in coordinator diagnostics).
+    pub name: String,
+    /// Whether the coordinator spawned this process itself (spawned
+    /// workers are eligible for respawning after a crash).
+    pub spawned: bool,
+    /// Fault injection: `process::exit(17)` after this many results were
+    /// streamed — the hook the crash-recovery tests use.
+    pub fail_after: Option<u32>,
+    /// Heartbeat period (default 1s).
+    pub heartbeat_interval: Duration,
+}
+
+impl WorkerOptions {
+    /// Defaults for connecting to `addr`.
+    pub fn new(connect: impl Into<String>) -> Self {
+        Self {
+            connect: connect.into(),
+            name: format!("worker-{}", std::process::id()),
+            spawned: false,
+            fail_after: None,
+            heartbeat_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inbox {
+    batches: VecDeque<(u32, Vec<SweepJob>)>,
+    revoked: HashSet<u64>,
+    shutdown: bool,
+    dead: Option<String>,
+}
+
+/// Runs one worker session to completion: returns `Ok(jobs_executed)`
+/// after a clean [`Frame::Shutdown`].
+///
+/// # Errors
+///
+/// See [`WorkerError`]. Never panics on protocol garbage — malformed
+/// frames surface as [`WorkerError::ConnectionLost`].
+pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
+    // A spawned worker can race the coordinator's accept loop by a few
+    // milliseconds; an external one may be started just before the
+    // coordinator. A short retry window forgives both.
+    let mut stream = None;
+    for attempt in 0..25 {
+        match TcpStream::connect(&options.connect) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) if attempt == 24 => return Err(WorkerError::Connect(e.to_string())),
+            Err(_) => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+    let mut stream = stream.expect("loop either sets the stream or returns");
+    let _ = stream.set_nodelay(true);
+
+    // Handshake.
+    wire::write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            spawned: options.spawned,
+            name: options.name.clone(),
+        },
+    )
+    .map_err(|e| WorkerError::Handshake(e.to_string()))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let exec_options = match wire::read_frame(&mut stream) {
+        Ok(Frame::Welcome { record_traces, .. }) => ExecOptions { record_traces },
+        Ok(Frame::Reject { reason }) => return Err(WorkerError::Handshake(reason)),
+        Ok(other) => {
+            return Err(WorkerError::Handshake(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+        Err(e) => return Err(WorkerError::Handshake(e.to_string())),
+    };
+    let _ = stream.set_read_timeout(None);
+
+    let writer = Arc::new(Mutex::new(
+        stream
+            .try_clone()
+            .map_err(|e| WorkerError::Connect(e.to_string()))?,
+    ));
+    let inbox = Arc::new((Mutex::new(Inbox::default()), Condvar::new()));
+
+    // Reader: coordinator frames → inbox.
+    {
+        let inbox = Arc::clone(&inbox);
+        let mut reader = stream;
+        std::thread::spawn(move || loop {
+            let frame = wire::read_frame(&mut reader);
+            let (lock, signal) = &*inbox;
+            let mut inbox = lock.lock().expect("inbox poisoned");
+            match frame {
+                Ok(Frame::Assign { batch, jobs }) => {
+                    // A fresh assignment supersedes any earlier Revoke of
+                    // the same job (the thief died and the coordinator
+                    // handed the job back): the coordinator writes frames
+                    // to this worker in decision order, so whatever
+                    // arrives last wins. Without this, a once-revoked id
+                    // would be skipped forever and the sweep would stall.
+                    for job in &jobs {
+                        inbox.revoked.remove(&job.id.0);
+                    }
+                    inbox.batches.push_back((batch, jobs));
+                }
+                Ok(Frame::Revoke { jobs }) => inbox.revoked.extend(jobs),
+                Ok(Frame::Shutdown) => inbox.shutdown = true,
+                Ok(_) => {} // coordinator sends nothing else post-handshake
+                Err(e) => {
+                    inbox.dead = Some(e.to_string());
+                    signal.notify_all();
+                    return;
+                }
+            }
+            signal.notify_all();
+        });
+    }
+
+    // Heartbeat: liveness while a job simulates for seconds.
+    {
+        let writer = Arc::clone(&writer);
+        let interval = options.heartbeat_interval;
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            let mut w = writer.lock().expect("writer poisoned");
+            if wire::write_frame(&mut *w, &Frame::Heartbeat).is_err() {
+                return;
+            }
+        });
+    }
+
+    let mut executed: u64 = 0;
+    let mut streamed_results: u32 = 0;
+    loop {
+        let batch = {
+            let (lock, signal) = &*inbox;
+            let mut guard = lock.lock().expect("inbox poisoned");
+            loop {
+                if let Some(batch) = guard.batches.pop_front() {
+                    break batch;
+                }
+                // Shutdown outranks a dead socket: the coordinator closes
+                // the connection right after the Shutdown frame, so both
+                // flags are routinely set together on a clean exit.
+                if guard.shutdown {
+                    return Ok(executed);
+                }
+                if let Some(dead) = &guard.dead {
+                    return Err(WorkerError::ConnectionLost(dead.clone()));
+                }
+                guard = signal.wait(guard).expect("inbox poisoned");
+            }
+        };
+        let (batch_id, jobs) = batch;
+        for job in jobs {
+            let revoked = {
+                let (lock, _) = &*inbox;
+                lock.lock()
+                    .expect("inbox poisoned")
+                    .revoked
+                    .contains(&job.id.0)
+            };
+            if revoked {
+                continue;
+            }
+            let outcome = exec::execute_with(&job.spec, exec_options);
+            let result = JobResult { job, outcome };
+            {
+                let mut w = writer.lock().expect("writer poisoned");
+                if let Err(e) = wire::write_frame(
+                    &mut *w,
+                    &Frame::Result {
+                        result: Box::new(result),
+                    },
+                ) {
+                    return Err(WorkerError::ConnectionLost(e.to_string()));
+                }
+            }
+            executed += 1;
+            streamed_results += 1;
+            if options.fail_after == Some(streamed_results) {
+                // Fault injection: die *hard*, mid-batch, exactly like a
+                // crashed or OOM-killed process would.
+                std::process::exit(i32::from(FAULT_EXIT_CODE));
+            }
+        }
+        let mut w = writer.lock().expect("writer poisoned");
+        if let Err(e) = wire::write_frame(&mut *w, &Frame::BatchDone { batch: batch_id }) {
+            return Err(WorkerError::ConnectionLost(e.to_string()));
+        }
+    }
+}

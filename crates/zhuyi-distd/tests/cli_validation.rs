@@ -1,0 +1,109 @@
+//! The distribution CLIs must reject malformed flag values loudly: a
+//! clear message on stderr and a non-zero exit code, never a silently
+//! reinterpreted sweep.
+
+use std::process::{Command, Output};
+
+fn fleet_sweep(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fleet_sweep"))
+        .args(args)
+        .output()
+        .expect("run fleet_sweep")
+}
+
+fn fleet_shard(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fleet_shard"))
+        .args(args)
+        .output()
+        .expect("run fleet_shard")
+}
+
+/// Asserts a usage failure: exit code 2 and a message mentioning `hint`.
+fn assert_rejected(out: &Output, hint: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "expected exit 2, got {:?}; stderr: {stderr}",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains("error:"),
+        "stderr must carry an error line: {stderr}"
+    );
+    assert!(
+        stderr.contains(hint),
+        "stderr must mention {hint:?}: {stderr}"
+    );
+}
+
+#[test]
+fn help_exits_zero() {
+    assert_eq!(fleet_sweep(&["--help"]).status.code(), Some(0));
+    assert_eq!(fleet_shard(&["--help"]).status.code(), Some(0));
+}
+
+#[test]
+fn malformed_workers_values_are_rejected() {
+    assert_rejected(&fleet_sweep(&["--workers", "zero"]), "--workers");
+    assert_rejected(&fleet_sweep(&["--workers", "-3"]), "--workers");
+    // 0 is reserved for an external-workers-only coordinator.
+    assert_rejected(&fleet_sweep(&["--workers", "0"]), "--listen");
+    assert_rejected(&fleet_sweep(&["--workers"]), "expects a value");
+}
+
+#[test]
+fn malformed_connect_addresses_are_rejected() {
+    assert_rejected(&fleet_sweep(&["--connect", "127.0.0.1"]), "host:port");
+    assert_rejected(&fleet_sweep(&["--connect", "not an address"]), "--connect");
+    assert_rejected(&fleet_shard(&["--connect", "nohost:"]), "--connect");
+    assert_rejected(&fleet_shard(&[]), "--connect");
+}
+
+#[test]
+fn malformed_checkpoint_paths_are_rejected() {
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--checkpoint", "/no/such/dir/anywhere/sweep.ckpt"]),
+        "does not exist",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--checkpoint", ""]),
+        "--checkpoint",
+    );
+}
+
+#[test]
+fn conflicting_distribution_flags_are_rejected() {
+    assert_rejected(
+        &fleet_sweep(&["--checkpoint", "sweep.ckpt"]),
+        "requires --dist",
+    );
+    assert_rejected(&fleet_sweep(&["--batch", "4"]), "requires --dist");
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--connect", "127.0.0.1:7700"]),
+        "--dist",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--connect", "127.0.0.1:7700", "--json", "out.json"]),
+        "--json",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--connect", "127.0.0.1:7700", "--mode", "msf"]),
+        "--mode",
+    );
+    assert_rejected(&fleet_sweep(&["--dist", "--batch", "0"]), "--batch");
+}
+
+#[test]
+fn malformed_mode_specific_values_are_rejected() {
+    assert_rejected(&fleet_sweep(&["--mode", "warp"]), "unknown mode");
+    assert_rejected(
+        &fleet_sweep(&["--mode", "percam", "--plans", "sideways"]),
+        "unknown per-camera plan",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--mode", "percam", "--plans", "99"]),
+        "out of 0..",
+    );
+    assert_rejected(&fleet_shard(&["--fail-after", "0"]), "--fail-after");
+}

@@ -1,0 +1,240 @@
+//! Distribution correctness: a multi-process sweep must export the very
+//! bytes a single-process sweep exports — with healthy workers, with a
+//! worker killed mid-sweep, and across a checkpoint abort/resume.
+//!
+//! Workers are real OS processes (the `fleet_shard` binary cargo builds
+//! alongside these tests), talking to the coordinator over loopback TCP.
+
+use std::path::PathBuf;
+use zhuyi_distd::wire::{self, Frame};
+use zhuyi_distd::{run_distributed, DistConfig, DistError, PROTOCOL_VERSION};
+use zhuyi_fleet::{run_sweep, JobId, JobKind, JobSpec, RateSpec, ResultStore, SweepJob, SweepPlan};
+
+use av_scenarios::catalog::ScenarioId;
+
+/// The worker binary cargo built for this test run.
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_fleet_shard"))
+}
+
+/// A compact plan covering all three job kinds and *both* rate-plan
+/// variants (uniform and per-camera), plus a kept trace so trace CSV
+/// bytes cross the wire too.
+fn mixed_plan() -> SweepPlan {
+    SweepPlan::builder()
+        .scenarios([ScenarioId::CutOut, ScenarioId::VehicleFollowing])
+        .jittered_variants(2)
+        .probe(4.0, true)
+        .probe_per_camera(vec![30.0, 15.0, 4.0, 4.0, 2.0], false)
+        .min_safe_fpr(vec![1, 4, 30])
+        .build()
+}
+
+/// Every exported byte: per-job CSV ledger, JSON document, kept traces.
+fn fingerprint(store: &ResultStore) -> String {
+    let mut bytes = String::new();
+    bytes.push_str(&store.to_csv());
+    bytes.push_str(&store.to_json());
+    for (name, csv) in store.kept_traces() {
+        bytes.push_str(&name);
+        bytes.push_str(csv);
+    }
+    bytes
+}
+
+fn config() -> DistConfig {
+    DistConfig {
+        spawn_workers: 2,
+        worker_binary: Some(worker_binary()),
+        // Small shards so both workers hold work and reassignment has
+        // something to reassign.
+        batch_size: Some(3),
+        ..DistConfig::default()
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zhuyi-distd-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn distributed_sweep_is_byte_identical_to_single_process() {
+    let plan = mixed_plan();
+    let single = fingerprint(&run_sweep(&plan, 1));
+    let report = run_distributed(&plan, &config()).expect("distributed sweep");
+    assert_eq!(
+        fingerprint(&report.store),
+        single,
+        "distributed exports diverged from the single-process sweep"
+    );
+    assert_eq!(report.stats.executed_jobs, plan.len());
+    assert_eq!(report.stats.workers_connected, 2);
+    assert_eq!(report.stats.resumed_jobs, 0);
+}
+
+#[test]
+fn killed_worker_is_reassigned_and_output_unchanged() {
+    let plan = mixed_plan();
+    let single = fingerprint(&run_sweep(&plan, 1));
+    let mut config = config();
+    // Worker 0 crashes hard (exit 17) after streaming two results —
+    // mid-shard, since shards carry three jobs.
+    config.worker_extra_args = vec![vec!["--fail-after".into(), "2".into()]];
+    let report = run_distributed(&plan, &config).expect("sweep survives the crash");
+    assert_eq!(
+        fingerprint(&report.store),
+        single,
+        "a worker crash must not change the merged output"
+    );
+    let stats = report.stats;
+    assert!(
+        stats.workers_lost >= 1,
+        "the fault injection must have killed a worker: {stats:?}"
+    );
+    assert!(
+        stats.batches_reassigned >= 1,
+        "the dead worker's shard must have been reassigned: {stats:?}"
+    );
+    assert_eq!(stats.executed_jobs, plan.len());
+}
+
+#[test]
+fn checkpoint_resume_completes_the_sweep_identically() {
+    let plan = mixed_plan();
+    let single = fingerprint(&run_sweep(&plan, 1));
+    let checkpoint = tmp_dir("resume").join("sweep.ckpt");
+
+    // First attempt: the abort hook kills the coordinator (checkpoint
+    // intact) after three fresh results — a stand-in for a crashed or
+    // interrupted coordinator process.
+    let mut first = config();
+    first.checkpoint = Some(checkpoint.clone());
+    first.abort_after_results = Some(3);
+    match run_distributed(&plan, &first) {
+        Err(DistError::Aborted { completed }) => assert!(completed >= 3),
+        other => panic!("expected the abort hook to fire, got {other:?}"),
+    }
+
+    // Resume: completed jobs load from the checkpoint, the rest execute.
+    let mut second = config();
+    second.checkpoint = Some(checkpoint.clone());
+    let report = run_distributed(&plan, &second).expect("resumed sweep");
+    assert_eq!(
+        fingerprint(&report.store),
+        single,
+        "an abort/resume cycle must not change the merged output"
+    );
+    let stats = report.stats;
+    assert!(
+        stats.resumed_jobs >= 3,
+        "the resume must reuse checkpointed jobs: {stats:?}"
+    );
+    assert_eq!(
+        stats.resumed_jobs + stats.executed_jobs,
+        plan.len(),
+        "every job is either resumed or executed exactly once: {stats:?}"
+    );
+
+    // A third run over the now-complete checkpoint simulates nothing.
+    let mut third = config();
+    third.checkpoint = Some(checkpoint);
+    let report = run_distributed(&plan, &third).expect("fully checkpointed sweep");
+    assert_eq!(fingerprint(&report.store), single);
+    assert_eq!(report.stats.executed_jobs, 0);
+    assert_eq!(report.stats.resumed_jobs, plan.len());
+}
+
+/// Regression: a job revoked from a worker (stolen) and later handed
+/// *back* to that same worker — because the thief died — must execute.
+/// A worker that never forgets a revocation would skip the job forever
+/// and stall the sweep. Driven against a real `fleet_shard` process by a
+/// scripted coordinator, so the exact frame order is deterministic.
+#[test]
+fn reassignment_supersedes_an_earlier_revoke() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let mut child = std::process::Command::new(worker_binary())
+        .args(["--connect", &addr])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn worker");
+
+    let (mut stream, _) = listener.accept().expect("worker connects");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("read timeout");
+    assert!(matches!(
+        wire::read_frame(&mut stream).expect("hello"),
+        Frame::Hello { version, .. } if version == PROTOCOL_VERSION
+    ));
+    wire::write_frame(
+        &mut stream,
+        &Frame::Welcome {
+            version: PROTOCOL_VERSION,
+            record_traces: false,
+        },
+    )
+    .expect("welcome");
+
+    let job = |id: u64| SweepJob {
+        id: JobId(id),
+        spec: JobSpec {
+            scenario: ScenarioId::VehicleFollowing,
+            seed: 0,
+            kind: JobKind::Probe {
+                plan: RateSpec::Uniform(30.0),
+                keep_trace: false,
+            },
+        },
+    };
+    // Read worker frames until the wanted BatchDone, collecting which
+    // job ids produced results (heartbeats interleave freely).
+    let drain_batch = |stream: &mut std::net::TcpStream, batch: u32| -> Vec<u64> {
+        let mut delivered = Vec::new();
+        loop {
+            match wire::read_frame(stream).expect("worker frame") {
+                Frame::Result { result } => delivered.push(result.job.id.0),
+                Frame::BatchDone { batch: done } if done == batch => return delivered,
+                Frame::Heartbeat | Frame::BatchDone { .. } => {}
+                other => panic!("unexpected worker frame {other:?}"),
+            }
+        }
+    };
+
+    // Shard [1, 2] with job 2 stolen away (Revoke may win or lose the
+    // race against the worker starting job 2 — both are legal).
+    wire::write_frame(
+        &mut stream,
+        &Frame::Assign {
+            batch: 0,
+            jobs: vec![job(1), job(2)],
+        },
+    )
+    .expect("assign batch 0");
+    wire::write_frame(&mut stream, &Frame::Revoke { jobs: vec![2] }).expect("revoke");
+    let first = drain_batch(&mut stream, 0);
+    assert!(first.contains(&1), "job 1 was never revoked: {first:?}");
+
+    // The thief "died": hand job 2 back. It must run now, whatever
+    // happened above.
+    wire::write_frame(
+        &mut stream,
+        &Frame::Assign {
+            batch: 1,
+            jobs: vec![job(2)],
+        },
+    )
+    .expect("assign batch 1");
+    let second = drain_batch(&mut stream, 1);
+    assert_eq!(
+        second,
+        vec![2],
+        "a reassigned job must supersede its earlier revocation"
+    );
+
+    wire::write_frame(&mut stream, &Frame::Shutdown).expect("shutdown");
+    let status = child.wait().expect("worker exit");
+    assert!(status.success(), "worker must exit cleanly: {status:?}");
+}

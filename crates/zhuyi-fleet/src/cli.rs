@@ -1,8 +1,8 @@
 //! Shared flag parsing for the fleet binaries (`fleet_sweep`,
-//! `perf_baseline`), so the two CLIs cannot drift apart on how a
-//! scenario list or a rate grid is interpreted.
+//! `perf_baseline`), so the CLIs cannot drift apart on how a scenario
+//! list, a rate grid, or a per-camera plan selection is interpreted.
 
-use av_scenarios::catalog::ScenarioId;
+use av_scenarios::catalog::{PerCameraPlan, ScenarioId, PER_CAMERA_PLANS};
 
 /// Parses a `--scenarios` value: `all`, or comma-separated Table-1
 /// indexes (`0 = Cut-out ... 8 = Front & right 3`).
@@ -48,6 +48,45 @@ pub fn parse_rates(spec: &str) -> Result<Vec<u32>, String> {
     Ok(rates)
 }
 
+/// Parses a `--plans` value: `all`, or comma-separated indexes into the
+/// catalog's [`PER_CAMERA_PLANS`] presets (in catalog order), or preset
+/// names (`front-heavy`, ...). Duplicates are kept — probing one plan
+/// twice is a caller decision, not a parse error.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names or out-of-range
+/// indexes.
+pub fn parse_per_camera_plans(spec: &str) -> Result<Vec<PerCameraPlan>, String> {
+    if spec == "all" {
+        return Ok(PER_CAMERA_PLANS.to_vec());
+    }
+    spec.split(',')
+        .map(|s| {
+            let s = s.trim();
+            if let Ok(index) = s.parse::<usize>() {
+                return PER_CAMERA_PLANS.get(index).copied().ok_or_else(|| {
+                    format!(
+                        "per-camera plan index {index} out of 0..{}",
+                        PER_CAMERA_PLANS.len()
+                    )
+                });
+            }
+            PER_CAMERA_PLANS
+                .iter()
+                .find(|p| p.name == s)
+                .copied()
+                .ok_or_else(|| {
+                    let names: Vec<&str> = PER_CAMERA_PLANS.iter().map(|p| p.name).collect();
+                    format!(
+                        "unknown per-camera plan {s:?} (known: {})",
+                        names.join(", ")
+                    )
+                })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +107,19 @@ mod tests {
         assert_eq!(parse_rates("30,1,4,4").expect("valid"), vec![1, 4, 30]);
         assert!(parse_rates("0,1").is_err());
         assert!(parse_rates("1,two").is_err());
+    }
+
+    #[test]
+    fn per_camera_plans_by_index_name_or_all() {
+        assert_eq!(
+            parse_per_camera_plans("all").expect("all"),
+            PER_CAMERA_PLANS.to_vec()
+        );
+        let picked = parse_per_camera_plans("2, front-heavy").expect("valid");
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0], PER_CAMERA_PLANS[2]);
+        assert_eq!(picked[1].name, "front-heavy");
+        assert!(parse_per_camera_plans("9").is_err());
+        assert!(parse_per_camera_plans("sideways").is_err());
     }
 }

@@ -108,6 +108,20 @@ impl SweepPlanBuilder {
         self
     }
 
+    /// Adds one per-camera collision probe per plan — the heterogeneous
+    /// rate-grid experiment (`fleet_sweep --mode percam` feeds the
+    /// catalog's `PER_CAMERA_PLANS` presets through this).
+    pub fn probe_per_camera_plans(
+        mut self,
+        plans: impl IntoIterator<Item = Vec<f64>>,
+        keep_trace: bool,
+    ) -> Self {
+        for rates in plans {
+            self = self.probe_per_camera(rates, keep_trace);
+        }
+        self
+    }
+
     /// Adds a minimum-safe-FPR binary search over `candidates`
     /// (ascending).
     pub fn min_safe_fpr(mut self, candidates: Vec<u32>) -> Self {
@@ -214,6 +228,37 @@ mod tests {
         assert_eq!(plan.jobs()[1].spec.seed, 0);
         assert_eq!(plan.jobs()[2].spec.seed, 1);
         assert_eq!(plan.jobs()[6].spec.scenario, ScenarioId::CutIn);
+    }
+
+    #[test]
+    fn per_camera_plan_sets_expand_one_probe_each() {
+        let plans = vec![
+            vec![30.0, 15.0, 4.0, 4.0, 2.0],
+            vec![6.0, 4.0, 2.0, 2.0, 1.0],
+        ];
+        let plan = SweepPlan::builder()
+            .scenarios([ScenarioId::CutOut])
+            .jittered_variants(3)
+            .probe_per_camera_plans(plans.clone(), false)
+            .build();
+        // 1 scenario x 3 seeds x 2 per-camera plans.
+        assert_eq!(plan.len(), 6);
+        let kinds: Vec<&JobKind> = plan.jobs().iter().map(|j| &j.spec.kind).collect();
+        assert!(kinds.iter().all(|k| matches!(
+            k,
+            JobKind::Probe {
+                plan: RateSpec::PerCamera(_),
+                ..
+            }
+        )));
+        let JobKind::Probe {
+            plan: RateSpec::PerCamera(first),
+            ..
+        } = kinds[0]
+        else {
+            unreachable!("checked above");
+        };
+        assert_eq!(first, &plans[0]);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! - `runtime` ([`zhuyi_runtime`]) — online safety check & work prioritization
 //! - `compute` ([`compute_model`]) — Figure-1 compute-demand model
 //! - `fleet` ([`zhuyi_fleet`]) — parallel fleet-scale scenario sweeps
+//! - `distd` ([`zhuyi_distd`]) — multi-process sharded sweep coordinator/workers
 //!
 //! # Quickstart
 //!
@@ -53,5 +54,6 @@ pub use av_scenarios as scenarios;
 pub use av_sim as sim;
 pub use compute_model as compute;
 pub use zhuyi as model;
+pub use zhuyi_distd as distd;
 pub use zhuyi_fleet as fleet;
 pub use zhuyi_runtime as runtime;
