@@ -450,6 +450,41 @@ impl Path {
         &self.points
     }
 
+    /// `true` when the path is a single straight segment (every catalog
+    /// road except the curved cut-in's arc). Conservative certificates in
+    /// the lane-batched simulator only reason in Frenet coordinates on
+    /// straight paths, where arc length and lateral offset are globally
+    /// Euclidean; on anything else they decline.
+    #[inline]
+    pub fn is_straight(&self) -> bool {
+        self.seg_heading.len() == 1
+    }
+
+    /// An upper bound on the path's curvature (1/m): the largest
+    /// per-vertex heading change divided by the *shorter* adjacent
+    /// segment. For a uniformly sampled arc this is exactly `1/radius`;
+    /// on nonuniform polylines the short-segment denominator
+    /// overestimates (never underestimates) localized curvature, which
+    /// is the conservative direction — the lane-batch certificates
+    /// decline whenever this bound exceeds their gentle-arc limit, so
+    /// the bound must be allowed to cry wolf but never to understate.
+    /// Zero for a straight path. O(segments); callers that care compute
+    /// it once per run, not per query.
+    pub fn max_abs_curvature(&self) -> f64 {
+        let mut max = 0.0f64;
+        for i in 1..self.seg_heading.len() {
+            let dh = (self.seg_heading[i] - self.seg_heading[i - 1])
+                .normalized()
+                .value()
+                .abs();
+            let ds = (self.cum_s[i] - self.cum_s[i - 1]).min(self.cum_s[i + 1] - self.cum_s[i]);
+            if ds > 1e-9 {
+                max = max.max(dh / ds);
+            }
+        }
+        max
+    }
+
     /// The segment index whose arc-length interval contains `s` (clamped
     /// to real segments; callers handle extrapolation beyond the ends).
     fn segment_at(&self, s: f64) -> usize {

@@ -77,10 +77,23 @@ pub fn occluded_against(
     })
 }
 
-/// The blocker footprint, shrunk 20% so grazing sight lines count as
-/// visible.
+/// The fraction of a blocker's footprint that participates in the
+/// line-of-sight test (each extent is scaled by this before the segment
+/// intersection, so grazing sight lines count as visible — partial
+/// occlusion errs toward visibility). Exported so conservative
+/// visibility certificates (the lane-batch retirement logic in
+/// `av-sim::batch`) can bound what a blocker could ever occlude without
+/// duplicating the constant.
+pub const BLOCKER_SHRINK: f64 = 0.8;
+
+/// The blocker footprint scaled by [`BLOCKER_SHRINK`].
 fn shrunken(position: Vec2, heading: Radians, dims: Dimensions) -> OrientedRect {
-    OrientedRect::new(position, heading, dims.length * 0.8, dims.width * 0.8)
+    OrientedRect::new(
+        position,
+        heading,
+        dims.length * BLOCKER_SHRINK,
+        dims.width * BLOCKER_SHRINK,
+    )
 }
 
 #[cfg(test)]

@@ -219,6 +219,31 @@ impl PerceptionSystem {
         self.samplers.iter().map(|s| s.rate()).collect()
     }
 
+    /// The slowest camera's rate — the longest frame period in the rig —
+    /// without allocating (unlike [`PerceptionSystem::rates`]). Used by
+    /// the lane-retirement certificates' staleness bounds.
+    pub fn slowest_rate(&self) -> Fpr {
+        Fpr(self
+            .samplers
+            .iter()
+            .map(|s| s.rate().value())
+            .fold(f64::INFINITY, f64::min))
+    }
+
+    /// `true` when any camera has a frame-loss policy other than
+    /// [`DropPolicy::None`] injected. Retirement certificates refuse to
+    /// reason about track liveness under injected loss, so they consult
+    /// this before assuming a visible actor keeps refreshing its track.
+    pub fn has_frame_loss(&self) -> bool {
+        self.droppers.iter().any(|d| d.policy() != DropPolicy::None)
+    }
+
+    /// `true` when occlusion is modeled (the default; see
+    /// [`PerceptionSystem::without_occlusion`]).
+    pub fn models_occlusion(&self) -> bool {
+        self.model_occlusion
+    }
+
     /// Reconfigures one camera's rate (work prioritization, §3.2).
     ///
     /// # Errors

@@ -641,23 +641,20 @@ pub const PER_CAMERA_PLANS: [PerCameraPlan; 4] = [
 /// ([`Scenario::collides_at`]): no trace is recorded and no statistics are
 /// folded, since only the collision bit is consulted. Each seed's scenario
 /// instance is built once and shared across the whole candidate grid via
-/// a [`crate::sweep::SweepContext`].
+/// a [`crate::sweep::SweepContext`], and the grid itself runs as one
+/// lane-batched lockstep pass per seed
+/// ([`crate::sweep::SweepContext::collides_batched`]) — verdicts are
+/// identical to probing each rate on its own.
 pub fn minimum_required_fpr(id: ScenarioId, candidates: &[u32], seeds: &[u64]) -> Mrf {
-    let scenarios: Vec<Scenario> = seeds
-        .iter()
-        .map(|&seed| Scenario::build(id, seed))
-        .collect();
-    let mut contexts: Vec<crate::sweep::SweepContext> = scenarios
-        .iter()
-        .map(crate::sweep::SweepContext::new)
-        .collect();
+    let rates: Vec<Fpr> = candidates.iter().map(|&c| Fpr(f64::from(c))).collect();
     let mut highest_unsafe: Option<u32> = None;
-    for &fpr in candidates {
-        let any_collision = contexts
-            .iter_mut()
-            .any(|context| context.collides_at(Fpr(fpr as f64)));
-        if any_collision {
-            highest_unsafe = Some(fpr);
+    for &seed in seeds {
+        let scenario = Scenario::build(id, seed);
+        let mut context = crate::sweep::SweepContext::new(&scenario);
+        for (k, collided) in context.collides_batched(&rates).into_iter().enumerate() {
+            if collided && highest_unsafe.is_none_or(|worst| candidates[k] > worst) {
+                highest_unsafe = Some(candidates[k]);
+            }
         }
     }
     match highest_unsafe {

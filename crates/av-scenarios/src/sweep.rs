@@ -18,6 +18,7 @@
 use crate::catalog::Scenario;
 use av_core::units::Fpr;
 use av_perception::system::{PerceptionError, PerceptionSystem, RatePlan};
+use av_sim::batch::{BatchStats, LaneSpec};
 use av_sim::engine::{Simulation, StepOutcome};
 use av_sim::observer::{MetricsObserver, NullObserver, RunSummary, SimObserver};
 use av_sim::policy::{EgoVehicle, PolicyConfig};
@@ -118,6 +119,58 @@ impl<'a> SweepContext<'a> {
             .expect("uniform positive rate plans are valid");
         metrics.summary()
     }
+
+    /// One fresh [`LaneSpec`] for a uniform-rate lane of this scenario.
+    fn lane_spec(&self, fpr: Fpr) -> LaneSpec {
+        LaneSpec {
+            ego: EgoVehicle::spawn(
+                &self.scenario.road,
+                self.scenario.ego_lane,
+                self.scenario.ego_start,
+                PolicyConfig::cruise(self.scenario.ego_speed),
+            ),
+            perception: self
+                .scenario
+                .perception(RatePlan::Uniform(fpr))
+                .expect("uniform positive rate plans are valid"),
+        }
+    }
+
+    /// [`SweepContext::collides_at`] for a whole candidate-rate grid in
+    /// one lockstep pass: every rate becomes a lane of
+    /// [`Simulation::run_batched_verdicts`] over the shared scenario, so
+    /// rate-independent per-tick work is paid once instead of once per
+    /// rate, collided lanes retire where their standalone run would have
+    /// stopped, and provably-safe suffixes retire early (see
+    /// `av_sim::batch`). The returned verdicts are identical to calling
+    /// [`SweepContext::collides_at`] per rate — pinned by this module's
+    /// tests and the fleet equivalence suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is invalid (non-positive or non-finite).
+    pub fn collides_batched(&mut self, rates: &[Fpr]) -> Vec<bool> {
+        self.collides_batched_with_stats(rates).0
+    }
+
+    /// [`SweepContext::collides_batched`] plus the run's cost accounting
+    /// (ticks simulated vs. retired, collided/certified lane counts) —
+    /// what `perf_baseline` reports for the batched MSF sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is invalid (non-positive or non-finite).
+    pub fn collides_batched_with_stats(&mut self, rates: &[Fpr]) -> (Vec<bool>, BatchStats) {
+        let specs: Vec<LaneSpec> = rates.iter().map(|&fpr| self.lane_spec(fpr)).collect();
+        let (outcomes, stats) = self.sim.run_batched_verdicts_with_stats(specs);
+        (
+            outcomes
+                .into_iter()
+                .map(|outcome| outcome == StepOutcome::Collided)
+                .collect(),
+            stats,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +191,32 @@ mod tests {
                     context.collides_at(Fpr(fpr)),
                     scenario.collides_at(Fpr(fpr)),
                     "{id} diverged at {fpr} FPR"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_verdicts_match_per_rate_probes() {
+        // Straight and curved roads, nominal and jittered seeds: the
+        // lockstep grid must agree with one-rate-at-a-time probing bit
+        // for bit (including wherever a retirement certificate fired).
+        let grid = [1.0, 2.0, 4.0, 6.0, 30.0];
+        for (id, seed) in [
+            (ScenarioId::CutOut, 0),
+            (ScenarioId::CutOut, 3),
+            (ScenarioId::VehicleFollowing, 1),
+            (ScenarioId::ChallengingCutInCurved, 6),
+            (ScenarioId::FrontRightActivity2, 2),
+        ] {
+            let scenario = Scenario::build(id, seed);
+            let mut context = SweepContext::new(&scenario);
+            let batched = context.collides_batched(&grid.map(Fpr));
+            for (k, fpr) in grid.iter().enumerate() {
+                assert_eq!(
+                    batched[k],
+                    context.collides_at(Fpr(*fpr)),
+                    "{id} seed {seed} diverged at {fpr} FPR"
                 );
             }
         }

@@ -1,0 +1,103 @@
+//! Batched-vs-per-rate bit-exactness over the jittered catalog, plus the
+//! lane-retirement adversarial case.
+//!
+//! The lane-batched verdict pass ([`SweepContext::collides_batched`])
+//! must agree with one-rate-at-a-time probing for every (scenario, seed,
+//! rate) — including wherever a collided lane or a safe-suffix
+//! certificate retired a lane early. The adversarial test builds a
+//! scenario whose lead looks like a textbook steady-following endgame
+//! but hard-brakes near the end of the run: a too-eager certificate
+//! would retire the lane mid-run and miss the late collision, so the
+//! certificates must decline (the lead still has a pending maneuver) and
+//! the batched verdicts must keep matching the per-rate ones.
+
+use av_core::prelude::*;
+use av_scenarios::catalog::{Scenario, ScenarioId, PAPER_RATE_GRID};
+use av_scenarios::sweep::SweepContext;
+use av_sim::road::{LaneId, Road};
+use av_sim::script::{Action, ActorScript, Placement, Trigger};
+
+#[test]
+fn batched_grid_matches_per_rate_probes_across_the_catalog() {
+    let rates: Vec<Fpr> = PAPER_RATE_GRID.iter().map(|&c| Fpr(f64::from(c))).collect();
+    for id in ScenarioId::ALL {
+        for seed in [0u64, 1] {
+            let scenario = Scenario::build(id, seed);
+            let mut context = SweepContext::new(&scenario);
+            let batched = context.collides_batched(&rates);
+            for (k, &rate) in rates.iter().enumerate() {
+                assert_eq!(
+                    batched[k],
+                    context.collides_at(rate),
+                    "{id} seed {seed} diverged at {rate} FPR"
+                );
+            }
+        }
+    }
+}
+
+/// A steady-following setup whose lead hard-brakes only at t = 18 s of a
+/// 24 s run: between the cut of the gap and the brake the lane sits
+/// squarely inside the follow-certificate's entry band (matched speeds,
+/// calm accel, equilibrium gap) — everything but the *pending maneuver*,
+/// which is exactly what must keep the certificate from firing.
+fn late_brake_scenario(seed: u64) -> Scenario {
+    let road = Road::straight_three_lane(Meters(3000.0));
+    let lead = ActorScript::cruising(
+        ActorId(1),
+        Placement {
+            lane: LaneId(1),
+            s: Meters(104.5),
+            speed: MetersPerSecond(33.0),
+        },
+    )
+    .with_maneuver(
+        Trigger::AtTime(Seconds(18.0)),
+        Action::HardBrake {
+            decel: MetersPerSecondSquared(20.0),
+        },
+    );
+    Scenario {
+        id: ScenarioId::VehicleFollowing,
+        seed,
+        road,
+        ego_lane: LaneId(1),
+        ego_start: Meters(50.0),
+        ego_speed: MetersPerSecond(33.0),
+        scripts: vec![lead],
+        duration: Seconds(24.0),
+    }
+}
+
+#[test]
+fn late_collision_is_never_missed_by_retirement() {
+    let scenario = late_brake_scenario(0);
+    let rates: Vec<Fpr> = PAPER_RATE_GRID.iter().map(|&c| Fpr(f64::from(c))).collect();
+    let mut context = SweepContext::new(&scenario);
+    let batched = context.collides_batched(&rates);
+    let mut any_late_collision = false;
+    for (k, &rate) in rates.iter().enumerate() {
+        let reference = context.collides_at(rate);
+        assert_eq!(
+            batched[k], reference,
+            "late-brake scenario diverged at {rate} FPR"
+        );
+        if reference {
+            // The collision must come from the *late* brake, not the
+            // benign following phase — otherwise this adversarial case
+            // would not be testing early-retirement at all.
+            let summary = context.outcome_at(rate);
+            let (time, _) = summary.collision.expect("collided run records when");
+            assert!(
+                time.value() > 18.0,
+                "collision at {time} is not in the certified-looking suffix"
+            );
+            any_late_collision = true;
+        }
+    }
+    assert!(
+        any_late_collision,
+        "the adversarial scenario must collide at some rate after t = 18 s \
+         (otherwise it does not exercise the trap)"
+    );
+}

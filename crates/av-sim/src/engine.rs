@@ -69,40 +69,40 @@ pub enum StepOutcome {
 /// A running closed-loop scenario.
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    road: Road,
-    ego: EgoVehicle,
-    actors: Vec<ScriptedActor>,
-    perception: PerceptionSystem,
-    config: SimulationConfig,
+    pub(crate) road: Road,
+    pub(crate) ego: EgoVehicle,
+    pub(crate) actors: Vec<ScriptedActor>,
+    pub(crate) perception: PerceptionSystem,
+    pub(crate) config: SimulationConfig,
     /// Completed ticks; the current scenario time is `tick * dt`.
-    tick: u64,
+    pub(crate) tick: u64,
     /// Exact run length in ticks, fixed at construction.
-    total_ticks: u64,
+    pub(crate) total_ticks: u64,
     /// Persistent struct-of-arrays scratch snapshot, rebuilt in place
     /// every tick; perception visibility, the collision prefilter and
     /// observer folds sweep its contiguous columns.
-    scratch: SceneColumns,
+    pub(crate) scratch: SceneColumns,
     /// Persistent array-of-structs materialization of the scratch, filled
     /// only for observers that ask for whole scenes (see
     /// [`SimObserver::on_scene_columns`]).
-    scratch_aos: Scene,
+    pub(crate) scratch_aos: Scene,
     /// Persistent perceived-world buffer, refilled every tick.
-    perceived: Vec<Agent>,
+    pub(crate) perceived: Vec<Agent>,
     /// Per-perceived-slot Frenet projection hints (temporal coherence in
     /// the planner); stale hints are harmless — they never change results.
-    hints: Vec<ProjectionHint>,
+    pub(crate) hints: Vec<ProjectionHint>,
     /// Road-segment hint for the ego's per-tick pose lookup.
-    ego_pose_hint: ProjectionHint,
+    pub(crate) ego_pose_hint: ProjectionHint,
     /// Road-segment hints for each actor's per-tick pose lookup.
-    actor_pose_hints: Vec<ProjectionHint>,
+    pub(crate) actor_pose_hints: Vec<ProjectionHint>,
     /// Footprint circumradius of the ego (fixed dimensions, computed once).
-    ego_circumradius: f64,
+    pub(crate) ego_circumradius: f64,
     /// Footprint circumradii of the actors, in actor order.
-    actor_circumradii: Vec<f64>,
+    pub(crate) actor_circumradii: Vec<f64>,
     /// Trace recorded by the classic [`Simulation::step`] path only;
     /// observer-driven runs leave it empty.
-    trace: Trace,
-    finished: bool,
+    pub(crate) trace: Trace,
+    pub(crate) finished: bool,
 }
 
 impl Simulation {

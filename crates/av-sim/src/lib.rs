@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod engine;
 pub mod io;
 pub mod metrics;
@@ -53,6 +54,7 @@ pub mod trace;
 
 /// Glob import of the crate's main types.
 pub mod prelude {
+    pub use crate::batch::{BatchSim, LaneSpec};
     pub use crate::engine::{Simulation, SimulationConfig, StepOutcome};
     pub use crate::metrics::{instant_metrics, run_metrics, InstantMetrics, RunMetrics};
     pub use crate::observer::{

@@ -36,6 +36,19 @@ pub struct PolicyConfig {
 }
 
 impl PolicyConfig {
+    /// The IDM desired gap `s*(v, v_lead)` — standstill gap + headway
+    /// term + the approach term — exactly as the planner's interaction
+    /// term evaluates it ([`EgoVehicle::plan`] calls this method). The
+    /// lane-batch retirement certificates use the same method as their
+    /// near-equilibrium reference, so the two can never drift apart.
+    #[inline]
+    pub fn idm_desired_gap(&self, v: f64, v_lead: f64) -> f64 {
+        let dv = v - v_lead;
+        self.min_gap.value()
+            + v * self.headway.value()
+            + v * dv / (2.0 * (self.max_accel.value() * self.comfort_decel.value()).sqrt())
+    }
+
     /// A reasonable highway configuration at the given cruise speed.
     pub fn cruise(desired_speed: MetersPerSecond) -> Self {
         Self {
@@ -124,6 +137,12 @@ impl EgoVehicle {
     /// The ego's lane.
     pub fn lane(&self) -> LaneId {
         self.lane
+    }
+
+    /// The ego's lateral Frenet offset (fixed: the ego keeps its lane in
+    /// every Table-1 scenario).
+    pub fn d(&self) -> Meters {
+        self.d
     }
 
     /// The ego's footprint dimensions.
@@ -264,9 +283,7 @@ impl EgoVehicle {
         }
 
         // IDM interaction term.
-        let s_star = cfg.min_gap.value()
-            + v * cfg.headway.value()
-            + v * dv / (2.0 * (cfg.max_accel.value() * cfg.comfort_decel.value()).sqrt());
+        let s_star = cfg.idm_desired_gap(v, v_lead);
         let accel =
             cfg.max_accel.value() * (1.0 - (v / v0).powi(4) - (s_star.max(0.0) / gap).powi(2));
         MetersPerSecondSquared(accel.clamp(-cfg.max_decel.value(), cfg.max_accel.value()))

@@ -168,6 +168,27 @@ struct LaneChange {
     duration: Seconds,
 }
 
+/// A read-only view of a live actor's longitudinal control mode, for
+/// callers that must reason about the actor's *future* speed without
+/// stepping it (the lane-retirement certificates of `av-sim::batch`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedModeView {
+    /// Holding the current speed indefinitely.
+    Hold,
+    /// Converging to `target` at up to `limit`.
+    Toward {
+        /// Speed being converged to.
+        target: MetersPerSecond,
+        /// Acceleration magnitude bound.
+        limit: MetersPerSecondSquared,
+    },
+    /// Tracking the ego's speed at up to `limit`.
+    MatchEgo {
+        /// Acceleration magnitude bound.
+        limit: MetersPerSecondSquared,
+    },
+}
+
 /// The ego state a script can react to.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EgoObservation {
@@ -261,6 +282,90 @@ impl ScriptedActor {
         self.next_maneuver >= self.script.maneuvers.len()
     }
 
+    /// Current longitudinal acceleration (as applied last tick).
+    pub fn accel(&self) -> MetersPerSecondSquared {
+        self.accel
+    }
+
+    /// The maneuvers that have not fired yet, in firing order (the first
+    /// entry is the armed one).
+    pub fn pending_maneuvers(&self) -> &[ScriptedManeuver] {
+        &self.script.maneuvers[self.next_maneuver.min(self.script.maneuvers.len())..]
+    }
+
+    /// The lateral offset an in-flight lane change is heading to, if one
+    /// is active.
+    pub fn lane_change_target(&self) -> Option<Meters> {
+        self.lane_change.map(|lc| lc.to_d)
+    }
+
+    /// The actor's current longitudinal control mode, in introspectable
+    /// form (see [`SpeedModeView`]).
+    pub fn mode_view(&self) -> SpeedModeView {
+        match self.mode {
+            SpeedMode::Hold => SpeedModeView::Hold,
+            SpeedMode::Toward { target, limit } => SpeedModeView::Toward { target, limit },
+            SpeedMode::MatchEgo { limit } => SpeedModeView::MatchEgo { limit },
+        }
+    }
+
+    /// `true` when the next [`ScriptedActor::step`] call could consult the
+    /// ego observation: the armed trigger reads ego state, firing the
+    /// armed maneuver would enter ego-tracking speed control, or the
+    /// actor is already tracking the ego's speed.
+    ///
+    /// This is the sharing eligibility test of the lane-batched
+    /// simulation: while it returns `false`, one shared step is bitwise
+    /// identical for every lane regardless of how far the lanes' egos
+    /// have diverged, because no ego field is read anywhere in the step.
+    pub fn step_consults_ego(&self) -> bool {
+        if matches!(self.mode, SpeedMode::MatchEgo { .. }) {
+            return true;
+        }
+        match self.script.maneuvers.get(self.next_maneuver) {
+            None => false,
+            Some(m) => match m.trigger {
+                Trigger::Immediately | Trigger::AtTime(_) => {
+                    matches!(m.action, Action::MatchEgoSpeed { .. })
+                }
+                Trigger::GapAheadOfEgo(_) | Trigger::GapBehindEgo(_) | Trigger::EgoPasses(_) => {
+                    true
+                }
+            },
+        }
+    }
+
+    /// The armed (next-to-fire) maneuver, if any.
+    pub fn armed_maneuver(&self) -> Option<&ScriptedManeuver> {
+        self.script.maneuvers.get(self.next_maneuver)
+    }
+
+    /// Whether the armed maneuver's trigger holds at `now` against `ego`
+    /// — the exact predicate the next [`ScriptedActor::step`] call will
+    /// evaluate (both run the same code path, so the answer is bitwise
+    /// authoritative). `None` once the script is complete.
+    ///
+    /// The lane-batched simulator uses this to keep an actor shared
+    /// across lanes through an ego-coupled trigger: when every lane's
+    /// ego produces the same decision this tick, one shared step is
+    /// still exact for all of them.
+    pub fn armed_trigger_met(&self, now: Seconds, ego: &EgoObservation) -> Option<bool> {
+        self.armed_maneuver()
+            .map(|m| self.trigger_met(m.trigger, now, ego))
+    }
+
+    /// The firing predicate of one trigger, shared by
+    /// [`ScriptedActor::step`] and [`ScriptedActor::armed_trigger_met`].
+    fn trigger_met(&self, trigger: Trigger, now: Seconds, ego: &EgoObservation) -> bool {
+        match trigger {
+            Trigger::Immediately => true,
+            Trigger::AtTime(t) => now.value() + 1e-12 >= t.value(),
+            Trigger::GapAheadOfEgo(g) => self.s > ego.s && self.gap_to_ego(ego) <= g,
+            Trigger::GapBehindEgo(g) => self.s < ego.s && self.gap_to_ego(ego) <= g,
+            Trigger::EgoPasses(s) => ego.s >= s,
+        }
+    }
+
     /// Bumper-to-bumper gap to the ego (positive when this actor is ahead).
     fn gap_to_ego(&self, ego: &EgoObservation) -> Meters {
         Meters(
@@ -283,14 +388,7 @@ impl ScriptedActor {
     ) -> Option<String> {
         let mut fired = None;
         if let Some(m) = self.script.maneuvers.get(self.next_maneuver) {
-            let triggered = match m.trigger {
-                Trigger::Immediately => true,
-                Trigger::AtTime(t) => now.value() + 1e-12 >= t.value(),
-                Trigger::GapAheadOfEgo(g) => self.s > ego.s && self.gap_to_ego(ego) <= g,
-                Trigger::GapBehindEgo(g) => self.s < ego.s && self.gap_to_ego(ego) <= g,
-                Trigger::EgoPasses(s) => ego.s >= s,
-            };
-            if triggered {
+            if self.trigger_met(m.trigger, now, ego) {
                 let m = *m;
                 self.apply(&m.action, now, road);
                 fired = Some(format!("{}: {:?}", self.script.id, m.action));

@@ -1,0 +1,65 @@
+//! Batched-vs-per-rate audit + retirement accounting over the corpus.
+//!
+//! `certprobe [seeds]` runs every Table-1 scenario × jitter seed × the
+//! paper rate grid through both the per-rate probe and the lane-batched
+//! verdict pass, asserts verdict equality everywhere, and reports how
+//! many ticks lane retirement saved. This is the tuning loop for the
+//! `av_sim::batch::cert` envelopes (`ZHUYI_CERT_DEBUG=1` explains every
+//! decline).
+use av_core::prelude::*;
+use av_scenarios::catalog::{Scenario, ScenarioId, PAPER_RATE_GRID};
+use av_scenarios::sweep::SweepContext;
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let mut tot_ticks = 0u64;
+    let mut tot_retired = 0u64;
+    let mut mismatches = 0usize;
+    for id in ScenarioId::ALL {
+        let mut ticks = 0u64;
+        let mut retired = 0u64;
+        let mut certified = 0usize;
+        let mut collided = 0usize;
+        for seed in 0..seeds {
+            let scenario = Scenario::build(id, seed);
+            let mut context = SweepContext::new(&scenario);
+            let rates: Vec<Fpr> = PAPER_RATE_GRID.iter().map(|&c| Fpr(c as f64)).collect();
+            let (verdicts, stats) = context.collides_batched_with_stats(&rates);
+            for (k, &rate) in rates.iter().enumerate() {
+                let reference = context.collides_at(rate);
+                if verdicts[k] != reference {
+                    mismatches += 1;
+                    eprintln!(
+                        "MISMATCH {id} seed {seed} rate {rate}: batched {} vs per-rate {}",
+                        verdicts[k], reference
+                    );
+                }
+            }
+            ticks += stats.lane_ticks;
+            retired += stats.ticks_retired;
+            certified += stats.certified_lanes;
+            collided += stats.collided_lanes;
+        }
+        let lanes = seeds as usize * PAPER_RATE_GRID.len();
+        println!(
+            "{:<38} ticks {:>8} retired {:>8} ({:>4.1}%) certified {:>3}/{lanes} collided {:>3}",
+            id.name(),
+            ticks,
+            retired,
+            100.0 * retired as f64 / (ticks + retired) as f64,
+            certified,
+            collided
+        );
+        tot_ticks += ticks;
+        tot_retired += retired;
+    }
+    println!(
+        "TOTAL retired {:.1}%  mismatches {}",
+        100.0 * tot_retired as f64 / (tot_ticks + tot_retired) as f64,
+        mismatches
+    );
+    assert_eq!(mismatches, 0, "batched verdicts diverged from per-rate");
+}

@@ -12,7 +12,7 @@
 //!               [--variants N] [--workers N] [--rates 1,2,...,30]
 //!               [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]
 //!               [--stride N] [--csv NAME] [--json NAME] [--traces]
-//!               [--record-traces] [--baseline]
+//!               [--record-traces] [--batch-lanes N] [--baseline]
 //!               [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]
 //!               [--connect ADDR] [--help]
 //! ```
@@ -51,6 +51,7 @@ struct Args {
     json: Option<String>,
     traces: bool,
     record_traces: bool,
+    batch_lanes: usize,
     baseline: bool,
     dist: bool,
     listen: Option<String>,
@@ -94,6 +95,7 @@ impl Default for Args {
             json: None,
             traces: false,
             record_traces: false,
+            batch_lanes: 0,
             baseline: false,
             dist: false,
             listen: None,
@@ -160,6 +162,9 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = Some(value("--json")?),
             "--traces" => args.traces = true,
             "--record-traces" => args.record_traces = true,
+            "--batch-lanes" => {
+                args.batch_lanes = dcli::parse_batch_lanes(&value("--batch-lanes")?)?
+            }
             "--baseline" => args.baseline = true,
             "--dist" => args.dist = true,
             "--listen" => args.listen = Some(dcli::parse_addr("--listen", &value("--listen")?)?),
@@ -210,6 +215,7 @@ fn parse_args() -> Result<Args, String> {
             "--predictor",
             "--stride",
             "--record-traces",
+            "--batch-lanes",
         ];
         if let Some(flag) = seen.iter().find(|f| plan_flags.contains(&f.as_str())) {
             return Err(format!(
@@ -219,14 +225,37 @@ fn parse_args() -> Result<Args, String> {
     }
     // Reject flags the selected mode would silently ignore — a dropped
     // `--rates` or `--fpr` quietly changes what safety question was asked.
+    if args.connect.is_none() && args.record_traces && seen.iter().any(|f| f == "--batch-lanes") {
+        // Trace-recording MSF probes always take the per-rate classic
+        // path; a --batch-lanes alongside would be silently ignored.
+        return Err("--batch-lanes does not apply with --record-traces".to_string());
+    }
     if args.connect.is_none() {
         let irrelevant: &[&str] = match args.mode {
             Mode::Msf => &["--fpr", "--plans", "--predictor", "--stride", "--traces"],
-            Mode::Probe => &["--rates", "--plans", "--predictor", "--stride"],
-            Mode::PerCamera => &["--rates", "--fpr", "--predictor", "--stride"],
+            Mode::Probe => &[
+                "--rates",
+                "--plans",
+                "--predictor",
+                "--stride",
+                "--batch-lanes",
+            ],
+            Mode::PerCamera => &[
+                "--rates",
+                "--fpr",
+                "--predictor",
+                "--stride",
+                "--batch-lanes",
+            ],
             // Analyze jobs always record (the estimator consumes the
             // trace), so --record-traces would be a silent no-op there.
-            Mode::Analyze => &["--rates", "--plans", "--traces", "--record-traces"],
+            Mode::Analyze => &[
+                "--rates",
+                "--plans",
+                "--traces",
+                "--record-traces",
+                "--batch-lanes",
+            ],
         };
         if let Some(flag) = seen.iter().find(|f| irrelevant.contains(&f.as_str())) {
             return Err(format!(
@@ -245,11 +274,13 @@ fn usage() {
          \x20             [--variants N] [--workers N] [--rates 1,2,...,30]\n\
          \x20             [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]\n\
          \x20             [--stride N] [--csv NAME] [--json NAME] [--traces]\n\
-         \x20             [--record-traces] [--baseline]\n\
+         \x20             [--record-traces] [--batch-lanes N] [--baseline]\n\
          \x20             [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]\n\
          \x20             [--connect ADDR]\n\n\
          MODES:\n\
-         \x20 msf      binary-search each instance's minimum safe rate over --rates (default)\n\
+         \x20 msf      search each instance's minimum safe rate over --rates (default);\n\
+         \x20          --batch-lanes N sets the lockstep lanes per pass (0 = auto = the\n\
+         \x20          whole grid, 1 = the per-rate reference search; identical exports)\n\
          \x20 probe    run each instance closed-loop at --fpr and record collisions\n\
          \x20 percam   probe each instance against the heterogeneous per-camera rate\n\
          \x20          plans selected by --plans (catalog presets, see below)\n\
@@ -327,6 +358,7 @@ fn main() -> ExitCode {
 
     let options = ExecOptions {
         record_traces: args.record_traces,
+        batch_lanes: args.batch_lanes,
     };
     let start = Instant::now();
     let store = if args.dist {

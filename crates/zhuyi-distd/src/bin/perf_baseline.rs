@@ -11,10 +11,22 @@
 //!    scenarios × jittered variants × `min_safe_fpr` over the rate grid —
 //!    executed by the fleet engine metrics-only vs. with
 //!    `ExecOptions::record_traces` forcing full traces;
-//! 3. **shard scaling** (sims/sec per worker-process count): the same
+//! 3. **batched MSF sweep** (sims/sec): the same workload through the
+//!    lane-batched lockstep backend (`--batch-lanes 0`), measured
+//!    *interleaved* with the per-rate path — alternating A/B within each
+//!    repetition — so co-tenant load hits both sides equally; exports
+//!    are asserted byte-identical across backends;
+//! 4. **shard scaling** (sims/sec per worker-process count): the same
 //!    streaming MSF sweep distributed across 1/2/4 spawned `fleet_shard`
 //!    processes via `zhuyi-distd`, each run's exports asserted
-//!    byte-identical to the single-process sweep.
+//!    byte-identical to the single-process sweep. Skipped (and annotated
+//!    as such) on single-core machines, where the committed numbers
+//!    would only record scheduler noise.
+//!
+//! Every timed section runs `--reps` repetitions (default 5) and reports
+//! the **median** with the min/max spread — medians reject co-tenant
+//! noise far better than best-of, and the spread makes residual noise
+//! visible in the committed artifact instead of silently shaping it.
 //!
 //! Every mode must produce identical sweep exports (asserted here), so
 //! the speedups are like-for-like measurements, not changed experiments.
@@ -45,6 +57,7 @@ struct Args {
     rates: Vec<u32>,
     workers: usize,
     shards: Vec<u32>,
+    shards_explicit: bool,
     reps: u32,
     baseline_s: Option<f64>,
     prev_sims_per_s: Option<f64>,
@@ -60,7 +73,8 @@ impl Default for Args {
             rates: PAPER_RATE_GRID.to_vec(),
             workers: 1,
             shards: vec![1, 2, 4],
-            reps: 3,
+            shards_explicit: false,
+            reps: 5,
             baseline_s: None,
             prev_sims_per_s: None,
             prev_remeasured_sims_per_s: None,
@@ -125,7 +139,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --workers".to_string())?
             }
-            "--shards" => args.shards = parse_shards(&value("--shards")?)?,
+            "--shards" => {
+                args.shards = parse_shards(&value("--shards")?)?;
+                args.shards_explicit = true;
+            }
             "--reps" => {
                 args.reps = value("--reps")?
                     .parse()
@@ -193,6 +210,31 @@ fn usage() {
     );
 }
 
+/// Median / min / max of a set of timing samples (seconds).
+#[derive(Debug, Clone, Copy)]
+struct Spread {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+fn spread(samples: &[f64]) -> Spread {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    assert!(n > 0, "spread of no samples");
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    Spread {
+        median,
+        min: sorted[0],
+        max: sorted[n - 1],
+    }
+}
+
 /// One pass over every selected scenario (seed 0) at 30 FPR; returns
 /// (total ticks, seconds).
 fn single_run_pass(scenarios: &[ScenarioId], streaming: bool) -> (u64, f64) {
@@ -226,28 +268,35 @@ fn main() -> ExitCode {
     };
 
     // --- Phase 1: single-run throughput (ticks/sec). -------------------
-    // One throwaway pass warms code and allocator; each timed pass is the
-    // best of --reps repetitions, which rejects scheduler noise on a
-    // shared machine far better than averaging.
+    // One throwaway pass warms code and allocator; sections are measured
+    // interleaved (recorded/streaming alternating within each rep) and
+    // summarized as median + min/max over --reps repetitions.
     let _ = single_run_pass(&args.scenarios[..1.min(args.scenarios.len())], true);
-    let best_of = |streaming: bool| {
-        (0..args.reps)
-            .map(|_| single_run_pass(&args.scenarios, streaming))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("reps >= 1")
-    };
-    let (recorded_ticks, recorded_run_s) = best_of(false);
-    let (streaming_ticks, streaming_run_s) = best_of(true);
+    let mut recorded_samples = Vec::new();
+    let mut streaming_samples = Vec::new();
+    let mut recorded_ticks = 0u64;
+    let mut streaming_ticks = 0u64;
+    for _ in 0..args.reps {
+        let (ticks, seconds) = single_run_pass(&args.scenarios, false);
+        recorded_ticks = ticks;
+        recorded_samples.push(seconds);
+        let (ticks, seconds) = single_run_pass(&args.scenarios, true);
+        streaming_ticks = ticks;
+        streaming_samples.push(seconds);
+    }
     assert_eq!(
         recorded_ticks, streaming_ticks,
         "both paths must simulate the same ticks"
     );
+    let recorded_run = spread(&recorded_samples);
+    let streaming_run = spread(&streaming_samples);
     println!(
-        "single-run ({} scenarios @ 30 FPR): recorded {:.0} ticks/s, streaming {:.0} ticks/s ({:.2}x)",
+        "single-run ({} scenarios @ 30 FPR, median of {} reps): recorded {:.0} ticks/s, streaming {:.0} ticks/s ({:.2}x)",
         args.scenarios.len(),
-        recorded_ticks as f64 / recorded_run_s.max(1e-9),
-        streaming_ticks as f64 / streaming_run_s.max(1e-9),
-        recorded_run_s / streaming_run_s.max(1e-9),
+        args.reps,
+        recorded_ticks as f64 / recorded_run.median.max(1e-9),
+        streaming_ticks as f64 / streaming_run.median.max(1e-9),
+        recorded_run.median / streaming_run.median.max(1e-9),
     );
 
     // --- Phase 2: the MSF catalog sweep (sims/sec). --------------------
@@ -265,16 +314,6 @@ fn main() -> ExitCode {
         args.workers
     );
 
-    let timed_sweep = |options: ExecOptions| {
-        (0..args.reps)
-            .map(|_| {
-                let start = Instant::now();
-                let store = run_sweep_with(&plan, args.workers, options);
-                (start.elapsed().as_secs_f64(), store)
-            })
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .expect("reps >= 1")
-    };
     // Capture the previous committed number before overwriting the file.
     // An explicitly re-measured baseline stands in when no committed
     // number exists, so `--prev-remeasured-sims-per-s` is never silently
@@ -284,16 +323,54 @@ fn main() -> ExitCode {
         .or_else(|| previous_streaming_sims_per_s(&args.out))
         .or(args.prev_remeasured_sims_per_s);
 
-    let (recorded_sweep_s, recorded_store) = timed_sweep(ExecOptions {
+    // Three sweep backends, measured interleaved (one rep of each per
+    // round) so machine noise lands on every side equally: the classic
+    // trace-recording path, the per-rate streaming path, and the
+    // lane-batched lockstep path.
+    let per_rate_options = ExecOptions {
+        batch_lanes: 1,
+        ..ExecOptions::default()
+    };
+    let recorded_options = ExecOptions {
         record_traces: true,
-    });
-    let (streaming_sweep_s, streaming_store) = timed_sweep(ExecOptions::default());
-
-    assert_eq!(
-        recorded_store.to_csv(),
-        streaming_store.to_csv(),
-        "streaming and recorded sweeps must export identical results"
-    );
+        ..ExecOptions::default()
+    };
+    let batched_options = ExecOptions::default();
+    let mut recorded_samples = Vec::new();
+    let mut per_rate_samples = Vec::new();
+    let mut batched_samples = Vec::new();
+    let mut stores = None;
+    for _ in 0..args.reps {
+        let start = Instant::now();
+        let recorded_store = run_sweep_with(&plan, args.workers, recorded_options);
+        recorded_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let per_rate_store = run_sweep_with(&plan, args.workers, per_rate_options);
+        per_rate_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let batched_store = run_sweep_with(&plan, args.workers, batched_options);
+        batched_samples.push(start.elapsed().as_secs_f64());
+        assert_eq!(
+            recorded_store.to_csv(),
+            per_rate_store.to_csv(),
+            "streaming and recorded sweeps must export identical results"
+        );
+        assert_eq!(
+            per_rate_store.to_csv(),
+            batched_store.to_csv(),
+            "batched and per-rate sweeps must export identical results"
+        );
+        assert_eq!(
+            per_rate_store.to_json(),
+            batched_store.to_json(),
+            "batched and per-rate sweeps must export identical JSON"
+        );
+        stores = Some((per_rate_store, batched_store));
+    }
+    let (streaming_store, _batched_store) = stores.expect("reps >= 1");
+    let recorded_sweep = spread(&recorded_samples);
+    let per_rate_sweep = spread(&per_rate_samples);
+    let batched_sweep = spread(&batched_samples);
     let sims: u64 = streaming_store
         .results()
         .iter()
@@ -302,23 +379,51 @@ fn main() -> ExitCode {
             _ => 0,
         })
         .sum();
-    let sweep_speedup = recorded_sweep_s / streaming_sweep_s.max(1e-9);
+    let sweep_speedup = recorded_sweep.median / per_rate_sweep.median.max(1e-9);
+    let batched_speedup = per_rate_sweep.median / batched_sweep.median.max(1e-9);
     println!(
-        "msf sweep: {} sims; recorded {:.2}s ({:.1} sims/s), streaming {:.2}s ({:.1} sims/s) -> {:.2}x",
+        "msf sweep (median of {} reps): {} sims; recorded {:.2}s ({:.1} sims/s), per-rate streaming {:.2}s ({:.1} sims/s) -> {:.2}x",
+        args.reps,
         sims,
-        recorded_sweep_s,
-        sims as f64 / recorded_sweep_s.max(1e-9),
-        streaming_sweep_s,
-        sims as f64 / streaming_sweep_s.max(1e-9),
+        recorded_sweep.median,
+        sims as f64 / recorded_sweep.median.max(1e-9),
+        per_rate_sweep.median,
+        sims as f64 / per_rate_sweep.median.max(1e-9),
         sweep_speedup,
     );
+    println!(
+        "batched msf sweep: {:.2}s ({:.1} sims/s) -> {:.2}x over the per-rate path (interleaved; spread {:.2}-{:.2}s vs {:.2}-{:.2}s)",
+        batched_sweep.median,
+        sims as f64 / batched_sweep.median.max(1e-9),
+        batched_speedup,
+        batched_sweep.min,
+        batched_sweep.max,
+        per_rate_sweep.min,
+        per_rate_sweep.max,
+    );
 
-    // --- Phase 3: shard scaling (sims/sec per worker-process count). ---
+    // --- Phase 4: shard scaling (sims/sec per worker-process count). ---
     // One rep per point: each point spawns OS processes, so best-of-reps
     // buys little against that startup noise, and the equality assert
     // below is the correctness half regardless of timing.
+    //
+    // On a single-core machine every worker count collapses onto one CPU
+    // and the points would only record scheduler noise dressed up as a
+    // failed scaling experiment — skip the section (and say so in the
+    // artifact) unless the caller explicitly insisted with --shards.
+    let machine_parallelism =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut shards_skipped = false;
+    let mut shards = args.shards.clone();
+    if machine_parallelism == 1 && !shards.is_empty() && !args.shards_explicit {
+        println!(
+            "shard scaling: skipped (machine_parallelism = 1; pass --shards explicitly to force)"
+        );
+        shards_skipped = true;
+        shards.clear();
+    }
     let mut shard_rows: Vec<(u32, f64, f64)> = Vec::new();
-    if !args.shards.is_empty() {
+    if !shards.is_empty() {
         let worker_binary = match default_worker_binary() {
             Ok(path) => path,
             Err(message) => {
@@ -326,7 +431,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        for &workers in &args.shards {
+        for &workers in &shards {
             let config = DistConfig {
                 spawn_workers: workers as usize,
                 worker_binary: Some(worker_binary.clone()),
@@ -364,33 +469,59 @@ fn main() -> ExitCode {
     let rate_cells: Vec<String> = args.rates.iter().map(|r| r.to_string()).collect();
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"zhuyi.bench_sim.v1\",\n  \"config\": {{\"scenarios\": [{}], \"variants\": {}, \"rates\": [{}], \"workers\": {}}},\n",
+        "{{\n  \"schema\": \"zhuyi.bench_sim.v2\",\n  \"config\": {{\"scenarios\": [{}], \"variants\": {}, \"rates\": [{}], \"workers\": {}, \"reps\": {}, \"statistic\": \"median\"}},\n",
         scenario_names.join(", "),
         args.variants,
         rate_cells.join(", "),
         args.workers,
+        args.reps,
     );
     let _ = writeln!(
         json,
-        "  \"single_run\": {{\"ticks\": {}, \"recorded_s\": {:.6}, \"streaming_s\": {:.6}, \"recorded_ticks_per_s\": {:.1}, \"streaming_ticks_per_s\": {:.1}, \"speedup\": {:.3}}},",
+        "  \"single_run\": {{\"ticks\": {}, \"recorded_s\": {:.6}, \"recorded_s_min\": {:.6}, \"recorded_s_max\": {:.6}, \"streaming_s\": {:.6}, \"streaming_s_min\": {:.6}, \"streaming_s_max\": {:.6}, \"recorded_ticks_per_s\": {:.1}, \"streaming_ticks_per_s\": {:.1}, \"speedup\": {:.3}}},",
         recorded_ticks,
-        recorded_run_s,
-        streaming_run_s,
-        recorded_ticks as f64 / recorded_run_s.max(1e-9),
-        streaming_ticks as f64 / streaming_run_s.max(1e-9),
-        recorded_run_s / streaming_run_s.max(1e-9),
+        recorded_run.median,
+        recorded_run.min,
+        recorded_run.max,
+        streaming_run.median,
+        streaming_run.min,
+        streaming_run.max,
+        recorded_ticks as f64 / recorded_run.median.max(1e-9),
+        streaming_ticks as f64 / streaming_run.median.max(1e-9),
+        recorded_run.median / streaming_run.median.max(1e-9),
+    );
+    let _ = writeln!(
+        json,
+        "  \"msf_sweep\": {{\"jobs\": {}, \"sims\": {}, \"recorded_s\": {:.6}, \"recorded_s_min\": {:.6}, \"recorded_s_max\": {:.6}, \"streaming_s\": {:.6}, \"streaming_s_min\": {:.6}, \"streaming_s_max\": {:.6}, \"recorded_sims_per_s\": {:.2}, \"streaming_sims_per_s\": {:.2}, \"speedup\": {:.3}}},",
+        plan.len(),
+        sims,
+        recorded_sweep.median,
+        recorded_sweep.min,
+        recorded_sweep.max,
+        per_rate_sweep.median,
+        per_rate_sweep.min,
+        per_rate_sweep.max,
+        sims as f64 / recorded_sweep.median.max(1e-9),
+        sims as f64 / per_rate_sweep.median.max(1e-9),
+        sweep_speedup,
     );
     let _ = write!(
         json,
-        "  \"msf_sweep\": {{\"jobs\": {}, \"sims\": {}, \"recorded_s\": {:.6}, \"streaming_s\": {:.6}, \"recorded_sims_per_s\": {:.2}, \"streaming_sims_per_s\": {:.2}, \"speedup\": {:.3}}}",
-        plan.len(),
+        "  \"batched_msf_sweep\": {{\"batch_lanes\": 0, \"interleaved_with_per_rate\": true, \"sims\": {}, \"batched_s\": {:.6}, \"batched_s_min\": {:.6}, \"batched_s_max\": {:.6}, \"streaming_sims_per_s\": {:.2}, \"per_rate_sims_per_s\": {:.2}, \"speedup_vs_per_rate\": {:.3}, \"exports_identical\": true}}",
         sims,
-        recorded_sweep_s,
-        streaming_sweep_s,
-        sims as f64 / recorded_sweep_s.max(1e-9),
-        sims as f64 / streaming_sweep_s.max(1e-9),
-        sweep_speedup,
+        batched_sweep.median,
+        batched_sweep.min,
+        batched_sweep.max,
+        sims as f64 / batched_sweep.median.max(1e-9),
+        sims as f64 / per_rate_sweep.median.max(1e-9),
+        batched_speedup,
     );
+    if shards_skipped {
+        let _ = write!(
+            json,
+            ",\n  \"shard_scaling\": {{\"machine_parallelism\": {machine_parallelism}, \"skipped\": true, \"reason\": \"single-core machine: worker counts collapse onto one CPU, so the points would measure scheduler noise, not scaling\"}}",
+        );
+    }
     if !shard_rows.is_empty() {
         let base_sims_per_s = shard_rows[0].2;
         let cells: Vec<String> = shard_rows
@@ -402,18 +533,17 @@ fn main() -> ExitCode {
                 )
             })
             .collect();
-        // machine_parallelism is the reading key: on a 1-core box every
-        // worker count collapses to ~1.0x, and that is the hardware
-        // talking, not the scheduler.
+        // machine_parallelism is the reading key: on a multi-core box
+        // the points show real scaling; single-core machines skip this
+        // section entirely (see above) unless --shards insists.
         let _ = write!(
             json,
-            ",\n  \"shard_scaling\": {{\"machine_parallelism\": {}, \"points\": [{}\n  ]}}",
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            ",\n  \"shard_scaling\": {{\"machine_parallelism\": {machine_parallelism}, \"skipped\": false, \"points\": [{}\n  ]}}",
             cells.join(","),
         );
     }
     if let Some(previous) = previous_sims_per_s {
-        let current = sims as f64 / streaming_sweep_s.max(1e-9);
+        let current = sims as f64 / per_rate_sweep.median.max(1e-9);
         let _ = write!(
             json,
             ",\n  \"vs_previous\": {{\"previous_streaming_sims_per_s\": {:.2}, \"streaming_sims_per_s\": {:.2}, \"speedup\": {:.3}",
@@ -451,12 +581,12 @@ fn main() -> ExitCode {
             json,
             ",\n  \"pre_streaming_baseline\": {{\"method\": \"identical msf sweep on the pre-streaming engine (previous commit's fleet_sweep --mode msf), measured externally on the same machine\", \"wall_s\": {:.6}, \"streaming_speedup\": {:.3}}}",
             baseline_s,
-            baseline_s / streaming_sweep_s.max(1e-9),
+            baseline_s / per_rate_sweep.median.max(1e-9),
         );
         println!(
             "pre-streaming baseline: {:.2}s -> streaming speedup {:.2}x",
             baseline_s,
-            baseline_s / streaming_sweep_s.max(1e-9),
+            baseline_s / per_rate_sweep.median.max(1e-9),
         );
     }
     json.push_str("\n}\n");

@@ -335,6 +335,7 @@ mod tests {
         let defaults = ExecOptions::default();
         let recording = ExecOptions {
             record_traces: true,
+            ..ExecOptions::default()
         };
         assert_eq!(
             plan_fingerprint(&plan_a, defaults),

@@ -570,7 +570,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
 
     let (events_tx, events_rx) = mpsc::channel::<Event>();
     let stop = Arc::new(AtomicBool::new(false));
-    let record_traces = config.options.record_traces;
+    let options = config.options;
     {
         let events_tx = events_tx.clone();
         let stop = Arc::clone(&stop);
@@ -589,9 +589,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                 let worker = next_worker;
                 next_worker += 1;
                 let events_tx = events_tx.clone();
-                std::thread::spawn(move || {
-                    serve_connection(stream, worker, record_traces, &events_tx)
-                });
+                std::thread::spawn(move || serve_connection(stream, worker, options, &events_tx));
             }
         });
     }
@@ -817,7 +815,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
 fn serve_connection(
     mut stream: TcpStream,
     worker: WorkerId,
-    record_traces: bool,
+    options: ExecOptions,
     events: &mpsc::Sender<Event>,
 ) {
     let _ = stream.set_nodelay(true);
@@ -847,7 +845,8 @@ fn serve_connection(
         &mut stream,
         &Frame::Welcome {
             version: PROTOCOL_VERSION,
-            record_traces,
+            record_traces: options.record_traces,
+            batch_lanes: options.batch_lanes.min(u32::MAX as usize) as u32,
         },
     )
     .is_err()

@@ -21,7 +21,8 @@
 //!
 //! ```text
 //! worker → Hello{version, spawned, name}
-//! coord  → Welcome{version, record_traces}      (or Reject{reason} + close)
+//! coord  → Welcome{version, record_traces, batch_lanes}
+//!                                                (or Reject{reason} + close)
 //! coord  → Assign{batch, jobs}                  (repeatedly)
 //! worker → Result{job_result}                   (streamed, one per job)
 //! worker → BatchDone{batch}
@@ -43,7 +44,7 @@ use av_scenarios::catalog::{Mrf, ScenarioId};
 
 /// Protocol version sent in the handshake; bumped on any frame-layout
 /// change. Coordinator and worker must match exactly.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a single frame's payload (defends both sides against a
 /// corrupt or hostile length prefix). Kept traces are the largest payload
@@ -100,6 +101,9 @@ pub enum Frame {
         version: u16,
         /// Sweep-wide [`zhuyi_fleet::ExecOptions::record_traces`].
         record_traces: bool,
+        /// Sweep-wide [`zhuyi_fleet::ExecOptions::batch_lanes`], encoded
+        /// as a `u32` (lane counts beyond that are meaningless).
+        batch_lanes: u32,
     },
     /// Coordinator → worker: session refused (version mismatch, shutting
     /// down); the connection closes right after.
@@ -504,10 +508,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Welcome {
             version,
             record_traces,
+            batch_lanes,
         } => {
             out.push(1);
             put_u16(&mut out, *version);
             put_bool(&mut out, *record_traces);
+            put_u32(&mut out, *batch_lanes);
         }
         Frame::Reject { reason } => {
             out.push(2);
@@ -559,6 +565,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         1 => Frame::Welcome {
             version: r.u16()?,
             record_traces: r.boolean()?,
+            batch_lanes: r.u32()?,
         },
         2 => Frame::Reject {
             reason: r.string()?,
@@ -750,6 +757,7 @@ mod tests {
             Frame::Welcome {
                 version: PROTOCOL_VERSION,
                 record_traces: false,
+                batch_lanes: 0,
             },
             Frame::Reject {
                 reason: "protocol version 9 != 1".into(),

@@ -118,7 +118,14 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
     .map_err(|e| WorkerError::Handshake(e.to_string()))?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let exec_options = match wire::read_frame(&mut stream) {
-        Ok(Frame::Welcome { record_traces, .. }) => ExecOptions { record_traces },
+        Ok(Frame::Welcome {
+            record_traces,
+            batch_lanes,
+            ..
+        }) => ExecOptions {
+            record_traces,
+            batch_lanes: batch_lanes as usize,
+        },
         Ok(Frame::Reject { reason }) => return Err(WorkerError::Handshake(reason)),
         Ok(other) => {
             return Err(WorkerError::Handshake(format!(

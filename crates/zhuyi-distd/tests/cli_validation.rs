@@ -107,3 +107,27 @@ fn malformed_mode_specific_values_are_rejected() {
     );
     assert_rejected(&fleet_shard(&["--fail-after", "0"]), "--fail-after");
 }
+
+#[test]
+fn malformed_batch_lanes_values_are_rejected() {
+    assert_rejected(&fleet_sweep(&["--batch-lanes", "x"]), "--batch-lanes");
+    assert_rejected(&fleet_sweep(&["--batch-lanes", "-1"]), "--batch-lanes");
+    assert_rejected(&fleet_sweep(&["--batch-lanes"]), "expects a value");
+    // Trace-recording probes always take the per-rate classic path, so a
+    // batching request alongside would be silently ignored — reject it.
+    assert_rejected(
+        &fleet_sweep(&["--record-traces", "--batch-lanes", "4"]),
+        "--record-traces",
+    );
+    // Lane batching only exists on the MSF candidate grid.
+    assert_rejected(
+        &fleet_sweep(&["--mode", "probe", "--batch-lanes", "2"]),
+        "--batch-lanes",
+    );
+    // A --connect worker inherits batching from the coordinator's
+    // Welcome frame; a local flag would be dead.
+    assert_rejected(
+        &fleet_sweep(&["--connect", "127.0.0.1:7700", "--batch-lanes", "2"]),
+        "--batch-lanes",
+    );
+}

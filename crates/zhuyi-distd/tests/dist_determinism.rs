@@ -8,7 +8,9 @@
 use std::path::PathBuf;
 use zhuyi_distd::wire::{self, Frame};
 use zhuyi_distd::{run_distributed, DistConfig, DistError, PROTOCOL_VERSION};
-use zhuyi_fleet::{run_sweep, JobId, JobKind, JobSpec, RateSpec, ResultStore, SweepJob, SweepPlan};
+use zhuyi_fleet::{
+    run_sweep, ExecOptions, JobId, JobKind, JobSpec, RateSpec, ResultStore, SweepJob, SweepPlan,
+};
 
 use av_scenarios::catalog::ScenarioId;
 
@@ -72,6 +74,41 @@ fn distributed_sweep_is_byte_identical_to_single_process() {
     assert_eq!(report.stats.executed_jobs, plan.len());
     assert_eq!(report.stats.workers_connected, 2);
     assert_eq!(report.stats.resumed_jobs, 0);
+}
+
+#[test]
+fn distributed_batched_sweep_matches_per_rate_single_process() {
+    // Workers inherit batch_lanes through the Welcome frame; whatever
+    // lane batching they run, the merged exports must stay byte-equal to
+    // a per-rate single-process sweep of the same plan.
+    let plan = SweepPlan::builder()
+        .scenarios([ScenarioId::CutOut, ScenarioId::FrontRightActivity2])
+        .jittered_variants(2)
+        .min_safe_fpr(vec![1, 2, 4, 6, 30])
+        .build();
+    let per_rate = fingerprint(&zhuyi_fleet::run_sweep_with(
+        &plan,
+        1,
+        ExecOptions {
+            batch_lanes: 1,
+            ..ExecOptions::default()
+        },
+    ));
+    for batch_lanes in [0usize, 3] {
+        let dist_config = DistConfig {
+            options: ExecOptions {
+                batch_lanes,
+                ..ExecOptions::default()
+            },
+            ..config()
+        };
+        let report = run_distributed(&plan, &dist_config).expect("distributed batched sweep");
+        assert_eq!(
+            fingerprint(&report.store),
+            per_rate,
+            "batch_lanes {batch_lanes}: distributed exports diverged from per-rate"
+        );
+    }
 }
 
 #[test]
@@ -172,6 +209,7 @@ fn reassignment_supersedes_an_earlier_revoke() {
     wire::write_frame(
         &mut stream,
         &Frame::Welcome {
+            batch_lanes: 0,
             version: PROTOCOL_VERSION,
             record_traces: false,
         },

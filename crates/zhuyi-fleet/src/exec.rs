@@ -34,8 +34,15 @@ use zhuyi_runtime::online::{OnlineConfig, OnlineEstimator};
 pub struct ExecOptions {
     /// Force the classic full-trace path even for jobs whose outcome only
     /// needs scalars. Costs memory and time; produces identical results
-    /// (pinned by the fleet determinism tests).
+    /// (pinned by the fleet determinism tests). Trace-recording probes
+    /// always use the per-rate path, whatever `batch_lanes` says.
     pub record_traces: bool,
+    /// How many candidate-rate lanes a minimum-safe-FPR search runs per
+    /// lockstep pass (see [`crate::search::min_safe_fpr_batched`]):
+    /// `0` (the default) batches the full grid in one pass, `1` selects
+    /// the per-rate reference search, and `N >= 2` batches `N` lanes at
+    /// a time. Every setting produces byte-identical exports.
+    pub batch_lanes: usize,
 }
 
 /// Executes one job to completion with default options (metrics-only
@@ -70,11 +77,16 @@ pub fn execute_with(spec: &JobSpec, options: ExecOptions) -> JobOutcome {
                 JobOutcome::Probe(probe_from_summary(&metrics.summary()))
             }
         }
-        JobKind::MinSafeFpr { candidates } => JobOutcome::MinSafeFpr(min_safe_fpr_with(
-            &scenario,
-            candidates,
-            options.record_traces,
-        )),
+        JobKind::MinSafeFpr { candidates } => {
+            // The batched grid cannot record per-candidate traces, so
+            // `record_traces` always routes through the per-rate search.
+            let search = if options.record_traces || options.batch_lanes == 1 {
+                min_safe_fpr_with(&scenario, candidates, options.record_traces)
+            } else {
+                crate::search::min_safe_fpr_batched(&scenario, candidates, options.batch_lanes)
+            };
+            JobOutcome::MinSafeFpr(search)
+        }
         JobKind::Analyze {
             plan,
             predictor,

@@ -71,7 +71,7 @@ pub mod store;
 pub use exec::ExecOptions;
 pub use job::{JobId, JobKind, JobSpec, PredictorChoice, RateSpec, SweepJob};
 pub use plan::{SweepPlan, SweepPlanBuilder};
-pub use search::{min_safe_fpr, min_safe_fpr_with, MsfSearch};
+pub use search::{min_safe_fpr, min_safe_fpr_batched, min_safe_fpr_with, MsfSearch};
 pub use store::{JobOutcome, JobResult, ResultStore, ScenarioSummary};
 
 /// Runs every job of `plan` on `workers` threads and merges the results

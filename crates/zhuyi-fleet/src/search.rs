@@ -34,8 +34,14 @@ pub struct MsfSearch {
     /// The minimum safe rate, in the same encoding as Table 1's MRF
     /// column (`<grid_min` / exact / `>grid_max`).
     pub mrf: Mrf,
-    /// Closed-loop simulations actually run (every candidate at most
-    /// once; at most `grid_size`).
+    /// The candidate evaluations the per-rate search algorithm charges
+    /// for this answer (every candidate at most once; at most
+    /// `grid_size`). Both backends report the same number — the batched
+    /// backend replays the per-rate binary-plus-verification accounting
+    /// over its verdict table — so exports are byte-identical whichever
+    /// backend produced them. What differs is wall-clock: the batched
+    /// backend runs the whole grid as lockstep lanes with early lane
+    /// retirement (see [`min_safe_fpr_batched`]).
     pub sims_run: u32,
     /// Simulations the brute-force grid scan always runs.
     pub grid_size: u32,
@@ -213,10 +219,121 @@ pub fn min_safe_fpr_with(
     }
 }
 
+/// [`min_safe_fpr`] through the lane-batched backend: the whole candidate
+/// grid runs as lockstep lanes of one shared simulation
+/// ([`SweepContext::collides_batched`]), `batch_lanes` per pass (`0` =
+/// the full grid in one pass). Collided lanes retire where their
+/// standalone runs would stop, and conservative certificates retire
+/// provably-safe suffixes early (`av_sim::batch::cert`), which is where
+/// the wall-clock win over the per-rate search comes from.
+///
+/// The answer — and the exported accounting — is **identical** to
+/// [`min_safe_fpr`]: the MRF falls out of the same
+/// highest-unsafe-candidate rule, and `sims_run` replays the per-rate
+/// binary-localization-plus-verification schedule over the batched
+/// verdict table, charging exactly the candidates that search would have
+/// simulated. Pinned by this module's tests and the fleet batched
+/// equivalence suite.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or not strictly ascending.
+pub fn min_safe_fpr_batched(
+    scenario: &Scenario,
+    candidates: &[u32],
+    batch_lanes: usize,
+) -> MsfSearch {
+    assert!(!candidates.is_empty(), "empty candidate grid");
+    assert!(
+        candidates.windows(2).all(|w| w[0] < w[1]),
+        "candidate grid must be strictly ascending"
+    );
+    let n = candidates.len();
+    let chunk = if batch_lanes == 0 { n } else { batch_lanes };
+    let mut context = SweepContext::new(scenario);
+    let mut safe = Vec::with_capacity(n);
+    for block in candidates.chunks(chunk) {
+        let rates: Vec<Fpr> = block.iter().map(|&c| Fpr(f64::from(c))).collect();
+        safe.extend(
+            context
+                .collides_batched(&rates)
+                .into_iter()
+                .map(|collided| !collided),
+        );
+    }
+    let highest_unsafe = safe.iter().rposition(|&s| !s);
+    let mrf = match highest_unsafe {
+        None => Mrf::BelowMinimumTested,
+        Some(h) if h + 1 < n => Mrf::Fpr(candidates[h + 1]),
+        Some(_) => Mrf::AboveMaximumTested,
+    };
+    MsfSearch {
+        mrf,
+        sims_run: replayed_sims_run(&safe),
+        grid_size: n as u32,
+        grid_min: candidates[0],
+        grid_max: candidates[n - 1],
+    }
+}
+
+/// The number of candidates the per-rate search would have simulated for
+/// this verdict table: the binary-localization probes plus the full
+/// verification sweep from the first-safe index up, memoized exactly as
+/// [`min_safe_fpr_with`] memoizes its probes.
+fn replayed_sims_run(safe: &[bool]) -> u32 {
+    let n = safe.len();
+    let mut evaluated = vec![false; n];
+    let mut count = 0u32;
+    let eval = |i: usize, evaluated: &mut [bool], count: &mut u32| {
+        if !evaluated[i] {
+            evaluated[i] = true;
+            *count += 1;
+        }
+        safe[i]
+    };
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if eval(mid, &mut evaluated, &mut count) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    for index in lo..n {
+        eval(index, &mut evaluated, &mut count);
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use av_scenarios::catalog::{minimum_required_fpr, ScenarioId, PAPER_RATE_GRID};
+
+    #[test]
+    fn batched_search_is_byte_equivalent_to_per_rate_search() {
+        // Whole MsfSearch records — answer AND accounting — must match,
+        // including the non-monotone instance that forces verification
+        // and a mid-grid boundary, for every batching granularity.
+        for (id, seed) in [
+            (ScenarioId::CutOut, 0u64),
+            (ScenarioId::CutOutFast, 0),
+            (ScenarioId::ChallengingCutInCurved, 6),
+            (ScenarioId::VehicleFollowing, 2),
+        ] {
+            let scenario = Scenario::build(id, seed);
+            let per_rate = min_safe_fpr(&scenario, &PAPER_RATE_GRID);
+            for lanes in [0usize, 1, 3, 5, 12] {
+                let batched = min_safe_fpr_batched(&scenario, &PAPER_RATE_GRID, lanes);
+                assert_eq!(
+                    batched, per_rate,
+                    "{id} seed {seed}: batched({lanes}) diverged"
+                );
+            }
+        }
+    }
 
     #[test]
     fn search_matches_exhaustive_probe() {

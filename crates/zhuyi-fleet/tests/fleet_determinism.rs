@@ -93,6 +93,7 @@ fn metrics_only_sweep_matches_trace_recording_sweep() {
         2,
         ExecOptions {
             record_traces: true,
+            ..ExecOptions::default()
         },
     );
     assert_eq!(
