@@ -116,10 +116,17 @@ impl fmt::Display for ScenarioId {
 }
 
 /// A fully instantiated scenario, ready to simulate.
-#[derive(Debug, Clone)]
+///
+/// Identity is carried as a *name*, not a [`ScenarioId`]: catalog-built
+/// scenarios use their Table-1 name, file-loaded definitions use the name
+/// declared in the definition. `PartialEq` compares every field, which is
+/// what the registry's golden-equivalence suite leans on: two equal
+/// scenarios simulate bit-identically.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    /// Which Table-1 scenario this is.
-    pub id: ScenarioId,
+    /// Scenario name (Table-1 name for catalog scenarios, the declared
+    /// name for scenarios instantiated from definition files).
+    pub name: String,
     /// Seed that produced this instance (0 = nominal).
     pub seed: u64,
     /// The road driven.
@@ -317,7 +324,7 @@ fn cut_out(seed: u64, j: &mut Jitter, speed: Mph, reveal_budget: f64) -> Scenari
         ScenarioId::CutOut
     };
     Scenario {
-        id,
+        name: id.name().to_string(),
         seed,
         road: straight(),
         ego_lane: LaneId(1),
@@ -354,7 +361,7 @@ fn cut_in(seed: u64, j: &mut Jitter) -> Scenario {
         },
     );
     Scenario {
-        id: ScenarioId::CutIn,
+        name: ScenarioId::CutIn.name().to_string(),
         seed,
         road: straight(),
         ego_lane: LaneId(1),
@@ -383,7 +390,7 @@ fn challenging_cut_in(seed: u64, j: &mut Jitter) -> Scenario {
     );
     let right = ActorScript::cruising(ActorId(2), place(0, Meters(40.0), v));
     Scenario {
-        id: ScenarioId::ChallengingCutIn,
+        name: ScenarioId::ChallengingCutIn.name().to_string(),
         seed,
         road: straight(),
         ego_lane: LaneId(1),
@@ -424,7 +431,7 @@ fn challenging_cut_in_curved(seed: u64, j: &mut Jitter) -> Scenario {
     let left = ActorScript::cruising(ActorId(2), place(2, Meters(46.0), v));
     let right = ActorScript::cruising(ActorId(3), place(0, Meters(40.0), v));
     Scenario {
-        id: ScenarioId::ChallengingCutInCurved,
+        name: ScenarioId::ChallengingCutInCurved.name().to_string(),
         seed,
         road,
         ego_lane: LaneId(1),
@@ -451,7 +458,7 @@ fn vehicle_following(seed: u64, j: &mut Jitter) -> Scenario {
         },
     );
     Scenario {
-        id: ScenarioId::VehicleFollowing,
+        name: ScenarioId::VehicleFollowing.name().to_string(),
         seed,
         road: straight(),
         ego_lane: LaneId(1),
@@ -490,7 +497,7 @@ fn front_right_1(seed: u64, j: &mut Jitter) -> Scenario {
         },
     );
     Scenario {
-        id: ScenarioId::FrontRightActivity1,
+        name: ScenarioId::FrontRightActivity1.name().to_string(),
         seed,
         road: straight(),
         ego_lane: LaneId(2),
@@ -526,7 +533,7 @@ fn front_right_2(seed: u64, j: &mut Jitter) -> Scenario {
         },
     );
     Scenario {
-        id: ScenarioId::FrontRightActivity2,
+        name: ScenarioId::FrontRightActivity2.name().to_string(),
         seed,
         road: straight(),
         ego_lane: LaneId(1),
@@ -554,7 +561,7 @@ fn front_right_3(seed: u64, j: &mut Jitter) -> Scenario {
         },
     );
     Scenario {
-        id: ScenarioId::FrontRightActivity3,
+        name: ScenarioId::FrontRightActivity3.name().to_string(),
         seed,
         road: straight(),
         ego_lane: LaneId(1),
@@ -677,7 +684,7 @@ mod tests {
     fn all_nine_scenarios_build() {
         for id in ScenarioId::ALL {
             let s = Scenario::build(id, 0);
-            assert_eq!(s.id, id);
+            assert_eq!(s.name, id.name());
             assert!(!s.scripts.is_empty(), "{id} has no actors");
             assert!(s.duration.value() > 10.0);
             assert!(

@@ -58,7 +58,7 @@ fn late_brake_scenario(seed: u64) -> Scenario {
         },
     );
     Scenario {
-        id: ScenarioId::VehicleFollowing,
+        name: ScenarioId::VehicleFollowing.name().to_string(),
         seed,
         road,
         ego_lane: LaneId(1),

@@ -9,7 +9,7 @@
 //! ```text
 //! USAGE:
 //!   fleet_sweep [--mode msf|probe|percam|analyze] [--scenarios all|0,1,5]
-//!               [--variants N] [--workers N] [--rates 1,2,...,30]
+//!               [--scenario-dir DIR] [--variants N] [--workers N] [--rates 1,2,...,30]
 //!               [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]
 //!               [--stride N] [--csv NAME] [--json NAME] [--traces]
 //!               [--record-traces] [--batch-lanes N] [--baseline]
@@ -35,11 +35,13 @@ use std::process::ExitCode;
 use std::time::Instant;
 use zhuyi_distd::{cli as dcli, run_distributed, run_worker, DistConfig, WorkerOptions};
 use zhuyi_fleet::{cli, pool, run_sweep_with, ExecOptions, PredictorChoice, SweepPlan};
+use zhuyi_registry::{Registry, ScenarioSource};
 
 #[derive(Debug)]
 struct Args {
     mode: Mode,
-    scenarios: Vec<ScenarioId>,
+    scenarios: Vec<ScenarioSource>,
+    scenario_dir: Option<PathBuf>,
     variants: u64,
     workers: usize,
     rates: Vec<u32>,
@@ -83,7 +85,8 @@ impl Default for Args {
     fn default() -> Self {
         Self {
             mode: Mode::Msf,
-            scenarios: ScenarioId::ALL.to_vec(),
+            scenarios: ScenarioId::ALL.iter().map(|&id| id.into()).collect(),
+            scenario_dir: None,
             variants: 10,
             workers: pool::default_workers(),
             rates: PAPER_RATE_GRID.to_vec(),
@@ -109,6 +112,10 @@ impl Default for Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut seen: Vec<String> = Vec::new();
+    // `--scenarios` means different things with and without
+    // `--scenario-dir` (Table-1 indexes vs registry name/tag filter), so
+    // the raw spec is kept and resolved after the flag loop.
+    let mut scenarios_spec = String::from("all");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         seen.push(flag.clone());
@@ -124,7 +131,8 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown mode {other:?}")),
                 }
             }
-            "--scenarios" => args.scenarios = cli::parse_scenarios(&value("--scenarios")?)?,
+            "--scenarios" => scenarios_spec = value("--scenarios")?,
+            "--scenario-dir" => args.scenario_dir = Some(PathBuf::from(value("--scenario-dir")?)),
             "--variants" => {
                 args.variants = value("--variants")?
                     .parse()
@@ -207,6 +215,7 @@ fn parse_args() -> Result<Args, String> {
         let plan_flags = [
             "--mode",
             "--scenarios",
+            "--scenario-dir",
             "--variants",
             "--workers",
             "--rates",
@@ -264,6 +273,18 @@ fn parse_args() -> Result<Args, String> {
             ));
         }
     }
+    args.scenarios = match &args.scenario_dir {
+        Some(dir) => {
+            let registry = Registry::load_dir(dir).map_err(|e| e.to_string())?;
+            registry
+                .filter(&scenarios_spec)
+                .map_err(|e| e.to_string())?
+        }
+        None => cli::parse_scenarios(&scenarios_spec)?
+            .into_iter()
+            .map(ScenarioSource::from)
+            .collect(),
+    };
     Ok(args)
 }
 
@@ -271,7 +292,7 @@ fn usage() {
     eprintln!(
         "fleet_sweep — parallel fleet-scale scenario sweeps (threads or processes)\n\n\
          USAGE:\n  fleet_sweep [--mode msf|probe|percam|analyze] [--scenarios all|0,1,5]\n\
-         \x20             [--variants N] [--workers N] [--rates 1,2,...,30]\n\
+         \x20             [--scenario-dir DIR] [--variants N] [--workers N] [--rates 1,2,...,30]\n\
          \x20             [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]\n\
          \x20             [--stride N] [--csv NAME] [--json NAME] [--traces]\n\
          \x20             [--record-traces] [--batch-lanes N] [--baseline]\n\
@@ -291,7 +312,12 @@ fn usage() {
          \x20 --checkpoint P    append completed jobs to P; resume P if it exists\n\
          \x20 --batch N         jobs per shard (default: pending/(workers*4))\n\
          \x20 --connect ADDR    be a worker for the coordinator at ADDR instead\n\n\
-         Scenario indexes follow Table-1 order (0 = Cut-out ... 8 = Front & right 3).\n\
+         SCENARIO REGISTRY:\n\
+         \x20 --scenario-dir DIR loads every *.scn definition in DIR instead of the\n\
+         \x20 built-in catalog; --scenarios then filters by name or tag with * globs\n\
+         \x20 (e.g. --scenarios 'Cut-*,following'), and 'all' keeps every definition.\n\n\
+         Without --scenario-dir, scenario indexes follow Table-1 order\n\
+         (0 = Cut-out ... 8 = Front & right 3).\n\
          Per-camera plan indexes follow catalog order (0 = front-heavy, 1 = side-heavy,\n\
          2 = economy, 3 = rear-heavy). --csv/--json write into results/ via the bench\n\
          harness. Distributed exports are byte-identical to single-process exports\n\
@@ -331,7 +357,7 @@ fn main() -> ExitCode {
     }
 
     let mut builder = SweepPlan::builder()
-        .scenarios(args.scenarios.iter().copied())
+        .sources(args.scenarios.iter().cloned())
         .jittered_variants(args.variants);
     builder = match args.mode {
         Mode::Msf => builder.min_safe_fpr(args.rates.clone()),

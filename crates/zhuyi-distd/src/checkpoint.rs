@@ -242,7 +242,7 @@ mod tests {
             job: SweepJob {
                 id: JobId(id),
                 spec: JobSpec {
-                    scenario: ScenarioId::CutOut,
+                    scenario: ScenarioId::CutOut.into(),
                     seed: id,
                     kind: JobKind::Probe {
                         plan: RateSpec::Uniform(4.0),

@@ -41,10 +41,11 @@ use zhuyi_fleet::{JobId, JobKind, JobOutcome, JobResult, JobSpec, MsfSearch, Swe
 use zhuyi_fleet::{PredictorChoice, RateSpec};
 
 use av_scenarios::catalog::{Mrf, ScenarioId};
+use zhuyi_registry::{ScenarioDef, ScenarioSource};
 
 /// Protocol version sent in the handshake; bumped on any frame-layout
 /// change. Coordinator and worker must match exactly.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on a single frame's payload (defends both sides against a
 /// corrupt or hostile length prefix). Kept traces are the largest payload
@@ -294,9 +295,44 @@ fn rate_spec(r: &mut Reader<'_>) -> Result<RateSpec, WireError> {
     }
 }
 
+fn put_scenario(out: &mut Vec<u8>, scenario: &ScenarioSource) {
+    match scenario {
+        ScenarioSource::Catalog(id) => {
+            out.push(0);
+            out.push(id.index() as u8);
+        }
+        ScenarioSource::Def(def) => {
+            // Registry-defined scenarios travel as their canonical text:
+            // `parse(to_text(d)) == d`, so the worker rebuilds the exact
+            // same definition and the distributed==single-process
+            // byte-determinism guarantee extends to generated corpora.
+            out.push(1);
+            put_str(out, &def.to_text());
+        }
+    }
+}
+
+fn scenario(r: &mut Reader<'_>) -> Result<ScenarioSource, WireError> {
+    match r.u8()? {
+        0 => {
+            let index = r.u8()? as usize;
+            let id = ScenarioId::from_index(index)
+                .ok_or_else(|| WireError::Malformed(format!("scenario index {index}")))?;
+            Ok(ScenarioSource::Catalog(id))
+        }
+        1 => {
+            let text = r.string()?;
+            let def = ScenarioDef::parse(&text)
+                .map_err(|e| WireError::Malformed(format!("scenario definition: {e}")))?;
+            Ok(ScenarioSource::from(def))
+        }
+        other => Err(WireError::Malformed(format!("scenario tag {other}"))),
+    }
+}
+
 pub(crate) fn put_job(out: &mut Vec<u8>, job: &SweepJob) {
     put_u64(out, job.id.0);
-    out.push(job.spec.scenario.index() as u8);
+    put_scenario(out, &job.spec.scenario);
     put_u64(out, job.spec.seed);
     match &job.spec.kind {
         JobKind::Probe { plan, keep_trace } => {
@@ -330,9 +366,7 @@ pub(crate) fn put_job(out: &mut Vec<u8>, job: &SweepJob) {
 
 fn job(r: &mut Reader<'_>) -> Result<SweepJob, WireError> {
     let id = JobId(r.u64()?);
-    let scenario_index = r.u8()? as usize;
-    let scenario = ScenarioId::from_index(scenario_index)
-        .ok_or_else(|| WireError::Malformed(format!("scenario index {scenario_index}")))?;
+    let scenario = scenario(r)?;
     let seed = r.u64()?;
     let kind = match r.u8()? {
         0 => JobKind::Probe {
@@ -669,8 +703,34 @@ mod tests {
     use av_core::state::ActorId;
     use av_core::units::{Meters, Seconds};
 
+    fn sample_def() -> ScenarioDef {
+        ScenarioDef::parse(
+            "zhuyi-scenario v1\n\
+             \n\
+             name = Wire sample\n\
+             tags = test\n\
+             duration = 10.0\n\
+             \n\
+             [road]\n\
+             kind = straight\n\
+             length = 500.0\n\
+             \n\
+             [ego]\n\
+             lane = 1\n\
+             s = 10.0\n\
+             speed = mph(30.0)\n\
+             \n\
+             [actor block]\n\
+             id = 1\n\
+             kind = obstacle\n\
+             lane = 1\n\
+             s = 200.0\n",
+        )
+        .expect("sample definition parses")
+    }
+
     fn sample_jobs() -> Vec<SweepJob> {
-        let mk = |id: u64, scenario: ScenarioId, seed: u64, kind: JobKind| SweepJob {
+        let mk = |id: u64, scenario: ScenarioSource, seed: u64, kind: JobKind| SweepJob {
             id: JobId(id),
             spec: JobSpec {
                 scenario,
@@ -681,7 +741,7 @@ mod tests {
         vec![
             mk(
                 0,
-                ScenarioId::CutOut,
+                ScenarioId::CutOut.into(),
                 3,
                 JobKind::Probe {
                     plan: RateSpec::Uniform(4.0),
@@ -690,7 +750,7 @@ mod tests {
             ),
             mk(
                 1,
-                ScenarioId::ChallengingCutInCurved,
+                ScenarioId::ChallengingCutInCurved.into(),
                 6,
                 JobKind::MinSafeFpr {
                     candidates: vec![1, 4, 30],
@@ -698,12 +758,20 @@ mod tests {
             ),
             mk(
                 17,
-                ScenarioId::FrontRightActivity3,
+                ScenarioId::FrontRightActivity3.into(),
                 0,
                 JobKind::Analyze {
                     plan: RateSpec::PerCamera(vec![30.0, 15.0, 4.0, 4.0, 2.0]),
                     predictor: PredictorChoice::ConstantVelocity,
                     stride: 20,
+                },
+            ),
+            mk(
+                18,
+                sample_def().into(),
+                2,
+                JobKind::MinSafeFpr {
+                    candidates: vec![1, 4, 30],
                 },
             ),
         ]

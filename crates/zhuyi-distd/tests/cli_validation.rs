@@ -131,3 +131,52 @@ fn malformed_batch_lanes_values_are_rejected() {
         "--batch-lanes",
     );
 }
+
+#[test]
+fn scenario_registry_flags_are_validated() {
+    // The committed catalog ports, for cases that need a loadable dir.
+    let catalog = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+
+    // Missing or unreadable directory.
+    assert_rejected(
+        &fleet_sweep(&["--scenario-dir", "/nonexistent-zhuyi-scenarios"]),
+        "cannot read scenario dir",
+    );
+
+    // A directory with no definitions at all.
+    let empty = std::env::temp_dir().join(format!("zhuyi-cli-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&empty).expect("temp dir");
+    assert_rejected(
+        &fleet_sweep(&["--scenario-dir", empty.to_str().expect("utf-8 path")]),
+        "no .scn files",
+    );
+
+    // A filter that matches no definition names that error names the
+    // available scenarios so the typo is findable.
+    let out = fleet_sweep(&["--scenario-dir", catalog, "--scenarios", "no-such-*"]);
+    assert_rejected(&out, "matched nothing");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("Cut-out"),
+        "the empty-match error must list what is available"
+    );
+
+    // A malformed definition fails loudly with its path and line.
+    let broken = std::env::temp_dir().join(format!("zhuyi-cli-broken-{}", std::process::id()));
+    std::fs::create_dir_all(&broken).expect("temp dir");
+    std::fs::write(
+        broken.join("bad.scn"),
+        "zhuyi-scenario v1\n\nname = Bad\nwheels = 5\n",
+    )
+    .expect("write bad.scn");
+    assert_rejected(
+        &fleet_sweep(&["--scenario-dir", broken.to_str().expect("utf-8 path")]),
+        "bad.scn",
+    );
+
+    // A --connect worker has no plan of its own; registry flags are
+    // plan-shaping and must be rejected like the rest.
+    assert_rejected(
+        &fleet_sweep(&["--connect", "127.0.0.1:7700", "--scenario-dir", catalog]),
+        "--scenario-dir",
+    );
+}

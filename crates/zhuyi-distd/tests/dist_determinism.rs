@@ -219,7 +219,7 @@ fn reassignment_supersedes_an_earlier_revoke() {
     let job = |id: u64| SweepJob {
         id: JobId(id),
         spec: JobSpec {
-            scenario: ScenarioId::VehicleFollowing,
+            scenario: ScenarioId::VehicleFollowing.into(),
             seed: 0,
             kind: JobKind::Probe {
                 plan: RateSpec::Uniform(30.0),
@@ -275,4 +275,31 @@ fn reassignment_supersedes_an_earlier_revoke() {
     wire::write_frame(&mut stream, &Frame::Shutdown).expect("shutdown");
     let status = child.wait().expect("worker exit");
     assert!(status.success(), "worker must exit cleanly: {status:?}");
+}
+
+#[test]
+fn generated_corpus_sweeps_identically_distributed_and_single_process() {
+    // Registry-defined scenarios cross the wire as canonical definition
+    // text (no shared files, no catalog index); a 100-scenario fuzzed
+    // corpus must still export the single-process bytes.
+    let corpus = zhuyi_registry::FuzzConfig {
+        prefix: "dist-fuzz".to_string(),
+        count: 100,
+        seed: 42,
+    }
+    .generate();
+    assert_eq!(corpus.len(), 100);
+    let plan = SweepPlan::builder()
+        .sources(corpus.into_iter().map(Into::into))
+        .seeds([0])
+        .min_safe_fpr(vec![1, 4, 30])
+        .build();
+    let single = fingerprint(&run_sweep(&plan, 1));
+    let report = run_distributed(&plan, &config()).expect("distributed corpus sweep");
+    assert_eq!(
+        fingerprint(&report.store),
+        single,
+        "generated-corpus distributed exports diverged from the single-process sweep"
+    );
+    assert_eq!(report.stats.executed_jobs, plan.len());
 }

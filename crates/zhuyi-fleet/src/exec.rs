@@ -1,7 +1,7 @@
 //! Job execution: turning one [`JobSpec`] into one [`JobOutcome`].
 //!
 //! Execution is a pure function of the spec — scenarios are rebuilt from
-//! their (id, seed) pair, the simulator is deterministic, and the Zhuyi
+//! their (source, seed) pair, the simulator is deterministic, and the Zhuyi
 //! estimator is deterministic — which is the property the worker pool's
 //! deterministic merge relies on.
 //!
@@ -63,7 +63,7 @@ pub fn execute(spec: &JobSpec) -> JobOutcome {
 ///
 /// See [`execute`].
 pub fn execute_with(spec: &JobSpec, options: ExecOptions) -> JobOutcome {
-    let scenario = Scenario::build(spec.scenario, spec.seed);
+    let scenario = spec.scenario.build(spec.seed);
     match &spec.kind {
         JobKind::Probe { plan, keep_trace } => {
             if *keep_trace || options.record_traces {

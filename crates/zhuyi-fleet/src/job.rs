@@ -18,9 +18,9 @@
 
 use av_core::units::Fpr;
 use av_perception::system::RatePlan;
-use av_scenarios::catalog::ScenarioId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use zhuyi_registry::ScenarioSource;
 
 /// Dense, plan-assigned identifier of a [`SweepJob`].
 ///
@@ -155,8 +155,8 @@ impl JobKind {
 /// Everything needed to execute one unit of sweep work.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
-    /// Which Table-1 scenario.
-    pub scenario: ScenarioId,
+    /// Which scenario: a Table-1 catalog entry or a registry definition.
+    pub scenario: ScenarioSource,
     /// Jitter seed (0 = nominal geometry).
     pub seed: u64,
     /// The question asked.

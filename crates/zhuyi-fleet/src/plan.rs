@@ -11,6 +11,7 @@
 
 use crate::job::{JobId, JobKind, JobSpec, PredictorChoice, RateSpec, SweepJob};
 use av_scenarios::catalog::ScenarioId;
+use zhuyi_registry::ScenarioSource;
 
 /// A fully expanded sweep: the unit handed to [`crate::run_sweep`].
 #[derive(Debug, Clone, PartialEq)]
@@ -44,7 +45,7 @@ impl SweepPlan {
 /// Builder for [`SweepPlan`]; see the module docs for expansion order.
 #[derive(Debug, Clone)]
 pub struct SweepPlanBuilder {
-    scenarios: Vec<ScenarioId>,
+    scenarios: Vec<ScenarioSource>,
     seeds: Vec<u64>,
     kinds: Vec<JobKind>,
 }
@@ -52,7 +53,7 @@ pub struct SweepPlanBuilder {
 impl Default for SweepPlanBuilder {
     fn default() -> Self {
         Self {
-            scenarios: ScenarioId::ALL.to_vec(),
+            scenarios: ScenarioId::ALL.iter().map(|&id| id.into()).collect(),
             seeds: vec![0],
             kinds: Vec::new(),
         }
@@ -60,9 +61,16 @@ impl Default for SweepPlanBuilder {
 }
 
 impl SweepPlanBuilder {
-    /// Restricts the sweep to the given scenarios (in the given order).
-    pub fn scenarios(mut self, ids: impl IntoIterator<Item = ScenarioId>) -> Self {
-        self.scenarios = ids.into_iter().collect();
+    /// Restricts the sweep to the given catalog scenarios (in the given
+    /// order).
+    pub fn scenarios(self, ids: impl IntoIterator<Item = ScenarioId>) -> Self {
+        self.sources(ids.into_iter().map(ScenarioSource::from))
+    }
+
+    /// Restricts the sweep to the given scenario sources (in the given
+    /// order) — catalog entries and registry definitions mix freely.
+    pub fn sources(mut self, sources: impl IntoIterator<Item = ScenarioSource>) -> Self {
+        self.scenarios = sources.into_iter().collect();
         self
     }
 
@@ -156,13 +164,13 @@ impl SweepPlanBuilder {
         }
         let mut jobs =
             Vec::with_capacity(self.scenarios.len() * self.seeds.len() * self.kinds.len());
-        for &scenario in &self.scenarios {
+        for scenario in &self.scenarios {
             for &seed in &self.seeds {
                 for kind in &self.kinds {
                     jobs.push(SweepJob {
                         id: JobId(jobs.len() as u64),
                         spec: JobSpec {
-                            scenario,
+                            scenario: scenario.clone(),
                             seed,
                             kind: kind.clone(),
                         },
@@ -223,11 +231,11 @@ mod tests {
             assert_eq!(job.id.0, i as u64, "ids must be dense and ordered");
         }
         // Nesting order: scenario outermost, kind innermost.
-        assert_eq!(plan.jobs()[0].spec.scenario, ScenarioId::CutOut);
+        assert_eq!(plan.jobs()[0].spec.scenario, ScenarioId::CutOut.into());
         assert_eq!(plan.jobs()[0].spec.seed, 0);
         assert_eq!(plan.jobs()[1].spec.seed, 0);
         assert_eq!(plan.jobs()[2].spec.seed, 1);
-        assert_eq!(plan.jobs()[6].spec.scenario, ScenarioId::CutIn);
+        assert_eq!(plan.jobs()[6].spec.scenario, ScenarioId::CutIn.into());
     }
 
     #[test]

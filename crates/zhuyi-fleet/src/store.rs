@@ -11,7 +11,6 @@ use crate::job::{JobId, JobKind, SweepJob};
 use crate::search::MsfSearch;
 use av_core::state::ActorId;
 use av_core::units::{Meters, Seconds};
-use av_scenarios::catalog::ScenarioId;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use zhuyi_bench::Table;
@@ -85,8 +84,9 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
 /// scenario ran.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSummary {
-    /// The scenario.
-    pub id: ScenarioId,
+    /// The scenario's name (Table-1 name for catalog scenarios, the
+    /// declared name for registry-defined ones).
+    pub name: String,
     /// Jobs that ran for it.
     pub jobs: usize,
     /// Probe/analyze runs that collided.
@@ -231,19 +231,20 @@ impl ResultStore {
 
     /// Per-scenario summaries, in the sweep's scenario order.
     pub fn summaries(&self) -> Vec<ScenarioSummary> {
-        let mut order: Vec<ScenarioId> = Vec::new();
+        let mut order: Vec<&str> = Vec::new();
         for result in &self.results {
-            if !order.contains(&result.job.spec.scenario) {
-                order.push(result.job.spec.scenario);
+            let name = result.job.spec.scenario.name();
+            if !order.contains(&name) {
+                order.push(name);
             }
         }
         order
             .into_iter()
-            .map(|id| {
+            .map(|name| {
                 let of_scenario: Vec<&JobResult> = self
                     .results
                     .iter()
-                    .filter(|r| r.job.spec.scenario == id)
+                    .filter(|r| r.job.spec.scenario.name() == name)
                     .collect();
                 let msf: Vec<f64> = of_scenario
                     .iter()
@@ -269,7 +270,7 @@ impl ResultStore {
                     .count();
                 let msf_above_grid = msf.iter().filter(|v| v.is_infinite()).count();
                 ScenarioSummary {
-                    id,
+                    name: name.to_string(),
                     jobs: of_scenario.len(),
                     collisions,
                     msf_p50: percentile(&msf, 50.0),
@@ -302,7 +303,7 @@ impl ResultStore {
         };
         for s in self.summaries() {
             table.row([
-                s.id.name().to_string(),
+                s.name.clone(),
                 s.jobs.to_string(),
                 s.collisions.to_string(),
                 fmt(s.msf_p50),
@@ -399,7 +400,7 @@ impl ResultStore {
             let _ = write!(
                 out,
                 "\n    {{\"scenario\": {}, \"jobs\": {}, \"collisions\": {}, \"msf_p50\": {}, \"msf_p90\": {}, \"msf_max\": {}, \"msf_above_grid\": {}, \"est_p50\": {}, \"est_max\": {}}}",
-                json_str(s.id.name()),
+                json_str(&s.name),
                 s.jobs,
                 s.collisions,
                 json_opt_num(s.msf_p50),
@@ -415,7 +416,7 @@ impl ResultStore {
     }
 
     /// Kept probe traces as `(file_name, csv)` pairs, in id order, named
-    /// `trace_<job>_<Scenario>_seed<k>.csv`.
+    /// `trace_<job>_<scenario-slug>_seed<k>.csv`.
     pub fn kept_traces(&self) -> Vec<(String, &str)> {
         self.results
             .iter()
@@ -423,8 +424,10 @@ impl ResultStore {
                 JobOutcome::Probe(p) => p.trace_csv.as_deref().map(|csv| {
                     (
                         format!(
-                            "trace_{}_{:?}_seed{}.csv",
-                            r.job.id.0, r.job.spec.scenario, r.job.spec.seed
+                            "trace_{}_{}_seed{}.csv",
+                            r.job.id.0,
+                            r.job.spec.scenario.slug(),
+                            r.job.spec.seed
                         ),
                         csv,
                     )

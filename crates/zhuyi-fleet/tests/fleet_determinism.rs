@@ -64,8 +64,13 @@ fn binary_search_agrees_with_exhaustive_scan_across_seeds() {
         let JobOutcome::MinSafeFpr(search) = &result.outcome else {
             panic!("plan only contains MSF jobs");
         };
-        let expected =
-            minimum_required_fpr(result.job.spec.scenario, &grid, &[result.job.spec.seed]);
+        let id = result
+            .job
+            .spec
+            .scenario
+            .catalog_id()
+            .expect("plan only uses catalog scenarios");
+        let expected = minimum_required_fpr(id, &grid, &[result.job.spec.seed]);
         assert_eq!(
             search.mrf, expected,
             "{} seed {}: binary search disagrees with exhaustive scan",

@@ -1,0 +1,415 @@
+//! Arithmetic expressions for scenario definition files.
+//!
+//! Definition files describe scalar quantities (positions, speeds, trigger
+//! distances) as small arithmetic expressions over earlier-declared
+//! parameters, e.g. `50.0 + (30.0 + 38.0 + 40.0)` or `v * (0.3 * 2.5)`.
+//!
+//! Bit-exactness is a hard requirement: the committed catalog ports must
+//! instantiate to scenarios *equal* to the hand-coded builders, so the
+//! evaluator must perform the same f64 operations in the same order as the
+//! Rust expressions it replaces. Two properties guarantee this:
+//!
+//! - the grammar is left-associative with standard precedence, exactly like
+//!   Rust's f64 arithmetic, and the AST preserves that grouping;
+//! - evaluation is a plain post-order walk — each node is one f64 operation,
+//!   with no reassociation, fusing, or constant folding (the only fold is
+//!   unary minus on a literal, which is value-preserving).
+//!
+//! The canonical printer is the exact inverse of the parser:
+//! `parse(expr.to_string()) == expr` for every representable expression,
+//! which is what lets definitions round-trip through the distd wire format
+//! and generated files byte-identically.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use av_core::prelude::{MetersPerSecond, Mph};
+
+/// An arithmetic expression over named parameters.
+///
+/// `mph(x)` is the single built-in function: it converts miles per hour to
+/// meters per second through the same `av-core` conversion the hand-coded
+/// catalog uses, so `mph(70.0)` is bit-identical to `Mph(70.0).into()`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal.
+    Num(f64),
+    /// A reference to an earlier-declared parameter.
+    Ref(String),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Left + right.
+    Add(Box<Expr>, Box<Expr>),
+    /// Left - right.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Left * right.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Left / right.
+    Div(Box<Expr>, Box<Expr>),
+    /// `mph(inner)`: miles-per-hour literal converted to m/s.
+    Mph(Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression against a parameter environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first parameter reference that is not in
+    /// `env`. Non-finite results are *not* an error here — the instantiation
+    /// layer validates finiteness with field-level context.
+    pub fn eval(&self, env: &BTreeMap<String, f64>) -> Result<f64, String> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Ref(name) => env
+                .get(name)
+                .copied()
+                .ok_or_else(|| format!("unknown parameter `{name}`")),
+            Expr::Neg(e) => Ok(-e.eval(env)?),
+            Expr::Add(a, b) => Ok(a.eval(env)? + b.eval(env)?),
+            Expr::Sub(a, b) => Ok(a.eval(env)? - b.eval(env)?),
+            Expr::Mul(a, b) => Ok(a.eval(env)? * b.eval(env)?),
+            Expr::Div(a, b) => Ok(a.eval(env)? / b.eval(env)?),
+            Expr::Mph(e) => Ok(MetersPerSecond::from(Mph(e.eval(env)?)).value()),
+        }
+    }
+
+    /// Every parameter name referenced anywhere in the expression.
+    pub fn refs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    fn collect_refs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Num(_) => {}
+            Expr::Ref(name) => out.push(name),
+            Expr::Neg(e) | Expr::Mph(e) => e.collect_refs(out),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+        }
+    }
+
+    /// Binding strength for the canonical printer: additive 1,
+    /// multiplicative 2, unary minus 3, atoms 4.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Add(..) | Expr::Sub(..) => 1,
+            Expr::Mul(..) | Expr::Div(..) => 2,
+            Expr::Neg(_) => 3,
+            Expr::Num(_) | Expr::Ref(_) | Expr::Mph(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Canonical form: minimal parentheses such that re-parsing yields a
+    /// structurally identical AST. Floats print with `{:?}` (shortest
+    /// round-tripping decimal), so evaluation of a re-parsed expression is
+    /// bit-identical.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn child(f: &mut fmt::Formatter<'_>, e: &Expr, needs_parens: bool) -> fmt::Result {
+            if needs_parens {
+                write!(f, "({e})")
+            } else {
+                write!(f, "{e}")
+            }
+        }
+        let p = self.precedence();
+        match self {
+            Expr::Num(n) => write!(f, "{n:?}"),
+            Expr::Ref(name) => f.write_str(name),
+            Expr::Neg(e) => {
+                f.write_str("-")?;
+                child(f, e, e.precedence() < p)
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                // Left-associative grammar: the left child may share this
+                // node's precedence, the right child must bind tighter.
+                child(f, a, a.precedence() < p)?;
+                f.write_str(match self {
+                    Expr::Add(..) => " + ",
+                    Expr::Sub(..) => " - ",
+                    Expr::Mul(..) => " * ",
+                    _ => " / ",
+                })?;
+                child(f, b, b.precedence() <= p)
+            }
+            Expr::Mph(e) => write!(f, "mph({e})"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Open,
+    Close,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::Open);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Close);
+                i += 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| format!("bad number literal {text:?}"))?;
+                tokens.push(Token::Num(value));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character {other:?} in expression")),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_close(&mut self) -> Result<(), String> {
+        match self.next() {
+            Some(Token::Close) => Ok(()),
+            _ => Err("expected `)`".to_string()),
+        }
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.term()?));
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    // term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.pos += 1;
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+                }
+                Some(Token::Slash) => {
+                    self.pos += 1;
+                    lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    // factor := NUM | IDENT | IDENT '(' expr ')' | '-' factor | '(' expr ')'
+    fn factor(&mut self) -> Result<Expr, String> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(Expr::Num(n)),
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::Open) {
+                    self.pos += 1;
+                    if name != "mph" {
+                        return Err(format!(
+                            "unknown function `{name}` (only mph(...) is supported)"
+                        ));
+                    }
+                    let inner = self.expr()?;
+                    self.expect_close()?;
+                    Ok(Expr::Mph(Box::new(inner)))
+                } else {
+                    Ok(Expr::Ref(name))
+                }
+            }
+            Some(Token::Minus) => match self.factor()? {
+                // Fold `-LITERAL` into the literal so canonical printing of
+                // negative numbers round-trips structurally.
+                Expr::Num(n) => Ok(Expr::Num(-n)),
+                e => Ok(Expr::Neg(Box::new(e))),
+            },
+            Some(Token::Open) => {
+                let inner = self.expr()?;
+                self.expect_close()?;
+                Ok(inner)
+            }
+            Some(t) => Err(format!("unexpected token {t:?}")),
+            None => Err("unexpected end of expression".to_string()),
+        }
+    }
+}
+
+/// Parses an expression from its textual form.
+///
+/// # Errors
+///
+/// Returns a human-readable message for lexical errors, unknown functions,
+/// and malformed syntax. An empty string is an error.
+pub fn parse_expr(src: &str) -> Result<Expr, String> {
+    let src = src.trim();
+    if src.is_empty() {
+        return Err("empty expression".to_string());
+    }
+    let mut parser = Parser {
+        tokens: tokenize(src)?,
+        pos: 0,
+    };
+    let expr = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(format!(
+            "trailing input after expression: {:?}",
+            parser.tokens[parser.pos]
+        ));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn precedence_and_associativity_match_rust() {
+        let e = parse_expr("1.0 + 2.0 * 3.0 - 4.0").expect("parse");
+        #[allow(clippy::precedence)]
+        let expected = 1.0 + 2.0 * 3.0 - 4.0;
+        assert_eq!(e.eval(&env(&[])).expect("eval"), expected);
+        // Left-associative subtraction: (10 - 4) - 3, not 10 - (4 - 3).
+        let e = parse_expr("10.0 - 4.0 - 3.0").expect("parse");
+        assert_eq!(e.eval(&env(&[])).expect("eval"), 3.0);
+    }
+
+    #[test]
+    fn mph_matches_av_core_conversion() {
+        let e = parse_expr("mph(70.0)").expect("parse");
+        assert_eq!(
+            e.eval(&env(&[])).expect("eval"),
+            MetersPerSecond::from(Mph(70.0)).value()
+        );
+    }
+
+    #[test]
+    fn refs_resolve_against_environment() {
+        let e = parse_expr("v * (0.3 * 2.5) + 3.25").expect("parse");
+        let v = 9.12345;
+        assert_eq!(
+            e.eval(&env(&[("v", v)])).expect("eval"),
+            v * (0.3 * 2.5) + 3.25
+        );
+        assert!(e.eval(&env(&[])).unwrap_err().contains("unknown parameter"));
+    }
+
+    #[test]
+    fn canonical_print_round_trips() {
+        for src in [
+            "50.0 + (30.0 + 38.0 + 40.0) - (38.0 + v * (0.3 * 2.5) + 3.25)",
+            "mph(20.0)",
+            "v * 1.05",
+            "-(a + b) / (c - -2.5)",
+            "1e-7 + 2.5e3",
+            "-3.0",
+        ] {
+            let parsed = parse_expr(src).expect("parse");
+            let printed = parsed.to_string();
+            let reparsed = parse_expr(&printed).expect("reparse");
+            assert_eq!(parsed, reparsed, "{src} -> {printed}");
+            // And printing is a fixed point.
+            assert_eq!(printed, reparsed.to_string());
+        }
+    }
+
+    #[test]
+    fn malformed_expressions_are_rejected() {
+        for src in ["", "1.0 +", "foo(2.0)", "(1.0", "1.0 2.0", "a $ b"] {
+            assert!(parse_expr(src).is_err(), "{src:?} should fail");
+        }
+    }
+}

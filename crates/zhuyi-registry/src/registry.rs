@@ -1,0 +1,235 @@
+//! Loading and filtering collections of scenario definitions.
+//!
+//! A [`Registry`] is an ordered set of parsed, pre-validated definitions —
+//! the probe-rs "target registry" shape applied to driving scenarios: the
+//! committed `scenarios/` directory is the built-in catalog, generated
+//! corpora are additional directories, and callers select by name or tag
+//! with glob filters.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::format::ScenarioDef;
+use crate::source::ScenarioSource;
+
+/// An error loading a registry or resolving a filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistryError {
+    /// Human-readable description (includes the file path where relevant).
+    pub message: String,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+fn reg_err<T>(message: String) -> Result<T, RegistryError> {
+    Err(RegistryError { message })
+}
+
+/// An ordered, name-indexed collection of scenario definitions.
+///
+/// Order is load order: for [`Registry::load_dir`] that is the sorted file
+/// name order, which is what makes plan expansion over a directory
+/// deterministic (and lets the committed catalog files reproduce the
+/// Table-1 order with `0_...` ... `8_...` prefixes).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    defs: Vec<Arc<ScenarioDef>>,
+}
+
+impl Registry {
+    /// Loads every `*.scn` file of a directory, sorted by file name.
+    ///
+    /// Each definition is parsed and instantiated once at seed 0, so a
+    /// malformed or numerically degenerate file is rejected here — with
+    /// its path — rather than mid-sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegistryError`] for unreadable directories/files, parse
+    /// or validation failures (with file path and line), duplicate names,
+    /// and directories containing no `*.scn` files.
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self, RegistryError> {
+        let dir = dir.as_ref();
+        let entries = fs::read_dir(dir).map_err(|e| RegistryError {
+            message: format!("cannot read scenario dir {}: {e}", dir.display()),
+        })?;
+        let mut paths: Vec<_> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return reg_err(format!(
+                "scenario dir {} contains no .scn files",
+                dir.display()
+            ));
+        }
+        let mut defs = Vec::with_capacity(paths.len());
+        for path in paths {
+            let text = fs::read_to_string(&path).map_err(|e| RegistryError {
+                message: format!("cannot read {}: {e}", path.display()),
+            })?;
+            let def = ScenarioDef::parse(&text).map_err(|e| RegistryError {
+                message: format!("{}: {e}", path.display()),
+            })?;
+            def.instantiate(0).map_err(|e| RegistryError {
+                message: format!("{}: {e}", path.display()),
+            })?;
+            defs.push(def);
+        }
+        Self::from_defs(defs)
+    }
+
+    /// Builds a registry from already-parsed definitions (e.g. generator
+    /// output), preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegistryError`] for duplicate scenario names.
+    pub fn from_defs(defs: Vec<ScenarioDef>) -> Result<Self, RegistryError> {
+        let mut seen: Vec<&str> = Vec::with_capacity(defs.len());
+        for def in &defs {
+            if seen.contains(&def.name.as_str()) {
+                return reg_err(format!("duplicate scenario name `{}`", def.name));
+            }
+            seen.push(&def.name);
+        }
+        Ok(Self {
+            defs: defs.into_iter().map(Arc::new).collect(),
+        })
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// All definitions, in registry order.
+    pub fn defs(&self) -> &[Arc<ScenarioDef>] {
+        &self.defs
+    }
+
+    /// Looks a definition up by exact name.
+    pub fn get(&self, name: &str) -> Option<&Arc<ScenarioDef>> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// Resolves a filter to sources, in registry order.
+    ///
+    /// `spec` is `all` or a comma-separated list of glob patterns (`*`
+    /// wildcard); a pattern selects every definition whose *name or any
+    /// tag* matches. The result is the deduplicated union.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RegistryError`] listing the available names when the
+    /// filter matches nothing.
+    pub fn filter(&self, spec: &str) -> Result<Vec<ScenarioSource>, RegistryError> {
+        let spec = spec.trim();
+        if spec == "all" {
+            return Ok(self.defs.iter().cloned().map(ScenarioSource::Def).collect());
+        }
+        let patterns: Vec<&str> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+            .collect();
+        if patterns.is_empty() {
+            return reg_err("empty scenario filter".to_string());
+        }
+        let selected: Vec<ScenarioSource> = self
+            .defs
+            .iter()
+            .filter(|def| {
+                patterns
+                    .iter()
+                    .any(|p| glob_match(p, &def.name) || def.tags.iter().any(|t| glob_match(p, t)))
+            })
+            .cloned()
+            .map(ScenarioSource::Def)
+            .collect();
+        if selected.is_empty() {
+            let names: Vec<&str> = self.defs.iter().map(|d| d.name.as_str()).collect();
+            return reg_err(format!(
+                "scenario filter {spec:?} matched nothing (available: {})",
+                names.join(", ")
+            ));
+        }
+        Ok(selected)
+    }
+}
+
+/// Matches `text` against a pattern where `*` matches any (possibly empty)
+/// substring; everything else is literal.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[u8], t: &[u8]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some((b'*', rest)) => (0..=t.len()).any(|skip| inner(rest, &t[skip..])),
+            Some((c, rest)) => t
+                .split_first()
+                .is_some_and(|(tc, tr)| tc == c && inner(rest, tr)),
+        }
+    }
+    inner(pattern.as_bytes(), text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def(name: &str, tags: &[&str]) -> ScenarioDef {
+        let tag_line = if tags.is_empty() {
+            String::new()
+        } else {
+            format!("tags = {}\n", tags.join(", "))
+        };
+        ScenarioDef::parse(&format!(
+            "zhuyi-scenario v1\nname = {name}\n{tag_line}duration = 10.0\n\n\
+             [road]\nkind = straight\nlength = 500.0\n\n\
+             [ego]\nlane = 1\ns = 50.0\nspeed = 20.0\n"
+        ))
+        .expect("valid def")
+    }
+
+    #[test]
+    fn filters_by_name_tag_and_glob() {
+        let registry = Registry::from_defs(vec![
+            def("Cut-out", &["catalog", "cut"]),
+            def("Cut-in", &["catalog", "cut"]),
+            def("fuzz-0001", &["generated"]),
+        ])
+        .expect("registry");
+        assert_eq!(registry.filter("all").expect("all").len(), 3);
+        assert_eq!(registry.filter("Cut-out").expect("name").len(), 1);
+        assert_eq!(registry.filter("cut").expect("tag").len(), 2);
+        assert_eq!(registry.filter("Cut-*").expect("glob").len(), 2);
+        assert_eq!(
+            registry.filter("Cut-in, generated").expect("union").len(),
+            2
+        );
+        let e = registry.filter("nope-*").unwrap_err();
+        assert!(e.to_string().contains("matched nothing"), "{e}");
+        assert!(e.to_string().contains("Cut-out"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let e = Registry::from_defs(vec![def("Twin", &[]), def("Twin", &[])]).unwrap_err();
+        assert!(e.to_string().contains("duplicate scenario name"), "{e}");
+    }
+}

@@ -1,0 +1,123 @@
+//! [`ScenarioSource`] — where a sweep's scenarios come from.
+//!
+//! Fleet plans used to be `ScenarioId`-only: every job named one of the
+//! nine hand-coded Table-1 builders. A source generalizes that to "either a
+//! catalog id or a parsed definition", so the same `SweepJob` machinery
+//! (expansion, execution, exports, the distd wire) runs file-loaded and
+//! generated scenarios without special cases.
+
+use std::fmt;
+use std::sync::Arc;
+
+use av_scenarios::catalog::{Scenario, ScenarioId};
+
+use crate::format::ScenarioDef;
+
+/// A buildable scenario reference: a Table-1 catalog id, or a declarative
+/// definition (file-loaded or generated).
+///
+/// Definitions are shared via [`Arc`] — a 500-job plan over one generated
+/// corpus holds each definition once. Equality is structural, so two jobs
+/// are equal exactly when they would simulate identically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSource {
+    /// One of the nine hand-coded Table-1 scenarios.
+    Catalog(ScenarioId),
+    /// A declarative scenario definition.
+    Def(Arc<ScenarioDef>),
+}
+
+impl ScenarioSource {
+    /// The scenario's export identity: the Table-1 name for catalog
+    /// scenarios, the declared name for definitions. Catalog ports that
+    /// declare the same name are therefore byte-identical in every export.
+    pub fn name(&self) -> &str {
+        match self {
+            ScenarioSource::Catalog(id) => id.name(),
+            ScenarioSource::Def(def) => &def.name,
+        }
+    }
+
+    /// A filesystem-safe identifier, used in kept-trace filenames. Catalog
+    /// sources keep the historical `{:?}` form (`CutOut`, `CutIn`, ...);
+    /// definitions sanitize their name.
+    pub fn slug(&self) -> String {
+        match self {
+            ScenarioSource::Catalog(id) => format!("{id:?}"),
+            ScenarioSource::Def(def) => def
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect(),
+        }
+    }
+
+    /// The catalog id, when this source is one (e.g. to reuse
+    /// [`av_scenarios::catalog::minimum_required_fpr`]'s id-based API).
+    pub fn catalog_id(&self) -> Option<ScenarioId> {
+        match self {
+            ScenarioSource::Catalog(id) => Some(*id),
+            ScenarioSource::Def(_) => None,
+        }
+    }
+
+    /// Builds the scenario at a jitter seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a definition fails numeric validation at this seed.
+    /// Sources entering a sweep are expected to be pre-validated (the
+    /// registry instantiates every definition it loads, and the CLI
+    /// validates each requested seed) — this matches the fleet's
+    /// validated-at-plan-build philosophy. Use
+    /// [`ScenarioDef::instantiate`] directly for a checked build.
+    pub fn build(&self, seed: u64) -> Scenario {
+        match self {
+            ScenarioSource::Catalog(id) => Scenario::build(*id, seed),
+            ScenarioSource::Def(def) => def.instantiate(seed).unwrap_or_else(|e| {
+                panic!(
+                    "scenario definition `{}` failed to instantiate at seed {seed}: {e}",
+                    def.name
+                )
+            }),
+        }
+    }
+}
+
+impl From<ScenarioId> for ScenarioSource {
+    fn from(id: ScenarioId) -> Self {
+        ScenarioSource::Catalog(id)
+    }
+}
+
+impl From<Arc<ScenarioDef>> for ScenarioSource {
+    fn from(def: Arc<ScenarioDef>) -> Self {
+        ScenarioSource::Def(def)
+    }
+}
+
+impl From<ScenarioDef> for ScenarioSource {
+    fn from(def: ScenarioDef) -> Self {
+        ScenarioSource::Def(Arc::new(def))
+    }
+}
+
+impl fmt::Display for ScenarioSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_sources_mirror_the_catalog() {
+        let source = ScenarioSource::from(ScenarioId::CutOut);
+        assert_eq!(source.name(), "Cut-out");
+        assert_eq!(source.slug(), "CutOut");
+        assert_eq!(source.catalog_id(), Some(ScenarioId::CutOut));
+        assert_eq!(source.build(3), Scenario::build(ScenarioId::CutOut, 3));
+    }
+}

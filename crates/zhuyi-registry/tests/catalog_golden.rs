@@ -1,0 +1,85 @@
+//! Golden equivalence: the committed `scenarios/*.scn` ports must be
+//! indistinguishable from the hand-coded Table-1 builders.
+//!
+//! `Scenario` equality is structural over every field the simulator
+//! consumes (road, ego config, actor scripts, duration), and the simulator
+//! and estimator are deterministic functions of a `Scenario` — so equal
+//! scenarios produce byte-identical traces, metrics, and sweep exports.
+//! The suite still spot-checks traces at the FPR extremes directly, so a
+//! future `Scenario` field that slips out of `PartialEq` cannot silently
+//! void the guarantee.
+
+use av_core::prelude::*;
+use av_scenarios::catalog::{Scenario, ScenarioId};
+use zhuyi_registry::Registry;
+
+fn scenarios_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn committed_ports_match_hand_coded_builders_across_seeds() {
+    let registry = Registry::load_dir(scenarios_dir()).expect("load scenarios/");
+    assert_eq!(registry.len(), ScenarioId::ALL.len());
+    for id in ScenarioId::ALL {
+        let def = registry
+            .get(id.name())
+            .unwrap_or_else(|| panic!("no committed definition named {:?}", id.name()));
+        for seed in 0..10 {
+            let ported = def
+                .instantiate(seed)
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", id.name()));
+            let hand_coded = Scenario::build(id, seed);
+            assert_eq!(
+                ported,
+                hand_coded,
+                "{} diverges from its hand-coded builder at seed {seed}",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_order_is_table1_order() {
+    let registry = Registry::load_dir(scenarios_dir()).expect("load scenarios/");
+    let names: Vec<&str> = registry.defs().iter().map(|d| d.name.as_str()).collect();
+    let expected: Vec<&str> = ScenarioId::ALL.iter().map(|id| id.name()).collect();
+    assert_eq!(names, expected);
+}
+
+#[test]
+fn traces_are_byte_identical_at_fpr_extremes() {
+    let registry = Registry::load_dir(scenarios_dir()).expect("load scenarios/");
+    // The grid extremes the paper sweeps: 1 FPR (most scenarios collide or
+    // barely survive) and 30 FPR (everything survives).
+    for id in [ScenarioId::CutOut, ScenarioId::ChallengingCutInCurved] {
+        let def = registry.get(id.name()).expect("committed definition");
+        for seed in [0, 3] {
+            for fpr in [1.0, 30.0] {
+                let ported = def.instantiate(seed).expect("instantiate").run_at(Fpr(fpr));
+                let hand_coded = Scenario::build(id, seed).run_at(Fpr(fpr));
+                let ported_csv = av_sim::io::trace_to_csv(&ported);
+                let hand_csv = av_sim::io::trace_to_csv(&hand_coded);
+                assert_eq!(
+                    ported_csv,
+                    hand_csv,
+                    "{} trace diverges at seed {seed}, {fpr} FPR",
+                    id.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn canonical_text_round_trips_for_every_port() {
+    let registry = Registry::load_dir(scenarios_dir()).expect("load scenarios/");
+    for def in registry.defs() {
+        let text = def.to_text();
+        let reparsed = zhuyi_registry::ScenarioDef::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: canonical text does not reparse: {e}", def.name));
+        assert_eq!(&reparsed, def.as_ref(), "{} round-trip", def.name);
+        assert_eq!(text, reparsed.to_text(), "{} fixed point", def.name);
+    }
+}

@@ -23,6 +23,8 @@
 //! - `compute` ([`compute_model`]) — Figure-1 compute-demand model
 //! - `fleet` ([`zhuyi_fleet`]) — parallel fleet-scale scenario sweeps
 //! - `distd` ([`zhuyi_distd`]) — multi-process sharded sweep coordinator/workers
+//! - `registry` ([`zhuyi_registry`]) — declarative scenario definitions,
+//!   registry lookup, and corpus generators
 //!
 //! # Quickstart
 //!
@@ -56,4 +58,5 @@ pub use compute_model as compute;
 pub use zhuyi as model;
 pub use zhuyi_distd as distd;
 pub use zhuyi_fleet as fleet;
+pub use zhuyi_registry as registry;
 pub use zhuyi_runtime as runtime;

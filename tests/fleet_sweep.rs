@@ -30,7 +30,7 @@ fn fleet_sweep_is_deterministic_and_matches_table1_shapes() {
         sequential
             .results()
             .iter()
-            .find(|r| r.job.spec.scenario == id)
+            .find(|r| r.job.spec.scenario == id.into())
             .map(|r| match &r.outcome {
                 JobOutcome::MinSafeFpr(m) => m.mrf,
                 other => panic!("expected MSF outcome, got {other:?}"),
