@@ -14,7 +14,9 @@
 //!               [--stride N] [--csv NAME] [--json NAME] [--traces]
 //!               [--record-traces] [--batch-lanes N] [--baseline]
 //!               [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]
-//!               [--connect ADDR] [--help]
+//!               [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]
+//!               [--max-job-failures K] [--verify-fraction F]
+//!               [--fail-after N] [--help]
 //! ```
 //!
 //! Defaults reproduce Table 1 fleet-style: `--mode msf --scenarios all
@@ -28,12 +30,24 @@
 //! invocation into a *worker* that joins a coordinator elsewhere (the
 //! multi-host story: run `fleet_sweep --dist --listen` on one box and
 //! `fleet_sweep --connect` on the others).
+//!
+//! **Chaos testing.** `--chaos-seed N [--chaos-profile NAME]` makes each
+//! spawned worker inject a deterministic fault stream (drops, delays,
+//! duplicates, truncations, bit-flips) into its uplink — the sweep must
+//! still complete with byte-identical exports. `--max-job-failures K`
+//! sets the quarantine strike limit, `--verify-fraction F` samples jobs
+//! for duplicate-execution cross-checking, and `--fail-after N` crashes
+//! the first spawned worker after N results. Quarantined jobs are
+//! reported and exported as a sibling `*.quarantine.csv/json` artifact.
 
 use av_scenarios::catalog::{PerCameraPlan, ScenarioId, PAPER_RATE_GRID};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
-use zhuyi_distd::{cli as dcli, run_distributed, run_worker, DistConfig, WorkerOptions};
+use zhuyi_distd::{
+    cli as dcli, run_distributed, run_worker, ChaosProfile, ChaosSpec, DistConfig,
+    QuarantineManifest, WorkerOptions,
+};
 use zhuyi_fleet::{cli, pool, run_sweep_with, ExecOptions, PredictorChoice, SweepPlan};
 use zhuyi_registry::{Registry, ScenarioSource};
 
@@ -60,6 +74,11 @@ struct Args {
     connect: Option<String>,
     checkpoint: Option<PathBuf>,
     batch: Option<usize>,
+    chaos_seed: Option<u64>,
+    chaos_profile: Option<&'static ChaosProfile>,
+    max_job_failures: Option<usize>,
+    verify_fraction: Option<f64>,
+    fail_after: Option<u32>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +124,11 @@ impl Default for Args {
             connect: None,
             checkpoint: None,
             batch: None,
+            chaos_seed: None,
+            chaos_profile: None,
+            max_job_failures: None,
+            verify_fraction: None,
+            fail_after: None,
         }
     }
 }
@@ -183,6 +207,23 @@ fn parse_args() -> Result<Args, String> {
                 args.checkpoint = Some(dcli::parse_checkpoint(&value("--checkpoint")?)?)
             }
             "--batch" => args.batch = Some(dcli::parse_batch(&value("--batch")?)?),
+            "--chaos-seed" => {
+                args.chaos_seed = Some(dcli::parse_chaos_seed(&value("--chaos-seed")?)?)
+            }
+            "--chaos-profile" => {
+                args.chaos_profile = Some(dcli::parse_chaos_profile(&value("--chaos-profile")?)?)
+            }
+            "--max-job-failures" => {
+                args.max_job_failures =
+                    Some(dcli::parse_max_job_failures(&value("--max-job-failures")?)?)
+            }
+            "--verify-fraction" => {
+                args.verify_fraction =
+                    Some(dcli::parse_verify_fraction(&value("--verify-fraction")?)?)
+            }
+            "--fail-after" => {
+                args.fail_after = Some(dcli::parse_fail_after(&value("--fail-after")?)?)
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -203,6 +244,11 @@ fn parse_args() -> Result<Args, String> {
         listen: args.listen.clone(),
         checkpoint: args.checkpoint.clone(),
         batch: args.batch,
+        chaos_seed: args.chaos_seed.is_some(),
+        chaos_profile: args.chaos_profile.is_some(),
+        max_job_failures: args.max_job_failures.is_some(),
+        verify_fraction: args.verify_fraction.is_some(),
+        fail_after: args.fail_after.is_some(),
         export_flags: ["--csv", "--json", "--traces", "--baseline"]
             .iter()
             .filter(|f| seen.iter().any(|s| s == *f))
@@ -288,6 +334,16 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// `msf.csv` → `msf.quarantine.csv`: the sibling artifact carrying the
+/// quarantine manifest next to a main export (always written in dist
+/// mode, header-only on a clean pass so CI can assert emptiness).
+fn quarantine_name(name: &str) -> String {
+    match name.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.quarantine.{ext}"),
+        None => format!("{name}.quarantine"),
+    }
+}
+
 fn usage() {
     eprintln!(
         "fleet_sweep — parallel fleet-scale scenario sweeps (threads or processes)\n\n\
@@ -297,7 +353,8 @@ fn usage() {
          \x20             [--stride N] [--csv NAME] [--json NAME] [--traces]\n\
          \x20             [--record-traces] [--batch-lanes N] [--baseline]\n\
          \x20             [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]\n\
-         \x20             [--connect ADDR]\n\n\
+         \x20             [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]\n\
+         \x20             [--max-job-failures K] [--verify-fraction F] [--fail-after N]\n\n\
          MODES:\n\
          \x20 msf      search each instance's minimum safe rate over --rates (default);\n\
          \x20          --batch-lanes N sets the lockstep lanes per pass (0 = auto = the\n\
@@ -312,6 +369,15 @@ fn usage() {
          \x20 --checkpoint P    append completed jobs to P; resume P if it exists\n\
          \x20 --batch N         jobs per shard (default: pending/(workers*4))\n\
          \x20 --connect ADDR    be a worker for the coordinator at ADDR instead\n\n\
+         CHAOS / FAULT TOLERANCE (with --dist):\n\
+         \x20 --chaos-seed N        deterministic fault injection on worker uplinks\n\
+         \x20 --chaos-profile NAME  mild (default) | storm | drops | corrupt\n\
+         \x20 --max-job-failures K  strikes before a job is quarantined (default 3)\n\
+         \x20 --verify-fraction F   re-execute this fraction of jobs on a second\n\
+         \x20                       worker and cross-check results bit-for-bit\n\
+         \x20 --fail-after N        crash the first spawned worker after N results\n\
+         \x20 Quarantined jobs export as sibling NAME.quarantine.csv/json artifacts\n\
+         \x20 (header-only when nothing was quarantined).\n\n\
          SCENARIO REGISTRY:\n\
          \x20 --scenario-dir DIR loads every *.scn definition in DIR instead of the\n\
          \x20 built-in catalog; --scenarios then filters by name or tag with * globs\n\
@@ -387,6 +453,7 @@ fn main() -> ExitCode {
         batch_lanes: args.batch_lanes,
     };
     let start = Instant::now();
+    let mut quarantine: Option<QuarantineManifest> = None;
     let store = if args.dist {
         let config = DistConfig {
             spawn_workers: args.workers,
@@ -394,6 +461,18 @@ fn main() -> ExitCode {
             checkpoint: args.checkpoint.clone(),
             batch_size: args.batch,
             options,
+            chaos: args.chaos_seed.map(|seed| ChaosSpec {
+                seed,
+                profile: args
+                    .chaos_profile
+                    .unwrap_or_else(|| dcli::parse_chaos_profile("mild").expect("built-in")),
+            }),
+            max_job_failures: args.max_job_failures.unwrap_or(3),
+            verify_fraction: args.verify_fraction.unwrap_or(0.0),
+            worker_extra_args: args
+                .fail_after
+                .map(|n| vec![vec!["--fail-after".to_string(), n.to_string()]])
+                .unwrap_or_default(),
             ..DistConfig::default()
         };
         let report = match run_distributed(&plan, &config) {
@@ -416,6 +495,19 @@ fn main() -> ExitCode {
             s.duplicate_results,
             s.resumed_jobs,
         );
+        if s.job_failures > 0 || s.jobs_quarantined > 0 || s.verify_jobs > 0 {
+            println!(
+                "fault tolerance: {} job failures ({} deadline strikes), {} quarantined, \
+                 {} cross-checked jobs ({} confirmed), {} respawn failures",
+                s.job_failures,
+                s.deadline_strikes,
+                s.jobs_quarantined,
+                s.verify_jobs,
+                s.verify_confirmed,
+                s.respawn_failures,
+            );
+        }
+        quarantine = Some(report.quarantine);
         report.store
     } else {
         run_sweep_with(&plan, args.workers, options)
@@ -445,15 +537,32 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(manifest) = quarantine.as_ref().filter(|m| !m.is_empty()) {
+        eprintln!(
+            "warning: {} job(s) quarantined after repeated failures; the exports below \
+             cover completed jobs only",
+            manifest.len()
+        );
+        println!("{}", manifest.to_table().render());
+    }
+
     println!("{}", store.summary_table().render());
 
     if let Some(name) = &args.csv {
         let path = zhuyi_bench::write_results(name, &store.to_csv());
         println!("wrote {}", path.display());
+        if let Some(manifest) = &quarantine {
+            let path = zhuyi_bench::write_results(&quarantine_name(name), &manifest.to_csv());
+            println!("wrote {}", path.display());
+        }
     }
     if let Some(name) = &args.json {
         let path = zhuyi_bench::write_results(name, &store.to_json());
         println!("wrote {}", path.display());
+        if let Some(manifest) = &quarantine {
+            let path = zhuyi_bench::write_results(&quarantine_name(name), &manifest.to_json());
+            println!("wrote {}", path.display());
+        }
     }
     if args.traces {
         for (name, csv) in store.kept_traces() {

@@ -7,19 +7,25 @@
 //! fresh results, a resumed sweep still produces **byte-identical** output
 //! to an uninterrupted one.
 //!
-//! # File format
+//! # File format (v2)
 //!
 //! ```text
-//! magic   b"ZHUYIDC1"                      (8 bytes)
+//! magic   b"ZHUYIDC2"                      (8 bytes)
 //! u64-LE  plan fingerprint                 (FNV-1a over the encoded plan
 //!                                           jobs + the exec options)
-//! records u32-LE length + encoded JobResult  (see `wire::put_job_result`)
+//! records u32-LE length
+//!         u32-LE FNV-1a-32 payload checksum  (see `wire::payload_checksum`)
+//!         encoded JobResult                  (see `wire::put_job_result`)
 //! ```
 //!
-//! A torn final record (the coordinator died mid-append) is tolerated and
-//! ignored on load; anything else malformed is an error. The fingerprint
-//! pins a checkpoint to one exact (plan, options) pair — resuming a
-//! different sweep against it is refused rather than silently merged.
+//! Every record carries its own checksum, so corruption (a flipped bit
+//! on disk, a partial overwrite) is *detected*, never silently decoded
+//! into a wrong result. A failed checksum or torn record at the exact
+//! tail of the file (the coordinator died mid-append) is tolerated and
+//! dropped on load; the same damage anywhere earlier is an error — the
+//! file as a whole is not trustworthy. The fingerprint pins a checkpoint
+//! to one exact (plan, options) pair — resuming a different sweep
+//! against it is refused rather than silently merged.
 
 use crate::wire::{self, WireError};
 use std::fs::{File, OpenOptions};
@@ -27,7 +33,7 @@ use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use zhuyi_fleet::{ExecOptions, JobResult, SweepPlan};
 
-const MAGIC: &[u8; 8] = b"ZHUYIDC1";
+const MAGIC: &[u8; 8] = b"ZHUYIDC2";
 
 /// Errors raised while writing or loading a checkpoint.
 #[derive(Debug)]
@@ -159,6 +165,8 @@ impl CheckpointWriter {
         wire::put_job_result(&mut payload, result);
         self.writer
             .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer
+            .write_all(&wire::payload_checksum(&payload).to_le_bytes())?;
         self.writer.write_all(&payload)?;
         self.writer.flush()?;
         self.records += 1;
@@ -177,13 +185,16 @@ impl CheckpointWriter {
 }
 
 /// Loads a checkpoint's recovered results, validating the header against
-/// `fingerprint`. Returns results in file order (deduplicated by job id,
-/// first occurrence wins). A truncated final record is silently dropped.
+/// `fingerprint` and every record against its stored checksum. Returns
+/// results in file order (deduplicated by job id, first occurrence
+/// wins). A truncated or checksum-failing *final* record is silently
+/// dropped — that is what a crash mid-append looks like.
 ///
 /// # Errors
 ///
-/// [`CheckpointError::Corrupt`] for bad magic or an undecodable non-tail
-/// record, [`CheckpointError::PlanMismatch`] for a different sweep.
+/// [`CheckpointError::Corrupt`] for bad magic, a checksum failure on any
+/// non-tail record, or a checksum-valid record that still does not
+/// decode; [`CheckpointError::PlanMismatch`] for a different sweep.
 pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<JobResult>, CheckpointError> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
@@ -201,27 +212,34 @@ pub fn load(path: &Path, fingerprint: u64) -> Result<Vec<JobResult>, CheckpointE
     let mut seen = std::collections::BTreeSet::new();
     let mut pos = 16usize;
     while pos < bytes.len() {
-        if pos + 4 > bytes.len() {
-            break; // torn length prefix
+        if pos + 8 > bytes.len() {
+            break; // torn record header
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let start = pos + 4;
+        let expected = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + 8;
         let Some(end) = start.checked_add(len).filter(|&end| end <= bytes.len()) else {
             break; // torn record body
         };
-        match wire::decode_job_result(&bytes[start..end]) {
+        let payload = &bytes[start..end];
+        if wire::payload_checksum(payload) != expected {
+            if end == bytes.len() {
+                break; // torn write of the final record
+            }
+            return Err(CheckpointError::Corrupt(format!(
+                "record at byte {pos} fails its checksum"
+            )));
+        }
+        match wire::decode_job_result(payload) {
             Ok(result) => {
                 if seen.insert(result.job.id) {
                     results.push(result);
                 }
             }
-            Err(WireError::Malformed(what)) if end == bytes.len() => {
-                // A complete-length but garbage tail record still means a
-                // torn write only if it is the last one; surface anything
-                // earlier as corruption.
-                let _ = what;
-                break;
-            }
+            // The checksum passed, so these bytes are exactly what the
+            // writer stored — undecodable means a writer/reader bug or a
+            // forged file, and tolerating it would hide real corruption.
+            Err(WireError::Malformed(what)) => return Err(CheckpointError::Corrupt(what)),
             Err(e) => return Err(CheckpointError::Corrupt(e.to_string())),
         }
         pos = end;
@@ -318,6 +336,77 @@ mod tests {
         ));
         std::fs::write(&path, b"not a checkpoint").expect("clobber");
         assert!(matches!(load(&path, 1), Err(CheckpointError::Corrupt(_))));
+    }
+
+    /// Deterministic xorshift64* for the corruption fuzzers below.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// The fuzzers' shared oracle: whatever `load` accepts must be a
+    /// prefix of what was written — corruption may cost records or fail
+    /// the load, but can never change or invent one.
+    fn assert_prefix_of_originals(loaded: &[JobResult], originals: &[JobResult]) {
+        assert!(loaded.len() <= originals.len());
+        for (got, want) in loaded.iter().zip(originals) {
+            assert_eq!(got, want, "accepted record must be byte-faithful");
+        }
+    }
+
+    #[test]
+    fn truncation_fuzz_never_panics_and_never_lies() {
+        let path = tmp("fuzz-trunc");
+        let originals: Vec<JobResult> = (0..6).map(|id| probe_result(id, id % 2 == 0)).collect();
+        let mut w = CheckpointWriter::create(&path, 99).expect("create");
+        for r in &originals {
+            w.append(r).expect("append");
+        }
+        drop(w);
+        let bytes = std::fs::read(&path).expect("read");
+        let mut rng = 0x5eed_c0de_u64;
+        for _ in 0..200 {
+            let cut = (xorshift(&mut rng) as usize) % (bytes.len() + 1);
+            std::fs::write(&path, &bytes[..cut]).expect("truncate");
+            match load(&path, 99) {
+                Ok(loaded) => assert_prefix_of_originals(&loaded, &originals),
+                Err(CheckpointError::Corrupt(_)) => {} // header lost — fine
+                Err(e) => panic!("unexpected error on truncation at {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bitflip_fuzz_never_panics_and_never_lies() {
+        let path = tmp("fuzz-flip");
+        let originals: Vec<JobResult> = (0..6).map(|id| probe_result(id, id % 3 == 0)).collect();
+        let mut w = CheckpointWriter::create(&path, 77).expect("create");
+        for r in &originals {
+            w.append(r).expect("append");
+        }
+        drop(w);
+        let bytes = std::fs::read(&path).expect("read");
+        let mut rng = 0xf1ea_5eed_u64;
+        for _ in 0..300 {
+            let mut mutated = bytes.clone();
+            let bit = (xorshift(&mut rng) as usize) % (mutated.len() * 8);
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            std::fs::write(&path, &mutated).expect("flip");
+            match load(&path, 77) {
+                // A flip can hide in a record header in ways that only
+                // truncate the accepted set (e.g. a larger length makes
+                // the record read as torn) — but an accepted record must
+                // still be exactly what was written.
+                Ok(loaded) => assert_prefix_of_originals(&loaded, &originals),
+                Err(CheckpointError::Corrupt(_)) => {}
+                Err(CheckpointError::PlanMismatch { .. }) => {} // flip in the fingerprint
+                Err(e) => panic!("unexpected error on bit {bit}: {e}"),
+            }
+        }
     }
 
     #[test]

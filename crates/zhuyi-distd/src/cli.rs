@@ -120,6 +120,71 @@ pub fn parse_fail_after(spec: &str) -> Result<u32, String> {
     Ok(n)
 }
 
+/// Parses a `--chaos-seed` value: the base seed of the deterministic
+/// fault stream (each worker derives its own from it).
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric values.
+pub fn parse_chaos_seed(spec: &str) -> Result<u64, String> {
+    spec.trim()
+        .parse()
+        .map_err(|_| format!("--chaos-seed expects a whole number, got {spec:?}"))
+}
+
+/// Parses a `--chaos-profile` value against the named profiles in
+/// [`crate::faultnet::PROFILES`].
+///
+/// # Errors
+///
+/// A human-readable message listing the valid names.
+pub fn parse_chaos_profile(spec: &str) -> Result<&'static crate::faultnet::ChaosProfile, String> {
+    crate::faultnet::profile(spec.trim()).ok_or_else(|| {
+        let names: Vec<&str> = crate::faultnet::PROFILES.iter().map(|p| p.name).collect();
+        format!(
+            "--chaos-profile expects one of {}, got {spec:?}",
+            names.join("/")
+        )
+    })
+}
+
+/// Parses a `--max-job-failures` value (the quarantine strike limit K):
+/// `>= 1`.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric or zero values.
+pub fn parse_max_job_failures(spec: &str) -> Result<usize, String> {
+    let k: usize = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--max-job-failures expects a whole number, got {spec:?}"))?;
+    if k == 0 {
+        return Err("--max-job-failures must be >= 1".to_string());
+    }
+    Ok(k)
+}
+
+/// Parses a `--verify-fraction` value: the fraction of jobs sampled for
+/// duplicate-execution cross-checking, a finite number in `0..=1`.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric, non-finite, or
+/// out-of-range values.
+pub fn parse_verify_fraction(spec: &str) -> Result<f64, String> {
+    let fraction: f64 = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--verify-fraction expects a number in 0..=1, got {spec:?}"))?;
+    if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+        return Err(format!(
+            "--verify-fraction must be within 0..=1, got {spec:?}"
+        ));
+    }
+    Ok(fraction)
+}
+
 /// The distribution-relevant subset of `fleet_sweep` flags, checked for
 /// internal consistency by [`validate_dist_flags`].
 #[derive(Debug, Clone, Default)]
@@ -134,6 +199,16 @@ pub struct DistFlags {
     pub checkpoint: Option<PathBuf>,
     /// `--batch N` was given.
     pub batch: Option<usize>,
+    /// `--chaos-seed N` was given.
+    pub chaos_seed: bool,
+    /// `--chaos-profile NAME` was given.
+    pub chaos_profile: bool,
+    /// `--max-job-failures K` was given.
+    pub max_job_failures: bool,
+    /// `--verify-fraction F` was given.
+    pub verify_fraction: bool,
+    /// `--fail-after N` was given (spawned-worker fault injection).
+    pub fail_after: bool,
     /// Export/reporting flags that a worker cannot honor (`--csv`,
     /// `--json`, `--traces`, `--baseline`), by flag name.
     pub export_flags: Vec<String>,
@@ -166,6 +241,20 @@ pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
         if flags.batch.is_some() {
             return Err("--batch belongs to the coordinator, not a --connect worker".to_string());
         }
+        for (value, flag) in [
+            (flags.chaos_seed, "--chaos-seed"),
+            (flags.chaos_profile, "--chaos-profile"),
+            (flags.max_job_failures, "--max-job-failures"),
+            (flags.verify_fraction, "--verify-fraction"),
+            (flags.fail_after, "--fail-after"),
+        ] {
+            if value {
+                return Err(format!(
+                    "{flag} belongs to the coordinator, not a --connect worker \
+                     (use fleet_shard's own fault flags to perturb a single worker)"
+                ));
+            }
+        }
         if let Some(flag) = flags.export_flags.first() {
             return Err(format!(
                 "{flag} does not apply to a --connect worker (the coordinator at {addr} owns \
@@ -179,11 +268,21 @@ pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
             (flags.listen.is_some(), "--listen"),
             (flags.checkpoint.is_some(), "--checkpoint"),
             (flags.batch.is_some(), "--batch"),
+            (flags.chaos_seed, "--chaos-seed"),
+            (flags.chaos_profile, "--chaos-profile"),
+            (flags.max_job_failures, "--max-job-failures"),
+            (flags.verify_fraction, "--verify-fraction"),
+            (flags.fail_after, "--fail-after"),
         ] {
             if value {
                 return Err(format!("{flag} requires --dist"));
             }
         }
+    }
+    if flags.chaos_profile && !flags.chaos_seed {
+        return Err(
+            "--chaos-profile requires --chaos-seed (the fault stream is seeded)".to_string(),
+        );
     }
     Ok(())
 }
@@ -241,6 +340,77 @@ mod tests {
         assert_eq!(parse_fail_after("3"), Ok(3));
         assert!(parse_fail_after("0").is_err());
         assert!(parse_fail_after("3.5").is_err());
+    }
+
+    #[test]
+    fn chaos_and_verify_values_are_validated() {
+        assert_eq!(parse_chaos_seed("42"), Ok(42));
+        assert!(parse_chaos_seed("-3").is_err());
+        assert!(parse_chaos_seed("many").is_err());
+        assert_eq!(parse_chaos_profile("storm").map(|p| p.name), Ok("storm"));
+        assert_eq!(parse_chaos_profile(" mild ").map(|p| p.name), Ok("mild"));
+        let err = parse_chaos_profile("hurricane").expect_err("unknown profile");
+        assert!(err.contains("storm"), "message lists valid names: {err}");
+        assert_eq!(parse_max_job_failures("3"), Ok(3));
+        assert!(parse_max_job_failures("0").is_err());
+        assert!(parse_max_job_failures("k").is_err());
+        assert_eq!(parse_verify_fraction("0.25"), Ok(0.25));
+        assert_eq!(parse_verify_fraction("1"), Ok(1.0));
+        assert_eq!(parse_verify_fraction("0"), Ok(0.0));
+        assert!(parse_verify_fraction("1.5").is_err());
+        assert!(parse_verify_fraction("-0.1").is_err());
+        assert!(parse_verify_fraction("nan").is_err());
+        assert!(parse_verify_fraction("inf").is_err());
+        assert!(parse_verify_fraction("lots").is_err());
+    }
+
+    #[test]
+    fn chaos_flags_require_dist_and_a_seed() {
+        for flags in [
+            DistFlags {
+                chaos_seed: true,
+                ..DistFlags::default()
+            },
+            DistFlags {
+                max_job_failures: true,
+                ..DistFlags::default()
+            },
+            DistFlags {
+                verify_fraction: true,
+                ..DistFlags::default()
+            },
+            DistFlags {
+                fail_after: true,
+                ..DistFlags::default()
+            },
+        ] {
+            let err = validate_dist_flags(&flags).expect_err("requires --dist");
+            assert!(err.contains("--dist"), "{err}");
+        }
+        let profile_without_seed = DistFlags {
+            dist: true,
+            chaos_profile: true,
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&profile_without_seed).expect_err("needs a seed");
+        assert!(err.contains("--chaos-seed"), "{err}");
+        let ok = DistFlags {
+            dist: true,
+            chaos_seed: true,
+            chaos_profile: true,
+            max_job_failures: true,
+            verify_fraction: true,
+            fail_after: true,
+            ..DistFlags::default()
+        };
+        assert_eq!(validate_dist_flags(&ok), Ok(()));
+        let worker = DistFlags {
+            connect: Some("127.0.0.1:7700".into()),
+            chaos_seed: true,
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&worker).expect_err("worker rejects chaos flags");
+        assert!(err.contains("coordinator"), "{err}");
     }
 
     #[test]

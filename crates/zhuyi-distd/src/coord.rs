@@ -40,16 +40,44 @@
 //! remains and the respawn budget allows; externally joined workers are
 //! simply dropped.
 //!
+//! # Fault tolerance
+//!
+//! Beyond whole-worker crashes, the coordinator survives *per-job*
+//! failures without aborting the sweep:
+//!
+//! - a worker's contained panic arrives as [`Frame::JobFailed`] and
+//!   counts one **strike** against the job; the job is requeued;
+//! - an optional per-job deadline ([`DistConfig::job_deadline`]) strikes
+//!   a job whose shard stops yielding results — the wedged worker is
+//!   dropped (and its spawned process killed, so the respawn path brings
+//!   up a replacement) and the shard's remainder requeued;
+//! - at [`DistConfig::max_job_failures`] strikes a job is **quarantined**:
+//!   pulled from every queue, revoked wherever assigned, and reported in
+//!   the [`DistReport::quarantine`] manifest. The sweep then *completes*
+//!   over the surviving jobs — graceful degradation, never a poisoned
+//!   hang;
+//! - an optional sampled fraction of jobs
+//!   ([`DistConfig::verify_fraction`]) is executed **twice**, on the
+//!   back of the queue; because execution is bit-deterministic the two
+//!   encoded results must match byte-for-byte, so any mismatch is
+//!   executor corruption and fails the run loudly with
+//!   [`DistError::VerifyMismatch`].
+//!
 //! # Determinism invariant
 //!
 //! The merged [`ResultStore`] is built exclusively from id-deduplicated
 //! results sorted by [`zhuyi_fleet::JobId`] — the same merge a
 //! single-process [`zhuyi_fleet::run_sweep`] performs — so worker count,
 //! shard boundaries, steals, crashes, and checkpoint resumes cannot change
-//! a single exported byte. `tests/dist_determinism.rs` pins this.
+//! a single exported byte. `tests/dist_determinism.rs` pins this, and
+//! `tests/chaos.rs` extends it under injected fault storms: completed-job
+//! exports stay byte-identical to a clean single-process run over the
+//! same surviving job set.
 
 use crate::checkpoint::{self, CheckpointError, CheckpointWriter};
-use crate::wire::{self, Frame, WireError, PROTOCOL_VERSION};
+use crate::faultnet::{self, ChaosSpec};
+use crate::quarantine::{QuarantineEntry, QuarantineManifest};
+use crate::wire::{self, Frame, JobError, JobErrorKind, WireError, PROTOCOL_VERSION};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -94,6 +122,28 @@ pub struct DistConfig {
     /// the fault-injection hook (`--fail-after N`) the crash tests use.
     /// Respawned replacements never inherit these.
     pub worker_extra_args: Vec<Vec<String>>,
+    /// Extra argv appended to every *respawned* replacement worker.
+    /// Empty (the default) keeps respawns clean; the chaos tests use it
+    /// to make replacements inherit a `--poison-job`/`--wedge-job` fault
+    /// (but never chaos or `--fail-after` flags, which must not recur).
+    pub respawn_extra_args: Vec<String>,
+    /// Strikes (contained panics, expired deadlines) a job may accrue
+    /// before it is quarantined; clamped to at least 1.
+    pub max_job_failures: usize,
+    /// If set, a shard that yields no result for this long strikes the
+    /// job it is stuck on and drops (and kills, if spawned) its worker.
+    /// Must comfortably exceed the slowest honest job.
+    pub job_deadline: Option<Duration>,
+    /// Fraction (0.0–1.0) of jobs sampled for duplicate-execution
+    /// cross-checking; sampled ids are chosen by a hash of the job id
+    /// and the plan fingerprint, so the same sweep verifies the same
+    /// jobs on every run.
+    pub verify_fraction: f64,
+    /// Deterministic fault injection: spawned workers receive
+    /// `--chaos-profile`/`--chaos-seed` flags derived from this spec
+    /// (per-worker seeds via [`faultnet::derive_worker_seed`]).
+    /// Respawned replacements never inherit chaos.
+    pub chaos: Option<ChaosSpec>,
     /// Test hook: abort the run (checkpoint intact) after this many fresh
     /// results, simulating a coordinator crash mid-sweep.
     pub abort_after_results: Option<usize>,
@@ -112,6 +162,11 @@ impl Default for DistConfig {
             stall_timeout: Duration::from_secs(600),
             max_respawns: 3,
             worker_extra_args: Vec::new(),
+            respawn_extra_args: Vec::new(),
+            max_job_failures: 3,
+            job_deadline: None,
+            verify_fraction: 0.0,
+            chaos: None,
             abort_after_results: None,
         }
     }
@@ -139,16 +194,33 @@ pub struct DistStats {
     pub resumed_jobs: usize,
     /// Jobs executed (first results) this run.
     pub executed_jobs: usize,
+    /// Strikes recorded (contained panics + deadline expiries).
+    pub job_failures: usize,
+    /// Strikes that came from an expired per-job deadline.
+    pub deadline_strikes: usize,
+    /// Jobs that reached the strike limit and were quarantined.
+    pub jobs_quarantined: usize,
+    /// Jobs sampled for duplicate-execution cross-checking.
+    pub verify_jobs: usize,
+    /// Cross-checked job pairs whose encoded results matched exactly.
+    pub verify_confirmed: usize,
+    /// Respawn attempts that failed to start a process (each consumes
+    /// one unit of the respawn budget and is retried after a backoff).
+    pub respawn_failures: usize,
 }
 
 /// A finished distributed sweep: the merged store plus run statistics.
 #[derive(Debug)]
 pub struct DistReport {
     /// Merged, id-ordered results — byte-identical exports to a
-    /// single-process sweep of the same plan.
+    /// single-process sweep of the same plan (minus any quarantined
+    /// jobs).
     pub store: ResultStore,
     /// How the run unfolded.
     pub stats: DistStats,
+    /// Jobs the sweep gave up on, with their recorded strikes; empty on
+    /// a clean run.
+    pub quarantine: QuarantineManifest,
 }
 
 /// Errors a distributed run can end with.
@@ -175,6 +247,13 @@ pub enum DistError {
         /// Jobs the plan wanted.
         total: usize,
     },
+    /// Duplicate-execution cross-checking caught two byte-different
+    /// results for the same job — executor corruption or lost
+    /// determinism; the results cannot be trusted.
+    VerifyMismatch {
+        /// The job whose two executions disagreed.
+        job: u64,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -189,6 +268,13 @@ impl fmt::Display for DistError {
             }
             DistError::Stalled { completed, total } => {
                 write!(f, "sweep stalled at {completed}/{total} jobs")
+            }
+            DistError::VerifyMismatch { job } => {
+                write!(
+                    f,
+                    "duplicate-execution cross-check failed: job {job} produced two \
+                     byte-different results — executor corruption or lost determinism"
+                )
             }
         }
     }
@@ -244,6 +330,12 @@ fn default_batch_size(pending: usize, workers: usize) -> usize {
 
 type WorkerId = u64;
 
+/// First retry delay after a failed respawn attempt; doubles per
+/// consecutive failure up to [`RESPAWN_BACKOFF_CEIL`].
+const RESPAWN_BACKOFF_FLOOR: Duration = Duration::from_millis(250);
+/// Upper bound on the respawn retry backoff.
+const RESPAWN_BACKOFF_CEIL: Duration = Duration::from_secs(2);
+
 enum Event {
     Connected {
         worker: WorkerId,
@@ -271,11 +363,25 @@ struct WorkerConn {
 struct Inflight {
     worker: WorkerId,
     remaining: BTreeMap<u64, SweepJob>,
+    /// When this shard last yielded a result (or was assigned) — what
+    /// the per-job deadline measures against.
+    last_result: Instant,
 }
 
 struct ChildSlot {
+    name: String,
     child: Child,
     exited: bool,
+}
+
+/// What a recorded strike did to the job.
+enum StrikeOutcome {
+    /// Below the limit: the job deserves another attempt.
+    Retry,
+    /// The strike limit was reached; the job is now quarantined.
+    Quarantined,
+    /// The job was already done or quarantined — the strike is moot.
+    Settled,
 }
 
 /// Everything the scheduling loop mutates, factored out so event handling
@@ -289,27 +395,134 @@ struct Coordinator {
     stats: DistStats,
     checkpoint: Option<CheckpointWriter>,
     total: usize,
+    /// Every plan job this run may execute, for requeues and the
+    /// quarantine manifest.
+    jobs_by_id: BTreeMap<u64, SweepJob>,
+    /// Strikes recorded against jobs not (yet) quarantined.
+    failures: BTreeMap<u64, Vec<JobError>>,
+    /// Jobs the sweep gave up on.
+    quarantined: BTreeMap<u64, QuarantineEntry>,
+    /// Duplicate-execution slots: `None` until the first result arrives,
+    /// then its encoded bytes until the second confirms (and the entry
+    /// is removed) or mismatches (and the run fails).
+    verify_pending: BTreeMap<u64, Option<Vec<u8>>>,
+    max_job_failures: usize,
 }
 
 impl Coordinator {
-    fn remaining_work(&self) -> usize {
-        self.total - self.done.len()
+    /// True while any job still needs executing: unfinished plan jobs,
+    /// or outstanding duplicate-execution copies.
+    fn work_outstanding(&self) -> bool {
+        self.done.len() + self.quarantined.len() < self.total || !self.verify_pending.is_empty()
     }
 
-    fn record_result(&mut self, result: JobResult) -> Result<(), DistError> {
-        if self.done.contains_key(&result.job.id) {
+    /// Ingests one streamed result; returns whether it was fresh (first
+    /// for its id).
+    fn handle_result(&mut self, worker: WorkerId, result: JobResult) -> Result<bool, DistError> {
+        let id = result.job.id;
+        // Quarantine is final: a straggler result for a quarantined job
+        // (say, a wedged copy that eventually finished) is discarded so
+        // the manifest and the completed set stay mutually exclusive.
+        if self.quarantined.contains_key(&id.0) {
             self.stats.duplicate_results += 1;
-            return Ok(());
+            return Ok(false);
+        }
+        if let Some(slot) = self.verify_pending.get_mut(&id.0) {
+            let mut bytes = Vec::with_capacity(160);
+            wire::put_job_result(&mut bytes, &result);
+            match slot.take() {
+                None => *slot = Some(bytes),
+                Some(first) => {
+                    if first != bytes {
+                        return Err(DistError::VerifyMismatch { job: id.0 });
+                    }
+                    self.stats.verify_confirmed += 1;
+                    self.verify_pending.remove(&id.0);
+                }
+            }
+            // Clear only the copy this worker reported on; the other
+            // copy stays tracked so a crash still requeues it.
+            self.clear_copy(worker, id.0);
+        } else {
+            for fl in self.inflight.values_mut() {
+                if fl.remaining.remove(&id.0).is_some() {
+                    fl.last_result = Instant::now();
+                }
+            }
+        }
+        if self.done.contains_key(&id) {
+            self.stats.duplicate_results += 1;
+            return Ok(false);
         }
         if let Some(writer) = &mut self.checkpoint {
             writer.append(&result)?;
         }
-        for fl in self.inflight.values_mut() {
-            fl.remaining.remove(&result.job.id.0);
-        }
         self.stats.executed_jobs += 1;
-        self.done.insert(result.job.id, result);
-        Ok(())
+        self.done.insert(id, result);
+        Ok(true)
+    }
+
+    /// Removes the one assigned copy of `id` that `worker` just reported
+    /// on (result or failure), leaving any duplicate-execution copy
+    /// tracked elsewhere.
+    fn clear_copy(&mut self, worker: WorkerId, id: u64) {
+        for fl in self.inflight.values_mut() {
+            if fl.worker == worker && fl.remaining.remove(&id).is_some() {
+                fl.last_result = Instant::now();
+                return;
+            }
+        }
+    }
+
+    /// Records one strike against `id` and quarantines it at the limit.
+    fn strike(&mut self, id: u64, error: JobError) -> StrikeOutcome {
+        if self.done.contains_key(&JobId(id)) || self.quarantined.contains_key(&id) {
+            return StrikeOutcome::Settled;
+        }
+        self.stats.job_failures += 1;
+        let strikes = self.failures.entry(id).or_default();
+        strikes.push(error);
+        if strikes.len() >= self.max_job_failures {
+            self.quarantine(id);
+            StrikeOutcome::Quarantined
+        } else {
+            StrikeOutcome::Retry
+        }
+    }
+
+    /// Pulls `id` out of the sweep entirely: every queued copy dropped,
+    /// every assigned copy revoked, the verify slot cancelled, and the
+    /// job recorded in the manifest with its strikes.
+    fn quarantine(&mut self, id: u64) {
+        let strikes = self.failures.remove(&id).unwrap_or_default();
+        eprintln!(
+            "fleet coordinator: quarantining job {id} after {} strike(s); last: {}",
+            strikes.len(),
+            strikes.last().map_or_else(String::new, |s| s.to_string()),
+        );
+        for batch in &mut self.pending {
+            batch.retain(|j| j.id.0 != id);
+        }
+        self.pending.retain(|batch| !batch.is_empty());
+        let holders: Vec<WorkerId> = self
+            .inflight
+            .values_mut()
+            .filter_map(|fl| fl.remaining.remove(&id).map(|_| fl.worker))
+            .collect();
+        for worker in holders {
+            if let Some(conn) = self.workers.get_mut(&worker) {
+                let _ = wire::write_frame(&mut conn.writer, &Frame::Revoke { jobs: vec![id] });
+            }
+        }
+        self.verify_pending.remove(&id);
+        let job = self
+            .jobs_by_id
+            .get(&id)
+            .cloned()
+            .expect("a struck job is always a plan job");
+        self.stats.jobs_quarantined += 1;
+        self.quarantined
+            .insert(id, QuarantineEntry { job, strikes });
     }
 
     /// Gives `worker` its next shard: pull from the queue, or steal the
@@ -380,15 +593,16 @@ impl Coordinator {
             Inflight {
                 worker,
                 remaining: jobs.into_iter().map(|j| (j.id.0, j)).collect(),
+                last_result: Instant::now(),
             },
         );
     }
 
     /// Removes a worker and requeues the unfinished jobs of its shards.
-    fn lose_worker(&mut self, worker: WorkerId) {
-        let Some(conn) = self.workers.remove(&worker) else {
-            return;
-        };
+    /// Returns the worker's name if the coordinator spawned its process
+    /// (so the caller can kill a wedged child and trigger a respawn).
+    fn lose_worker(&mut self, worker: WorkerId) -> Option<String> {
+        let conn = self.workers.remove(&worker)?;
         let _ = conn.writer.shutdown(Shutdown::Both);
         self.stats.workers_lost += 1;
         eprintln!(
@@ -410,6 +624,7 @@ impl Coordinator {
                     .push_front(fl.remaining.into_values().collect());
             }
         }
+        conn.spawned.then_some(conn.name)
     }
 
     fn dispatch_idle(&mut self) {
@@ -510,6 +725,11 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
         stats: DistStats::default(),
         checkpoint: None,
         total: plan.len(),
+        jobs_by_id: BTreeMap::new(),
+        failures: BTreeMap::new(),
+        quarantined: BTreeMap::new(),
+        verify_pending: BTreeMap::new(),
+        max_job_failures: config.max_job_failures.max(1),
     };
 
     if let Some(path) = &config.checkpoint {
@@ -535,12 +755,36 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
         return Ok(DistReport {
             store: ResultStore::new(coordinator.done.into_values().collect()),
             stats: coordinator.stats,
+            quarantine: QuarantineManifest::default(),
         });
     }
+    coordinator.jobs_by_id = pending_jobs.iter().map(|j| (j.id.0, j.clone())).collect();
     let batch_size = config
         .batch_size
         .unwrap_or_else(|| default_batch_size(pending_jobs.len(), config.spawn_workers));
     coordinator.pending = chunk_batches(&pending_jobs, batch_size);
+
+    // Duplicate-execution sampling: the verify set is a pure function of
+    // (job id, plan fingerprint), so reruns of the same sweep verify the
+    // same jobs. Second copies ride at the back of the queue — the
+    // first-result-wins merge makes them invisible in the output, and
+    // the byte-compare in `handle_result` turns bit-determinism into a
+    // corruption detector.
+    if config.verify_fraction > 0.0 {
+        let threshold = (config.verify_fraction.min(1.0) * 1_000_000.0) as u64;
+        let verify_jobs: Vec<SweepJob> = pending_jobs
+            .iter()
+            .filter(|j| faultnet::splitmix64(j.id.0 ^ fingerprint) % 1_000_000 < threshold)
+            .cloned()
+            .collect();
+        coordinator.stats.verify_jobs = verify_jobs.len();
+        for job in &verify_jobs {
+            coordinator.verify_pending.insert(job.id.0, None);
+        }
+        for batch in chunk_batches(&verify_jobs, batch_size) {
+            coordinator.pending.push_back(batch);
+        }
+    }
 
     // --- plumbing: listener, accept/reader threads, spawned children. ---
     let listener = match &config.listen {
@@ -625,15 +869,25 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
         None
     };
     for k in 0..config.spawn_workers {
-        let extra = config.worker_extra_args.get(k).cloned().unwrap_or_default();
+        let mut extra = config.worker_extra_args.get(k).cloned().unwrap_or_default();
+        if let Some(chaos) = config.chaos {
+            extra.extend([
+                "--chaos-seed".to_string(),
+                faultnet::derive_worker_seed(chaos.seed, k as u64).to_string(),
+                "--chaos-profile".to_string(),
+                chaos.profile.name.to_string(),
+            ]);
+        }
+        let name = format!("spawned-{k}");
         match spawn_worker(
             binary.as_ref().expect("binary resolved when spawning"),
             &local_addr,
-            &format!("spawned-{k}"),
+            &name,
             &extra,
         ) {
             Ok(child) => {
                 children.push(ChildSlot {
+                    name,
                     child,
                     exited: false,
                 });
@@ -648,9 +902,12 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
 
     // --- the scheduling loop. -------------------------------------------
     let mut respawns_used = 0usize;
+    let mut respawn_queue = 0usize;
+    let mut respawn_backoff = RESPAWN_BACKOFF_FLOOR;
+    let mut next_respawn_at = Instant::now();
     let mut last_progress = Instant::now();
     let result: Result<(), DistError> = loop {
-        if coordinator.done.len() == coordinator.total {
+        if !coordinator.work_outstanding() {
             break Ok(());
         }
         match events_rx.recv_timeout(Duration::from_millis(200)) {
@@ -680,12 +937,13 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                 match frame {
                     Frame::Heartbeat => {}
                     Frame::Result { result } => {
-                        let fresh = !coordinator.done.contains_key(&result.job.id);
-                        if let Err(e) = coordinator.record_result(*result) {
-                            break Err(e);
-                        }
-                        if fresh {
-                            last_progress = Instant::now();
+                        match coordinator.handle_result(worker, *result) {
+                            Ok(fresh) => {
+                                if fresh {
+                                    last_progress = Instant::now();
+                                }
+                            }
+                            Err(e) => break Err(e),
                         }
                         if let Some(limit) = config.abort_after_results {
                             if coordinator.stats.executed_jobs >= limit {
@@ -694,6 +952,28 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                                 });
                             }
                         }
+                    }
+                    Frame::JobFailed { job, error } => {
+                        eprintln!(
+                            "fleet coordinator: job {job} failed on worker {}: {error}",
+                            coordinator
+                                .workers
+                                .get(&worker)
+                                .map_or("?", |c| c.name.as_str()),
+                        );
+                        coordinator.clear_copy(worker, job);
+                        if matches!(coordinator.strike(job, error), StrikeOutcome::Retry) {
+                            // Retry rides at the back so healthy work
+                            // drains first; a fresh worker (or the same
+                            // one, later) gets another attempt.
+                            if let Some(j) = coordinator.jobs_by_id.get(&job).cloned() {
+                                coordinator.pending.push_back(vec![j]);
+                            }
+                        }
+                        coordinator.dispatch_idle();
+                        // A contained failure is still forward progress:
+                        // the worker lives and the job is accounted for.
+                        last_progress = Instant::now();
                     }
                     Frame::BatchDone { batch } => {
                         if let Some(conn) = coordinator.workers.get_mut(&worker) {
@@ -741,54 +1021,111 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
         for worker in timed_out {
             coordinator.lose_worker(worker);
         }
-        let mut replacements: Vec<ChildSlot> = Vec::new();
+
+        // Per-job deadline: a shard that stops yielding results is stuck
+        // on its first remaining id (in-shard execution is serial and
+        // id-ordered). The job gets a strike, and the worker — which may
+        // be wedged in a loop its heartbeat thread happily outlives — is
+        // dropped; killing its spawned process routes it through the
+        // ordinary crash-respawn path below.
+        if let Some(deadline) = config.job_deadline {
+            let expired: Vec<u32> = coordinator
+                .inflight
+                .iter()
+                .filter(|(_, fl)| !fl.remaining.is_empty() && fl.last_result.elapsed() > deadline)
+                .map(|(&batch, _)| batch)
+                .collect();
+            for batch in expired {
+                let Some(fl) = coordinator.inflight.get(&batch) else {
+                    continue;
+                };
+                let stuck = *fl.remaining.keys().next().expect("filtered non-empty");
+                let victim = fl.worker;
+                coordinator.stats.deadline_strikes += 1;
+                let detail = format!(
+                    "no result within {deadline:?} on worker {}",
+                    coordinator
+                        .workers
+                        .get(&victim)
+                        .map_or("?", |c| c.name.as_str()),
+                );
+                coordinator.strike(
+                    stuck,
+                    JobError {
+                        kind: JobErrorKind::Deadline,
+                        detail,
+                    },
+                );
+                if let Some(name) = coordinator.lose_worker(victim) {
+                    for slot in children.iter_mut() {
+                        if slot.name == name && !slot.exited {
+                            // Reaped (and respawned) by try_wait below.
+                            let _ = slot.child.kill();
+                        }
+                    }
+                }
+                last_progress = Instant::now();
+            }
+        }
+
         for slot in &mut children {
             if slot.exited {
                 continue;
             }
             if let Ok(Some(status)) = slot.child.try_wait() {
                 slot.exited = true;
-                let crashed = !status.success();
-                if crashed
-                    && coordinator.remaining_work() > 0
-                    && respawns_used < config.max_respawns
-                {
-                    respawns_used += 1;
-                    let name = format!("spawned-{spawned_total}");
-                    spawned_total += 1;
-                    match spawn_worker(
-                        binary.as_ref().expect("respawn implies spawned workers"),
-                        &local_addr,
-                        &name,
-                        &[],
-                    ) {
-                        Ok(child) => {
-                            coordinator.stats.workers_respawned += 1;
-                            replacements.push(ChildSlot {
-                                child,
-                                exited: false,
-                            });
-                        }
-                        Err(e) => {
-                            // A failed respawn can never be retried (no
-                            // further child-exit events will fire), so
-                            // exhaust the budget: the no-workers check
-                            // below then errors promptly instead of
-                            // idling into a misleading stall timeout.
-                            respawns_used = config.max_respawns;
-                            eprintln!("fleet coordinator: respawn failed: {e}");
-                        }
-                    }
+                if !status.success() && coordinator.work_outstanding() {
+                    respawn_queue += 1;
                 }
             }
         }
-        children.extend(replacements);
+        // Drain the respawn queue. A failed attempt consumes one unit of
+        // the budget and is retried after a bounded backoff — never
+        // written off wholesale, so a transiently missing binary or a
+        // brief fork failure costs attempts, not the whole budget.
+        while respawn_queue > 0
+            && coordinator.work_outstanding()
+            && respawns_used < config.max_respawns
+            && Instant::now() >= next_respawn_at
+        {
+            respawns_used += 1;
+            let name = format!("spawned-{spawned_total}");
+            match spawn_worker(
+                binary.as_ref().expect("respawn implies spawned workers"),
+                &local_addr,
+                &name,
+                &config.respawn_extra_args,
+            ) {
+                Ok(child) => {
+                    spawned_total += 1;
+                    respawn_queue -= 1;
+                    respawn_backoff = RESPAWN_BACKOFF_FLOOR;
+                    coordinator.stats.workers_respawned += 1;
+                    children.push(ChildSlot {
+                        name,
+                        child,
+                        exited: false,
+                    });
+                }
+                Err(e) => {
+                    coordinator.stats.respawn_failures += 1;
+                    next_respawn_at = Instant::now() + respawn_backoff;
+                    eprintln!(
+                        "fleet coordinator: respawn failed ({respawns_used} of {} budget used, \
+                         retrying in {respawn_backoff:?}): {e}",
+                        config.max_respawns,
+                    );
+                    respawn_backoff = (respawn_backoff * 2).min(RESPAWN_BACKOFF_CEIL);
+                    break;
+                }
+            }
+        }
         coordinator.dispatch_idle();
 
         if coordinator.workers.is_empty()
             && children.iter().all(|slot| slot.exited)
             && config.listen.is_none()
-            && (respawns_used >= config.max_respawns || config.spawn_workers == 0)
+            && (respawn_queue == 0 || respawns_used >= config.max_respawns)
         {
             break Err(DistError::NoWorkers(
                 "every spawned worker exited and the respawn budget is spent".into(),
@@ -807,6 +1144,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
     Ok(DistReport {
         store: ResultStore::new(coordinator.done.into_values().collect()),
         stats: coordinator.stats,
+        quarantine: QuarantineManifest::new(coordinator.quarantined.into_values().collect()),
     })
 }
 

@@ -1,0 +1,509 @@
+//! Deterministic fault injection for the worker→coordinator stream.
+//!
+//! Chaos testing is only useful if a failing run can be replayed: every
+//! fault decision here is a **pure function of `(seed, frame_index)`** —
+//! no clocks, no OS randomness — so a chaos run with a pinned seed
+//! injects byte-for-byte the same faults every time, on every machine.
+//!
+//! [`FaultTransport`] wraps a worker's outbound byte stream and, per
+//! data frame, either delivers it intact or applies one
+//! [`FaultAction`]: drop, duplicate, delay, truncate mid-frame, or flip
+//! one payload bit. Rates come from a named [`ChaosProfile`]
+//! (`--chaos-profile`), the decision stream from `--chaos-seed`.
+//!
+//! Two exemptions keep chaos runs *terminating* without weakening what
+//! they test:
+//!
+//! - [`Frame::Heartbeat`] is never faulted (and never advances the fault
+//!   index). Losing heartbeats only tests the liveness timeout — already
+//!   covered directly — while making every chaos run flaky.
+//! - [`Frame::BatchDone`] is never dropped or duplicated (truncation,
+//!   corruption, and delay still apply). A silently vanished BatchDone
+//!   would strand the batch's defensive requeue until the *connection*
+//!   died, turning a lossy link into a stall instead of recovered work.
+//!
+//! Dropped results are recovered by the coordinator's BatchDone
+//! defensive requeue; truncated frames kill the connection (the
+//! transport refuses further writes, the worker exits, the coordinator
+//! requeues and respawns); bit-flips are caught by the wire v4 frame
+//! checksum and likewise surface as a dead connection — never as a
+//! wrong result.
+
+use std::io::Write;
+use std::time::Duration;
+
+use crate::wire::{self, Frame, WireError};
+
+/// Per-frame fault rates, in **per-mille** (so profiles stay integral
+/// and hash-derived rolls need no floating point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// Name accepted by `--chaos-profile`.
+    pub name: &'static str,
+    /// Chance a droppable frame (Result / JobFailed) vanishes.
+    pub drop_per_mille: u32,
+    /// Chance a droppable frame is sent twice.
+    pub duplicate_per_mille: u32,
+    /// Chance a frame is delayed before sending.
+    pub delay_per_mille: u32,
+    /// Upper bound on an injected delay.
+    pub max_delay_ms: u64,
+    /// Chance the frame is cut mid-bytes (kills the connection).
+    pub truncate_per_mille: u32,
+    /// Chance one payload bit is flipped (caught by the frame checksum).
+    pub bitflip_per_mille: u32,
+}
+
+/// The named profiles accepted by `--chaos-profile`.
+pub const PROFILES: &[ChaosProfile] = &[
+    ChaosProfile {
+        name: "mild",
+        drop_per_mille: 15,
+        duplicate_per_mille: 10,
+        delay_per_mille: 30,
+        max_delay_ms: 150,
+        truncate_per_mille: 4,
+        bitflip_per_mille: 4,
+    },
+    ChaosProfile {
+        name: "storm",
+        drop_per_mille: 80,
+        duplicate_per_mille: 60,
+        delay_per_mille: 80,
+        max_delay_ms: 300,
+        truncate_per_mille: 20,
+        bitflip_per_mille: 20,
+    },
+    ChaosProfile {
+        name: "drops",
+        drop_per_mille: 250,
+        duplicate_per_mille: 0,
+        delay_per_mille: 0,
+        max_delay_ms: 0,
+        truncate_per_mille: 0,
+        bitflip_per_mille: 0,
+    },
+    ChaosProfile {
+        name: "corrupt",
+        drop_per_mille: 0,
+        duplicate_per_mille: 0,
+        delay_per_mille: 0,
+        max_delay_ms: 0,
+        truncate_per_mille: 30,
+        bitflip_per_mille: 60,
+    },
+];
+
+/// Looks up a [`ChaosProfile`] by its `--chaos-profile` name.
+pub fn profile(name: &str) -> Option<&'static ChaosProfile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+/// A chaos configuration: which profile, under which seed.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Base seed for the deterministic fault stream.
+    pub seed: u64,
+    /// The fault-rate profile.
+    pub profile: &'static ChaosProfile,
+}
+
+/// What happens to one outbound frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Send intact.
+    Deliver,
+    /// Never send (the frame vanishes).
+    Drop,
+    /// Send the same frame twice.
+    Duplicate,
+    /// Sleep, then send intact.
+    Delay(Duration),
+    /// Send only a prefix of the framed bytes, then refuse all further
+    /// writes — the stream is desynchronized beyond recovery.
+    Truncate {
+        /// Per-mille of the framed bytes to keep (clamped to at least
+        /// one byte and strictly less than the whole frame).
+        keep_per_mille: u32,
+    },
+    /// Flip one payload bit (the checksum header stays the original's,
+    /// so the receiver detects the corruption).
+    BitFlip {
+        /// Entropy used to pick the flipped bit, `entropy % payload_bits`.
+        entropy: u64,
+    },
+}
+
+/// SplitMix64 — the standard 64-bit finalizing mixer; one application
+/// per decision keeps the fault stream well distributed without state.
+/// Also used by the coordinator's duplicate-execution sampling.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the per-worker chaos seed the coordinator hands to spawned
+/// worker `index` from the sweep-level `--chaos-seed`, so each worker
+/// sees an independent but replayable fault stream.
+pub fn derive_worker_seed(base: u64, index: u64) -> u64 {
+    splitmix64(base ^ splitmix64(index.wrapping_add(1)))
+}
+
+/// Decides the fault for frame number `frame_index` under `(profile,
+/// seed)` — a pure function, the heart of replayability. `droppable`
+/// gates the drop/duplicate rates (see the module docs for why
+/// `BatchDone` must arrive exactly once if the connection lives).
+pub fn fault_for(
+    profile: &ChaosProfile,
+    seed: u64,
+    frame_index: u64,
+    droppable: bool,
+) -> FaultAction {
+    let mixed = splitmix64(seed ^ splitmix64(frame_index));
+    let roll = (mixed % 1000) as u32;
+    let entropy = splitmix64(mixed);
+    let mut threshold = 0;
+    if droppable {
+        threshold += profile.drop_per_mille;
+        if roll < threshold {
+            return FaultAction::Drop;
+        }
+        threshold += profile.duplicate_per_mille;
+        if roll < threshold {
+            return FaultAction::Duplicate;
+        }
+    }
+    threshold += profile.delay_per_mille;
+    if roll < threshold {
+        let ms = if profile.max_delay_ms == 0 {
+            0
+        } else {
+            entropy % profile.max_delay_ms
+        };
+        return FaultAction::Delay(Duration::from_millis(ms));
+    }
+    threshold += profile.truncate_per_mille;
+    if roll < threshold {
+        return FaultAction::Truncate {
+            keep_per_mille: (entropy % 1000) as u32,
+        };
+    }
+    threshold += profile.bitflip_per_mille;
+    if roll < threshold {
+        return FaultAction::BitFlip { entropy };
+    }
+    FaultAction::Deliver
+}
+
+/// A frame writer that injects deterministic faults. Wraps the worker's
+/// outbound stream; with no chaos configured it is a zero-overhead
+/// passthrough to [`wire::write_frame`].
+#[derive(Debug)]
+pub struct FaultTransport<W: Write> {
+    inner: W,
+    chaos: Option<ChaosSpec>,
+    frame_index: u64,
+    dead: bool,
+}
+
+impl<W: Write> FaultTransport<W> {
+    /// A faultless passthrough transport.
+    pub fn plain(inner: W) -> Self {
+        Self {
+            inner,
+            chaos: None,
+            frame_index: 0,
+            dead: false,
+        }
+    }
+
+    /// A transport injecting `spec`'s fault stream.
+    pub fn chaotic(inner: W, spec: ChaosSpec) -> Self {
+        Self {
+            inner,
+            chaos: Some(spec),
+            frame_index: 0,
+            dead: false,
+        }
+    }
+
+    /// Sends one frame, applying this transport's fault stream.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on stream failure, or on any send after an
+    /// injected truncation (the stream is desynchronized; the caller
+    /// must treat the connection as lost).
+    pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        if self.dead {
+            return Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "chaos: stream desynchronized by an earlier truncated frame",
+            )));
+        }
+        let Some(spec) = self.chaos else {
+            return wire::write_frame(&mut self.inner, frame);
+        };
+        if matches!(frame, Frame::Heartbeat) {
+            return wire::write_frame(&mut self.inner, frame);
+        }
+        let droppable = matches!(frame, Frame::Result { .. } | Frame::JobFailed { .. });
+        let action = fault_for(spec.profile, spec.seed, self.frame_index, droppable);
+        self.frame_index += 1;
+        match action {
+            FaultAction::Deliver => wire::write_frame(&mut self.inner, frame),
+            FaultAction::Drop => Ok(()),
+            FaultAction::Duplicate => {
+                wire::write_frame(&mut self.inner, frame)?;
+                wire::write_frame(&mut self.inner, frame)
+            }
+            FaultAction::Delay(pause) => {
+                std::thread::sleep(pause);
+                wire::write_frame(&mut self.inner, frame)
+            }
+            FaultAction::Truncate { keep_per_mille } => {
+                let framed = framed_bytes(frame);
+                let keep = (framed.len() * keep_per_mille as usize / 1000)
+                    .max(1)
+                    .min(framed.len() - 1);
+                self.inner.write_all(&framed[..keep])?;
+                self.inner.flush()?;
+                self.dead = true;
+                Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    format!(
+                        "chaos: frame truncated after {keep} of {} bytes",
+                        framed.len()
+                    ),
+                )))
+            }
+            FaultAction::BitFlip { entropy } => {
+                let mut framed = framed_bytes(frame);
+                let payload_bits = (framed.len() as u64 - 8) * 8;
+                let bit = entropy % payload_bits;
+                framed[8 + (bit / 8) as usize] ^= 1 << (bit % 8);
+                self.inner.write_all(&framed)?;
+                self.inner.flush()?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The exact bytes [`wire::write_frame`] would put on the stream.
+fn framed_bytes(frame: &Frame) -> Vec<u8> {
+    let payload = wire::encode_frame(frame);
+    let mut framed = Vec::with_capacity(8 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&wire::payload_checksum(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{read_frame, JobError, JobErrorKind};
+
+    fn storm() -> &'static ChaosProfile {
+        profile("storm").expect("storm profile exists")
+    }
+
+    fn sample_failed(job: u64) -> Frame {
+        Frame::JobFailed {
+            job,
+            error: JobError {
+                kind: JobErrorKind::Panic,
+                detail: "boom".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn fault_decisions_are_a_pure_function_of_seed_and_index() {
+        for index in 0..2000 {
+            assert_eq!(
+                fault_for(storm(), 0xfeed, index, true),
+                fault_for(storm(), 0xfeed, index, true),
+            );
+        }
+        // Different seeds must not replay the same fault stream.
+        let a: Vec<_> = (0..500).map(|i| fault_for(storm(), 1, i, true)).collect();
+        let b: Vec<_> = (0..500).map(|i| fault_for(storm(), 2, i, true)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn storm_profile_exercises_every_fault_kind() {
+        let mut drops = 0;
+        let mut dups = 0;
+        let mut delays = 0;
+        let mut truncs = 0;
+        let mut flips = 0;
+        for index in 0..5000 {
+            match fault_for(storm(), 7, index, true) {
+                FaultAction::Drop => drops += 1,
+                FaultAction::Duplicate => dups += 1,
+                FaultAction::Delay(_) => delays += 1,
+                FaultAction::Truncate { .. } => truncs += 1,
+                FaultAction::BitFlip { .. } => flips += 1,
+                FaultAction::Deliver => {}
+            }
+        }
+        assert!(drops > 0 && dups > 0 && delays > 0 && truncs > 0 && flips > 0);
+    }
+
+    #[test]
+    fn non_droppable_frames_are_never_dropped_or_duplicated() {
+        for index in 0..5000 {
+            let action = fault_for(storm(), 7, index, false);
+            assert!(!matches!(
+                action,
+                FaultAction::Drop | FaultAction::Duplicate
+            ));
+        }
+    }
+
+    #[test]
+    fn plain_transport_is_a_passthrough() {
+        let mut transport = FaultTransport::plain(Vec::new());
+        transport.send(&sample_failed(1)).expect("send");
+        let mut cursor = std::io::Cursor::new(transport.inner);
+        assert_eq!(read_frame(&mut cursor).expect("read"), sample_failed(1));
+    }
+
+    #[test]
+    fn heartbeats_bypass_the_fault_stream() {
+        // Even a profile that drops everything must deliver heartbeats.
+        const ALL_DROP: ChaosProfile = ChaosProfile {
+            name: "all-drop",
+            drop_per_mille: 1000,
+            duplicate_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ms: 0,
+            truncate_per_mille: 0,
+            bitflip_per_mille: 0,
+        };
+        let mut transport = FaultTransport::chaotic(
+            Vec::new(),
+            ChaosSpec {
+                seed: 3,
+                profile: &ALL_DROP,
+            },
+        );
+        for _ in 0..10 {
+            transport.send(&Frame::Heartbeat).expect("send");
+            transport.send(&sample_failed(5)).expect("dropped silently");
+        }
+        let mut cursor = std::io::Cursor::new(transport.inner);
+        for _ in 0..10 {
+            assert_eq!(read_frame(&mut cursor).expect("read"), Frame::Heartbeat);
+        }
+        assert!(matches!(read_frame(&mut cursor), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn truncation_kills_the_transport_and_the_receiver_sees_garbage() {
+        const ALL_TRUNC: ChaosProfile = ChaosProfile {
+            name: "all-trunc",
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ms: 0,
+            truncate_per_mille: 1000,
+            bitflip_per_mille: 0,
+        };
+        let mut transport = FaultTransport::chaotic(
+            Vec::new(),
+            ChaosSpec {
+                seed: 11,
+                profile: &ALL_TRUNC,
+            },
+        );
+        assert!(matches!(
+            transport.send(&sample_failed(9)),
+            Err(WireError::Io(_))
+        ));
+        // Every later send is refused: the byte stream is desynchronized.
+        assert!(matches!(
+            transport.send(&Frame::BatchDone { batch: 0 }),
+            Err(WireError::Io(_))
+        ));
+        // The receiver cannot decode the torn bytes as a clean frame.
+        let torn = transport.inner;
+        assert!(torn.len() < framed_bytes(&sample_failed(9)).len());
+        let mut cursor = std::io::Cursor::new(torn);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn bitflips_are_caught_by_the_frame_checksum() {
+        const ALL_FLIP: ChaosProfile = ChaosProfile {
+            name: "all-flip",
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            delay_per_mille: 0,
+            max_delay_ms: 0,
+            truncate_per_mille: 0,
+            bitflip_per_mille: 1000,
+        };
+        let mut transport = FaultTransport::chaotic(
+            Vec::new(),
+            ChaosSpec {
+                seed: 13,
+                profile: &ALL_FLIP,
+            },
+        );
+        transport.send(&sample_failed(2)).expect("send ok");
+        let mut cursor = std::io::Cursor::new(transport.inner);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn duplicates_arrive_twice_and_byte_identical() {
+        const ALL_DUP: ChaosProfile = ChaosProfile {
+            name: "all-dup",
+            drop_per_mille: 0,
+            duplicate_per_mille: 1000,
+            delay_per_mille: 0,
+            max_delay_ms: 0,
+            truncate_per_mille: 0,
+            bitflip_per_mille: 0,
+        };
+        let mut transport = FaultTransport::chaotic(
+            Vec::new(),
+            ChaosSpec {
+                seed: 17,
+                profile: &ALL_DUP,
+            },
+        );
+        transport.send(&sample_failed(4)).expect("send");
+        let mut cursor = std::io::Cursor::new(transport.inner);
+        assert_eq!(read_frame(&mut cursor).expect("first"), sample_failed(4));
+        assert_eq!(read_frame(&mut cursor).expect("second"), sample_failed(4));
+    }
+
+    #[test]
+    fn worker_seeds_are_distinct_per_index() {
+        let seeds: Vec<u64> = (0..8).map(|k| derive_worker_seed(99, k)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in seeds.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(derive_worker_seed(99, 3), derive_worker_seed(99, 3));
+    }
+
+    #[test]
+    fn named_profiles_resolve_and_unknown_names_do_not() {
+        for p in PROFILES {
+            assert_eq!(profile(p.name).expect("known").name, p.name);
+        }
+        assert!(profile("warp").is_none());
+    }
+}

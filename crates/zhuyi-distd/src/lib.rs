@@ -16,7 +16,11 @@
 //! - [`worker`] — the worker loop (`fleet_shard`, or `fleet_sweep
 //!   --connect` on another host) executing jobs through the fleet
 //!   engine's metrics-only [`zhuyi_fleet::exec`] path;
-//! - [`cli`] — shared parsing/validation of the distribution flags.
+//! - [`cli`] — shared parsing/validation of the distribution flags;
+//! - [`faultnet`] — deterministic seeded fault injection over the wire
+//!   (chaos testing that replays exactly);
+//! - [`quarantine`] — the poisoned-job manifest behind the coordinator's
+//!   K-strikes graceful-degradation path.
 //!
 //! # Determinism
 //!
@@ -52,6 +56,8 @@
 pub mod checkpoint;
 pub mod cli;
 pub mod coord;
+pub mod faultnet;
+pub mod quarantine;
 pub mod wire;
 pub mod worker;
 
@@ -59,5 +65,7 @@ pub use checkpoint::{plan_fingerprint, CheckpointError, CheckpointWriter};
 pub use coord::{
     default_worker_binary, run_distributed, DistConfig, DistError, DistReport, DistStats,
 };
-pub use wire::{Frame, WireError, PROTOCOL_VERSION};
+pub use faultnet::{ChaosProfile, ChaosSpec, FaultTransport};
+pub use quarantine::{QuarantineEntry, QuarantineManifest};
+pub use wire::{Frame, JobError, JobErrorKind, WireError, PROTOCOL_VERSION};
 pub use worker::{run_worker, WorkerError, WorkerOptions, FAULT_EXIT_CODE};

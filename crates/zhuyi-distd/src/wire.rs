@@ -10,12 +10,17 @@
 //!
 //! # Framing
 //!
-//! Every frame is `u32-LE payload length` + payload; the payload is a
-//! one-byte [`Frame`] tag followed by tag-specific fields. Integers are
-//! little-endian, `f64`s travel as their IEEE-754 bit pattern
-//! ([`f64::to_bits`]) so results round-trip **bit-exactly** — the property
-//! the distributed==single-process byte-determinism guarantee rests on —
-//! and strings are `u32` length + UTF-8 bytes.
+//! Every frame is `u32-LE payload length` + `u32-LE FNV-1a checksum` +
+//! payload; the payload is a one-byte [`Frame`] tag followed by
+//! tag-specific fields. Integers are little-endian, `f64`s travel as
+//! their IEEE-754 bit pattern ([`f64::to_bits`]) so results round-trip
+//! **bit-exactly** — the property the distributed==single-process
+//! byte-determinism guarantee rests on — and strings are `u32` length +
+//! UTF-8 bytes. The checksum (see [`payload_checksum`]) turns in-flight
+//! payload corruption into a loud [`WireError::Malformed`] disconnect
+//! instead of a silently wrong result; the coordinator then requeues the
+//! dead connection's work, so the determinism guarantee survives a
+//! corrupting transport.
 //!
 //! # Session shape
 //!
@@ -25,6 +30,7 @@
 //!                                                (or Reject{reason} + close)
 //! coord  → Assign{batch, jobs}                  (repeatedly)
 //! worker → Result{job_result}                   (streamed, one per job)
+//! worker → JobFailed{job, error}                (contained panic / fault)
 //! worker → BatchDone{batch}
 //! worker → Heartbeat                            (periodic, from a side thread)
 //! coord  → Revoke{job_ids}                      (work stealing: skip if unstarted)
@@ -44,8 +50,9 @@ use av_scenarios::catalog::{Mrf, ScenarioId};
 use zhuyi_registry::{ScenarioDef, ScenarioSource};
 
 /// Protocol version sent in the handshake; bumped on any frame-layout
-/// change. Coordinator and worker must match exactly.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// change. Coordinator and worker must match exactly. v4 added per-frame
+/// payload checksums and the [`Frame::JobFailed`] error taxonomy.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Upper bound on a single frame's payload (defends both sides against a
 /// corrupt or hostile length prefix). Kept traces are the largest payload
@@ -80,6 +87,58 @@ impl std::error::Error for WireError {}
 impl From<std::io::Error> for WireError {
     fn from(e: std::io::Error) -> Self {
         WireError::Io(e)
+    }
+}
+
+/// FNV-1a (32-bit) over a frame payload — the per-frame integrity check
+/// written between the length prefix and the payload. Also used for
+/// checkpoint records, so both persisted and in-flight bytes share one
+/// corruption detector.
+pub fn payload_checksum(payload: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &byte in payload {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Why a job failed on a worker — the structured taxonomy carried by
+/// [`Frame::JobFailed`] and recorded per strike in the coordinator's
+/// quarantine manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobErrorKind {
+    /// The engine panicked while executing the job; the worker contained
+    /// the panic and kept serving its queue.
+    Panic,
+    /// The coordinator's per-job deadline expired without a result (the
+    /// job wedged, or its worker stopped making progress).
+    Deadline,
+}
+
+impl JobErrorKind {
+    /// Stable lower-case name used in exports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobErrorKind::Panic => "panic",
+            JobErrorKind::Deadline => "deadline",
+        }
+    }
+}
+
+/// One recorded job failure: what kind, plus a human-readable detail
+/// (panic message, deadline duration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// The failure class.
+    pub kind: JobErrorKind,
+    /// Free-text detail for logs and the quarantine manifest.
+    pub detail: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.name(), self.detail)
     }
 }
 
@@ -130,6 +189,15 @@ pub enum Frame {
     Result {
         /// The finished job and its outcome.
         result: Box<JobResult>,
+    },
+    /// Worker → coordinator: a job failed in a contained way (the worker
+    /// survives and keeps executing the rest of its batch). The
+    /// coordinator counts this as one strike against the job.
+    JobFailed {
+        /// Raw [`JobId`] of the failed job.
+        job: u64,
+        /// What went wrong.
+        error: JobError,
     },
     /// Worker → coordinator: every non-revoked job of the batch was
     /// executed and its result already streamed.
@@ -578,6 +646,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::Heartbeat => out.push(7),
         Frame::Shutdown => out.push(8),
+        Frame::JobFailed { job, error } => {
+            out.push(9);
+            put_u64(&mut out, *job);
+            out.push(match error.kind {
+                JobErrorKind::Panic => 0,
+                JobErrorKind::Deadline => 1,
+            });
+            put_str(&mut out, &error.detail);
+        }
     }
     out
 }
@@ -627,6 +704,19 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         6 => Frame::BatchDone { batch: r.u32()? },
         7 => Frame::Heartbeat,
         8 => Frame::Shutdown,
+        9 => Frame::JobFailed {
+            job: r.u64()?,
+            error: JobError {
+                kind: match r.u8()? {
+                    0 => JobErrorKind::Panic,
+                    1 => JobErrorKind::Deadline,
+                    other => {
+                        return Err(WireError::Malformed(format!("job-error tag {other}")));
+                    }
+                },
+                detail: r.string()?,
+            },
+        },
         other => return Err(WireError::Malformed(format!("frame tag {other}"))),
     };
     r.finish()?;
@@ -667,33 +757,43 @@ pub fn write_assign(
     write_payload(stream, &out)
 }
 
-fn write_payload(stream: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+pub(crate) fn write_payload(stream: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
     if payload.len() > MAX_FRAME_LEN as usize {
         return Err(WireError::FrameTooLarge(
             u32::try_from(payload.len()).unwrap_or(u32::MAX),
         ));
     }
     stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(&payload_checksum(payload).to_le_bytes())?;
     stream.write_all(payload)?;
     stream.flush()?;
     Ok(())
 }
 
-/// Reads one length-prefixed frame (blocking until complete).
+/// Reads one length-prefixed, checksummed frame (blocking until complete).
 ///
 /// # Errors
 ///
 /// [`WireError::Io`] on stream failure or EOF mid-frame;
-/// [`WireError::FrameTooLarge`] / [`WireError::Malformed`] on bad bytes.
+/// [`WireError::FrameTooLarge`] / [`WireError::Malformed`] on bad bytes,
+/// including any payload whose checksum does not match — a corrupted
+/// frame never decodes.
 pub fn read_frame(stream: &mut impl Read) -> Result<Frame, WireError> {
-    let mut len_bytes = [0u8; 4];
-    stream.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes);
+    let mut header = [0u8; 8];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+    let expected = u32::from_le_bytes(header[4..8].try_into().expect("4"));
     if len > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge(len));
     }
     let mut payload = vec![0u8; len as usize];
     stream.read_exact(&mut payload)?;
+    let actual = payload_checksum(&payload);
+    if actual != expected {
+        return Err(WireError::Malformed(format!(
+            "frame checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+        )));
+    }
     decode_frame(&payload)
 }
 
@@ -843,6 +943,20 @@ mod tests {
             Frame::BatchDone { batch: 7 },
             Frame::Heartbeat,
             Frame::Shutdown,
+            Frame::JobFailed {
+                job: 42,
+                error: JobError {
+                    kind: JobErrorKind::Panic,
+                    detail: "index out of bounds: the len is 3".into(),
+                },
+            },
+            Frame::JobFailed {
+                job: 7,
+                error: JobError {
+                    kind: JobErrorKind::Deadline,
+                    detail: "no result within 30s".into(),
+                },
+            },
         ];
         for frame in frames {
             let bytes = encode_frame(&frame);
@@ -919,5 +1033,35 @@ mod tests {
             read_frame(&mut cursor),
             Err(WireError::FrameTooLarge(_))
         ));
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_fail_the_frame_checksum() {
+        let frame = Frame::Result {
+            result: Box::new(sample_results().remove(0)),
+        };
+        let mut framed: Vec<u8> = Vec::new();
+        write_frame(&mut framed, &frame).expect("write into a Vec");
+        // Flip one bit in every payload byte position in turn (past the
+        // 8-byte len+checksum header); each corruption must be caught.
+        for pos in 8..framed.len() {
+            let mut corrupt = framed.clone();
+            corrupt[pos] ^= 0x10;
+            let mut cursor = std::io::Cursor::new(corrupt);
+            assert!(
+                matches!(read_frame(&mut cursor), Err(WireError::Malformed(_))),
+                "bit-flip at byte {pos} must be detected, not decoded"
+            );
+        }
+        // An intact frame still reads back.
+        let mut cursor = std::io::Cursor::new(framed);
+        assert_eq!(read_frame(&mut cursor).expect("clean read"), frame);
+    }
+
+    #[test]
+    fn checksum_is_a_pure_deterministic_function() {
+        assert_eq!(payload_checksum(b""), 0x811c_9dc5);
+        assert_eq!(payload_checksum(b"zhuyi"), payload_checksum(b"zhuyi"));
+        assert_ne!(payload_checksum(b"zhuyi"), payload_checksum(b"zhuyj"));
     }
 }

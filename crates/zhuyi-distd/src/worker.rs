@@ -9,13 +9,33 @@
 //! into an inbox, and a heartbeat ticker, so a multi-second simulation
 //! never reads as a crash and a revoke can overtake the jobs queued
 //! behind the one currently simulating.
+//!
+//! # Panic containment
+//!
+//! Engine panics are *contained*: `execute_with` runs under
+//! [`std::panic::catch_unwind`], a panicking job becomes a
+//! [`Frame::JobFailed`] with the panic message, and the worker moves on
+//! to the next job — one pathological job costs one strike at the
+//! coordinator, not a dead process and its whole queue. A custom panic
+//! hook keeps the contained backtrace off stderr while delegating
+//! anything *outside* job execution to the default hook.
+//!
+//! # Fault hooks
+//!
+//! All outbound frames go through a [`FaultTransport`], so a worker
+//! given `--chaos-seed`/`--chaos-profile` injects a deterministic fault
+//! stream into its own uplink. The remaining options (`fail_after`,
+//! `poison_job`, `wedge_job`, `corrupt_job`, `slow_start`) are test
+//! fault hooks; see [`WorkerOptions`].
 
-use crate::wire::{self, Frame, PROTOCOL_VERSION};
+use crate::faultnet::{ChaosSpec, FaultTransport};
+use crate::wire::{self, Frame, JobError, JobErrorKind, PROTOCOL_VERSION};
+use std::cell::{Cell, RefCell};
 use std::collections::{HashSet, VecDeque};
 use std::net::TcpStream;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Once};
 use std::time::Duration;
-use zhuyi_fleet::{exec, ExecOptions, JobResult, SweepJob};
+use zhuyi_fleet::{exec, ExecOptions, JobOutcome, JobResult, SweepJob};
 
 /// Exit code of a worker whose `--fail-after` fault injection fired.
 pub const FAULT_EXIT_CODE: u8 = 17;
@@ -56,6 +76,24 @@ pub struct WorkerOptions {
     /// Fault injection: `process::exit(17)` after this many results were
     /// streamed — the hook the crash-recovery tests use.
     pub fail_after: Option<u32>,
+    /// Deterministic fault injection on every outbound frame (the
+    /// `--chaos-seed`/`--chaos-profile` flags).
+    pub chaos: Option<ChaosSpec>,
+    /// Test fault hook: executing this job id panics (inside the
+    /// containment boundary, so it surfaces as [`Frame::JobFailed`]).
+    pub poison_job: Option<u64>,
+    /// Test fault hook: executing this job id never returns (exercises
+    /// the coordinator's per-job deadline).
+    pub wedge_job: Option<u64>,
+    /// Test fault hook `(job, delta)`: results for this job id are
+    /// perturbed by `delta * n` on the n-th corruption this process
+    /// performs — so any two executions (same worker or not, given
+    /// distinct deltas) disagree, which duplicate-execution
+    /// cross-checking must catch.
+    pub corrupt_job: Option<(u64, u64)>,
+    /// Test hook: sleep this long before connecting, pinning the order
+    /// of worker startup against coordinator-side events in tests.
+    pub slow_start: Option<Duration>,
     /// Heartbeat period (default 1s).
     pub heartbeat_interval: Duration,
 }
@@ -68,8 +106,86 @@ impl WorkerOptions {
             name: format!("worker-{}", std::process::id()),
             spawned: false,
             fail_after: None,
+            chaos: None,
+            poison_job: None,
+            wedge_job: None,
+            corrupt_job: None,
+            slow_start: None,
             heartbeat_interval: Duration::from_secs(1),
         }
+    }
+}
+
+thread_local! {
+    /// True while this thread is inside the job-execution containment
+    /// boundary (panics are captured, not printed).
+    static CONTAINING: Cell<bool> = const { Cell::new(false) };
+    /// The captured message of the last contained panic on this thread.
+    static PANIC_MESSAGE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs the process-wide containment-aware panic hook exactly once:
+/// contained panics are captured silently for the [`Frame::JobFailed`]
+/// detail; everything else goes to the previously installed hook.
+fn install_containment_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if CONTAINING.with(Cell::get) {
+                PANIC_MESSAGE.with(|m| *m.borrow_mut() = Some(info.to_string()));
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Executes one job inside the containment boundary, applying the
+/// poison/wedge test hooks; a panic comes back as its message.
+fn execute_contained(
+    job: &SweepJob,
+    exec_options: ExecOptions,
+    options: &WorkerOptions,
+) -> Result<JobOutcome, String> {
+    CONTAINING.with(|c| c.set(true));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if options.poison_job == Some(job.id.0) {
+            panic!("injected test fault: poisoned job {}", job.id.0);
+        }
+        if options.wedge_job == Some(job.id.0) {
+            // Never returns: the coordinator's per-job deadline is the
+            // only way out.
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        exec::execute_with(&job.spec, exec_options)
+    }));
+    CONTAINING.with(|c| c.set(false));
+    outcome.map_err(|payload| {
+        PANIC_MESSAGE
+            .with(|m| m.borrow_mut().take())
+            .unwrap_or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string())
+            })
+    })
+}
+
+/// Applies the `corrupt_job` test perturbation: a visible, kind-specific
+/// nudge that a duplicate execution (with a different strike value)
+/// cannot reproduce.
+fn corrupt_outcome(outcome: &mut JobOutcome, amount: u64) {
+    match outcome {
+        JobOutcome::Probe(p) => {
+            p.duration = av_core::units::Seconds(p.duration.value() + amount as f64);
+        }
+        JobOutcome::MinSafeFpr(m) => m.sims_run += amount as u32,
+        JobOutcome::Analysis(a) => a.steps += amount as usize,
     }
 }
 
@@ -89,6 +205,10 @@ struct Inbox {
 /// See [`WorkerError`]. Never panics on protocol garbage — malformed
 /// frames surface as [`WorkerError::ConnectionLost`].
 pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
+    install_containment_hook();
+    if let Some(delay) = options.slow_start {
+        std::thread::sleep(delay);
+    }
     // A spawned worker can race the coordinator's accept loop by a few
     // milliseconds; an external one may be started just before the
     // coordinator. A short retry window forgives both.
@@ -136,11 +256,16 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
     };
     let _ = stream.set_read_timeout(None);
 
-    let writer = Arc::new(Mutex::new(
-        stream
-            .try_clone()
-            .map_err(|e| WorkerError::Connect(e.to_string()))?,
-    ));
+    let write_half = stream
+        .try_clone()
+        .map_err(|e| WorkerError::Connect(e.to_string()))?;
+    // The handshake above went out clean; chaos (if any) starts at the
+    // first post-handshake frame, so a session always establishes.
+    let transport = match options.chaos {
+        Some(spec) => FaultTransport::chaotic(write_half, spec),
+        None => FaultTransport::plain(write_half),
+    };
+    let writer = Arc::new(Mutex::new(transport));
     let inbox = Arc::new((Mutex::new(Inbox::default()), Condvar::new()));
 
     // Reader: coordinator frames → inbox.
@@ -184,7 +309,7 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
         std::thread::spawn(move || loop {
             std::thread::sleep(interval);
             let mut w = writer.lock().expect("writer poisoned");
-            if wire::write_frame(&mut *w, &Frame::Heartbeat).is_err() {
+            if w.send(&Frame::Heartbeat).is_err() {
                 return;
             }
         });
@@ -192,6 +317,7 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
 
     let mut executed: u64 = 0;
     let mut streamed_results: u32 = 0;
+    let mut corruptions: u64 = 0;
     loop {
         let batch = {
             let (lock, signal) = &*inbox;
@@ -224,29 +350,50 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
             if revoked {
                 continue;
             }
-            let outcome = exec::execute_with(&job.spec, exec_options);
-            let result = JobResult { job, outcome };
-            {
-                let mut w = writer.lock().expect("writer poisoned");
-                if let Err(e) = wire::write_frame(
-                    &mut *w,
-                    &Frame::Result {
-                        result: Box::new(result),
-                    },
-                ) {
-                    return Err(WorkerError::ConnectionLost(e.to_string()));
+            let job_id = job.id.0;
+            match execute_contained(&job, exec_options, options) {
+                Ok(mut outcome) => {
+                    if let Some((target, delta)) = options.corrupt_job {
+                        if target == job_id {
+                            corruptions += 1;
+                            corrupt_outcome(&mut outcome, delta * corruptions);
+                        }
+                    }
+                    let result = JobResult { job, outcome };
+                    {
+                        let mut w = writer.lock().expect("writer poisoned");
+                        if let Err(e) = w.send(&Frame::Result {
+                            result: Box::new(result),
+                        }) {
+                            return Err(WorkerError::ConnectionLost(e.to_string()));
+                        }
+                    }
+                    executed += 1;
+                    streamed_results += 1;
+                    if options.fail_after == Some(streamed_results) {
+                        // Fault injection: die *hard*, mid-batch, exactly
+                        // like a crashed or OOM-killed process would.
+                        std::process::exit(i32::from(FAULT_EXIT_CODE));
+                    }
                 }
-            }
-            executed += 1;
-            streamed_results += 1;
-            if options.fail_after == Some(streamed_results) {
-                // Fault injection: die *hard*, mid-batch, exactly like a
-                // crashed or OOM-killed process would.
-                std::process::exit(i32::from(FAULT_EXIT_CODE));
+                Err(detail) => {
+                    // Contained panic: report the strike and keep serving
+                    // the rest of the batch — the process survives.
+                    let mut w = writer.lock().expect("writer poisoned");
+                    if let Err(e) = w.send(&Frame::JobFailed {
+                        job: job_id,
+                        error: JobError {
+                            kind: JobErrorKind::Panic,
+                            detail,
+                        },
+                    }) {
+                        return Err(WorkerError::ConnectionLost(e.to_string()));
+                    }
+                }
             }
         }
         let mut w = writer.lock().expect("writer poisoned");
-        if let Err(e) = wire::write_frame(&mut *w, &Frame::BatchDone { batch: batch_id }) {
+        if let Err(e) = w.send(&Frame::BatchDone { batch: batch_id }) {
             return Err(WorkerError::ConnectionLost(e.to_string()));
         }
     }

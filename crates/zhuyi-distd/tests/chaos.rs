@@ -1,0 +1,383 @@
+//! Chaos hardening: a distributed sweep under deterministic fault
+//! injection — dropped/delayed/duplicated/truncated/bit-flipped frames,
+//! hard worker crashes, poisoned (always-panicking) jobs, wedged jobs —
+//! must still terminate, quarantine exactly the poisoned work, and keep
+//! every *completed* job's exports byte-identical to a clean
+//! single-process run.
+//!
+//! Workers are real OS processes (the `fleet_shard` binary cargo builds
+//! alongside these tests), talking to the coordinator over loopback TCP.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use zhuyi_distd::wire::{self, Frame, JobErrorKind};
+use zhuyi_distd::{faultnet, run_distributed, ChaosSpec, DistConfig, DistError, PROTOCOL_VERSION};
+use zhuyi_fleet::{run_sweep, JobId, JobKind, JobSpec, RateSpec, ResultStore, SweepJob, SweepPlan};
+
+use av_scenarios::catalog::ScenarioId;
+
+/// The worker binary cargo built for this test run.
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_fleet_shard"))
+}
+
+/// A compact all-probe plan: 12 quick jobs across two scenarios.
+fn small_plan() -> SweepPlan {
+    SweepPlan::builder()
+        .scenarios([ScenarioId::CutOut, ScenarioId::VehicleFollowing])
+        .jittered_variants(3)
+        .probe(4.0, false)
+        .probe(30.0, false)
+        .build()
+}
+
+/// Every exported byte: per-job CSV ledger, JSON document, kept traces.
+fn fingerprint(store: &ResultStore) -> String {
+    let mut bytes = String::new();
+    bytes.push_str(&store.to_csv());
+    bytes.push_str(&store.to_json());
+    for (name, csv) in store.kept_traces() {
+        bytes.push_str(&name);
+        bytes.push_str(csv);
+    }
+    bytes
+}
+
+/// The single-process reference bytes with `drop_id` filtered out — what
+/// graceful degradation promises for the completed remainder.
+fn fingerprint_without(plan: &SweepPlan, drop_id: u64) -> String {
+    let full = run_sweep(plan, 1);
+    let kept: Vec<_> = full
+        .results()
+        .iter()
+        .filter(|r| r.job.id.0 != drop_id)
+        .cloned()
+        .collect();
+    fingerprint(&ResultStore::new(kept))
+}
+
+fn config() -> DistConfig {
+    DistConfig {
+        spawn_workers: 2,
+        worker_binary: Some(worker_binary()),
+        batch_size: Some(3),
+        ..DistConfig::default()
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zhuyi-chaos-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The acceptance scenario: a fault storm on every worker uplink, one
+/// worker crashing hard mid-sweep, one job that panics every time it is
+/// executed, and duplicate-execution sampling on top. The sweep must
+/// complete, quarantine exactly the poisoned job after exactly K
+/// strikes, and export the completed jobs byte-identically to a clean
+/// single-process run.
+#[test]
+fn storm_crash_and_poison_still_export_clean_bytes() {
+    let plan = small_plan();
+    let poisoned = 5u64;
+    let expected = fingerprint_without(&plan, poisoned);
+
+    let mut config = config();
+    config.spawn_workers = 3;
+    config.max_respawns = 8;
+    config.max_job_failures = 3;
+    config.verify_fraction = 0.25;
+    config.chaos = Some(ChaosSpec {
+        seed: 0xc4a0_5001,
+        profile: faultnet::profile("storm").expect("built-in profile"),
+    });
+    config.worker_extra_args = vec![
+        vec![
+            "--fail-after".into(),
+            "2".into(),
+            "--poison-job".into(),
+            poisoned.to_string(),
+        ],
+        vec!["--poison-job".into(), poisoned.to_string()],
+        vec!["--poison-job".into(), poisoned.to_string()],
+    ];
+    // Replacements stay poisoned (the job is bad everywhere) but run
+    // with a clean transport and no --fail-after, so the fleet heals.
+    config.respawn_extra_args = vec!["--poison-job".into(), poisoned.to_string()];
+
+    let report = run_distributed(&plan, &config).expect("sweep survives the storm");
+
+    assert_eq!(
+        fingerprint(&report.store),
+        expected,
+        "completed jobs must export the clean single-process bytes"
+    );
+    let stats = &report.stats;
+    assert_eq!(stats.jobs_quarantined, 1, "{stats:?}");
+    assert_eq!(
+        report.quarantine.len(),
+        1,
+        "exactly the poisoned job is quarantined"
+    );
+    let entry = &report.quarantine.entries()[0];
+    assert_eq!(entry.job.id.0, poisoned);
+    assert_eq!(
+        entry.strikes.len(),
+        3,
+        "quarantine takes exactly K strikes: {:?}",
+        entry.strikes
+    );
+    assert!(
+        entry
+            .strikes
+            .iter()
+            .all(|s| s.kind == JobErrorKind::Panic && s.detail.contains("poisoned job 5")),
+        "every strike is the contained panic: {:?}",
+        entry.strikes
+    );
+    assert_eq!(stats.job_failures, 3, "{stats:?}");
+    assert!(stats.verify_jobs > 0, "sampling must pick jobs: {stats:?}");
+}
+
+/// Panic containment alone (no chaos, no crash flags): poisoned-job
+/// strikes arrive as JobFailed frames from workers that stay alive, so
+/// quarantine engages without a single process loss.
+#[test]
+fn poisoned_job_is_quarantined_without_losing_workers() {
+    let plan = small_plan();
+    let poisoned = 2u64;
+    let expected = fingerprint_without(&plan, poisoned);
+
+    let mut config = config();
+    config.max_job_failures = 2;
+    config.worker_extra_args = vec![
+        vec!["--poison-job".into(), poisoned.to_string()],
+        vec!["--poison-job".into(), poisoned.to_string()],
+    ];
+
+    let report = run_distributed(&plan, &config).expect("sweep completes");
+    assert_eq!(fingerprint(&report.store), expected);
+    let stats = &report.stats;
+    assert_eq!(
+        stats.workers_lost, 0,
+        "containment means panics cost no processes: {stats:?}"
+    );
+    assert_eq!(stats.workers_respawned, 0, "{stats:?}");
+    assert_eq!(stats.job_failures, 2, "{stats:?}");
+    assert_eq!(stats.jobs_quarantined, 1, "{stats:?}");
+    assert_eq!(report.quarantine.entries()[0].job.id.0, poisoned);
+}
+
+/// A wedged job (executes forever) cannot panic its way to a strike —
+/// the per-job deadline must revoke it, strike it, and eventually
+/// quarantine it, while respawned workers finish the rest of the sweep.
+#[test]
+fn wedged_job_expires_deadlines_and_is_quarantined() {
+    let plan = small_plan();
+    let wedged = 4u64;
+    let expected = fingerprint_without(&plan, wedged);
+
+    let mut config = config();
+    config.spawn_workers = 1;
+    config.max_respawns = 4;
+    config.max_job_failures = 2;
+    config.job_deadline = Some(Duration::from_secs(1));
+    config.worker_extra_args = vec![vec!["--wedge-job".into(), wedged.to_string()]];
+    // Replacements inherit the wedge: the job is bad everywhere, so only
+    // quarantine (not a lucky clean worker) can finish the sweep.
+    config.respawn_extra_args = vec!["--wedge-job".into(), wedged.to_string()];
+
+    let report = run_distributed(&plan, &config).expect("deadlines unwedge the sweep");
+    assert_eq!(fingerprint(&report.store), expected);
+    let stats = &report.stats;
+    assert_eq!(stats.deadline_strikes, 2, "{stats:?}");
+    assert_eq!(stats.jobs_quarantined, 1, "{stats:?}");
+    assert!(
+        stats.workers_respawned >= 2,
+        "each expiry costs the wedged worker: {stats:?}"
+    );
+    let entry = &report.quarantine.entries()[0];
+    assert_eq!(entry.job.id.0, wedged);
+    assert!(
+        entry
+            .strikes
+            .iter()
+            .all(|s| s.kind == JobErrorKind::Deadline),
+        "{:?}",
+        entry.strikes
+    );
+}
+
+/// Duplicate-execution cross-checking must *detect* a worker that
+/// returns plausible-but-wrong bytes: every job is verified, both
+/// workers corrupt the same job (with different deltas, and growing
+/// per-process corruption, so no two executions ever agree), and the
+/// sweep must abort with a verification mismatch instead of exporting
+/// silently wrong data.
+#[test]
+fn verification_detects_a_corrupted_result() {
+    let plan = small_plan();
+    let corrupted = 3u64;
+
+    let mut config = config();
+    config.verify_fraction = 1.0;
+    config.worker_extra_args = vec![
+        vec!["--corrupt-job".into(), format!("{corrupted}:1")],
+        vec!["--corrupt-job".into(), format!("{corrupted}:2")],
+    ];
+
+    match run_distributed(&plan, &config) {
+        Err(DistError::VerifyMismatch { job }) => assert_eq!(job, corrupted),
+        other => panic!("corruption must fail verification, got {other:?}"),
+    }
+}
+
+/// With honest workers, full verification doubles the work and changes
+/// nothing: every job confirms, and the exports stay byte-identical to
+/// the single-process run.
+#[test]
+fn full_verification_confirms_every_job_and_exports_identically() {
+    let plan = small_plan();
+    let single = fingerprint(&run_sweep(&plan, 1));
+
+    let mut config = config();
+    config.verify_fraction = 1.0;
+    let report = run_distributed(&plan, &config).expect("verified sweep");
+    assert_eq!(fingerprint(&report.store), single);
+    let stats = &report.stats;
+    assert_eq!(stats.verify_jobs, plan.len(), "{stats:?}");
+    assert_eq!(stats.verify_confirmed, plan.len(), "{stats:?}");
+    assert!(report.quarantine.is_empty());
+}
+
+/// Regression for the respawn-failure path: a respawn attempt that
+/// fails to start (here: the worker binary vanishes) must not burn the
+/// whole respawn budget — the coordinator retries with backoff and
+/// heals once the binary is back.
+#[test]
+fn failed_respawn_is_retried_with_backoff() {
+    let plan = small_plan();
+    let single = fingerprint(&run_sweep(&plan, 1));
+    let dir = tmp_dir("respawn-retry");
+    let flaky = dir.join("fleet_shard_flaky");
+    std::fs::copy(worker_binary(), &flaky).expect("stage worker binary");
+
+    let mut config = config();
+    config.spawn_workers = 1;
+    config.worker_binary = Some(flaky.clone());
+    config.max_respawns = 20;
+    // The worker idles half a second before connecting, then crashes
+    // after its first result — while the binary is missing, so the first
+    // respawn attempt(s) must fail.
+    config.worker_extra_args = vec![vec![
+        "--slow-start".into(),
+        "500".into(),
+        "--fail-after".into(),
+        "1".into(),
+    ]];
+
+    let saboteur = {
+        let flaky = flaky.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            std::fs::remove_file(&flaky).expect("remove staged binary");
+            std::thread::sleep(Duration::from_millis(2500));
+            std::fs::copy(worker_binary(), &flaky).expect("restore staged binary");
+        })
+    };
+
+    let report = run_distributed(&plan, &config).expect("sweep heals after the binary returns");
+    saboteur.join().expect("saboteur thread");
+
+    assert_eq!(fingerprint(&report.store), single);
+    let stats = &report.stats;
+    assert!(
+        stats.respawn_failures >= 1,
+        "the missing binary must fail at least one attempt: {stats:?}"
+    );
+    assert!(stats.workers_respawned >= 1, "{stats:?}");
+    assert!(report.quarantine.is_empty());
+}
+
+/// Frame-level containment contract, pinned against a real worker by a
+/// scripted coordinator: a poisoned job yields JobFailed (not a dead
+/// process), the rest of the batch still executes, and the worker exits
+/// cleanly on Shutdown.
+#[test]
+fn contained_panic_reports_jobfailed_and_worker_survives() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let mut child = std::process::Command::new(worker_binary())
+        .args(["--connect", &addr, "--poison-job", "1"])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn worker");
+
+    let (mut stream, _) = listener.accept().expect("worker connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    assert!(matches!(
+        wire::read_frame(&mut stream).expect("hello"),
+        Frame::Hello { version, .. } if version == PROTOCOL_VERSION
+    ));
+    wire::write_frame(
+        &mut stream,
+        &Frame::Welcome {
+            batch_lanes: 0,
+            version: PROTOCOL_VERSION,
+            record_traces: false,
+        },
+    )
+    .expect("welcome");
+
+    let job = |id: u64| SweepJob {
+        id: JobId(id),
+        spec: JobSpec {
+            scenario: ScenarioId::VehicleFollowing.into(),
+            seed: 0,
+            kind: JobKind::Probe {
+                plan: RateSpec::Uniform(30.0),
+                keep_trace: false,
+            },
+        },
+    };
+    wire::write_frame(
+        &mut stream,
+        &Frame::Assign {
+            batch: 0,
+            jobs: vec![job(1), job(2)],
+        },
+    )
+    .expect("assign");
+
+    let mut failed = Vec::new();
+    let mut delivered = Vec::new();
+    loop {
+        match wire::read_frame(&mut stream).expect("worker frame") {
+            Frame::JobFailed { job, error } => {
+                assert_eq!(error.kind, JobErrorKind::Panic);
+                assert!(
+                    error.detail.contains("poisoned job 1"),
+                    "the panic message crosses the wire: {}",
+                    error.detail
+                );
+                failed.push(job);
+            }
+            Frame::Result { result } => delivered.push(result.job.id.0),
+            Frame::BatchDone { batch: 0 } => break,
+            Frame::Heartbeat => {}
+            other => panic!("unexpected worker frame {other:?}"),
+        }
+    }
+    assert_eq!(failed, vec![1], "the poisoned job fails exactly once");
+    assert_eq!(delivered, vec![2], "the healthy job still executes");
+
+    wire::write_frame(&mut stream, &Frame::Shutdown).expect("shutdown");
+    let status = child.wait().expect("worker exit");
+    assert!(
+        status.success(),
+        "a contained panic must not kill the worker: {status:?}"
+    );
+}

@@ -133,6 +133,106 @@ fn malformed_batch_lanes_values_are_rejected() {
 }
 
 #[test]
+fn malformed_chaos_values_are_rejected() {
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--chaos-seed", "lots"]),
+        "--chaos-seed",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--chaos-seed", "-1"]),
+        "--chaos-seed",
+    );
+    assert_rejected(
+        &fleet_sweep(&[
+            "--dist",
+            "--chaos-seed",
+            "7",
+            "--chaos-profile",
+            "hurricane",
+        ]),
+        "--chaos-profile",
+    );
+    // The unknown-profile message lists what is valid.
+    let out = fleet_sweep(&["--dist", "--chaos-seed", "7", "--chaos-profile", "bogus"]);
+    assert_rejected(&out, "storm");
+    assert_rejected(&fleet_sweep(&["--dist", "--chaos-seed"]), "expects a value");
+    assert_rejected(&fleet_shard(&["--chaos-seed", "many"]), "--chaos-seed");
+    assert_rejected(
+        &fleet_shard(&["--connect", "127.0.0.1:7700", "--chaos-profile", "storm"]),
+        "--chaos-seed",
+    );
+}
+
+#[test]
+fn chaos_and_verify_flags_require_dist() {
+    assert_rejected(&fleet_sweep(&["--chaos-seed", "7"]), "requires --dist");
+    assert_rejected(
+        &fleet_sweep(&["--max-job-failures", "3"]),
+        "requires --dist",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--verify-fraction", "0.5"]),
+        "requires --dist",
+    );
+    assert_rejected(&fleet_sweep(&["--fail-after", "2"]), "requires --dist");
+    // A profile without a seed has no fault stream to shape.
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--chaos-profile", "storm"]),
+        "--chaos-seed",
+    );
+    // A --connect worker takes its faults from fleet_shard flags, not
+    // these coordinator knobs.
+    assert_rejected(
+        &fleet_sweep(&["--connect", "127.0.0.1:7700", "--chaos-seed", "7"]),
+        "coordinator",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--connect", "127.0.0.1:7700", "--verify-fraction", "1"]),
+        "coordinator",
+    );
+}
+
+#[test]
+fn malformed_quarantine_and_verify_values_are_rejected() {
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--max-job-failures", "0"]),
+        "--max-job-failures",
+    );
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--max-job-failures", "three"]),
+        "--max-job-failures",
+    );
+    for bad in ["1.5", "-0.1", "nan", "inf", "half"] {
+        assert_rejected(
+            &fleet_sweep(&["--dist", "--verify-fraction", bad]),
+            "--verify-fraction",
+        );
+    }
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--fail-after", "0"]),
+        "--fail-after",
+    );
+}
+
+#[test]
+fn malformed_shard_fault_hooks_are_rejected() {
+    let base = ["--connect", "127.0.0.1:7700"];
+    let with = |extra: &[&str]| {
+        let mut args = base.to_vec();
+        args.extend_from_slice(extra);
+        fleet_shard(&args)
+    };
+    assert_rejected(&with(&["--poison-job", "five"]), "--poison-job");
+    assert_rejected(&with(&["--wedge-job", "-2"]), "--wedge-job");
+    assert_rejected(&with(&["--corrupt-job", "5:"]), "--corrupt-job");
+    assert_rejected(&with(&["--corrupt-job", "5:0"]), "--corrupt-job");
+    assert_rejected(&with(&["--corrupt-job", ":3"]), "--corrupt-job");
+    assert_rejected(&with(&["--corrupt-job", "x:y"]), "--corrupt-job");
+    assert_rejected(&with(&["--slow-start", "soon"]), "--slow-start");
+    assert_rejected(&with(&["--slow-start"]), "expects a value");
+}
+
+#[test]
 fn scenario_registry_flags_are_validated() {
     // The committed catalog ports, for cases that need a loadable dir.
     let catalog = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
