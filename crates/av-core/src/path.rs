@@ -679,13 +679,21 @@ impl Path {
             // A valid hint replaces the grid's ring search (and, on arc
             // paths, the whole azimuth-indexed machinery): the distance to
             // the hinted segment is already an upper bound on the optimum.
-            let seed = hint.as_ref().and_then(|h| h.seg).map(|h| {
-                let h = (h as usize).min(nseg - 1);
+            let hinted = hint
+                .as_ref()
+                .and_then(|h| h.seg)
+                .map(|h| (h as usize).min(nseg - 1));
+            let seed = hinted.map(|h| {
                 let mut d2 = f64::INFINITY;
                 let mut scratch = FrenetPose::default();
                 self.project_segments(point, h, h + 1, &mut d2, &mut scratch);
                 d2.sqrt()
             });
+            if let (Some(arc), Some(h), Some(upper)) = (self.arc, hinted, seed) {
+                if let Some(pose) = self.project_arc_seeded(point, &arc, h, upper) {
+                    break 'found pose;
+                }
+            }
             if let Some(grid) = &self.grid {
                 if seed.is_some() {
                     break 'found self.project_grid(point, grid, seed);
@@ -801,6 +809,112 @@ impl Path {
             d2_start = d2_end;
         }
         best
+    }
+
+    /// Hint-seeded arc projection: expand a certified vertex window
+    /// *outward from the hinted segment* instead of going through the
+    /// vertex grid or the azimuth index — no `atan2`, no cell walk, just
+    /// a handful of squared distances.
+    ///
+    /// Certification: every point of a segment lies within half the
+    /// segment's chord of one of its endpoints, so the winning segment
+    /// has a vertex within `b = upper + max_seg/2 (+ margin)` of the
+    /// query — and so does the hinted segment itself, which starts the
+    /// walk. The vertex distances `sqrt(R² + r² − 2·R·r·cos Δθ)` are a
+    /// function of the azimuth gap alone, so `{vertex: dist ≤ b}` is the
+    /// arc's intersection with one circular azimuth interval of
+    /// half-width `w = acos((R² + r² − b²)/(2·R·r))`; that intersection
+    /// can split into two index runs only when the interval's complement
+    /// fits strictly inside the sweep, i.e. `τ − 2w < sweep`. Requiring
+    /// `w ≤ (τ − sweep)/2` (checked in cosines — no `acos` — with a
+    /// millirad margin for the vertices' rounding off the ideal circle)
+    /// therefore makes the run contiguous, and the two outward walks
+    /// recover the complete certified hull. The hull (plus the
+    /// always-scanned extrapolating terminals) is then scanned ascending
+    /// with the strict-improvement rule — the classic scan's discipline
+    /// over a certified superset of every segment that could win, hence
+    /// bit-identical results.
+    ///
+    /// Returns `None` (caller falls back to the grid/azimuth machinery)
+    /// when the sweep reaches a full turn, the bound is too wide for the
+    /// contiguity argument, or the walk cannot even seat its start vertex
+    /// (float paranoia; mathematically impossible).
+    fn project_arc_seeded(
+        &self,
+        point: Vec2,
+        arc: &ArcIndex,
+        h: usize,
+        upper: f64,
+    ) -> Option<FrenetPose> {
+        use std::f64::consts::TAU;
+        let nseg = self.points.len() - 1;
+        let sweep = nseg as f64 * arc.seg_angle.abs();
+        let w_max = 0.5 * (TAU - sweep) - 1e-3;
+        if w_max <= 0.0 {
+            return None;
+        }
+        // `self.grid` always exists here: the seeded path only runs for
+        // polylines dense enough to have built one.
+        let max_seg = self.grid.as_ref()?.max_seg;
+        let b = upper + 0.5 * max_seg + 1e-6;
+        let r2 = (point - arc.center).norm_sq();
+        // `w ≤ w_max` ⟺ `cos w ≥ cos w_max` (both in [0, π]); `cos w`
+        // from the law of cosines without ever taking the `acos`, and
+        // `cos w_max` replaced by its truncated Taylor series — an upper
+        // bound on `[0, π]` (alternating series, decreasing terms), so
+        // the guard only gets *stricter*: a rejection here falls back to
+        // the exact grid scan, never past it. When `w_max ≥ π` any
+        // interval is contiguous — skip the test (its cosine comparison
+        // would be meaningless there).
+        if w_max < std::f64::consts::PI {
+            let two_rr = 2.0 * arc.radius * r2.sqrt();
+            let w2 = w_max * w_max;
+            let cos_upper = 1.0 - w2 / 2.0 + w2 * w2 / 24.0;
+            if arc.radius * arc.radius + r2 - b * b < two_rr * cos_upper {
+                return None;
+            }
+        }
+        let b2 = b * b;
+        let d2v = |v: usize| (point - self.points[v]).norm_sq();
+        let (mut lo_v, mut hi_v) = if d2v(h) <= b2 {
+            (h, h)
+        } else if d2v(h + 1) <= b2 {
+            (h + 1, h + 1)
+        } else {
+            return None;
+        };
+        while lo_v > 0 && d2v(lo_v - 1) <= b2 {
+            lo_v -= 1;
+        }
+        while hi_v < nseg && d2v(hi_v + 1) <= b2 {
+            hi_v += 1;
+        }
+        // Vertex run -> segment hull (segment i owns vertices i and i+1),
+        // then the classic visit order: terminal start, hull, terminal
+        // end, ascending with strict improvement.
+        let (lo, hi) = (lo_v.saturating_sub(1), hi_v.min(nseg - 1) + 1);
+        let mut best_d2 = f64::INFINITY;
+        let mut best = FrenetPose::default();
+        if lo > 0 {
+            self.project_segments(point, 0, 1, &mut best_d2, &mut best);
+        }
+        // Hull scan with a per-segment lower bound: the exact distance to
+        // a segment's infinite line (one cross product against the
+        // precomputed unit tangent) never exceeds the distance to the
+        // segment, so a segment whose line cannot strictly improve on the
+        // running best would not have updated it — skipping is free of
+        // bitwise effect.
+        for i in lo..hi {
+            let line_d = self.seg_unit[i].cross(point - self.points[i]);
+            if line_d * line_d > best_d2 {
+                continue;
+            }
+            self.project_segments(point, i, i + 1, &mut best_d2, &mut best);
+        }
+        if hi < nseg {
+            self.project_segments(point, nseg - 1, nseg, &mut best_d2, &mut best);
+        }
+        Some(best)
     }
 
     /// Arc-indexed projection: use the query's azimuth around the circle

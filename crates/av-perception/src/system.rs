@@ -443,6 +443,39 @@ impl PerceptionSystem {
     pub fn total_frames(&self) -> u64 {
         self.samplers.iter().map(|s| s.frames_processed()).sum()
     }
+
+    /// `true` when no sampler can fire at `now`: the tick is *idle* for
+    /// this system — [`PerceptionSystem::tick_columns`] would touch
+    /// neither samplers, droppers nor observations, only clear the
+    /// report and prune the world model. Callers that build the
+    /// ground-truth snapshot solely to feed perception may consult this
+    /// first and call [`PerceptionSystem::idle_tick`] instead, skipping
+    /// the snapshot entirely. (`sample_frames` fires iff
+    /// `now + 1e-12 >= next_due`, so this predicate is exact, not a
+    /// heuristic.)
+    #[inline]
+    pub fn frame_idle(&self, now: Seconds) -> bool {
+        now.value() + 1e-12 < self.next_frame_due.value()
+    }
+
+    /// Advances one tick known to be idle ([`PerceptionSystem::frame_idle`]):
+    /// bitwise identical to [`PerceptionSystem::tick_columns`] on such a
+    /// tick — clear the report, prune the world model — without needing
+    /// a snapshot to be built at all.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the tick really is idle; calling this on a
+    /// frame tick would silently skip the samplers.
+    pub fn idle_tick(&mut self, now: Seconds) -> &TickReport {
+        debug_assert!(
+            self.frame_idle(now),
+            "idle_tick called on a frame tick at {now}"
+        );
+        self.report.clear();
+        self.world.prune(now);
+        &self.report
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,11 @@ pub struct BatchSim<'sim, 'obs> {
     shared_agents: Vec<Agent>,
     /// Pose hints for the shared actors.
     shared_hints: Vec<ProjectionHint>,
+    /// Shared actor Frenet stations for the idle fast path, rebuilt each
+    /// tick (garbage at forked slots — the prefilter reads the fork).
+    actor_s: Vec<f64>,
+    /// Shared actor lateral offsets, indexed like `actor_s`.
+    actor_d: Vec<f64>,
     /// Whether certificates may retire lanes (verdict-only runs).
     certify: bool,
     /// Memoized `road.path().max_abs_curvature()`.
@@ -139,7 +144,43 @@ pub struct BatchStats {
     pub lane_ticks: u64,
     /// Per-lane ticks skipped by certificate retirement (sum over lanes).
     pub ticks_retired: u64,
+    /// Per-lane ticks that took the verdict-only idle fast path (no
+    /// snapshot rebuild, Frenet-space collision prefilter).
+    pub idle_lane_ticks: u64,
+    /// Idle fast-path ticks whose Frenet prefilter could not prove
+    /// separation, forcing the exact world-frame collision check.
+    pub prefilter_fallbacks: u64,
+    /// Safe-suffix certificate attempts.
+    pub cert_attempts: u64,
+    /// Certificate attempts that declined (the lane kept simulating).
+    pub cert_declines: u64,
 }
+
+impl BatchStats {
+    /// Folds another run's accounting into this one (multi-run sweeps).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.collided_lanes += other.collided_lanes;
+        self.certified_lanes += other.certified_lanes;
+        self.lane_ticks += other.lane_ticks;
+        self.ticks_retired += other.ticks_retired;
+        self.idle_lane_ticks += other.idle_lane_ticks;
+        self.prefilter_fallbacks += other.prefilter_fallbacks;
+        self.cert_attempts += other.cert_attempts;
+        self.cert_declines += other.cert_declines;
+    }
+}
+
+/// Extra slack (m) the idle-tick Frenet-space circumcircle prefilter
+/// adds on top of the footprint radii before it may *skip* the exact
+/// world-frame collision check. On an exactly straight reference line
+/// the (s, d) chart is an isometry, so the world-frame center distance
+/// differs from the Frenet one only by floating-point noise (≲ 1e-9 m
+/// at catalog coordinates); a full meter of slack makes the skip
+/// decision robust by six orders of magnitude while still filtering
+/// out essentially every far-apart pair. Pairs inside the slack run
+/// the engine-identical world-frame check, so outcomes stay bitwise
+/// equal either way.
+const FRENET_PREFILTER_SLACK: f64 = 1.0;
 
 impl<'sim, 'obs> BatchSim<'sim, 'obs> {
     /// Builds a batched run over `sim`'s scenario. Shared actors are
@@ -217,6 +258,8 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
             forked: vec![false; actor_count],
             shared_agents: Vec::with_capacity(actor_count),
             shared_hints: vec![ProjectionHint::default(); actor_count],
+            actor_s: Vec::with_capacity(actor_count),
+            actor_d: Vec::with_capacity(actor_count),
             certify,
             curvature,
             tick: 0,
@@ -251,72 +294,140 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
         let time = Seconds(self.tick as f64 * self.sim.config.dt.value());
         let dt = self.sim.config.dt;
 
+        // Verdict-only runs take the *idle fast path* on ticks where a
+        // lane's perception cannot fire a frame and no certificate
+        // attempt is due: the per-lane snapshot rebuild (world-frame
+        // columns of the ego and every actor) exists only to feed the
+        // observer, the perception frame and the certificate — with a
+        // null observer, a guaranteed-idle perception tick and no
+        // certificate due, only the collision check remains, and that
+        // check reads world poses directly ([`collision_check_lean`])
+        // instead of materializing the snapshot. On an exactly straight
+        // road a Frenet-space circumcircle prefilter over the raw (s, d)
+        // state settles the overwhelmingly common far-apart case without
+        // any world-frame math at all ([`FRENET_PREFILTER_SLACK`]); on
+        // curved roads every idle tick runs the lean check. Either way
+        // the check is input-for-input the engine's, so outcomes are
+        // bitwise unchanged.
+        let fast = self.certify;
+        let straight = self.curvature == 0.0;
+        let mut shared_ready = false;
+
         // Phase 1 — shared actor poses, one projection per actor per tick
         // regardless of lane count. (Forked actors are projected per lane
-        // in phase 2: their states differ.)
-        self.shared_agents.clear();
-        for (i, actor) in self.sim.actors.iter().enumerate() {
-            self.shared_agents.push(if self.forked[i] {
-                // Placeholder, never read (phase 2 checks the fork flag).
-                self.lanes[0].scratch.ego
-            } else {
-                actor.to_agent_hinted(&self.sim.road, &mut self.shared_hints[i])
-            });
+        // in phase 2: their states differ.) The fast path defers the
+        // projections until some lane actually needs world-frame poses
+        // this tick; on straight roads it instead fills the shared Frenet
+        // columns the prefilter sweeps.
+        if fast {
+            if straight {
+                self.actor_s.clear();
+                self.actor_d.clear();
+                for (i, actor) in self.sim.actors.iter().enumerate() {
+                    // Garbage at forked slots: the prefilter reads the fork.
+                    self.actor_s.push(if self.forked[i] {
+                        0.0
+                    } else {
+                        actor.s().value()
+                    });
+                    self.actor_d.push(if self.forked[i] {
+                        0.0
+                    } else {
+                        actor.d().value()
+                    });
+                }
+            }
+        } else {
+            // Placeholder at forked slots, never read (phase 2 checks the
+            // fork flag).
+            let placeholder = self.lanes[0].scratch.ego;
+            fill_shared_agents(
+                self.sim,
+                &self.forked,
+                &mut self.shared_hints,
+                &mut self.shared_agents,
+                placeholder,
+            );
+            shared_ready = true;
         }
 
         // Phase 2 — per-lane engine tick, replaying `Simulation::step_with`
         // phase for phase on the lane's own state.
+        let next_tick = self.tick + 1;
         for (lane, observer) in self.lanes.iter_mut().zip(self.observers.iter_mut()) {
             if lane.outcome != StepOutcome::Running {
                 continue;
             }
-            // Snapshot rebuild, column by column.
-            lane.scratch.time = time;
-            lane.scratch.ego = lane
-                .ego
-                .to_agent_hinted(&self.sim.road, &mut lane.ego_pose_hint);
-            lane.scratch.clear_actors();
-            for i in 0..self.sim.actors.len() {
-                let agent = match &lane.forks[i] {
-                    Some(fork) => fork.to_agent_hinted(&self.sim.road, &mut lane.fork_hints[i]),
-                    None => self.shared_agents[i],
-                };
-                lane.scratch.push_actor(agent);
-            }
-            observer.on_scene_columns(&lane.scratch, &mut lane.scratch_aos);
+            // A certificate attempt (phase 5, after the tick increment)
+            // reads this lane's snapshot, so the attempt tick must build
+            // it even when perception idles.
+            let cert_due = self.certify
+                && next_tick < self.sim.total_ticks
+                && next_tick >= lane.next_cert_tick;
+            let idle = fast && !cert_due && lane.perception.frame_idle(time);
 
-            // Ground-truth collision check (circumcircle prefilter + SAT),
-            // identical to the engine's.
-            let ego = &lane.scratch.ego;
-            let positions = lane.scratch.positions();
-            let mut ego_fp = None;
-            let mut collided = false;
-            for (i, (&position, r_actor)) in positions
-                .iter()
-                .zip(&self.sim.actor_circumradii)
-                .enumerate()
-            {
-                let r_sum = lane.ego_circumradius + r_actor;
-                if (position - ego.state.position).norm_sq() > r_sum * r_sum {
-                    continue;
+            let collided = if idle {
+                self.stats.idle_lane_ticks += 1;
+                // Frenet-space prefilter sweep over the shared columns
+                // (straight roads only — curved Frenet distances don't
+                // bound world distances, so every curved idle tick takes
+                // the lean world-frame check).
+                let near = if straight {
+                    let e_s = lane.ego.s().value();
+                    let e_d = lane.ego.d().value();
+                    let mut near = false;
+                    for i in 0..self.sim.actor_circumradii.len() {
+                        let (a_s, a_d) = match &lane.forks[i] {
+                            Some(fork) => (fork.s().value(), fork.d().value()),
+                            None => (self.actor_s[i], self.actor_d[i]),
+                        };
+                        let ds = a_s - e_s;
+                        let dd = a_d - e_d;
+                        let r = lane.ego_circumradius
+                            + self.sim.actor_circumradii[i]
+                            + FRENET_PREFILTER_SLACK;
+                        if ds * ds + dd * dd <= r * r {
+                            near = true;
+                            break;
+                        }
+                    }
+                    near
+                } else {
+                    true
+                };
+                if near {
+                    if straight {
+                        self.stats.prefilter_fallbacks += 1;
+                    }
+                    if !shared_ready {
+                        fill_shared_agents(
+                            self.sim,
+                            &self.forked,
+                            &mut self.shared_hints,
+                            &mut self.shared_agents,
+                            lane.scratch.ego,
+                        );
+                        shared_ready = true;
+                    }
+                    collision_check_lean(lane, self.sim, &self.shared_agents, &mut **observer, time)
+                } else {
+                    false
                 }
-                let ego_fp = ego_fp.get_or_insert_with(|| ego.footprint());
-                let dims = lane.scratch.dims()[i];
-                let footprint = OrientedRect::new(
-                    position,
-                    lane.scratch.headings()[i],
-                    dims.length,
-                    dims.width,
-                );
-                if ego_fp.intersects(&footprint) {
-                    observer.on_event(&SimEvent::Collision {
-                        time,
-                        actor: lane.scratch.ids()[i],
-                    });
-                    collided = true;
-                    break;
+            } else {
+                if !shared_ready {
+                    fill_shared_agents(
+                        self.sim,
+                        &self.forked,
+                        &mut self.shared_hints,
+                        &mut self.shared_agents,
+                        lane.scratch.ego,
+                    );
+                    shared_ready = true;
                 }
-            }
+                rebuild_snapshot(lane, self.sim, &self.shared_agents, time);
+                observer.on_scene_columns(&lane.scratch, &mut lane.scratch_aos);
+                collision_check(lane, self.sim, &mut **observer, time)
+            };
             if collided {
                 lane.outcome = StepOutcome::Collided;
                 self.live -= 1;
@@ -324,8 +435,15 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
                 continue;
             }
 
-            // Perception, perceived-world coast, plan, integrate.
-            lane.perception.tick_columns(&lane.scratch);
+            // Perception, perceived-world coast, plan, integrate. On the
+            // idle path the perception tick is, bitwise, what
+            // `tick_columns` does on a frameless tick — without the
+            // snapshot it would not have read anyway.
+            if idle {
+                lane.perception.idle_tick(time);
+            } else {
+                lane.perception.tick_columns(&lane.scratch);
+            }
             lane.perception
                 .world()
                 .coast_into(&mut lane.perceived, time);
@@ -410,6 +528,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
                 if lane.outcome != StepOutcome::Running || self.tick < lane.next_cert_tick {
                     continue;
                 }
+                self.stats.cert_attempts += 1;
                 if cert::certifies_safe_suffix(
                     self.sim,
                     lane,
@@ -423,6 +542,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
                     self.stats.certified_lanes += 1;
                     self.stats.ticks_retired += self.sim.total_ticks - self.tick;
                 } else {
+                    self.stats.cert_declines += 1;
                     lane.next_cert_tick = self.tick + lane.cert_backoff;
                     lane.cert_backoff = (lane.cert_backoff * 2).min(cert::MAX_BACKOFF_TICKS);
                 }
@@ -481,6 +601,147 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
             stats,
         )
     }
+}
+
+/// Shared-actor world poses for one tick (phase 1): one projection per
+/// unforked actor regardless of lane count. `placeholder` fills forked
+/// slots and is never read — phase 2 consults the fork flag first.
+fn fill_shared_agents(
+    sim: &Simulation,
+    forked: &[bool],
+    shared_hints: &mut [ProjectionHint],
+    shared_agents: &mut Vec<Agent>,
+    placeholder: Agent,
+) {
+    shared_agents.clear();
+    for (i, actor) in sim.actors.iter().enumerate() {
+        shared_agents.push(if forked[i] {
+            placeholder
+        } else {
+            actor.to_agent_hinted(&sim.road, &mut shared_hints[i])
+        });
+    }
+}
+
+/// Rebuilds `lane`'s snapshot columns at `time`, exactly as the engine
+/// does: the lane's ego pose, then every actor — a forked actor projects
+/// its own state, a shared one copies the phase-1 pose.
+fn rebuild_snapshot(lane: &mut Lane, sim: &Simulation, shared_agents: &[Agent], time: Seconds) {
+    lane.scratch.time = time;
+    lane.scratch.ego = lane.ego.to_agent_hinted(&sim.road, &mut lane.ego_pose_hint);
+    lane.scratch.clear_actors();
+    for ((fork, hint), shared) in lane
+        .forks
+        .iter()
+        .zip(lane.fork_hints.iter_mut())
+        .zip(shared_agents)
+    {
+        let agent = match fork {
+            Some(fork) => fork.to_agent_hinted(&sim.road, hint),
+            None => *shared,
+        };
+        lane.scratch.push_actor(agent);
+    }
+}
+
+/// Ground-truth collision check (circumcircle prefilter + SAT) over the
+/// lane's freshly rebuilt snapshot, identical to the engine's. Returns
+/// whether the lane collided this tick (the event is already streamed).
+fn collision_check(
+    lane: &Lane,
+    sim: &Simulation,
+    observer: &mut dyn SimObserver,
+    time: Seconds,
+) -> bool {
+    let ego = &lane.scratch.ego;
+    let positions = lane.scratch.positions();
+    let mut ego_fp = None;
+    for (i, (&position, r_actor)) in positions.iter().zip(&sim.actor_circumradii).enumerate() {
+        let r_sum = lane.ego_circumradius + r_actor;
+        if (position - ego.state.position).norm_sq() > r_sum * r_sum {
+            continue;
+        }
+        let ego_fp = ego_fp.get_or_insert_with(|| ego.footprint());
+        let dims = lane.scratch.dims()[i];
+        let footprint = OrientedRect::new(
+            position,
+            lane.scratch.headings()[i],
+            dims.length,
+            dims.width,
+        );
+        if ego_fp.intersects(&footprint) {
+            observer.on_event(&SimEvent::Collision {
+                time,
+                actor: lane.scratch.ids()[i],
+            });
+            return true;
+        }
+    }
+    false
+}
+
+/// The idle-tick collision check: same inputs, same circumcircle + SAT
+/// sequence, same event as [`collision_check`] — but fed straight from
+/// the lane's ego pose and the phase-1 shared poses (forks project their
+/// own state), without materializing the snapshot columns nobody else
+/// reads this tick. Every value equals what [`rebuild_snapshot`] would
+/// have written, so the verdict is bitwise the engine's.
+fn collision_check_lean(
+    lane: &mut Lane,
+    sim: &Simulation,
+    shared_agents: &[Agent],
+    observer: &mut dyn SimObserver,
+    time: Seconds,
+) -> bool {
+    let ego = lane.ego.to_agent_hinted(&sim.road, &mut lane.ego_pose_hint);
+    let mut ego_axis = None;
+    let mut ego_fp = None;
+    for (((fork, hint), shared), &circumradius) in lane
+        .forks
+        .iter()
+        .zip(lane.fork_hints.iter_mut())
+        .zip(shared_agents)
+        .zip(&sim.actor_circumradii)
+    {
+        let agent = match fork {
+            Some(fork) => fork.to_agent_hinted(&sim.road, hint),
+            None => *shared,
+        };
+        let r_sum = lane.ego_circumradius + circumradius;
+        let delta = agent.state.position - ego.state.position;
+        if delta.norm_sq() > r_sum * r_sum {
+            continue;
+        }
+        // Separating-axis early-out on the ego's own axes, with the
+        // actor's circumradius over-approximating its extent: separation
+        // here implies the SAT below separates on its first axis pair, so
+        // skipping it cannot change the verdict. This settles the common
+        // close-following case (inside the circumcircle, separated along
+        // the ego's length) with two dot products instead of the full
+        // corner projections.
+        let axis = *ego_axis.get_or_insert_with(|| Vec2::from_heading(ego.state.heading));
+        let r_actor = circumradius + 1e-6;
+        if delta.dot(axis).abs() > ego.dims.length.value() / 2.0 + r_actor
+            || delta.cross(axis).abs() > ego.dims.width.value() / 2.0 + r_actor
+        {
+            continue;
+        }
+        let ego_fp = ego_fp.get_or_insert_with(|| ego.footprint());
+        let footprint = OrientedRect::new(
+            agent.state.position,
+            agent.state.heading,
+            agent.dims.length,
+            agent.dims.width,
+        );
+        if ego_fp.intersects(&footprint) {
+            observer.on_event(&SimEvent::Collision {
+                time,
+                actor: agent.id,
+            });
+            return true;
+        }
+    }
+    false
 }
 
 impl Simulation {

@@ -50,11 +50,12 @@ pub mod observer;
 pub mod policy;
 pub mod road;
 pub mod script;
+pub mod seed_batch;
 pub mod trace;
 
 /// Glob import of the crate's main types.
 pub mod prelude {
-    pub use crate::batch::{BatchSim, LaneSpec};
+    pub use crate::batch::{BatchSim, BatchStats, LaneSpec};
     pub use crate::engine::{Simulation, SimulationConfig, StepOutcome};
     pub use crate::metrics::{instant_metrics, run_metrics, InstantMetrics, RunMetrics};
     pub use crate::observer::{
@@ -65,5 +66,6 @@ pub mod prelude {
     pub use crate::script::{
         Action, ActorScript, EgoObservation, Placement, ScriptedActor, ScriptedManeuver, Trigger,
     };
+    pub use crate::seed_batch::{run_seed_batched_verdicts_with_stats, SeedBatchSim};
     pub use crate::trace::{SimEvent, Trace};
 }

@@ -1,0 +1,328 @@
+//! Seed-batched lockstep simulation: lanes with *different jittered
+//! geometry* through one tick loop.
+//!
+//! [`crate::batch`] batches the rate axis: N lanes of **one** scenario
+//! instance, one per candidate perception rate. The minimum-safe-FPR
+//! sweep, however, spends an order of magnitude more work on the
+//! jitter-**seed** axis — the same scenario family re-instantiated under
+//! many seeds, each seed re-run over the whole rate grid. This module
+//! batches that axis too: a [`SeedBatchSim`] advances one **group** per
+//! seed — each group a [`BatchSim`] over that seed's own
+//! [`Simulation`] — through a single shared lockstep loop, so every
+//! seed × rate lane ticks in step.
+//!
+//! # Layout and invariants
+//!
+//! - **Group-major lane columns.** Per-lane hot state (ego scalars,
+//!   perception samplers, world-model tracks, certificate bookkeeping)
+//!   lives in the group's lane vector, and the shared-actor Frenet
+//!   columns swept by the idle fast path are struct-of-arrays per group
+//!   (`actor_s`/`actor_d` in [`BatchSim`]). Groups own *different
+//!   roads* (jitter may perturb geometry per seed), so nothing is
+//!   shared **across** groups — the cross-seed win is the straight-road
+//!   idle fast path plus lockstep cache reuse, not deduplication.
+//! - **Per-lane retirement out of a mixed-geometry batch.** A
+//!   certificate (or collision) retires exactly one lane of one group;
+//!   the group's remaining lanes and every other group keep ticking. A
+//!   fully retired group drops out of the loop at zero cost
+//!   ([`BatchSim::step_all`] early-returns on `live == 0`).
+//! - **Bitwise equivalence.** Each group is, by construction, the same
+//!   `BatchSim` the rate-batched path runs — so every lane's verdict is
+//!   bit-identical to its standalone [`Simulation::run_with`] run, and
+//!   the cross-path equivalence harness (`tests/path_equivalence.rs` at
+//!   the workspace root) pins per-seed vs rate-batched vs seed×rate
+//!   exports byte for byte.
+//!
+//! The one-call entry point for sweeps is
+//! [`run_seed_batched_verdicts_with_stats`]; the tick-stepped
+//! [`SeedBatchSim`] exists so tests (e.g. the counting-allocator suite)
+//! can drive mixed-geometry lockstep ticks by hand.
+
+use crate::batch::{BatchSim, BatchStats, LaneSpec};
+use crate::engine::{Simulation, StepOutcome};
+use crate::observer::{NullObserver, SimObserver};
+
+/// A lockstep batched run over several scenario instances (one group —
+/// typically one jitter seed — per [`BatchSim`]).
+#[allow(missing_debug_implementations)] // groups hold unsized observers
+pub struct SeedBatchSim<'sim, 'obs> {
+    groups: Vec<BatchSim<'sim, 'obs>>,
+    tick: u64,
+}
+
+impl<'sim, 'obs> SeedBatchSim<'sim, 'obs> {
+    /// Builds the lockstep loop over already-constructed groups (use
+    /// [`Simulation::batched`] / [`Simulation::batched_verdicts`] per
+    /// simulation). Groups may disagree in lane count, geometry and
+    /// duration; each retires on its own schedule.
+    pub fn new(groups: Vec<BatchSim<'sim, 'obs>>) -> Self {
+        Self { groups, tick: 0 }
+    }
+
+    /// Number of groups (seeds).
+    pub fn groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Lanes still running, across all groups.
+    pub fn live_lanes(&self) -> usize {
+        self.groups.iter().map(BatchSim::live_lanes).sum()
+    }
+
+    /// Completed lockstep ticks.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances every live lane of every group by one tick. Returns
+    /// `false` once no lane anywhere is live.
+    pub fn step_all(&mut self) -> bool {
+        let mut any = false;
+        for group in &mut self.groups {
+            any |= group.step_all();
+        }
+        self.tick += 1;
+        any
+    }
+
+    /// Runs to completion; per-group, per-lane outcomes in input order,
+    /// plus the cost accounting summed over groups.
+    ///
+    /// Groups are advanced in bounded tick slices rather than strictly
+    /// tick-by-tick: they are mutually independent (different
+    /// simulations, different observers), so *any* interleaving produces
+    /// bit-identical per-lane results, and a slice keeps one group's
+    /// roads, lane columns and track stores hot in cache instead of
+    /// cycling every group's working set through it on every tick.
+    /// [`SeedBatchSim::step_all`] remains the strict lockstep step for
+    /// callers that need tick-aligned control.
+    pub fn finish_with_stats(mut self) -> (Vec<Vec<StepOutcome>>, BatchStats) {
+        const TICK_SLICE: u32 = 64;
+        loop {
+            let mut any = false;
+            for group in &mut self.groups {
+                for _ in 0..TICK_SLICE {
+                    if !group.step_all() {
+                        break;
+                    }
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        let mut stats = BatchStats::default();
+        let outcomes = self
+            .groups
+            .into_iter()
+            .map(|group| {
+                let (outcomes, group_stats) = group.finish_with_stats();
+                stats.merge(&group_stats);
+                outcomes
+            })
+            .collect();
+        (outcomes, stats)
+    }
+}
+
+/// Runs one verdict-only lane per `specs[g]` entry for every simulation
+/// `sims[g]`, all groups through one lockstep loop, and returns the
+/// per-group outcomes plus summed cost accounting. The seed-axis
+/// counterpart of [`Simulation::run_batched_verdicts_with_stats`]:
+/// every lane runs under a [`NullObserver`] with safe-suffix
+/// certificates enabled, and each verdict is bit-identical to the
+/// lane's standalone run.
+///
+/// `sims` is any source of `&mut Simulation` — a slice iterator, or
+/// borrows of simulations owned by larger per-seed contexts (the sweep
+/// layer passes `SweepContext` internals this way).
+///
+/// # Panics
+///
+/// Panics when `sims` and `specs` disagree in length, or (per group)
+/// under the [`Simulation::run_batched_verdicts`] conditions.
+pub fn run_seed_batched_verdicts_with_stats<'s>(
+    sims: impl IntoIterator<Item = &'s mut Simulation>,
+    specs: Vec<Vec<LaneSpec>>,
+) -> (Vec<Vec<StepOutcome>>, BatchStats) {
+    let sims: Vec<&'s mut Simulation> = sims.into_iter().collect();
+    assert_eq!(sims.len(), specs.len(), "one spec set per simulation");
+    let mut nulls: Vec<Vec<NullObserver>> = specs
+        .iter()
+        .map(|group| vec![NullObserver; group.len()])
+        .collect();
+    let groups = sims
+        .into_iter()
+        .zip(specs)
+        .zip(nulls.iter_mut())
+        .map(|((sim, group_specs), group_nulls)| {
+            let observers: Vec<&mut dyn SimObserver> = group_nulls
+                .iter_mut()
+                .map(|n| n as &mut dyn SimObserver)
+                .collect();
+            sim.batched_verdicts(group_specs, observers)
+        })
+        .collect();
+    SeedBatchSim::new(groups).finish_with_stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimulationConfig;
+    use crate::policy::{EgoVehicle, PolicyConfig};
+    use crate::road::{LaneId, Road};
+    use crate::script::{Action, ActorScript, Placement, Trigger};
+    use av_core::prelude::*;
+    use av_perception::rig::CameraRig;
+    use av_perception::system::{PerceptionSystem, RatePlan};
+    use av_perception::world_model::TrackerConfig;
+
+    fn perception(fpr: f64) -> PerceptionSystem {
+        PerceptionSystem::new(
+            CameraRig::drive_av(),
+            RatePlan::Uniform(Fpr(fpr)),
+            TrackerConfig::default(),
+        )
+        .expect("valid plan")
+    }
+
+    fn ego(road: &Road, speed: f64) -> EgoVehicle {
+        EgoVehicle::spawn(
+            road,
+            LaneId(1),
+            Meters(50.0),
+            PolicyConfig::cruise(MetersPerSecond(speed)),
+        )
+    }
+
+    /// A jittered scenario family: per-"seed" variations of a cut-in
+    /// ahead of a braking lead, with geometry that differs per group.
+    fn sim_for_seed(seed: u64) -> Simulation {
+        let j = seed as f64;
+        let road = Road::straight_three_lane(Meters(3000.0 + 10.0 * j));
+        let e = ego(&road, 24.0 + 0.5 * j);
+        let scripts = vec![
+            ActorScript::cruising(
+                ActorId(1),
+                Placement {
+                    lane: LaneId(0),
+                    s: Meters(120.0 + 5.0 * j),
+                    speed: MetersPerSecond(18.0 + 0.3 * j),
+                },
+            )
+            .with_maneuver(
+                Trigger::GapAheadOfEgo(Meters(40.0)),
+                Action::ChangeLane {
+                    target: LaneId(1),
+                    duration: Seconds(2.0),
+                },
+            ),
+            ActorScript::cruising(
+                ActorId(2),
+                Placement {
+                    lane: LaneId(1),
+                    s: Meters(220.0 - 3.0 * j),
+                    speed: MetersPerSecond(24.0),
+                },
+            )
+            .with_maneuver(
+                Trigger::AtTime(Seconds(4.0)),
+                Action::HardBrake {
+                    decel: MetersPerSecondSquared(5.0),
+                },
+            ),
+            ActorScript::obstacle(ActorId(3), LaneId(1), Meters(700.0 + 20.0 * j)),
+        ];
+        Simulation::new(
+            road,
+            e,
+            scripts,
+            perception(30.0),
+            SimulationConfig {
+                duration: Seconds(8.0),
+                ..Default::default()
+            },
+        )
+    }
+
+    const RATES: [f64; 3] = [1.0, 4.0, 30.0];
+    const SEEDS: [u64; 3] = [0, 1, 2];
+
+    #[test]
+    fn seed_batched_verdicts_match_standalone_runs() {
+        let mut sims: Vec<Simulation> = SEEDS.iter().map(|&s| sim_for_seed(s)).collect();
+        let specs: Vec<Vec<LaneSpec>> = SEEDS
+            .iter()
+            .zip(&sims)
+            .map(|(&s, sim)| {
+                let road = sim.road().clone();
+                RATES
+                    .iter()
+                    .map(|&fpr| LaneSpec {
+                        ego: ego(&road, 24.0 + 0.5 * s as f64),
+                        perception: perception(fpr),
+                    })
+                    .collect()
+            })
+            .collect();
+        let (outcomes, stats) = run_seed_batched_verdicts_with_stats(&mut sims, specs);
+        assert_eq!(outcomes.len(), SEEDS.len());
+        assert!(stats.lane_ticks > 0);
+        for (g, &seed) in SEEDS.iter().enumerate() {
+            for (l, &fpr) in RATES.iter().enumerate() {
+                let mut s = sim_for_seed(seed);
+                let road = s.road().clone();
+                s.reset(ego(&road, 24.0 + 0.5 * seed as f64), perception(fpr));
+                let standalone = s.run_with(&mut NullObserver);
+                assert_eq!(
+                    outcomes[g][l], standalone,
+                    "seed {seed} lane {fpr} FPR diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn groups_retire_independently() {
+        // Group durations differ (jittered road lengths don't matter for
+        // ticks, but seed 0's obstacle sits closer); whole groups must be
+        // able to finish while others keep ticking, and the lockstep tick
+        // counter advances once per round.
+        let mut sims: Vec<Simulation> = vec![sim_for_seed(0), sim_for_seed(4)];
+        let specs: Vec<Vec<LaneSpec>> = [0u64, 4]
+            .iter()
+            .map(|&s| {
+                let sim = sim_for_seed(s);
+                let road = sim.road().clone();
+                vec![LaneSpec {
+                    ego: ego(&road, 24.0 + 0.5 * s as f64),
+                    perception: perception(30.0),
+                }]
+            })
+            .collect();
+        let mut nulls: Vec<NullObserver> = vec![NullObserver; 2];
+        let mut nulls_iter = nulls.iter_mut();
+        let groups: Vec<BatchSim> = sims
+            .iter_mut()
+            .zip(specs)
+            .map(|(sim, group_specs)| {
+                let observers: Vec<&mut dyn SimObserver> = vec![nulls_iter
+                    .next()
+                    .map(|n| n as &mut dyn SimObserver)
+                    .expect("one null per group")];
+                sim.batched_verdicts(group_specs, observers)
+            })
+            .collect();
+        let mut batch = SeedBatchSim::new(groups);
+        assert_eq!(batch.groups(), 2);
+        assert_eq!(batch.live_lanes(), 2);
+        let mut steps = 0u64;
+        while batch.step_all() {
+            steps += 1;
+        }
+        assert_eq!(batch.tick(), steps + 1);
+        assert_eq!(batch.live_lanes(), 0);
+    }
+}

@@ -55,6 +55,9 @@ fn main() -> ExitCode {
         let mut retired = 0u64;
         let mut certified = 0usize;
         let mut collided = 0usize;
+        let mut idle = 0u64;
+        let mut fallbacks = 0u64;
+        let mut declines = 0u64;
         for seed in 0..seeds {
             let scenario = Scenario::build(id, seed);
             let mut context = SweepContext::new(&scenario);
@@ -74,11 +77,15 @@ fn main() -> ExitCode {
             retired += stats.ticks_retired;
             certified += stats.certified_lanes;
             collided += stats.collided_lanes;
+            idle += stats.idle_lane_ticks;
+            fallbacks += stats.prefilter_fallbacks;
+            declines += stats.cert_declines;
         }
         let lanes = seeds as usize * PAPER_RATE_GRID.len();
         let rate = 100.0 * retired as f64 / (ticks + retired) as f64;
+        let idle_pct = 100.0 * idle as f64 / ticks.max(1) as f64;
         println!(
-            "{:<38} ticks {:>8} retired {:>8} ({rate:>4.1}%) certified {:>3}/{lanes} collided {:>3}",
+            "{:<38} ticks {:>8} retired {:>8} ({rate:>4.1}%) certified {:>3}/{lanes} collided {:>3} idle {idle_pct:>4.1}% fallbacks {fallbacks:>7} declines {declines:>4}",
             id.name(),
             ticks,
             retired,

@@ -12,7 +12,7 @@
 //!               [--scenario-dir DIR] [--variants N] [--workers N] [--rates 1,2,...,30]
 //!               [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]
 //!               [--stride N] [--csv NAME] [--json NAME] [--traces]
-//!               [--record-traces] [--batch-lanes N] [--baseline]
+//!               [--record-traces] [--batch-lanes N] [--seed-blocks N] [--baseline]
 //!               [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]
 //!               [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]
 //!               [--max-job-failures K] [--verify-fraction F]
@@ -68,6 +68,7 @@ struct Args {
     traces: bool,
     record_traces: bool,
     batch_lanes: usize,
+    seed_blocks: usize,
     baseline: bool,
     dist: bool,
     listen: Option<String>,
@@ -118,6 +119,7 @@ impl Default for Args {
             traces: false,
             record_traces: false,
             batch_lanes: 0,
+            seed_blocks: 0,
             baseline: false,
             dist: false,
             listen: None,
@@ -197,6 +199,9 @@ fn parse_args() -> Result<Args, String> {
             "--batch-lanes" => {
                 args.batch_lanes = dcli::parse_batch_lanes(&value("--batch-lanes")?)?
             }
+            "--seed-blocks" => {
+                args.seed_blocks = dcli::parse_seed_blocks(&value("--seed-blocks")?)?
+            }
             "--baseline" => args.baseline = true,
             "--dist" => args.dist = true,
             "--listen" => args.listen = Some(dcli::parse_addr("--listen", &value("--listen")?)?),
@@ -271,6 +276,7 @@ fn parse_args() -> Result<Args, String> {
             "--stride",
             "--record-traces",
             "--batch-lanes",
+            "--seed-blocks",
         ];
         if let Some(flag) = seen.iter().find(|f| plan_flags.contains(&f.as_str())) {
             return Err(format!(
@@ -280,10 +286,15 @@ fn parse_args() -> Result<Args, String> {
     }
     // Reject flags the selected mode would silently ignore — a dropped
     // `--rates` or `--fpr` quietly changes what safety question was asked.
-    if args.connect.is_none() && args.record_traces && seen.iter().any(|f| f == "--batch-lanes") {
+    if args.connect.is_none() && args.record_traces {
         // Trace-recording MSF probes always take the per-rate classic
-        // path; a --batch-lanes alongside would be silently ignored.
-        return Err("--batch-lanes does not apply with --record-traces".to_string());
+        // path; a --batch-lanes or --seed-blocks alongside would be
+        // silently ignored.
+        for flag in ["--batch-lanes", "--seed-blocks"] {
+            if seen.iter().any(|f| f == flag) {
+                return Err(format!("{flag} does not apply with --record-traces"));
+            }
+        }
     }
     if args.connect.is_none() {
         let irrelevant: &[&str] = match args.mode {
@@ -294,6 +305,7 @@ fn parse_args() -> Result<Args, String> {
                 "--predictor",
                 "--stride",
                 "--batch-lanes",
+                "--seed-blocks",
             ],
             Mode::PerCamera => &[
                 "--rates",
@@ -301,6 +313,7 @@ fn parse_args() -> Result<Args, String> {
                 "--predictor",
                 "--stride",
                 "--batch-lanes",
+                "--seed-blocks",
             ],
             // Analyze jobs always record (the estimator consumes the
             // trace), so --record-traces would be a silent no-op there.
@@ -310,6 +323,7 @@ fn parse_args() -> Result<Args, String> {
                 "--traces",
                 "--record-traces",
                 "--batch-lanes",
+                "--seed-blocks",
             ],
         };
         if let Some(flag) = seen.iter().find(|f| irrelevant.contains(&f.as_str())) {
@@ -351,14 +365,16 @@ fn usage() {
          \x20             [--scenario-dir DIR] [--variants N] [--workers N] [--rates 1,2,...,30]\n\
          \x20             [--fpr F] [--plans all|0,2] [--predictor oracle|cv|ca]\n\
          \x20             [--stride N] [--csv NAME] [--json NAME] [--traces]\n\
-         \x20             [--record-traces] [--batch-lanes N] [--baseline]\n\
+         \x20             [--record-traces] [--batch-lanes N] [--seed-blocks N] [--baseline]\n\
          \x20             [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]\n\
          \x20             [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]\n\
          \x20             [--max-job-failures K] [--verify-fraction F] [--fail-after N]\n\n\
          MODES:\n\
          \x20 msf      search each instance's minimum safe rate over --rates (default);\n\
          \x20          --batch-lanes N sets the lockstep lanes per pass (0 = auto = the\n\
-         \x20          whole grid, 1 = the per-rate reference search; identical exports)\n\
+         \x20          whole grid, 1 = the per-rate reference search; identical exports),\n\
+         \x20          --seed-blocks N groups up to N consecutive same-grid jobs into\n\
+         \x20          one seed-batched lockstep block (0/1 = per-job; identical exports)\n\
          \x20 probe    run each instance closed-loop at --fpr and record collisions\n\
          \x20 percam   probe each instance against the heterogeneous per-camera rate\n\
          \x20          plans selected by --plans (catalog presets, see below)\n\
@@ -451,6 +467,7 @@ fn main() -> ExitCode {
     let options = ExecOptions {
         record_traces: args.record_traces,
         batch_lanes: args.batch_lanes,
+        seed_blocks: args.seed_blocks,
     };
     let start = Instant::now();
     let mut quarantine: Option<QuarantineManifest> = None;

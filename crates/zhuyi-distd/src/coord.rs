@@ -1185,6 +1185,7 @@ fn serve_connection(
             version: PROTOCOL_VERSION,
             record_traces: options.record_traces,
             batch_lanes: options.batch_lanes.min(u32::MAX as usize) as u32,
+            seed_blocks: options.seed_blocks.min(u32::MAX as usize) as u32,
         },
     )
     .is_err()

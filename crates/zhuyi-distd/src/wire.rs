@@ -51,8 +51,9 @@ use zhuyi_registry::{ScenarioDef, ScenarioSource};
 
 /// Protocol version sent in the handshake; bumped on any frame-layout
 /// change. Coordinator and worker must match exactly. v4 added per-frame
-/// payload checksums and the [`Frame::JobFailed`] error taxonomy.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// payload checksums and the [`Frame::JobFailed`] error taxonomy; v5
+/// added the sweep-wide `seed_blocks` granularity to [`Frame::Welcome`].
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Upper bound on a single frame's payload (defends both sides against a
 /// corrupt or hostile length prefix). Kept traces are the largest payload
@@ -164,6 +165,12 @@ pub enum Frame {
         /// Sweep-wide [`zhuyi_fleet::ExecOptions::batch_lanes`], encoded
         /// as a `u32` (lane counts beyond that are meaningless).
         batch_lanes: u32,
+        /// Sweep-wide [`zhuyi_fleet::ExecOptions::seed_blocks`]: how many
+        /// consecutive minimum-safe-FPR jobs of one assignment a worker
+        /// advances through a single seed-batched lockstep loop (`0`/`1`
+        /// = per-job granularity). Exports are byte-identical at every
+        /// setting.
+        seed_blocks: u32,
     },
     /// Coordinator → worker: session refused (version mismatch, shutting
     /// down); the connection closes right after.
@@ -611,11 +618,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             version,
             record_traces,
             batch_lanes,
+            seed_blocks,
         } => {
             out.push(1);
             put_u16(&mut out, *version);
             put_bool(&mut out, *record_traces);
             put_u32(&mut out, *batch_lanes);
+            put_u32(&mut out, *seed_blocks);
         }
         Frame::Reject { reason } => {
             out.push(2);
@@ -677,6 +686,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
             version: r.u16()?,
             record_traces: r.boolean()?,
             batch_lanes: r.u32()?,
+            seed_blocks: r.u32()?,
         },
         2 => Frame::Reject {
             reason: r.string()?,
@@ -926,6 +936,7 @@ mod tests {
                 version: PROTOCOL_VERSION,
                 record_traces: false,
                 batch_lanes: 0,
+                seed_blocks: 10,
             },
             Frame::Reject {
                 reason: "protocol version 9 != 1".into(),

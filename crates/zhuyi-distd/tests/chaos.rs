@@ -326,6 +326,7 @@ fn contained_panic_reports_jobfailed_and_worker_survives() {
         &mut stream,
         &Frame::Welcome {
             batch_lanes: 0,
+            seed_blocks: 0,
             version: PROTOCOL_VERSION,
             record_traces: false,
         },

@@ -210,6 +210,7 @@ fn reassignment_supersedes_an_earlier_revoke() {
         &mut stream,
         &Frame::Welcome {
             batch_lanes: 0,
+            seed_blocks: 0,
             version: PROTOCOL_VERSION,
             record_traces: false,
         },

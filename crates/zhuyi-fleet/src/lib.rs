@@ -71,7 +71,9 @@ pub mod store;
 pub use exec::ExecOptions;
 pub use job::{JobId, JobKind, JobSpec, PredictorChoice, RateSpec, SweepJob};
 pub use plan::{SweepPlan, SweepPlanBuilder};
-pub use search::{min_safe_fpr, min_safe_fpr_batched, min_safe_fpr_with, MsfSearch};
+pub use search::{
+    min_safe_fpr, min_safe_fpr_batched, min_safe_fpr_seed_batched, min_safe_fpr_with, MsfSearch,
+};
 pub use store::{JobOutcome, JobResult, ResultStore, ScenarioSummary};
 
 /// Runs every job of `plan` on `workers` threads and merges the results
@@ -87,11 +89,76 @@ pub fn run_sweep(plan: &SweepPlan, workers: usize) -> ResultStore {
 /// [`run_sweep`] under explicit [`ExecOptions`] — e.g. `record_traces` to
 /// force the classic full-trace path for every job (identical results,
 /// higher cost; the baseline the `perf_baseline` benchmark measures
-/// against).
+/// against), or `seed_blocks` to coarsen the work-item granularity from
+/// one job to one **seed block**: up to `seed_blocks` consecutive
+/// minimum-safe-FPR jobs advanced through a single seed-batched lockstep
+/// loop (`exec::execute_seed_block`). Blocks preserve plan order, the
+/// pool merge preserves block order, and every outcome is byte-identical
+/// to its per-job execution — so exports do not change, only wall-clock
+/// and scheduling granularity do.
 pub fn run_sweep_with(plan: &SweepPlan, workers: usize, options: ExecOptions) -> ResultStore {
-    let results = pool::run_indexed(plan.jobs().to_vec(), workers, move |job| JobResult {
-        job: job.clone(),
-        outcome: exec::execute_with(&job.spec, options),
-    });
+    let jobs = plan.jobs().to_vec();
+    let blockable = options.seed_blocks > 1 && !options.record_traces && options.batch_lanes != 1;
+    if !blockable {
+        let results = pool::run_indexed(jobs, workers, move |job| JobResult {
+            job: job.clone(),
+            outcome: exec::execute_with(&job.spec, options),
+        });
+        return ResultStore::new(results);
+    }
+    let blocks = seed_blocks(jobs, options.seed_blocks);
+    let results: Vec<JobResult> =
+        pool::run_indexed(blocks, workers, move |block| execute_block(block, options))
+            .into_iter()
+            .flatten()
+            .collect();
     ResultStore::new(results)
+}
+
+/// Groups consecutive minimum-safe-FPR jobs that share a candidate grid
+/// into blocks of at most `limit`; every other job rides alone. Plan
+/// order is preserved both across and within blocks, which is what keeps
+/// the flattened result list id-ordered.
+fn seed_blocks(jobs: Vec<SweepJob>, limit: usize) -> Vec<Vec<SweepJob>> {
+    let mut blocks: Vec<Vec<SweepJob>> = Vec::new();
+    for job in jobs {
+        let extends = match (&job.spec.kind, blocks.last()) {
+            (JobKind::MinSafeFpr { candidates }, Some(block)) if block.len() < limit => {
+                matches!(&block[0].spec.kind,
+                    JobKind::MinSafeFpr { candidates: prev } if prev == candidates)
+            }
+            _ => false,
+        };
+        if extends {
+            blocks.last_mut().expect("nonempty by match").push(job);
+        } else {
+            blocks.push(vec![job]);
+        }
+    }
+    blocks
+}
+
+fn execute_block(block: &[SweepJob], options: ExecOptions) -> Vec<JobResult> {
+    let batchable = block.len() > 1
+        && block
+            .iter()
+            .all(|job| matches!(job.spec.kind, JobKind::MinSafeFpr { .. }));
+    if !batchable {
+        return block
+            .iter()
+            .map(|job| JobResult {
+                job: job.clone(),
+                outcome: exec::execute_with(&job.spec, options),
+            })
+            .collect();
+    }
+    let specs: Vec<JobSpec> = block.iter().map(|job| job.spec.clone()).collect();
+    exec::execute_seed_block(&specs, options)
+        .into_iter()
+        .zip(block)
+        .map(|(outcome, job)| JobResult {
+            job: job.clone(),
+            outcome,
+        })
+        .collect()
 }

@@ -1,0 +1,147 @@
+//! Cross-path equivalence harness: the same fuzzed registry corpus must
+//! export byte-identical results through every execution path the fleet
+//! layer offers — the per-seed per-rate loop, the rate-batched lockstep
+//! loop (all candidate rates of one instance as lanes of one sim), and
+//! the seed×rate-batched loop (whole blocks of jittered instances, each
+//! with its own road geometry, advanced through one shared tick loop).
+//!
+//! The batched paths earn their speed from aggressive sharing (one actor
+//! step per tick for all rate lanes, interleaved groups over different
+//! roads) and from safe-suffix certificates retiring lanes early, so the
+//! pin here is deliberately end-to-end: CSV, JSON, and kept probe traces
+//! all compared as bytes over a 50+ scenario generated corpus. A second
+//! test drives the same corpus through the low-level seed-batched sweep
+//! API and asserts the certificate machinery actually fired both ways —
+//! retirements *and* declines — so the equivalence above can't pass by
+//! quietly skipping the interesting paths.
+
+use zhuyi_repro::core::units::Fpr;
+use zhuyi_repro::fleet::{run_sweep_with, ExecOptions, SweepPlan};
+use zhuyi_repro::registry::{FuzzConfig, ScenarioSource};
+use zhuyi_repro::scenarios::sweep::{collides_seed_batched_with_stats, SweepContext};
+
+/// The pinned corpus: `(prefix, count, seed)` fully determine the
+/// definitions, byte for byte, so every CI run sees the same scenarios.
+const CORPUS_PREFIX: &str = "path-eq";
+const CORPUS_COUNT: usize = 50;
+const CORPUS_SEED: u64 = 20221207;
+
+/// The candidate grid the MSF jobs search. Spread so low rates collide,
+/// high rates survive, and the binary localization has real work.
+const GRID: &[u32] = &[1, 2, 4, 8, 15, 30];
+
+fn corpus() -> Vec<ScenarioSource> {
+    let defs = FuzzConfig {
+        prefix: CORPUS_PREFIX.to_string(),
+        count: CORPUS_COUNT,
+        seed: CORPUS_SEED,
+    }
+    .generate();
+    assert_eq!(defs.len(), CORPUS_COUNT);
+    defs.into_iter().map(Into::into).collect()
+}
+
+#[test]
+fn fuzzed_corpus_exports_identically_through_every_execution_path() {
+    // Two jitter seeds per scenario: seed blocks then hold genuinely
+    // different road geometry (jitter perturbs the road itself), and the
+    // fuzz templates make ~a quarter of the corpus curved, so blocks mix
+    // straight and curved groups in one lockstep loop.
+    let plan = SweepPlan::builder()
+        .sources(corpus())
+        .seeds([0, 1])
+        .probe(30.0, true)
+        .min_safe_fpr(GRID.to_vec())
+        .build();
+
+    let per_seed = run_sweep_with(
+        &plan,
+        2,
+        ExecOptions {
+            batch_lanes: 1,
+            ..ExecOptions::default()
+        },
+    );
+    let rate_batched = run_sweep_with(&plan, 2, ExecOptions::default());
+    let seed_rate_batched = run_sweep_with(
+        &plan,
+        2,
+        ExecOptions {
+            seed_blocks: 64,
+            ..ExecOptions::default()
+        },
+    );
+
+    assert_eq!(
+        per_seed.to_csv(),
+        rate_batched.to_csv(),
+        "rate-batched CSV diverged from the per-seed path"
+    );
+    assert_eq!(
+        per_seed.to_csv(),
+        seed_rate_batched.to_csv(),
+        "seed-batched CSV diverged from the per-seed path"
+    );
+    assert_eq!(
+        per_seed.to_json(),
+        rate_batched.to_json(),
+        "rate-batched JSON diverged from the per-seed path"
+    );
+    assert_eq!(
+        per_seed.to_json(),
+        seed_rate_batched.to_json(),
+        "seed-batched JSON diverged from the per-seed path"
+    );
+    // Probe jobs keep full traces; they ride alone through the blocked
+    // path (only MSF jobs block), but their bytes must still come out
+    // identical — file names and CSV contents both.
+    assert_eq!(
+        per_seed.kept_traces(),
+        rate_batched.kept_traces(),
+        "rate-batched traces diverged from the per-seed path"
+    );
+    assert_eq!(
+        per_seed.kept_traces(),
+        seed_rate_batched.kept_traces(),
+        "seed-batched traces diverged from the per-seed path"
+    );
+    assert!(
+        !per_seed.kept_traces().is_empty(),
+        "trace comparison compared nothing"
+    );
+}
+
+#[test]
+fn seed_batched_corpus_exercises_certificate_retirement_and_decline() {
+    // Same corpus, one group per scenario, every group in one lockstep
+    // loop. The stats must show both certificate outcomes: lanes retired
+    // early (the speed half) and attempts declined (the caution half) —
+    // otherwise the byte-equivalence above never stressed the paths
+    // where batched execution could actually diverge.
+    let rates: Vec<Fpr> = GRID.iter().map(|&c| Fpr(f64::from(c))).collect();
+    let scenarios: Vec<_> = corpus().iter().map(|source| source.build(1)).collect();
+    let mut contexts: Vec<SweepContext> = scenarios.iter().map(SweepContext::new).collect();
+    let (verdicts, stats) = collides_seed_batched_with_stats(&mut contexts, &rates);
+
+    assert_eq!(verdicts.len(), CORPUS_COUNT);
+    assert!(
+        verdicts.iter().flatten().any(|&collided| collided),
+        "corpus produced no collisions; the grid no longer stresses the boundary"
+    );
+    assert!(
+        verdicts.iter().flatten().any(|&collided| !collided),
+        "corpus produced no safe runs; the grid no longer stresses the boundary"
+    );
+    assert!(
+        stats.certified_lanes > 0 && stats.ticks_retired > 0,
+        "no lane was certificate-retired: the batched fast path went unexercised ({stats:?})"
+    );
+    assert!(
+        stats.cert_declines > 0,
+        "no certificate attempt declined: the conservative path went unexercised ({stats:?})"
+    );
+    assert!(
+        stats.idle_lane_ticks > 0,
+        "no tick took the verdict-only idle fast path ({stats:?})"
+    );
+}
