@@ -168,6 +168,25 @@ impl BatchStats {
         self.cert_attempts += other.cert_attempts;
         self.cert_declines += other.cert_declines;
     }
+
+    /// Folds this accounting into the installed telemetry registry (a
+    /// no-op without one), unifying batch cost accounting with the
+    /// `zhuyi-telemetry` export schema. Called once per batched run by
+    /// [`BatchSim::finish_with_stats`]; every field maps to a
+    /// deterministic `batch_*` counter.
+    pub fn fold_into_telemetry(&self) {
+        use zhuyi_telemetry::Counter;
+        zhuyi_telemetry::with(|t| {
+            t.add(Counter::BatchCollidedLanes, self.collided_lanes as u64);
+            t.add(Counter::BatchCertifiedLanes, self.certified_lanes as u64);
+            t.add(Counter::BatchLaneTicks, self.lane_ticks);
+            t.add(Counter::BatchTicksRetired, self.ticks_retired);
+            t.add(Counter::BatchIdleLaneTicks, self.idle_lane_ticks);
+            t.add(Counter::BatchPrefilterFallbacks, self.prefilter_fallbacks);
+            t.add(Counter::BatchCertAttempts, self.cert_attempts);
+            t.add(Counter::BatchCertDeclines, self.cert_declines);
+        });
+    }
 }
 
 /// Extra slack (m) the idle-tick Frenet-space circumcircle prefilter
@@ -293,6 +312,9 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
         self.stats.lane_ticks += self.live as u64;
         let time = Seconds(self.tick as f64 * self.sim.config.dt.value());
         let dt = self.sim.config.dt;
+        // Tick-phase profiling, mirroring the engine's hooks: one
+        // thread-local lookup per lockstep tick, branch-on-disabled laps.
+        let mut phases = zhuyi_telemetry::PhaseTimer::start();
 
         // Verdict-only runs take the *idle fast path* on ticks where a
         // lane's perception cannot fire a frame and no certificate
@@ -350,6 +372,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
             );
             shared_ready = true;
         }
+        phases.lap(zhuyi_telemetry::Phase::Actors);
 
         // Phase 2 — per-lane engine tick, replaying `Simulation::step_with`
         // phase for phase on the lane's own state.
@@ -428,6 +451,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
                 observer.on_scene_columns(&lane.scratch, &mut lane.scratch_aos);
                 collision_check(lane, self.sim, &mut **observer, time)
             };
+            phases.lap(zhuyi_telemetry::Phase::Collision);
             if collided {
                 lane.outcome = StepOutcome::Collided;
                 self.live -= 1;
@@ -444,9 +468,11 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
             } else {
                 lane.perception.tick_columns(&lane.scratch);
             }
+            phases.lap(zhuyi_telemetry::Phase::Perception);
             lane.perception
                 .world()
                 .coast_into(&mut lane.perceived, time);
+            phases.lap(zhuyi_telemetry::Phase::Prediction);
             lane.hints
                 .resize(lane.perceived.len(), ProjectionHint::default());
             let command =
@@ -458,6 +484,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
                 half_length: Meters(lane.ego.dims().length.value() / 2.0),
             };
             lane.ego.integrate(command, dt);
+            phases.lap(zhuyi_telemetry::Phase::Policy);
         }
 
         // Phase 3 — actor integration, in actor order (event order must
@@ -509,6 +536,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
                 }
             }
         }
+        phases.lap(zhuyi_telemetry::Phase::Actors);
 
         // Phase 4 — tick accounting and end-of-run retirement.
         self.tick += 1;
@@ -524,6 +552,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
 
         // Phase 5 — certified-safe retirement attempts (verdict-only).
         if self.certify {
+            phases.skip(); // tick accounting belongs to no phase
             for lane in &mut self.lanes {
                 if lane.outcome != StepOutcome::Running || self.tick < lane.next_cert_tick {
                     continue;
@@ -547,6 +576,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
                     lane.cert_backoff = (lane.cert_backoff * 2).min(cert::MAX_BACKOFF_TICKS);
                 }
             }
+            phases.lap(zhuyi_telemetry::Phase::Certificate);
         }
         self.live > 0
     }
@@ -596,6 +626,7 @@ impl<'sim, 'obs> BatchSim<'sim, 'obs> {
     pub fn finish_with_stats(mut self) -> (Vec<StepOutcome>, BatchStats) {
         while self.step_all() {}
         let stats = self.stats;
+        stats.fold_into_telemetry();
         (
             self.lanes.into_iter().map(|lane| lane.outcome).collect(),
             stats,
@@ -1082,6 +1113,7 @@ pub mod cert {
 
     use super::*;
     use av_perception::occlusion::BLOCKER_SHRINK;
+    use zhuyi_telemetry::CertReason;
 
     /// Whether `ZHUYI_CERT_DEBUG` is set, read once (the per-call
     /// environment lookup would allocate, and certificate attempts must
@@ -1091,11 +1123,15 @@ pub mod cert {
         *DEBUG.get_or_init(|| std::env::var_os("ZHUYI_CERT_DEBUG").is_some())
     }
 
-    /// Debug-only decline telemetry: set `ZHUYI_CERT_DEBUG=1` to log why
-    /// certificate attempts failed (reason + tick), for tuning the
+    /// Decline telemetry: every decline bumps the structured per-reason
+    /// counter in the installed telemetry registry (a branch plus one
+    /// relaxed atomic add when enabled, a branch when not); set
+    /// `ZHUYI_CERT_DEBUG=1` to additionally log the full per-instance
+    /// message (reason + tick + parameters) to stderr, for tuning the
     /// conservative envelopes against real sweeps.
     macro_rules! decline {
-        ($tick:expr, $($why:tt)*) => {{
+        ($tick:expr, $reason:expr, $($why:tt)*) => {{
+            zhuyi_telemetry::cert_decline($reason);
             if debug_declines() {
                 eprintln!("cert declined @tick {}: {}", $tick, format!($($why)*));
             }
@@ -1300,7 +1336,11 @@ pub mod cert {
         // [`CURVE_GAP_SLACK`] and [`CURVE_STALE_SLACK`] below. Sharper
         // curvature declines.
         if curvature > CURVE_KAPPA_MAX {
-            decline!(tick, "curvature {curvature:.5} beyond certificate bound");
+            decline!(
+                tick,
+                CertReason::CurvatureBeyondBound,
+                "curvature {curvature:.5} beyond certificate bound"
+            );
         }
         let curved = curvature > 0.0;
         let lat_slack = if curved { CURVE_LAT_SLACK } else { 0.0 };
@@ -1343,6 +1383,7 @@ pub mod cert {
             if !tight {
                 decline!(
                     tick,
+                    CertReason::ActorUnclassifiable,
                     "actor {} unclassifiable (d {:.2} vs ego {:.2}, pending {}, law {:?})",
                     actor.script().id,
                     actor.d().value(),
@@ -1368,10 +1409,14 @@ pub mod cert {
                 }
             } else {
                 if trailer.is_some() {
-                    decline!(tick, "multiple trailers");
+                    decline!(tick, CertReason::MultipleTrailers, "multiple trailers");
                 }
                 if inertia != Some(0.0) {
-                    decline!(tick, "trailer with pending maneuvers");
+                    decline!(
+                        tick,
+                        CertReason::TrailerPendingManeuvers,
+                        "trailer with pending maneuvers"
+                    );
                 }
                 classes.push(Class::Trailer);
                 trailer = Some(i);
@@ -1402,7 +1447,11 @@ pub mod cert {
                     _ => false,
                 };
                 if !(clears && receding && inert_floor == 0.0) {
-                    decline!(tick, "actor beyond the lead too close, closing or scripted");
+                    decline!(
+                        tick,
+                        CertReason::BeyondLeadUnclear,
+                        "actor beyond the lead too close, closing or scripted"
+                    );
                 }
             }
         }
@@ -1416,7 +1465,7 @@ pub mod cert {
         // The remaining shapes reason about what the planner will do,
         // which requires trusting the lead's track to keep refreshing.
         if lane.perception.has_frame_loss() {
-            decline!(tick, "injected frame loss");
+            decline!(tick, CertReason::FrameLoss, "injected frame loss");
         }
 
         // Every confirmed track other than the lead/trailer must already
@@ -1436,7 +1485,12 @@ pub mod cert {
             let lateral = (f.d.value() - e_d).abs();
             let needed = (track.agent.dims.width.value() + e_w) / 2.0 + corridor_margin + 0.2;
             if lateral <= needed {
-                decline!(tick, "stale in-corridor track {}", id);
+                decline!(
+                    tick,
+                    CertReason::StaleInCorridorTrack,
+                    "stale in-corridor track {}",
+                    id
+                );
             }
         }
 
@@ -1460,7 +1514,11 @@ pub mod cert {
                 s_hi = s_hi.max(a.s().value() + v_hi * remaining);
             }
             if s_hi > length - 10.0 || e_s < 2.0 {
-                decline!(tick, "run leaves the sampled arc");
+                decline!(
+                    tick,
+                    CertReason::LeavesSampledArc,
+                    "run leaves the sampled arc"
+                );
             }
         }
 
@@ -1482,6 +1540,7 @@ pub mod cert {
             if !ok {
                 decline!(
                     tick,
+                    CertReason::TrailerOutsideBand,
                     "trailer {} outside band (law {:?}, gap {:.1})",
                     t.script().id,
                     speed_law(t),
@@ -1507,10 +1566,20 @@ pub mod cert {
         // The planner must currently hold a confirmed, fresh-shaped track
         // of the lead.
         let Some(track) = lane.perception.world().track(l.script().id) else {
-            decline!(tick, "lead {} untracked", l.script().id);
+            decline!(
+                tick,
+                CertReason::LeadUntracked,
+                "lead {} untracked",
+                l.script().id
+            );
         };
         if !track.confirmed {
-            decline!(tick, "lead {} unconfirmed", l.script().id);
+            decline!(
+                tick,
+                CertReason::LeadUnconfirmed,
+                "lead {} unconfirmed",
+                l.script().id
+            );
         }
         // What the planner consumes is the *coasted* track — for a
         // constant-speed lead the dead-reckoned state tracks the truth,
@@ -1518,7 +1587,11 @@ pub mod cert {
         let coasted = track.coasted(now);
         let f = sim.road.to_frenet(coasted.state.position);
         if (f.d.value() - e_d).abs() > LEAD_D_TOL + 0.2 + stale_slack {
-            decline!(tick, "lead track laterally stale");
+            decline!(
+                tick,
+                CertReason::LeadLaterallyStale,
+                "lead track laterally stale"
+            );
         }
         let gap_perceived = (f.s.value() - e_s) - (e_len + l_dims.length.value()) / 2.0;
 
@@ -1542,7 +1615,11 @@ pub mod cert {
             .iter()
             .any(|cam| cam.sees_agent(&ego_state, &lead_agent));
         if !visible {
-            decline!(tick, "lead not currently visible");
+            decline!(
+                tick,
+                CertReason::LeadNotVisible,
+                "lead not currently visible"
+            );
         }
 
         let shape = match law {
@@ -1550,32 +1627,32 @@ pub mod cert {
                 // Shape 2 — parked ego behind a static blocker.
                 [
                     (
-                        "parked: ego still moving",
+                        CertReason::ParkedEgoMoving,
                         ego.speed().value() <= PARKED_EGO_VMAX,
                     ),
                     (
-                        "parked: stale creep unbounded",
+                        CertReason::ParkedStaleCreep,
                         ego.speed().value() * slowest_period <= PARKED_STALE_CREEP,
                     ),
-                    ("parked: lead script not fully fired", inert_floor == 0.0),
+                    (CertReason::ParkedLeadScriptPending, inert_floor == 0.0),
                     (
-                        "parked: ego accelerating",
+                        CertReason::ParkedEgoAccelerating,
                         ego.accel().value() <= PARKED_EGO_AMAX,
                     ),
                     (
-                        "parked: too close to bound creep",
+                        CertReason::ParkedGapFloor,
                         gap_true >= PARKED_GAP_FLOOR + gap_slack,
                     ),
                     (
-                        "parked: track not at rest",
+                        CertReason::ParkedTrackNotAtRest,
                         track.agent.state.speed.value() == 0.0
                             && track.agent.state.accel.value() == 0.0,
                     ),
                     (
-                        "parked: creep budget too large",
+                        CertReason::ParkedCreepBudget,
                         gap_perceived <= cfg.min_gap.value() + PARKED_GAP_SLACK,
                     ),
-                    ("parked: trailer present", trailer.is_none()),
+                    (CertReason::ParkedTrailerPresent, trailer.is_none()),
                 ]
                 .iter()
                 .find(|(_, ok)| !ok)
@@ -1589,29 +1666,29 @@ pub mod cert {
                 let range_ok = max_forward_range(lane) - RANGE_MARGIN
                     >= gap_true + drift + (e_len + l_dims.length.value()) / 2.0;
                 [
-                    ("follow: relative speed out of band", dv.abs() <= FOLLOW_DV),
+                    (CertReason::FollowRelativeSpeed, dv.abs() <= FOLLOW_DV),
                     (
-                        "follow: ego accel out of band",
+                        CertReason::FollowEgoAccel,
                         ego.accel().value().abs() <= FOLLOW_AMAX,
                     ),
-                    ("follow: gap too small", gap_true >= FOLLOW_MIN_GAP),
+                    (CertReason::FollowGapTooSmall, gap_true >= FOLLOW_MIN_GAP),
                     (
-                        "follow: below IDM equilibrium gap",
+                        CertReason::FollowBelowIdmGap,
                         gap_true >= desired * FOLLOW_GAP_FRACTION,
                     ),
                     (
-                        "follow: drift bound eats the gap",
+                        CertReason::FollowDriftEatsGap,
                         gap_true - drift >= (FOLLOW_GAP_FLOOR + gap_slack).max(inert_floor),
                     ),
                     (
-                        "follow: track speed not settled",
+                        CertReason::FollowTrackUnsettled,
                         (coasted.state.speed.value() - v_l).abs() <= 1e-3,
                     ),
                     (
-                        "follow: perceived gap inconsistent",
+                        CertReason::FollowGapInconsistent,
                         (gap_perceived - gap_true).abs() <= 0.6 + stale_slack,
                     ),
-                    ("follow: lead may out-range cameras", range_ok),
+                    (CertReason::FollowOutOfRange, range_ok),
                 ]
                 .iter()
                 .find(|(_, ok)| !ok)
@@ -1630,26 +1707,26 @@ pub mod cert {
                 let range_ok = max_forward_range(lane) - RANGE_MARGIN
                     >= gap_true + drift + (e_len + l_dims.length.value()) / 2.0;
                 [
-                    ("match: relative speed out of band", dv.abs() <= MATCH_DV),
+                    (CertReason::MatchRelativeSpeed, dv.abs() <= MATCH_DV),
                     (
-                        "match: ego accel out of band",
+                        CertReason::MatchEgoAccel,
                         ego.accel().value().abs() <= FOLLOW_AMAX,
                     ),
-                    ("match: gap too small", gap_true >= FOLLOW_MIN_GAP),
+                    (CertReason::MatchGapTooSmall, gap_true >= FOLLOW_MIN_GAP),
                     (
-                        "match: drift bound eats the gap",
+                        CertReason::MatchDriftEatsGap,
                         gap_true - drift >= (FOLLOW_GAP_FLOOR + gap_slack).max(inert_floor),
                     ),
                     (
-                        "match: track speed too stale",
+                        CertReason::MatchTrackStale,
                         (coasted.state.speed.value() - l.speed().value()).abs()
                             <= match_limit * period + 0.2,
                     ),
                     (
-                        "match: perceived gap inconsistent",
+                        CertReason::MatchGapInconsistent,
                         (gap_perceived - gap_true).abs() <= stale + 0.6 + stale_slack,
                     ),
-                    ("match: lead may out-range cameras", range_ok),
+                    (CertReason::MatchOutOfRange, range_ok),
                 ]
                 .iter()
                 .find(|(_, ok)| !ok)
@@ -1657,7 +1734,7 @@ pub mod cert {
             }
         };
         if let Some(why) = shape {
-            decline!(tick, "{why}");
+            decline!(tick, why, "{}", why.label());
         }
         true
     }

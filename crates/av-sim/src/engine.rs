@@ -262,6 +262,11 @@ impl Simulation {
         }
         let time = self.time();
         let dt = self.config.dt;
+        // Tick-phase profiling: one thread-local lookup per tick; with
+        // no registry installed every lap below is a branch on `None`
+        // (no clock reads, no atomics — the zero-overhead-when-off
+        // contract pinned by `tests/alloc_free.rs` either way).
+        let mut phases = zhuyi_telemetry::PhaseTimer::start();
 
         // Rebuild the scratch snapshot in place, column by column; pose
         // hints carry each vehicle's road segment across ticks.
@@ -275,6 +280,7 @@ impl Simulation {
                 .push_actor(actor.to_agent_hinted(&self.road, hint));
         }
         observer.on_scene_columns(&self.scratch, &mut self.scratch_aos);
+        phases.skip(); // scratch rebuild + observer fold belong to no phase
 
         // Ground-truth collision check. A center-distance prefilter over
         // footprint circumcircles — a sweep of the contiguous position
@@ -310,13 +316,17 @@ impl Simulation {
             }
         }
 
+        phases.lap(zhuyi_telemetry::Phase::Collision);
+
         // Perception sees the ground truth through sampled frames — the
         // visibility sweep reads the scratch columns directly; the
         // perceived world is coasted into a reused buffer.
         self.perception.tick_columns(&self.scratch);
+        phases.lap(zhuyi_telemetry::Phase::Perception);
         self.perception
             .world()
             .coast_into(&mut self.perceived, time);
+        phases.lap(zhuyi_telemetry::Phase::Prediction);
 
         // Ego plans against the perceived world (per-slot projection
         // hints carry last tick's winning Frenet segment); actors follow
@@ -332,10 +342,15 @@ impl Simulation {
             half_length: self.ego.dims().length / 2.0,
         };
         self.ego.integrate(command, dt);
+        phases.lap(zhuyi_telemetry::Phase::Policy);
         for actor in &mut self.actors {
             if let Some(description) = actor.step(time, dt, &ego_obs, &self.road) {
                 observer.on_event(&SimEvent::Maneuver { time, description });
             }
+        }
+        phases.lap(zhuyi_telemetry::Phase::Actors);
+        if phases.active() {
+            zhuyi_telemetry::with(|t| t.inc(zhuyi_telemetry::Counter::EngineTicks));
         }
 
         self.tick += 1;

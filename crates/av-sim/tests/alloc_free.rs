@@ -132,6 +132,84 @@ fn warm_metrics_only_ticks_are_allocation_free() {
 }
 
 #[test]
+fn warm_ticks_with_telemetry_enabled_stay_allocation_free() {
+    use av_core::prelude::*;
+    use av_perception::rig::CameraRig;
+    use av_perception::system::{PerceptionSystem, RatePlan};
+    use av_perception::world_model::TrackerConfig;
+    use av_sim::engine::{Simulation, SimulationConfig, StepOutcome};
+    use av_sim::observer::MetricsObserver;
+    use av_sim::policy::{EgoVehicle, PolicyConfig};
+    use av_sim::road::{LaneId, Road};
+    use av_sim::script::ActorScript;
+    use std::sync::Arc;
+
+    // The telemetry contract is two-sided: disabled telemetry is a
+    // branch (covered by the other tests — no registry is ever installed
+    // there), and *enabled* telemetry is atomic counter adds only. The
+    // phase timer resolves its registry once per tick and every lap is
+    // a fetch_add — the hot loop must stay allocation-free even while
+    // recording.
+    let road = Road::straight_three_lane(Meters(3000.0));
+    let ego = EgoVehicle::spawn(
+        &road,
+        LaneId(1),
+        Meters(50.0),
+        PolicyConfig::cruise(MetersPerSecond(20.0)),
+    );
+    let perception = PerceptionSystem::new(
+        CameraRig::drive_av(),
+        RatePlan::Uniform(Fpr(30.0)),
+        TrackerConfig::default(),
+    )
+    .expect("valid plan");
+    let mut sim = Simulation::new(
+        road,
+        ego,
+        vec![
+            ActorScript::obstacle(ActorId(1), LaneId(1), Meters(2500.0)),
+            ActorScript::cruising(
+                ActorId(2),
+                av_sim::script::Placement {
+                    lane: LaneId(0),
+                    s: Meters(80.0),
+                    speed: MetersPerSecond(20.0),
+                },
+            ),
+        ],
+        perception,
+        SimulationConfig {
+            duration: Seconds(20.0),
+            ..Default::default()
+        },
+    );
+    let registry = Arc::new(zhuyi_telemetry::Registry::new());
+    let _guard = zhuyi_telemetry::install(&registry);
+    let mut observer = MetricsObserver::new();
+    for _ in 0..300 {
+        assert_eq!(sim.step_with(&mut observer), StepOutcome::Running);
+    }
+    let before = allocations();
+    for _ in 0..1000 {
+        assert_eq!(sim.step_with(&mut observer), StepOutcome::Running);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{} allocations across 1000 warm telemetry-enabled ticks",
+        after - before
+    );
+    // And it actually recorded: the ticks above are in the registry.
+    let snapshot = registry.snapshot();
+    let ticks: u64 = snapshot.phase_ticks.iter().sum();
+    assert!(
+        ticks >= 1300,
+        "telemetry was installed but recorded only {ticks} phase ticks"
+    );
+}
+
+#[test]
 fn warm_batched_lockstep_ticks_are_allocation_free() {
     use av_core::prelude::*;
     use av_perception::rig::CameraRig;

@@ -16,7 +16,8 @@
 //!               [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]
 //!               [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]
 //!               [--max-job-failures K] [--verify-fraction F]
-//!               [--fail-after N] [--help]
+//!               [--fail-after N] [--telemetry] [--telemetry-out NAME]
+//!               [--metrics-listen ADDR] [--help]
 //! ```
 //!
 //! Defaults reproduce Table 1 fleet-style: `--mode msf --scenarios all
@@ -39,6 +40,14 @@
 //! for duplicate-execution cross-checking, and `--fail-after N` crashes
 //! the first spawned worker after N results. Quarantined jobs are
 //! reported and exported as a sibling `*.quarantine.csv/json` artifact.
+//!
+//! **Telemetry.** `--telemetry` collects per-phase tick profiles,
+//! per-job wall times, cert-decline reason counters, and (in dist mode)
+//! wire/runtime metrics folded from every worker — strictly out-of-band,
+//! exports stay byte-identical — and writes a sibling
+//! `NAME.telemetry.json` (override with `--telemetry-out NAME`).
+//! `--metrics-listen ADDR` (dist only) additionally serves a live
+//! Prometheus-style plaintext exposition from the coordinator.
 
 use av_scenarios::catalog::{PerCameraPlan, ScenarioId, PAPER_RATE_GRID};
 use std::path::PathBuf;
@@ -80,6 +89,9 @@ struct Args {
     max_job_failures: Option<usize>,
     verify_fraction: Option<f64>,
     fail_after: Option<u32>,
+    telemetry: bool,
+    telemetry_out: Option<String>,
+    metrics_listen: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +143,9 @@ impl Default for Args {
             max_job_failures: None,
             verify_fraction: None,
             fail_after: None,
+            telemetry: false,
+            telemetry_out: None,
+            metrics_listen: None,
         }
     }
 }
@@ -229,6 +244,14 @@ fn parse_args() -> Result<Args, String> {
             "--fail-after" => {
                 args.fail_after = Some(dcli::parse_fail_after(&value("--fail-after")?)?)
             }
+            "--telemetry" => args.telemetry = true,
+            "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?),
+            "--metrics-listen" => {
+                args.metrics_listen = Some(dcli::parse_addr(
+                    "--metrics-listen",
+                    &value("--metrics-listen")?,
+                )?)
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -254,6 +277,9 @@ fn parse_args() -> Result<Args, String> {
         max_job_failures: args.max_job_failures.is_some(),
         verify_fraction: args.verify_fraction.is_some(),
         fail_after: args.fail_after.is_some(),
+        telemetry: args.telemetry,
+        telemetry_out: args.telemetry_out.is_some(),
+        metrics_listen: args.metrics_listen.is_some(),
         export_flags: ["--csv", "--json", "--traces", "--baseline"]
             .iter()
             .filter(|f| seen.iter().any(|s| s == *f))
@@ -358,6 +384,15 @@ fn quarantine_name(name: &str) -> String {
     }
 }
 
+/// `msf.json`/`msf.csv` → `msf.telemetry.json`: the sibling telemetry
+/// artifact; always JSON regardless of the main export's format.
+fn telemetry_name(name: &str) -> String {
+    match name.rsplit_once('.') {
+        Some((stem, _)) => format!("{stem}.telemetry.json"),
+        None => format!("{name}.telemetry.json"),
+    }
+}
+
 fn usage() {
     eprintln!(
         "fleet_sweep — parallel fleet-scale scenario sweeps (threads or processes)\n\n\
@@ -368,7 +403,8 @@ fn usage() {
          \x20             [--record-traces] [--batch-lanes N] [--seed-blocks N] [--baseline]\n\
          \x20             [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]\n\
          \x20             [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]\n\
-         \x20             [--max-job-failures K] [--verify-fraction F] [--fail-after N]\n\n\
+         \x20             [--max-job-failures K] [--verify-fraction F] [--fail-after N]\n\
+         \x20             [--telemetry] [--telemetry-out NAME] [--metrics-listen ADDR]\n\n\
          MODES:\n\
          \x20 msf      search each instance's minimum safe rate over --rates (default);\n\
          \x20          --batch-lanes N sets the lockstep lanes per pass (0 = auto = the\n\
@@ -394,6 +430,13 @@ fn usage() {
          \x20 --fail-after N        crash the first spawned worker after N results\n\
          \x20 Quarantined jobs export as sibling NAME.quarantine.csv/json artifacts\n\
          \x20 (header-only when nothing was quarantined).\n\n\
+         TELEMETRY (strictly out-of-band; exports stay byte-identical):\n\
+         \x20 --telemetry           collect tick-phase profiles, job wall times, cert\n\
+         \x20                       decline reasons, and fleet runtime metrics; writes\n\
+         \x20                       a sibling NAME.telemetry.json next to --csv/--json\n\
+         \x20 --telemetry-out NAME  telemetry artifact name (requires --telemetry)\n\
+         \x20 --metrics-listen ADDR serve live Prometheus-style metrics from the\n\
+         \x20                       coordinator for the run's duration (requires --dist)\n\n\
          SCENARIO REGISTRY:\n\
          \x20 --scenario-dir DIR loads every *.scn definition in DIR instead of the\n\
          \x20 built-in catalog; --scenarios then filters by name or tag with * globs\n\
@@ -471,6 +514,7 @@ fn main() -> ExitCode {
     };
     let start = Instant::now();
     let mut quarantine: Option<QuarantineManifest> = None;
+    let telemetry_snapshot: Option<zhuyi_telemetry::Snapshot>;
     let store = if args.dist {
         let config = DistConfig {
             spawn_workers: args.workers,
@@ -490,6 +534,14 @@ fn main() -> ExitCode {
                 .fail_after
                 .map(|n| vec![vec!["--fail-after".to_string(), n.to_string()]])
                 .unwrap_or_default(),
+            telemetry: args.telemetry,
+            metrics_listen: args.metrics_listen.clone(),
+            // Telemetry runs own a flight-dump directory so panic,
+            // deadline, and quarantine post-mortems land next to the
+            // other artifacts.
+            flight_dir: args
+                .telemetry
+                .then(|| zhuyi_bench::results_dir().join("flight")),
             ..DistConfig::default()
         };
         let report = match run_distributed(&plan, &config) {
@@ -499,6 +551,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        telemetry_snapshot = report.telemetry.filter(|_| args.telemetry);
         let s = report.stats;
         println!(
             "distributed: {} workers ({} lost, {} respawned), {} shards ({} reassigned, \
@@ -527,7 +580,18 @@ fn main() -> ExitCode {
         quarantine = Some(report.quarantine);
         report.store
     } else {
-        run_sweep_with(&plan, args.workers, options)
+        // Local telemetry: install a registry for the sweep's duration;
+        // the pool gives each worker thread a shard registry and folds
+        // them back deterministically. Strictly out-of-band — the store
+        // (and every export) is byte-identical with or without it.
+        let registry = args
+            .telemetry
+            .then(|| std::sync::Arc::new(zhuyi_telemetry::Registry::new()));
+        let guard = registry.as_ref().map(zhuyi_telemetry::install);
+        let store = run_sweep_with(&plan, args.workers, options);
+        drop(guard);
+        telemetry_snapshot = registry.map(|reg| reg.snapshot());
+        store
     };
     let elapsed = start.elapsed();
     println!(
@@ -586,6 +650,16 @@ fn main() -> ExitCode {
             let path = zhuyi_bench::write_results(&name, csv);
             println!("wrote {}", path.display());
         }
+    }
+    if let Some(snapshot) = &telemetry_snapshot {
+        let name = args.telemetry_out.clone().unwrap_or_else(|| {
+            args.json
+                .as_deref()
+                .or(args.csv.as_deref())
+                .map_or_else(|| "telemetry.json".to_string(), telemetry_name)
+        });
+        let path = zhuyi_bench::write_results(&name, &snapshot.to_json());
+        println!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -16,7 +16,11 @@
 //!    *interleaved* with the per-rate path — alternating A/B within each
 //!    repetition — so co-tenant load hits both sides equally; exports
 //!    are asserted byte-identical across backends;
-//! 4. **shard scaling** (sims/sec per worker-process count): the same
+//! 4. **telemetry overhead**: the batched MSF sweep with no telemetry
+//!    registry installed vs. with one recording, interleaved the same
+//!    way; the disabled side pins the zero-overhead-when-off contract
+//!    and the committed `on_vs_off` ratio is CI-asserted;
+//! 5. **shard scaling** (sims/sec per worker-process count): the same
 //!    streaming MSF sweep distributed across 1/2/4 spawned `fleet_shard`
 //!    processes via `zhuyi-distd`, each run's exports asserted
 //!    byte-identical to the single-process sweep. Skipped (and annotated
@@ -433,6 +437,53 @@ fn main() -> ExitCode {
         seed_batched_sweep.max,
     );
 
+    // --- Phase 3: telemetry overhead (disabled vs enabled). ------------
+    // The same batched streaming sweep with no registry installed and
+    // with one recording, alternating within each rep so co-tenant noise
+    // lands on both sides equally. The disabled side is the
+    // zero-overhead-when-off contract: its median must sit within noise
+    // of the plain batched sweep above (CI asserts the committed ratio).
+    let mut telemetry_off_samples = Vec::new();
+    let mut telemetry_on_samples = Vec::new();
+    let mut telemetry_jobs = 0u64;
+    for _ in 0..args.reps {
+        let start = Instant::now();
+        let off_store = run_sweep_with(&plan, args.workers, batched_options);
+        telemetry_off_samples.push(start.elapsed().as_secs_f64());
+        let registry = std::sync::Arc::new(zhuyi_telemetry::Registry::new());
+        let start = Instant::now();
+        let on_store = {
+            let _guard = zhuyi_telemetry::install(&registry);
+            run_sweep_with(&plan, args.workers, batched_options)
+        };
+        telemetry_on_samples.push(start.elapsed().as_secs_f64());
+        telemetry_jobs =
+            registry.snapshot().counters[zhuyi_telemetry::Counter::JobsExecuted.index()];
+        assert_eq!(
+            off_store.to_csv(),
+            on_store.to_csv(),
+            "telemetry must not change exported results"
+        );
+    }
+    let telemetry_off = spread(&telemetry_off_samples);
+    let telemetry_on = spread(&telemetry_on_samples);
+    let telemetry_ratio = telemetry_on.median / telemetry_off.median.max(1e-9);
+    assert_eq!(
+        telemetry_jobs,
+        plan.len() as u64,
+        "the enabled side must have recorded every job"
+    );
+    println!(
+        "telemetry overhead: off {:.2}s, on {:.2}s -> {:.3}x enabled/disabled (interleaved; spread {:.2}-{:.2}s vs {:.2}-{:.2}s)",
+        telemetry_off.median,
+        telemetry_on.median,
+        telemetry_ratio,
+        telemetry_on.min,
+        telemetry_on.max,
+        telemetry_off.min,
+        telemetry_off.max,
+    );
+
     // --- Phase 4: shard scaling (sims/sec per worker-process count). ---
     // One rep per point: each point spawns OS processes, so best-of-reps
     // buys little against that startup noise, and the equality assert
@@ -547,6 +598,19 @@ fn main() -> ExitCode {
         sims as f64 / batched_sweep.median.max(1e-9),
         sims as f64 / per_rate_sweep.median.max(1e-9),
         batched_speedup,
+    );
+    let _ = writeln!(
+        json,
+        "  \"telemetry_overhead\": {{\"jobs_recorded\": {}, \"off_s\": {:.6}, \"off_s_min\": {:.6}, \"off_s_max\": {:.6}, \"on_s\": {:.6}, \"on_s_min\": {:.6}, \"on_s_max\": {:.6}, \"on_vs_off\": {:.3}, \"off_vs_plain_batched\": {:.3}, \"exports_identical\": true}},",
+        telemetry_jobs,
+        telemetry_off.median,
+        telemetry_off.min,
+        telemetry_off.max,
+        telemetry_on.median,
+        telemetry_on.min,
+        telemetry_on.max,
+        telemetry_ratio,
+        telemetry_off.median / batched_sweep.median.max(1e-9),
     );
     let _ = write!(
         json,

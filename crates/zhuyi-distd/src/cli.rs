@@ -223,6 +223,12 @@ pub struct DistFlags {
     pub verify_fraction: bool,
     /// `--fail-after N` was given (spawned-worker fault injection).
     pub fail_after: bool,
+    /// `--telemetry` was given.
+    pub telemetry: bool,
+    /// `--telemetry-out NAME` was given.
+    pub telemetry_out: bool,
+    /// `--metrics-listen ADDR` was given.
+    pub metrics_listen: bool,
     /// Export/reporting flags that a worker cannot honor (`--csv`,
     /// `--json`, `--traces`, `--baseline`), by flag name.
     pub export_flags: Vec<String>,
@@ -269,6 +275,18 @@ pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
                 ));
             }
         }
+        for (value, flag) in [
+            (flags.telemetry, "--telemetry"),
+            (flags.telemetry_out, "--telemetry-out"),
+            (flags.metrics_listen, "--metrics-listen"),
+        ] {
+            if value {
+                return Err(format!(
+                    "{flag} belongs to the coordinator, not a --connect worker \
+                     (workers are told to collect telemetry in the Welcome handshake)"
+                ));
+            }
+        }
         if let Some(flag) = flags.export_flags.first() {
             return Err(format!(
                 "{flag} does not apply to a --connect worker (the coordinator at {addr} owns \
@@ -287,6 +305,7 @@ pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
             (flags.max_job_failures, "--max-job-failures"),
             (flags.verify_fraction, "--verify-fraction"),
             (flags.fail_after, "--fail-after"),
+            (flags.metrics_listen, "--metrics-listen"),
         ] {
             if value {
                 return Err(format!("{flag} requires --dist"));
@@ -296,6 +315,11 @@ pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
     if flags.chaos_profile && !flags.chaos_seed {
         return Err(
             "--chaos-profile requires --chaos-seed (the fault stream is seeded)".to_string(),
+        );
+    }
+    if flags.telemetry_out && !flags.telemetry {
+        return Err(
+            "--telemetry-out requires --telemetry (nothing to write otherwise)".to_string(),
         );
     }
     Ok(())
@@ -453,6 +477,56 @@ mod tests {
         ] {
             let err = validate_dist_flags(&flags).expect_err("requires --dist");
             assert!(err.contains("--dist"), "{err}");
+        }
+    }
+
+    #[test]
+    fn telemetry_flags_are_cross_checked() {
+        // --telemetry alone is fine for a local (non-dist) sweep.
+        let local = DistFlags {
+            telemetry: true,
+            ..DistFlags::default()
+        };
+        assert_eq!(validate_dist_flags(&local), Ok(()));
+        // --telemetry-out without --telemetry has nothing to write.
+        let orphan_out = DistFlags {
+            telemetry_out: true,
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&orphan_out).expect_err("needs --telemetry");
+        assert!(err.contains("--telemetry"), "{err}");
+        // --metrics-listen serves the live coordinator; local pools have
+        // no coordinator to observe.
+        let orphan_listen = DistFlags {
+            metrics_listen: true,
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&orphan_listen).expect_err("needs --dist");
+        assert!(err.contains("--dist"), "{err}");
+        let full = DistFlags {
+            dist: true,
+            telemetry: true,
+            telemetry_out: true,
+            metrics_listen: true,
+            ..DistFlags::default()
+        };
+        assert_eq!(validate_dist_flags(&full), Ok(()));
+        // A --connect worker takes telemetry orders from the Welcome
+        // frame, not from its own flags.
+        for flags in [
+            DistFlags {
+                connect: Some("127.0.0.1:7700".into()),
+                telemetry: true,
+                ..DistFlags::default()
+            },
+            DistFlags {
+                connect: Some("127.0.0.1:7700".into()),
+                metrics_listen: true,
+                ..DistFlags::default()
+            },
+        ] {
+            let err = validate_dist_flags(&flags).expect_err("worker rejects telemetry flags");
+            assert!(err.contains("coordinator"), "{err}");
         }
     }
 

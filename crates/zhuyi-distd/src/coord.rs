@@ -84,9 +84,10 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 use zhuyi_fleet::{ExecOptions, JobId, JobResult, ResultStore, SweepJob, SweepPlan};
+use zhuyi_telemetry::{Counter, FlightRecorder, Gauge, Registry, Snapshot};
 
 /// Configuration of one distributed sweep run.
 #[derive(Debug, Clone)]
@@ -147,6 +148,22 @@ pub struct DistConfig {
     /// Test hook: abort the run (checkpoint intact) after this many fresh
     /// results, simulating a coordinator crash mid-sweep.
     pub abort_after_results: Option<usize>,
+    /// Collect telemetry: workers run with an installed registry and
+    /// piggyback cumulative [`Frame::Metrics`] snapshots on the result
+    /// stream; the coordinator folds them (in worker-id order) with its
+    /// own scheduling counters into [`DistReport::telemetry`]. Telemetry
+    /// is strictly out-of-band — it cannot change a single exported byte.
+    pub telemetry: bool,
+    /// Serve a Prometheus-style plaintext exposition of the live folded
+    /// telemetry on this `host:port` for the duration of the run.
+    /// Implies telemetry collection even when [`DistConfig::telemetry`]
+    /// is off.
+    pub metrics_listen: Option<String>,
+    /// Directory for flight-recorder dumps. When set, the coordinator
+    /// keeps a bounded ring of recent scheduling events and writes
+    /// `flight-job<ID>-<trigger>.json` post-mortems on every job panic,
+    /// deadline strike, and quarantine.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for DistConfig {
@@ -168,6 +185,9 @@ impl Default for DistConfig {
             verify_fraction: 0.0,
             chaos: None,
             abort_after_results: None,
+            telemetry: false,
+            metrics_listen: None,
+            flight_dir: None,
         }
     }
 }
@@ -221,6 +241,11 @@ pub struct DistReport {
     /// Jobs the sweep gave up on, with their recorded strikes; empty on
     /// a clean run.
     pub quarantine: QuarantineManifest,
+    /// The folded telemetry snapshot — the coordinator's own scheduling
+    /// registry merged with every worker's final cumulative snapshot in
+    /// worker-id order. `None` unless [`DistConfig::telemetry`] (or
+    /// [`DistConfig::metrics_listen`]) asked for collection.
+    pub telemetry: Option<Snapshot>,
 }
 
 /// Errors a distributed run can end with.
@@ -407,9 +432,50 @@ struct Coordinator {
     /// is removed) or mismatches (and the run fails).
     verify_pending: BTreeMap<u64, Option<Vec<u8>>>,
     max_job_failures: usize,
+    /// The coordinator's own registry (scheduling counters, gauges, and
+    /// received-frame accounting); `None` when telemetry is off.
+    telemetry: Option<Arc<Registry>>,
+    /// Latest cumulative snapshot per worker, shared with the metrics
+    /// endpoint thread. A worker's snapshot survives its death — the
+    /// work it reported on still happened.
+    worker_metrics: Arc<Mutex<BTreeMap<WorkerId, Snapshot>>>,
+    /// Bounded ring of recent scheduling events, dumped on job panics,
+    /// deadline strikes, and quarantines; `None` without a dump dir.
+    flight: Option<(FlightRecorder, PathBuf)>,
 }
 
 impl Coordinator {
+    fn note(&self, counter: Counter) {
+        if let Some(reg) = &self.telemetry {
+            reg.inc(counter);
+        }
+    }
+
+    /// Records one scheduling event into the flight ring (no-op without
+    /// a recorder).
+    fn flight_note(&self, kind: &'static str, worker: WorkerId, job: Option<u64>, detail: String) {
+        if let Some((recorder, _)) = &self.flight {
+            recorder.record(kind, worker, job, detail);
+        }
+    }
+
+    /// Dumps the flight ring for `job` into the configured dump dir as
+    /// `flight-job<ID>-<trigger>.json` (best-effort: a failed write must
+    /// not take down the sweep).
+    fn flight_dump(&self, trigger: &'static str, job: u64) {
+        if let Some((recorder, dir)) = &self.flight {
+            let path = dir.join(format!("flight-job{job}-{trigger}.json"));
+            if std::fs::write(&path, recorder.dump_json(trigger, Some(job))).is_ok() {
+                self.note(Counter::FlightDumps);
+            } else {
+                eprintln!(
+                    "fleet coordinator: could not write flight dump {}",
+                    path.display()
+                );
+            }
+        }
+    }
+
     /// True while any job still needs executing: unfinished plan jobs,
     /// or outstanding duplicate-execution copies.
     fn work_outstanding(&self) -> bool {
@@ -458,6 +524,7 @@ impl Coordinator {
             writer.append(&result)?;
         }
         self.stats.executed_jobs += 1;
+        self.flight_note("result", worker, Some(id.0), String::new());
         self.done.insert(id, result);
         Ok(true)
     }
@@ -521,6 +588,14 @@ impl Coordinator {
             .cloned()
             .expect("a struck job is always a plan job");
         self.stats.jobs_quarantined += 1;
+        self.note(Counter::QuarantinedJobs);
+        self.flight_note(
+            "quarantine",
+            0,
+            Some(id),
+            format!("{} strike(s)", strikes.len()),
+        );
+        self.flight_dump("quarantine", id);
         self.quarantined
             .insert(id, QuarantineEntry { job, strikes });
     }
@@ -563,6 +638,15 @@ impl Coordinator {
             return;
         }
         self.stats.jobs_stolen += stolen.len();
+        if let Some(reg) = &self.telemetry {
+            reg.add(Counter::Steals, stolen.len() as u64);
+        }
+        self.flight_note(
+            "steal",
+            worker,
+            None,
+            format!("{} jobs from worker {victim_worker}", stolen.len()),
+        );
         // Tell the victim to skip anything it has not started; failure to
         // deliver only costs a duplicated (identical) result.
         if let Some(victim_conn) = self.workers.get_mut(&victim_worker) {
@@ -588,6 +672,7 @@ impl Coordinator {
         }
         conn.busy = Some(batch);
         self.stats.batches_assigned += 1;
+        self.flight_note("assign", worker, None, format!("batch {batch}"));
         self.inflight.insert(
             batch,
             Inflight {
@@ -605,6 +690,8 @@ impl Coordinator {
         let conn = self.workers.remove(&worker)?;
         let _ = conn.writer.shutdown(Shutdown::Both);
         self.stats.workers_lost += 1;
+        self.note(Counter::WorkersLost);
+        self.flight_note("worker_lost", worker, None, conn.name.clone());
         eprintln!(
             "fleet coordinator: lost {}worker {} mid-sweep; reassigning its shard",
             if conn.spawned { "spawned " } else { "" },
@@ -716,6 +803,23 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
     }
 
     let fingerprint = checkpoint::plan_fingerprint(plan, config.options);
+    // Metrics serving needs a registry to read even when plain collection
+    // was not requested.
+    let telemetry_on = config.telemetry || config.metrics_listen.is_some();
+    let registry = telemetry_on.then(|| Arc::new(Registry::new()));
+    let worker_metrics: Arc<Mutex<BTreeMap<WorkerId, Snapshot>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let flight = match &config.flight_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| DistError::Io(format!("creating {}: {e}", dir.display())))?;
+            Some((
+                FlightRecorder::new(FlightRecorder::DEFAULT_CAPACITY),
+                dir.clone(),
+            ))
+        }
+        None => None,
+    };
     let mut coordinator = Coordinator {
         workers: BTreeMap::new(),
         pending: VecDeque::new(),
@@ -730,6 +834,9 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
         quarantined: BTreeMap::new(),
         verify_pending: BTreeMap::new(),
         max_job_failures: config.max_job_failures.max(1),
+        telemetry: registry.clone(),
+        worker_metrics: Arc::clone(&worker_metrics),
+        flight,
     };
 
     if let Some(path) = &config.checkpoint {
@@ -756,6 +863,9 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
             store: ResultStore::new(coordinator.done.into_values().collect()),
             stats: coordinator.stats,
             quarantine: QuarantineManifest::default(),
+            // Everything came from the checkpoint; nothing executed, so
+            // the registry (if any) is empty but well-formed.
+            telemetry: registry.as_ref().map(|reg| reg.snapshot()),
         });
     }
     coordinator.jobs_by_id = pending_jobs.iter().map(|j| (j.id.0, j.clone())).collect();
@@ -801,15 +911,32 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
     // accept loop) must dial a *routable* address: a wildcard bind like
     // 0.0.0.0:7700 is a listen address, not a destination, so map it to
     // the same-family loopback with the bound port.
-    let local_addr = if bound.ip().is_unspecified() {
-        let loopback: std::net::IpAddr = if bound.is_ipv4() {
-            std::net::Ipv4Addr::LOCALHOST.into()
-        } else {
-            std::net::Ipv6Addr::LOCALHOST.into()
-        };
-        std::net::SocketAddr::new(loopback, bound.port()).to_string()
-    } else {
-        bound.to_string()
+    let local_addr = routable_addr(bound);
+
+    // The live metrics endpoint: a plaintext Prometheus-style exposition
+    // of the coordinator registry folded with the latest worker
+    // snapshots, served for the duration of the run.
+    let metrics = match &config.metrics_listen {
+        Some(addr) => {
+            let metrics_listener = TcpListener::bind(addr)
+                .map_err(|e| DistError::Io(format!("binding metrics {addr}: {e}")))?;
+            let metrics_addr = routable_addr(
+                metrics_listener
+                    .local_addr()
+                    .map_err(|e| DistError::Io(format!("metrics local_addr: {e}")))?,
+            );
+            let metrics_stop = Arc::new(AtomicBool::new(false));
+            {
+                let reg = Arc::clone(registry.as_ref().expect("metrics imply a registry"));
+                let worker_metrics = Arc::clone(&worker_metrics);
+                let stop = Arc::clone(&metrics_stop);
+                std::thread::spawn(move || {
+                    serve_metrics(&metrics_listener, &reg, &worker_metrics, &stop)
+                });
+            }
+            Some((metrics_addr, metrics_stop))
+        }
+        None => None,
     };
 
     let (events_tx, events_rx) = mpsc::channel::<Event>();
@@ -818,6 +945,8 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
     {
         let events_tx = events_tx.clone();
         let stop = Arc::clone(&stop);
+        let registry = registry.clone();
+        let telemetry_flag = config.telemetry;
         let listener = listener
             .try_clone()
             .map_err(|e| DistError::Io(format!("cloning listener: {e}")))?;
@@ -833,14 +962,24 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                 let worker = next_worker;
                 next_worker += 1;
                 let events_tx = events_tx.clone();
-                std::thread::spawn(move || serve_connection(stream, worker, options, &events_tx));
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    serve_connection(
+                        stream,
+                        worker,
+                        options,
+                        telemetry_flag,
+                        registry,
+                        &events_tx,
+                    );
+                });
             }
         });
     }
 
     // Teardown shared by every exit path below — the accept thread,
-    // bound port, and spawned children must never outlive this call, even
-    // when setup itself fails partway.
+    // bound ports, metrics server, and spawned children must never
+    // outlive this call, even when setup itself fails partway.
     let finish = |coordinator: &mut Coordinator,
                   children: &mut Vec<ChildSlot>,
                   stop: &AtomicBool,
@@ -849,6 +988,10 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
         stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop so its thread exits.
         let _ = TcpStream::connect(local_addr);
+        if let Some((metrics_addr, metrics_stop)) = &metrics {
+            metrics_stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(metrics_addr);
+        }
         reap_children(children);
     };
 
@@ -918,6 +1061,8 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                 name,
             }) => {
                 coordinator.stats.workers_connected += 1;
+                coordinator.note(Counter::WorkersConnected);
+                coordinator.flight_note("connect", worker, None, name.clone());
                 coordinator.workers.insert(
                     worker,
                     WorkerConn {
@@ -935,7 +1080,23 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                     conn.last_seen = Instant::now();
                 }
                 match frame {
-                    Frame::Heartbeat => {}
+                    Frame::Heartbeat => {
+                        // v6: echo the beat so the worker can sample its
+                        // round-trip time (it ignores echoes when its own
+                        // telemetry is off).
+                        if let Some(conn) = coordinator.workers.get_mut(&worker) {
+                            let _ = wire::write_frame(&mut conn.writer, &Frame::Heartbeat);
+                        }
+                    }
+                    Frame::Metrics { snapshot } => {
+                        // Snapshots are cumulative; the latest one per
+                        // worker supersedes everything before it.
+                        coordinator
+                            .worker_metrics
+                            .lock()
+                            .expect("worker metrics poisoned")
+                            .insert(worker, *snapshot);
+                    }
                     Frame::Result { result } => {
                         match coordinator.handle_result(worker, *result) {
                             Ok(fresh) => {
@@ -962,6 +1123,9 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                                 .map_or("?", |c| c.name.as_str()),
                         );
                         coordinator.clear_copy(worker, job);
+                        coordinator.note(Counter::PanicStrikes);
+                        coordinator.flight_note("job_failed", worker, Some(job), error.to_string());
+                        coordinator.flight_dump("panic", job);
                         if matches!(coordinator.strike(job, error), StrikeOutcome::Retry) {
                             // Retry rides at the back so healthy work
                             // drains first; a fresh worker (or the same
@@ -1049,6 +1213,9 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                         .get(&victim)
                         .map_or("?", |c| c.name.as_str()),
                 );
+                coordinator.note(Counter::DeadlineStrikes);
+                coordinator.flight_note("deadline", victim, Some(stuck), detail.clone());
+                coordinator.flight_dump("deadline", stuck);
                 coordinator.strike(
                     stuck,
                     JobError {
@@ -1122,6 +1289,12 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
         }
         coordinator.dispatch_idle();
 
+        if let Some(reg) = &coordinator.telemetry {
+            reg.set_gauge(Gauge::LiveWorkers, coordinator.workers.len() as u64);
+            reg.set_gauge(Gauge::PendingBatches, coordinator.pending.len() as u64);
+            reg.set_gauge(Gauge::InflightBatches, coordinator.inflight.len() as u64);
+        }
+
         if coordinator.workers.is_empty()
             && children.iter().all(|slot| slot.exited)
             && config.listen.is_none()
@@ -1141,11 +1314,77 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
 
     finish(&mut coordinator, &mut children, &stop, &local_addr);
     result?;
+    // Fold the coordinator's own registry with the final cumulative
+    // snapshot of every worker, in worker-id order — deterministic
+    // regardless of the order snapshots arrived in.
+    let telemetry = registry.as_ref().map(|reg| {
+        let mut folded = reg.snapshot();
+        let workers = worker_metrics.lock().expect("worker metrics poisoned");
+        for snap in workers.values() {
+            folded.merge(snap);
+        }
+        folded
+    });
     Ok(DistReport {
         store: ResultStore::new(coordinator.done.into_values().collect()),
         stats: coordinator.stats,
         quarantine: QuarantineManifest::new(coordinator.quarantined.into_values().collect()),
+        telemetry,
     })
+}
+
+/// Maps a bound socket address to one a client can dial: wildcard binds
+/// (`0.0.0.0`, `[::]`) become the same-family loopback with the bound
+/// port; anything else round-trips unchanged.
+fn routable_addr(bound: std::net::SocketAddr) -> String {
+    if bound.ip().is_unspecified() {
+        let loopback: std::net::IpAddr = if bound.is_ipv4() {
+            std::net::Ipv4Addr::LOCALHOST.into()
+        } else {
+            std::net::Ipv6Addr::LOCALHOST.into()
+        };
+        std::net::SocketAddr::new(loopback, bound.port()).to_string()
+    } else {
+        bound.to_string()
+    }
+}
+
+/// The metrics endpoint thread: answers every connection with a
+/// Prometheus-style plaintext exposition of the coordinator registry
+/// folded with the latest worker snapshots. Exits on the stop flag (the
+/// coordinator self-connects to unblock the accept).
+fn serve_metrics(
+    listener: &TcpListener,
+    registry: &Registry,
+    worker_metrics: &Mutex<BTreeMap<WorkerId, Snapshot>>,
+    stop: &AtomicBool,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Drain (best-effort) whatever request line the client sent; the
+        // endpoint serves one document regardless of the path.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let mut request = [0u8; 1024];
+        let _ = std::io::Read::read(&mut stream, &mut request);
+        let mut folded = registry.snapshot();
+        {
+            let workers = worker_metrics.lock().expect("worker metrics poisoned");
+            for snap in workers.values() {
+                folded.merge(snap);
+            }
+        }
+        let body = folded.to_prometheus();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        );
+        let _ = std::io::Write::write_all(&mut stream, response.as_bytes());
+        let _ = stream.shutdown(Shutdown::Both);
+    }
 }
 
 /// Per-connection thread: handshake, then pump frames into the event
@@ -1154,6 +1393,8 @@ fn serve_connection(
     mut stream: TcpStream,
     worker: WorkerId,
     options: ExecOptions,
+    telemetry: bool,
+    registry: Option<Arc<Registry>>,
     events: &mpsc::Sender<Event>,
 ) {
     let _ = stream.set_nodelay(true);
@@ -1186,6 +1427,7 @@ fn serve_connection(
             record_traces: options.record_traces,
             batch_lanes: options.batch_lanes.min(u32::MAX as usize) as u32,
             seed_blocks: options.seed_blocks.min(u32::MAX as usize) as u32,
+            telemetry,
         },
     )
     .is_err()
@@ -1209,7 +1451,7 @@ fn serve_connection(
         return;
     }
     loop {
-        match wire::read_frame(&mut stream) {
+        match wire::read_frame_recorded(&mut stream, registry.as_deref()) {
             Ok(frame) => {
                 if events.send(Event::Frame { worker, frame }).is_err() {
                     return;

@@ -30,9 +30,11 @@
 //! wrong result.
 
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::wire::{self, Frame, WireError};
+use zhuyi_telemetry::{Counter, Registry};
 
 /// Per-frame fault rates, in **per-mille** (so profiles stay integral
 /// and hash-derived rolls need no floating point).
@@ -206,6 +208,7 @@ pub struct FaultTransport<W: Write> {
     chaos: Option<ChaosSpec>,
     frame_index: u64,
     dead: bool,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl<W: Write> FaultTransport<W> {
@@ -216,6 +219,7 @@ impl<W: Write> FaultTransport<W> {
             chaos: None,
             frame_index: 0,
             dead: false,
+            telemetry: None,
         }
     }
 
@@ -226,6 +230,29 @@ impl<W: Write> FaultTransport<W> {
             chaos: Some(spec),
             frame_index: 0,
             dead: false,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry registry: every delivered frame is accounted
+    /// by kind and payload bytes, and every injected fault bumps the
+    /// chaos-injection counter. The transport is shared across the
+    /// worker's main and heartbeat threads (under the caller's mutex),
+    /// so it records into an explicit `Arc`, not the thread-local
+    /// binding.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.telemetry = Some(registry);
+    }
+
+    fn note_sent(&self, frame: &Frame, payload_len: usize) {
+        if let Some(reg) = &self.telemetry {
+            reg.wire_sent(wire::frame_kind(frame), payload_len as u64);
+        }
+    }
+
+    fn note_injection(&self) {
+        if let Some(reg) = &self.telemetry {
+            reg.inc(Counter::ChaosInjections);
         }
     }
 
@@ -243,28 +270,39 @@ impl<W: Write> FaultTransport<W> {
                 "chaos: stream desynchronized by an earlier truncated frame",
             )));
         }
-        let Some(spec) = self.chaos else {
-            return wire::write_frame(&mut self.inner, frame);
+        let payload = wire::encode_frame(frame);
+        let spec = match self.chaos {
+            Some(spec) if !matches!(frame, Frame::Heartbeat) => spec,
+            _ => {
+                self.note_sent(frame, payload.len());
+                return wire::write_payload(&mut self.inner, &payload);
+            }
         };
-        if matches!(frame, Frame::Heartbeat) {
-            return wire::write_frame(&mut self.inner, frame);
-        }
         let droppable = matches!(frame, Frame::Result { .. } | Frame::JobFailed { .. });
         let action = fault_for(spec.profile, spec.seed, self.frame_index, droppable);
         self.frame_index += 1;
+        if action != FaultAction::Deliver {
+            self.note_injection();
+        }
         match action {
-            FaultAction::Deliver => wire::write_frame(&mut self.inner, frame),
+            FaultAction::Deliver => {
+                self.note_sent(frame, payload.len());
+                wire::write_payload(&mut self.inner, &payload)
+            }
             FaultAction::Drop => Ok(()),
             FaultAction::Duplicate => {
-                wire::write_frame(&mut self.inner, frame)?;
-                wire::write_frame(&mut self.inner, frame)
+                self.note_sent(frame, payload.len());
+                self.note_sent(frame, payload.len());
+                wire::write_payload(&mut self.inner, &payload)?;
+                wire::write_payload(&mut self.inner, &payload)
             }
             FaultAction::Delay(pause) => {
                 std::thread::sleep(pause);
-                wire::write_frame(&mut self.inner, frame)
+                self.note_sent(frame, payload.len());
+                wire::write_payload(&mut self.inner, &payload)
             }
             FaultAction::Truncate { keep_per_mille } => {
-                let framed = framed_bytes(frame);
+                let framed = framed_payload(&payload);
                 let keep = (framed.len() * keep_per_mille as usize / 1000)
                     .max(1)
                     .min(framed.len() - 1);
@@ -280,10 +318,11 @@ impl<W: Write> FaultTransport<W> {
                 )))
             }
             FaultAction::BitFlip { entropy } => {
-                let mut framed = framed_bytes(frame);
+                let mut framed = framed_payload(&payload);
                 let payload_bits = (framed.len() as u64 - 8) * 8;
                 let bit = entropy % payload_bits;
                 framed[8 + (bit / 8) as usize] ^= 1 << (bit % 8);
+                self.note_sent(frame, payload.len());
                 self.inner.write_all(&framed)?;
                 self.inner.flush()?;
                 Ok(())
@@ -293,12 +332,16 @@ impl<W: Write> FaultTransport<W> {
 }
 
 /// The exact bytes [`wire::write_frame`] would put on the stream.
+#[cfg(test)]
 fn framed_bytes(frame: &Frame) -> Vec<u8> {
-    let payload = wire::encode_frame(frame);
+    framed_payload(&wire::encode_frame(frame))
+}
+
+fn framed_payload(payload: &[u8]) -> Vec<u8> {
     let mut framed = Vec::with_capacity(8 + payload.len());
     framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    framed.extend_from_slice(&wire::payload_checksum(&payload).to_le_bytes());
-    framed.extend_from_slice(&payload);
+    framed.extend_from_slice(&wire::payload_checksum(payload).to_le_bytes());
+    framed.extend_from_slice(payload);
     framed
 }
 

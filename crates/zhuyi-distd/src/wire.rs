@@ -52,8 +52,11 @@ use zhuyi_registry::{ScenarioDef, ScenarioSource};
 /// Protocol version sent in the handshake; bumped on any frame-layout
 /// change. Coordinator and worker must match exactly. v4 added per-frame
 /// payload checksums and the [`Frame::JobFailed`] error taxonomy; v5
-/// added the sweep-wide `seed_blocks` granularity to [`Frame::Welcome`].
-pub const PROTOCOL_VERSION: u16 = 5;
+/// added the sweep-wide `seed_blocks` granularity to [`Frame::Welcome`];
+/// v6 added the `telemetry` flag to [`Frame::Welcome`], the
+/// [`Frame::Metrics`] snapshot piggyback, and heartbeat echoes
+/// (coordinator → worker) for round-trip latency measurement.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Upper bound on a single frame's payload (defends both sides against a
 /// corrupt or hostile length prefix). Kept traces are the largest payload
@@ -171,6 +174,11 @@ pub enum Frame {
         /// = per-job granularity). Exports are byte-identical at every
         /// setting.
         seed_blocks: u32,
+        /// Whether the sweep runs with telemetry: the worker installs a
+        /// local registry and piggybacks cumulative [`Frame::Metrics`]
+        /// snapshots onto its result stream. Strictly out of band —
+        /// sweep exports are byte-identical either way.
+        telemetry: bool,
     },
     /// Coordinator → worker: session refused (version mismatch, shutting
     /// down); the connection closes right after.
@@ -213,10 +221,42 @@ pub enum Frame {
         batch: u32,
     },
     /// Worker → coordinator: liveness signal (sent from a side thread so
-    /// long-running jobs do not read as crashes).
+    /// long-running jobs do not read as crashes). Under protocol v6 the
+    /// coordinator echoes every heartbeat straight back, and the worker
+    /// times the round trip.
     Heartbeat,
     /// Coordinator → worker: the sweep is complete; exit cleanly.
     Shutdown,
+    /// Worker → coordinator: cumulative telemetry snapshot, sent
+    /// immediately before each [`Frame::Result`] when the sweep runs
+    /// with telemetry. Cumulative (not a delta): the coordinator keeps
+    /// only the latest per worker, so stream ordering guarantees the
+    /// fold is complete once the last result has landed.
+    Metrics {
+        /// The worker's registry snapshot, whole-session cumulative.
+        /// Boxed: a snapshot is by far the largest payload and would
+        /// otherwise bloat every `Frame` on the stack.
+        snapshot: Box<zhuyi_telemetry::Snapshot>,
+    },
+}
+
+/// The telemetry catalog slot for a frame, for the frames/bytes-by-kind
+/// wire accounting.
+pub fn frame_kind(frame: &Frame) -> zhuyi_telemetry::WireKind {
+    use zhuyi_telemetry::WireKind;
+    match frame {
+        Frame::Hello { .. } => WireKind::Hello,
+        Frame::Welcome { .. } => WireKind::Welcome,
+        Frame::Reject { .. } => WireKind::Reject,
+        Frame::Assign { .. } => WireKind::Assign,
+        Frame::Revoke { .. } => WireKind::Revoke,
+        Frame::Result { .. } => WireKind::Result,
+        Frame::JobFailed { .. } => WireKind::JobFailed,
+        Frame::BatchDone { .. } => WireKind::BatchDone,
+        Frame::Heartbeat => WireKind::Heartbeat,
+        Frame::Shutdown => WireKind::Shutdown,
+        Frame::Metrics { .. } => WireKind::Metrics,
+    }
 }
 
 // --- primitive encoders -------------------------------------------------
@@ -619,12 +659,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             record_traces,
             batch_lanes,
             seed_blocks,
+            telemetry,
         } => {
             out.push(1);
             put_u16(&mut out, *version);
             put_bool(&mut out, *record_traces);
             put_u32(&mut out, *batch_lanes);
             put_u32(&mut out, *seed_blocks);
+            put_bool(&mut out, *telemetry);
         }
         Frame::Reject { reason } => {
             out.push(2);
@@ -664,6 +706,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             });
             put_str(&mut out, &error.detail);
         }
+        Frame::Metrics { snapshot } => {
+            out.push(10);
+            // The telemetry crate owns its own versioned codec; the frame
+            // carries it as opaque length-prefixed bytes.
+            let bytes = snapshot.encode();
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(&bytes);
+        }
     }
     out
 }
@@ -687,6 +737,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
             record_traces: r.boolean()?,
             batch_lanes: r.u32()?,
             seed_blocks: r.u32()?,
+            telemetry: r.boolean()?,
         },
         2 => Frame::Reject {
             reason: r.string()?,
@@ -727,6 +778,16 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
                 detail: r.string()?,
             },
         },
+        10 => {
+            let len = r.u32()? as usize;
+            let bytes = r.take(len)?;
+            Frame::Metrics {
+                snapshot: Box::new(
+                    zhuyi_telemetry::Snapshot::decode(bytes)
+                        .map_err(|e| WireError::Malformed(format!("metrics snapshot: {e}")))?,
+                ),
+            }
+        }
         other => return Err(WireError::Malformed(format!("frame tag {other}"))),
     };
     r.finish()?;
@@ -789,22 +850,67 @@ pub(crate) fn write_payload(stream: &mut impl Write, payload: &[u8]) -> Result<(
 /// including any payload whose checksum does not match — a corrupted
 /// frame never decodes.
 pub fn read_frame(stream: &mut impl Read) -> Result<Frame, WireError> {
-    let mut header = [0u8; 8];
-    stream.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4"));
-    let expected = u32::from_le_bytes(header[4..8].try_into().expect("4"));
-    if len > MAX_FRAME_LEN {
-        return Err(WireError::FrameTooLarge(len));
+    read_frame_recorded(stream, None)
+}
+
+/// [`read_frame`] with inbound telemetry: a decoded frame is accounted
+/// by kind and payload bytes; checksum mismatches bump the
+/// checksum-failure counter and every other failure the read-error
+/// counter. With `telemetry: None` this is exactly [`read_frame`].
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_frame_recorded(
+    stream: &mut impl Read,
+    telemetry: Option<&zhuyi_telemetry::Registry>,
+) -> Result<Frame, WireError> {
+    use zhuyi_telemetry::Counter;
+    let read = |stream: &mut dyn Read| -> Result<(Frame, usize), (WireError, bool)> {
+        let mut header = [0u8; 8];
+        stream
+            .read_exact(&mut header)
+            .map_err(|e| (e.into(), false))?;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4"));
+        let expected = u32::from_le_bytes(header[4..8].try_into().expect("4"));
+        if len > MAX_FRAME_LEN {
+            return Err((WireError::FrameTooLarge(len), false));
+        }
+        let mut payload = vec![0u8; len as usize];
+        stream
+            .read_exact(&mut payload)
+            .map_err(|e| (e.into(), false))?;
+        let actual = payload_checksum(&payload);
+        if actual != expected {
+            return Err((
+                WireError::Malformed(format!(
+                    "frame checksum mismatch: header says {expected:#010x}, \
+                     payload hashes to {actual:#010x}"
+                )),
+                true,
+            ));
+        }
+        let frame = decode_frame(&payload).map_err(|e| (e, false))?;
+        Ok((frame, payload.len()))
+    };
+    match read(stream) {
+        Ok((frame, len)) => {
+            if let Some(reg) = telemetry {
+                reg.wire_recv(frame_kind(&frame), len as u64);
+            }
+            Ok(frame)
+        }
+        Err((e, checksum)) => {
+            if let Some(reg) = telemetry {
+                reg.inc(if checksum {
+                    Counter::ChecksumFailures
+                } else {
+                    Counter::WireReadErrors
+                });
+            }
+            Err(e)
+        }
     }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    let actual = payload_checksum(&payload);
-    if actual != expected {
-        return Err(WireError::Malformed(format!(
-            "frame checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
-        )));
-    }
-    decode_frame(&payload)
 }
 
 #[cfg(test)]
@@ -937,6 +1043,7 @@ mod tests {
                 record_traces: false,
                 batch_lanes: 0,
                 seed_blocks: 10,
+                telemetry: true,
             },
             Frame::Reject {
                 reason: "protocol version 9 != 1".into(),
@@ -967,6 +1074,14 @@ mod tests {
                     kind: JobErrorKind::Deadline,
                     detail: "no result within 30s".into(),
                 },
+            },
+            Frame::Metrics {
+                snapshot: Box::new({
+                    let reg = zhuyi_telemetry::Registry::new();
+                    reg.inc(zhuyi_telemetry::Counter::JobsExecuted);
+                    reg.record_rtt_us(850);
+                    reg.snapshot()
+                }),
             },
         ];
         for frame in frames {

@@ -34,8 +34,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::{HashSet, VecDeque};
 use std::net::TcpStream;
 use std::sync::{Arc, Condvar, Mutex, Once};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use zhuyi_fleet::{exec, ExecOptions, JobKind, JobOutcome, JobResult, SweepJob};
+use zhuyi_telemetry::{Counter, Registry};
 
 /// Exit code of a worker whose `--fail-after` fault injection fired.
 pub const FAULT_EXIT_CODE: u8 = 17;
@@ -237,17 +238,21 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
     )
     .map_err(|e| WorkerError::Handshake(e.to_string()))?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let exec_options = match wire::read_frame(&mut stream) {
+    let (exec_options, telemetry_on) = match wire::read_frame(&mut stream) {
         Ok(Frame::Welcome {
             record_traces,
             batch_lanes,
             seed_blocks,
+            telemetry,
             ..
-        }) => ExecOptions {
-            record_traces,
-            batch_lanes: batch_lanes as usize,
-            seed_blocks: seed_blocks as usize,
-        },
+        }) => (
+            ExecOptions {
+                record_traces,
+                batch_lanes: batch_lanes as usize,
+                seed_blocks: seed_blocks as usize,
+            },
+            telemetry,
+        ),
         Ok(Frame::Reject { reason }) => return Err(WorkerError::Handshake(reason)),
         Ok(other) => {
             return Err(WorkerError::Handshake(format!(
@@ -258,24 +263,39 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
     };
     let _ = stream.set_read_timeout(None);
 
+    // Telemetry: one registry for the whole session, installed on this
+    // (the executing) thread and handed as explicit `Arc`s to the side
+    // threads — thread-local bindings do not cross `std::thread::spawn`.
+    let registry = telemetry_on.then(|| Arc::new(Registry::new()));
+    let _telemetry_guard = registry.as_ref().map(zhuyi_telemetry::install);
+    // The send instant of the most recent un-echoed heartbeat, stamped by
+    // the heartbeat thread and consumed by the reader when the
+    // coordinator's echo arrives: one round-trip sample per echo.
+    let last_beat: Arc<Mutex<Option<Instant>>> = Arc::new(Mutex::new(None));
+
     let write_half = stream
         .try_clone()
         .map_err(|e| WorkerError::Connect(e.to_string()))?;
     // The handshake above went out clean; chaos (if any) starts at the
     // first post-handshake frame, so a session always establishes.
-    let transport = match options.chaos {
+    let mut transport = match options.chaos {
         Some(spec) => FaultTransport::chaotic(write_half, spec),
         None => FaultTransport::plain(write_half),
     };
+    if let Some(reg) = &registry {
+        transport.set_telemetry(Arc::clone(reg));
+    }
     let writer = Arc::new(Mutex::new(transport));
     let inbox = Arc::new((Mutex::new(Inbox::default()), Condvar::new()));
 
     // Reader: coordinator frames → inbox.
     {
         let inbox = Arc::clone(&inbox);
+        let registry = registry.clone();
+        let last_beat = Arc::clone(&last_beat);
         let mut reader = stream;
         std::thread::spawn(move || loop {
-            let frame = wire::read_frame(&mut reader);
+            let frame = wire::read_frame_recorded(&mut reader, registry.as_deref());
             let (lock, signal) = &*inbox;
             let mut inbox = lock.lock().expect("inbox poisoned");
             match frame {
@@ -293,6 +313,16 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
                 }
                 Ok(Frame::Revoke { jobs }) => inbox.revoked.extend(jobs),
                 Ok(Frame::Shutdown) => inbox.shutdown = true,
+                Ok(Frame::Heartbeat) => {
+                    // v6: the coordinator echoes heartbeats; the elapsed
+                    // time since ours went out is one round-trip sample.
+                    if let Some(reg) = &registry {
+                        reg.inc(Counter::HeartbeatEchoes);
+                        if let Some(sent) = last_beat.lock().expect("beat clock poisoned").take() {
+                            reg.record_rtt_us(sent.elapsed().as_micros() as u64);
+                        }
+                    }
+                }
                 Ok(_) => {} // coordinator sends nothing else post-handshake
                 Err(e) => {
                     inbox.dead = Some(e.to_string());
@@ -307,10 +337,21 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
     // Heartbeat: liveness while a job simulates for seconds.
     {
         let writer = Arc::clone(&writer);
+        let registry = registry.clone();
+        let last_beat = Arc::clone(&last_beat);
         let interval = options.heartbeat_interval;
         std::thread::spawn(move || loop {
             std::thread::sleep(interval);
             let mut w = writer.lock().expect("writer poisoned");
+            if let Some(reg) = &registry {
+                reg.inc(Counter::HeartbeatsSent);
+                let mut beat = last_beat.lock().expect("beat clock poisoned");
+                // Stamp only when the previous echo was consumed, so a
+                // sample always pairs one send with its own echo.
+                if beat.is_none() {
+                    *beat = Some(Instant::now());
+                }
+            }
             if w.send(&Frame::Heartbeat).is_err() {
                 return;
             }
@@ -370,6 +411,17 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
                         let result = JobResult { job, outcome };
                         {
                             let mut w = writer.lock().expect("writer poisoned");
+                            // v6: a cumulative snapshot precedes every Result,
+                            // so once the coordinator holds a worker's last
+                            // Result it also holds metrics covering it (TCP
+                            // preserves the order).
+                            if let Some(reg) = &registry {
+                                if let Err(e) = w.send(&Frame::Metrics {
+                                    snapshot: Box::new(reg.snapshot()),
+                                }) {
+                                    return Err(WorkerError::ConnectionLost(e.to_string()));
+                                }
+                            }
                             if let Err(e) = w.send(&Frame::Result {
                                 result: Box::new(result),
                             }) {
@@ -402,6 +454,13 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
             }
         }
         let mut w = writer.lock().expect("writer poisoned");
+        if let Some(reg) = &registry {
+            if let Err(e) = w.send(&Frame::Metrics {
+                snapshot: Box::new(reg.snapshot()),
+            }) {
+                return Err(WorkerError::ConnectionLost(e.to_string()));
+            }
+        }
         if let Err(e) = w.send(&Frame::BatchDone { batch: batch_id }) {
             return Err(WorkerError::ConnectionLost(e.to_string()));
         }
@@ -463,11 +522,15 @@ fn execute_block_contained(
     if block.len() > 1 {
         let specs: Vec<zhuyi_fleet::JobSpec> = block.iter().map(|job| job.spec.clone()).collect();
         CONTAINING.with(|c| c.set(true));
+        let timer = zhuyi_telemetry::JobTimer::start();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             exec::execute_seed_block(&specs, exec_options)
         }));
         CONTAINING.with(|c| c.set(false));
         if let Ok(outcomes) = outcome {
+            // Block jobs interleave through one lockstep loop; each gets
+            // the amortized even share of the block's wall time.
+            timer.finish_block(block.iter().map(|job| job.id.0));
             return block
                 .into_iter()
                 .zip(outcomes.into_iter().map(Ok))
@@ -478,7 +541,13 @@ fn execute_block_contained(
     block
         .into_iter()
         .map(|job| {
+            let timer = zhuyi_telemetry::JobTimer::start();
             let result = execute_contained(&job, exec_options, options);
+            if result.is_ok() {
+                // A panicked job records no wall time: its strike is
+                // accounted by the coordinator, not the job histogram.
+                timer.finish(job.id.0);
+            }
             (job, result)
         })
         .collect()

@@ -169,6 +169,77 @@ fn poisoned_job_is_quarantined_without_losing_workers() {
     assert_eq!(report.quarantine.entries()[0].job.id.0, poisoned);
 }
 
+/// The flight recorder's trigger contract: with telemetry on, quarantine
+/// dumps the ring buffer — for the quarantined job and *only* that job.
+/// Healthy jobs leave no dump behind, and the folded snapshot accounts
+/// the strikes and the quarantine.
+#[test]
+fn quarantine_dumps_the_flight_recorder_for_exactly_the_poisoned_job() {
+    let plan = small_plan();
+    let poisoned = 2u64;
+    let expected = fingerprint_without(&plan, poisoned);
+    let flight_dir = tmp_dir("flight-dump");
+
+    let mut config = config();
+    config.max_job_failures = 2;
+    config.telemetry = true;
+    config.flight_dir = Some(flight_dir.clone());
+    config.worker_extra_args = vec![
+        vec!["--poison-job".into(), poisoned.to_string()],
+        vec!["--poison-job".into(), poisoned.to_string()],
+    ];
+
+    let report = run_distributed(&plan, &config).expect("sweep completes");
+    assert_eq!(fingerprint(&report.store), expected);
+    assert_eq!(report.stats.jobs_quarantined, 1);
+
+    let mut dumps: Vec<String> = std::fs::read_dir(&flight_dir)
+        .expect("flight dir")
+        .map(|entry| entry.expect("dir entry").file_name().into_string().unwrap())
+        .collect();
+    dumps.sort();
+    assert!(
+        dumps.contains(&format!("flight-job{poisoned}-quarantine.json")),
+        "quarantine must dump the flight recorder: {dumps:?}"
+    );
+    assert!(
+        dumps
+            .iter()
+            .all(|name| name.contains(&format!("job{poisoned}-"))),
+        "only the poisoned job may leave dumps (panic strikes included): {dumps:?}"
+    );
+
+    let dump =
+        std::fs::read_to_string(flight_dir.join(format!("flight-job{poisoned}-quarantine.json")))
+            .expect("read quarantine dump");
+    assert!(
+        dump.contains("\"schema\": \"zhuyi.flight.v1\"")
+            && dump.contains("\"trigger\": \"quarantine\""),
+        "dump must carry the flight schema and trigger: {dump}"
+    );
+    assert!(
+        dump.contains("\"kind\":\"quarantine\""),
+        "dump must include the quarantine event itself: {dump}"
+    );
+
+    let telemetry = report.telemetry.expect("telemetry snapshot");
+    use zhuyi_telemetry::Counter;
+    assert_eq!(
+        telemetry.counters[Counter::QuarantinedJobs.index()],
+        1,
+        "folded snapshot must count the quarantine"
+    );
+    assert_eq!(
+        telemetry.counters[Counter::PanicStrikes.index()],
+        2,
+        "folded snapshot must count both strikes"
+    );
+    assert!(
+        telemetry.counters[Counter::FlightDumps.index()] >= 1,
+        "folded snapshot must count the dumps"
+    );
+}
+
 /// A wedged job (executes forever) cannot panic its way to a strike —
 /// the per-job deadline must revoke it, strike it, and eventually
 /// quarantine it, while respawned workers finish the rest of the sweep.
@@ -329,6 +400,7 @@ fn contained_panic_reports_jobfailed_and_worker_survives() {
             seed_blocks: 0,
             version: PROTOCOL_VERSION,
             record_traces: false,
+            telemetry: false,
         },
     )
     .expect("welcome");

@@ -215,6 +215,39 @@ fn malformed_quarantine_and_verify_values_are_rejected() {
 }
 
 #[test]
+fn telemetry_flags_are_cross_validated() {
+    // --metrics-listen binds a coordinator-side endpoint; without --dist
+    // there is no coordinator to serve it.
+    assert_rejected(
+        &fleet_sweep(&["--metrics-listen", "127.0.0.1:9100"]),
+        "requires --dist",
+    );
+    // --telemetry-out names the artifact --telemetry produces.
+    assert_rejected(&fleet_sweep(&["--telemetry-out", "t.json"]), "--telemetry");
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--telemetry-out", "t.json"]),
+        "--telemetry",
+    );
+    // Malformed bind addresses are caught before any socket opens.
+    assert_rejected(
+        &fleet_sweep(&["--dist", "--metrics-listen", "nonsense"]),
+        "--metrics-listen",
+    );
+    assert_rejected(&fleet_sweep(&["--telemetry-out"]), "expects a value");
+    // A --connect worker inherits telemetry from the Welcome handshake;
+    // local flags would be dead.
+    for flag in [
+        &["--telemetry"][..],
+        &["--telemetry-out", "t.json"][..],
+        &["--metrics-listen", "127.0.0.1:9100"][..],
+    ] {
+        let mut args = vec!["--connect", "127.0.0.1:7700"];
+        args.extend_from_slice(flag);
+        assert_rejected(&fleet_sweep(&args), "coordinator");
+    }
+}
+
+#[test]
 fn malformed_shard_fault_hooks_are_rejected() {
     let base = ["--connect", "127.0.0.1:7700"];
     let with = |extra: &[&str]| {

@@ -213,6 +213,7 @@ fn reassignment_supersedes_an_earlier_revoke() {
             seed_blocks: 0,
             version: PROTOCOL_VERSION,
             record_traces: false,
+            telemetry: false,
         },
     )
     .expect("welcome");

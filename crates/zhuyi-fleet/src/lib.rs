@@ -100,9 +100,14 @@ pub fn run_sweep_with(plan: &SweepPlan, workers: usize, options: ExecOptions) ->
     let jobs = plan.jobs().to_vec();
     let blockable = options.seed_blocks > 1 && !options.record_traces && options.batch_lanes != 1;
     if !blockable {
-        let results = pool::run_indexed(jobs, workers, move |job| JobResult {
-            job: job.clone(),
-            outcome: exec::execute_with(&job.spec, options),
+        let results = pool::run_indexed(jobs, workers, move |job| {
+            let timer = zhuyi_telemetry::JobTimer::start();
+            let outcome = exec::execute_with(&job.spec, options);
+            timer.finish(job.id.0);
+            JobResult {
+                job: job.clone(),
+                outcome,
+            }
         });
         return ResultStore::new(results);
     }
@@ -146,14 +151,24 @@ fn execute_block(block: &[SweepJob], options: ExecOptions) -> Vec<JobResult> {
     if !batchable {
         return block
             .iter()
-            .map(|job| JobResult {
-                job: job.clone(),
-                outcome: exec::execute_with(&job.spec, options),
+            .map(|job| {
+                let timer = zhuyi_telemetry::JobTimer::start();
+                let outcome = exec::execute_with(&job.spec, options);
+                timer.finish(job.id.0);
+                JobResult {
+                    job: job.clone(),
+                    outcome,
+                }
             })
             .collect();
     }
     let specs: Vec<JobSpec> = block.iter().map(|job| job.spec.clone()).collect();
-    exec::execute_seed_block(&specs, options)
+    let timer = zhuyi_telemetry::JobTimer::start();
+    let outcomes = exec::execute_seed_block(&specs, options);
+    // Block execution interleaves its jobs through one lockstep loop, so
+    // each job's recorded wall time is the amortized even share.
+    timer.finish_block(block.iter().map(|job| job.id.0));
+    outcomes
         .into_iter()
         .zip(block)
         .map(|(outcome, job)| JobResult {

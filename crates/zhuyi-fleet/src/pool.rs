@@ -13,7 +13,7 @@
 //! fleet determinism tests pin down.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Runs `work` over every item on `workers` threads and returns the
 /// outputs in input order.
@@ -42,6 +42,19 @@ where
     }
     let shards: Vec<Mutex<VecDeque<(usize, I)>>> = shards.into_iter().map(Mutex::new).collect();
 
+    // Telemetry: when the caller has a registry installed, each worker
+    // gets its own private shard registry (lock-free recording — every
+    // slot is thread-local in practice) and the shards are absorbed into
+    // the caller's registry in worker-id order after the scope joins, so
+    // the merged counts are independent of scheduling. With no registry
+    // installed this is all `None` and the pool does no telemetry work.
+    let parent = zhuyi_telemetry::current();
+    let shard_regs: Option<Vec<Arc<zhuyi_telemetry::Registry>>> = parent.as_ref().map(|_| {
+        (0..workers)
+            .map(|_| Arc::new(zhuyi_telemetry::Registry::new()))
+            .collect()
+    });
+
     let mut merged: Vec<(usize, O)> = Vec::with_capacity(total);
     let collected = Mutex::new(&mut merged);
 
@@ -50,15 +63,34 @@ where
             let shards = &shards;
             let collected = &collected;
             let work = &work;
+            let shard_reg = shard_regs.as_ref().map(|regs| Arc::clone(&regs[me]));
             scope.spawn(move || {
+                // Thread-locals don't cross threads: re-install this
+                // worker's shard registry for the closure's duration.
+                let _guard = shard_reg.as_ref().map(zhuyi_telemetry::install);
                 let mut finished: Vec<(usize, O)> = Vec::new();
                 loop {
                     // Own shard first (front), then steal (back).
-                    let next = pop_own(&shards[me]).or_else(|| {
-                        (1..shards.len())
-                            .map(|step| &shards[(me + step) % shards.len()])
-                            .find_map(steal)
-                    });
+                    let next = match pop_own(&shards[me]) {
+                        Some(got) => {
+                            if let Some(reg) = &shard_reg {
+                                let depth = shards[me].lock().expect("queue shard poisoned").len();
+                                reg.record_queue_depth(depth as u64);
+                            }
+                            Some(got)
+                        }
+                        None => {
+                            let stolen = (1..shards.len())
+                                .map(|step| &shards[(me + step) % shards.len()])
+                                .find_map(steal);
+                            if stolen.is_some() {
+                                if let Some(reg) = &shard_reg {
+                                    reg.inc(zhuyi_telemetry::Counter::Steals);
+                                }
+                            }
+                            stolen
+                        }
+                    };
                     let Some((index, item)) = next else { break };
                     finished.push((index, work(&item)));
                 }
@@ -69,6 +101,12 @@ where
             });
         }
     });
+
+    if let (Some(parent), Some(regs)) = (parent, shard_regs) {
+        for reg in &regs {
+            parent.absorb(&reg.snapshot());
+        }
+    }
 
     assert_eq!(merged.len(), total, "worker pool lost results");
     merged.sort_by_key(|(index, _)| *index);

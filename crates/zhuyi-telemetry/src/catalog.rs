@@ -1,0 +1,484 @@
+//! The fixed metric catalogs: every counter, gauge, phase, wire-frame
+//! kind, and certificate-decline reason the registry can record.
+//!
+//! Slots are fixed at compile time — the registry is a set of plain
+//! arrays indexed by these enums, so recording is an atomic add with no
+//! lookup, no hashing, and no allocation. Every entry carries a stable
+//! label used verbatim in the JSON artifact and the Prometheus
+//! exposition, and a determinism class: *deterministic* values are pure
+//! functions of the executed job set (commutative sums, identical at any
+//! worker or shard count), *wall-clock* values depend on timing and
+//! scheduling and live in the documented `wall_clock` section of the
+//! export.
+
+/// One phase of a simulation tick, profiled in the `av-sim` hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Camera frame sampling and track maintenance
+    /// (`PerceptionSystem::tick_columns` / the batched idle tick).
+    Perception,
+    /// Dead-reckoning the perceived world forward (`coast_into`).
+    Prediction,
+    /// Ego planning and integration (`plan_with_hints` + `integrate`).
+    Policy,
+    /// The ground-truth collision check (prefilter + exact SAT test).
+    Collision,
+    /// Scripted actor stepping and shared-pose projection.
+    Actors,
+    /// Safe-suffix certificate attempts (batched verdict runs only).
+    Certificate,
+}
+
+impl Phase {
+    /// Number of phases (the registry's array length).
+    pub const COUNT: usize = 6;
+
+    /// Every phase, in export order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Perception,
+        Phase::Prediction,
+        Phase::Policy,
+        Phase::Collision,
+        Phase::Actors,
+        Phase::Certificate,
+    ];
+
+    /// The registry slot of this phase.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable label used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Perception => "perception",
+            Phase::Prediction => "prediction",
+            Phase::Policy => "policy",
+            Phase::Collision => "collision",
+            Phase::Actors => "actors",
+            Phase::Certificate => "certificate",
+        }
+    }
+}
+
+/// A monotonically increasing count with a fixed registry slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Engine ticks advanced through `Simulation::step_with`.
+    EngineTicks,
+    /// Sweep jobs executed to completion.
+    JobsExecuted,
+    /// Batched lanes that ended in a collision.
+    BatchCollidedLanes,
+    /// Batched lanes retired early by a safe-suffix certificate.
+    BatchCertifiedLanes,
+    /// Per-lane ticks actually simulated in batched runs.
+    BatchLaneTicks,
+    /// Per-lane ticks skipped by certificate retirement.
+    BatchTicksRetired,
+    /// Batched ticks that took the verdict-only idle fast path.
+    BatchIdleLaneTicks,
+    /// Idle ticks whose Frenet prefilter fell back to the exact check.
+    BatchPrefilterFallbacks,
+    /// Safe-suffix certificate attempts.
+    BatchCertAttempts,
+    /// Certificate attempts that declined.
+    BatchCertDeclines,
+    /// Jobs stolen from another shard's queue (pool or coordinator).
+    Steals,
+    /// Heartbeat frames sent by this worker.
+    HeartbeatsSent,
+    /// Heartbeat echoes (coordinator → worker round-trip completions).
+    HeartbeatEchoes,
+    /// Wire frames rejected by the payload checksum.
+    ChecksumFailures,
+    /// Wire read errors other than checksum failures (EOF, malformed).
+    WireReadErrors,
+    /// Faults injected by the chaos transport (drops, corruption, delays).
+    ChaosInjections,
+    /// Contained job panics counted as strikes.
+    PanicStrikes,
+    /// Per-job deadline expirations counted as strikes.
+    DeadlineStrikes,
+    /// Jobs quarantined after exhausting their failure budget.
+    QuarantinedJobs,
+    /// Flight-recorder dumps written.
+    FlightDumps,
+    /// Worker sessions accepted by the coordinator.
+    WorkersConnected,
+    /// Worker sessions lost mid-sweep.
+    WorkersLost,
+}
+
+impl Counter {
+    /// Number of counters (the registry's array length).
+    pub const COUNT: usize = 22;
+
+    /// Every counter, in export order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::EngineTicks,
+        Counter::JobsExecuted,
+        Counter::BatchCollidedLanes,
+        Counter::BatchCertifiedLanes,
+        Counter::BatchLaneTicks,
+        Counter::BatchTicksRetired,
+        Counter::BatchIdleLaneTicks,
+        Counter::BatchPrefilterFallbacks,
+        Counter::BatchCertAttempts,
+        Counter::BatchCertDeclines,
+        Counter::Steals,
+        Counter::HeartbeatsSent,
+        Counter::HeartbeatEchoes,
+        Counter::ChecksumFailures,
+        Counter::WireReadErrors,
+        Counter::ChaosInjections,
+        Counter::PanicStrikes,
+        Counter::DeadlineStrikes,
+        Counter::QuarantinedJobs,
+        Counter::FlightDumps,
+        Counter::WorkersConnected,
+        Counter::WorkersLost,
+    ];
+
+    /// The registry slot of this counter.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether the value is a pure function of the executed job set
+    /// (shard-count-independent, run-to-run identical) or wall-clock /
+    /// scheduling dependent.
+    pub fn deterministic(self) -> bool {
+        matches!(
+            self,
+            Counter::EngineTicks
+                | Counter::JobsExecuted
+                | Counter::BatchCollidedLanes
+                | Counter::BatchCertifiedLanes
+                | Counter::BatchLaneTicks
+                | Counter::BatchTicksRetired
+                | Counter::BatchIdleLaneTicks
+                | Counter::BatchPrefilterFallbacks
+                | Counter::BatchCertAttempts
+                | Counter::BatchCertDeclines
+        )
+    }
+
+    /// Stable label used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EngineTicks => "engine_ticks",
+            Counter::JobsExecuted => "jobs_executed",
+            Counter::BatchCollidedLanes => "batch_collided_lanes",
+            Counter::BatchCertifiedLanes => "batch_certified_lanes",
+            Counter::BatchLaneTicks => "batch_lane_ticks",
+            Counter::BatchTicksRetired => "batch_ticks_retired",
+            Counter::BatchIdleLaneTicks => "batch_idle_lane_ticks",
+            Counter::BatchPrefilterFallbacks => "batch_prefilter_fallbacks",
+            Counter::BatchCertAttempts => "batch_cert_attempts",
+            Counter::BatchCertDeclines => "batch_cert_declines",
+            Counter::Steals => "steals",
+            Counter::HeartbeatsSent => "heartbeats_sent",
+            Counter::HeartbeatEchoes => "heartbeat_echoes",
+            Counter::ChecksumFailures => "checksum_failures",
+            Counter::WireReadErrors => "wire_read_errors",
+            Counter::ChaosInjections => "chaos_injections",
+            Counter::PanicStrikes => "panic_strikes",
+            Counter::DeadlineStrikes => "deadline_strikes",
+            Counter::QuarantinedJobs => "quarantined_jobs",
+            Counter::FlightDumps => "flight_dumps",
+            Counter::WorkersConnected => "workers_connected",
+            Counter::WorkersLost => "workers_lost",
+        }
+    }
+}
+
+/// A last-value-wins instantaneous reading (merged by maximum, so a
+/// folded snapshot reports the peak across shards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// Workers currently connected to the coordinator.
+    LiveWorkers,
+    /// Batches waiting in the coordinator's pending queue.
+    PendingBatches,
+    /// Batches currently assigned and in flight.
+    InflightBatches,
+}
+
+impl Gauge {
+    /// Number of gauges (the registry's array length).
+    pub const COUNT: usize = 3;
+
+    /// Every gauge, in export order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::LiveWorkers,
+        Gauge::PendingBatches,
+        Gauge::InflightBatches,
+    ];
+
+    /// The registry slot of this gauge.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable label used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::LiveWorkers => "live_workers",
+            Gauge::PendingBatches => "pending_batches",
+            Gauge::InflightBatches => "inflight_batches",
+        }
+    }
+}
+
+/// One kind of distributed wire frame, for the frames/bytes-by-kind
+/// accounting. Mirrors the `zhuyi-distd` protocol's frame tags; the
+/// telemetry crate owns the catalog so both ends of the wire and the
+/// export schema agree on labels without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// Worker → coordinator session open.
+    Hello,
+    /// Coordinator → worker session accept.
+    Welcome,
+    /// Coordinator → worker session refusal.
+    Reject,
+    /// Coordinator → worker job shard.
+    Assign,
+    /// Coordinator → worker steal notification.
+    Revoke,
+    /// Worker → coordinator finished job.
+    Result,
+    /// Worker → coordinator end-of-shard marker.
+    BatchDone,
+    /// Liveness signal (both directions under protocol v6).
+    Heartbeat,
+    /// Coordinator → worker sweep-complete signal.
+    Shutdown,
+    /// Worker → coordinator contained job failure.
+    JobFailed,
+    /// Worker → coordinator cumulative telemetry snapshot.
+    Metrics,
+}
+
+impl WireKind {
+    /// Number of wire-frame kinds (the registry's array length).
+    pub const COUNT: usize = 11;
+
+    /// Every kind, in export order.
+    pub const ALL: [WireKind; WireKind::COUNT] = [
+        WireKind::Hello,
+        WireKind::Welcome,
+        WireKind::Reject,
+        WireKind::Assign,
+        WireKind::Revoke,
+        WireKind::Result,
+        WireKind::BatchDone,
+        WireKind::Heartbeat,
+        WireKind::Shutdown,
+        WireKind::JobFailed,
+        WireKind::Metrics,
+    ];
+
+    /// The registry slot of this kind.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable label used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireKind::Hello => "hello",
+            WireKind::Welcome => "welcome",
+            WireKind::Reject => "reject",
+            WireKind::Assign => "assign",
+            WireKind::Revoke => "revoke",
+            WireKind::Result => "result",
+            WireKind::BatchDone => "batch_done",
+            WireKind::Heartbeat => "heartbeat",
+            WireKind::Shutdown => "shutdown",
+            WireKind::JobFailed => "job_failed",
+            WireKind::Metrics => "metrics",
+        }
+    }
+}
+
+/// Why a safe-suffix retirement certificate declined — one variant per
+/// decline site in `av-sim`'s certificate module, so the former
+/// `ZHUYI_CERT_DEBUG` stderr stream becomes a structured per-reason
+/// counter. Labels reproduce the original decline messages verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the label carries each variant's full meaning
+pub enum CertReason {
+    CurvatureBeyondBound,
+    ActorUnclassifiable,
+    MultipleTrailers,
+    TrailerPendingManeuvers,
+    BeyondLeadUnclear,
+    FrameLoss,
+    StaleInCorridorTrack,
+    LeavesSampledArc,
+    TrailerOutsideBand,
+    LeadUntracked,
+    LeadUnconfirmed,
+    LeadLaterallyStale,
+    LeadNotVisible,
+    ParkedEgoMoving,
+    ParkedStaleCreep,
+    ParkedLeadScriptPending,
+    ParkedEgoAccelerating,
+    ParkedGapFloor,
+    ParkedTrackNotAtRest,
+    ParkedCreepBudget,
+    ParkedTrailerPresent,
+    FollowRelativeSpeed,
+    FollowEgoAccel,
+    FollowGapTooSmall,
+    FollowBelowIdmGap,
+    FollowDriftEatsGap,
+    FollowTrackUnsettled,
+    FollowGapInconsistent,
+    FollowOutOfRange,
+    MatchRelativeSpeed,
+    MatchEgoAccel,
+    MatchGapTooSmall,
+    MatchDriftEatsGap,
+    MatchTrackStale,
+    MatchGapInconsistent,
+    MatchOutOfRange,
+}
+
+impl CertReason {
+    /// Number of decline reasons (the registry's array length).
+    pub const COUNT: usize = 36;
+
+    /// Every reason, in export order.
+    pub const ALL: [CertReason; CertReason::COUNT] = [
+        CertReason::CurvatureBeyondBound,
+        CertReason::ActorUnclassifiable,
+        CertReason::MultipleTrailers,
+        CertReason::TrailerPendingManeuvers,
+        CertReason::BeyondLeadUnclear,
+        CertReason::FrameLoss,
+        CertReason::StaleInCorridorTrack,
+        CertReason::LeavesSampledArc,
+        CertReason::TrailerOutsideBand,
+        CertReason::LeadUntracked,
+        CertReason::LeadUnconfirmed,
+        CertReason::LeadLaterallyStale,
+        CertReason::LeadNotVisible,
+        CertReason::ParkedEgoMoving,
+        CertReason::ParkedStaleCreep,
+        CertReason::ParkedLeadScriptPending,
+        CertReason::ParkedEgoAccelerating,
+        CertReason::ParkedGapFloor,
+        CertReason::ParkedTrackNotAtRest,
+        CertReason::ParkedCreepBudget,
+        CertReason::ParkedTrailerPresent,
+        CertReason::FollowRelativeSpeed,
+        CertReason::FollowEgoAccel,
+        CertReason::FollowGapTooSmall,
+        CertReason::FollowBelowIdmGap,
+        CertReason::FollowDriftEatsGap,
+        CertReason::FollowTrackUnsettled,
+        CertReason::FollowGapInconsistent,
+        CertReason::FollowOutOfRange,
+        CertReason::MatchRelativeSpeed,
+        CertReason::MatchEgoAccel,
+        CertReason::MatchGapTooSmall,
+        CertReason::MatchDriftEatsGap,
+        CertReason::MatchTrackStale,
+        CertReason::MatchGapInconsistent,
+        CertReason::MatchOutOfRange,
+    ];
+
+    /// The registry slot of this reason.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable label used in exports and (without per-instance detail) in
+    /// the `ZHUYI_CERT_DEBUG` event stream — the original decline
+    /// message text.
+    pub fn label(self) -> &'static str {
+        match self {
+            CertReason::CurvatureBeyondBound => "curvature beyond certificate bound",
+            CertReason::ActorUnclassifiable => "actor unclassifiable",
+            CertReason::MultipleTrailers => "multiple trailers",
+            CertReason::TrailerPendingManeuvers => "trailer with pending maneuvers",
+            CertReason::BeyondLeadUnclear => "actor beyond the lead too close, closing or scripted",
+            CertReason::FrameLoss => "injected frame loss",
+            CertReason::StaleInCorridorTrack => "stale in-corridor track",
+            CertReason::LeavesSampledArc => "run leaves the sampled arc",
+            CertReason::TrailerOutsideBand => "trailer outside band",
+            CertReason::LeadUntracked => "lead untracked",
+            CertReason::LeadUnconfirmed => "lead unconfirmed",
+            CertReason::LeadLaterallyStale => "lead track laterally stale",
+            CertReason::LeadNotVisible => "lead not currently visible",
+            CertReason::ParkedEgoMoving => "parked: ego still moving",
+            CertReason::ParkedStaleCreep => "parked: stale creep unbounded",
+            CertReason::ParkedLeadScriptPending => "parked: lead script not fully fired",
+            CertReason::ParkedEgoAccelerating => "parked: ego accelerating",
+            CertReason::ParkedGapFloor => "parked: too close to bound creep",
+            CertReason::ParkedTrackNotAtRest => "parked: track not at rest",
+            CertReason::ParkedCreepBudget => "parked: creep budget too large",
+            CertReason::ParkedTrailerPresent => "parked: trailer present",
+            CertReason::FollowRelativeSpeed => "follow: relative speed out of band",
+            CertReason::FollowEgoAccel => "follow: ego accel out of band",
+            CertReason::FollowGapTooSmall => "follow: gap too small",
+            CertReason::FollowBelowIdmGap => "follow: below IDM equilibrium gap",
+            CertReason::FollowDriftEatsGap => "follow: drift bound eats the gap",
+            CertReason::FollowTrackUnsettled => "follow: track speed not settled",
+            CertReason::FollowGapInconsistent => "follow: perceived gap inconsistent",
+            CertReason::FollowOutOfRange => "follow: lead may out-range cameras",
+            CertReason::MatchRelativeSpeed => "match: relative speed out of band",
+            CertReason::MatchEgoAccel => "match: ego accel out of band",
+            CertReason::MatchGapTooSmall => "match: gap too small",
+            CertReason::MatchDriftEatsGap => "match: drift bound eats the gap",
+            CertReason::MatchTrackStale => "match: track speed too stale",
+            CertReason::MatchGapInconsistent => "match: perceived gap inconsistent",
+            CertReason::MatchOutOfRange => "match: lead may out-range cameras",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_indices_are_dense_and_ordered() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(g.index(), i);
+        }
+        for (i, k) in WireKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        for (i, r) in CertReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        names.extend(Phase::ALL.iter().map(|p| p.name()));
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate catalog label");
+
+        let mut reasons: Vec<&str> = CertReason::ALL.iter().map(|r| r.label()).collect();
+        let before = reasons.len();
+        reasons.sort_unstable();
+        reasons.dedup();
+        assert_eq!(reasons.len(), before, "duplicate decline reason label");
+    }
+}

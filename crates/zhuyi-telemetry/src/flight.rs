@@ -1,0 +1,184 @@
+//! The flight recorder: a bounded ring of recent structured events,
+//! dumped as JSON for post-mortem debugging when something goes wrong
+//! (job panic, deadline strike, quarantine).
+//!
+//! The recorder is deliberately coordinator-side in the distributed
+//! fleet: a wedged or killed worker cannot dump its own history, but the
+//! coordinator observed every assign/result/failure that led up to the
+//! event. Recording is cheap (one mutex push per *scheduling* event,
+//! never per tick) and the ring is bounded, so a long sweep holds only
+//! the recent past.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One recorded scheduling event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Milliseconds since the recorder was created.
+    pub at_ms: u64,
+    /// Stable event kind (`"assign"`, `"result"`, `"job_failed"`,
+    /// `"strike"`, `"deadline"`, `"worker_lost"`, `"quarantine"`, …).
+    pub kind: &'static str,
+    /// The worker the event concerns (0 when not worker-specific).
+    pub worker: u64,
+    /// The job the event concerns, if any.
+    pub job: Option<u64>,
+    /// Free-text detail (panic message, strike count, addresses).
+    pub detail: String,
+}
+
+/// A bounded ring buffer of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<FlightEvent>>,
+}
+
+impl FlightRecorder {
+    /// Default ring capacity: enough to hold the recent scheduling
+    /// history of a large sweep without unbounded growth.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A recorder holding at most `capacity` recent events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 1024))),
+        }
+    }
+
+    /// Records one event, evicting the oldest once full.
+    pub fn record(
+        &self,
+        kind: &'static str,
+        worker: u64,
+        job: Option<u64>,
+        detail: impl Into<String>,
+    ) {
+        let event = FlightEvent {
+            at_ms: self.start.elapsed().as_millis() as u64,
+            kind,
+            worker,
+            job,
+            detail: detail.into(),
+        };
+        let mut events = self.events.lock().expect("flight ring poisoned");
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("flight ring poisoned").len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the ring (oldest first) as a JSON dump document for the
+    /// given trigger. `trigger` and `job` identify why the dump was
+    /// taken; the events are the recent history leading up to it.
+    pub fn dump_json(&self, trigger: &str, job: Option<u64>) -> String {
+        let events = self.events.lock().expect("flight ring poisoned");
+        let mut out = String::with_capacity(256 + events.len() * 96);
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"zhuyi.flight.v1\",\n  \"trigger\": \"{}\",\n  \"job\": {},\n  \"events\": [",
+            escape(trigger),
+            match job {
+                Some(id) => id.to_string(),
+                None => "null".to_string(),
+            }
+        );
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"at_ms\":{},\"kind\":\"{}\",\"worker\":{},\"job\":{},\"detail\":\"{}\"}}",
+                e.at_ms,
+                escape(e.kind),
+                e.worker,
+                match e.job {
+                    Some(id) => id.to_string(),
+                    None => "null".to_string(),
+                },
+                escape(&e.detail)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for event details (quotes, backslashes,
+/// control characters — panic messages can contain any of them).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let recorder = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            recorder.record("assign", 1, Some(i), format!("batch {i}"));
+        }
+        assert_eq!(recorder.len(), 3);
+        let dump = recorder.dump_json("test", None);
+        assert!(!dump.contains("batch 0"));
+        assert!(!dump.contains("batch 1"));
+        assert!(dump.contains("batch 2"));
+        assert!(dump.contains("batch 4"));
+    }
+
+    #[test]
+    fn dump_is_valid_shaped_json_with_escaping() {
+        let recorder = FlightRecorder::new(8);
+        recorder.record(
+            "job_failed",
+            2,
+            Some(5),
+            "panicked at 'index out of bounds: the len is 3'\nnote: \"quoted\"",
+        );
+        let dump = recorder.dump_json("quarantine", Some(5));
+        assert!(dump.contains("\"schema\": \"zhuyi.flight.v1\""));
+        assert!(dump.contains("\"trigger\": \"quarantine\""));
+        assert!(dump.contains("\"job\": 5"));
+        assert!(dump.contains("\\n"));
+        assert!(dump.contains("\\\"quoted\\\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            dump.matches('{').count(),
+            dump.matches('}').count(),
+            "unbalanced braces in {dump}"
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! The live metrics registry: fixed-slot atomic arrays plus log-scale
+//! histograms, lock-free on every recording path that a simulation tick
+//! can hit.
+//!
+//! A registry is one *shard*: each thread that records installs its own
+//! (or a shared one) and the owner merges shard snapshots in id order,
+//! which is what keeps folded artifacts deterministic — u64 sums are
+//! commutative, so any merge order of the same per-job increments yields
+//! the same totals. The only lock in the struct guards the per-job
+//! timing list, which is touched once per *job* (milliseconds to
+//! seconds of work), never per tick.
+
+use crate::catalog::{CertReason, Counter, Gauge, Phase, WireKind};
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log2 buckets in every histogram: bucket `i` holds values
+/// whose bit length is `i` (so bucket 0 is exactly zero, bucket 1 is
+/// `1`, bucket 2 is `2..=3`, …), with everything of bit length ≥ 31
+/// clamped into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A lock-free log2-bucketed histogram of `u64` samples.
+///
+/// Recording is three relaxed atomic adds (count, sum, bucket) — no
+/// allocation, no lock — which is what lets duration histograms sit on
+/// the tick path without breaking the zero-allocation claim.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - u64::leading_zeros(value)).min(HISTOGRAM_BUCKETS as u32 - 1) as usize;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current state into a plain snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn absorb(&self, snap: &HistogramSnapshot) {
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        for (bucket, &v) in self.buckets.iter().zip(&snap.buckets) {
+            bucket.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+}
+
+fn atomic_array<const N: usize>() -> [AtomicU64; N] {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
+/// One telemetry shard: every slot of every catalog, live.
+///
+/// See the crate docs for the install/record/merge model. All recording
+/// methods are `&self`, relaxed-atomic, and allocation-free except
+/// [`Registry::record_job`] (a per-job `Vec` push, explicitly off the
+/// tick path).
+#[derive(Debug)]
+pub struct Registry {
+    phase_ticks: [AtomicU64; Phase::COUNT],
+    phase_ns: [Histogram; Phase::COUNT],
+    cert_declines: [AtomicU64; CertReason::COUNT],
+    counters: [AtomicU64; Counter::COUNT],
+    gauges: [AtomicU64; Gauge::COUNT],
+    wire_sent_frames: [AtomicU64; WireKind::COUNT],
+    wire_sent_bytes: [AtomicU64; WireKind::COUNT],
+    wire_recv_frames: [AtomicU64; WireKind::COUNT],
+    wire_recv_bytes: [AtomicU64; WireKind::COUNT],
+    job_wall_us: Histogram,
+    queue_depth: Histogram,
+    heartbeat_rtt_us: Histogram,
+    jobs: Mutex<Vec<(u64, u64)>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            phase_ticks: atomic_array(),
+            phase_ns: Default::default(),
+            cert_declines: atomic_array(),
+            counters: atomic_array(),
+            gauges: atomic_array(),
+            wire_sent_frames: atomic_array(),
+            wire_sent_bytes: atomic_array(),
+            wire_recv_frames: atomic_array(),
+            wire_recv_bytes: atomic_array(),
+            job_wall_us: Histogram::default(),
+            queue_depth: Histogram::default(),
+            heartbeat_rtt_us: Histogram::default(),
+            jobs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Adds one to `counter`.
+    pub fn inc(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Adds `n` to `counter`.
+    pub fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets `gauge` to its current instantaneous value.
+    pub fn set_gauge(&self, gauge: Gauge, value: u64) {
+        self.gauges[gauge.index()].store(value, Ordering::Relaxed);
+    }
+
+    /// Records one completed tick phase: a tick count plus its duration.
+    pub fn phase_lap(&self, phase: Phase, nanos: u64) {
+        self.phase_ticks[phase.index()].fetch_add(1, Ordering::Relaxed);
+        self.phase_ns[phase.index()].record(nanos);
+    }
+
+    /// Counts one certificate decline for `reason`.
+    pub fn cert_decline(&self, reason: CertReason) {
+        self.cert_declines[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one outbound wire frame of `kind` and its payload bytes.
+    pub fn wire_sent(&self, kind: WireKind, bytes: u64) {
+        self.wire_sent_frames[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.wire_sent_bytes[kind.index()].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Accounts one inbound wire frame of `kind` and its payload bytes.
+    pub fn wire_recv(&self, kind: WireKind, bytes: u64) {
+        self.wire_recv_frames[kind.index()].fetch_add(1, Ordering::Relaxed);
+        self.wire_recv_bytes[kind.index()].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one finished job's wall time (id, microseconds). The one
+    /// allocating record path — called once per job, never per tick.
+    pub fn record_job(&self, id: u64, micros: u64) {
+        self.job_wall_us.record(micros);
+        self.inc(Counter::JobsExecuted);
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .push((id, micros));
+    }
+
+    /// Samples the local queue depth after a dequeue.
+    pub fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth.record(depth);
+    }
+
+    /// Records one heartbeat round-trip latency in microseconds.
+    pub fn record_rtt_us(&self, micros: u64) {
+        self.heartbeat_rtt_us.record(micros);
+    }
+
+    /// Copies the whole registry into a plain [`Snapshot`]. Per-job
+    /// records come out sorted by (id, wall) so equal-content registries
+    /// snapshot to equal bytes regardless of completion order.
+    pub fn snapshot(&self) -> Snapshot {
+        let load = |slots: &[AtomicU64]| -> Vec<u64> {
+            slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+        };
+        let mut jobs = self.jobs.lock().expect("job list poisoned").clone();
+        jobs.sort_unstable();
+        Snapshot {
+            phase_ticks: load(&self.phase_ticks).try_into().expect("phase arity"),
+            phase_ns: std::array::from_fn(|i| self.phase_ns[i].snapshot()),
+            cert_declines: load(&self.cert_declines).try_into().expect("reason arity"),
+            counters: load(&self.counters).try_into().expect("counter arity"),
+            gauges: load(&self.gauges).try_into().expect("gauge arity"),
+            wire_sent_frames: load(&self.wire_sent_frames).try_into().expect("wire arity"),
+            wire_sent_bytes: load(&self.wire_sent_bytes).try_into().expect("wire arity"),
+            wire_recv_frames: load(&self.wire_recv_frames).try_into().expect("wire arity"),
+            wire_recv_bytes: load(&self.wire_recv_bytes).try_into().expect("wire arity"),
+            job_wall_us: self.job_wall_us.snapshot(),
+            queue_depth: self.queue_depth.snapshot(),
+            heartbeat_rtt_us: self.heartbeat_rtt_us.snapshot(),
+            jobs,
+            shards_folded: 1,
+        }
+    }
+
+    /// Folds a shard snapshot into this live registry: counters,
+    /// histograms, and per-job records add; gauges keep the maximum.
+    /// Merging shards in id order over commutative sums is what makes
+    /// the folded artifact independent of scheduling.
+    pub fn absorb(&self, snap: &Snapshot) {
+        let fold = |slots: &[AtomicU64], values: &[u64]| {
+            for (slot, &v) in slots.iter().zip(values) {
+                slot.fetch_add(v, Ordering::Relaxed);
+            }
+        };
+        fold(&self.phase_ticks, &snap.phase_ticks);
+        fold(&self.cert_declines, &snap.cert_declines);
+        fold(&self.counters, &snap.counters);
+        fold(&self.wire_sent_frames, &snap.wire_sent_frames);
+        fold(&self.wire_sent_bytes, &snap.wire_sent_bytes);
+        fold(&self.wire_recv_frames, &snap.wire_recv_frames);
+        fold(&self.wire_recv_bytes, &snap.wire_recv_bytes);
+        for (gauge, &v) in self.gauges.iter().zip(&snap.gauges) {
+            gauge.fetch_max(v, Ordering::Relaxed);
+        }
+        for (hist, s) in self.phase_ns.iter().zip(&snap.phase_ns) {
+            hist.absorb(s);
+        }
+        self.job_wall_us.absorb(&snap.job_wall_us);
+        self.queue_depth.absorb(&snap.queue_depth);
+        self.heartbeat_rtt_us.absorb(&snap.heartbeat_rtt_us);
+        self.jobs
+            .lock()
+            .expect("job list poisoned")
+            .extend_from_slice(&snap.jobs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        h.record(u64::MAX); // clamped into the last bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1030u64.wrapping_add(u64::MAX)); // sum wraps by design
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[11], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_gauges() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.inc(Counter::Steals);
+        a.set_gauge(Gauge::LiveWorkers, 2);
+        b.add(Counter::Steals, 4);
+        b.set_gauge(Gauge::LiveWorkers, 7);
+        b.cert_decline(CertReason::MultipleTrailers);
+        b.phase_lap(Phase::Policy, 1200);
+        a.absorb(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.counters[Counter::Steals.index()], 5);
+        assert_eq!(s.gauges[Gauge::LiveWorkers.index()], 7);
+        assert_eq!(s.cert_declines[CertReason::MultipleTrailers.index()], 1);
+        assert_eq!(s.phase_ticks[Phase::Policy.index()], 1);
+        assert_eq!(s.phase_ns[Phase::Policy.index()].sum, 1200);
+    }
+
+    #[test]
+    fn job_records_snapshot_sorted() {
+        let r = Registry::new();
+        r.record_job(9, 100);
+        r.record_job(3, 50);
+        r.record_job(9, 90);
+        let s = r.snapshot();
+        assert_eq!(s.jobs, vec![(3, 50), (9, 90), (9, 100)]);
+        assert_eq!(s.counters[Counter::JobsExecuted.index()], 3);
+        assert_eq!(s.job_wall_us.count, 3);
+    }
+}

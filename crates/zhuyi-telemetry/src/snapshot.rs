@@ -1,0 +1,548 @@
+//! Plain-data snapshots of a registry: the unit that crosses threads,
+//! crosses the distributed wire (piggybacked on the v6 protocol), merges
+//! into folded artifacts, and renders as JSON or Prometheus text.
+//!
+//! # Determinism contract
+//!
+//! The JSON artifact has two top-level sections. `"deterministic"`
+//! holds pure commutative sums over the executed job set — per-phase
+//! tick counts, certificate-decline reason counters, batch accounting —
+//! which are byte-identical run-to-run and at any worker/shard count
+//! for in-process sweeps (distributed sweeps under chaos may
+//! double-execute stolen jobs; their telemetry is best-effort).
+//! `"wall_clock"` holds everything timing- or scheduling-dependent:
+//! duration histograms, per-job wall times, queue depths, heartbeat
+//! round-trips, wire accounting. Consumers that diff artifacts must
+//! compare only the deterministic section — exactly what the
+//! determinism test does via [`Snapshot::deterministic_json`].
+
+use crate::catalog::{CertReason, Counter, Gauge, Phase, WireKind};
+use crate::registry::HISTOGRAM_BUCKETS;
+use std::fmt::Write as _;
+
+/// Schema identifier written into every JSON artifact.
+pub const SCHEMA: &str = "zhuyi.telemetry.v1";
+
+/// Version byte leading every encoded snapshot on the wire.
+const WIRE_VERSION: u8 = 1;
+
+/// A plain copy of one [`crate::Registry`] histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Log2 bucket counts; bucket `i` holds samples of bit length `i`
+    /// (upper bound `2^i - 1`), the last bucket clamps the tail.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    fn json(&self) -> String {
+        let mut buckets = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !buckets.is_empty() {
+                buckets.push(',');
+            }
+            let le: u64 = if i == 0 { 0 } else { (1u64 << i) - 1 };
+            let _ = write!(buckets, "[{le},{n}]");
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            self.count, self.sum, buckets
+        )
+    }
+}
+
+/// A plain, mergeable, wire-encodable copy of a whole registry shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Ticks recorded per phase (deterministic).
+    pub phase_ticks: [u64; Phase::COUNT],
+    /// Per-phase duration histograms, nanoseconds (wall-clock).
+    pub phase_ns: [HistogramSnapshot; Phase::COUNT],
+    /// Certificate declines per reason (deterministic).
+    pub cert_declines: [u64; CertReason::COUNT],
+    /// Counter values (split by [`Counter::deterministic`]).
+    pub counters: [u64; Counter::COUNT],
+    /// Gauge values (wall-clock; merged by maximum).
+    pub gauges: [u64; Gauge::COUNT],
+    /// Outbound wire frames per kind (wall-clock).
+    pub wire_sent_frames: [u64; WireKind::COUNT],
+    /// Outbound wire payload bytes per kind (wall-clock).
+    pub wire_sent_bytes: [u64; WireKind::COUNT],
+    /// Inbound wire frames per kind (wall-clock).
+    pub wire_recv_frames: [u64; WireKind::COUNT],
+    /// Inbound wire payload bytes per kind (wall-clock).
+    pub wire_recv_bytes: [u64; WireKind::COUNT],
+    /// Per-job wall-time histogram, microseconds (wall-clock).
+    pub job_wall_us: HistogramSnapshot,
+    /// Queue-depth samples at dequeue time (wall-clock).
+    pub queue_depth: HistogramSnapshot,
+    /// Heartbeat round-trip latency histogram, microseconds (wall-clock).
+    pub heartbeat_rtt_us: HistogramSnapshot,
+    /// Per-job `(id, wall microseconds)` records, sorted (wall-clock).
+    pub jobs: Vec<(u64, u64)>,
+    /// How many registry shards were folded into this snapshot.
+    pub shards_folded: u64,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Self {
+            phase_ticks: [0; Phase::COUNT],
+            phase_ns: [HistogramSnapshot::default(); Phase::COUNT],
+            cert_declines: [0; CertReason::COUNT],
+            counters: [0; Counter::COUNT],
+            gauges: [0; Gauge::COUNT],
+            wire_sent_frames: [0; WireKind::COUNT],
+            wire_sent_bytes: [0; WireKind::COUNT],
+            wire_recv_frames: [0; WireKind::COUNT],
+            wire_recv_bytes: [0; WireKind::COUNT],
+            job_wall_us: HistogramSnapshot::default(),
+            queue_depth: HistogramSnapshot::default(),
+            heartbeat_rtt_us: HistogramSnapshot::default(),
+            jobs: Vec::new(),
+            shards_folded: 0,
+        }
+    }
+}
+
+impl Snapshot {
+    /// Folds `other` into `self`: sums everywhere, maximum for gauges,
+    /// job records appended and re-sorted.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let fold = |a: &mut [u64], b: &[u64]| {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        fold(&mut self.phase_ticks, &other.phase_ticks);
+        fold(&mut self.cert_declines, &other.cert_declines);
+        fold(&mut self.counters, &other.counters);
+        fold(&mut self.wire_sent_frames, &other.wire_sent_frames);
+        fold(&mut self.wire_sent_bytes, &other.wire_sent_bytes);
+        fold(&mut self.wire_recv_frames, &other.wire_recv_frames);
+        fold(&mut self.wire_recv_bytes, &other.wire_recv_bytes);
+        for (g, &o) in self.gauges.iter_mut().zip(&other.gauges) {
+            *g = (*g).max(o);
+        }
+        for (h, o) in self.phase_ns.iter_mut().zip(&other.phase_ns) {
+            h.merge(o);
+        }
+        self.job_wall_us.merge(&other.job_wall_us);
+        self.queue_depth.merge(&other.queue_depth);
+        self.heartbeat_rtt_us.merge(&other.heartbeat_rtt_us);
+        self.jobs.extend_from_slice(&other.jobs);
+        self.jobs.sort_unstable();
+        self.shards_folded += other.shards_folded;
+    }
+
+    // --- wire codec -----------------------------------------------------
+
+    /// Encodes the snapshot as deterministic little-endian bytes (the
+    /// payload of the v6 protocol's Metrics frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2048);
+        out.push(WIRE_VERSION);
+        let put_slice = |out: &mut Vec<u8>, values: &[u64]| {
+            out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            for &v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        let put_hist = |out: &mut Vec<u8>, h: &HistogramSnapshot| {
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            put_slice(out, &h.buckets);
+        };
+        put_slice(&mut out, &self.phase_ticks);
+        for h in &self.phase_ns {
+            put_hist(&mut out, h);
+        }
+        put_slice(&mut out, &self.cert_declines);
+        put_slice(&mut out, &self.counters);
+        put_slice(&mut out, &self.gauges);
+        put_slice(&mut out, &self.wire_sent_frames);
+        put_slice(&mut out, &self.wire_sent_bytes);
+        put_slice(&mut out, &self.wire_recv_frames);
+        put_slice(&mut out, &self.wire_recv_bytes);
+        put_hist(&mut out, &self.job_wall_us);
+        put_hist(&mut out, &self.queue_depth);
+        put_hist(&mut out, &self.heartbeat_rtt_us);
+        out.extend_from_slice(&(self.jobs.len() as u32).to_le_bytes());
+        for &(id, us) in &self.jobs {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&us.to_le_bytes());
+        }
+        out.extend_from_slice(&self.shards_folded.to_le_bytes());
+        out
+    }
+
+    /// Decodes a snapshot from exactly `bytes` (the inverse of
+    /// [`Snapshot::encode`]).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural mismatch (truncation,
+    /// version or arity drift, trailing bytes).
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, String> {
+        struct Cur<'a> {
+            buf: &'a [u8],
+            pos: usize,
+        }
+        impl Cur<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8], String> {
+                let end = self
+                    .pos
+                    .checked_add(n)
+                    .filter(|&e| e <= self.buf.len())
+                    .ok_or("telemetry snapshot truncated")?;
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+            }
+            fn array<const N: usize>(&mut self) -> Result<[u64; N], String> {
+                let n = u32::from_le_bytes(self.take(4)?.try_into().expect("4")) as usize;
+                if n != N {
+                    return Err(format!("telemetry catalog arity {n}, expected {N}"));
+                }
+                let mut out = [0u64; N];
+                for v in &mut out {
+                    *v = self.u64()?;
+                }
+                Ok(out)
+            }
+            fn hist(&mut self) -> Result<HistogramSnapshot, String> {
+                Ok(HistogramSnapshot {
+                    count: self.u64()?,
+                    sum: self.u64()?,
+                    buckets: self.array()?,
+                })
+            }
+        }
+        let mut c = Cur { buf: bytes, pos: 0 };
+        let version = c.take(1)?[0];
+        if version != WIRE_VERSION {
+            return Err(format!("telemetry snapshot version {version}"));
+        }
+        let phase_ticks = c.array()?;
+        let mut phase_ns = [HistogramSnapshot::default(); Phase::COUNT];
+        for h in &mut phase_ns {
+            *h = c.hist()?;
+        }
+        let snapshot = Snapshot {
+            phase_ticks,
+            phase_ns,
+            cert_declines: c.array()?,
+            counters: c.array()?,
+            gauges: c.array()?,
+            wire_sent_frames: c.array()?,
+            wire_sent_bytes: c.array()?,
+            wire_recv_frames: c.array()?,
+            wire_recv_bytes: c.array()?,
+            job_wall_us: c.hist()?,
+            queue_depth: c.hist()?,
+            heartbeat_rtt_us: c.hist()?,
+            jobs: {
+                let n = u32::from_le_bytes(c.take(4)?.try_into().expect("4")) as usize;
+                let mut jobs = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    jobs.push((c.u64()?, c.u64()?));
+                }
+                jobs
+            },
+            shards_folded: c.u64()?,
+        };
+        if c.pos != c.buf.len() {
+            return Err(format!("{} trailing snapshot bytes", c.buf.len() - c.pos));
+        }
+        Ok(snapshot)
+    }
+
+    // --- JSON -----------------------------------------------------------
+
+    /// Renders only the `"deterministic"` section — the value the
+    /// shard-count-independence test compares across runs.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push('{');
+        let _ = write!(out, "\"phase_ticks\":{{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", p.name(), self.phase_ticks[p.index()]);
+        }
+        let _ = write!(out, "}},\"counters\":{{");
+        let mut first = true;
+        for c in Counter::ALL.iter().filter(|c| c.deterministic()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", c.name(), self.counters[c.index()]);
+        }
+        let _ = write!(out, "}},\"cert_declines\":{{");
+        for (i, r) in CertReason::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", r.label(), self.cert_declines[r.index()]);
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the full two-section artifact (see the module docs for
+    /// the determinism contract between the sections).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"deterministic\": {},\n  \"wall_clock\": {{",
+            self.deterministic_json()
+        );
+        let _ = write!(out, "\"counters\":{{");
+        let mut first = true;
+        for c in Counter::ALL.iter().filter(|c| !c.deterministic()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", c.name(), self.counters[c.index()]);
+        }
+        let _ = write!(out, "}},\"gauges\":{{");
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", g.name(), self.gauges[g.index()]);
+        }
+        let _ = write!(out, "}},\"phase_ns\":{{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", p.name(), self.phase_ns[p.index()].json());
+        }
+        let _ = write!(out, "}},\"job_wall_us\":{}", self.job_wall_us.json());
+        let _ = write!(out, ",\"queue_depth\":{}", self.queue_depth.json());
+        let _ = write!(
+            out,
+            ",\"heartbeat_rtt_us\":{}",
+            self.heartbeat_rtt_us.json()
+        );
+        let wire = |label: &str, values: &[u64]| {
+            let mut s = format!("\"{label}\":{{");
+            for (i, k) in WireKind::ALL.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{}", k.name(), values[k.index()]);
+            }
+            s.push('}');
+            s
+        };
+        let _ = write!(
+            out,
+            ",\"wire\":{{{},{},{},{}}}",
+            wire("sent_frames", &self.wire_sent_frames),
+            wire("sent_bytes", &self.wire_sent_bytes),
+            wire("recv_frames", &self.wire_recv_frames),
+            wire("recv_bytes", &self.wire_recv_bytes),
+        );
+        let _ = write!(out, ",\"jobs\":[");
+        for (i, &(id, us)) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{id},{us}]");
+        }
+        let _ = write!(out, "],\"shards_folded\":{}", self.shards_folded);
+        out.push_str("}\n}\n");
+        out
+    }
+
+    // --- Prometheus -----------------------------------------------------
+
+    /// Renders Prometheus text exposition (what `--metrics-listen`
+    /// serves from the live coordinator).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        out.push_str("# TYPE zhuyi_phase_ticks_total counter\n");
+        for p in Phase::ALL {
+            let _ = writeln!(
+                out,
+                "zhuyi_phase_ticks_total{{phase=\"{}\"}} {}",
+                p.name(),
+                self.phase_ticks[p.index()]
+            );
+        }
+        out.push_str("# TYPE zhuyi_cert_declines_total counter\n");
+        for r in CertReason::ALL {
+            let n = self.cert_declines[r.index()];
+            if n > 0 {
+                let _ = writeln!(
+                    out,
+                    "zhuyi_cert_declines_total{{reason=\"{}\"}} {n}",
+                    r.label()
+                );
+            }
+        }
+        for c in Counter::ALL {
+            let _ = writeln!(
+                out,
+                "# TYPE zhuyi_{name}_total counter\nzhuyi_{name}_total {}",
+                self.counters[c.index()],
+                name = c.name()
+            );
+        }
+        for g in Gauge::ALL {
+            let _ = writeln!(
+                out,
+                "# TYPE zhuyi_{name} gauge\nzhuyi_{name} {}",
+                self.gauges[g.index()],
+                name = g.name()
+            );
+        }
+        let hist = |out: &mut String, name: &str, h: &HistogramSnapshot| {
+            let _ = writeln!(out, "# TYPE zhuyi_{name} histogram");
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                let le: u64 = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                let _ = writeln!(out, "zhuyi_{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "zhuyi_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "zhuyi_{name}_sum {}", h.sum);
+            let _ = writeln!(out, "zhuyi_{name}_count {}", h.count);
+        };
+        for p in Phase::ALL {
+            hist(
+                &mut out,
+                &format!("phase_ns_{}", p.name()),
+                &self.phase_ns[p.index()],
+            );
+        }
+        hist(&mut out, "job_wall_us", &self.job_wall_us);
+        hist(&mut out, "queue_depth", &self.queue_depth);
+        hist(&mut out, "heartbeat_rtt_us", &self.heartbeat_rtt_us);
+        out.push_str("# TYPE zhuyi_wire_frames_total counter\n");
+        for k in WireKind::ALL {
+            let _ = writeln!(
+                out,
+                "zhuyi_wire_frames_total{{dir=\"sent\",kind=\"{}\"}} {}",
+                k.name(),
+                self.wire_sent_frames[k.index()]
+            );
+            let _ = writeln!(
+                out,
+                "zhuyi_wire_frames_total{{dir=\"recv\",kind=\"{}\"}} {}",
+                k.name(),
+                self.wire_recv_frames[k.index()]
+            );
+        }
+        let _ = writeln!(out, "zhuyi_telemetry_shards_folded {}", self.shards_folded);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn busy_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.inc(Counter::Steals);
+        r.add(Counter::EngineTicks, 500);
+        r.phase_lap(Phase::Perception, 830);
+        r.phase_lap(Phase::Collision, 12);
+        r.cert_decline(CertReason::FollowGapTooSmall);
+        r.set_gauge(Gauge::LiveWorkers, 3);
+        r.wire_sent(WireKind::Result, 420);
+        r.wire_recv(WireKind::Assign, 99);
+        r.record_job(17, 80_000);
+        r.record_job(3, 1_500);
+        r.record_queue_depth(4);
+        r.record_rtt_us(212);
+        r.snapshot()
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = busy_snapshot();
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).expect("round trip");
+        assert_eq!(back, snap);
+        // Truncation and trailing garbage are rejected, not panicked.
+        assert!(Snapshot::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(Snapshot::decode(&longer).is_err());
+        assert!(Snapshot::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_is_commutative_on_sums() {
+        let a = busy_snapshot();
+        let mut b = Snapshot {
+            shards_folded: 1,
+            ..Snapshot::default()
+        };
+        b.counters[Counter::Steals.index()] = 10;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counters[Counter::Steals.index()], 11);
+        assert_eq!(ab.shards_folded, 2);
+    }
+
+    #[test]
+    fn json_sections_split_by_determinism() {
+        let snap = busy_snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"schema\": \"zhuyi.telemetry.v1\""));
+        assert!(json.contains("\"deterministic\""));
+        assert!(json.contains("\"wall_clock\""));
+        // Deterministic counters in the deterministic section only.
+        let det = snap.deterministic_json();
+        assert!(det.contains("\"engine_ticks\":500"));
+        assert!(!det.contains("steals"));
+        assert!(det.contains("\"follow: gap too small\":1"));
+        // Per-job records are wall-clock payload.
+        assert!(json.contains("[3,1500]"));
+    }
+
+    #[test]
+    fn prometheus_renders_cumulative_buckets() {
+        let snap = busy_snapshot();
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("zhuyi_phase_ticks_total{phase=\"perception\"} 1"));
+        assert!(prom.contains("zhuyi_steals_total 1"));
+        assert!(prom.contains("zhuyi_live_workers 3"));
+        assert!(prom.contains("zhuyi_job_wall_us_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("zhuyi_cert_declines_total{reason=\"follow: gap too small\"} 1"));
+    }
+}

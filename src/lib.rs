@@ -25,6 +25,8 @@
 //! - `distd` ([`zhuyi_distd`]) — multi-process sharded sweep coordinator/workers
 //! - `registry` ([`zhuyi_registry`]) — declarative scenario definitions,
 //!   registry lookup, and corpus generators
+//! - `telemetry` ([`zhuyi_telemetry`]) — zero-overhead-when-off metrics
+//!   registry, tick-phase profiling, and flight recorder
 //!
 //! # Quickstart
 //!
@@ -60,3 +62,4 @@ pub use zhuyi_distd as distd;
 pub use zhuyi_fleet as fleet;
 pub use zhuyi_registry as registry;
 pub use zhuyi_runtime as runtime;
+pub use zhuyi_telemetry as telemetry;

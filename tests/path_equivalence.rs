@@ -15,10 +15,13 @@
 //! retirements *and* declines — so the equivalence above can't pass by
 //! quietly skipping the interesting paths.
 
+use std::sync::Arc;
+
 use zhuyi_repro::core::units::Fpr;
 use zhuyi_repro::fleet::{run_sweep_with, ExecOptions, SweepPlan};
 use zhuyi_repro::registry::{FuzzConfig, ScenarioSource};
 use zhuyi_repro::scenarios::sweep::{collides_seed_batched_with_stats, SweepContext};
+use zhuyi_repro::telemetry;
 
 /// The pinned corpus: `(prefix, count, seed)` fully determine the
 /// definitions, byte for byte, so every CI run sees the same scenarios.
@@ -108,6 +111,64 @@ fn fuzzed_corpus_exports_identically_through_every_execution_path() {
     assert!(
         !per_seed.kept_traces().is_empty(),
         "trace comparison compared nothing"
+    );
+}
+
+#[test]
+fn telemetry_changes_no_exported_byte_and_records_the_sweep() {
+    // Telemetry's "out of band" contract, end to end: the same corpus
+    // swept with a registry installed must export the exact bytes of the
+    // uninstrumented sweep — while the snapshot proves the sweep was
+    // actually observed (phase ticks, certificate declines, one wall
+    // time per job). Seed blocks keep the certificate machinery (and so
+    // the decline counters) in play, per the test above.
+    let plan = SweepPlan::builder()
+        .sources(corpus())
+        .seeds([0, 1])
+        .probe(30.0, true)
+        .min_safe_fpr(GRID.to_vec())
+        .build();
+    let options = ExecOptions {
+        seed_blocks: 64,
+        ..ExecOptions::default()
+    };
+
+    let off = run_sweep_with(&plan, 2, options);
+    let registry = Arc::new(telemetry::Registry::new());
+    let on = {
+        let _guard = telemetry::install(&registry);
+        run_sweep_with(&plan, 2, options)
+    };
+    let snapshot = registry.snapshot();
+
+    assert_eq!(
+        off.to_csv(),
+        on.to_csv(),
+        "telemetry changed the exported CSV bytes"
+    );
+    assert_eq!(
+        off.to_json(),
+        on.to_json(),
+        "telemetry changed the exported JSON bytes"
+    );
+    assert_eq!(
+        off.kept_traces(),
+        on.kept_traces(),
+        "telemetry changed the kept probe traces"
+    );
+
+    assert!(
+        snapshot.phase_ticks.iter().sum::<u64>() > 0,
+        "instrumented sweep recorded no tick phases"
+    );
+    assert!(
+        snapshot.cert_declines.iter().sum::<u64>() > 0,
+        "instrumented sweep recorded no certificate declines"
+    );
+    assert_eq!(
+        snapshot.jobs.len(),
+        plan.len(),
+        "every job must have exactly one wall-time record"
     );
 }
 
