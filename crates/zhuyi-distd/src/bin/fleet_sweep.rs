@@ -17,7 +17,10 @@
 //!               [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]
 //!               [--max-job-failures K] [--verify-fraction F]
 //!               [--fail-after N] [--telemetry] [--telemetry-out NAME]
-//!               [--metrics-listen ADDR] [--help]
+//!               [--metrics-listen ADDR]
+//!               [--daemon --listen ADDR --journal PATH [--max-queue N] [--lease-secs N]]
+//!               [--submit ADDR [--drain] [--retry-max N] [--retry-base-ms N]]
+//!               [--help]
 //! ```
 //!
 //! Defaults reproduce Table 1 fleet-style: `--mode msf --scenarios all
@@ -41,6 +44,17 @@
 //! the first spawned worker after N results. Quarantined jobs are
 //! reported and exported as a sibling `*.quarantine.csv/json` artifact.
 //!
+//! **Sweep service.** `--daemon --listen ADDR --journal PATH` runs the
+//! persistent coordinator: plans arrive from `--submit` clients, every
+//! admission and result is journaled (a `kill -9` resumes from the
+//! journal on restart), admission is bounded by `--max-queue` with
+//! `Busy` load-shedding, and `--lease-secs` bounds how long orphaned
+//! plans are kept. `--submit ADDR` sends this invocation's plan to a
+//! daemon instead of running it, retrying with exponential backoff
+//! (`--retry-max`, `--retry-base-ms`), then polls, fetches, and exports
+//! exactly what a local run would have written. `--submit ADDR --drain`
+//! asks the daemon to finish everything admitted and exit.
+//!
 //! **Telemetry.** `--telemetry` collects per-phase tick profiles,
 //! per-job wall times, cert-decline reason counters, and (in dist mode)
 //! wire/runtime metrics folded from every worker — strictly out-of-band,
@@ -52,10 +66,10 @@
 use av_scenarios::catalog::{PerCameraPlan, ScenarioId, PAPER_RATE_GRID};
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use zhuyi_distd::{
-    cli as dcli, run_distributed, run_worker, ChaosProfile, ChaosSpec, DistConfig,
-    QuarantineManifest, WorkerOptions,
+    cli as dcli, client, run_daemon, run_distributed, run_via_daemon, run_worker, ChaosProfile,
+    ChaosSpec, ClientConfig, DaemonConfig, DistConfig, QuarantineManifest, WorkerOptions,
 };
 use zhuyi_fleet::{cli, pool, run_sweep_with, ExecOptions, PredictorChoice, SweepPlan};
 use zhuyi_registry::{Registry, ScenarioSource};
@@ -92,6 +106,14 @@ struct Args {
     telemetry: bool,
     telemetry_out: Option<String>,
     metrics_listen: Option<String>,
+    daemon: bool,
+    journal: Option<PathBuf>,
+    submit: Option<String>,
+    drain: bool,
+    max_queue: Option<usize>,
+    lease_secs: Option<u64>,
+    retry_max: Option<u32>,
+    retry_base_ms: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +168,14 @@ impl Default for Args {
             telemetry: false,
             telemetry_out: None,
             metrics_listen: None,
+            daemon: false,
+            journal: None,
+            submit: None,
+            drain: false,
+            max_queue: None,
+            lease_secs: None,
+            retry_max: None,
+            retry_base_ms: None,
         }
     }
 }
@@ -244,6 +274,18 @@ fn parse_args() -> Result<Args, String> {
             "--fail-after" => {
                 args.fail_after = Some(dcli::parse_fail_after(&value("--fail-after")?)?)
             }
+            "--daemon" => args.daemon = true,
+            "--journal" => args.journal = Some(dcli::parse_journal(&value("--journal")?)?),
+            "--submit" => args.submit = Some(dcli::parse_addr("--submit", &value("--submit")?)?),
+            "--drain" => args.drain = true,
+            "--max-queue" => args.max_queue = Some(dcli::parse_max_queue(&value("--max-queue")?)?),
+            "--lease-secs" => {
+                args.lease_secs = Some(dcli::parse_lease_secs(&value("--lease-secs")?)?)
+            }
+            "--retry-max" => args.retry_max = Some(dcli::parse_retry_max(&value("--retry-max")?)?),
+            "--retry-base-ms" => {
+                args.retry_base_ms = Some(dcli::parse_retry_base_ms(&value("--retry-base-ms")?)?)
+            }
             "--telemetry" => args.telemetry = true,
             "--telemetry-out" => args.telemetry_out = Some(value("--telemetry-out")?),
             "--metrics-listen" => {
@@ -255,9 +297,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if args.workers == 0 && !(args.dist && args.listen.is_some()) {
+    if args.workers == 0 && !(args.listen.is_some() && (args.dist || args.daemon)) {
         return Err(
-            "--workers 0 is only valid with --dist --listen (external workers only)".to_string(),
+            "--workers 0 is only valid with --dist --listen or --daemon --listen \
+             (external workers only)"
+                .to_string(),
         );
     }
     if args.variants == 0 {
@@ -285,7 +329,40 @@ fn parse_args() -> Result<Args, String> {
             .filter(|f| seen.iter().any(|s| s == *f))
             .map(ToString::to_string)
             .collect(),
+        daemon: args.daemon,
+        journal: args.journal.clone(),
+        submit: args.submit.clone(),
+        drain: args.drain,
+        max_queue: args.max_queue.is_some(),
+        lease_secs: args.lease_secs.is_some(),
+        retry_max: args.retry_max.is_some(),
+        retry_base_ms: args.retry_base_ms.is_some(),
     })?;
+    if args.daemon {
+        // The daemon runs whatever plans clients submit; its own
+        // invocation carries no plan, so plan-shaping flags would be
+        // silently ignored — reject them loudly (--workers stays: it
+        // sizes the daemon's spawned fleet).
+        let plan_flags = [
+            "--mode",
+            "--scenarios",
+            "--scenario-dir",
+            "--variants",
+            "--rates",
+            "--fpr",
+            "--plans",
+            "--predictor",
+            "--stride",
+            "--record-traces",
+            "--batch-lanes",
+            "--seed-blocks",
+        ];
+        if let Some(flag) = seen.iter().find(|f| plan_flags.contains(&f.as_str())) {
+            return Err(format!(
+                "{flag} does not apply to --daemon (submitting clients own the plan)"
+            ));
+        }
+    }
     if args.connect.is_some() {
         // A worker has no plan of its own: every plan-shaping flag would
         // be silently ignored, so reject them loudly instead.
@@ -374,6 +451,30 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Builds the daemon-client configuration shared by `--submit` and
+/// `--drain`: retry/backoff knobs from the CLI, a per-process client
+/// name (each invocation gets its own fairness lane), and optional chaos
+/// on the submit link mirroring the `--dist` chaos flags.
+fn client_config(args: &Args) -> ClientConfig {
+    ClientConfig {
+        addr: args
+            .submit
+            .clone()
+            .expect("validated: client operations require --submit"),
+        name: format!("fleet_sweep-{}", std::process::id()),
+        retry_max: args.retry_max.unwrap_or(8),
+        retry_base: Duration::from_millis(args.retry_base_ms.unwrap_or(100)),
+        seed: args.chaos_seed.unwrap_or(0),
+        chaos: args.chaos_seed.map(|seed| ChaosSpec {
+            seed,
+            profile: args
+                .chaos_profile
+                .unwrap_or_else(|| dcli::parse_chaos_profile("mild").expect("built-in")),
+        }),
+        ..ClientConfig::default()
+    }
+}
+
 /// `msf.csv` → `msf.quarantine.csv`: the sibling artifact carrying the
 /// quarantine manifest next to a main export (always written in dist
 /// mode, header-only on a clean pass so CI can assert emptiness).
@@ -404,7 +505,9 @@ fn usage() {
          \x20             [--dist] [--listen ADDR] [--checkpoint PATH] [--batch N]\n\
          \x20             [--connect ADDR] [--chaos-seed N] [--chaos-profile NAME]\n\
          \x20             [--max-job-failures K] [--verify-fraction F] [--fail-after N]\n\
-         \x20             [--telemetry] [--telemetry-out NAME] [--metrics-listen ADDR]\n\n\
+         \x20             [--telemetry] [--telemetry-out NAME] [--metrics-listen ADDR]\n\
+         \x20             [--daemon --listen ADDR --journal PATH [--max-queue N] [--lease-secs N]]\n\
+         \x20             [--submit ADDR [--drain] [--retry-max N] [--retry-base-ms N]]\n\n\
          MODES:\n\
          \x20 msf      search each instance's minimum safe rate over --rates (default);\n\
          \x20          --batch-lanes N sets the lockstep lanes per pass (0 = auto = the\n\
@@ -430,6 +533,22 @@ fn usage() {
          \x20 --fail-after N        crash the first spawned worker after N results\n\
          \x20 Quarantined jobs export as sibling NAME.quarantine.csv/json artifacts\n\
          \x20 (header-only when nothing was quarantined).\n\n\
+         SWEEP SERVICE (persistent daemon + submitting clients):\n\
+         \x20 --daemon          serve submitted plans until drained; requires --listen\n\
+         \x20                   (the service address) and --journal (durability)\n\
+         \x20 --journal PATH    write-ahead log: every admission/result/completion is\n\
+         \x20                   flushed per record; a restarted daemon replays it and\n\
+         \x20                   resumes queued and in-flight sweeps (kill -9 safe)\n\
+         \x20 --max-queue N     admission bound; beyond it submits get Busy (default 8)\n\
+         \x20 --lease-secs N    plan lease: queued plans whose client vanishes this\n\
+         \x20                   long are cancelled, unfetched results released (300)\n\
+         \x20 --submit ADDR     send this plan to the daemon at ADDR, poll, fetch, and\n\
+         \x20                   export locally; submission is fingerprint-deduped, so\n\
+         \x20                   blind retries are exactly-once\n\
+         \x20 --drain           (with --submit) ask the daemon to finish and exit\n\
+         \x20 --retry-max N     client retry budget per operation (default 8)\n\
+         \x20 --retry-base-ms N first backoff delay; doubles per retry, jittered (100)\n\
+         \x20 --chaos-seed/--chaos-profile with --submit perturb the submit link\n\n\
          TELEMETRY (strictly out-of-band; exports stay byte-identical):\n\
          \x20 --telemetry           collect tick-phase profiles, job wall times, cert\n\
          \x20                       decline reasons, and fleet runtime metrics; writes\n\
@@ -465,6 +584,72 @@ fn main() -> ExitCode {
             };
         }
     };
+
+    // Daemon mode: serve submitted plans until drained; clients own
+    // plans and exports.
+    if args.daemon {
+        let config = DaemonConfig {
+            listen: args
+                .listen
+                .clone()
+                .expect("validated: --daemon requires --listen"),
+            journal: args
+                .journal
+                .clone()
+                .expect("validated: --daemon requires --journal"),
+            spawn_workers: args.workers,
+            worker_binary: None,
+            max_queue: args.max_queue.unwrap_or(8),
+            lease: Duration::from_secs(args.lease_secs.unwrap_or(300)),
+            batch_size: args.batch,
+            heartbeat_timeout: Duration::from_secs(30),
+            max_job_failures: args.max_job_failures.unwrap_or(3),
+            telemetry: args.telemetry,
+        };
+        println!(
+            "fleet_sweep: sweep daemon on {} (journal {}, {} spawned workers, queue {})",
+            config.listen,
+            config.journal.display(),
+            config.spawn_workers,
+            config.max_queue,
+        );
+        return match run_daemon(&config) {
+            Ok(report) => {
+                let s = report.stats;
+                println!(
+                    "daemon drained: {} plans admitted ({} deduped, {} shed), {} completed, \
+                     {} cancelled, {} replayed from journal ({} journaled results resumed)",
+                    s.plans_admitted,
+                    s.submits_deduped,
+                    s.submits_shed,
+                    s.plans_completed,
+                    s.plans_cancelled,
+                    s.plans_replayed,
+                    s.resumed_results,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Drain: a client operation that needs no plan.
+    if args.drain {
+        let config = client_config(&args);
+        return match client::drain(&config) {
+            Ok(queued) => {
+                println!("daemon draining: {queued} plan(s) left to finish before it exits");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     // Worker mode: join a coordinator elsewhere; it owns plan and exports.
     if let Some(addr) = &args.connect {
@@ -515,7 +700,20 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let mut quarantine: Option<QuarantineManifest> = None;
     let telemetry_snapshot: Option<zhuyi_telemetry::Snapshot>;
-    let store = if args.dist {
+    let store = if let Some(addr) = &args.submit {
+        // Client mode: the daemon executes; this process submits, waits,
+        // fetches, and exports. The merged store is byte-identical to a
+        // local run of the same plan.
+        telemetry_snapshot = None;
+        println!("fleet_sweep: submitting plan to the sweep daemon at {addr}");
+        match run_via_daemon(&client_config(&args), &plan, options) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if args.dist {
         let config = DistConfig {
             spawn_workers: args.workers,
             listen: args.listen.clone(),

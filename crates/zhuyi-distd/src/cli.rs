@@ -74,6 +74,97 @@ pub fn parse_checkpoint(spec: &str) -> Result<PathBuf, String> {
     Ok(path)
 }
 
+/// Parses a `--journal` value: the daemon's write-ahead log path, whose
+/// parent directory exists (the file itself may not yet — a fresh daemon
+/// creates it, a restarted one replays it).
+///
+/// # Errors
+///
+/// A human-readable message for empty paths or missing parent
+/// directories.
+pub fn parse_journal(spec: &str) -> Result<PathBuf, String> {
+    if spec.trim().is_empty() {
+        return Err("--journal expects a file path".to_string());
+    }
+    let path = PathBuf::from(spec);
+    let parent = match path.parent() {
+        None => std::path::Path::new("."),
+        Some(p) if p.as_os_str().is_empty() => std::path::Path::new("."),
+        Some(p) => p,
+    };
+    if !parent.is_dir() {
+        return Err(format!(
+            "--journal directory {} does not exist",
+            parent.display()
+        ));
+    }
+    Ok(path)
+}
+
+/// Parses a `--max-queue` value: the daemon's admission bound, `>= 1`
+/// (a zero-slot queue could never admit anything — the daemon would
+/// answer `Busy` forever).
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric or zero values.
+pub fn parse_max_queue(spec: &str) -> Result<usize, String> {
+    let n: usize = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--max-queue expects a whole number, got {spec:?}"))?;
+    if n == 0 {
+        return Err("--max-queue must be >= 1".to_string());
+    }
+    Ok(n)
+}
+
+/// Parses a `--lease-secs` value: plan lease duration in seconds, `>= 1`.
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric or zero values.
+pub fn parse_lease_secs(spec: &str) -> Result<u64, String> {
+    let n: u64 = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--lease-secs expects a whole number, got {spec:?}"))?;
+    if n == 0 {
+        return Err("--lease-secs must be >= 1".to_string());
+    }
+    Ok(n)
+}
+
+/// Parses a `--retry-max` value: extra submit attempts after the first
+/// (`0` = exactly one try, no retries).
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric values.
+pub fn parse_retry_max(spec: &str) -> Result<u32, String> {
+    spec.trim()
+        .parse()
+        .map_err(|_| format!("--retry-max expects a whole number (0 = no retries), got {spec:?}"))
+}
+
+/// Parses a `--retry-base-ms` value: first backoff delay in
+/// milliseconds, `>= 1` (the exponential ladder and jitter are both
+/// multiples of it).
+///
+/// # Errors
+///
+/// A human-readable message for non-numeric or zero values.
+pub fn parse_retry_base_ms(spec: &str) -> Result<u64, String> {
+    let n: u64 = spec
+        .trim()
+        .parse()
+        .map_err(|_| format!("--retry-base-ms expects a whole number, got {spec:?}"))?;
+    if n == 0 {
+        return Err("--retry-base-ms must be >= 1".to_string());
+    }
+    Ok(n)
+}
+
 /// Parses a `--batch` value: jobs per shard, `>= 1`.
 ///
 /// # Errors
@@ -232,12 +323,32 @@ pub struct DistFlags {
     /// Export/reporting flags that a worker cannot honor (`--csv`,
     /// `--json`, `--traces`, `--baseline`), by flag name.
     pub export_flags: Vec<String>,
+    /// `--daemon` was given (persistent sweep service).
+    pub daemon: bool,
+    /// `--journal PATH` was given (daemon write-ahead log).
+    pub journal: Option<PathBuf>,
+    /// `--submit ADDR` was given (client mode: run the plan through a
+    /// daemon at `ADDR`).
+    pub submit: Option<String>,
+    /// `--drain` was given (client mode: ask the daemon to finish and
+    /// exit).
+    pub drain: bool,
+    /// `--max-queue N` was given (daemon admission bound).
+    pub max_queue: bool,
+    /// `--lease-secs N` was given (daemon plan leases).
+    pub lease_secs: bool,
+    /// `--retry-max N` was given (client retry budget).
+    pub retry_max: bool,
+    /// `--retry-base-ms N` was given (client backoff base).
+    pub retry_base_ms: bool,
 }
 
 /// Cross-flag validation for the distribution modes: `--connect` turns
 /// the process into a worker (which exports nothing and coordinates
-/// nothing), while `--listen`/`--checkpoint`/`--batch` only make sense on
-/// a `--dist` coordinator.
+/// nothing), `--listen`/`--checkpoint`/`--batch` only make sense on a
+/// `--dist` coordinator, `--daemon` is the persistent service (requires
+/// `--listen` and `--journal`), and `--submit` is the client side of the
+/// daemon (mutually exclusive with running any sweep locally).
 ///
 /// # Errors
 ///
@@ -252,6 +363,23 @@ pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
         }
         if flags.listen.is_some() {
             return Err("--connect and --listen are mutually exclusive".to_string());
+        }
+        for (value, flag) in [
+            (flags.daemon, "--daemon"),
+            (flags.submit.is_some(), "--submit"),
+            (flags.journal.is_some(), "--journal"),
+            (flags.drain, "--drain"),
+            (flags.max_queue, "--max-queue"),
+            (flags.lease_secs, "--lease-secs"),
+            (flags.retry_max, "--retry-max"),
+            (flags.retry_base_ms, "--retry-base-ms"),
+        ] {
+            if value {
+                return Err(format!(
+                    "{flag} does not apply to a --connect worker (workers neither run \
+                     the daemon nor submit to it)"
+                ));
+            }
         }
         if flags.checkpoint.is_some() {
             return Err(
@@ -294,6 +422,117 @@ pub fn validate_dist_flags(flags: &DistFlags) -> Result<(), String> {
             ));
         }
         return Ok(());
+    }
+    if flags.daemon {
+        if flags.submit.is_some() {
+            return Err("--daemon and --submit are mutually exclusive".to_string());
+        }
+        if flags.dist {
+            return Err("--daemon is its own mode; it cannot be combined with --dist".to_string());
+        }
+        if flags.listen.is_none() {
+            return Err("--daemon requires --listen (the service address)".to_string());
+        }
+        if flags.journal.is_none() {
+            return Err(
+                "--daemon requires --journal (durability is the point of the daemon)".to_string(),
+            );
+        }
+        if flags.checkpoint.is_some() {
+            return Err(
+                "--checkpoint belongs to a one-shot --dist run; the daemon journals instead"
+                    .to_string(),
+            );
+        }
+        for (value, flag) in [
+            (flags.drain, "--drain"),
+            (flags.retry_max, "--retry-max"),
+            (flags.retry_base_ms, "--retry-base-ms"),
+        ] {
+            if value {
+                return Err(format!(
+                    "{flag} is a --submit client operation, not a --daemon one"
+                ));
+            }
+        }
+        for (value, flag) in [
+            (flags.chaos_seed, "--chaos-seed"),
+            (flags.chaos_profile, "--chaos-profile"),
+            (flags.verify_fraction, "--verify-fraction"),
+            (flags.fail_after, "--fail-after"),
+            (flags.telemetry_out, "--telemetry-out"),
+            (flags.metrics_listen, "--metrics-listen"),
+        ] {
+            if value {
+                return Err(format!("{flag} is not supported in --daemon mode"));
+            }
+        }
+        if let Some(flag) = flags.export_flags.first() {
+            return Err(format!(
+                "{flag} does not apply to --daemon (results are fetched by --submit clients)"
+            ));
+        }
+        return Ok(());
+    }
+    if let Some(addr) = &flags.submit {
+        if flags.dist {
+            return Err(format!(
+                "--submit sends the plan to the daemon at {addr}; it cannot be combined \
+                 with --dist"
+            ));
+        }
+        if flags.listen.is_some() {
+            return Err("--listen belongs to the daemon, not a --submit client".to_string());
+        }
+        if flags.checkpoint.is_some() {
+            return Err(
+                "--checkpoint does not apply to --submit (the daemon's journal is the \
+                 durability layer)"
+                    .to_string(),
+            );
+        }
+        if flags.journal.is_some() {
+            return Err("--journal belongs to the daemon, not a --submit client".to_string());
+        }
+        for (value, flag) in [
+            (flags.batch.is_some(), "--batch"),
+            (flags.max_queue, "--max-queue"),
+            (flags.lease_secs, "--lease-secs"),
+            (flags.max_job_failures, "--max-job-failures"),
+            (flags.verify_fraction, "--verify-fraction"),
+            (flags.fail_after, "--fail-after"),
+            (flags.telemetry, "--telemetry"),
+            (flags.telemetry_out, "--telemetry-out"),
+            (flags.metrics_listen, "--metrics-listen"),
+        ] {
+            if value {
+                return Err(format!(
+                    "{flag} belongs to the daemon or coordinator, not a --submit client"
+                ));
+            }
+        }
+        // Chaos flags ARE allowed with --submit: they perturb the
+        // client→daemon link (the retry/backoff story under test).
+        if flags.chaos_profile && !flags.chaos_seed {
+            return Err(
+                "--chaos-profile requires --chaos-seed (the fault stream is seeded)".to_string(),
+            );
+        }
+        return Ok(());
+    }
+    // Neither worker, daemon, nor client: the daemon/client knobs are
+    // orphans here.
+    for (value, flag, owner) in [
+        (flags.journal.is_some(), "--journal", "--daemon"),
+        (flags.max_queue, "--max-queue", "--daemon"),
+        (flags.lease_secs, "--lease-secs", "--daemon"),
+        (flags.drain, "--drain", "--submit"),
+        (flags.retry_max, "--retry-max", "--submit"),
+        (flags.retry_base_ms, "--retry-base-ms", "--submit"),
+    ] {
+        if value {
+            return Err(format!("{flag} requires {owner}"));
+        }
     }
     if !flags.dist {
         for (value, flag) in [
@@ -528,6 +767,184 @@ mod tests {
             let err = validate_dist_flags(&flags).expect_err("worker rejects telemetry flags");
             assert!(err.contains("coordinator"), "{err}");
         }
+    }
+
+    #[test]
+    fn daemon_mode_requires_listen_and_journal() {
+        let ok = DistFlags {
+            daemon: true,
+            listen: Some("127.0.0.1:0".into()),
+            journal: Some(PathBuf::from("fleet.journal")),
+            max_queue: true,
+            lease_secs: true,
+            telemetry: true,
+            batch: Some(4),
+            max_job_failures: true,
+            ..DistFlags::default()
+        };
+        assert_eq!(validate_dist_flags(&ok), Ok(()));
+        let no_listen = DistFlags {
+            daemon: true,
+            journal: Some(PathBuf::from("fleet.journal")),
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&no_listen).expect_err("needs --listen");
+        assert!(err.contains("--listen"), "{err}");
+        let no_journal = DistFlags {
+            daemon: true,
+            listen: Some("127.0.0.1:0".into()),
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&no_journal).expect_err("needs --journal");
+        assert!(err.contains("--journal"), "{err}");
+        for conflict in [
+            DistFlags {
+                dist: true,
+                ..ok.clone()
+            },
+            DistFlags {
+                submit: Some("127.0.0.1:7700".into()),
+                ..ok.clone()
+            },
+            DistFlags {
+                checkpoint: Some(PathBuf::from("ckpt.bin")),
+                ..ok.clone()
+            },
+            DistFlags {
+                drain: true,
+                ..ok.clone()
+            },
+            DistFlags {
+                export_flags: vec!["--json".into()],
+                ..ok.clone()
+            },
+        ] {
+            assert!(validate_dist_flags(&conflict).is_err(), "{conflict:?}");
+        }
+    }
+
+    #[test]
+    fn submit_mode_is_a_pure_client() {
+        let ok = DistFlags {
+            submit: Some("127.0.0.1:7700".into()),
+            drain: true,
+            retry_max: true,
+            retry_base_ms: true,
+            chaos_seed: true,
+            chaos_profile: true,
+            export_flags: vec!["--json".into()],
+            ..DistFlags::default()
+        };
+        assert_eq!(validate_dist_flags(&ok), Ok(()));
+        for conflict in [
+            DistFlags {
+                dist: true,
+                ..ok.clone()
+            },
+            DistFlags {
+                listen: Some("127.0.0.1:0".into()),
+                ..ok.clone()
+            },
+            DistFlags {
+                checkpoint: Some(PathBuf::from("ckpt.bin")),
+                ..ok.clone()
+            },
+            DistFlags {
+                journal: Some(PathBuf::from("fleet.journal")),
+                ..ok.clone()
+            },
+            DistFlags {
+                telemetry: true,
+                ..ok.clone()
+            },
+        ] {
+            assert!(validate_dist_flags(&conflict).is_err(), "{conflict:?}");
+        }
+        // Chaos on the submit link still needs its seed.
+        let profile_only = DistFlags {
+            submit: Some("127.0.0.1:7700".into()),
+            chaos_profile: true,
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&profile_only).expect_err("needs a seed");
+        assert!(err.contains("--chaos-seed"), "{err}");
+    }
+
+    #[test]
+    fn daemon_client_knobs_require_their_mode() {
+        for (flags, owner) in [
+            (
+                DistFlags {
+                    journal: Some(PathBuf::from("fleet.journal")),
+                    ..DistFlags::default()
+                },
+                "--daemon",
+            ),
+            (
+                DistFlags {
+                    max_queue: true,
+                    ..DistFlags::default()
+                },
+                "--daemon",
+            ),
+            (
+                DistFlags {
+                    lease_secs: true,
+                    ..DistFlags::default()
+                },
+                "--daemon",
+            ),
+            (
+                DistFlags {
+                    drain: true,
+                    ..DistFlags::default()
+                },
+                "--submit",
+            ),
+            (
+                DistFlags {
+                    retry_max: true,
+                    ..DistFlags::default()
+                },
+                "--submit",
+            ),
+            (
+                DistFlags {
+                    retry_base_ms: true,
+                    ..DistFlags::default()
+                },
+                "--submit",
+            ),
+        ] {
+            let err = validate_dist_flags(&flags).expect_err("orphan knob");
+            assert!(err.contains(owner), "{err}");
+        }
+        // And a --connect worker rejects all of them.
+        let worker = DistFlags {
+            connect: Some("127.0.0.1:7700".into()),
+            drain: true,
+            ..DistFlags::default()
+        };
+        let err = validate_dist_flags(&worker).expect_err("worker rejects client knobs");
+        assert!(err.contains("--connect worker"), "{err}");
+    }
+
+    #[test]
+    fn daemon_value_parsers_validate_ranges() {
+        assert_eq!(parse_max_queue("8"), Ok(8));
+        assert!(parse_max_queue("0").is_err());
+        assert!(parse_max_queue("full").is_err());
+        assert_eq!(parse_lease_secs("300"), Ok(300));
+        assert!(parse_lease_secs("0").is_err());
+        assert_eq!(parse_retry_max("0"), Ok(0), "0 = single attempt is legal");
+        assert_eq!(parse_retry_max("8"), Ok(8));
+        assert!(parse_retry_max("-1").is_err());
+        assert_eq!(parse_retry_base_ms("100"), Ok(100));
+        assert!(parse_retry_base_ms("0").is_err());
+        assert!(parse_journal("fleet.journal").is_ok());
+        assert!(parse_journal("").is_err());
+        let err = parse_journal("/no/such/dir/anywhere/fleet.journal").expect_err("missing dir");
+        assert!(err.contains("does not exist"), "{err}");
     }
 
     #[test]

@@ -339,7 +339,7 @@ pub fn default_worker_binary() -> Result<PathBuf, String> {
 }
 
 /// Chunks `jobs` into contiguous shards of at most `size` jobs.
-fn chunk_batches(jobs: &[SweepJob], size: usize) -> VecDeque<Vec<SweepJob>> {
+pub(crate) fn chunk_batches(jobs: &[SweepJob], size: usize) -> VecDeque<Vec<SweepJob>> {
     jobs.chunks(size.max(1)).map(<[SweepJob]>::to_vec).collect()
 }
 
@@ -348,12 +348,30 @@ fn chunk_batches(jobs: &[SweepJob], size: usize) -> VecDeque<Vec<SweepJob>> {
 /// An external-only coordinator (`workers == 0`, `--listen`) cannot know
 /// how many workers will join, so it assumes a fleet of 8 — fine-grained
 /// enough that late joiners pull real work instead of living off steals.
-fn default_batch_size(pending: usize, workers: usize) -> usize {
+pub(crate) fn default_batch_size(pending: usize, workers: usize) -> usize {
     let workers = if workers == 0 { 8 } else { workers };
     pending.div_ceil(workers * 4).max(1)
 }
 
-type WorkerId = u64;
+pub(crate) type WorkerId = u64;
+
+/// Locks a possibly-poisoned mutex, recovering the inner value instead of
+/// panicking. A metrics scrape or fold that panicked while holding the
+/// lock poisons it, but the snapshot map inside is plain data and stays
+/// valid — letting the poison flag take down the whole coordinator (or
+/// daemon) would turn one observability hiccup into a lost sweep. Each
+/// recovery is counted in telemetry when a registry is at hand.
+pub(crate) fn lock_recovering<'a, T>(
+    mutex: &'a Mutex<T>,
+    registry: Option<&Registry>,
+) -> std::sync::MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        if let Some(reg) = registry {
+            reg.inc(Counter::PoisonRecoveries);
+        }
+        poisoned.into_inner()
+    })
+}
 
 /// First retry delay after a failed respawn attempt; doubles per
 /// consecutive failure up to [`RESPAWN_BACKOFF_CEIL`].
@@ -393,10 +411,10 @@ struct Inflight {
     last_result: Instant,
 }
 
-struct ChildSlot {
-    name: String,
-    child: Child,
-    exited: bool,
+pub(crate) struct ChildSlot {
+    pub(crate) name: String,
+    pub(crate) child: Child,
+    pub(crate) exited: bool,
 }
 
 /// What a recorded strike did to the job.
@@ -413,6 +431,10 @@ enum StrikeOutcome {
 /// stays in named methods instead of one giant match.
 struct Coordinator {
     workers: BTreeMap<WorkerId, WorkerConn>,
+    /// Execution options stamped onto every [`Frame::Assign`] (v7 carries
+    /// them per-assignment, not per-session, so warm workers can serve
+    /// plans with different shapes).
+    options: ExecOptions,
     pending: VecDeque<Vec<SweepJob>>,
     inflight: BTreeMap<u32, Inflight>,
     done: BTreeMap<JobId, JobResult>,
@@ -665,7 +687,7 @@ impl Coordinator {
             self.pending.push_front(jobs);
             return;
         };
-        if wire::write_assign(&mut conn.writer, batch, &jobs).is_err() {
+        if wire::write_assign(&mut conn.writer, batch, self.options, &jobs).is_err() {
             self.pending.push_front(jobs);
             self.lose_worker(worker);
             return;
@@ -737,7 +759,7 @@ impl Coordinator {
     }
 }
 
-fn spawn_worker(
+pub(crate) fn spawn_worker(
     binary: &PathBuf,
     addr: &str,
     name: &str,
@@ -757,7 +779,7 @@ fn spawn_worker(
         .map_err(|e| DistError::Io(format!("spawning {}: {e}", binary.display())))
 }
 
-fn reap_children(children: &mut [ChildSlot]) {
+pub(crate) fn reap_children(children: &mut [ChildSlot]) {
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
         let mut alive = false;
@@ -822,6 +844,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
     };
     let mut coordinator = Coordinator {
         workers: BTreeMap::new(),
+        options: config.options,
         pending: VecDeque::new(),
         inflight: BTreeMap::new(),
         done: BTreeMap::new(),
@@ -941,7 +964,6 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
 
     let (events_tx, events_rx) = mpsc::channel::<Event>();
     let stop = Arc::new(AtomicBool::new(false));
-    let options = config.options;
     {
         let events_tx = events_tx.clone();
         let stop = Arc::clone(&stop);
@@ -964,14 +986,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                 let events_tx = events_tx.clone();
                 let registry = registry.clone();
                 std::thread::spawn(move || {
-                    serve_connection(
-                        stream,
-                        worker,
-                        options,
-                        telemetry_flag,
-                        registry,
-                        &events_tx,
-                    );
+                    serve_connection(stream, worker, telemetry_flag, registry, &events_tx);
                 });
             }
         });
@@ -1091,11 +1106,11 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                     Frame::Metrics { snapshot } => {
                         // Snapshots are cumulative; the latest one per
                         // worker supersedes everything before it.
-                        coordinator
-                            .worker_metrics
-                            .lock()
-                            .expect("worker metrics poisoned")
-                            .insert(worker, *snapshot);
+                        lock_recovering(
+                            &coordinator.worker_metrics,
+                            coordinator.telemetry.as_deref(),
+                        )
+                        .insert(worker, *snapshot);
                     }
                     Frame::Result { result } => {
                         match coordinator.handle_result(worker, *result) {
@@ -1156,13 +1171,10 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
                         }
                         coordinator.dispatch(worker);
                     }
-                    // Workers never send these; ignore rather than trust.
-                    Frame::Hello { .. }
-                    | Frame::Welcome { .. }
-                    | Frame::Reject { .. }
-                    | Frame::Assign { .. }
-                    | Frame::Revoke { .. }
-                    | Frame::Shutdown => {}
+                    // Workers never send anything else (coordinator-bound
+                    // control frames, client-session frames): ignore
+                    // rather than trust.
+                    _ => {}
                 }
             }
             Ok(Event::Disconnected { worker }) => {
@@ -1319,7 +1331,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
     // regardless of the order snapshots arrived in.
     let telemetry = registry.as_ref().map(|reg| {
         let mut folded = reg.snapshot();
-        let workers = worker_metrics.lock().expect("worker metrics poisoned");
+        let workers = lock_recovering(&worker_metrics, Some(reg));
         for snap in workers.values() {
             folded.merge(snap);
         }
@@ -1336,7 +1348,7 @@ pub fn run_distributed(plan: &SweepPlan, config: &DistConfig) -> Result<DistRepo
 /// Maps a bound socket address to one a client can dial: wildcard binds
 /// (`0.0.0.0`, `[::]`) become the same-family loopback with the bound
 /// port; anything else round-trips unchanged.
-fn routable_addr(bound: std::net::SocketAddr) -> String {
+pub(crate) fn routable_addr(bound: std::net::SocketAddr) -> String {
     if bound.ip().is_unspecified() {
         let loopback: std::net::IpAddr = if bound.is_ipv4() {
             std::net::Ipv4Addr::LOCALHOST.into()
@@ -1371,7 +1383,7 @@ fn serve_metrics(
         let _ = std::io::Read::read(&mut stream, &mut request);
         let mut folded = registry.snapshot();
         {
-            let workers = worker_metrics.lock().expect("worker metrics poisoned");
+            let workers = lock_recovering(worker_metrics, Some(registry));
             for snap in workers.values() {
                 folded.merge(snap);
             }
@@ -1392,7 +1404,6 @@ fn serve_metrics(
 fn serve_connection(
     mut stream: TcpStream,
     worker: WorkerId,
-    options: ExecOptions,
     telemetry: bool,
     registry: Option<Arc<Registry>>,
     events: &mpsc::Sender<Event>,
@@ -1424,9 +1435,6 @@ fn serve_connection(
         &mut stream,
         &Frame::Welcome {
             version: PROTOCOL_VERSION,
-            record_traces: options.record_traces,
-            batch_lanes: options.batch_lanes.min(u32::MAX as usize) as u32,
-            seed_blocks: options.seed_blocks.min(u32::MAX as usize) as u32,
             telemetry,
         },
     )

@@ -1,4 +1,5 @@
-//! Deterministic fault injection for the worker→coordinator stream.
+//! Deterministic fault injection for the worker→coordinator stream and
+//! the client→daemon submit link.
 //!
 //! Chaos testing is only useful if a failing run can be replayed: every
 //! fault decision here is a **pure function of `(seed, frame_index)`** —
@@ -278,7 +279,21 @@ impl<W: Write> FaultTransport<W> {
                 return wire::write_payload(&mut self.inner, &payload);
             }
         };
-        let droppable = matches!(frame, Frame::Result { .. } | Frame::JobFailed { .. });
+        // Worker uplink: results and failures are droppable (recovered by
+        // the BatchDone defensive requeue). Client→daemon requests are
+        // droppable too — the client's retry/backoff loop plus the
+        // daemon's fingerprint dedup make a vanished request safe, and
+        // that recovery path is exactly what chaos must exercise.
+        let droppable = matches!(
+            frame,
+            Frame::Result { .. }
+                | Frame::JobFailed { .. }
+                | Frame::Submit { .. }
+                | Frame::Status { .. }
+                | Frame::Cancel { .. }
+                | Frame::FetchResults { .. }
+                | Frame::Drain
+        );
         let action = fault_for(spec.profile, spec.seed, self.frame_index, droppable);
         self.frame_index += 1;
         if action != FaultAction::Deliver {

@@ -20,7 +20,20 @@
 //! - [`faultnet`] — deterministic seeded fault injection over the wire
 //!   (chaos testing that replays exactly);
 //! - [`quarantine`] — the poisoned-job manifest behind the coordinator's
-//!   K-strikes graceful-degradation path.
+//!   K-strikes graceful-degradation path;
+//! - [`daemon`] — the persistent sweep service ([`daemon::run_daemon`],
+//!   `fleet_sweep --daemon`): a durable write-ahead [`journal`] of plan
+//!   submissions and results, bounded admission with `Busy`
+//!   load-shedding, per-client round-robin fairness, lease-based orphan
+//!   handling, warm workers kept across plans, and graceful drain — a
+//!   `kill -9` mid-sweep resumes from the journal on restart;
+//! - [`client`] — the submit-side library (`fleet_sweep --submit`):
+//!   request-per-connection retries with exponential backoff and
+//!   deterministic jitter, riding the daemon's fingerprint dedup for
+//!   exactly-once admission over a flaky link;
+//! - [`journal`] — the daemon's append-only, per-record-flushed record
+//!   log (checkpoint-v2 framing: FNV-checksummed records, torn tails
+//!   tolerated, mid-file corruption refused).
 //!
 //! # Determinism
 //!
@@ -55,17 +68,23 @@
 
 pub mod checkpoint;
 pub mod cli;
+pub mod client;
 pub mod coord;
+pub mod daemon;
 pub mod faultnet;
+pub mod journal;
 pub mod quarantine;
 pub mod wire;
 pub mod worker;
 
 pub use checkpoint::{plan_fingerprint, CheckpointError, CheckpointWriter};
+pub use client::{run_via_daemon, submit_plan, ClientConfig, ClientError, SubmitOutcome};
 pub use coord::{
     default_worker_binary, run_distributed, DistConfig, DistError, DistReport, DistStats,
 };
+pub use daemon::{run_daemon, DaemonConfig, DaemonError, DaemonReport, DaemonStats};
 pub use faultnet::{ChaosProfile, ChaosSpec, FaultTransport};
+pub use journal::{JournalError, JournalRecord, JournalWriter};
 pub use quarantine::{QuarantineEntry, QuarantineManifest};
-pub use wire::{Frame, JobError, JobErrorKind, WireError, PROTOCOL_VERSION};
+pub use wire::{Frame, JobError, JobErrorKind, PlanState, WireError, PROTOCOL_VERSION};
 pub use worker::{run_worker, WorkerError, WorkerOptions, FAULT_EXIT_CODE};

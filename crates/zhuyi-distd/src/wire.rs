@@ -24,11 +24,14 @@
 //!
 //! # Session shape
 //!
+//! Worker sessions (unchanged since v4 except that execution options
+//! moved from `Welcome` into each `Assign` under v7, so a warm worker
+//! can serve consecutive plans with different options):
+//!
 //! ```text
 //! worker → Hello{version, spawned, name}
-//! coord  → Welcome{version, record_traces, batch_lanes}
-//!                                                (or Reject{reason} + close)
-//! coord  → Assign{batch, jobs}                  (repeatedly)
+//! coord  → Welcome{version, telemetry}          (or Reject{reason} + close)
+//! coord  → Assign{batch, options, jobs}         (repeatedly)
 //! worker → Result{job_result}                   (streamed, one per job)
 //! worker → JobFailed{job, error}                (contained panic / fault)
 //! worker → BatchDone{batch}
@@ -37,13 +40,32 @@
 //! coord  → Shutdown                             (sweep complete)
 //! ```
 //!
+//! Client sessions (new under v7; see [`crate::daemon`]):
+//!
+//! ```text
+//! client → ClientHello{version, client}
+//! daemon → ClientWelcome{version, draining}     (or Reject{reason} + close)
+//! client → Submit{fingerprint, options, jobs}
+//! daemon → Accepted{fingerprint, deduped, position}
+//!                                               (or Busy{queue_limit}: shed, retry later)
+//! client → Status{fingerprint}                  (poll; every client frame renews the lease)
+//! daemon → StatusReport{fingerprint, state, completed, total}
+//! client → FetchResults{fingerprint}            (once StatusReport says Completed)
+//! daemon → Results{fingerprint, results}
+//! client → Cancel{fingerprint}                  (queued plans only)
+//! client → Drain                                (finish in-flight, refuse new, exit)
+//! daemon → DrainAck{queued}
+//! ```
+//!
 //! A version mismatch at handshake is answered with [`Frame::Reject`] and
 //! a closed connection; the worker exits non-zero.
 
 use std::fmt;
 use std::io::{Read, Write};
 use zhuyi_fleet::store::{AnalysisOutcome, ProbeOutcome};
-use zhuyi_fleet::{JobId, JobKind, JobOutcome, JobResult, JobSpec, MsfSearch, SweepJob};
+use zhuyi_fleet::{
+    ExecOptions, JobId, JobKind, JobOutcome, JobResult, JobSpec, MsfSearch, SweepJob,
+};
 use zhuyi_fleet::{PredictorChoice, RateSpec};
 
 use av_scenarios::catalog::{Mrf, ScenarioId};
@@ -55,8 +77,12 @@ use zhuyi_registry::{ScenarioDef, ScenarioSource};
 /// added the sweep-wide `seed_blocks` granularity to [`Frame::Welcome`];
 /// v6 added the `telemetry` flag to [`Frame::Welcome`], the
 /// [`Frame::Metrics`] snapshot piggyback, and heartbeat echoes
-/// (coordinator → worker) for round-trip latency measurement.
-pub const PROTOCOL_VERSION: u16 = 6;
+/// (coordinator → worker) for round-trip latency measurement; v7 moved
+/// the execution options from [`Frame::Welcome`] into each
+/// [`Frame::Assign`] (warm workers serve consecutive plans with
+/// different options) and added the client-session frames
+/// ([`Frame::ClientHello`] through [`Frame::DrainAck`]).
+pub const PROTOCOL_VERSION: u16 = 7;
 
 /// Upper bound on a single frame's payload (defends both sides against a
 /// corrupt or hostile length prefix). Kept traces are the largest payload
@@ -159,21 +185,12 @@ pub enum Frame {
         /// Human-readable worker name for logs and stats.
         name: String,
     },
-    /// Coordinator → worker: session accepted.
+    /// Coordinator → worker: session accepted. Execution options travel
+    /// per-[`Frame::Assign`] since v7, so a warm worker session can span
+    /// plans with different options.
     Welcome {
         /// The coordinator's [`PROTOCOL_VERSION`] (echoed back).
         version: u16,
-        /// Sweep-wide [`zhuyi_fleet::ExecOptions::record_traces`].
-        record_traces: bool,
-        /// Sweep-wide [`zhuyi_fleet::ExecOptions::batch_lanes`], encoded
-        /// as a `u32` (lane counts beyond that are meaningless).
-        batch_lanes: u32,
-        /// Sweep-wide [`zhuyi_fleet::ExecOptions::seed_blocks`]: how many
-        /// consecutive minimum-safe-FPR jobs of one assignment a worker
-        /// advances through a single seed-batched lockstep loop (`0`/`1`
-        /// = per-job granularity). Exports are byte-identical at every
-        /// setting.
-        seed_blocks: u32,
         /// Whether the sweep runs with telemetry: the worker installs a
         /// local registry and piggybacks cumulative [`Frame::Metrics`]
         /// snapshots onto its result stream. Strictly out of band —
@@ -190,6 +207,10 @@ pub enum Frame {
     Assign {
         /// Batch id echoed back in [`Frame::BatchDone`].
         batch: u32,
+        /// The plan-wide execution options for this shard. `batch_lanes`
+        /// and `seed_blocks` are encoded as `u32` on the wire (larger
+        /// counts are meaningless).
+        options: ExecOptions,
         /// The shard's jobs, ascending by id.
         jobs: Vec<SweepJob>,
     },
@@ -238,6 +259,127 @@ pub enum Frame {
         /// otherwise bloat every `Frame` on the stack.
         snapshot: Box<zhuyi_telemetry::Snapshot>,
     },
+    /// Client → daemon: open a client session (distinguished from a
+    /// worker session by this first frame — workers open with
+    /// [`Frame::Hello`]).
+    ClientHello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// Human-readable client name for logs and lease bookkeeping.
+        client: String,
+    },
+    /// Daemon → client: session accepted.
+    ClientWelcome {
+        /// The daemon's [`PROTOCOL_VERSION`] (echoed back).
+        version: u16,
+        /// Whether the daemon is draining: submits will be answered with
+        /// [`Frame::Busy`], but status/fetch still work.
+        draining: bool,
+    },
+    /// Client → daemon: submit a plan for execution. Retrying the exact
+    /// same submit is safe: the daemon dedups on `fingerprint` and
+    /// answers [`Frame::Accepted`] with `deduped: true`.
+    Submit {
+        /// The client-side plan fingerprint
+        /// ([`crate::checkpoint::plan_fingerprint`] over `jobs` +
+        /// `options`) — the plan's identity for dedup, status, cancel
+        /// and fetch.
+        fingerprint: u64,
+        /// Plan-wide execution options.
+        options: ExecOptions,
+        /// The plan's jobs, ascending by id from 0.
+        jobs: Vec<SweepJob>,
+    },
+    /// Daemon → client: the submit was admitted (or matched an already
+    /// known plan).
+    Accepted {
+        /// Echo of the submitted fingerprint.
+        fingerprint: u64,
+        /// `true` when the fingerprint was already known (a retried
+        /// submit); the plan was **not** enqueued a second time.
+        deduped: bool,
+        /// Plans ahead of this one (0 = running or done).
+        position: u32,
+    },
+    /// Daemon → client: the admission queue is full (or the daemon is
+    /// draining); the plan was **not** enqueued. Back off and retry.
+    Busy {
+        /// The admission-queue capacity that was exhausted.
+        queue_limit: u32,
+    },
+    /// Client → daemon: poll a submitted plan. Any client frame naming a
+    /// fingerprint renews that plan's lease.
+    Status {
+        /// The plan fingerprint to query.
+        fingerprint: u64,
+    },
+    /// Daemon → client: answer to [`Frame::Status`].
+    StatusReport {
+        /// Echo of the queried fingerprint.
+        fingerprint: u64,
+        /// Where the plan stands.
+        state: PlanState,
+        /// Results recorded so far.
+        completed: u64,
+        /// Total jobs in the plan (0 when the plan is unknown).
+        total: u64,
+    },
+    /// Client → daemon: cancel a **queued** plan (a running plan
+    /// finishes regardless — determinism makes the result worth keeping).
+    Cancel {
+        /// The plan fingerprint to cancel.
+        fingerprint: u64,
+    },
+    /// Client → daemon: stream back a completed plan's results.
+    FetchResults {
+        /// The plan fingerprint to fetch.
+        fingerprint: u64,
+    },
+    /// Daemon → client: a completed plan's results, id-deduplicated and
+    /// ascending by job id — exactly the single-process merge order.
+    Results {
+        /// Echo of the fetched fingerprint.
+        fingerprint: u64,
+        /// Every job result of the plan, ascending by job id.
+        results: Vec<JobResult>,
+    },
+    /// Client → daemon: finish in-flight work, refuse new submits, flush
+    /// the journal and exit.
+    Drain,
+    /// Daemon → client: drain accepted.
+    DrainAck {
+        /// Plans still queued or running that the drain will finish.
+        queued: u32,
+    },
+}
+
+/// Where a submitted plan stands in the daemon's lifecycle, as reported
+/// by [`Frame::StatusReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanState {
+    /// The fingerprint is not (or no longer) known to the daemon.
+    Unknown,
+    /// Admitted, waiting in the queue.
+    Queued,
+    /// Currently executing.
+    Running,
+    /// Every job finished; results are ready to fetch.
+    Completed,
+    /// Cancelled while queued (or its lease expired before it ran).
+    Cancelled,
+}
+
+impl PlanState {
+    /// Stable lower-case name used in logs and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanState::Unknown => "unknown",
+            PlanState::Queued => "queued",
+            PlanState::Running => "running",
+            PlanState::Completed => "completed",
+            PlanState::Cancelled => "cancelled",
+        }
+    }
 }
 
 /// The telemetry catalog slot for a frame, for the frames/bytes-by-kind
@@ -256,37 +398,49 @@ pub fn frame_kind(frame: &Frame) -> zhuyi_telemetry::WireKind {
         Frame::Heartbeat => WireKind::Heartbeat,
         Frame::Shutdown => WireKind::Shutdown,
         Frame::Metrics { .. } => WireKind::Metrics,
+        Frame::ClientHello { .. } => WireKind::ClientHello,
+        Frame::ClientWelcome { .. } => WireKind::ClientWelcome,
+        Frame::Submit { .. } => WireKind::Submit,
+        Frame::Accepted { .. } => WireKind::Accepted,
+        Frame::Busy { .. } => WireKind::Busy,
+        Frame::Status { .. } => WireKind::Status,
+        Frame::StatusReport { .. } => WireKind::StatusReport,
+        Frame::Cancel { .. } => WireKind::Cancel,
+        Frame::FetchResults { .. } => WireKind::FetchResults,
+        Frame::Results { .. } => WireKind::Results,
+        Frame::Drain => WireKind::Drain,
+        Frame::DrainAck { .. } => WireKind::DrainAck,
     }
 }
 
 // --- primitive encoders -------------------------------------------------
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
-fn put_bool(out: &mut Vec<u8>, v: bool) {
+pub(crate) fn put_bool(out: &mut Vec<u8>, v: bool) {
     out.push(u8::from(v));
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+pub(crate) fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
     match v {
         None => out.push(0),
         Some(x) => {
@@ -299,17 +453,17 @@ fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
 // --- primitive decoder --------------------------------------------------
 
 /// Cursor over one frame's payload bytes.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self
             .pos
             .checked_add(n)
@@ -320,27 +474,27 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, WireError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
-    fn f64(&mut self) -> Result<f64, WireError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn boolean(&mut self) -> Result<bool, WireError> {
+    pub(crate) fn boolean(&mut self) -> Result<bool, WireError> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
@@ -348,14 +502,14 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, WireError> {
+    pub(crate) fn string(&mut self) -> Result<String, WireError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| WireError::Malformed("non-UTF-8 string".into()))
     }
 
-    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+    pub(crate) fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.f64()?)),
@@ -363,7 +517,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn finish(self) -> Result<(), WireError> {
+    pub(crate) fn finish(self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {
@@ -376,6 +530,41 @@ impl<'a> Reader<'a> {
 }
 
 // --- domain codecs ------------------------------------------------------
+
+pub(crate) fn put_exec_options(out: &mut Vec<u8>, options: ExecOptions) {
+    put_bool(out, options.record_traces);
+    put_u32(out, options.batch_lanes as u32);
+    put_u32(out, options.seed_blocks as u32);
+}
+
+pub(crate) fn exec_options(r: &mut Reader<'_>) -> Result<ExecOptions, WireError> {
+    Ok(ExecOptions {
+        record_traces: r.boolean()?,
+        batch_lanes: r.u32()? as usize,
+        seed_blocks: r.u32()? as usize,
+    })
+}
+
+fn put_plan_state(out: &mut Vec<u8>, state: PlanState) {
+    out.push(match state {
+        PlanState::Unknown => 0,
+        PlanState::Queued => 1,
+        PlanState::Running => 2,
+        PlanState::Completed => 3,
+        PlanState::Cancelled => 4,
+    });
+}
+
+fn plan_state(r: &mut Reader<'_>) -> Result<PlanState, WireError> {
+    Ok(match r.u8()? {
+        0 => PlanState::Unknown,
+        1 => PlanState::Queued,
+        2 => PlanState::Running,
+        3 => PlanState::Completed,
+        4 => PlanState::Cancelled,
+        other => return Err(WireError::Malformed(format!("plan-state tag {other}"))),
+    })
+}
 
 fn put_rate_spec(out: &mut Vec<u8>, spec: &RateSpec) {
     match spec {
@@ -479,7 +668,7 @@ pub(crate) fn put_job(out: &mut Vec<u8>, job: &SweepJob) {
     }
 }
 
-fn job(r: &mut Reader<'_>) -> Result<SweepJob, WireError> {
+pub(crate) fn job(r: &mut Reader<'_>) -> Result<SweepJob, WireError> {
     let id = JobId(r.u64()?);
     let scenario = scenario(r)?;
     let seed = r.u64()?;
@@ -570,7 +759,7 @@ pub fn put_job_result(out: &mut Vec<u8>, result: &JobResult) {
     }
 }
 
-fn job_result(r: &mut Reader<'_>) -> Result<JobResult, WireError> {
+pub(crate) fn job_result(r: &mut Reader<'_>) -> Result<JobResult, WireError> {
     use av_core::state::ActorId;
     use av_core::units::{Meters, Seconds};
     let job = job(r)?;
@@ -654,27 +843,23 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_bool(&mut out, *spawned);
             put_str(&mut out, name);
         }
-        Frame::Welcome {
-            version,
-            record_traces,
-            batch_lanes,
-            seed_blocks,
-            telemetry,
-        } => {
+        Frame::Welcome { version, telemetry } => {
             out.push(1);
             put_u16(&mut out, *version);
-            put_bool(&mut out, *record_traces);
-            put_u32(&mut out, *batch_lanes);
-            put_u32(&mut out, *seed_blocks);
             put_bool(&mut out, *telemetry);
         }
         Frame::Reject { reason } => {
             out.push(2);
             put_str(&mut out, reason);
         }
-        Frame::Assign { batch, jobs } => {
+        Frame::Assign {
+            batch,
+            options,
+            jobs,
+        } => {
             out.push(3);
             put_u32(&mut out, *batch);
+            put_exec_options(&mut out, *options);
             put_u32(&mut out, jobs.len() as u32);
             for j in jobs {
                 put_job(&mut out, j);
@@ -714,6 +899,83 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u32(&mut out, bytes.len() as u32);
             out.extend_from_slice(&bytes);
         }
+        Frame::ClientHello { version, client } => {
+            out.push(11);
+            put_u16(&mut out, *version);
+            put_str(&mut out, client);
+        }
+        Frame::ClientWelcome { version, draining } => {
+            out.push(12);
+            put_u16(&mut out, *version);
+            put_bool(&mut out, *draining);
+        }
+        Frame::Submit {
+            fingerprint,
+            options,
+            jobs,
+        } => {
+            out.push(13);
+            put_u64(&mut out, *fingerprint);
+            put_exec_options(&mut out, *options);
+            put_u32(&mut out, jobs.len() as u32);
+            for j in jobs {
+                put_job(&mut out, j);
+            }
+        }
+        Frame::Accepted {
+            fingerprint,
+            deduped,
+            position,
+        } => {
+            out.push(14);
+            put_u64(&mut out, *fingerprint);
+            put_bool(&mut out, *deduped);
+            put_u32(&mut out, *position);
+        }
+        Frame::Busy { queue_limit } => {
+            out.push(15);
+            put_u32(&mut out, *queue_limit);
+        }
+        Frame::Status { fingerprint } => {
+            out.push(16);
+            put_u64(&mut out, *fingerprint);
+        }
+        Frame::StatusReport {
+            fingerprint,
+            state,
+            completed,
+            total,
+        } => {
+            out.push(17);
+            put_u64(&mut out, *fingerprint);
+            put_plan_state(&mut out, *state);
+            put_u64(&mut out, *completed);
+            put_u64(&mut out, *total);
+        }
+        Frame::Cancel { fingerprint } => {
+            out.push(18);
+            put_u64(&mut out, *fingerprint);
+        }
+        Frame::FetchResults { fingerprint } => {
+            out.push(19);
+            put_u64(&mut out, *fingerprint);
+        }
+        Frame::Results {
+            fingerprint,
+            results,
+        } => {
+            out.push(20);
+            put_u64(&mut out, *fingerprint);
+            put_u32(&mut out, results.len() as u32);
+            for result in results {
+                put_job_result(&mut out, result);
+            }
+        }
+        Frame::Drain => out.push(21),
+        Frame::DrainAck { queued } => {
+            out.push(22);
+            put_u32(&mut out, *queued);
+        }
     }
     out
 }
@@ -734,9 +996,6 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         },
         1 => Frame::Welcome {
             version: r.u16()?,
-            record_traces: r.boolean()?,
-            batch_lanes: r.u32()?,
-            seed_blocks: r.u32()?,
             telemetry: r.boolean()?,
         },
         2 => Frame::Reject {
@@ -744,12 +1003,17 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         },
         3 => {
             let batch = r.u32()?;
+            let options = exec_options(&mut r)?;
             let n = r.u32()? as usize;
             let mut jobs = Vec::with_capacity(n.min(1 << 20));
             for _ in 0..n {
                 jobs.push(job(&mut r)?);
             }
-            Frame::Assign { batch, jobs }
+            Frame::Assign {
+                batch,
+                options,
+                jobs,
+            }
         }
         4 => {
             let n = r.u32()? as usize;
@@ -788,6 +1052,65 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
                 ),
             }
         }
+        11 => Frame::ClientHello {
+            version: r.u16()?,
+            client: r.string()?,
+        },
+        12 => Frame::ClientWelcome {
+            version: r.u16()?,
+            draining: r.boolean()?,
+        },
+        13 => {
+            let fingerprint = r.u64()?;
+            let options = exec_options(&mut r)?;
+            let n = r.u32()? as usize;
+            let mut jobs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                jobs.push(job(&mut r)?);
+            }
+            Frame::Submit {
+                fingerprint,
+                options,
+                jobs,
+            }
+        }
+        14 => Frame::Accepted {
+            fingerprint: r.u64()?,
+            deduped: r.boolean()?,
+            position: r.u32()?,
+        },
+        15 => Frame::Busy {
+            queue_limit: r.u32()?,
+        },
+        16 => Frame::Status {
+            fingerprint: r.u64()?,
+        },
+        17 => Frame::StatusReport {
+            fingerprint: r.u64()?,
+            state: plan_state(&mut r)?,
+            completed: r.u64()?,
+            total: r.u64()?,
+        },
+        18 => Frame::Cancel {
+            fingerprint: r.u64()?,
+        },
+        19 => Frame::FetchResults {
+            fingerprint: r.u64()?,
+        },
+        20 => {
+            let fingerprint = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut results = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                results.push(job_result(&mut r)?);
+            }
+            Frame::Results {
+                fingerprint,
+                results,
+            }
+        }
+        21 => Frame::Drain,
+        22 => Frame::DrainAck { queued: r.u32()? },
         other => return Err(WireError::Malformed(format!("frame tag {other}"))),
     };
     r.finish()?;
@@ -816,11 +1139,13 @@ pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> Result<(), WireErr
 pub fn write_assign(
     stream: &mut impl Write,
     batch: u32,
+    options: ExecOptions,
     jobs: &[SweepJob],
 ) -> Result<(), WireError> {
     let mut out = Vec::with_capacity(16 + jobs.len() * 48);
     out.push(3);
     put_u32(&mut out, batch);
+    put_exec_options(&mut out, options);
     put_u32(&mut out, jobs.len() as u32);
     for job in jobs {
         put_job(&mut out, job);
@@ -1040,9 +1365,6 @@ mod tests {
             },
             Frame::Welcome {
                 version: PROTOCOL_VERSION,
-                record_traces: false,
-                batch_lanes: 0,
-                seed_blocks: 10,
                 telemetry: true,
             },
             Frame::Reject {
@@ -1050,6 +1372,11 @@ mod tests {
             },
             Frame::Assign {
                 batch: 7,
+                options: ExecOptions {
+                    record_traces: false,
+                    batch_lanes: 0,
+                    seed_blocks: 10,
+                },
                 jobs: sample_jobs(),
             },
             Frame::Revoke {
@@ -1083,6 +1410,50 @@ mod tests {
                     reg.snapshot()
                 }),
             },
+            Frame::ClientHello {
+                version: PROTOCOL_VERSION,
+                client: "client-1234".into(),
+            },
+            Frame::ClientWelcome {
+                version: PROTOCOL_VERSION,
+                draining: true,
+            },
+            Frame::Submit {
+                fingerprint: 0xdead_beef_cafe_f00d,
+                options: ExecOptions {
+                    record_traces: true,
+                    batch_lanes: 4,
+                    seed_blocks: 0,
+                },
+                jobs: sample_jobs(),
+            },
+            Frame::Accepted {
+                fingerprint: 0xdead_beef_cafe_f00d,
+                deduped: true,
+                position: 3,
+            },
+            Frame::Busy { queue_limit: 8 },
+            Frame::Status {
+                fingerprint: 0xdead_beef_cafe_f00d,
+            },
+            Frame::StatusReport {
+                fingerprint: 0xdead_beef_cafe_f00d,
+                state: PlanState::Running,
+                completed: 17,
+                total: 42,
+            },
+            Frame::Cancel {
+                fingerprint: 0xdead_beef_cafe_f00d,
+            },
+            Frame::FetchResults {
+                fingerprint: 0xdead_beef_cafe_f00d,
+            },
+            Frame::Results {
+                fingerprint: 0xdead_beef_cafe_f00d,
+                results: sample_results(),
+            },
+            Frame::Drain,
+            Frame::DrainAck { queued: 2 },
         ];
         for frame in frames {
             let bytes = encode_frame(&frame);
@@ -1104,10 +1475,23 @@ mod tests {
     #[test]
     fn write_assign_matches_the_owned_frame_encoding() {
         let jobs = sample_jobs();
+        let options = ExecOptions {
+            record_traces: false,
+            batch_lanes: 3,
+            seed_blocks: 8,
+        };
         let mut borrowed: Vec<u8> = Vec::new();
-        write_assign(&mut borrowed, 7, &jobs).expect("write into a Vec");
+        write_assign(&mut borrowed, 7, options, &jobs).expect("write into a Vec");
         let mut owned: Vec<u8> = Vec::new();
-        write_frame(&mut owned, &Frame::Assign { batch: 7, jobs }).expect("write into a Vec");
+        write_frame(
+            &mut owned,
+            &Frame::Assign {
+                batch: 7,
+                options,
+                jobs,
+            },
+        )
+        .expect("write into a Vec");
         assert_eq!(
             borrowed, owned,
             "the two assign writers must agree byte-for-byte"
@@ -1121,6 +1505,7 @@ mod tests {
             Frame::Heartbeat,
             Frame::Assign {
                 batch: 0,
+                options: ExecOptions::default(),
                 jobs: sample_jobs(),
             },
             Frame::Shutdown,
@@ -1143,6 +1528,7 @@ mod tests {
         // Truncated Assign.
         let mut bytes = encode_frame(&Frame::Assign {
             batch: 0,
+            options: ExecOptions::default(),
             jobs: sample_jobs(),
         });
         bytes.truncate(bytes.len() - 3);

@@ -192,7 +192,7 @@ fn corrupt_outcome(outcome: &mut JobOutcome, amount: u64) {
 
 #[derive(Default)]
 struct Inbox {
-    batches: VecDeque<(u32, Vec<SweepJob>)>,
+    batches: VecDeque<(u32, ExecOptions, Vec<SweepJob>)>,
     revoked: HashSet<u64>,
     shutdown: bool,
     dead: Option<String>,
@@ -238,21 +238,12 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
     )
     .map_err(|e| WorkerError::Handshake(e.to_string()))?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let (exec_options, telemetry_on) = match wire::read_frame(&mut stream) {
-        Ok(Frame::Welcome {
-            record_traces,
-            batch_lanes,
-            seed_blocks,
-            telemetry,
-            ..
-        }) => (
-            ExecOptions {
-                record_traces,
-                batch_lanes: batch_lanes as usize,
-                seed_blocks: seed_blocks as usize,
-            },
-            telemetry,
-        ),
+    // v7: the Welcome no longer carries `ExecOptions` — those arrive with
+    // every Assign, so one warm session can serve plans with different
+    // execution shapes back to back (the daemon keeps workers connected
+    // across plans).
+    let telemetry_on = match wire::read_frame(&mut stream) {
+        Ok(Frame::Welcome { telemetry, .. }) => telemetry,
         Ok(Frame::Reject { reason }) => return Err(WorkerError::Handshake(reason)),
         Ok(other) => {
             return Err(WorkerError::Handshake(format!(
@@ -299,7 +290,11 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
             let (lock, signal) = &*inbox;
             let mut inbox = lock.lock().expect("inbox poisoned");
             match frame {
-                Ok(Frame::Assign { batch, jobs }) => {
+                Ok(Frame::Assign {
+                    batch,
+                    options,
+                    jobs,
+                }) => {
                     // A fresh assignment supersedes any earlier Revoke of
                     // the same job (the thief died and the coordinator
                     // handed the job back): the coordinator writes frames
@@ -309,7 +304,7 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
                     for job in &jobs {
                         inbox.revoked.remove(&job.id.0);
                     }
-                    inbox.batches.push_back((batch, jobs));
+                    inbox.batches.push_back((batch, options, jobs));
                 }
                 Ok(Frame::Revoke { jobs }) => inbox.revoked.extend(jobs),
                 Ok(Frame::Shutdown) => inbox.shutdown = true,
@@ -381,7 +376,7 @@ pub fn run_worker(options: &WorkerOptions) -> Result<u64, WorkerError> {
                 guard = signal.wait(guard).expect("inbox poisoned");
             }
         };
-        let (batch_id, jobs) = batch;
+        let (batch_id, exec_options, jobs) = batch;
         for block in seed_blocks(jobs, exec_options, options) {
             // Revocation is checked once per block (best-effort, exactly
             // like the old per-job check: a Revoke that lands mid-block

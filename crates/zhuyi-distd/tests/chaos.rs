@@ -12,7 +12,9 @@ use std::path::PathBuf;
 use std::time::Duration;
 use zhuyi_distd::wire::{self, Frame, JobErrorKind};
 use zhuyi_distd::{faultnet, run_distributed, ChaosSpec, DistConfig, DistError, PROTOCOL_VERSION};
-use zhuyi_fleet::{run_sweep, JobId, JobKind, JobSpec, RateSpec, ResultStore, SweepJob, SweepPlan};
+use zhuyi_fleet::{
+    run_sweep, ExecOptions, JobId, JobKind, JobSpec, RateSpec, ResultStore, SweepJob, SweepPlan,
+};
 
 use av_scenarios::catalog::ScenarioId;
 
@@ -396,10 +398,7 @@ fn contained_panic_reports_jobfailed_and_worker_survives() {
     wire::write_frame(
         &mut stream,
         &Frame::Welcome {
-            batch_lanes: 0,
-            seed_blocks: 0,
             version: PROTOCOL_VERSION,
-            record_traces: false,
             telemetry: false,
         },
     )
@@ -420,6 +419,7 @@ fn contained_panic_reports_jobfailed_and_worker_survives() {
         &mut stream,
         &Frame::Assign {
             batch: 0,
+            options: ExecOptions::default(),
             jobs: vec![job(1), job(2)],
         },
     )

@@ -266,6 +266,97 @@ fn malformed_shard_fault_hooks_are_rejected() {
 }
 
 #[test]
+fn daemon_mode_flags_are_cross_validated() {
+    // --daemon without its two required companions.
+    assert_rejected(&fleet_sweep(&["--daemon"]), "--listen");
+    assert_rejected(
+        &fleet_sweep(&["--daemon", "--listen", "127.0.0.1:0"]),
+        "--journal",
+    );
+    // Malformed values for the daemon knobs.
+    assert_rejected(
+        &fleet_sweep(&[
+            "--daemon",
+            "--listen",
+            "127.0.0.1:0",
+            "--journal",
+            "/no/such/dir/anywhere/fleet.journal",
+        ]),
+        "does not exist",
+    );
+    assert_rejected(&fleet_sweep(&["--journal", ""]), "--journal");
+    let daemon = |extra: &[&str]| {
+        let mut args = vec!["--daemon", "--listen", "127.0.0.1:0", "--journal", "fj.j"];
+        args.extend_from_slice(extra);
+        fleet_sweep(&args)
+    };
+    assert_rejected(&daemon(&["--max-queue", "0"]), "--max-queue");
+    assert_rejected(&daemon(&["--max-queue", "full"]), "--max-queue");
+    assert_rejected(&daemon(&["--lease-secs", "0"]), "--lease-secs");
+    assert_rejected(&daemon(&["--lease-secs"]), "expects a value");
+    // Mode conflicts: the daemon is neither a one-shot coordinator nor a
+    // client nor a worker.
+    assert_rejected(&daemon(&["--dist"]), "--dist");
+    assert_rejected(&daemon(&["--submit", "127.0.0.1:7700"]), "--submit");
+    assert_rejected(&daemon(&["--checkpoint", "sweep.ckpt"]), "--checkpoint");
+    assert_rejected(&daemon(&["--drain"]), "--drain");
+    assert_rejected(&daemon(&["--json", "out.json"]), "--json");
+    // Plan-shaping flags belong to submitting clients.
+    assert_rejected(&daemon(&["--mode", "msf"]), "--mode");
+    assert_rejected(&daemon(&["--variants", "5"]), "--variants");
+    // Daemon/client knobs floating free of their mode.
+    assert_rejected(&fleet_sweep(&["--journal", "fj.j"]), "requires --daemon");
+    assert_rejected(&fleet_sweep(&["--max-queue", "4"]), "requires --daemon");
+    assert_rejected(&fleet_sweep(&["--lease-secs", "60"]), "requires --daemon");
+}
+
+#[test]
+fn submit_mode_flags_are_cross_validated() {
+    // Malformed daemon addresses are caught before any socket opens.
+    assert_rejected(&fleet_sweep(&["--submit", "127.0.0.1"]), "host:port");
+    assert_rejected(&fleet_sweep(&["--submit"]), "expects a value");
+    let submit = |extra: &[&str]| {
+        let mut args = vec!["--submit", "127.0.0.1:7700"];
+        args.extend_from_slice(extra);
+        fleet_sweep(&args)
+    };
+    // --submit hands the sweep to the daemon; local execution modes and
+    // daemon-side knobs conflict.
+    assert_rejected(&submit(&["--dist"]), "--dist");
+    assert_rejected(&submit(&["--listen", "127.0.0.1:0"]), "--listen");
+    assert_rejected(&submit(&["--connect", "127.0.0.1:7700"]), "--connect");
+    assert_rejected(&submit(&["--checkpoint", "sweep.ckpt"]), "--checkpoint");
+    assert_rejected(&submit(&["--journal", "fj.j"]), "--journal");
+    assert_rejected(&submit(&["--max-queue", "4"]), "--max-queue");
+    assert_rejected(&submit(&["--telemetry"]), "--telemetry");
+    // Retry knob values are validated.
+    assert_rejected(&submit(&["--retry-max", "many"]), "--retry-max");
+    assert_rejected(&submit(&["--retry-base-ms", "0"]), "--retry-base-ms");
+    assert_rejected(&submit(&["--retry-base-ms", "soon"]), "--retry-base-ms");
+    // Chaos on the submit link still needs its seed.
+    assert_rejected(&submit(&["--chaos-profile", "storm"]), "--chaos-seed");
+    // Client knobs floating free of --submit.
+    assert_rejected(&fleet_sweep(&["--drain"]), "requires --submit");
+    assert_rejected(&fleet_sweep(&["--retry-max", "3"]), "requires --submit");
+    assert_rejected(
+        &fleet_sweep(&["--retry-base-ms", "50"]),
+        "requires --submit",
+    );
+    // And a --connect worker rejects the whole daemon/client family.
+    for extra in [
+        &["--daemon"][..],
+        &["--submit", "127.0.0.1:7701"][..],
+        &["--journal", "fj.j"][..],
+        &["--drain"][..],
+        &["--retry-max", "3"][..],
+    ] {
+        let mut args = vec!["--connect", "127.0.0.1:7700"];
+        args.extend_from_slice(extra);
+        assert_rejected(&fleet_sweep(&args), "--connect worker");
+    }
+}
+
+#[test]
 fn scenario_registry_flags_are_validated() {
     // The committed catalog ports, for cases that need a loadable dir.
     let catalog = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");

@@ -209,10 +209,7 @@ fn reassignment_supersedes_an_earlier_revoke() {
     wire::write_frame(
         &mut stream,
         &Frame::Welcome {
-            batch_lanes: 0,
-            seed_blocks: 0,
             version: PROTOCOL_VERSION,
-            record_traces: false,
             telemetry: false,
         },
     )
@@ -249,6 +246,7 @@ fn reassignment_supersedes_an_earlier_revoke() {
         &mut stream,
         &Frame::Assign {
             batch: 0,
+            options: ExecOptions::default(),
             jobs: vec![job(1), job(2)],
         },
     )
@@ -263,6 +261,7 @@ fn reassignment_supersedes_an_earlier_revoke() {
         &mut stream,
         &Frame::Assign {
             batch: 1,
+            options: ExecOptions::default(),
             jobs: vec![job(2)],
         },
     )

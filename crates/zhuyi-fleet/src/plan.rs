@@ -26,6 +26,24 @@ impl SweepPlan {
         SweepPlanBuilder::default()
     }
 
+    /// Reassembles a plan from an explicit job list — the deserialization
+    /// path for plans that crossed a process boundary (the sweep daemon's
+    /// client submissions and journal replays). The job list must uphold
+    /// the builder's invariant of strictly ascending ids; it is asserted
+    /// here so a corrupted source cannot smuggle an out-of-order plan
+    /// past the id-ordered merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is not strictly ascending by id.
+    pub fn from_jobs(jobs: Vec<SweepJob>) -> Self {
+        assert!(
+            jobs.windows(2).all(|w| w[0].id.0 < w[1].id.0),
+            "plan jobs must be strictly ascending by id"
+        );
+        Self { jobs }
+    }
+
     /// The jobs, ascending by id.
     pub fn jobs(&self) -> &[SweepJob] {
         &self.jobs

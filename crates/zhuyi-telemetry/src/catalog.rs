@@ -108,11 +108,27 @@ pub enum Counter {
     WorkersConnected,
     /// Worker sessions lost mid-sweep.
     WorkersLost,
+    /// Plans accepted into the daemon's admission queue.
+    PlanSubmits,
+    /// Retried submits answered from the fingerprint index (no new entry).
+    SubmitsDeduped,
+    /// Submits shed with `Busy` because the admission queue was full.
+    SubmitsShed,
+    /// Queued plans executed to completion by the daemon.
+    PlansCompleted,
+    /// Journal replays performed at daemon startup.
+    JournalReplays,
+    /// Client leases that expired without renewal.
+    LeaseExpiries,
+    /// Drain requests accepted by the daemon.
+    DrainRequests,
+    /// Poisoned-mutex recoveries (a panicking holder was survived).
+    PoisonRecoveries,
 }
 
 impl Counter {
     /// Number of counters (the registry's array length).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 30;
 
     /// Every counter, in export order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -138,6 +154,14 @@ impl Counter {
         Counter::FlightDumps,
         Counter::WorkersConnected,
         Counter::WorkersLost,
+        Counter::PlanSubmits,
+        Counter::SubmitsDeduped,
+        Counter::SubmitsShed,
+        Counter::PlansCompleted,
+        Counter::JournalReplays,
+        Counter::LeaseExpiries,
+        Counter::DrainRequests,
+        Counter::PoisonRecoveries,
     ];
 
     /// The registry slot of this counter.
@@ -189,6 +213,14 @@ impl Counter {
             Counter::FlightDumps => "flight_dumps",
             Counter::WorkersConnected => "workers_connected",
             Counter::WorkersLost => "workers_lost",
+            Counter::PlanSubmits => "plan_submits",
+            Counter::SubmitsDeduped => "submits_deduped",
+            Counter::SubmitsShed => "submits_shed",
+            Counter::PlansCompleted => "plans_completed",
+            Counter::JournalReplays => "journal_replays",
+            Counter::LeaseExpiries => "lease_expiries",
+            Counter::DrainRequests => "drain_requests",
+            Counter::PoisonRecoveries => "poison_recoveries",
         }
     }
 }
@@ -203,17 +235,20 @@ pub enum Gauge {
     PendingBatches,
     /// Batches currently assigned and in flight.
     InflightBatches,
+    /// Plans waiting in the daemon's admission queue.
+    QueuedPlans,
 }
 
 impl Gauge {
     /// Number of gauges (the registry's array length).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every gauge, in export order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
         Gauge::LiveWorkers,
         Gauge::PendingBatches,
         Gauge::InflightBatches,
+        Gauge::QueuedPlans,
     ];
 
     /// The registry slot of this gauge.
@@ -227,6 +262,7 @@ impl Gauge {
             Gauge::LiveWorkers => "live_workers",
             Gauge::PendingBatches => "pending_batches",
             Gauge::InflightBatches => "inflight_batches",
+            Gauge::QueuedPlans => "queued_plans",
         }
     }
 }
@@ -259,11 +295,35 @@ pub enum WireKind {
     JobFailed,
     /// Worker → coordinator cumulative telemetry snapshot.
     Metrics,
+    /// Client → daemon session open (protocol v7).
+    ClientHello,
+    /// Daemon → client session accept.
+    ClientWelcome,
+    /// Client → daemon plan submission.
+    Submit,
+    /// Daemon → client submission accepted (or deduplicated).
+    Accepted,
+    /// Daemon → client admission-queue-full load shed.
+    Busy,
+    /// Client → daemon plan status poll (renews the lease).
+    Status,
+    /// Daemon → client plan status answer.
+    StatusReport,
+    /// Client → daemon queued-plan cancellation.
+    Cancel,
+    /// Client → daemon completed-result retrieval.
+    FetchResults,
+    /// Daemon → client streamed plan results.
+    Results,
+    /// Client → daemon graceful-drain request.
+    Drain,
+    /// Daemon → client drain acknowledgement.
+    DrainAck,
 }
 
 impl WireKind {
     /// Number of wire-frame kinds (the registry's array length).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 23;
 
     /// Every kind, in export order.
     pub const ALL: [WireKind; WireKind::COUNT] = [
@@ -278,6 +338,18 @@ impl WireKind {
         WireKind::Shutdown,
         WireKind::JobFailed,
         WireKind::Metrics,
+        WireKind::ClientHello,
+        WireKind::ClientWelcome,
+        WireKind::Submit,
+        WireKind::Accepted,
+        WireKind::Busy,
+        WireKind::Status,
+        WireKind::StatusReport,
+        WireKind::Cancel,
+        WireKind::FetchResults,
+        WireKind::Results,
+        WireKind::Drain,
+        WireKind::DrainAck,
     ];
 
     /// The registry slot of this kind.
@@ -299,6 +371,18 @@ impl WireKind {
             WireKind::Shutdown => "shutdown",
             WireKind::JobFailed => "job_failed",
             WireKind::Metrics => "metrics",
+            WireKind::ClientHello => "client_hello",
+            WireKind::ClientWelcome => "client_welcome",
+            WireKind::Submit => "submit",
+            WireKind::Accepted => "accepted",
+            WireKind::Busy => "busy",
+            WireKind::Status => "status",
+            WireKind::StatusReport => "status_report",
+            WireKind::Cancel => "cancel",
+            WireKind::FetchResults => "fetch_results",
+            WireKind::Results => "results",
+            WireKind::Drain => "drain",
+            WireKind::DrainAck => "drain_ack",
         }
     }
 }
